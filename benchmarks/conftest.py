@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact via its experiment runner,
+times it with pytest-benchmark (single round — these are experiment
+harnesses, not microbenchmarks), prints the result table, and persists it
+under ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from the
+artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_and_record(benchmark, spec, **params):
+    """Run one experiment under the benchmark timer and persist its table.
+
+    Returns the :class:`~repro.experiments.base.ExperimentResult` so the
+    calling test can make its assertions.
+    """
+    result = benchmark.pedantic(
+        lambda: spec.run(**params), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.table() + "\n\n" + result.summary() + "\n"
+    (RESULTS_DIR / f"{result.experiment_id.lower()}.txt").write_text(text)
+    print()
+    print(text)
+    return result

@@ -1,0 +1,38 @@
+"""Ablation: pure-Python vs scipy shortest-path backends.
+
+The library auto-switches from the heap-based pure-Python Dijkstra to
+scipy's csgraph implementation at ``AUTO_SCIPY_THRESHOLD`` nodes.  This
+bench measures both backends on all-pairs workloads at sizes straddling
+the threshold — the data behind the crossover constant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import StrategyProfile
+from repro.core.topology import overlay_from_matrix
+from repro.graphs.shortest_paths import all_pairs_distances
+from repro.metrics.euclidean import EuclideanMetric
+
+
+def _overlay(n: int, seed: int):
+    metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+    profile = StrategyProfile.random(n, min(0.5, 8.0 / n), seed=seed)
+    return overlay_from_matrix(metric.distance_matrix(), profile)
+
+
+@pytest.mark.parametrize("n", [16, 48, 128])
+@pytest.mark.parametrize("backend", ["pure", "scipy"])
+def test_bench_ablation_apsp_backend(benchmark, n, backend):
+    graph = _overlay(n, seed=n)
+    result = benchmark(all_pairs_distances, graph, backend=backend)
+    assert result.shape == (n, n)
+
+
+def test_backends_agree_at_bench_sizes():
+    for n in (16, 48, 128):
+        graph = _overlay(n, seed=n)
+        np.testing.assert_allclose(
+            all_pairs_distances(graph, backend="pure"),
+            all_pairs_distances(graph, backend="scipy"),
+        )

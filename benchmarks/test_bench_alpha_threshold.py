@@ -1,0 +1,19 @@
+"""E7 bench — the empirical alpha threshold of the Figure 1 equilibrium.
+
+Extension of Lemma 4.2: the proof guarantees the equilibrium for
+``alpha >= 3.4``; the bench bisects to the empirical threshold per ``n``
+and quantifies the proof constant's slack.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e7_alpha_threshold(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E7"),
+        ns=(4, 6, 8, 10, 12, 16),
+        grid=(1.5, 2.0, 2.5, 3.0, 3.4, 4.0),
+    )
+    assert result.verdict, result.summary()

@@ -1,0 +1,23 @@
+"""E11 bench — bilateral consent restores stability (related-work contrast).
+
+On the witness where unilateral formation has zero pure Nash equilibria,
+bilateral single-edge improving dynamics reach a certified pairwise-stable
+topology; random instances stabilize likewise.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e11_bilateral(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E11"),
+        n=8,
+        alpha=1.0,
+        seeds=(0, 1, 2),
+    )
+    assert result.verdict, result.summary()
+    witness_row = result.rows[0]
+    assert witness_row["unilateral_outcome"] == "cycle"
+    assert witness_row["bilateral_stable"]

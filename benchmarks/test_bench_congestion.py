@@ -1,0 +1,23 @@
+"""E10 bench — congestion externalities (conclusion's future work).
+
+With a congestion term ``beta * in-degree`` the equilibria are provably
+unchanged but the social gap between selfish equilibria and the best
+congestion-aware design widens with beta — the measured price of
+ignoring the congestion one's links impose on others.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e10_congestion(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E10"),
+        n=10,
+        alpha=1.0,
+        betas=(0.0, 0.5, 1.0, 2.0, 4.0, 8.0),
+        seeds=(0, 1, 2),
+    )
+    assert result.verdict, result.summary()
+    assert all(row["equilibrium_unchanged"] for row in result.rows)

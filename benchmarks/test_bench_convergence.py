@@ -1,0 +1,22 @@
+"""E9 bench — convergence statistics: generic instances vs the witness.
+
+Extension of Section 5: best-response dynamics on random 2-D populations
+converge in the overwhelming majority of runs, while the engineered
+no-Nash witness stabilizes in none — locating the paper's instability as
+an engineered corner case that nevertheless exists.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e9_convergence(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E9"),
+        n=8,
+        alphas=(0.3, 1.0, 4.0),
+        num_instances=6,
+        schedulers=("round-robin", "random"),
+    )
+    assert result.verdict, result.summary()

@@ -1,0 +1,20 @@
+"""E1 bench — regenerate Figure 1 / Lemma 4.2 (Nash verification grid).
+
+Paper artifact: the Figure 1 construction is a pure Nash equilibrium for
+``alpha >= 3.4``.  The bench machine-verifies it over the full (n, alpha)
+grid with the exact best responder.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e1_figure1_nash(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E1"),
+        ns=(4, 6, 8, 10, 12, 16),
+        alphas=(3.4, 4.0, 6.0, 10.0),
+    )
+    assert result.verdict, result.summary()
+    assert all(row["is_nash"] for row in result.rows)

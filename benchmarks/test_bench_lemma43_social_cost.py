@@ -1,0 +1,19 @@
+"""E2 bench — regenerate Lemma 4.3 (social cost ``Theta(alpha n^2)``).
+
+Paper artifact: the Figure 1 topology's social cost series; the bench
+fits the growth exponent (expected 2) and checks the normalized ratio
+stays within constant factors (the Theta, not just O, claim).
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e2_lemma43_social_cost(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E2"),
+        ns=(6, 10, 16, 24, 36, 48, 64),
+        alpha=4.0,
+    )
+    assert result.verdict, result.summary()

@@ -1,0 +1,47 @@
+"""Scaling: best-response dynamics cost as the population grows.
+
+Characterizes the library itself (not a paper artifact): wall-clock of a
+full exact-dynamics run to convergence at increasing ``n``, plus the
+greedy responder at a size where exact search is already expensive.  The
+numbers guide users choosing ``method=`` for their population size.
+"""
+
+import pytest
+
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+
+ALPHA = 2.0
+
+
+def _game(n: int) -> TopologyGame:
+    return TopologyGame(
+        EuclideanMetric.random_uniform(n, dim=2, seed=n), ALPHA
+    )
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_bench_scaling_exact_dynamics(benchmark, n):
+    game = _game(n)
+
+    def run():
+        return BestResponseDynamics(game, record_moves=False).run(
+            max_rounds=100
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged
+
+
+@pytest.mark.parametrize("n", [24, 40])
+def test_bench_scaling_greedy_dynamics(benchmark, n):
+    game = _game(n)
+
+    def run():
+        return BestResponseDynamics(
+            game, method="greedy", record_moves=False
+        ).run(max_rounds=150)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged

@@ -1,0 +1,22 @@
+"""E8 bench — selfish equilibria vs structured overlay designs.
+
+Extension of Section 3 / footnote 2: the bench prices selfish equilibria,
+the structured portfolio (chain, star, Chord-style fingers, Tulip-style
+sqrt(n) clustering) and the Fabrikant hop-count equilibrium under the
+paper's cost model on identical peer populations.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e8_structured_vs_selfish(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E8"),
+        n=12,
+        alphas=(1.0, 4.0),
+        seeds=(0, 1),
+        num_equilibrium_samples=4,
+    )
+    assert result.verdict, result.summary()

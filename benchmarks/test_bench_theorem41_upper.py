@@ -1,0 +1,21 @@
+"""E4 bench — regenerate Theorem 4.1 (upper bounds on any equilibrium).
+
+Paper artifact: on arbitrary metric spaces every Nash equilibrium has
+max stretch ``<= alpha + 1`` and PoA ``O(min(alpha, n))``; the bench
+samples equilibria across three metric families and checks every bound.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e4_theorem41_upper(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E4"),
+        families=("line-1d", "euclidean-2d", "random-matrix"),
+        n=10,
+        alphas=(0.5, 2.0, 8.0),
+        seeds=(0, 1, 2),
+    )
+    assert result.verdict, result.summary()

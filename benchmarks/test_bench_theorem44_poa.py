@@ -1,0 +1,21 @@
+"""E3 bench — regenerate Theorem 4.4 (PoA = ``Theta(min(alpha, n))``).
+
+Paper artifact: the Price-of-Anarchy series of the Figure 1 family over
+both the alpha axis (linear growth while alpha < n) and the n axis
+(saturation once alpha > n).
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e3_theorem44_poa(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E3"),
+        alpha_sweep=(3.4, 5.0, 8.0, 12.0, 20.0, 32.0, 48.0),
+        n_for_alpha_sweep=48,
+        n_sweep=(4, 6, 8, 12, 16, 24, 32),
+        alpha_for_n_sweep=64.0,
+    )
+    assert result.verdict, result.summary()

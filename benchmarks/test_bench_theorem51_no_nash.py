@@ -1,0 +1,22 @@
+"""E5 bench — regenerate Theorem 5.1 / Figure 2 (no pure Nash equilibrium).
+
+Paper artifact: a 2-D Euclidean instance where selfish rewiring can never
+stabilize.  The bench exhaustively sweeps all 2^20 profiles of the
+canonical witness across the certified alpha window (zero equilibria) and
+demonstrates provable best-response cycles from every start/scheduler.
+"""
+
+from benchmarks.conftest import run_and_record
+from repro.experiments import get_experiment
+
+
+def test_bench_e5_theorem51_no_nash(benchmark):
+    result = run_and_record(
+        benchmark,
+        get_experiment("E5"),
+        alphas=(0.60, 0.62, 0.65),
+        boundary_alphas=(0.55, 0.7),
+    )
+    assert result.verdict, result.summary()
+    exhaustive_rows = [r for r in result.rows if r["phase"] == "exhaustive"]
+    assert all(r["equilibria"] == 0 for r in exhaustive_rows)

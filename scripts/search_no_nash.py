@@ -1,0 +1,175 @@
+"""Search for a 5-peer 2-D Euclidean instance with no pure Nash equilibrium.
+
+Theorem 5.1 witness hunt: sample 2-D placements of 5 peers (paper-like
+two-bottom/three-top cluster layouts plus fully random ones) and trade-off
+parameters alpha, filter by "best-response dynamics cycles from every
+start", then certify candidates by the exhaustive 2^20-profile sweep.
+
+Hits are appended to --out as JSON lines; progress goes to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.exhaustive import exhaustive_equilibria, profile_costs_batch
+
+N = 5
+BITS = N - 1
+NUM_STRATS = 1 << BITS
+FULL_MASK = (1 << (N * BITS)) - 1
+
+
+def peer_variants(profile_id: int, peer: int) -> np.ndarray:
+    """All 16 profile ids differing from profile_id only in peer's bits."""
+    shift = peer * BITS
+    cleared = profile_id & ~(((NUM_STRATS - 1)) << shift)
+    return cleared + (np.arange(NUM_STRATS, dtype=np.int64) << shift)
+
+
+def own_strategy(profile_id: int, peer: int) -> int:
+    return (profile_id >> (peer * BITS)) & (NUM_STRATS - 1)
+
+
+def run_dynamics(dmat: np.ndarray, alpha: float, start: int,
+                 order, max_rounds: int = 60) -> str:
+    """Round-based best-response dynamics on encoded profiles.
+
+    Returns "converged", "cycle", or "max_rounds".
+    """
+    profile_id = start
+    seen = {}
+    step = 0
+    for _ in range(max_rounds):
+        moved = False
+        for peer in order:
+            ids = peer_variants(profile_id, peer)
+            costs = profile_costs_batch(ids, dmat, alpha)[:, peer]
+            cur = own_strategy(profile_id, peer)
+            cur_cost = costs[cur]
+            best = int(np.argmin(costs))
+            tol = 1e-9 * max(1.0, abs(cur_cost)) if np.isfinite(cur_cost) else 0.0
+            if costs[best] < cur_cost - tol:
+                profile_id = int(ids[best])
+                moved = True
+                step += 1
+                state = (profile_id, peer)
+                if state in seen:
+                    return "cycle"
+                seen[state] = step
+        if not moved:
+            return "converged"
+    return "max_rounds"
+
+
+def all_starts_cycle(dmat: np.ndarray, alpha: float) -> bool:
+    rng = np.random.default_rng(0)
+    starts = [0, FULL_MASK] + [int(rng.integers(0, FULL_MASK + 1)) for _ in range(4)]
+    orders = [list(range(N)), list(range(N - 1, -1, -1))]
+    for start in starts:
+        for order in orders:
+            outcome = run_dynamics(dmat, alpha, start, order)
+            if outcome == "converged":
+                return False
+    return True
+
+
+def sample_config(rng: np.random.Generator):
+    """Sample (points, alpha). Mix of paper-like layouts and random."""
+    kind = rng.integers(0, 3)
+    if kind == 0:
+        # Paper-like: two bottom peers at distance 1, three top peers.
+        points = np.array([
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [rng.uniform(-1.0, 0.8), rng.uniform(0.6, 2.4)],
+            [rng.uniform(0.0, 1.8), rng.uniform(0.6, 2.4)],
+            [rng.uniform(0.8, 2.6), rng.uniform(0.6, 2.4)],
+        ])
+    elif kind == 1:
+        points = rng.uniform(0.0, 1.0, size=(N, 2)) * rng.uniform(1.0, 3.0)
+    else:
+        # Clustered: perturb a cross/ring pattern.
+        base = np.array([[0, 0], [1, 0], [0.1, 1.1], [0.9, 1.2], [1.9, 1.0]],
+                        dtype=float)
+        points = base + rng.normal(0.0, 0.35, size=(N, 2))
+    if FIXED_ALPHA is not None:
+        alpha = FIXED_ALPHA
+    elif rng.random() < 0.4:
+        alpha = 0.6
+    else:
+        alpha = float(np.exp(rng.uniform(np.log(0.08), np.log(4.0))))
+    return points, alpha
+
+
+FIXED_ALPHA = None
+
+
+def distance_matrix(points: np.ndarray) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff ** 2).sum(axis=2))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="/tmp/nonash_hits.jsonl")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--budget-seconds", type=float, default=2400.0)
+    parser.add_argument("--alpha", type=float, default=None,
+                        help="search at this fixed alpha only")
+    parser.add_argument("--max-hits", type=int, default=5)
+    args = parser.parse_args()
+
+    global FIXED_ALPHA
+    FIXED_ALPHA = args.alpha
+
+    rng = np.random.default_rng(args.seed)
+    t0 = time.time()
+    tried = 0
+    filtered = 0
+    hits = 0
+    while time.time() - t0 < args.budget_seconds:
+        points, alpha = sample_config(rng)
+        dmat = distance_matrix(points)
+        if np.min(dmat[dmat > 0]) < 1e-6:
+            continue
+        tried += 1
+        # Cheap filter: one round-robin run from empty must not converge.
+        if run_dynamics(dmat, alpha, 0, list(range(N))) == "converged":
+            continue
+        filtered += 1
+        if not all_starts_cycle(dmat, alpha):
+            continue
+        result = exhaustive_equilibria(dmat, alpha)
+        print(f"[{time.time()-t0:7.0f}s] candidate: alpha={alpha:.4f} "
+              f"NE count={result.num_equilibria}", file=sys.stderr, flush=True)
+        if not result.has_equilibrium:
+            hits += 1
+            record = {
+                "points": points.tolist(),
+                "alpha": alpha,
+                "num_profiles": result.num_profiles,
+                "num_equilibria": result.num_equilibria,
+                "opt_cost": result.best_social_cost,
+            }
+            with open(args.out, "a") as fh:
+                fh.write(json.dumps(record) + "\n")
+            print(f"*** HIT #{hits}: alpha={alpha:.4f} points={points.tolist()}",
+                  file=sys.stderr, flush=True)
+            if hits >= args.max_hits:
+                break
+        if tried % 200 == 0:
+            print(f"[{time.time()-t0:7.0f}s] tried={tried} "
+                  f"passed-filter={filtered} hits={hits}",
+                  file=sys.stderr, flush=True)
+    print(f"done: tried={tried} passed-filter={filtered} hits={hits}",
+          file=sys.stderr, flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — reproduction of "On the Topologies Formed by Selfish Peers".
+
+Moscibroda, Schmid, Wattenhofer (PODC 2006) study what happens to a P2P
+overlay when every peer selfishly balances lookup stretch against link
+maintenance cost.  This package implements their model end to end:
+
+* the topology game over arbitrary metric spaces (:mod:`repro.core`,
+  :mod:`repro.metrics`),
+* exact best responses, Nash verification, best-response dynamics with
+  cycle detection,
+* the paper's constructions — the Figure 1 Price-of-Anarchy lower bound
+  and the Figure 2/3 instance without any pure Nash equilibrium
+  (:mod:`repro.constructions`),
+* baselines, simulation tooling, and one runnable experiment per figure /
+  theorem of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import TopologyGame, BestResponseDynamics
+    from repro.metrics import EuclideanMetric
+
+    metric = EuclideanMetric.random_uniform(16, dim=2, seed=42)
+    game = TopologyGame(metric, alpha=4.0)
+    result = BestResponseDynamics(game).run()
+    print(result)                      # converged -> pure Nash equilibrium
+    print(game.social_cost(result.profile))
+"""
+
+from repro.core import (
+    BestResponseDynamics,
+    CostBreakdown,
+    DynamicsResult,
+    NashCertificate,
+    PoAEstimate,
+    StrategyProfile,
+    TopologyGame,
+    estimate_price_of_anarchy,
+    sample_equilibria,
+    verify_nash,
+)
+from repro.core.exhaustive import exhaustive_equilibria
+from repro.metrics import (
+    DistanceMatrixMetric,
+    EuclideanMetric,
+    LineMetric,
+    MetricSpace,
+    RingMetric,
+    UniformMetric,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TopologyGame",
+    "StrategyProfile",
+    "CostBreakdown",
+    "BestResponseDynamics",
+    "DynamicsResult",
+    "NashCertificate",
+    "verify_nash",
+    "PoAEstimate",
+    "estimate_price_of_anarchy",
+    "sample_equilibria",
+    "exhaustive_equilibria",
+    "MetricSpace",
+    "EuclideanMetric",
+    "LineMetric",
+    "RingMetric",
+    "DistanceMatrixMetric",
+    "UniformMetric",
+]

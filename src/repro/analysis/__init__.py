@@ -1,0 +1,44 @@
+"""Analysis: the paper's bounds, scaling fits, and table rendering."""
+
+from repro.analysis.bounds import (
+    BoundCheck,
+    check_equilibrium_bounds,
+    max_stretch_bound,
+    nash_cost_bound,
+    optimum_lower_bound,
+    poa_upper_bound,
+    theta_min_alpha_n,
+)
+from repro.analysis.reporting import full_report, summary_table
+from repro.analysis.stats import (
+    LogLogFit,
+    SeriesSummary,
+    fit_loglog,
+    ratio_spread,
+    summarize,
+)
+from repro.analysis.tables import (
+    format_value,
+    render_markdown_table,
+    render_table,
+)
+
+__all__ = [
+    "max_stretch_bound",
+    "nash_cost_bound",
+    "optimum_lower_bound",
+    "poa_upper_bound",
+    "theta_min_alpha_n",
+    "BoundCheck",
+    "check_equilibrium_bounds",
+    "LogLogFit",
+    "fit_loglog",
+    "SeriesSummary",
+    "summarize",
+    "ratio_spread",
+    "format_value",
+    "render_table",
+    "render_markdown_table",
+    "summary_table",
+    "full_report",
+]

@@ -1,0 +1,152 @@
+"""The paper's closed-form bounds, evaluated exactly.
+
+Every inequality the paper proves is exposed here as an executable check
+so experiments can assert them on concrete instances:
+
+* **Max-stretch bound** — in any Nash equilibrium no stretch exceeds
+  ``alpha + 1`` (Section 4.1: a direct link at cost ``alpha`` would
+  otherwise pay for itself).
+* **Nash social-cost bound** — ``C(NE) = O(alpha n^2)`` via at most
+  ``n(n-1)`` links and per-pair stretch at most ``alpha + 1``.
+* **Optimum lower bound** — ``C(OPT) >= alpha n + n(n-1)``
+  (``Omega(alpha n + n^2)``).
+* **Theorem 4.1** — ``PoA = O(min(alpha, n))``; :func:`poa_upper_bound`
+  evaluates the explicit constant-carrying form.
+* **Theorem 4.4 shape** — ``PoA = Theta(min(alpha, n))``;
+  :func:`theta_min_alpha_n` is the asymptotic shape experiments fit
+  measured series against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.anarchy import (
+    nash_equilibrium_cost_upper_bound,
+    price_of_anarchy_upper_bound,
+)
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.social_optimum import social_cost_lower_bound
+
+__all__ = [
+    "max_stretch_bound",
+    "nash_cost_bound",
+    "optimum_lower_bound",
+    "poa_upper_bound",
+    "theta_min_alpha_n",
+    "BoundCheck",
+    "check_equilibrium_bounds",
+]
+
+
+def max_stretch_bound(alpha: float) -> float:
+    """``alpha + 1``: the largest stretch any Nash equilibrium permits."""
+    return alpha + 1.0
+
+
+def nash_cost_bound(alpha: float, n: int) -> float:
+    """Largest possible social cost of a Nash equilibrium (Section 4.1)."""
+    return nash_equilibrium_cost_upper_bound(alpha, n)
+
+
+def optimum_lower_bound(alpha: float, n: int) -> float:
+    """``alpha n + n(n-1)``: the paper's ``Omega(alpha n + n^2)``."""
+    return social_cost_lower_bound(alpha, n)
+
+
+def poa_upper_bound(alpha: float, n: int) -> float:
+    """Theorem 4.1's ``O(min(alpha, n))``, with explicit constants."""
+    return price_of_anarchy_upper_bound(alpha, n)
+
+
+def theta_min_alpha_n(alpha: float, n: int) -> float:
+    """The asymptotic shape ``min(alpha, n)`` of Theorems 4.1/4.4.
+
+    Experiments fit measured Price-of-Anarchy series against this shape:
+    the ratio ``PoA / min(alpha, n)`` should stay within constant factors
+    across sweeps of either parameter.
+    """
+    if n <= 0:
+        return 0.0
+    return min(alpha, float(n))
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Result of checking one profile against the paper's bounds.
+
+    All fields are *measured* quantities next to their bound; ``holds``
+    aggregates the individual comparisons.
+    """
+
+    alpha: float
+    n: int
+    max_stretch: float
+    max_stretch_limit: float
+    social_cost: float
+    social_cost_limit: float
+    optimum_floor: float
+    holds: bool
+
+    def violations(self) -> List[str]:
+        """Human-readable list of violated bounds (empty when all hold)."""
+        issues = []
+        if self.max_stretch > self.max_stretch_limit * (1 + 1e-9):
+            issues.append(
+                f"max stretch {self.max_stretch:.6g} exceeds "
+                f"alpha+1 = {self.max_stretch_limit:.6g}"
+            )
+        if self.social_cost > self.social_cost_limit * (1 + 1e-9):
+            issues.append(
+                f"social cost {self.social_cost:.6g} exceeds the Nash "
+                f"bound {self.social_cost_limit:.6g}"
+            )
+        if self.social_cost < self.optimum_floor * (1 - 1e-9):
+            issues.append(
+                f"social cost {self.social_cost:.6g} under the optimum "
+                f"floor {self.optimum_floor:.6g} (impossible for a valid "
+                f"connected profile)"
+            )
+        return issues
+
+
+def check_equilibrium_bounds(
+    game: TopologyGame, profile: StrategyProfile
+) -> BoundCheck:
+    """Measure ``profile`` against every bound a Nash equilibrium obeys.
+
+    The caller asserts ``holds`` only for profiles known to be equilibria
+    (the bounds say nothing about arbitrary profiles); experiment E4 runs
+    this check on every equilibrium the dynamics finds.
+    """
+    n = game.n
+    stretches = game.stretches(profile)
+    if n > 1:
+        off_diag = stretches[~np.eye(n, dtype=bool)]
+        max_stretch = float(off_diag.max())
+    else:
+        max_stretch = 0.0
+    cost = game.social_cost(profile).total
+    limit_stretch = max_stretch_bound(game.alpha)
+    limit_cost = nash_cost_bound(game.alpha, n)
+    floor = optimum_lower_bound(game.alpha, n)
+    holds = (
+        max_stretch <= limit_stretch * (1 + 1e-9)
+        and cost <= limit_cost * (1 + 1e-9)
+        and cost >= floor * (1 - 1e-9)
+    )
+    return BoundCheck(
+        alpha=game.alpha,
+        n=n,
+        max_stretch=max_stretch,
+        max_stretch_limit=limit_stretch,
+        social_cost=cost,
+        social_cost_limit=limit_cost,
+        optimum_floor=floor,
+        holds=holds,
+    )

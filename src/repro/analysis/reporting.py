@@ -1,0 +1,68 @@
+"""Report generation: experiment results -> markdown summaries.
+
+``EXPERIMENTS.md`` is hand-curated prose, but its summary table and the
+per-experiment artifacts are regenerable: the benchmark harness persists
+every experiment table under ``benchmarks/results/`` and this module
+turns a batch of :class:`~repro.experiments.base.ExperimentResult`
+objects into the corresponding markdown — useful for CI jobs that want a
+fresh paper-vs-measured report on every run
+(``python -m repro run-all --json`` covers the machine-readable path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.tables import render_markdown_table
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["summary_table", "full_report"]
+
+
+def summary_table(results: Iterable[ExperimentResult]) -> str:
+    """The claim/verdict summary as a markdown table."""
+    rows = []
+    for result in results:
+        rows.append(
+            {
+                "id": result.experiment_id,
+                "title": result.title,
+                "paper claim": result.paper_claim,
+                "verdict": (
+                    "SUPPORTED" if result.verdict else "NOT SUPPORTED"
+                ),
+            }
+        )
+    return render_markdown_table(rows)
+
+
+def full_report(
+    results: Iterable[ExperimentResult],
+    heading: str = "Experiment report",
+) -> str:
+    """A complete markdown report: summary table + per-experiment detail."""
+    results = list(results)
+    supported = sum(1 for r in results if r.verdict)
+    lines: List[str] = [
+        f"# {heading}",
+        "",
+        f"**{supported} / {len(results)} experiments SUPPORTED.**",
+        "",
+        summary_table(results),
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        lines.append(f"*Paper claim:* {result.paper_claim}")
+        lines.append("")
+        verdict = "SUPPORTED" if result.verdict else "NOT SUPPORTED"
+        lines.append(f"*Verdict:* **{verdict}**")
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"* {note}")
+        if result.notes:
+            lines.append("")
+        lines.append(render_markdown_table(list(result.rows)))
+        lines.append("")
+    return "\n".join(lines)

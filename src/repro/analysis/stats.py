@@ -1,0 +1,119 @@
+"""Statistics helpers: scaling-law fits and series summaries.
+
+The paper's results are asymptotic (``Theta(alpha n^2)`` social cost,
+``Theta(min(alpha, n))`` Price of Anarchy); experiments validate them by
+fitting measured series in log-log space and reporting the growth
+exponents, rather than comparing absolute constants against the authors'
+(non-existent) testbed numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LogLogFit",
+    "fit_loglog",
+    "SeriesSummary",
+    "summarize",
+    "ratio_spread",
+]
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Least-squares fit of ``log(y) = slope * log(x) + intercept``.
+
+    ``slope`` estimates the growth exponent (2 for quadratic laws);
+    ``r_squared`` close to 1 means the power law explains the series.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return math.exp(self.intercept) * x ** self.slope
+
+
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> LogLogFit:
+    """Fit a power law through positive data points.
+
+    Raises ``ValueError`` on fewer than two points or non-positive data
+    (a power law cannot pass through zero or negative values).
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fit requires strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    total = float(((ly - ly.mean()) ** 2).sum())
+    residual = float(((ly - predicted) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LogLogFit(
+        slope=float(slope), intercept=float(intercept), r_squared=r_squared
+    )
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary of a numeric series."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a series (``inf`` values kept, nan dropped)."""
+    array = np.asarray(list(values), dtype=float)
+    array = array[~np.isnan(array)]
+    if array.size == 0:
+        nan = math.nan
+        return SeriesSummary(0, nan, nan, nan, nan, nan)
+    finite = array[np.isfinite(array)]
+    mean = float(array.mean()) if finite.size == array.size else math.inf
+    # method="lower" avoids interpolation arithmetic on inf entries
+    # (inf - inf would warn and yield nan).
+    p50 = float(np.percentile(array, 50, method="lower"))
+    p95 = float(np.percentile(array, 95, method="lower"))
+    return SeriesSummary(
+        count=int(array.size),
+        mean=mean,
+        minimum=float(array.min()),
+        p50=p50,
+        p95=p95,
+        maximum=float(array.max()),
+    )
+
+
+def ratio_spread(
+    measured: Sequence[float], reference: Sequence[float]
+) -> SeriesSummary:
+    """Summary of elementwise ``measured / reference`` ratios.
+
+    Used to test ``Theta(...)`` claims: if ``measured`` is
+    ``Theta(reference)`` the ratios stay within constant factors, i.e. the
+    summary's max/min ratio is bounded across the sweep.
+    """
+    m = np.asarray(list(measured), dtype=float)
+    r = np.asarray(list(reference), dtype=float)
+    if m.shape != r.shape:
+        raise ValueError("measured and reference must have equal length")
+    if (r == 0).any():
+        raise ValueError("reference series contains zeros")
+    return summarize(m / r)

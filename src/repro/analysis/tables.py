@@ -1,0 +1,97 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+Every experiment in :mod:`repro.experiments` returns rows of dicts; this
+module renders them as aligned monospace tables (the format printed by the
+benchmark harness and recorded in EXPERIMENTS.md).  No third-party
+dependency — the tables must render identically everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "render_markdown_table"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Human-friendly, width-stable formatting of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _normalize(
+    rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]]
+) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dicts as an aligned plain-text table."""
+    cols = _normalize(rows, columns)
+    if not cols:
+        return title or ""
+    cells = [
+        [format_value(row.get(col, ""), precision) for col in cols]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(row[k]) for row in cells)) if cells else len(col)
+        for k, col in enumerate(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[k]) for k, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[k] for k in range(len(cols))))
+    for row in cells:
+        lines.append(
+            "  ".join(row[k].rjust(widths[k]) for k in range(len(cols)))
+        )
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows of dicts as a GitHub-flavored markdown table."""
+    cols = _normalize(rows, columns)
+    if not cols:
+        return ""
+    lines = [
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(
+                format_value(row.get(col, ""), precision) for col in cols
+            )
+            + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Baselines the selfish topologies are compared against.
+
+* :mod:`~repro.baselines.fabrikant` — the historical comparator: the
+  Fabrikant et al. (PODC 2003) unilateral network-creation game with
+  hop-count distances and undirected edge usability.
+* :mod:`~repro.baselines.structured` — engineered overlay designs (chain,
+  star, Chord-style fingers, Tulip-style ``sqrt(n)`` clustering) priced
+  under the paper's ``alpha |E| + sum stretch`` cost model.
+"""
+
+from repro.baselines.fabrikant import (
+    FabrikantBestResponse,
+    FabrikantGame,
+    complete_profile,
+    path_profile,
+    star_profile,
+)
+from repro.baselines.structured import (
+    chain_profile,
+    nearest_neighbor_order,
+    ring_fingers_profile,
+    star_profile_metric,
+    structured_portfolio,
+    tulip_profile,
+)
+
+__all__ = [
+    "FabrikantGame",
+    "FabrikantBestResponse",
+    "star_profile",
+    "complete_profile",
+    "path_profile",
+    "nearest_neighbor_order",
+    "chain_profile",
+    "star_profile_metric",
+    "ring_fingers_profile",
+    "tulip_profile",
+    "structured_portfolio",
+]

@@ -1,0 +1,329 @@
+"""The Fabrikant et al. network-creation game (PODC 2003) as a baseline.
+
+The paper's Related Work credits Fabrikant, Luthra, Maneva, Papadimitriou
+and Shenker with the first game-theoretic study of network creation.  Their
+model differs from the P2P topology game in three ways that Section 3 of
+our paper calls out:
+
+* links are **undirected** in usability: the buyer pays ``alpha`` but both
+  endpoints (and everyone else) may route over the edge;
+* distances are **hop counts**, not metric latencies;
+* a player minimizes the *sum of distances* rather than the sum of
+  stretches (there is no underlying metric to normalize by).
+
+Implementing the historical comparator makes experiment E8's comparison
+concrete: the same peer population can be evaluated under both cost
+models, showing how the stretch/locality view changes equilibrium shape.
+
+The best-response problem has the same uncapacitated facility-location
+structure as the main game (a shortest path from ``i`` never revisits
+``i``), with one twist: edges bought *by others towards ``i``* are free
+first hops.  The exact responder below handles that by seeding the
+row-minimum with the free-neighbor option before the branch and bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.shortest_paths import multi_source_distances
+
+__all__ = [
+    "FabrikantGame",
+    "FabrikantBestResponse",
+    "star_profile",
+    "complete_profile",
+    "path_profile",
+]
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+def star_profile(n: int, center: int = 0) -> StrategyProfile:
+    """Every non-center player buys one edge to the center.
+
+    The classic cheap equilibrium of the Fabrikant game for ``alpha >= 1``.
+    """
+    if not 0 <= center < n:
+        raise IndexError(f"center {center} out of range [0, {n})")
+    return StrategyProfile(
+        [frozenset() if i == center else frozenset({center}) for i in range(n)]
+    )
+
+
+def complete_profile(n: int) -> StrategyProfile:
+    """Each unordered pair bought once (by the lower-index player)."""
+    return StrategyProfile(
+        [frozenset(range(i + 1, n)) for i in range(n)]
+    )
+
+
+def path_profile(n: int) -> StrategyProfile:
+    """Player ``i`` buys the edge to ``i+1`` (a path graph)."""
+    return StrategyProfile(
+        [frozenset({i + 1}) if i + 1 < n else frozenset() for i in range(n)]
+    )
+
+
+@dataclass(frozen=True)
+class FabrikantBestResponse:
+    """Result of a Fabrikant-game best response for one player."""
+
+    player: int
+    strategy: FrozenSet[int]
+    cost: float
+    current_cost: float
+    improved: bool
+
+    @property
+    def gain(self) -> float:
+        if not self.improved:
+            return 0.0
+        return self.current_cost - self.cost
+
+
+class FabrikantGame:
+    """The unilateral network-creation game on ``n`` players.
+
+    Parameters
+    ----------
+    n:
+        Number of players (nodes).
+    alpha:
+        Cost of buying one edge.
+
+    Notes
+    -----
+    A strategy profile is a :class:`~repro.core.profile.StrategyProfile`
+    where ``j in s_i`` means player ``i`` *bought* the undirected edge
+    ``{i, j}``.  The induced graph is undirected regardless of who paid.
+    """
+
+    def __init__(self, n: int, alpha: float) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self._n = n
+        self._alpha = float(alpha)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    # ------------------------------------------------------------------
+    def graph(self, profile: StrategyProfile) -> WeightedDigraph:
+        """The induced undirected graph (stored as a symmetric digraph)."""
+        self._check(profile)
+        graph = WeightedDigraph(self._n)
+        for i, j in profile.edges():
+            graph.add_edge(i, j, 1.0)
+            graph.add_edge(j, i, 1.0)
+        return graph
+
+    def hop_distances(self, profile: StrategyProfile) -> np.ndarray:
+        """All-pairs hop distances of the induced graph."""
+        return multi_source_distances(
+            self.graph(profile), list(range(self._n))
+        )
+
+    def individual_costs(self, profile: StrategyProfile) -> np.ndarray:
+        """``c_i = alpha * |bought_i| + sum_j hopdist(i, j)`` for all i."""
+        dist = self.hop_distances(profile)
+        bought = np.array([profile.out_degree(i) for i in range(self._n)])
+        return self._alpha * bought + dist.sum(axis=1)
+
+    def cost(self, profile: StrategyProfile, player: int) -> float:
+        """Individual cost of one player."""
+        return float(self.individual_costs(profile)[player])
+
+    def social_cost(self, profile: StrategyProfile) -> float:
+        """Sum of all players' costs."""
+        return float(self.individual_costs(profile).sum())
+
+    # ------------------------------------------------------------------
+    def best_response(
+        self, profile: StrategyProfile, player: int
+    ) -> FabrikantBestResponse:
+        """Exact best response of ``player`` (branch and bound).
+
+        Facility-location form: with ``H`` the graph of all *other*
+        players' purchases, ``d(i, j) = min(free_j, min_{u in S} 1 +
+        d_{H-i}(u, j))`` where ``free_j`` routes over edges others bought
+        towards ``i``.  Opening cost per bought edge is ``alpha``.
+        """
+        self._check(profile)
+        n = self._n
+        stripped = profile.with_strategy(player, frozenset())
+        graph = self.graph(stripped)
+        # Remove i's remaining out-edges (mirrors of others' purchases stay
+        # as free options handled below; out-of-i edges must not be used as
+        # intermediate hops of the service matrix).
+        free_neighbors = sorted(graph.successors(player).keys())
+        h = graph.copy_without_out_edges(player)
+        candidates = [u for u in range(n) if u != player]
+        dist_h = multi_source_distances(h, candidates)
+        weights = 1.0 + dist_h  # W[k, j] = 1 + d_H(candidates[k], j)
+        index_of = {u: k for k, u in enumerate(candidates)}
+        base = np.full(n, math.inf)
+        base[player] = 0.0
+        for v in free_neighbors:
+            base = np.minimum(base, weights[index_of[v]])
+
+        current = sorted(profile.strategy(player))
+        current_cost = self._strategy_cost(
+            weights, base, [index_of[u] for u in current], player
+        )
+        rows, cost = _facility_branch_and_bound(
+            weights, base, self._alpha, player
+        )
+        tolerance = _tol(current_cost)
+        if cost < current_cost - tolerance:
+            strategy = frozenset(candidates[r] for r in rows)
+            return FabrikantBestResponse(
+                player, strategy, cost, current_cost, True
+            )
+        return FabrikantBestResponse(
+            player, frozenset(current), current_cost, current_cost, False
+        )
+
+    def _strategy_cost(
+        self,
+        weights: np.ndarray,
+        base: np.ndarray,
+        rows: Sequence[int],
+        player: int,
+    ) -> float:
+        minima = base.copy()
+        for r in rows:
+            minima = np.minimum(minima, weights[r])
+        total = float(minima.sum())
+        return self._alpha * len(rows) + total
+
+    # ------------------------------------------------------------------
+    def verify_nash(
+        self, profile: StrategyProfile
+    ) -> Optional[FabrikantBestResponse]:
+        """None when ``profile`` is a Nash equilibrium, else a deviation."""
+        for player in range(self._n):
+            response = self.best_response(profile, player)
+            if response.improved:
+                return response
+        return None
+
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        """True when no player has an improving deviation (exact)."""
+        return self.verify_nash(profile) is None
+
+    def best_response_dynamics(
+        self,
+        initial: Optional[StrategyProfile] = None,
+        max_rounds: int = 100,
+    ) -> Tuple[StrategyProfile, bool, int]:
+        """Round-robin best-response dynamics.
+
+        Returns ``(final profile, converged, rounds used)``.  The
+        Fabrikant game is not a potential game either, but small instances
+        typically converge.
+        """
+        profile = initial if initial is not None else path_profile(self._n)
+        for round_index in range(max_rounds):
+            moved = False
+            for player in range(self._n):
+                response = self.best_response(profile, player)
+                if response.improved:
+                    profile = profile.with_strategy(player, response.strategy)
+                    moved = True
+            if not moved:
+                return profile, True, round_index
+        return profile, False, max_rounds
+
+    # ------------------------------------------------------------------
+    def _check(self, profile: StrategyProfile) -> None:
+        if profile.n != self._n:
+            raise ValueError(
+                f"profile has {profile.n} players, game has {self._n}"
+            )
+
+
+def _tol(reference: float) -> float:
+    if not math.isfinite(reference):
+        return 0.0
+    return _RELATIVE_TOLERANCE * max(1.0, abs(reference))
+
+
+def _facility_branch_and_bound(
+    weights: np.ndarray,
+    base: np.ndarray,
+    alpha: float,
+    player: int,
+) -> Tuple[List[int], float]:
+    """Minimize ``alpha |S| + sum_j min(base_j, min_{r in S} W[r, j])``.
+
+    Small exact solver shared by the Fabrikant responder: greedy warm
+    start, then DFS branch and bound with suffix-minimum lower bounds.
+    """
+    k, n = weights.shape
+
+    def full_cost(rows: List[int]) -> float:
+        minima = base.copy()
+        for r in rows:
+            minima = np.minimum(minima, weights[r])
+        return alpha * len(rows) + float(minima.sum())
+
+    # Greedy warm start.
+    chosen: List[int] = []
+    minima = base.copy()
+    best_cost = alpha * 0 + float(minima.sum())
+    while True:
+        best_row, best_val, best_minima = -1, best_cost, None
+        for r in range(k):
+            if r in chosen:
+                continue
+            cand = np.minimum(minima, weights[r])
+            val = alpha * (len(chosen) + 1) + float(cand.sum())
+            if val < best_val - 1e-15:
+                best_row, best_val, best_minima = r, val, cand
+        if best_row < 0:
+            break
+        chosen.append(best_row)
+        minima = best_minima
+        best_cost = best_val
+    incumbent_rows = list(chosen)
+    incumbent_cost = best_cost
+
+    order = sorted(range(k), key=lambda r: float(weights[r].sum()))
+    ordered = weights[order]
+    suffix = np.empty((k + 1, n))
+    suffix[k] = base
+    for idx in range(k - 1, -1, -1):
+        suffix[idx] = np.minimum(suffix[idx + 1], ordered[idx])
+
+    stack: List[Tuple[int, List[int], np.ndarray]] = [(0, [], base.copy())]
+    while stack:
+        idx, rows, mins = stack.pop()
+        open_cost = alpha * len(rows)
+        if idx >= k:
+            total = open_cost + float(mins.sum())
+            if total < incumbent_cost - _tol(incumbent_cost):
+                incumbent_cost = total
+                incumbent_rows = rows  # rows hold original indices
+            continue
+        bound = open_cost + float(np.minimum(mins, suffix[idx]).sum())
+        if bound >= incumbent_cost - _tol(incumbent_cost):
+            continue
+        stack.append((idx + 1, rows, mins))
+        stack.append(
+            (idx + 1, rows + [order[idx]], np.minimum(mins, ordered[idx]))
+        )
+    return list(incumbent_rows), incumbent_cost

@@ -1,0 +1,187 @@
+"""Structured overlay baselines: what collaboration buys.
+
+Section 3 of the paper contrasts selfishly formed topologies with
+*structured* systems where peers "are supposed to participate in a
+carefully predefined topology" — Pastry, Tapestry, LAND, and (footnote 2)
+the Tulip-style two-hop overlays with degree ``O(sqrt(n))`` and constant
+stretch.  This module builds such predefined topologies as strategy
+profiles over an arbitrary metric so experiment E8 can price selfishness
+against engineered structure under the *same* cost model::
+
+    C(G) = alpha |E| + sum stretch
+
+Available designs:
+
+* :func:`chain_profile` — bidirectional nearest-neighbor chain (the
+  optimal collaborative topology on a line, Theorem 4.4's baseline).
+* :func:`star_profile_metric` — bidirectional medoid star (2 hops, cheap).
+* :func:`ring_fingers_profile` — Chord-style ring with exponentially
+  spaced fingers (degree ``O(log n)``).
+* :func:`tulip_profile` — footnote 2's ``sqrt(n)``-clustered two-hop
+  design: full mesh inside each cluster plus one link into every other
+  cluster per peer's cluster (degree ``O(sqrt n)``, stretch bounded by a
+  constant when clusters respect locality).
+* :func:`structured_portfolio` — all of the above, keyed by name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.metrics.base import MetricSpace
+
+__all__ = [
+    "nearest_neighbor_order",
+    "chain_profile",
+    "star_profile_metric",
+    "ring_fingers_profile",
+    "tulip_profile",
+    "structured_portfolio",
+]
+
+
+def nearest_neighbor_order(metric: MetricSpace, start: int = 0) -> List[int]:
+    """Greedy nearest-neighbor traversal order of the points.
+
+    On a line metric this recovers the positional order (up to direction);
+    in general metrics it is the classic TSP-style heuristic ordering used
+    to thread a chain through the peer population.
+    """
+    dmat = metric.distance_matrix()
+    n = metric.n
+    if not 0 <= start < max(n, 1):
+        raise IndexError(f"start {start} out of range [0, {n})")
+    if n == 0:
+        return []
+    order = [start]
+    remaining = set(range(n)) - {start}
+    while remaining:
+        last = order[-1]
+        nxt = min(remaining, key=lambda j: (dmat[last, j], j))
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def chain_profile(metric: MetricSpace) -> StrategyProfile:
+    """Bidirectional chain along the nearest-neighbor order.
+
+    On a line this is the paper's optimal topology ``G~``: ``2(n-1)``
+    links, all stretches 1.
+    """
+    order = nearest_neighbor_order(metric)
+    strategies: List[set] = [set() for _ in range(metric.n)]
+    for a, b in zip(order, order[1:]):
+        strategies[a].add(b)
+        strategies[b].add(a)
+    return StrategyProfile(strategies)
+
+
+def star_profile_metric(metric: MetricSpace) -> StrategyProfile:
+    """Bidirectional star centered on the medoid (min total distance)."""
+    n = metric.n
+    if n <= 1:
+        return StrategyProfile.empty(n)
+    dmat = metric.distance_matrix()
+    center = int(np.argmin(dmat.sum(axis=1)))
+    strategies: List[set] = [set() for _ in range(n)]
+    for i in range(n):
+        if i != center:
+            strategies[i].add(center)
+            strategies[center].add(i)
+    return StrategyProfile(strategies)
+
+
+def ring_fingers_profile(
+    metric: MetricSpace, base: int = 2
+) -> StrategyProfile:
+    """Chord-style overlay: successor plus exponentially spaced fingers.
+
+    Peers are arranged on a virtual ring in nearest-neighbor order; each
+    peer links to its ring successor and to the peers ``base^t`` positions
+    ahead for ``t = 1, 2, ...`` (degree ``O(log n)``).
+    """
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    n = metric.n
+    order = nearest_neighbor_order(metric)
+    position_of = {peer: idx for idx, peer in enumerate(order)}
+    strategies: List[set] = [set() for _ in range(n)]
+    for peer in range(n):
+        idx = position_of[peer]
+        if n > 1:
+            strategies[peer].add(order[(idx + 1) % n])
+        jump = base
+        while jump < n:
+            strategies[peer].add(order[(idx + jump) % n])
+            jump *= base
+    for i in range(n):
+        strategies[i].discard(i)
+    return StrategyProfile(strategies)
+
+
+def _greedy_clusters(metric: MetricSpace, num_clusters: int) -> List[List[int]]:
+    """Proximity clustering: farthest-point seeds + nearest-seed assignment."""
+    n = metric.n
+    dmat = metric.distance_matrix()
+    seeds = [0]
+    while len(seeds) < num_clusters:
+        # Farthest-point traversal spreads the seeds across the space.
+        candidate = max(
+            range(n), key=lambda j: (min(dmat[j, s] for s in seeds), -j)
+        )
+        if candidate in seeds:
+            break
+        seeds.append(candidate)
+    clusters: List[List[int]] = [[] for _ in seeds]
+    for peer in range(n):
+        nearest = min(
+            range(len(seeds)), key=lambda s: (dmat[peer, seeds[s]], s)
+        )
+        clusters[nearest].append(peer)
+    return [c for c in clusters if c]
+
+
+def tulip_profile(metric: MetricSpace) -> StrategyProfile:
+    """Footnote 2's two-hop design: ``sqrt(n)`` locality clusters.
+
+    Every peer links to all peers of its own cluster and to one
+    representative (the first member) of every other cluster, giving
+    degree ``O(sqrt n)`` and two-hop routes whose stretch is bounded by a
+    constant when clusters are locality-aligned — the ``alpha =
+    Theta(sqrt n)`` sweet spot the footnote describes.
+    """
+    n = metric.n
+    if n <= 1:
+        return StrategyProfile.empty(n)
+    num_clusters = max(1, int(round(math.sqrt(n))))
+    clusters = _greedy_clusters(metric, num_clusters)
+    strategies: List[set] = [set() for _ in range(n)]
+    representatives = [cluster[0] for cluster in clusters]
+    for index, cluster in enumerate(clusters):
+        for peer in cluster:
+            for other in cluster:
+                if other != peer:
+                    strategies[peer].add(other)
+            for rep_index, rep in enumerate(representatives):
+                if rep_index != index:
+                    strategies[peer].add(rep)
+    for i in range(n):
+        strategies[i].discard(i)
+    return StrategyProfile(strategies)
+
+
+def structured_portfolio(
+    metric: MetricSpace,
+) -> Dict[str, StrategyProfile]:
+    """All structured baselines keyed by design name."""
+    return {
+        "chain": chain_profile(metric),
+        "star": star_profile_metric(metric),
+        "ring-fingers": ring_fingers_profile(metric),
+        "tulip-sqrt": tulip_profile(metric),
+    }

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's artifacts without writing code:
+
+* ``python -m repro list`` — the experiment registry (id, artifact,
+  bench target).
+* ``python -m repro run E5`` — run one experiment with default
+  parameters and print its table + verdict (optionally ``--json`` for
+  machine-readable output, ``--out FILE`` to persist).
+* ``python -m repro run-all`` — every registered experiment in sequence
+  (the full paper reproduction; several minutes).
+* ``python -m repro certify`` — just the Theorem 5.1 headline: sweep all
+  2^20 profiles of the witness and report the equilibrium count.
+* ``python -m repro demo`` — a 30-second guided tour (dynamics on a
+  random instance + the witness cycling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'On the Topologies Formed by Selfish Peers' "
+            "(Moscibroda, Schmid, Wattenhofer; PODC 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment (e.g. E5)")
+    run.add_argument("experiment_id", help="experiment id, E1..E11")
+    run.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    run.add_argument(
+        "--out", default=None, help="also write the output to this file"
+    )
+
+    run_all = sub.add_parser(
+        "run-all", help="run every experiment (full reproduction)"
+    )
+    run_all.add_argument("--json", action="store_true")
+
+    certify = sub.add_parser(
+        "certify", help="exhaustively certify the no-Nash witness"
+    )
+    certify.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="trade-off parameter (default: the canonical 0.6)",
+    )
+
+    sub.add_parser("demo", help="a 30-second guided tour")
+    return parser
+
+
+def _result_payload(result) -> dict:
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "verdict": "SUPPORTED" if result.verdict else "NOT SUPPORTED",
+        "notes": list(result.notes),
+        "rows": list(result.rows),
+        "params": result.params,
+    }
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _cmd_list() -> int:
+    from repro.analysis.tables import render_table
+    from repro.experiments import EXPERIMENTS
+
+    rows = [
+        {
+            "id": spec.experiment_id,
+            "paper artifact": spec.paper_artifact,
+            "title": spec.title,
+            "bench": spec.bench,
+        }
+        for spec in EXPERIMENTS.values()
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_run(experiment_id: str, as_json: bool, out: Optional[str]) -> int:
+    from repro.experiments import get_experiment
+
+    try:
+        spec = get_experiment(experiment_id)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = spec.run()
+    if as_json:
+        _emit(json.dumps(_result_payload(result), indent=2, default=str), out)
+    else:
+        _emit(result.table() + "\n\n" + result.summary(), out)
+    return 0 if result.verdict else 1
+
+
+def _cmd_run_all(as_json: bool) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    exit_code = 0
+    payloads = []
+    for spec in EXPERIMENTS.values():
+        result = spec.run()
+        if as_json:
+            payloads.append(_result_payload(result))
+        else:
+            print(result.table())
+            print()
+            print(result.summary())
+            print()
+        if not result.verdict:
+            exit_code = 1
+    if as_json:
+        print(json.dumps(payloads, indent=2, default=str))
+    return exit_code
+
+
+def _cmd_certify(alpha: Optional[float]) -> int:
+    from repro.constructions.no_nash import WITNESS_ALPHA, certify_no_nash
+
+    effective = WITNESS_ALPHA if alpha is None else alpha
+    result = certify_no_nash(alpha=effective)
+    print(
+        f"alpha={effective}: checked {result.num_profiles:,} strategy "
+        f"profiles, pure Nash equilibria found: {result.num_equilibria}"
+    )
+    if result.has_equilibrium:
+        print("=> equilibria exist at this alpha (witness window is "
+              "roughly [0.59, 0.66])")
+        return 1
+    print("=> no pure Nash equilibrium: Theorem 5.1, certified")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro import BestResponseDynamics, TopologyGame
+    from repro.constructions.no_nash import build_no_nash_instance
+    from repro.metrics.euclidean import EuclideanMetric
+
+    print("1. Selfish rewiring on a random instance (n=12, alpha=2):")
+    game = TopologyGame(
+        EuclideanMetric.random_uniform(12, dim=2, seed=1), alpha=2.0
+    )
+    result = BestResponseDynamics(game).run(max_rounds=100)
+    print(f"   {result}")
+    print(f"   social cost: {game.social_cost(result.profile)}")
+    print()
+    print("2. The paper's Theorem 5.1 witness (n=5, alpha=0.6):")
+    witness = build_no_nash_instance()
+    witness_run = BestResponseDynamics(witness).run(max_rounds=100)
+    print(f"   {witness_run}")
+    print()
+    print("   run `python -m repro certify` for the exhaustive 2^20 "
+          "certificate,")
+    print("   or  `python -m repro run E6` for the Figure 3 case table.")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment_id, args.json, args.out)
+        if args.command == "run-all":
+            return _cmd_run_all(args.json)
+        if args.command == "certify":
+            return _cmd_certify(args.alpha)
+        if args.command == "demo":
+            return _cmd_demo()
+    except BrokenPipeError:  # downstream pager closed (e.g. `| head`)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

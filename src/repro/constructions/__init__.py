@@ -1,0 +1,83 @@
+"""The paper's explicit constructions, rebuilt as executable artifacts.
+
+* :mod:`~repro.constructions.line_lower_bound` — Figure 1: the
+  exponential-line Nash equilibrium whose social cost is ``Θ(α n²)``
+  (the Theorem 4.4 Price-of-Anarchy lower bound).
+* :mod:`~repro.constructions.line_optimal` — the collaborative chain
+  baseline ``G~`` with cost ``O(α n + n²)``.
+* :mod:`~repro.constructions.no_nash` — Theorem 5.1: a 2-D Euclidean
+  witness with **no** pure Nash equilibrium, certified by exhausting all
+  ``2^20`` profiles, plus the ``I_k`` cluster-instance builder and the
+  search tool that found the witness.
+* :mod:`~repro.constructions.candidates` — Figure 3: the six equilibrium
+  candidates, their machine-checked improving deviations, and the realized
+  best-response cycle ``1 → 3 → 4 → 2 → 1``.
+"""
+
+from repro.constructions.candidates import (
+    CANDIDATE_TOP_LINKS,
+    PAPER_CYCLE,
+    CandidateDeviation,
+    CycleStep,
+    all_candidate_profiles,
+    candidate_profile,
+    classify_candidate,
+    deviation_table,
+    run_paper_cycle,
+)
+from repro.constructions.line_lower_bound import (
+    MIN_ALPHA,
+    LineLowerBoundInstance,
+    build_lower_bound_instance,
+    lower_bound_metric,
+    lower_bound_positions,
+    lower_bound_profile,
+)
+from repro.constructions.line_optimal import (
+    optimal_line_cost_formula,
+    optimal_line_profile,
+)
+from repro.constructions.no_nash import (
+    CERTIFIED_ALPHAS,
+    KNOWN_WITNESSES,
+    WITNESS_ALPHA,
+    WITNESS_POINTS,
+    ClusterInstance,
+    NoNashWitness,
+    build_cluster_instance,
+    build_no_nash_instance,
+    certify_no_nash,
+    search_no_nash_witness,
+    witness_metric,
+)
+
+__all__ = [
+    "MIN_ALPHA",
+    "LineLowerBoundInstance",
+    "build_lower_bound_instance",
+    "lower_bound_metric",
+    "lower_bound_positions",
+    "lower_bound_profile",
+    "optimal_line_profile",
+    "optimal_line_cost_formula",
+    "WITNESS_POINTS",
+    "WITNESS_ALPHA",
+    "CERTIFIED_ALPHAS",
+    "KNOWN_WITNESSES",
+    "witness_metric",
+    "build_no_nash_instance",
+    "certify_no_nash",
+    "ClusterInstance",
+    "build_cluster_instance",
+    "NoNashWitness",
+    "search_no_nash_witness",
+    "CANDIDATE_TOP_LINKS",
+    "PAPER_CYCLE",
+    "candidate_profile",
+    "all_candidate_profiles",
+    "classify_candidate",
+    "CandidateDeviation",
+    "deviation_table",
+    "CycleStep",
+    "run_paper_cycle",
+]

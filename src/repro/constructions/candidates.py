@@ -1,0 +1,261 @@
+"""Figure 3: the six equilibrium candidates and their improving deviations.
+
+Section 5 of the paper narrows all potential Nash equilibria of the
+Figure 2 instance down to six configurations, indexed by which top
+clusters the bottom clusters link to (Lemma 5.2: ``Π1`` always links to
+``Πa`` and optionally to one of ``Πb``/``Πc``; ``Π2`` links to exactly one
+of ``Πb``/``Πc``):
+
+====  ==============  =============
+case  Π1's top links  Π2's top link
+====  ==============  =============
+1     a               b
+2     a               c
+3     a, b            b
+4     a, b            c
+5     a, c            b
+6     a, c            c
+====  ==============  =============
+
+The paper then kills every candidate with a concrete improving deviation,
+which is how the infinite best-response loop ``1 → 3 → 4 → 2 → 1`` arises.
+This module rebuilds the candidates over the canonical witness of
+:mod:`repro.constructions.no_nash` and machine-checks the whole case
+analysis: :func:`deviation_table` computes the *exact* improving deviation
+in each case, and :func:`run_paper_cycle` realizes the four-state cycle.
+
+On the canonical witness the exact deviations match the paper's case
+analysis move for move (the test suite pins them):
+
+* case 1 — ``Π1`` adds the link to ``b``  (paper: "π1 can reduce its cost
+  by adding a link ℓ1b"),
+* case 2 — ``Π2`` switches ``c → b``,
+* case 3 — ``Π2`` switches ``b → c``,
+* case 4 — ``Π1`` drops the link to ``b``,
+* case 5 — ``Π1`` replaces its ``c`` link with a ``b`` link,
+* case 6 — ``Π1`` removes its ``c`` link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.best_response import BestResponseResult
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.constructions.no_nash import (
+    CLUSTER_A,
+    CLUSTER_B,
+    CLUSTER_C,
+    CLUSTER_NAMES,
+    PI1,
+    PI2,
+    build_no_nash_instance,
+)
+
+__all__ = [
+    "CANDIDATE_TOP_LINKS",
+    "TOP_STRATEGIES",
+    "PAPER_CYCLE",
+    "candidate_profile",
+    "all_candidate_profiles",
+    "classify_candidate",
+    "CandidateDeviation",
+    "deviation_table",
+    "CycleStep",
+    "run_paper_cycle",
+]
+
+#: Case number -> (Π1's top links, Π2's top link set).
+CANDIDATE_TOP_LINKS: Dict[int, Tuple[FrozenSet[int], FrozenSet[int]]] = {
+    1: (frozenset({CLUSTER_A}), frozenset({CLUSTER_B})),
+    2: (frozenset({CLUSTER_A}), frozenset({CLUSTER_C})),
+    3: (frozenset({CLUSTER_A, CLUSTER_B}), frozenset({CLUSTER_B})),
+    4: (frozenset({CLUSTER_A, CLUSTER_B}), frozenset({CLUSTER_C})),
+    5: (frozenset({CLUSTER_A, CLUSTER_C}), frozenset({CLUSTER_B})),
+    6: (frozenset({CLUSTER_A, CLUSTER_C}), frozenset({CLUSTER_C})),
+}
+
+#: The stable strategies of the top peers throughout the cycle: the top
+#: row forms the chain ``a ↔ b ↔ c`` and each top peer keeps one link
+#: down to a bottom peer (the structure Section 5's connectivity lemmas
+#: force).
+TOP_STRATEGIES: Dict[int, FrozenSet[int]] = {
+    CLUSTER_A: frozenset({PI1, CLUSTER_B}),
+    CLUSTER_B: frozenset({PI1, CLUSTER_A, CLUSTER_C}),
+    CLUSTER_C: frozenset({PI2, CLUSTER_B}),
+}
+
+#: The paper's infinite best-response loop over the candidate cases.
+PAPER_CYCLE = (1, 3, 4, 2)
+
+
+def candidate_profile(case: int) -> StrategyProfile:
+    """The strategy profile of Figure 3's candidate ``case`` (1-6)."""
+    if case not in CANDIDATE_TOP_LINKS:
+        raise ValueError(f"case must be 1..6, got {case}")
+    pi1_top, pi2_top = CANDIDATE_TOP_LINKS[case]
+    return StrategyProfile(
+        [
+            frozenset({PI2}) | pi1_top,
+            frozenset({PI1}) | pi2_top,
+            TOP_STRATEGIES[CLUSTER_A],
+            TOP_STRATEGIES[CLUSTER_B],
+            TOP_STRATEGIES[CLUSTER_C],
+        ]
+    )
+
+
+def all_candidate_profiles() -> Dict[int, StrategyProfile]:
+    """All six candidate profiles keyed by case number."""
+    return {case: candidate_profile(case) for case in range(1, 7)}
+
+
+def classify_candidate(profile: StrategyProfile) -> Optional[int]:
+    """Case number of ``profile`` if it is one of the six candidates."""
+    for case in range(1, 7):
+        if profile == candidate_profile(case):
+            return case
+    return None
+
+
+@dataclass(frozen=True)
+class CandidateDeviation:
+    """The machine-checked improving deviation killing one candidate.
+
+    Attributes
+    ----------
+    case:
+        Figure 3 case number (1-6).
+    deviator:
+        The peer with the largest-gain improving deviation.
+    deviator_name:
+        Its cluster name (``"Pi1"``, ``"Pi2"``, ``"a"``, ``"b"``, ``"c"``).
+    old_strategy / new_strategy:
+        The deviator's link sets before and after (sorted tuples).
+    old_cost / new_cost / gain:
+        The deviator's individual costs.
+    next_case:
+        Candidate reached when the deviation is applied, or None when the
+        resulting profile leaves the candidate family.
+    """
+
+    case: int
+    deviator: int
+    deviator_name: str
+    old_strategy: Tuple[int, ...]
+    new_strategy: Tuple[int, ...]
+    old_cost: float
+    new_cost: float
+    gain: float
+    next_case: Optional[int]
+
+
+def _best_deviation(
+    game: TopologyGame, profile: StrategyProfile
+) -> Tuple[int, BestResponseResult]:
+    """The (peer, response) pair with the largest improvement."""
+    best: Optional[Tuple[int, BestResponseResult]] = None
+    for peer in range(game.n):
+        response = game.best_response(profile, peer)
+        if response.improved and (best is None or response.gain > best[1].gain):
+            best = (peer, response)
+    if best is None:
+        raise RuntimeError(
+            "candidate admits no improving deviation — it is a Nash "
+            "equilibrium, contradicting the no-Nash certificate"
+        )
+    return best
+
+
+def deviation_table(
+    game: Optional[TopologyGame] = None,
+) -> List[CandidateDeviation]:
+    """Machine-checked version of the paper's six-case analysis.
+
+    For every Figure 3 candidate, compute the exact largest-gain improving
+    deviation (cases are guaranteed to have one by the exhaustive no-Nash
+    certificate) and report where it leads.
+    """
+    if game is None:
+        game = build_no_nash_instance()
+    rows: List[CandidateDeviation] = []
+    for case in range(1, 7):
+        profile = candidate_profile(case)
+        peer, response = _best_deviation(game, profile)
+        successor = profile.with_strategy(peer, response.strategy)
+        rows.append(
+            CandidateDeviation(
+                case=case,
+                deviator=peer,
+                deviator_name=CLUSTER_NAMES[peer],
+                old_strategy=tuple(sorted(profile.strategy(peer))),
+                new_strategy=tuple(sorted(response.strategy)),
+                old_cost=response.current_cost,
+                new_cost=response.cost,
+                gain=response.gain,
+                next_case=classify_candidate(successor),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class CycleStep:
+    """One hop of the realized best-response cycle."""
+
+    case: int
+    deviator: int
+    deviator_name: str
+    gain: float
+    next_case: int
+
+
+def run_paper_cycle(
+    game: Optional[TopologyGame] = None,
+    start_case: int = 1,
+    max_steps: int = 32,
+) -> List[CycleStep]:
+    """Follow largest-gain deviations until the candidate cycle closes.
+
+    Starting from a Figure 3 candidate, repeatedly apply the largest-gain
+    improving deviation; on the canonical witness the trajectory stays in
+    the candidate family and closes the paper's loop ``1 → 3 → 4 → 2 → 1``.
+    Returns the steps of one full period (the list ends back at the
+    starting case).  Raises ``RuntimeError`` if the trajectory leaves the
+    candidate family or fails to close within ``max_steps``.
+    """
+    if game is None:
+        game = build_no_nash_instance()
+    steps: List[CycleStep] = []
+    case = start_case
+    visited = {case}
+    for _ in range(max_steps):
+        profile = candidate_profile(case)
+        peer, response = _best_deviation(game, profile)
+        successor = profile.with_strategy(peer, response.strategy)
+        next_case = classify_candidate(successor)
+        if next_case is None:
+            raise RuntimeError(
+                f"deviation from case {case} left the candidate family"
+            )
+        steps.append(
+            CycleStep(
+                case=case,
+                deviator=peer,
+                deviator_name=CLUSTER_NAMES[peer],
+                gain=response.gain,
+                next_case=next_case,
+            )
+        )
+        case = next_case
+        if case == start_case:
+            return steps
+        if case in visited and case != start_case:
+            raise RuntimeError(
+                f"trajectory entered a sub-cycle not containing the start "
+                f"case: {[s.case for s in steps]}"
+            )
+        visited.add(case)
+    raise RuntimeError(f"cycle did not close within {max_steps} steps")

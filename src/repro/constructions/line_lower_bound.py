@@ -1,0 +1,131 @@
+"""The paper's Figure 1: a Nash equilibrium with social cost Theta(alpha n^2).
+
+Peers sit on the 1-D Euclidean line with exponentially growing spacing:
+peer ``i`` (1-indexed as in the paper) is at position ``alpha^(i-1) / 2``
+when ``i`` is odd and at ``alpha^(i-1)`` when ``i`` is even.  Every peer
+links to its nearest left neighbor; odd peers additionally link to the
+second-nearest peer on their right.
+
+Lemma 4.2 proves this profile is a pure Nash equilibrium for
+``alpha >= 3.4``; Lemma 4.3 computes its social cost ``Theta(alpha n^2)``;
+together with the optimal line topology (``O(alpha n + n^2)``, see
+:mod:`repro.constructions.line_optimal`) this realizes the
+``Theta(min(alpha, n))`` Price-of-Anarchy lower bound of Theorem 4.4 —
+already in the simplest possible metric space.
+
+In this module peers are 0-indexed: peer ``k`` corresponds to the paper's
+peer ``i = k + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.line import LineMetric
+
+__all__ = [
+    "MIN_ALPHA",
+    "lower_bound_positions",
+    "lower_bound_metric",
+    "lower_bound_profile",
+    "LineLowerBoundInstance",
+    "build_lower_bound_instance",
+]
+
+#: Threshold above which Lemma 4.2 guarantees the profile is a Nash
+#: equilibrium.
+MIN_ALPHA = 3.4
+
+
+def lower_bound_positions(n: int, alpha: float) -> np.ndarray:
+    """Positions of the ``n`` peers on the line (0-indexed).
+
+    The paper's peer ``i`` (1-indexed) sits at ``alpha^(i-1)/2`` for odd
+    ``i`` and ``alpha^(i-1)`` for even ``i``; positions grow exponentially
+    to the right, so ``n`` is limited by float range for large ``alpha``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if alpha <= 1.0:
+        raise ValueError(
+            f"the construction needs alpha > 1 for increasing positions, "
+            f"got {alpha}"
+        )
+    paper_index = np.arange(1, n + 1)
+    powers = np.power(float(alpha), paper_index - 1)
+    odd = paper_index % 2 == 1
+    return np.where(odd, powers / 2.0, powers)
+
+
+def lower_bound_metric(n: int, alpha: float) -> LineMetric:
+    """The 1-D metric space of Figure 1."""
+    return LineMetric(lower_bound_positions(n, alpha))
+
+
+def lower_bound_profile(n: int) -> StrategyProfile:
+    """The link strategy of Figure 1 (0-indexed peers).
+
+    Peer ``k > 0`` links to ``k - 1`` (nearest neighbor on the left).
+    Peers that are *odd in the paper's 1-indexing* (even ``k``) also link
+    to ``k + 2`` (second-nearest on their right): the odd peers form a
+    rightward chain and every even peer hangs off it via the left-links.
+
+    Boundary: the paper draws an unbounded segment, where the rightmost
+    paper-odd peer always has a second-nearest right neighbor.  For even
+    ``n`` the last paper-odd peer's ``k + 2`` does not exist and the final
+    even peer would be unreachable, so that one peer links to ``k + 1``
+    instead (its nearest right neighbor).  For odd ``n`` the profile is
+    exactly the paper's.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    strategies: List[set] = [set() for _ in range(n)]
+    for k in range(1, n):
+        strategies[k].add(k - 1)
+    for k in range(0, n, 2):  # paper-odd peers
+        if k + 2 < n:
+            strategies[k].add(k + 2)
+        elif k + 1 < n:
+            strategies[k].add(k + 1)
+    return StrategyProfile(strategies)
+
+
+@dataclass(frozen=True)
+class LineLowerBoundInstance:
+    """A fully assembled Figure 1 instance.
+
+    Attributes
+    ----------
+    game:
+        The topology game on the exponential line.
+    profile:
+        The equilibrium candidate profile of Figure 1.
+    """
+
+    game: TopologyGame
+    profile: StrategyProfile
+
+    @property
+    def n(self) -> int:
+        return self.game.n
+
+    @property
+    def alpha(self) -> float:
+        return self.game.alpha
+
+
+def build_lower_bound_instance(n: int, alpha: float) -> LineLowerBoundInstance:
+    """Build the Figure 1 game and profile for given ``n`` and ``alpha``.
+
+    ``alpha`` below :data:`MIN_ALPHA` is allowed (experiment E7 probes the
+    threshold where the Nash property breaks) but the Lemma 4.2 guarantee
+    only applies from 3.4 upwards.
+    """
+    metric = lower_bound_metric(n, alpha)
+    game = TopologyGame(metric, alpha)
+    return LineLowerBoundInstance(game=game, profile=lower_bound_profile(n))

@@ -1,0 +1,42 @@
+"""The collaborative baseline on the line: the paper's topology G~.
+
+If every peer connects to its nearest neighbors on both sides, the overlay
+is a bidirectional chain with ``2(n-1)`` links and stretch exactly 1 for
+every pair (on a line, the chain path *is* the direct segment), so::
+
+    C(G~) = alpha * 2(n-1) + n(n-1)  in  O(alpha n + n^2)
+
+This upper-bounds the optimal social cost and is the denominator of the
+Theorem 4.4 Price-of-Anarchy lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.metrics.line import LineMetric
+
+__all__ = ["optimal_line_profile", "optimal_line_cost_formula"]
+
+
+def optimal_line_profile(metric: LineMetric) -> StrategyProfile:
+    """Bidirectional chain over the sorted positions of a line metric."""
+    order = metric.sorted_order()
+    n = metric.n
+    strategies = [set() for _ in range(n)]
+    for a, b in zip(order, order[1:]):
+        strategies[int(a)].add(int(b))
+        strategies[int(b)].add(int(a))
+    return StrategyProfile(strategies)
+
+
+def optimal_line_cost_formula(alpha: float, n: int) -> float:
+    """Closed form ``alpha * 2(n-1) + n(n-1)`` of the chain's social cost.
+
+    All stretches are exactly 1 on a line (consecutive hops add up to the
+    direct distance), so the stretch part is the number of ordered pairs.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return alpha * 2.0 * (n - 1) + float(n) * (n - 1)

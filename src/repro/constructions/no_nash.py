@@ -1,0 +1,365 @@
+"""Theorem 5.1: a 2-D Euclidean instance with **no** pure Nash equilibrium.
+
+The paper's Figure 2 instance ``I_k`` groups ``n`` peers into five clusters
+(bottom clusters ``Π1, Π2``, top clusters ``Πa, Πb, Πc``) of ``k`` peers
+each and sets ``α = 0.6 k``; its Section 5 lemmas narrow all equilibrium
+candidates down to the six configurations of Figure 3 and then exhibit an
+improving deviation in each, so best-response dynamics loops
+``1 → 3 → 4 → 2 → 1`` forever.
+
+The exact 2-D coordinates of Figure 2 are not recoverable from the paper's
+text (the figure only labels a subset of the distances), so this module
+ships a coordinate set **reconstructed by numerical search** (see
+:func:`search_no_nash_witness`, the tool that found it) with the same
+anatomy — two bottom peers at distance 1, three top peers, ``α = 0.6`` —
+and a *stronger* certificate than the paper's hand proof:
+
+* :func:`certify_no_nash` sweeps **all** ``2^20`` strategy profiles of the
+  witness and confirms that not a single one is a pure Nash equilibrium
+  (:mod:`repro.core.exhaustive`).
+* The six Figure 3 candidate configurations, rebuilt on the witness in
+  :mod:`repro.constructions.candidates`, admit exactly the improving
+  deviations the paper describes, and best-response dynamics realizes the
+  paper's four-state cycle ``1 → 3 → 4 → 2``.
+
+For the cluster-level anatomy experiments the module also builds ``I_k``
+style instances with ``k`` peers per cluster
+(:func:`build_cluster_instance`); those are used qualitatively (dynamics,
+structure) since exhaustive certification is only feasible at ``k = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exhaustive import (
+    MAX_EXHAUSTIVE_PEERS,
+    ExhaustiveResult,
+    encoded_best_response_dynamics,
+    exhaustive_equilibria,
+)
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+
+__all__ = [
+    "WITNESS_POINTS",
+    "WITNESS_ALPHA",
+    "CERTIFIED_ALPHAS",
+    "KNOWN_WITNESSES",
+    "PI1",
+    "PI2",
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "CLUSTER_C",
+    "CLUSTER_NAMES",
+    "witness_metric",
+    "build_no_nash_instance",
+    "certify_no_nash",
+    "ClusterInstance",
+    "build_cluster_instance",
+    "NoNashWitness",
+    "search_no_nash_witness",
+]
+
+#: Peer indices of the witness, named after the paper's five clusters.
+PI1, PI2, CLUSTER_A, CLUSTER_B, CLUSTER_C = range(5)
+
+#: Human-readable cluster names indexed by peer id.
+CLUSTER_NAMES = ("Pi1", "Pi2", "a", "b", "c")
+
+#: The canonical witness coordinates (one peer per cluster): ``Π1`` and
+#: ``Π2`` on the bottom at distance 1, the three top clusters above —
+#: the anatomy of the paper's Figure 2 with ``k = 1``.
+WITNESS_POINTS = np.array(
+    [
+        [0.00, 0.00],   # Pi1
+        [1.00, 0.00],   # Pi2
+        [-0.83, 1.77],  # a
+        [0.31, 2.07],   # b
+        [1.96, 2.20],   # c
+    ]
+)
+
+#: The paper's trade-off parameter for ``k = 1`` clusters: ``α = 0.6 k``.
+WITNESS_ALPHA = 0.6
+
+#: Values of ``alpha`` at which the witness is certified to have no pure
+#: Nash equilibrium (each re-checked by the exhaustive sweep in the test
+#: suite).  Outside roughly ``[0.59, 0.66]`` equilibria reappear.
+CERTIFIED_ALPHAS = (0.60, 0.62, 0.65)
+
+#: Additional certified witnesses at other magnitudes of ``alpha``
+#: (Theorem 5.1: "regardless of the magnitude of alpha") found by
+#: :func:`search_no_nash_witness` and re-verified exhaustively by the test
+#: suite.  Maps ``alpha`` to 5x2 coordinate lists.
+KNOWN_WITNESSES = {
+    0.15: (
+        (0.765, 0.233),
+        (0.695, 1.759),
+        (0.851, 1.780),
+        (0.535, 0.289),
+        (1.067, 0.085),
+    ),
+    0.30: (
+        (1.742, 0.526),
+        (1.587, 0.309),
+        (0.418, 1.512),
+        (0.829, 1.732),
+        (1.686, 1.530),
+    ),
+    0.60: tuple(tuple(row) for row in WITNESS_POINTS.tolist()),
+    1.20: (
+        (0.0, 0.0),
+        (1.0, 0.0),
+        (0.453, 1.032),
+        (1.736, 0.986),
+        (1.023, 2.092),
+    ),
+}
+
+
+def witness_metric() -> EuclideanMetric:
+    """The 2-D Euclidean metric of the canonical no-Nash witness."""
+    return EuclideanMetric(WITNESS_POINTS.copy())
+
+
+def build_no_nash_instance(alpha: float = WITNESS_ALPHA) -> TopologyGame:
+    """The canonical Theorem 5.1 witness game.
+
+    With the default ``alpha`` (and every value in
+    :data:`CERTIFIED_ALPHAS`) this game has **no** pure Nash equilibrium;
+    :func:`certify_no_nash` proves it by exhaustion.
+    """
+    return TopologyGame(witness_metric(), alpha)
+
+
+def certify_no_nash(
+    game: Optional[TopologyGame] = None, alpha: Optional[float] = None
+) -> ExhaustiveResult:
+    """Exhaustively certify the (non-)existence of pure Nash equilibria.
+
+    Sweeps all ``2^(n(n-1))`` profiles of ``game`` (default: the canonical
+    witness at ``alpha``).  For the canonical witness the result has
+    ``has_equilibrium == False`` — the machine-checked statement of
+    Theorem 5.1.
+    """
+    if game is None:
+        game = build_no_nash_instance(
+            WITNESS_ALPHA if alpha is None else alpha
+        )
+    elif alpha is not None:
+        game = game.with_alpha(alpha)
+    return exhaustive_equilibria(game.distance_matrix, game.alpha)
+
+
+# ----------------------------------------------------------------------
+# Cluster-level instances (the I_k anatomy)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterInstance:
+    """An ``I_k``-style five-cluster instance.
+
+    Attributes
+    ----------
+    game:
+        The topology game (``alpha = 0.6 k`` unless overridden).
+    clusters:
+        Five tuples of peer indices, ordered ``(Π1, Π2, Πa, Πb, Πc)``.
+    k:
+        Peers per cluster (``n = 5k``).
+    epsilon:
+        Cluster diameter (the paper requires it tiny: ``ε/n``).
+    """
+
+    game: TopologyGame
+    clusters: Tuple[Tuple[int, ...], ...]
+    k: int
+    epsilon: float
+
+    @property
+    def n(self) -> int:
+        return self.game.n
+
+    def cluster_of(self, peer: int) -> int:
+        """Index (0-4) of the cluster containing ``peer``."""
+        for index, members in enumerate(self.clusters):
+            if peer in members:
+                return index
+        raise ValueError(f"peer {peer} not in any cluster")
+
+    def cluster_name_of(self, peer: int) -> str:
+        """Paper-style name of the peer's cluster."""
+        return CLUSTER_NAMES[self.cluster_of(peer)]
+
+
+def build_cluster_instance(
+    k: int,
+    epsilon: float = 0.01,
+    alpha: Optional[float] = None,
+    centers: Optional[np.ndarray] = None,
+) -> ClusterInstance:
+    """Build a five-cluster instance with ``k`` peers per cluster.
+
+    Each cluster places its ``k`` peers equidistantly on a short horizontal
+    segment of length ``epsilon`` centered on the cluster center (the
+    paper: "within a cluster, peers are located equidistantly on a line,
+    and each cluster's diameter is ``ε/n``").  ``alpha`` defaults to the
+    paper's ``0.6 k``.
+
+    Note that only the ``k = 1`` instance at the canonical centers is
+    exhaustively certified to lack equilibria; larger ``k`` instances are
+    used for qualitative cluster-anatomy experiments.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    if centers is None:
+        centers = WITNESS_POINTS
+    centers = np.asarray(centers, dtype=float)
+    if centers.shape != (5, 2):
+        raise ValueError(
+            f"centers must have shape (5, 2), got {centers.shape}"
+        )
+    points: List[List[float]] = []
+    clusters: List[Tuple[int, ...]] = []
+    for cx, cy in centers:
+        members = []
+        for slot in range(k):
+            if k == 1:
+                offset = 0.0
+            else:
+                offset = (slot / (k - 1) - 0.5) * epsilon
+            members.append(len(points))
+            points.append([cx + offset, cy])
+        clusters.append(tuple(members))
+    metric = EuclideanMetric(np.array(points))
+    game = TopologyGame(metric, 0.6 * k if alpha is None else alpha)
+    return ClusterInstance(
+        game=game, clusters=tuple(clusters), k=k, epsilon=epsilon
+    )
+
+
+# ----------------------------------------------------------------------
+# Witness search (the tool that found WITNESS_POINTS)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NoNashWitness:
+    """A certified instance without any pure Nash equilibrium.
+
+    ``result`` is the exhaustive sweep proving ``num_equilibria == 0``.
+    """
+
+    points: np.ndarray
+    alpha: float
+    result: ExhaustiveResult
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff ** 2).sum(axis=2))
+
+
+def _sample_layout(rng: np.random.Generator) -> np.ndarray:
+    """Sample a 5-point 2-D layout (paper-like or random)."""
+    kind = int(rng.integers(0, 3))
+    if kind == 0:
+        return np.array(
+            [
+                [0.0, 0.0],
+                [1.0, 0.0],
+                [rng.uniform(-1.0, 0.8), rng.uniform(0.6, 2.4)],
+                [rng.uniform(0.0, 1.8), rng.uniform(0.6, 2.4)],
+                [rng.uniform(0.8, 2.6), rng.uniform(0.6, 2.4)],
+            ]
+        )
+    if kind == 1:
+        return rng.uniform(0.0, 1.0, size=(5, 2)) * rng.uniform(1.0, 3.0)
+    base = np.array(
+        [[0, 0], [1, 0], [0.1, 1.1], [0.9, 1.2], [1.9, 1.0]], dtype=float
+    )
+    return base + rng.normal(0.0, 0.35, size=(5, 2))
+
+
+def search_no_nash_witness(
+    alpha: Optional[float] = None,
+    max_configs: int = 20_000,
+    max_hits: int = 1,
+    seed: Optional[int] = None,
+    filter_starts: int = 4,
+) -> List[NoNashWitness]:
+    """Search for 5-peer 2-D Euclidean instances without pure equilibria.
+
+    This is the (deterministic, seeded) tool that found
+    :data:`WITNESS_POINTS`.  It samples layouts, filters out any
+    configuration where exact best-response dynamics converges from some
+    start (a convergent run certifies an equilibrium exists), and runs the
+    full exhaustive sweep on the survivors.
+
+    Parameters
+    ----------
+    alpha:
+        Fixed trade-off parameter, or None to sample it per configuration
+        (log-uniform over ``[0.08, 4]`` mixed with the paper's 0.6).
+    max_configs:
+        Sampling budget.
+    max_hits:
+        Stop after this many certified witnesses.
+    seed:
+        RNG seed (the search is deterministic given a seed).
+    filter_starts:
+        Number of random starting profiles (plus empty and complete) that
+        must all cycle before paying for the exhaustive sweep.
+
+    Returns
+    -------
+    The certified witnesses found (possibly fewer than ``max_hits``).
+    """
+    rng = np.random.default_rng(seed)
+    full_mask = (1 << 20) - 1
+    witnesses: List[NoNashWitness] = []
+    for _ in range(max_configs):
+        points = _sample_layout(rng)
+        dmat = _pairwise_distances(points)
+        positive = dmat[dmat > 0]
+        if positive.size == 0 or positive.min() < 1e-6:
+            continue
+        if alpha is None:
+            if rng.random() < 0.4:
+                config_alpha = 0.6
+            else:
+                config_alpha = float(
+                    np.exp(rng.uniform(np.log(0.08), np.log(4.0)))
+                )
+        else:
+            config_alpha = alpha
+        # Cheap filter: one run from empty must not converge.
+        first = encoded_best_response_dynamics(dmat, config_alpha, 0)
+        if first.converged:
+            continue
+        starts = [0, full_mask] + [
+            int(rng.integers(0, full_mask + 1)) for _ in range(filter_starts)
+        ]
+        orders: List[Sequence[int]] = [list(range(5)), list(range(4, -1, -1))]
+        if any(
+            encoded_best_response_dynamics(
+                dmat, config_alpha, start, order
+            ).converged
+            for start in starts
+            for order in orders
+        ):
+            continue
+        result = exhaustive_equilibria(dmat, config_alpha)
+        if not result.has_equilibrium:
+            witnesses.append(
+                NoNashWitness(
+                    points=points, alpha=config_alpha, result=result
+                )
+            )
+            if len(witnesses) >= max_hits:
+                break
+    return witnesses

@@ -1,0 +1,181 @@
+"""Price of Anarchy estimation.
+
+``PoA = C(worst Nash equilibrium) / C(OPT)``.  Both numerator and
+denominator are intractable exactly, so the estimator reports a *certified
+bracket*:
+
+* ``lower``: (cost of the worst equilibrium we exhibited) / (an upper bound
+  on OPT achieved by a concrete topology) — every factor of this ratio is a
+  witnessed object, so the true PoA is at least this value.
+* ``upper``: the paper's structural bound evaluated exactly — in any Nash
+  equilibrium no stretch exceeds ``alpha + 1`` and there are at most
+  ``n(n-1)`` links, so ``C(NE) <= alpha n(n-1) + (alpha+1) n(n-1)``; divided
+  by the OPT lower bound ``alpha n + n(n-1)`` this is the explicit
+  ``O(min(alpha, n))`` bound of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dynamics import BestResponseDynamics, RandomScheduler
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.social_optimum import (
+    OptimumEstimate,
+    optimum_upper_bound,
+    social_cost_lower_bound,
+)
+
+__all__ = [
+    "nash_equilibrium_cost_upper_bound",
+    "price_of_anarchy_upper_bound",
+    "PoAEstimate",
+    "estimate_price_of_anarchy",
+    "sample_equilibria",
+]
+
+
+def nash_equilibrium_cost_upper_bound(alpha: float, n: int) -> float:
+    """Largest social cost any Nash equilibrium can have (Theorem 4.1).
+
+    In a Nash equilibrium every stretch is at most ``alpha + 1`` (otherwise
+    a direct link, costing ``alpha``, would pay for itself) and there are
+    at most ``n(n-1)`` directed links.
+    """
+    if n <= 1:
+        return 0.0
+    pairs = n * (n - 1)
+    return alpha * pairs + (alpha + 1.0) * pairs
+
+
+def price_of_anarchy_upper_bound(alpha: float, n: int) -> float:
+    """Theorem 4.1's ``O(min(alpha, n))`` bound, evaluated exactly."""
+    if n <= 1:
+        return 1.0
+    return nash_equilibrium_cost_upper_bound(alpha, n) / social_cost_lower_bound(
+        alpha, n
+    )
+
+
+@dataclass(frozen=True)
+class PoAEstimate:
+    """A certified bracket on the Price of Anarchy of one game instance.
+
+    Attributes
+    ----------
+    lower:
+        Witnessed: worst exhibited equilibrium cost over an achieved OPT
+        upper bound.
+    upper:
+        Structural Theorem 4.1 bound for this ``(alpha, n)``.
+    worst_equilibrium_cost / worst_equilibrium:
+        The numerator's witness.
+    optimum:
+        The denominator's bracket.
+    num_equilibria:
+        How many (distinct) equilibria the numerator was maximized over.
+    """
+
+    lower: float
+    upper: float
+    worst_equilibrium_cost: float
+    worst_equilibrium: Optional[StrategyProfile]
+    optimum: OptimumEstimate
+    num_equilibria: int
+
+    def __str__(self) -> str:
+        return (
+            f"PoA in [{self.lower:.4g}, {self.upper:.4g}] "
+            f"(worst of {self.num_equilibria} equilibria: "
+            f"{self.worst_equilibrium_cost:.6g}; "
+            f"OPT <= {self.optimum.upper:.6g})"
+        )
+
+
+def sample_equilibria(
+    game: TopologyGame,
+    num_samples: int = 5,
+    seed: Optional[int] = None,
+    method: str = "exact",
+    max_rounds: int = 200,
+    initial_profiles: Optional[Sequence[StrategyProfile]] = None,
+) -> List[StrategyProfile]:
+    """Sample equilibria by best-response dynamics from varied starts.
+
+    Different starting profiles and activation orders reach different
+    equilibria, which is how the worst-equilibrium numerator of the PoA is
+    explored in practice.  Runs that cycle or hit the round limit
+    contribute nothing.  With ``method="exact"`` every returned profile is
+    a certified pure Nash equilibrium.
+    """
+    starts: List[StrategyProfile] = list(initial_profiles or [])
+    while len(starts) < num_samples:
+        index = len(starts)
+        if index == 0:
+            starts.append(game.empty_profile())
+        elif index == 1 and game.n <= 64:
+            starts.append(game.complete_profile())
+        else:
+            starts.append(
+                game.random_profile(
+                    min(0.5, 4.0 / max(1, game.n)),
+                    seed=None if seed is None else seed + index,
+                )
+            )
+    equilibria: List[StrategyProfile] = []
+    seen = set()
+    for index, start in enumerate(starts[:num_samples]):
+        scheduler = RandomScheduler(
+            None if seed is None else seed * 7919 + index
+        )
+        dynamics = BestResponseDynamics(
+            game, method=method, scheduler=scheduler, record_moves=False
+        )
+        result = dynamics.run(initial=start, max_rounds=max_rounds)
+        if result.converged and result.profile.key() not in seen:
+            seen.add(result.profile.key())
+            equilibria.append(result.profile)
+    return equilibria
+
+
+def estimate_price_of_anarchy(
+    game: TopologyGame,
+    equilibria: Optional[Iterable[StrategyProfile]] = None,
+    num_samples: int = 5,
+    seed: Optional[int] = None,
+    method: str = "exact",
+) -> PoAEstimate:
+    """Bracket the Price of Anarchy of ``game``.
+
+    When ``equilibria`` is not supplied they are sampled via
+    :func:`sample_equilibria`.  Supplying known worst-case equilibria (for
+    example the paper's Figure 1 construction) tightens the lower end.
+    """
+    if equilibria is None:
+        equilibria = sample_equilibria(
+            game, num_samples=num_samples, seed=seed, method=method
+        )
+    equilibria = list(equilibria)
+    optimum = optimum_upper_bound(game)
+    worst_cost = -math.inf
+    worst_profile: Optional[StrategyProfile] = None
+    for profile in equilibria:
+        cost = game.social_cost(profile).total
+        if cost > worst_cost:
+            worst_cost, worst_profile = cost, profile
+    if worst_profile is None:
+        worst_cost = math.nan
+        lower = math.nan
+    else:
+        lower = worst_cost / optimum.upper
+    return PoAEstimate(
+        lower=lower,
+        upper=price_of_anarchy_upper_bound(game.alpha, game.n),
+        worst_equilibrium_cost=worst_cost,
+        worst_equilibrium=worst_profile,
+        optimum=optimum,
+        num_equilibria=len(equilibria),
+    )

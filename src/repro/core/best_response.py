@@ -1,0 +1,462 @@
+"""Best-response computation for the selfish topology game.
+
+A shortest path from peer ``i`` never revisits ``i`` (weights are
+non-negative), so with ``H = G[s]`` minus ``i``'s out-edges::
+
+    d_G(i, j) = min_{u in s_i} ( d(i, u) + d_H(u, j) )
+
+The best response of ``i`` therefore minimizes, over candidate link sets
+``S``::
+
+    f(S) = alpha * |S| + sum_{j != i} min_{u in S} W[u, j]
+
+where ``W[u, j] = (d(i, u) + d_H(u, j)) / d(i, j)`` is the *normalized
+service cost* of reaching ``j`` through first hop ``u``.  This is an
+uncapacitated facility-location problem with uniform opening cost ``alpha``
+(NP-hard in general — consistent with the literature on network-creation
+games), which we solve:
+
+* exactly, by branch and bound with greedy warm start, candidate dominance
+  elimination and suffix-minimum lower bounds (``method="exact"``);
+* exactly, by brute-force subset enumeration (``method="brute"``, tiny
+  instances; used to validate the branch and bound);
+* approximately, by greedy addition followed by drop/swap local search
+  (``method="greedy"``, scales to large ``n``).
+
+The same machinery answers the cheaper question "does *any* improving
+deviation exist?" (:func:`find_improving_deviation`), which is what Nash
+verification needs: the branch and bound starts with the peer's current
+cost as incumbent and exits on the first strictly better solution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.core.topology import overlay_from_matrix
+from repro.graphs.shortest_paths import multi_source_distances
+
+__all__ = [
+    "BestResponseResult",
+    "ServiceCosts",
+    "compute_service_costs",
+    "strategy_cost",
+    "best_response",
+    "find_improving_deviation",
+    "RELATIVE_TOLERANCE",
+]
+
+#: Relative tolerance below which cost differences are treated as ties
+#: (a deviation must beat the current cost by more than this to count).
+RELATIVE_TOLERANCE = 1e-9
+
+_METHODS = ("exact", "brute", "greedy")
+
+
+@dataclass(frozen=True)
+class BestResponseResult:
+    """Outcome of a best-response computation for one peer.
+
+    Attributes
+    ----------
+    peer:
+        The responding peer.
+    strategy:
+        The (new) out-neighbor set found.
+    cost:
+        Individual cost of the peer under ``strategy``.
+    current_cost:
+        Individual cost of the peer under its current strategy.
+    improved:
+        True when ``cost`` beats ``current_cost`` beyond tolerance.
+    method:
+        Which solver produced the result.
+    """
+
+    peer: int
+    strategy: FrozenSet[int]
+    cost: float
+    current_cost: float
+    improved: bool
+    method: str
+
+    @property
+    def gain(self) -> float:
+        """Cost reduction achieved by switching (0 when not improved)."""
+        if not self.improved:
+            return 0.0
+        return self.current_cost - self.cost
+
+
+@dataclass(frozen=True)
+class ServiceCosts:
+    """Normalized service-cost matrix of a responding peer.
+
+    ``weights[k, j]`` is the stretch peer ``peer`` would suffer to target
+    ``j`` if its *only* useful link were ``candidates[k]``.  Column ``peer``
+    is identically 0 so that row minima can be summed directly.
+    """
+
+    peer: int
+    candidates: Tuple[int, ...]
+    weights: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def num_peers(self) -> int:
+        return int(self.weights.shape[1]) if self.weights.size else 1
+
+
+def compute_service_costs(
+    distance_matrix: np.ndarray,
+    profile: StrategyProfile,
+    peer: int,
+    backend: str = "auto",
+) -> ServiceCosts:
+    """Build the normalized service-cost matrix ``W`` for ``peer``.
+
+    One multi-source Dijkstra over ``H`` (the overlay without ``peer``'s
+    out-edges) prices every candidate first hop against every target.
+    """
+    n = profile.n
+    if not 0 <= peer < n:
+        raise IndexError(f"peer {peer} out of range [0, {n})")
+    candidates = tuple(j for j in range(n) if j != peer)
+    if not candidates:
+        return ServiceCosts(peer, (), np.zeros((0, 1)))
+    overlay = overlay_from_matrix(distance_matrix, profile)
+    stripped = overlay.copy_without_out_edges(peer)
+    dist_h = multi_source_distances(stripped, list(candidates), backend=backend)
+    direct = distance_matrix[peer]
+    service = direct[list(candidates)][:, None] + dist_h
+    with np.errstate(divide="ignore", invalid="ignore"):
+        weights = service / direct[None, :]
+    zero_direct = direct == 0
+    zero_direct[peer] = False
+    if zero_direct.any():
+        cols = np.nonzero(zero_direct)[0]
+        for col in cols:
+            weights[:, col] = np.where(service[:, col] == 0.0, 1.0, math.inf)
+    weights[:, peer] = 0.0
+    return ServiceCosts(peer, candidates, weights)
+
+
+def strategy_cost(
+    service: ServiceCosts, strategy: Sequence[int], alpha: float
+) -> float:
+    """Individual cost of playing ``strategy`` given precomputed ``W``."""
+    k = len(strategy)
+    if service.num_peers == 1:
+        return alpha * k
+    if k == 0:
+        return math.inf
+    index_of = {c: idx for idx, c in enumerate(service.candidates)}
+    rows = [index_of[s] for s in strategy]
+    return alpha * k + float(service.weights[rows].min(axis=0).sum())
+
+
+# ----------------------------------------------------------------------
+# Greedy + local search
+# ----------------------------------------------------------------------
+def _greedy_with_local_search(
+    service: ServiceCosts, alpha: float
+) -> Tuple[List[int], float]:
+    """Greedy addition then drop/swap local search.
+
+    Returns the chosen candidate *row indices* and the achieved cost.
+    Uses an (infinite-target-count, finite-cost) lexicographic key so the
+    greedy phase makes progress even while some targets are unreachable.
+    """
+    weights = service.weights
+    k, n = weights.shape
+    chosen: List[int] = []
+    minima = np.full(n, math.inf)
+    minima[service.peer] = 0.0
+
+    def cost_key(num_links: int, m: np.ndarray) -> Tuple[int, float]:
+        finite = m[np.isfinite(m)]
+        return (int(np.isinf(m).sum()), alpha * num_links + float(finite.sum()))
+
+    current_key = cost_key(0, minima)
+    # Greedy addition.
+    while True:
+        best_row, best_key, best_minima = -1, current_key, None
+        for row in range(k):
+            if row in chosen:
+                continue
+            candidate_minima = np.minimum(minima, weights[row])
+            key = cost_key(len(chosen) + 1, candidate_minima)
+            if key < best_key:
+                best_row, best_key, best_minima = row, key, candidate_minima
+        if best_row < 0:
+            break
+        chosen.append(best_row)
+        minima = best_minima
+        current_key = best_key
+    # Local search: drops and swaps until fixpoint.
+    improved = True
+    while improved and chosen:
+        improved = False
+        for row in list(chosen):
+            rest = [r for r in chosen if r != row]
+            rest_minima = _minima_of(weights, rest, service.peer)
+            key = cost_key(len(rest), rest_minima)
+            if key < current_key:
+                chosen, minima, current_key = rest, rest_minima, key
+                improved = True
+                break
+            for other in range(k):
+                if other in chosen:
+                    continue
+                swapped = rest + [other]
+                swap_minima = np.minimum(rest_minima, weights[other])
+                key = cost_key(len(swapped), swap_minima)
+                if key < current_key:
+                    chosen, minima, current_key = swapped, swap_minima, key
+                    improved = True
+                    break
+            if improved:
+                break
+    num_inf, cost = current_key
+    return chosen, (math.inf if num_inf else cost)
+
+
+def _minima_of(weights: np.ndarray, rows: Sequence[int], peer: int) -> np.ndarray:
+    if not rows:
+        minima = np.full(weights.shape[1], math.inf)
+        minima[peer] = 0.0
+        return minima
+    return weights[list(rows)].min(axis=0)
+
+
+# ----------------------------------------------------------------------
+# Exact: branch and bound
+# ----------------------------------------------------------------------
+def _dominance_filter(weights: np.ndarray) -> List[int]:
+    """Indices of candidate rows that are not (weakly) dominated.
+
+    Row ``u`` is dominated by ``v`` when ``W[v, j] <= W[u, j]`` for every
+    target ``j``; dominated candidates never appear in some optimal
+    solution, so they can be dropped (ties keep the lower index).
+    """
+    k = weights.shape[0]
+    keep = []
+    for u in range(k):
+        dominated = False
+        for v in range(k):
+            if v == u:
+                continue
+            le = weights[v] <= weights[u]
+            if le.all() and (v < u or (weights[v] < weights[u]).any()):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(u)
+    return keep
+
+
+def _branch_and_bound(
+    service: ServiceCosts,
+    alpha: float,
+    incumbent_cost: float,
+    incumbent_rows: Optional[List[int]],
+    first_improvement: bool,
+) -> Tuple[Optional[List[int]], float]:
+    """Exact minimization of ``f(S)`` by DFS branch and bound.
+
+    ``incumbent_cost``/``incumbent_rows`` seed the search; when
+    ``first_improvement`` is set the search exits on the first complete
+    solution strictly below the seed cost (Nash-verification mode).
+    Returns ``(rows, cost)`` of the best solution found (rows is None when
+    nothing beat the seed).
+    """
+    weights = service.weights
+    n = weights.shape[1]
+    rows_kept = _dominance_filter(weights)
+    if not rows_kept:
+        return None, incumbent_cost
+    # Order candidates by the cost they achieve alone (ascending) so that
+    # the inclusion-first DFS finds strong incumbents early.
+    solo = [
+        (float(np.where(np.isinf(weights[r]), 1e300, weights[r]).sum()), r)
+        for r in rows_kept
+    ]
+    solo.sort()
+    order = [r for _, r in solo]
+    ordered = weights[order]
+    k = len(order)
+    # suffix_min[idx] = columnwise min over ordered rows idx..k-1.
+    suffix_min = np.full((k + 1, n), math.inf)
+    suffix_min[k, service.peer] = 0.0
+    for idx in range(k - 1, -1, -1):
+        suffix_min[idx] = np.minimum(suffix_min[idx + 1], ordered[idx])
+
+    best_cost = incumbent_cost
+    best_rows: Optional[List[int]] = list(incumbent_rows) if incumbent_rows else None
+    found_new = False
+    start_minima = np.full(n, math.inf)
+    start_minima[service.peer] = 0.0
+    # Iterative DFS; each frame is (idx, chosen, minima).
+    stack: List[Tuple[int, List[int], np.ndarray]] = [(0, [], start_minima)]
+    while stack:
+        idx, chosen, minima = stack.pop()
+        open_cost = alpha * len(chosen)
+        if idx >= k:
+            total = open_cost + float(minima.sum())
+            if total < best_cost - _tolerance(best_cost):
+                best_cost, best_rows, found_new = total, chosen, True
+                if first_improvement:
+                    break
+            continue
+        bound = open_cost + float(np.minimum(minima, suffix_min[idx]).sum())
+        if bound >= best_cost - _tolerance(best_cost):
+            continue
+        # Exclusion branch pushed first so the inclusion branch (better
+        # incumbents) is explored first by the LIFO stack.
+        stack.append((idx + 1, chosen, minima))
+        stack.append(
+            (
+                idx + 1,
+                chosen + [order[idx]],
+                np.minimum(minima, ordered[idx]),
+            )
+        )
+    if not found_new:
+        return None, incumbent_cost
+    return best_rows, best_cost
+
+
+def _tolerance(reference: float) -> float:
+    if not math.isfinite(reference):
+        return 0.0
+    return RELATIVE_TOLERANCE * max(1.0, abs(reference))
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def best_response(
+    distance_matrix: np.ndarray,
+    profile: StrategyProfile,
+    peer: int,
+    alpha: float,
+    method: str = "exact",
+    backend: str = "auto",
+) -> BestResponseResult:
+    """Compute a (best or heuristic) response for ``peer``.
+
+    ``method="exact"`` and ``"brute"`` return a true best response;
+    ``"greedy"`` returns a locally optimal one.  ``improved`` is set only
+    when the returned strategy strictly beats the current one (beyond
+    tolerance), in which case the returned strategy differs from the
+    current one; otherwise the current strategy is echoed back
+    (tie-breaking favors the status quo, so dynamics cannot churn on
+    cost-neutral moves).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    service = compute_service_costs(distance_matrix, profile, peer, backend)
+    current = sorted(profile.strategy(peer))
+    current_cost = strategy_cost(service, current, alpha)
+
+    if service.num_candidates == 0:
+        return BestResponseResult(
+            peer, frozenset(), 0.0, current_cost, False, method
+        )
+
+    if method == "brute":
+        rows, cost = _brute_force(service, alpha)
+    elif method == "greedy":
+        rows, cost = _greedy_with_local_search(service, alpha)
+    else:
+        greedy_rows, greedy_cost = _greedy_with_local_search(service, alpha)
+        seed_rows, seed_cost = (
+            (greedy_rows, greedy_cost)
+            if greedy_cost < current_cost
+            else (_rows_of(service, current), current_cost)
+        )
+        bb_rows, bb_cost = _branch_and_bound(
+            service, alpha, seed_cost, seed_rows, first_improvement=False
+        )
+        rows, cost = (bb_rows, bb_cost) if bb_rows is not None else (seed_rows, seed_cost)
+
+    improved = cost < current_cost - _tolerance(current_cost)
+    if not improved:
+        return BestResponseResult(
+            peer, frozenset(current), current_cost, current_cost, False, method
+        )
+    strategy = frozenset(service.candidates[r] for r in rows)
+    return BestResponseResult(peer, strategy, cost, current_cost, True, method)
+
+
+def find_improving_deviation(
+    distance_matrix: np.ndarray,
+    profile: StrategyProfile,
+    peer: int,
+    alpha: float,
+    backend: str = "auto",
+) -> Optional[BestResponseResult]:
+    """Return *some* strictly improving deviation for ``peer``, or None.
+
+    Exact existence check: the branch and bound runs with the peer's
+    current cost as incumbent and stops at the first improvement, which is
+    typically far cheaper than a full best response.  ``None`` certifies
+    that no improving deviation exists (the peer is playing a best
+    response).
+    """
+    service = compute_service_costs(distance_matrix, profile, peer, backend)
+    current = sorted(profile.strategy(peer))
+    current_cost = strategy_cost(service, current, alpha)
+    if service.num_candidates == 0:
+        return None
+    # A cheap greedy pass often finds a deviation without the exact search.
+    greedy_rows, greedy_cost = _greedy_with_local_search(service, alpha)
+    if greedy_cost < current_cost - _tolerance(current_cost):
+        strategy = frozenset(service.candidates[r] for r in greedy_rows)
+        return BestResponseResult(
+            peer, strategy, greedy_cost, current_cost, True, "greedy"
+        )
+    rows, cost = _branch_and_bound(
+        service, alpha, current_cost, None, first_improvement=True
+    )
+    if rows is None:
+        return None
+    strategy = frozenset(service.candidates[r] for r in rows)
+    return BestResponseResult(peer, strategy, cost, current_cost, True, "exact")
+
+
+def _brute_force(
+    service: ServiceCosts, alpha: float
+) -> Tuple[List[int], float]:
+    """Enumerate every subset of candidates (validation baseline)."""
+    k = service.num_candidates
+    if k > 20:
+        raise ValueError(
+            f"brute-force best response over {k} candidates is infeasible; "
+            f"use method='exact'"
+        )
+    best_rows: List[int] = []
+    best_cost = math.inf
+    for size in range(0, k + 1):
+        for combo in itertools.combinations(range(k), size):
+            rows = list(combo)
+            minima = _minima_of(service.weights, rows, service.peer)
+            cost = alpha * len(rows) + float(minima.sum())
+            if cost < best_cost:
+                best_cost = cost
+                best_rows = rows
+    return best_rows, best_cost
+
+
+def _rows_of(service: ServiceCosts, strategy: Sequence[int]) -> List[int]:
+    index_of = {c: idx for idx, c in enumerate(service.candidates)}
+    return [index_of[s] for s in strategy]

@@ -1,0 +1,224 @@
+"""Better-response dynamics: minimal-effort selfish rewiring.
+
+Best-response dynamics assume peers solve an NP-hard facility-location
+problem at every activation.  Real peers are lazier: a *better response*
+is any strategy change that strictly lowers the peer's cost.  This module
+implements the canonical restricted deviation set — single-link **flips**
+(add one link, drop one link, or swap one link for another) — giving a
+``O(n^2)``-work-per-activation dynamic that models incremental rewiring.
+
+Relationship to the paper's results, pinned by the test suite:
+
+* Fixpoints of flip dynamics are only *flip-stable*, a weaker notion than
+  Nash (a profile can be flip-stable while a multi-link rewire would
+  still pay off); every Nash equilibrium is flip-stable.
+* On the Theorem 5.1 witness even these lazy dynamics fail to stabilize:
+  the instability does not depend on peers optimizing exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.dynamics import CycleInfo, RoundRobinScheduler
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "flip_candidates",
+    "find_improving_flip",
+    "is_flip_stable",
+    "BetterResponseResult",
+    "BetterResponseDynamics",
+]
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+def flip_candidates(
+    profile: StrategyProfile, peer: int
+) -> Iterator[StrategyProfile]:
+    """All profiles reachable by one link flip of ``peer``.
+
+    Yields drops (one link removed), adds (one link added), and swaps
+    (one link replaced by another) — ``O(n^2)`` candidates.
+    """
+    current = profile.strategy(peer)
+    others = [j for j in range(profile.n) if j != peer]
+    for j in current:
+        yield profile.with_strategy(peer, current - {j})
+    for j in others:
+        if j not in current:
+            yield profile.with_strategy(peer, current | {j})
+    for old in current:
+        for new in others:
+            if new not in current:
+                yield profile.with_strategy(
+                    peer, (current - {old}) | {new}
+                )
+
+
+def _peer_cost_key(
+    game: TopologyGame, profile: StrategyProfile, peer: int
+) -> Tuple[int, float]:
+    """Lexicographic cost key ``(unreachable targets, finite cost part)``.
+
+    Ordinary float comparison is useless through the infinite-cost regime
+    (``inf < inf`` is false, so a flip that connects one more peer would
+    never look improving from a disconnected start); the key makes
+    "reach more peers" dominate any finite saving.
+    """
+    from repro.graphs.shortest_paths import single_source_distances
+
+    overlay = game.overlay(profile)
+    dist = single_source_distances(overlay, peer)
+    dmat = game.distance_matrix
+    unreachable = 0
+    finite = game.alpha * profile.out_degree(peer)
+    for j in range(game.n):
+        if j == peer:
+            continue
+        if dist[j] == float("inf"):
+            unreachable += 1
+        else:
+            direct = dmat[peer, j]
+            finite += (dist[j] / direct) if direct > 0 else 1.0
+    return unreachable, finite
+
+
+def find_improving_flip(
+    game: TopologyGame, profile: StrategyProfile, peer: int
+) -> Optional[Tuple[StrategyProfile, float]]:
+    """The best single-link flip of ``peer``, or None when none improves.
+
+    Returns ``(new profile, gain)`` for the largest-gain flip; when the
+    flip newly connects previously unreachable targets the reported gain
+    is ``inf`` (see :func:`_peer_cost_key` for the ordering).
+    """
+    current_key = _peer_cost_key(game, profile, peer)
+    tolerance = _RELATIVE_TOLERANCE * max(1.0, abs(current_key[1]))
+    best: Optional[Tuple[StrategyProfile, float]] = None
+    best_key: Optional[Tuple[int, float]] = None
+    for candidate in flip_candidates(profile, peer):
+        key = _peer_cost_key(game, candidate, peer)
+        if key[0] > current_key[0]:
+            continue
+        if key[0] == current_key[0] and key[1] >= current_key[1] - tolerance:
+            continue
+        if best_key is None or key < best_key:
+            gain = (
+                float("inf")
+                if key[0] < current_key[0]
+                else current_key[1] - key[1]
+            )
+            best, best_key = (candidate, gain), key
+    return best
+
+
+def is_flip_stable(game: TopologyGame, profile: StrategyProfile) -> bool:
+    """True when no peer has an improving single-link flip.
+
+    Weaker than Nash: multi-link rewires are not considered.  Every Nash
+    equilibrium is flip-stable but not vice versa.
+    """
+    return all(
+        find_improving_flip(game, profile, peer) is None
+        for peer in range(game.n)
+    )
+
+
+@dataclass(frozen=True)
+class BetterResponseResult:
+    """Outcome of a better-response (flip) dynamics run."""
+
+    profile: StrategyProfile
+    stopped_reason: str  # "flip_stable", "cycle", or "max_rounds"
+    rounds_completed: int
+    num_moves: int
+    cycle: Optional[CycleInfo]
+
+    @property
+    def flip_stable(self) -> bool:
+        return self.stopped_reason == "flip_stable"
+
+
+class BetterResponseDynamics:
+    """Round-based single-link-flip dynamics.
+
+    Peers are activated by ``scheduler`` (default round robin); an
+    activated peer applies its largest-gain improving flip, if any.
+    Stops at a flip-stable profile, on a detected state cycle
+    (deterministic schedulers), or at the round limit.
+    """
+
+    def __init__(self, game: TopologyGame, scheduler=None) -> None:
+        self._game = game
+        self._scheduler = (
+            scheduler if scheduler is not None else RoundRobinScheduler()
+        )
+
+    def run(
+        self,
+        initial: Optional[StrategyProfile] = None,
+        max_rounds: int = 300,
+        detect_cycles: bool = True,
+    ) -> BetterResponseResult:
+        """Run flip dynamics from ``initial`` (default: empty profile)."""
+        game = self._game
+        profile = (
+            initial if initial is not None else game.empty_profile()
+        )
+        if profile.n != game.n:
+            raise ValueError(
+                f"initial profile has {profile.n} peers, game has {game.n}"
+            )
+        detect = detect_cycles and getattr(
+            self._scheduler, "deterministic", False
+        )
+        seen: Dict[tuple, int] = {}
+        trail: List[Tuple[tuple, int]] = []
+        moves = 0
+        cycle: Optional[CycleInfo] = None
+        stopped_reason = "max_rounds"
+        rounds = 0
+        for round_index in range(max_rounds):
+            moved = False
+            for peer in self._scheduler.order(round_index, game.n):
+                flip = find_improving_flip(game, profile, peer)
+                if flip is None:
+                    continue
+                profile = flip[0]
+                moves += 1
+                moved = True
+                if detect:
+                    state = (profile.key(), peer)
+                    if state in seen:
+                        first = seen[state]
+                        cycle = CycleInfo(
+                            first_step=first,
+                            period=moves - first,
+                            profiles=tuple(
+                                key
+                                for key, marker in trail
+                                if marker >= first
+                            ),
+                        )
+                        stopped_reason = "cycle"
+                        break
+                    seen[state] = moves
+                    trail.append((profile.key(), moves))
+            else:
+                rounds += 1
+                if not moved:
+                    stopped_reason = "flip_stable"
+                    break
+                continue
+            break
+        return BetterResponseResult(
+            profile=profile,
+            stopped_reason=stopped_reason,
+            rounds_completed=rounds,
+            num_moves=moves,
+            cycle=cycle,
+        )

@@ -1,0 +1,115 @@
+"""The cost model of the selfish topology game.
+
+Individual cost of peer ``i`` under profile ``s`` (paper, Section 2)::
+
+    c_i(s) = alpha * |s_i| + sum_{j != i} stretch_{G[s]}(i, j)
+
+where ``stretch_G(i, j) = d_G(i, j) / d(i, j)``.  The social cost is the sum
+over all peers, equivalently ``alpha * |E| + sum_{i != j} stretch(i, j)``,
+and splits into the link cost ``C_E`` and the stretch cost ``C_S``.
+
+Pairs that cannot be reached over the overlay have infinite stretch, so any
+profile that is not strongly connected has infinite (individual and social)
+cost — matching the game-theoretic reading that such strategies are never
+best responses for ``n >= 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.core.topology import overlay_from_matrix
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.shortest_paths import all_pairs_distances
+
+__all__ = [
+    "CostBreakdown",
+    "stretch_matrix",
+    "individual_costs",
+    "social_cost",
+]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Social cost split into its two components.
+
+    Attributes
+    ----------
+    link_cost:
+        ``C_E = alpha * |E|`` — total link-maintenance cost.
+    stretch_cost:
+        ``C_S = sum_{i != j} stretch(i, j)`` — total latency cost.
+    """
+
+    link_cost: float
+    stretch_cost: float
+
+    @property
+    def total(self) -> float:
+        """``C = C_E + C_S``."""
+        return self.link_cost + self.stretch_cost
+
+    def __str__(self) -> str:
+        return (
+            f"C = {self.total:.6g} "
+            f"(links {self.link_cost:.6g} + stretch {self.stretch_cost:.6g})"
+        )
+
+
+def stretch_matrix(
+    distance_matrix: np.ndarray, overlay: WeightedDigraph
+) -> np.ndarray:
+    """Pairwise stretch ``S[i, j] = d_G(i, j) / d(i, j)``.
+
+    Conventions: the diagonal is 0 (a peer has no stretch to itself);
+    unreachable pairs get ``inf``.  Coincident peers (``d(i, j) = 0`` for
+    ``i != j``) have stretch 1 when the overlay also reaches them at
+    distance 0 and ``inf`` otherwise.
+    """
+    n = overlay.num_nodes
+    if distance_matrix.shape != (n, n):
+        raise ValueError(
+            f"distance matrix shape {distance_matrix.shape} does not match "
+            f"overlay with {n} nodes"
+        )
+    overlay_dist = all_pairs_distances(overlay)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stretch = overlay_dist / distance_matrix
+    zero_direct = (distance_matrix == 0) & ~np.eye(n, dtype=bool)
+    if zero_direct.any():
+        zero_overlay = overlay_dist == 0
+        stretch[zero_direct & zero_overlay] = 1.0
+        stretch[zero_direct & ~zero_overlay] = math.inf
+    np.fill_diagonal(stretch, 0.0)
+    return stretch
+
+
+def individual_costs(
+    distance_matrix: np.ndarray,
+    profile: StrategyProfile,
+    alpha: float,
+) -> np.ndarray:
+    """Vector of individual costs ``c_i(s)`` for every peer."""
+    overlay = overlay_from_matrix(distance_matrix, profile)
+    stretch = stretch_matrix(distance_matrix, overlay)
+    degrees = np.array([profile.out_degree(i) for i in range(profile.n)])
+    return alpha * degrees + stretch.sum(axis=1)
+
+
+def social_cost(
+    distance_matrix: np.ndarray,
+    profile: StrategyProfile,
+    alpha: float,
+) -> CostBreakdown:
+    """Social cost breakdown ``C = alpha |E| + sum stretch``."""
+    overlay = overlay_from_matrix(distance_matrix, profile)
+    stretch = stretch_matrix(distance_matrix, overlay)
+    return CostBreakdown(
+        link_cost=alpha * profile.num_links,
+        stretch_cost=float(stretch.sum()),
+    )

@@ -1,0 +1,270 @@
+"""Best-response dynamics: how selfish peers actually rewire.
+
+Peers are activated by a scheduler; an activated peer replaces its strategy
+with a (best or heuristic) response to the current profile.  The dynamics
+either *converge* (a full activation round passes without any change — with
+exact responses that state is a pure Nash equilibrium), *cycle* (the same
+state recurs, which proves the run will never converge — Section 5 of the
+paper constructs instances where this is unavoidable), or hit a step limit.
+
+Cycle detection hashes the pair (profile, scheduler phase) after every
+activation, so it is sound for deterministic schedulers.  For randomized
+schedulers recurring states do not imply non-convergence, so detection is
+disabled there.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "RoundRobinScheduler",
+    "FixedOrderScheduler",
+    "RandomScheduler",
+    "MoveRecord",
+    "CycleInfo",
+    "DynamicsResult",
+    "BestResponseDynamics",
+]
+
+
+class RoundRobinScheduler:
+    """Activate peers ``0, 1, ..., n-1`` in every round (deterministic)."""
+
+    deterministic = True
+
+    def order(self, round_index: int, n: int) -> Sequence[int]:
+        return range(n)
+
+
+class FixedOrderScheduler:
+    """Activate peers in a caller-supplied order in every round."""
+
+    deterministic = True
+
+    def __init__(self, order: Sequence[int]) -> None:
+        self._order = tuple(order)
+
+    def order(self, round_index: int, n: int) -> Sequence[int]:
+        for peer in self._order:
+            if not 0 <= peer < n:
+                raise IndexError(f"peer {peer} out of range [0, {n})")
+        return self._order
+
+
+class RandomScheduler:
+    """Activate peers in an independently shuffled order each round."""
+
+    deterministic = False
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        import random
+
+        self._rng = random.Random(seed)
+
+    def order(self, round_index: int, n: int) -> Sequence[int]:
+        order = list(range(n))
+        self._rng.shuffle(order)
+        return order
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One strategy change performed during the dynamics."""
+
+    step: int
+    round_index: int
+    peer: int
+    old_strategy: Tuple[int, ...]
+    new_strategy: Tuple[int, ...]
+    old_cost: float
+    new_cost: float
+
+    @property
+    def gain(self) -> float:
+        return self.old_cost - self.new_cost
+
+
+@dataclass(frozen=True)
+class CycleInfo:
+    """Evidence that the dynamics entered a recurring state.
+
+    ``period`` is the number of activations between two occurrences of the
+    same (profile, scheduler-phase) state; ``profiles`` lists the distinct
+    profile keys visited inside one period of the cycle.
+    """
+
+    first_step: int
+    period: int
+    profiles: Tuple[tuple, ...]
+
+    @property
+    def num_distinct_profiles(self) -> int:
+        return len(set(self.profiles))
+
+
+@dataclass(frozen=True)
+class DynamicsResult:
+    """Outcome of a best-response dynamics run."""
+
+    profile: StrategyProfile
+    converged: bool
+    stopped_reason: str
+    rounds_completed: int
+    steps: int
+    num_moves: int
+    cycle: Optional[CycleInfo]
+    moves: Tuple[MoveRecord, ...]
+    cost_trace: Tuple[float, ...]
+
+    def __str__(self) -> str:
+        if self.converged:
+            return (
+                f"converged after {self.rounds_completed} rounds "
+                f"({self.num_moves} moves)"
+            )
+        if self.cycle is not None:
+            return (
+                f"cycled: period {self.cycle.period} activations, "
+                f"{self.cycle.num_distinct_profiles} distinct topologies, "
+                f"first hit at step {self.cycle.first_step}"
+            )
+        return f"stopped: {self.stopped_reason} after {self.steps} steps"
+
+
+class BestResponseDynamics:
+    """Engine running (best-)response dynamics on a topology game.
+
+    Parameters
+    ----------
+    game:
+        The topology game.
+    method:
+        Response solver: ``"exact"`` (true best response), ``"greedy"``
+        (scalable local search) or ``"brute"`` (tiny validation runs).
+        Convergence with ``"exact"`` certifies a pure Nash equilibrium;
+        with ``"greedy"`` it only certifies greedy-stability.
+    scheduler:
+        Activation order policy; defaults to round robin.
+    record_moves:
+        Keep a log of every strategy change (bounded by ``max_move_log``).
+    record_costs:
+        Record the social cost after every round (adds one all-pairs
+        computation per round).
+    """
+
+    def __init__(
+        self,
+        game: TopologyGame,
+        method: str = "exact",
+        scheduler=None,
+        record_moves: bool = True,
+        record_costs: bool = False,
+        max_move_log: int = 100_000,
+    ) -> None:
+        self._game = game
+        self._method = method
+        self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self._record_moves = record_moves
+        self._record_costs = record_costs
+        self._max_move_log = max_move_log
+
+    def run(
+        self,
+        initial: Optional[StrategyProfile] = None,
+        max_rounds: int = 200,
+        max_steps: Optional[int] = None,
+        detect_cycles: bool = True,
+    ) -> DynamicsResult:
+        """Run the dynamics from ``initial`` (default: the empty profile).
+
+        Stops on convergence (one full round without a move), on a detected
+        cycle (deterministic schedulers only), or on the round/step limits.
+        """
+        game = self._game
+        profile = initial if initial is not None else game.empty_profile()
+        if profile.n != game.n:
+            raise ValueError(
+                f"initial profile has {profile.n} peers, game has {game.n}"
+            )
+        detect = detect_cycles and getattr(self._scheduler, "deterministic", False)
+        seen: Dict[tuple, int] = {}
+        trail: List[tuple] = []
+        moves: List[MoveRecord] = []
+        cost_trace: List[float] = []
+        steps = 0
+        rounds = 0
+        num_moves = 0
+        cycle: Optional[CycleInfo] = None
+        stopped_reason = "max_rounds"
+
+        for round_index in range(max_rounds):
+            moved_this_round = False
+            for peer in self._scheduler.order(round_index, game.n):
+                if max_steps is not None and steps >= max_steps:
+                    stopped_reason = "max_steps"
+                    break
+                response = game.best_response(profile, peer, self._method)
+                steps += 1
+                if response.improved:
+                    num_moves += 1
+                    if self._record_moves and len(moves) < self._max_move_log:
+                        moves.append(
+                            MoveRecord(
+                                step=steps,
+                                round_index=round_index,
+                                peer=peer,
+                                old_strategy=tuple(
+                                    sorted(profile.strategy(peer))
+                                ),
+                                new_strategy=tuple(sorted(response.strategy)),
+                                old_cost=response.current_cost,
+                                new_cost=response.cost,
+                            )
+                        )
+                    profile = profile.with_strategy(peer, response.strategy)
+                    moved_this_round = True
+                    if detect:
+                        state = (profile.key(), peer)
+                        if state in seen:
+                            first = seen[state]
+                            cycle = CycleInfo(
+                                first_step=first,
+                                period=steps - first,
+                                profiles=tuple(
+                                    key
+                                    for key, marker in trail
+                                    if marker >= first
+                                ),
+                            )
+                            stopped_reason = "cycle"
+                            break
+                        seen[state] = steps
+                        trail.append((profile.key(), steps))
+            else:
+                rounds += 1
+                if self._record_costs:
+                    cost_trace.append(game.social_cost(profile).total)
+                if not moved_this_round:
+                    stopped_reason = "converged"
+                    break
+                continue
+            break
+
+        converged = stopped_reason == "converged"
+        return DynamicsResult(
+            profile=profile,
+            converged=converged,
+            stopped_reason=stopped_reason,
+            rounds_completed=rounds,
+            steps=steps,
+            num_moves=num_moves,
+            cycle=cycle,
+            moves=tuple(moves),
+            cost_trace=tuple(cost_trace),
+        )

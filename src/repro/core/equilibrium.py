@@ -1,0 +1,175 @@
+"""Nash-equilibrium verification and search.
+
+A profile is a (pure) Nash equilibrium when no peer has a unilateral
+improving deviation.  Verification here is *certified*: the result either
+states that the exact search proved no deviation exists, or it carries the
+concrete improving deviations that were found (peer, new strategy, old and
+new cost) so that claims in tests and experiments are reproducible
+artifacts rather than booleans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.best_response import BestResponseResult
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "NashCertificate",
+    "verify_nash",
+    "enumerate_profiles",
+    "find_equilibria_exhaustive",
+    "best_response_closure",
+]
+
+
+@dataclass(frozen=True)
+class NashCertificate:
+    """Result of Nash verification for one profile.
+
+    Attributes
+    ----------
+    is_nash:
+        True when no peer has an improving unilateral deviation.
+    deviations:
+        Witnessed improving deviations (empty when ``is_nash``).  When
+        verification ran with ``first_only=True`` this holds at most one
+        entry even if several peers could deviate.
+    checked_peers:
+        How many peers were examined (== n when ``is_nash``).
+    """
+
+    is_nash: bool
+    deviations: tuple
+    checked_peers: int
+
+    @property
+    def first_deviation(self) -> Optional[BestResponseResult]:
+        """The first witnessed deviation, if any."""
+        return self.deviations[0] if self.deviations else None
+
+
+def verify_nash(
+    game: TopologyGame,
+    profile: StrategyProfile,
+    first_only: bool = True,
+    peers: Optional[Sequence[int]] = None,
+) -> NashCertificate:
+    """Exactly verify whether ``profile`` is a pure Nash equilibrium.
+
+    Parameters
+    ----------
+    game:
+        The topology game.
+    profile:
+        The profile to verify.
+    first_only:
+        Stop at the first improving deviation (default).  With False, one
+        deviation per deviating peer is collected (each peer's *first*
+        improving move found, not necessarily its best response).
+    peers:
+        Restrict the check to these peers (default: all).  Restricting is
+        useful for cluster-symmetric instances where a representative per
+        equivalence class suffices.
+    """
+    deviations: List[BestResponseResult] = []
+    to_check = list(range(game.n)) if peers is None else list(peers)
+    checked = 0
+    for peer in to_check:
+        deviation = game.find_improving_deviation(profile, peer)
+        checked += 1
+        if deviation is not None:
+            deviations.append(deviation)
+            if first_only:
+                break
+    return NashCertificate(
+        is_nash=not deviations,
+        deviations=tuple(deviations),
+        checked_peers=checked,
+    )
+
+
+def enumerate_profiles(n: int) -> Iterator[StrategyProfile]:
+    """Yield every strategy profile on ``n`` peers.
+
+    There are ``2^(n-1)`` strategies per peer and ``2^(n(n-1))`` profiles,
+    so this is only feasible for very small ``n``; it exists to make
+    exhaustive claims ("this game has no pure Nash equilibrium") checkable
+    on toy instances.
+    """
+    if n == 0:
+        yield StrategyProfile.empty(0)
+        return
+    per_peer: List[List[frozenset]] = []
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        strategies = [
+            frozenset(combo)
+            for size in range(0, len(others) + 1)
+            for combo in itertools.combinations(others, size)
+        ]
+        per_peer.append(strategies)
+    for combination in itertools.product(*per_peer):
+        yield StrategyProfile(list(combination))
+
+
+def find_equilibria_exhaustive(
+    game: TopologyGame,
+    max_profiles: int = 2_000_000,
+    require_connected: bool = True,
+) -> List[StrategyProfile]:
+    """All pure Nash equilibria of a tiny game by full enumeration.
+
+    ``require_connected`` skips profiles with infinite social cost before
+    running verification (they can never be equilibria for ``n >= 2``
+    because an isolated peer always benefits from linking up, and pruning
+    them early saves most of the work).
+    """
+    n = game.n
+    num_profiles = 2 ** (n * (n - 1)) if n > 1 else 1
+    if num_profiles > max_profiles:
+        raise ValueError(
+            f"exhaustive search over {num_profiles} profiles exceeds "
+            f"max_profiles={max_profiles}; reduce n or raise the limit"
+        )
+    equilibria = []
+    for profile in enumerate_profiles(n):
+        if require_connected and n > 1:
+            from repro.graphs.reachability import is_strongly_connected
+
+            if not is_strongly_connected(game.overlay(profile)):
+                continue
+        if verify_nash(game, profile).is_nash:
+            equilibria.append(profile)
+    return equilibria
+
+
+def best_response_closure(
+    game: TopologyGame,
+    profile: StrategyProfile,
+    max_steps: int = 10_000,
+    method: str = "exact",
+) -> StrategyProfile:
+    """Iterate best responses until a fixpoint or step limit.
+
+    A thin convenience wrapper over one round-robin sweep logic; the fully
+    featured engine (schedulers, cycle detection, history) lives in
+    :mod:`repro.core.dynamics`.  Raises ``RuntimeError`` when no fixpoint
+    is reached within the step limit, because callers of a *closure* expect
+    an equilibrium.
+    """
+    from repro.core.dynamics import BestResponseDynamics
+
+    result = BestResponseDynamics(game, method=method).run(
+        initial=profile, max_steps=max_steps
+    )
+    if not result.converged:
+        raise RuntimeError(
+            f"best-response closure did not converge within {max_steps} "
+            f"steps (cycle detected: {result.cycle is not None})"
+        )
+    return result.profile

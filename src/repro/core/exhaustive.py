@@ -1,0 +1,416 @@
+"""Vectorized exhaustive Nash-equilibrium analysis for tiny games.
+
+Theorem 5.1 of the paper is an *existence* claim: there are metric spaces
+with no pure Nash equilibrium.  Certifying such a claim computationally
+requires checking **every** strategy profile, of which there are
+``2^(n(n-1))``.  The straightforward enumeration in
+:func:`repro.core.equilibrium.find_equilibria_exhaustive` verifies one
+profile at a time and becomes impractical around ``n = 4``; this module
+instead evaluates *all* profiles in bulk numpy tensor operations, which
+makes ``n = 5`` (about one million profiles) take seconds instead of hours.
+``n = 5`` is exactly the size of the paper's Figure 2 instance with one
+peer per cluster.
+
+How it works
+------------
+
+A profile is encoded as an ``n(n-1)``-bit integer: peer ``i`` owns bits
+``i*(n-1) .. (i+1)*(n-1) - 1``, one per potential target (targets sorted
+ascending, skipping ``i`` itself).  For a batch of profile ids the overlay
+adjacency tensors are built by bit extraction, all-pairs shortest paths are
+computed by min-plus matrix squaring (``ceil(log2(n-1))`` squarings reach
+every simple path), and the individual cost of every peer in every profile
+follows from the stretch tensor.
+
+The Nash check then exploits the encoding: for peer ``i`` the profile id
+splits into ``(high, own_strategy, low)``, so reshaping the cost column of
+peer ``i`` to ``(high, 2^(n-1), low)`` and taking the minimum over the
+middle axis yields the best achievable cost against every *context* (the
+other peers' strategies) at once.  A profile is a pure Nash equilibrium
+iff every peer's cost equals its context minimum (up to relative
+tolerance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "MAX_EXHAUSTIVE_PEERS",
+    "encode_profile",
+    "decode_profile",
+    "profile_costs_batch",
+    "ExhaustiveResult",
+    "exhaustive_equilibria",
+    "EncodedDynamicsResult",
+    "encoded_best_response_dynamics",
+]
+
+#: Largest ``n`` the exhaustive tensor sweep accepts (``2^(n(n-1))``
+#: profiles; ``n = 5`` is ~1M profiles and a few seconds of work, ``n = 6``
+#: would be ~1G profiles and is out of reach).
+MAX_EXHAUSTIVE_PEERS = 5
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+def _bit_layout(n: int) -> List[Tuple[int, int]]:
+    """Map bit position -> (owner, target) for the profile encoding."""
+    layout: List[Tuple[int, int]] = []
+    for i in range(n):
+        for j in range(n):
+            if j != i:
+                layout.append((i, j))
+    return layout
+
+
+def encode_profile(profile: StrategyProfile) -> int:
+    """Encode a profile as its integer id (inverse of :func:`decode_profile`)."""
+    n = profile.n
+    bits = 0
+    for pos, (i, j) in enumerate(_bit_layout(n)):
+        if profile.has_link(i, j):
+            bits |= 1 << pos
+    return bits
+
+
+def decode_profile(profile_id: int, n: int) -> StrategyProfile:
+    """Decode an integer id back into a :class:`StrategyProfile`."""
+    num_bits = n * (n - 1)
+    if not 0 <= profile_id < (1 << num_bits):
+        raise ValueError(
+            f"profile id {profile_id} out of range for n={n} "
+            f"(needs 0 <= id < 2^{num_bits})"
+        )
+    strategies: List[set] = [set() for _ in range(n)]
+    for pos, (i, j) in enumerate(_bit_layout(n)):
+        if (profile_id >> pos) & 1:
+            strategies[i].add(j)
+    return StrategyProfile(strategies)
+
+
+def _min_plus_closure(adjacency: np.ndarray, n: int) -> np.ndarray:
+    """Batched all-pairs shortest paths by repeated min-plus squaring.
+
+    ``adjacency`` has shape ``(batch, n, n)`` with ``inf`` for absent edges
+    and a zero diagonal.  ``ceil(log2(n-1))`` squarings cover every simple
+    path (at most ``n - 1`` edges).
+    """
+    dist = adjacency
+    if n <= 2:
+        return dist
+    squarings = max(1, math.ceil(math.log2(n - 1)))
+    for _ in range(squarings):
+        # out[b, i, j] = min_k dist[b, i, k] + dist[b, k, j]
+        dist = np.min(dist[:, :, :, None] + dist[:, None, :, :], axis=2)
+    return dist
+
+
+def profile_costs_batch(
+    profile_ids: np.ndarray,
+    distance_matrix: np.ndarray,
+    alpha: float,
+) -> np.ndarray:
+    """Individual costs ``c_i(s)`` for a batch of encoded profiles.
+
+    Parameters
+    ----------
+    profile_ids:
+        1-D integer array of profile encodings.
+    distance_matrix:
+        Dense metric distance matrix of shape ``(n, n)``.
+    alpha:
+        Link-cost parameter.
+
+    Returns
+    -------
+    Array of shape ``(len(profile_ids), n)`` where entry ``[b, i]`` is the
+    individual cost of peer ``i`` in profile ``b`` (``inf`` when the peer
+    cannot reach everyone).
+    """
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    if dmat.shape != (n, n):
+        raise ValueError(f"distance matrix must be square, got {dmat.shape}")
+    ids = np.asarray(profile_ids, dtype=np.int64)
+    batch = ids.shape[0]
+    num_bits = n * (n - 1)
+
+    positions = np.arange(num_bits, dtype=np.int64)
+    bits = ((ids[:, None] >> positions[None, :]) & 1).astype(bool)
+
+    layout = _bit_layout(n)
+    owners = np.array([i for i, _ in layout])
+    targets = np.array([j for _, j in layout])
+
+    adjacency = np.full((batch, n, n), math.inf)
+    idx = np.arange(n)
+    adjacency[:, idx, idx] = 0.0
+    edge_weights = dmat[owners, targets]
+    # Scatter present edges: adjacency[b, owners[p], targets[p]] = w[p].
+    flat = adjacency.reshape(batch, n * n)
+    flat_pos = owners * n + targets
+    weight_rows = np.where(bits, edge_weights[None, :], math.inf)
+    # Multiple bits never map to the same (i, j), so direct assignment works.
+    flat[:, flat_pos] = np.minimum(flat[:, flat_pos], weight_rows)
+    adjacency = flat.reshape(batch, n, n)
+
+    dist = _min_plus_closure(adjacency, n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stretch = dist / dmat[None, :, :]
+    off_diag = ~np.eye(n, dtype=bool)
+    zero_direct = (dmat == 0) & off_diag
+    if zero_direct.any():
+        reach_zero = dist == 0
+        fix = zero_direct[None, :, :]
+        stretch = np.where(fix & reach_zero, 1.0, stretch)
+        stretch = np.where(fix & ~reach_zero, math.inf, stretch)
+    stretch[:, idx, idx] = 0.0
+
+    degrees = np.zeros((batch, n))
+    for i in range(n):
+        owned = owners == i
+        degrees[:, i] = bits[:, owned].sum(axis=1)
+    return alpha * degrees + stretch.sum(axis=2)
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Outcome of an exhaustive equilibrium sweep.
+
+    Attributes
+    ----------
+    n / alpha:
+        Instance parameters.
+    num_profiles:
+        Total profiles checked (``2^(n(n-1))``).
+    equilibrium_ids:
+        Encoded ids of every pure Nash equilibrium found (possibly empty —
+        that is the Theorem 5.1 situation).
+    best_profile_id / best_social_cost:
+        The social-cost optimum over *all* profiles, obtained for free
+        during the sweep (an exact ``C(OPT)``).
+    """
+
+    n: int
+    alpha: float
+    num_profiles: int
+    equilibrium_ids: Tuple[int, ...]
+    best_profile_id: int
+    best_social_cost: float
+
+    @property
+    def has_equilibrium(self) -> bool:
+        """True when at least one pure Nash equilibrium exists."""
+        return len(self.equilibrium_ids) > 0
+
+    @property
+    def num_equilibria(self) -> int:
+        return len(self.equilibrium_ids)
+
+    def equilibria(self) -> List[StrategyProfile]:
+        """Decode all equilibrium profiles."""
+        return [decode_profile(pid, self.n) for pid in self.equilibrium_ids]
+
+    def optimum_profile(self) -> StrategyProfile:
+        """Decode the social-cost optimal profile."""
+        return decode_profile(self.best_profile_id, self.n)
+
+
+def exhaustive_equilibria(
+    distance_matrix: np.ndarray,
+    alpha: float,
+    chunk_size: int = 1 << 14,
+    rtol: float = _RELATIVE_TOLERANCE,
+    max_equilibria: Optional[int] = None,
+) -> ExhaustiveResult:
+    """Find **all** pure Nash equilibria of a tiny game exhaustively.
+
+    Evaluates every one of the ``2^(n(n-1))`` profiles in vectorized
+    chunks.  Supports ``n <= MAX_EXHAUSTIVE_PEERS``.  An empty
+    ``equilibrium_ids`` certifies that the instance admits **no** pure Nash
+    equilibrium — the phenomenon of the paper's Theorem 5.1.
+
+    Notes
+    -----
+    The equilibrium condition is evaluated with relative tolerance
+    ``rtol``: peer ``i`` is playing a best response when
+    ``c_i(s) <= best_i(context) * (1 + rtol)``.  This mirrors
+    :data:`repro.core.best_response.RELATIVE_TOLERANCE` (ties favor the
+    status quo).
+    """
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    if n > MAX_EXHAUSTIVE_PEERS:
+        raise ValueError(
+            f"exhaustive sweep supports n <= {MAX_EXHAUSTIVE_PEERS}, got {n}"
+        )
+    if n <= 1:
+        return ExhaustiveResult(
+            n=n,
+            alpha=alpha,
+            num_profiles=1,
+            equilibrium_ids=(0,),
+            best_profile_id=0,
+            best_social_cost=0.0,
+        )
+    bits_per_peer = n - 1
+    num_bits = n * bits_per_peer
+    num_profiles = 1 << num_bits
+
+    costs = np.empty((num_profiles, n))
+    for start in range(0, num_profiles, chunk_size):
+        stop = min(start + chunk_size, num_profiles)
+        ids = np.arange(start, stop, dtype=np.int64)
+        costs[start:stop] = profile_costs_batch(ids, dmat, alpha)
+
+    strategies_per_peer = 1 << bits_per_peer
+    is_nash = np.ones(num_profiles, dtype=bool)
+    for i in range(n):
+        # Profile id = high * 2^((i+1)(n-1)) + own * 2^(i(n-1)) + low.
+        low = 1 << (i * bits_per_peer)
+        high = num_profiles // (low * strategies_per_peer)
+        column = costs[:, i].reshape(high, strategies_per_peer, low)
+        best = column.min(axis=1, keepdims=True)
+        # inf-cost contexts (nobody can reach everyone even with all own
+        # links) cannot happen for n >= 2, and inf <= inf would wrongly
+        # pass; guard by requiring a finite cost.
+        ok = (column <= best * (1.0 + rtol)) & np.isfinite(column)
+        is_nash &= ok.reshape(num_profiles)
+
+    social = costs.sum(axis=1)
+    best_profile_id = int(np.argmin(social))
+    equilibrium_ids = np.nonzero(is_nash)[0]
+    if max_equilibria is not None:
+        equilibrium_ids = equilibrium_ids[:max_equilibria]
+    return ExhaustiveResult(
+        n=n,
+        alpha=alpha,
+        num_profiles=num_profiles,
+        equilibrium_ids=tuple(int(x) for x in equilibrium_ids),
+        best_profile_id=best_profile_id,
+        best_social_cost=float(social[best_profile_id]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fast dynamics on encoded profiles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EncodedDynamicsResult:
+    """Outcome of :func:`encoded_best_response_dynamics`.
+
+    ``outcome`` is ``"converged"``, ``"cycle"`` or ``"max_rounds"``;
+    ``profile_id`` is the final encoded profile; ``cycle_profile_ids``
+    lists the distinct profiles visited within one detected cycle period
+    (empty unless ``outcome == "cycle"``).
+    """
+
+    outcome: str
+    profile_id: int
+    rounds: int
+    moves: int
+    cycle_profile_ids: Tuple[int, ...]
+
+    @property
+    def converged(self) -> bool:
+        return self.outcome == "converged"
+
+    def profiles_in_cycle(self, n: int) -> List[StrategyProfile]:
+        """Decode the distinct profiles of the detected cycle."""
+        return [decode_profile(pid, n) for pid in self.cycle_profile_ids]
+
+
+def encoded_best_response_dynamics(
+    distance_matrix: np.ndarray,
+    alpha: float,
+    start_id: int = 0,
+    order: Optional[Sequence[int]] = None,
+    max_rounds: int = 100,
+    rtol: float = _RELATIVE_TOLERANCE,
+) -> EncodedDynamicsResult:
+    """Round-based exact best-response dynamics on encoded profiles.
+
+    A numpy-vectorized twin of
+    :class:`repro.core.dynamics.BestResponseDynamics` for ``n <=
+    MAX_EXHAUSTIVE_PEERS``: each activated peer evaluates all ``2^(n-1)``
+    own strategies in one batched cost computation and switches to the
+    cheapest (status quo wins ties).  Used by the no-Nash witness search,
+    where millions of tiny dynamics runs act as a cheap filter before the
+    exhaustive sweep.
+
+    Cycle detection records ``(profile, activated peer)`` states, which is
+    sound for the fixed activation ``order`` used here.
+    """
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    if n > MAX_EXHAUSTIVE_PEERS:
+        raise ValueError(
+            f"encoded dynamics supports n <= {MAX_EXHAUSTIVE_PEERS}, got {n}"
+        )
+    bits_per_peer = n - 1
+    num_strategies = 1 << bits_per_peer
+    activation = list(order) if order is not None else list(range(n))
+    strategy_range = np.arange(num_strategies, dtype=np.int64)
+
+    profile_id = int(start_id)
+    seen: dict = {}
+    trail: List[Tuple[int, int]] = []
+    moves = 0
+    for round_index in range(max_rounds):
+        moved = False
+        for peer in activation:
+            shift = peer * bits_per_peer
+            cleared = profile_id & ~((num_strategies - 1) << shift)
+            variant_ids = cleared + (strategy_range << shift)
+            costs = profile_costs_batch(variant_ids, dmat, alpha)[:, peer]
+            current_strategy = (profile_id >> shift) & (num_strategies - 1)
+            current_cost = costs[current_strategy]
+            best = int(np.argmin(costs))
+            tolerance = (
+                rtol * max(1.0, abs(current_cost))
+                if math.isfinite(current_cost)
+                else 0.0
+            )
+            if costs[best] < current_cost - tolerance:
+                profile_id = int(variant_ids[best])
+                moves += 1
+                moved = True
+                state = (profile_id, peer)
+                if state in seen:
+                    first = seen[state]
+                    cycle_ids = tuple(
+                        dict.fromkeys(
+                            pid for pid, marker in trail if marker >= first
+                        )
+                    )
+                    return EncodedDynamicsResult(
+                        outcome="cycle",
+                        profile_id=profile_id,
+                        rounds=round_index,
+                        moves=moves,
+                        cycle_profile_ids=cycle_ids,
+                    )
+                seen[state] = moves
+                trail.append((profile_id, moves))
+        if not moved:
+            return EncodedDynamicsResult(
+                outcome="converged",
+                profile_id=profile_id,
+                rounds=round_index,
+                moves=moves,
+                cycle_profile_ids=(),
+            )
+    return EncodedDynamicsResult(
+        outcome="max_rounds",
+        profile_id=profile_id,
+        rounds=max_rounds,
+        moves=moves,
+        cycle_profile_ids=(),
+    )

@@ -1,0 +1,159 @@
+"""The selfish P2P topology-formation game.
+
+:class:`TopologyGame` bundles a metric space with the trade-off parameter
+``alpha`` and exposes the model of Section 2 of the paper: individual and
+social costs, stretch matrices, best responses, and Nash verification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core import best_response as br
+from repro.core.costs import (
+    CostBreakdown,
+    individual_costs,
+    social_cost,
+    stretch_matrix,
+)
+from repro.core.profile import StrategyProfile
+from repro.core.topology import build_overlay
+from repro.graphs.digraph import WeightedDigraph
+from repro.metrics.base import MetricSpace
+
+__all__ = ["TopologyGame"]
+
+
+class TopologyGame:
+    """The topology game ``(M, alpha)`` of selfish peers in a metric space.
+
+    Parameters
+    ----------
+    metric:
+        The metric space the peers live in (pairwise latencies).
+    alpha:
+        Relative weight of link-maintenance cost versus stretch cost.
+        Larger ``alpha`` means links are more expensive; the paper proves
+        the Price of Anarchy grows as ``Theta(min(alpha, n))``.
+
+    Examples
+    --------
+    >>> from repro.metrics import EuclideanMetric
+    >>> metric = EuclideanMetric.random_uniform(6, dim=2, seed=7)
+    >>> game = TopologyGame(metric, alpha=2.0)
+    >>> profile = game.complete_profile()
+    >>> game.social_cost(profile).total > 0
+    True
+    """
+
+    def __init__(self, metric: MetricSpace, alpha: float) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self._metric = metric
+        self._alpha = float(alpha)
+        self._dmat = metric.distance_matrix()
+
+    # ------------------------------------------------------------------
+    @property
+    def metric(self) -> MetricSpace:
+        """The underlying metric space."""
+        return self._metric
+
+    @property
+    def alpha(self) -> float:
+        """The link-cost / stretch-cost trade-off parameter."""
+        return self._alpha
+
+    @property
+    def n(self) -> int:
+        """Number of peers."""
+        return self._metric.n
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """Dense metric distance matrix (read-only)."""
+        return self._dmat
+
+    def with_alpha(self, alpha: float) -> "TopologyGame":
+        """Same metric, different trade-off parameter."""
+        return TopologyGame(self._metric, alpha)
+
+    # ------------------------------------------------------------------
+    # Topologies and costs
+    # ------------------------------------------------------------------
+    def overlay(self, profile: StrategyProfile) -> WeightedDigraph:
+        """The overlay graph ``G[s]`` induced by ``profile``."""
+        return build_overlay(self._metric, profile)
+
+    def stretches(self, profile: StrategyProfile) -> np.ndarray:
+        """Pairwise stretch matrix of the overlay (``inf`` if unreachable)."""
+        return stretch_matrix(self._dmat, self.overlay(profile))
+
+    def individual_costs(self, profile: StrategyProfile) -> np.ndarray:
+        """Vector of ``c_i(s)`` for all peers."""
+        self._check_profile(profile)
+        return individual_costs(self._dmat, profile, self._alpha)
+
+    def cost(self, profile: StrategyProfile, peer: int) -> float:
+        """Individual cost ``c_i(s)`` of one peer."""
+        self._check_profile(profile)
+        service = br.compute_service_costs(self._dmat, profile, peer)
+        return br.strategy_cost(
+            service, sorted(profile.strategy(peer)), self._alpha
+        )
+
+    def social_cost(self, profile: StrategyProfile) -> CostBreakdown:
+        """Social cost ``C(G[s])`` split into link and stretch parts."""
+        self._check_profile(profile)
+        return social_cost(self._dmat, profile, self._alpha)
+
+    # ------------------------------------------------------------------
+    # Strategic reasoning
+    # ------------------------------------------------------------------
+    def best_response(
+        self, profile: StrategyProfile, peer: int, method: str = "exact"
+    ) -> br.BestResponseResult:
+        """Best (or heuristic) response of ``peer`` against ``profile``."""
+        self._check_profile(profile)
+        return br.best_response(self._dmat, profile, peer, self._alpha, method)
+
+    def find_improving_deviation(
+        self, profile: StrategyProfile, peer: int
+    ) -> Optional[br.BestResponseResult]:
+        """Some strictly improving deviation of ``peer``, or None (exact)."""
+        self._check_profile(profile)
+        return br.find_improving_deviation(
+            self._dmat, profile, peer, self._alpha
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience profiles
+    # ------------------------------------------------------------------
+    def empty_profile(self) -> StrategyProfile:
+        """Profile with no links."""
+        return StrategyProfile.empty(self.n)
+
+    def complete_profile(self) -> StrategyProfile:
+        """Profile where everybody links to everybody (stretch 1 overall)."""
+        return StrategyProfile.complete(self.n)
+
+    def random_profile(
+        self, link_probability: float, seed: Optional[int] = None
+    ) -> StrategyProfile:
+        """Random profile with the given link density."""
+        return StrategyProfile.random(self.n, link_probability, seed)
+
+    # ------------------------------------------------------------------
+    def _check_profile(self, profile: StrategyProfile) -> None:
+        if profile.n != self.n:
+            raise ValueError(
+                f"profile has {profile.n} peers but game has {self.n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopologyGame(n={self.n}, alpha={self._alpha}, "
+            f"metric={type(self._metric).__name__})"
+        )

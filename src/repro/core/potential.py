@@ -1,0 +1,194 @@
+"""Potential-function and weak-acyclicity analysis.
+
+Theorem 5.1 implies the topology game is **not a potential game**: a
+potential function decreases along every improvement step, so potential
+games cannot have improvement cycles, let alone equilibrium-free
+instances.  This module provides the machinery to locate instances on the
+convergence spectrum:
+
+* **Improvement cycle witness** — a closed sequence of strictly
+  improving single-peer deviations.  Its existence refutes any ordinal
+  potential for the instance (:func:`find_improvement_cycle`).
+* **Weak acyclicity** — a game is weakly acyclic when from *every*
+  profile *some* best-response path reaches a Nash equilibrium.  Weakly
+  acyclic games converge under random-order dynamics with probability 1
+  even though adversarial orders may cycle.  For tiny games
+  :func:`weak_acyclicity` measures the exact fraction of profiles that
+  can reach an equilibrium via best responses — 1.0 means weakly acyclic,
+  0.0 is the Theorem 5.1 regime (no equilibrium at all).
+
+The interesting middle ground — instances with equilibria that some
+states cannot reach — is where scheduler choice decides convergence; the
+test suite probes all three regimes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.exhaustive import MAX_EXHAUSTIVE_PEERS
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.response_graph import best_response_moves
+
+__all__ = [
+    "ImprovementCycle",
+    "find_improvement_cycle",
+    "WeakAcyclicityReport",
+    "weak_acyclicity",
+]
+
+
+@dataclass(frozen=True)
+class ImprovementCycle:
+    """A witnessed closed loop of strictly improving deviations.
+
+    ``profiles`` lists the distinct profiles around the loop; each hop is
+    a single-peer strict improvement (recorded in ``gains``).  Existence
+    refutes any ordinal potential function for the instance.
+    """
+
+    profiles: Tuple[StrategyProfile, ...]
+    gains: Tuple[float, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def total_gain(self) -> float:
+        """Sum of per-hop gains; strictly positive around a cycle is the
+        potential-function contradiction made quantitative."""
+        return float(sum(self.gains))
+
+
+def find_improvement_cycle(
+    game: TopologyGame,
+    initial: Optional[StrategyProfile] = None,
+    max_rounds: int = 300,
+) -> Optional[ImprovementCycle]:
+    """Search for an improvement cycle by best-response dynamics.
+
+    Runs deterministic round-robin dynamics with cycle detection and, on
+    a hit, replays one period to collect the per-hop gains.  ``None``
+    means no cycle was found from this start (the instance may still
+    admit cycles from other starts).
+    """
+    result = BestResponseDynamics(game, record_moves=True).run(
+        initial=initial, max_rounds=max_rounds
+    )
+    if result.cycle is None:
+        return None
+    # Replay one period starting from the repeated state.
+    profiles: List[StrategyProfile] = []
+    gains: List[float] = []
+    period_keys = list(dict.fromkeys(result.cycle.profiles))
+    current = StrategyProfile(
+        [frozenset(s) for s in period_keys[0]]
+    )
+    for _ in range(len(period_keys) * game.n + 1):
+        profiles.append(current)
+        moved = False
+        for peer in range(game.n):
+            response = game.best_response(current, peer)
+            if response.improved:
+                gains.append(response.gain)
+                current = current.with_strategy(peer, response.strategy)
+                moved = True
+                break
+        if not moved:  # pragma: no cover - cycle implies movement
+            return None
+        if current == profiles[0] and len(profiles) > 1:
+            return ImprovementCycle(
+                profiles=tuple(profiles), gains=tuple(gains)
+            )
+    # Trajectory wandered off the detected cycle; report what we looped.
+    return ImprovementCycle(profiles=tuple(profiles), gains=tuple(gains))
+
+
+@dataclass(frozen=True)
+class WeakAcyclicityReport:
+    """Exact reachability-to-equilibrium statistics of a tiny game.
+
+    Attributes
+    ----------
+    num_profiles:
+        Total states of the best-response graph.
+    num_equilibria:
+        Sinks (pure Nash equilibria).
+    reachable_fraction:
+        Fraction of states from which *some* best-response path reaches
+        an equilibrium.  1.0 = weakly acyclic; 0.0 = Theorem 5.1 regime.
+    """
+
+    num_profiles: int
+    num_equilibria: int
+    reachable_fraction: float
+
+    @property
+    def is_weakly_acyclic(self) -> bool:
+        return self.reachable_fraction == 1.0
+
+    @property
+    def has_trap_states(self) -> bool:
+        """True when some states can never reach any equilibrium."""
+        return self.reachable_fraction < 1.0
+
+
+def weak_acyclicity(
+    distance_matrix: np.ndarray, alpha: float
+) -> WeakAcyclicityReport:
+    """Exact weak-acyclicity analysis for ``n <= MAX_EXHAUSTIVE_PEERS``.
+
+    Builds the full best-response move table and BFSes *backwards* from
+    the sinks over improvement edges: a state is "good" when some
+    best-response choice sequence leads to an equilibrium.
+    """
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    if n > MAX_EXHAUSTIVE_PEERS:
+        raise ValueError(
+            f"weak acyclicity analysis supports n <= "
+            f"{MAX_EXHAUSTIVE_PEERS}, got {n}"
+        )
+    moves = best_response_moves(dmat, alpha)
+    num_profiles = moves.shape[0]
+    all_ids = np.arange(num_profiles, dtype=np.int64)
+    is_sink = (moves == all_ids[:, None]).all(axis=1)
+    sinks = np.nonzero(is_sink)[0]
+    if sinks.size == 0:
+        return WeakAcyclicityReport(
+            num_profiles=num_profiles,
+            num_equilibria=0,
+            reachable_fraction=0.0,
+        )
+    # Reverse adjacency via sorting: edge (s -> moves[s, i]).
+    sources = np.repeat(all_ids, moves.shape[1])
+    targets = moves.reshape(-1)
+    moving = targets != sources
+    sources, targets = sources[moving], targets[moving]
+    order = np.argsort(targets, kind="stable")
+    sorted_targets = targets[order]
+    sorted_sources = sources[order]
+    starts = np.searchsorted(sorted_targets, all_ids, side="left")
+    ends = np.searchsorted(sorted_targets, all_ids, side="right")
+
+    good = is_sink.copy()
+    queue = deque(int(x) for x in sinks)
+    while queue:
+        node = queue.popleft()
+        for idx in range(starts[node], ends[node]):
+            predecessor = int(sorted_sources[idx])
+            if not good[predecessor]:
+                good[predecessor] = True
+                queue.append(predecessor)
+    return WeakAcyclicityReport(
+        num_profiles=num_profiles,
+        num_equilibria=int(sinks.size),
+        reachable_fraction=float(good.sum()) / num_profiles,
+    )

@@ -1,0 +1,165 @@
+"""Strategy profiles: who links to whom.
+
+A peer's strategy is the set of peers it maintains directed links to
+(``s_i ⊆ V \\ {i}``); a profile combines all peers' strategies and induces
+the overlay topology ``G[s]``.  Profiles are immutable value objects so they
+can be hashed for best-response cycle detection and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+__all__ = ["StrategyProfile"]
+
+Strategy = FrozenSet[int]
+
+
+class StrategyProfile:
+    """An immutable combination of all peers' link strategies.
+
+    Parameters
+    ----------
+    strategies:
+        One iterable of out-neighbor indices per peer.  Self-loops and
+        out-of-range targets are rejected.
+    """
+
+    __slots__ = ("_strategies", "_hash")
+
+    def __init__(self, strategies: Sequence[Iterable[int]]) -> None:
+        frozen = tuple(frozenset(s) for s in strategies)
+        n = len(frozen)
+        for i, strategy in enumerate(frozen):
+            for j in strategy:
+                if not isinstance(j, int) or isinstance(j, bool):
+                    raise TypeError(
+                        f"peer {i}: link target {j!r} is not an int"
+                    )
+                if not 0 <= j < n:
+                    raise ValueError(
+                        f"peer {i}: link target {j} out of range [0, {n})"
+                    )
+                if j == i:
+                    raise ValueError(f"peer {i}: self-link is not allowed")
+        self._strategies: Tuple[Strategy, ...] = frozen
+        self._hash = hash(frozen)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of peers."""
+        return len(self._strategies)
+
+    def strategy(self, i: int) -> Strategy:
+        """The out-neighbor set of peer ``i``."""
+        return self._strategies[i]
+
+    def strategies(self) -> Tuple[Strategy, ...]:
+        """All strategies as a tuple of frozensets."""
+        return self._strategies
+
+    def out_degree(self, i: int) -> int:
+        """Number of links maintained by peer ``i``."""
+        return len(self._strategies[i])
+
+    @property
+    def num_links(self) -> int:
+        """Total number of directed links ``|E|`` in the profile."""
+        return sum(len(s) for s in self._strategies)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all directed links as ``(owner, target)`` pairs."""
+        for i, strategy in enumerate(self._strategies):
+            for j in strategy:
+                yield (i, j)
+
+    def has_link(self, i: int, j: int) -> bool:
+        """True if peer ``i`` maintains a link to peer ``j``."""
+        return j in self._strategies[i]
+
+    # ------------------------------------------------------------------
+    # Functional updates (profiles are immutable)
+    # ------------------------------------------------------------------
+    def with_strategy(self, i: int, strategy: Iterable[int]) -> "StrategyProfile":
+        """New profile where peer ``i`` plays ``strategy`` instead."""
+        updated = list(self._strategies)
+        updated[i] = frozenset(strategy)
+        return StrategyProfile(updated)
+
+    def with_link(self, i: int, j: int) -> "StrategyProfile":
+        """New profile with the link ``i -> j`` added."""
+        return self.with_strategy(i, self._strategies[i] | {j})
+
+    def without_link(self, i: int, j: int) -> "StrategyProfile":
+        """New profile with the link ``i -> j`` removed (if present)."""
+        return self.with_strategy(i, self._strategies[i] - {j})
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategyProfile):
+            return NotImplemented
+        return self._strategies == other._strategies
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def key(self) -> Tuple[Tuple[int, ...], ...]:
+        """Canonical sorted representation, stable across runs.
+
+        Used for cycle detection in best-response dynamics and for JSON
+        serialization.
+        """
+        return tuple(tuple(sorted(s)) for s in self._strategies)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StrategyProfile({[sorted(s) for s in self._strategies]})"
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n: int) -> "StrategyProfile":
+        """Profile with no links at all."""
+        return cls([frozenset() for _ in range(n)])
+
+    @classmethod
+    def complete(cls, n: int) -> "StrategyProfile":
+        """Profile where every peer links to every other peer."""
+        everyone = frozenset(range(n))
+        return cls([everyone - {i} for i in range(n)])
+
+    @classmethod
+    def from_dict(
+        cls, n: int, links: Mapping[int, Iterable[int]]
+    ) -> "StrategyProfile":
+        """Profile from a sparse ``{peer: targets}`` mapping."""
+        strategies: Dict[int, Iterable[int]] = {i: () for i in range(n)}
+        for i, targets in links.items():
+            if not 0 <= i < n:
+                raise ValueError(f"peer index {i} out of range [0, {n})")
+            strategies[i] = targets
+        return cls([strategies[i] for i in range(n)])
+
+    @classmethod
+    def random(
+        cls, n: int, link_probability: float, seed=None
+    ) -> "StrategyProfile":
+        """Each possible link present independently with given probability."""
+        import random as _random
+
+        if not 0.0 <= link_probability <= 1.0:
+            raise ValueError("link_probability must lie in [0, 1]")
+        rng = _random.Random(seed)
+        return cls(
+            [
+                frozenset(
+                    j
+                    for j in range(n)
+                    if j != i and rng.random() < link_probability
+                )
+                for i in range(n)
+            ]
+        )

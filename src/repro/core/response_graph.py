@@ -1,0 +1,256 @@
+"""The best-response graph: global convergence structure of tiny games.
+
+The best-response *graph* has one node per strategy profile and one edge
+``s -> s'`` for every peer whose (unique, tie-broken) best response moves
+the profile from ``s`` to ``s'``.  Its structure answers global questions
+a single dynamics run cannot:
+
+* **Sinks** (nodes with no outgoing improvement edge) are exactly the
+  pure Nash equilibria.
+* If the graph has **no sink**, every best-response trajectory — from
+  *any* starting profile, under *any* activation order — runs forever.
+  For the paper's Theorem 5.1 witness this is the strongest possible
+  non-convergence statement, strictly beyond "the runs we tried cycled".
+* The **terminal strongly connected components** are the attractors the
+  dynamics can end up circling in; for the witness there is a single
+  attractor realizing the paper's Figure 3 loop.
+
+Everything is computed fully vectorized over encoded profiles (see
+:mod:`repro.core.exhaustive` for the encoding), so ``n = 5`` — a million
+nodes, five million potential edges — takes seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exhaustive import (
+    MAX_EXHAUSTIVE_PEERS,
+    decode_profile,
+    profile_costs_batch,
+)
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "ResponseGraphAnalysis",
+    "best_response_moves",
+    "analyze_response_graph",
+    "terminal_components",
+]
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+def best_response_moves(
+    distance_matrix: np.ndarray,
+    alpha: float,
+    chunk_size: int = 1 << 13,
+    rtol: float = _RELATIVE_TOLERANCE,
+) -> np.ndarray:
+    """Best-response successor table over all profiles.
+
+    Returns an int64 array ``moves`` of shape ``(2^(n(n-1)), n)`` where
+    ``moves[s, i]`` is the profile reached when peer ``i`` switches to its
+    best response against ``s`` — or ``s`` itself when peer ``i`` is
+    already best-responding (ties favor the status quo, matching
+    :data:`repro.core.best_response.RELATIVE_TOLERANCE` semantics).
+    """
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    if n > MAX_EXHAUSTIVE_PEERS:
+        raise ValueError(
+            f"response graph supports n <= {MAX_EXHAUSTIVE_PEERS}, got {n}"
+        )
+    if n <= 1:
+        return np.zeros((1, max(n, 1)), dtype=np.int64)
+    bits = n - 1
+    num_strategies = 1 << bits
+    num_profiles = 1 << (n * bits)
+
+    costs = np.empty((num_profiles, n))
+    for start in range(0, num_profiles, chunk_size):
+        stop = min(start + chunk_size, num_profiles)
+        ids = np.arange(start, stop, dtype=np.int64)
+        costs[start:stop] = profile_costs_batch(ids, dmat, alpha)
+
+    all_ids = np.arange(num_profiles, dtype=np.int64)
+    moves = np.empty((num_profiles, n), dtype=np.int64)
+    for i in range(n):
+        shift = i * bits
+        low = 1 << shift
+        high = num_profiles // (low * num_strategies)
+        # Column of peer i's costs arranged by (high, own strategy, low).
+        column = costs[:, i].reshape(high, num_strategies, low)
+        best_strategy = column.argmin(axis=1)  # (high, low)
+        best_cost = np.take_along_axis(
+            column, best_strategy[:, None, :], axis=1
+        )[:, 0, :]
+        current_strategy = (
+            (all_ids >> shift) & (num_strategies - 1)
+        ).reshape(high, num_strategies, low)
+        current_cost = costs[:, i].reshape(high, num_strategies, low)
+        # Keep the status quo unless the best strictly beats it.
+        tolerance = rtol * np.maximum(1.0, np.abs(best_cost))
+        improves = current_cost > (best_cost + tolerance)[:, None, :]
+        chosen = np.where(
+            improves, best_strategy[:, None, :], current_strategy
+        )
+        cleared = all_ids & ~np.int64((num_strategies - 1) << shift)
+        moves[:, i] = cleared + (chosen.reshape(num_profiles) << shift)
+    return moves
+
+
+@dataclass(frozen=True)
+class ResponseGraphAnalysis:
+    """Global structure of a tiny game's best-response graph.
+
+    Attributes
+    ----------
+    n / alpha:
+        Instance parameters.
+    num_profiles:
+        Number of nodes (``2^(n(n-1))``).
+    sink_ids:
+        Profiles with no improving move — exactly the pure Nash
+        equilibria.  Empty for Theorem 5.1 witnesses.
+    num_moving_edges:
+        Directed improvement edges (excluding self-loops).
+    attractor_ids:
+        One terminal strongly connected component the greedy trajectory
+        reaches from the empty profile (a certified attractor cycle when
+        there are no sinks).  ``None`` when a sink exists instead.
+    """
+
+    n: int
+    alpha: float
+    num_profiles: int
+    sink_ids: Tuple[int, ...]
+    num_moving_edges: int
+    attractor_ids: Optional[Tuple[int, ...]]
+
+    @property
+    def has_sink(self) -> bool:
+        """True when some profile absorbs the dynamics (a pure NE)."""
+        return len(self.sink_ids) > 0
+
+    @property
+    def diverges_from_everywhere(self) -> bool:
+        """True when NO trajectory can ever converge (no sinks at all)."""
+        return not self.has_sink
+
+    def sinks(self) -> List[StrategyProfile]:
+        """Decode the sink profiles (the pure Nash equilibria)."""
+        return [decode_profile(pid, self.n) for pid in self.sink_ids]
+
+    def attractor(self) -> List[StrategyProfile]:
+        """Decode the certified attractor cycle (empty when a sink exists)."""
+        if self.attractor_ids is None:
+            return []
+        return [decode_profile(pid, self.n) for pid in self.attractor_ids]
+
+
+def _greedy_attractor(moves: np.ndarray) -> Tuple[int, ...]:
+    """Follow single-peer improvements from profile 0 until a state repeats.
+
+    Deterministic pilot trajectory: at each profile take the improving
+    move of the lowest-indexed improving peer.  Because every node has at
+    least one improving move (no sinks), the walk must eventually repeat
+    a profile; the segment between the repeats is an attractor cycle in
+    the best-response graph.
+    """
+    seen: Dict[int, int] = {}
+    trail: List[int] = []
+    current = 0
+    while current not in seen:
+        seen[current] = len(trail)
+        trail.append(current)
+        successors = moves[current]
+        next_profile = current
+        for peer in range(moves.shape[1]):
+            if successors[peer] != current:
+                next_profile = int(successors[peer])
+                break
+        if next_profile == current:  # pragma: no cover - sink guard
+            return (current,)
+        current = next_profile
+    return tuple(trail[seen[current]:])
+
+
+def terminal_components(
+    moves: np.ndarray, max_components: int = 64
+) -> List[Tuple[int, ...]]:
+    """Terminal strongly connected components of the best-response graph.
+
+    A terminal SCC has no improvement edge leaving it; these are the
+    *attractors* of best-response dynamics — singleton terminal SCCs are
+    the pure Nash equilibria, larger ones are inescapable oscillation
+    regions.  Computed with scipy's SCC on the sparse move graph
+    (self-loops dropped), then filtered to components without outgoing
+    edges.  Returns at most ``max_components`` components, each as a
+    sorted tuple of profile ids.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    num_profiles, n = moves.shape
+    all_ids = np.arange(num_profiles, dtype=np.int64)
+    sources = np.repeat(all_ids, n)
+    targets = moves.reshape(-1)
+    moving = targets != sources
+    sources, targets = sources[moving], targets[moving]
+    graph = csr_matrix(
+        (np.ones(len(sources), dtype=np.int8), (sources, targets)),
+        shape=(num_profiles, num_profiles),
+    )
+    num_components, labels = connected_components(
+        graph, directed=True, connection="strong"
+    )
+    # A component is terminal iff no member has an edge to another
+    # component.  Sinks (no outgoing edges at all) are terminal too.
+    has_external_edge = np.zeros(num_components, dtype=bool)
+    cross = labels[sources] != labels[targets]
+    has_external_edge[np.unique(labels[sources[cross]])] = True
+    terminal_labels = np.nonzero(~has_external_edge)[0]
+    components: List[Tuple[int, ...]] = []
+    for label in terminal_labels[:max_components]:
+        members = np.nonzero(labels == label)[0]
+        components.append(tuple(int(x) for x in members))
+    return components
+
+
+def analyze_response_graph(
+    distance_matrix: np.ndarray,
+    alpha: float,
+    chunk_size: int = 1 << 13,
+) -> ResponseGraphAnalysis:
+    """Analyze the full best-response graph of a tiny game.
+
+    Computes all sinks (pure Nash equilibria) and, when none exist, walks
+    to a certified attractor cycle.  ``diverges_from_everywhere`` is the
+    machine-checked statement "selfish dynamics cannot converge from any
+    start under any activation order" — the strongest reading of the
+    paper's Theorem 5.1.
+    """
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    moves = best_response_moves(dmat, alpha, chunk_size=chunk_size)
+    num_profiles = moves.shape[0]
+    all_ids = np.arange(num_profiles, dtype=np.int64)
+    is_sink = (moves == all_ids[:, None]).all(axis=1)
+    sink_ids = tuple(int(x) for x in np.nonzero(is_sink)[0])
+    num_moving_edges = int((moves != all_ids[:, None]).sum())
+    attractor: Optional[Tuple[int, ...]] = None
+    if not sink_ids and n > 1:
+        attractor = _greedy_attractor(moves)
+    return ResponseGraphAnalysis(
+        n=n,
+        alpha=alpha,
+        num_profiles=num_profiles,
+        sink_ids=sink_ids,
+        num_moving_edges=num_moving_edges,
+        attractor_ids=attractor,
+    )

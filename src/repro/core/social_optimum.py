@@ -1,0 +1,226 @@
+"""Bounding and computing the socially optimal topology.
+
+The optimum of ``C(G) = alpha |E| + sum stretch`` is NP-hard to compute in
+general, so the library offers three levels:
+
+* a provable **lower bound** ``alpha * n + n(n-1)`` (every peer needs at
+  least one out-link for finite cost, and every stretch is at least 1) —
+  the ``Omega(alpha n + n^2)`` bound the paper uses;
+* heuristic **upper bounds** from a portfolio of candidate topologies
+  (complete graph, medoid star, nearest-neighbor chain, MST-like overlay)
+  optionally polished by single-link local search;
+* **exact** optimum by exhaustive enumeration on tiny instances, used to
+  validate the heuristics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "OptimumEstimate",
+    "social_cost_lower_bound",
+    "candidate_topologies",
+    "optimum_upper_bound",
+    "optimum_exact",
+    "local_search_improve",
+]
+
+
+@dataclass(frozen=True)
+class OptimumEstimate:
+    """A bracket around the optimal social cost.
+
+    ``lower <= C(OPT) <= upper`` with ``profile`` achieving ``upper``.
+    """
+
+    lower: float
+    upper: float
+    profile: StrategyProfile
+    source: str
+
+    @property
+    def gap(self) -> float:
+        """Relative gap between the bracket ends."""
+        if self.lower <= 0:
+            return math.inf
+        return self.upper / self.lower - 1.0
+
+
+def social_cost_lower_bound(alpha: float, n: int) -> float:
+    """``alpha * n + n(n-1)``: the paper's ``Omega(alpha n + n^2)`` bound.
+
+    For ``n >= 2`` every peer needs out-degree at least 1 to reach anyone
+    (so at least ``n`` links exist) and each of the ``n(n-1)`` ordered
+    pairs has stretch at least 1.
+    """
+    if n <= 1:
+        return 0.0
+    return alpha * n + n * (n - 1)
+
+
+# ----------------------------------------------------------------------
+# Candidate portfolio
+# ----------------------------------------------------------------------
+def _nearest_neighbor_chain(dmat: np.ndarray) -> List[int]:
+    """Greedy nearest-neighbor ordering of the points (TSP-style)."""
+    n = dmat.shape[0]
+    order = [0]
+    remaining = set(range(1, n))
+    while remaining:
+        last = order[-1]
+        nxt = min(remaining, key=lambda j: dmat[last, j])
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def _chain_profile(order: List[int], n: int) -> StrategyProfile:
+    links = {i: set() for i in range(n)}
+    for a, b in zip(order, order[1:]):
+        links[a].add(b)
+        links[b].add(a)
+    return StrategyProfile.from_dict(n, links)
+
+
+def _star_profile(center: int, n: int) -> StrategyProfile:
+    links = {i: {center} for i in range(n) if i != center}
+    links[center] = set(range(n)) - {center}
+    return StrategyProfile.from_dict(n, links)
+
+
+def _mst_profile(dmat: np.ndarray) -> StrategyProfile:
+    """Bidirected minimum spanning tree over the metric (Prim)."""
+    n = dmat.shape[0]
+    if n <= 1:
+        return StrategyProfile.empty(n)
+    in_tree = [False] * n
+    in_tree[0] = True
+    best_edge = [(float(dmat[0, j]), 0) for j in range(n)]
+    links = {i: set() for i in range(n)}
+    for _ in range(n - 1):
+        j = min(
+            (j for j in range(n) if not in_tree[j]),
+            key=lambda j: best_edge[j][0],
+        )
+        weight, parent = best_edge[j]
+        links[parent].add(j)
+        links[j].add(parent)
+        in_tree[j] = True
+        for k in range(n):
+            if not in_tree[k] and dmat[j, k] < best_edge[k][0]:
+                best_edge[k] = (float(dmat[j, k]), j)
+    return StrategyProfile.from_dict(n, links)
+
+
+def candidate_topologies(
+    game: TopologyGame,
+) -> List[Tuple[str, StrategyProfile]]:
+    """The heuristic portfolio evaluated by :func:`optimum_upper_bound`."""
+    n = game.n
+    dmat = game.distance_matrix
+    candidates: List[Tuple[str, StrategyProfile]] = []
+    if n <= 1:
+        return [("empty", StrategyProfile.empty(n))]
+    candidates.append(("complete", StrategyProfile.complete(n)))
+    medoid = int(np.argmin(dmat.sum(axis=1)))
+    candidates.append(("star", _star_profile(medoid, n)))
+    candidates.append(
+        ("nn-chain", _chain_profile(_nearest_neighbor_chain(dmat), n))
+    )
+    candidates.append(("mst", _mst_profile(dmat)))
+    return candidates
+
+
+def local_search_improve(
+    game: TopologyGame,
+    profile: StrategyProfile,
+    max_passes: int = 3,
+) -> StrategyProfile:
+    """Single-link add/remove local search on the social cost.
+
+    Each pass tries every possible link flip and keeps the best improving
+    one; stops at a local optimum or after ``max_passes`` passes.  This is
+    an ``O(n^2)``-moves-per-pass polisher, intended for small instances.
+    """
+    n = game.n
+    best = profile
+    best_cost = game.social_cost(best).total
+    for _ in range(max_passes):
+        improved = False
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                flipped = (
+                    best.without_link(i, j)
+                    if best.has_link(i, j)
+                    else best.with_link(i, j)
+                )
+                cost = game.social_cost(flipped).total
+                if cost < best_cost - 1e-12:
+                    best, best_cost = flipped, cost
+                    improved = True
+        if not improved:
+            break
+    return best
+
+
+def optimum_upper_bound(
+    game: TopologyGame, polish: bool = False
+) -> OptimumEstimate:
+    """Best social cost over the candidate portfolio (optionally polished).
+
+    The returned estimate brackets the true optimum:
+    ``lower`` is :func:`social_cost_lower_bound`, ``upper`` is achieved by
+    the returned profile.
+    """
+    best_profile: Optional[StrategyProfile] = None
+    best_cost = math.inf
+    best_name = "none"
+    for name, profile in candidate_topologies(game):
+        cost = game.social_cost(profile).total
+        if cost < best_cost:
+            best_profile, best_cost, best_name = profile, cost, name
+    assert best_profile is not None
+    if polish and game.n >= 2:
+        polished = local_search_improve(game, best_profile)
+        polished_cost = game.social_cost(polished).total
+        if polished_cost < best_cost:
+            best_profile, best_cost = polished, polished_cost
+            best_name += "+local-search"
+    return OptimumEstimate(
+        lower=social_cost_lower_bound(game.alpha, game.n),
+        upper=best_cost,
+        profile=best_profile,
+        source=best_name,
+    )
+
+
+def optimum_exact(game: TopologyGame, max_profiles: int = 300_000) -> OptimumEstimate:
+    """Exact optimum by enumerating all profiles (tiny ``n`` only)."""
+    from repro.core.equilibrium import enumerate_profiles
+
+    n = game.n
+    num_profiles = 2 ** (n * (n - 1)) if n > 1 else 1
+    if num_profiles > max_profiles:
+        raise ValueError(
+            f"exact optimum over {num_profiles} profiles exceeds "
+            f"max_profiles={max_profiles}; use optimum_upper_bound instead"
+        )
+    best_profile = StrategyProfile.empty(n)
+    best_cost = game.social_cost(best_profile).total
+    for profile in enumerate_profiles(n):
+        cost = game.social_cost(profile).total
+        if cost < best_cost:
+            best_profile, best_cost = profile, cost
+    return OptimumEstimate(
+        lower=best_cost, upper=best_cost, profile=best_profile, source="exact"
+    )

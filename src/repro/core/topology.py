@@ -1,0 +1,42 @@
+"""Building overlay topologies ``G[s]`` from strategy profiles.
+
+The overlay induced by a profile is the directed graph with an edge
+``i -> j`` of weight ``d(i, j)`` for every link ``j ∈ s_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.graphs.digraph import WeightedDigraph
+from repro.metrics.base import MetricSpace
+
+__all__ = ["build_overlay", "overlay_from_matrix"]
+
+
+def overlay_from_matrix(
+    distance_matrix: np.ndarray, profile: StrategyProfile
+) -> WeightedDigraph:
+    """Overlay graph of ``profile`` weighted by a dense distance matrix."""
+    n = profile.n
+    if distance_matrix.shape != (n, n):
+        raise ValueError(
+            f"distance matrix shape {distance_matrix.shape} does not match "
+            f"profile with {n} peers"
+        )
+    graph = WeightedDigraph(n)
+    for i, j in profile.edges():
+        graph.add_edge(i, j, float(distance_matrix[i, j]))
+    return graph
+
+
+def build_overlay(
+    metric: MetricSpace, profile: StrategyProfile
+) -> WeightedDigraph:
+    """Overlay graph ``G[s]`` of ``profile`` over ``metric``."""
+    if metric.n != profile.n:
+        raise ValueError(
+            f"metric has {metric.n} points but profile has {profile.n} peers"
+        )
+    return overlay_from_matrix(metric.distance_matrix(), profile)

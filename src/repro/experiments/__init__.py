@@ -1,0 +1,146 @@
+"""One runnable experiment per figure / lemma / theorem of the paper.
+
+The registry maps experiment ids to their runners; the benchmark harness
+(``benchmarks/``) regenerates each one and prints its table, and
+EXPERIMENTS.md records paper-claim vs measured verdicts.
+
+====  =========================  ==========================================
+id    paper artifact             what is measured
+====  =========================  ==========================================
+E1    Figure 1 / Lemma 4.2       exponential line verified as Nash eq.
+E2    Lemma 4.3                  social cost Theta(alpha n^2) scaling
+E3    Theorem 4.4                PoA = Theta(min(alpha, n)) series
+E4    Theorem 4.1                bounds hold on equilibria of random metrics
+E5    Theorem 5.1 / Figure 2     exhaustive no-NE certificate + cycling
+E6    Figure 3                   six-case deviation table + realized cycle
+E7    Lemma 4.2 (extension)      empirical alpha threshold of Figure 1
+E8    Section 3 (extension)      selfish vs structured overlay designs
+E9    Section 5 (extension)      convergence statistics vs the witness
+E10   Conclusion (extension)     congestion externality sweep over beta
+E11   Related work (extension)   bilateral consent vs unilateral instability
+====  =========================  ==========================================
+"""
+
+from typing import Dict, List
+
+from repro.experiments import (
+    e1_figure1_nash,
+    e10_congestion,
+    e11_bilateral,
+    e2_lemma43_social_cost,
+    e3_theorem44_poa,
+    e4_theorem41_upper,
+    e5_theorem51_no_nash,
+    e6_figure3_cases,
+    e7_alpha_threshold,
+    e8_structured_vs_selfish,
+    e9_convergence,
+)
+from repro.experiments.base import ExperimentResult, ExperimentSpec
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_all",
+]
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            experiment_id="E1",
+            title="Figure 1 exponential line is a Nash equilibrium",
+            paper_artifact="Figure 1, Lemma 4.2",
+            bench="benchmarks/test_bench_figure1_nash.py",
+            runner=e1_figure1_nash.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E2",
+            title="Figure 1 social cost grows as Theta(alpha n^2)",
+            paper_artifact="Lemma 4.3",
+            bench="benchmarks/test_bench_lemma43_social_cost.py",
+            runner=e2_lemma43_social_cost.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E3",
+            title="Price of Anarchy grows as Theta(min(alpha, n))",
+            paper_artifact="Theorem 4.4",
+            bench="benchmarks/test_bench_theorem44_poa.py",
+            runner=e3_theorem44_poa.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E4",
+            title="Theorem 4.1 bounds hold on every found equilibrium",
+            paper_artifact="Theorem 4.1",
+            bench="benchmarks/test_bench_theorem41_upper.py",
+            runner=e4_theorem41_upper.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E5",
+            title="No pure Nash equilibrium exists (exhaustive)",
+            paper_artifact="Theorem 5.1, Figure 2",
+            bench="benchmarks/test_bench_theorem51_no_nash.py",
+            runner=e5_theorem51_no_nash.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E6",
+            title="Figure 3 case analysis, machine-checked",
+            paper_artifact="Figure 3",
+            bench="benchmarks/test_bench_figure3_cases.py",
+            runner=e6_figure3_cases.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E7",
+            title="Empirical alpha threshold of the Figure 1 equilibrium",
+            paper_artifact="Lemma 4.2 threshold (extension)",
+            bench="benchmarks/test_bench_alpha_threshold.py",
+            runner=e7_alpha_threshold.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E8",
+            title="Selfish equilibria vs structured overlay designs",
+            paper_artifact="Section 3 / footnote 2 (extension)",
+            bench="benchmarks/test_bench_structured_vs_selfish.py",
+            runner=e8_structured_vs_selfish.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E9",
+            title="Convergence is generic; the witness never stabilizes",
+            paper_artifact="Section 5 contrast (extension)",
+            bench="benchmarks/test_bench_convergence.py",
+            runner=e9_convergence.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E10",
+            title="Congestion externalities of selfish link buying",
+            paper_artifact="Conclusion / future work (extension)",
+            bench="benchmarks/test_bench_congestion.py",
+            runner=e10_congestion.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E11",
+            title="Bilateral consent restores stability",
+            paper_artifact="Related work [7] contrast (extension)",
+            bench="benchmarks/test_bench_bilateral.py",
+            runner=e11_bilateral.run,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment by id (``"E1"`` ... ``"E11"``)."""
+    try:
+        return EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_all(**overrides) -> List[ExperimentResult]:
+    """Run every registered experiment with default parameters."""
+    return [spec.run() for spec in EXPERIMENTS.values()]

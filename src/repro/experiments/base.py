@@ -1,0 +1,86 @@
+"""Experiment framework: structured, replayable paper experiments.
+
+Every figure/lemma/theorem of the paper maps to one experiment module
+exposing ``run(**params) -> ExperimentResult``.  Results carry structured
+rows (rendered by the benchmark harness and recorded in EXPERIMENTS.md)
+plus the paper's claim and the measured verdict, so "does the reproduction
+hold?" is a field, not an interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+
+__all__ = ["ExperimentResult", "ExperimentSpec"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id (``"E1"`` ... ``"E9"``).
+    title:
+        One-line description naming the paper artifact.
+    paper_claim:
+        What the paper asserts (qualitative shape, not constants).
+    rows:
+        Structured result rows (one dict per sweep point / case).
+    verdict:
+        ``True`` when the measured data supports the paper's claim.
+    notes:
+        Free-form remarks (substitutions, caveats, fitted exponents).
+    params:
+        The parameters this run used (for replayability).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: Tuple[Dict[str, Any], ...]
+    verdict: bool
+    notes: Tuple[str, ...] = ()
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def table(self, precision: int = 4) -> str:
+        """The rows rendered as an aligned text table."""
+        return render_table(
+            list(self.rows),
+            precision=precision,
+            title=f"{self.experiment_id}: {self.title}",
+        )
+
+    def summary(self) -> str:
+        """Claim, verdict and notes as a short text block."""
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            f"  paper claim : {self.paper_claim}",
+            f"  verdict     : {'SUPPORTED' if self.verdict else 'NOT SUPPORTED'}",
+        ]
+        for note in self.notes:
+            lines.append(f"  note        : {note}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry tying an experiment id to its runner.
+
+    ``paper_artifact`` names the figure/lemma/theorem being reproduced and
+    ``bench`` the benchmark file that regenerates it.
+    """
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    bench: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, **params) -> ExperimentResult:
+        """Run the experiment with the given parameter overrides."""
+        return self.runner(**params)

@@ -1,0 +1,96 @@
+"""E10 — extension: congestion externalities of selfish link buying.
+
+The paper's conclusion proposes incorporating congestion into the model.
+This experiment quantifies the natural first-order effect: with a
+congestion term ``beta * in-degree`` added to the cost,
+
+* the set of equilibria is provably unchanged (a peer cannot rewire its
+  own in-degree, so the term cancels in every deviation comparison) —
+  checked here by re-verifying base-game equilibria at every beta;
+* the *social* cost of those unchanged equilibria grows by ``beta |E|``
+  while the congestion-aware optimum shifts toward sparser topologies, so
+  the gap between selfish play and the best-known design widens with
+  beta — the measured "price of ignoring congestion".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.game import TopologyGame
+from repro.experiments.base import ExperimentResult
+from repro.extensions.congestion import (
+    CongestionGame,
+    congestion_price_of_ignorance,
+)
+from repro.metrics.euclidean import EuclideanMetric
+
+__all__ = ["run"]
+
+
+def run(
+    n: int = 10,
+    alpha: float = 1.0,
+    betas: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0),
+    seeds: Sequence[int] = (0, 1, 2),
+    max_rounds: int = 120,
+) -> ExperimentResult:
+    """Sweep beta and measure the congestion externality."""
+    rows: List[Dict[str, Any]] = []
+    invariance_holds = True
+    monotone_all = True
+    for seed in seeds:
+        metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+        base = TopologyGame(metric, alpha)
+        result = BestResponseDynamics(base, record_moves=False).run(
+            max_rounds=max_rounds
+        )
+        if not result.converged:
+            continue
+        equilibrium = result.profile
+        previous_ratio = None
+        monotone = True
+        for beta in betas:
+            game = CongestionGame(metric, alpha, beta=beta)
+            still_nash = game.is_nash(equilibrium)
+            invariance_holds = invariance_holds and still_nash
+            breakdown = game.social_cost(equilibrium)
+            ratio = congestion_price_of_ignorance(game, equilibrium)
+            if previous_ratio is not None and ratio < previous_ratio - 1e-9:
+                monotone = False
+            previous_ratio = ratio
+            rows.append(
+                {
+                    "seed": seed,
+                    "beta": beta,
+                    "equilibrium_unchanged": still_nash,
+                    "links": equilibrium.num_links,
+                    "social_cost": breakdown.total,
+                    "congestion_cost": breakdown.congestion_cost,
+                    "price_of_ignorance": ratio,
+                }
+            )
+        monotone_all = monotone_all and monotone
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Congestion externalities of selfish link buying",
+        paper_claim=(
+            "conclusion (future work): incorporate congestion; first-order "
+            "effect: equilibria unchanged, social gap grows with beta"
+        ),
+        rows=tuple(rows),
+        verdict=invariance_holds and monotone_all and bool(rows),
+        notes=(
+            "equilibrium invariance is exact (the congestion term is an "
+            "externality w.r.t. the deviator's strategy)",
+            "price_of_ignorance = congestion-aware cost of the selfish "
+            "equilibrium / best congestion-aware candidate topology",
+        ),
+        params={
+            "n": n,
+            "alpha": alpha,
+            "betas": list(betas),
+            "seeds": list(seeds),
+        },
+    )

@@ -1,0 +1,102 @@
+"""E11 — extension: bilateral consent restores stability.
+
+The paper's instability (Theorem 5.1) is a property of *unilateral*
+directed link formation.  Under the bilateral (Corbo–Parkes style)
+variant — links need consent, both endpoints split the bill, and the
+solution concept is pairwise stability — the picture changes completely:
+
+* on the very witness instance that has **zero** pure Nash equilibria
+  under unilateral formation, single-edge improving dynamics reach a
+  certified pairwise-stable topology;
+* the same holds across random 2-D populations, where bilateral dynamics
+  stabilize in a handful of single-edge moves.
+
+This experiment runs both games on identical instances and reports the
+contrast (plus the social cost of the bilateral outcomes against the
+unilateral-game optimum portfolio, for scale).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.constructions.no_nash import build_no_nash_instance
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.game import TopologyGame
+from repro.core.social_optimum import optimum_upper_bound
+from repro.experiments.base import ExperimentResult
+from repro.extensions.bilateral import BilateralGame
+from repro.metrics.euclidean import EuclideanMetric
+
+__all__ = ["run"]
+
+
+def _contrast_row(
+    label: str, game: TopologyGame, max_rounds: int
+) -> Dict[str, Any]:
+    unilateral = BestResponseDynamics(game, record_moves=False).run(
+        max_rounds=max_rounds
+    )
+    bilateral = BilateralGame(game.metric, game.alpha)
+    topology, stable, steps = bilateral.improve_dynamics()
+    certificate = bilateral.check_pairwise_stability(topology)
+    optimum = optimum_upper_bound(game)
+    bilateral_cost = bilateral.social_cost(topology)
+    return {
+        "instance": label,
+        "alpha": game.alpha,
+        "unilateral_outcome": unilateral.stopped_reason,
+        "bilateral_stable": stable and certificate.is_stable,
+        "bilateral_moves": steps,
+        "bilateral_edges": len(topology.edges),
+        "bilateral_cost": bilateral_cost,
+        "vs_best_known": bilateral_cost / optimum.upper,
+    }
+
+
+def run(
+    n: int = 8,
+    alpha: float = 1.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    max_rounds: int = 120,
+) -> ExperimentResult:
+    """Unilateral vs bilateral formation on the witness + random instances."""
+    rows: List[Dict[str, Any]] = []
+    rows.append(
+        _contrast_row("no-nash-witness", build_no_nash_instance(), max_rounds)
+    )
+    for seed in seeds:
+        metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+        rows.append(
+            _contrast_row(
+                f"random-2d(seed={seed})",
+                TopologyGame(metric, alpha),
+                max_rounds,
+            )
+        )
+    witness_row = rows[0]
+    witness_contrast = (
+        witness_row["unilateral_outcome"] == "cycle"
+        and witness_row["bilateral_stable"]
+    )
+    all_bilateral_stable = all(row["bilateral_stable"] for row in rows)
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Bilateral consent restores stability",
+        paper_claim=(
+            "related work contrast: Section 5's instability is specific to "
+            "unilateral formation; bilateral models (Corbo-Parkes) admit "
+            "stable outcomes"
+        ),
+        rows=tuple(rows),
+        verdict=witness_contrast and all_bilateral_stable,
+        notes=(
+            "pairwise stability: no profitable unilateral edge drop, no "
+            "mutually profitable edge addition (certified per instance)",
+        ),
+        params={
+            "n": n,
+            "alpha": alpha,
+            "seeds": list(seeds),
+        },
+    )

@@ -1,0 +1,69 @@
+"""E2 — Lemma 4.3: the Figure 1 topology costs ``Theta(alpha n^2)``.
+
+The paper computes the social cost of the Figure 1 equilibrium as
+``Theta(alpha n^2)``: link costs are ``Theta(alpha n)`` but the stretches
+between far-apart even/odd peers are each ``> alpha / 2``, so the stretch
+term dominates quadratically.  This experiment measures ``C(G)``, its
+link/stretch split, and the normalized ratio ``C / (alpha n^2)`` across a
+sweep of ``n``, then fits the growth exponent of ``C`` versus ``n`` in
+log-log space (expected slope: 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.stats import fit_loglog
+from repro.constructions.line_lower_bound import build_lower_bound_instance
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    ns: Sequence[int] = (6, 10, 16, 24, 36, 48),
+    alpha: float = 4.0,
+    slope_tolerance: float = 0.25,
+    ratio_spread_limit: float = 4.0,
+) -> ExperimentResult:
+    """Measure the Figure 1 social cost scaling across ``n``."""
+    rows: List[Dict[str, Any]] = []
+    for n in ns:
+        instance = build_lower_bound_instance(n, alpha)
+        breakdown = instance.game.social_cost(instance.profile)
+        rows.append(
+            {
+                "n": n,
+                "alpha": alpha,
+                "total_cost": breakdown.total,
+                "link_cost": breakdown.link_cost,
+                "stretch_cost": breakdown.stretch_cost,
+                "cost_over_alpha_n2": breakdown.total / (alpha * n * n),
+            }
+        )
+    fit = fit_loglog(
+        [row["n"] for row in rows], [row["total_cost"] for row in rows]
+    )
+    ratios = [row["cost_over_alpha_n2"] for row in rows]
+    spread = max(ratios) / min(ratios)
+    verdict = (
+        abs(fit.slope - 2.0) <= slope_tolerance
+        and spread <= ratio_spread_limit
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Figure 1 social cost grows as Theta(alpha n^2)",
+        paper_claim=(
+            "Lemma 4.3: C(G) in Theta(alpha n^2) — link costs Theta(alpha "
+            "n), stretch costs Theta(alpha n^2)"
+        ),
+        rows=tuple(rows),
+        verdict=verdict,
+        notes=(
+            f"log-log slope of C vs n: {fit.slope:.3f} "
+            f"(expected 2, r^2={fit.r_squared:.4f})",
+            f"C/(alpha n^2) spread across sweep: {spread:.2f}x "
+            f"(bounded => Theta, not just O)",
+        ),
+        params={"ns": list(ns), "alpha": alpha},
+    )

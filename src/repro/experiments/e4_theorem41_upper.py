@@ -1,0 +1,105 @@
+"""E4 — Theorem 4.1: every equilibrium respects the upper bounds.
+
+Theorem 4.1 holds for *arbitrary* metric spaces: in any Nash equilibrium
+no stretch exceeds ``alpha + 1``, hence the social cost is ``O(alpha
+n^2)`` and the Price of Anarchy ``O(min(alpha, n))``.  This experiment
+finds equilibria by exact best-response dynamics on random instances from
+three metric families (1-D line, 2-D Euclidean, random metric-repaired
+matrices — covering the growth-bounded and general cases the theorem
+names) and checks every found equilibrium against every bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.bounds import check_equilibrium_bounds, poa_upper_bound
+from repro.core.anarchy import estimate_price_of_anarchy
+from repro.core.dynamics import BestResponseDynamics, RandomScheduler
+from repro.core.game import TopologyGame
+from repro.experiments.base import ExperimentResult
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+from repro.metrics.matrix import DistanceMatrixMetric
+
+__all__ = ["run"]
+
+
+def _make_metric(family: str, n: int, seed: int):
+    if family == "line-1d":
+        return LineMetric.random_uniform_line(n, seed=seed)
+    if family == "euclidean-2d":
+        return EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+    if family == "random-matrix":
+        return DistanceMatrixMetric.random(n, seed=seed)
+    raise ValueError(f"unknown metric family {family!r}")
+
+
+def run(
+    families: Sequence[str] = ("line-1d", "euclidean-2d", "random-matrix"),
+    n: int = 10,
+    alphas: Sequence[float] = (0.5, 2.0, 8.0),
+    seeds: Sequence[int] = (0, 1, 2),
+    max_rounds: int = 120,
+) -> ExperimentResult:
+    """Find equilibria on random metrics and check all Theorem 4.1 bounds."""
+    rows: List[Dict[str, Any]] = []
+    all_hold = True
+    found_any = False
+    for family in families:
+        for alpha in alphas:
+            for seed in seeds:
+                metric = _make_metric(family, n, seed)
+                game = TopologyGame(metric, alpha)
+                dynamics = BestResponseDynamics(
+                    game,
+                    scheduler=RandomScheduler(seed),
+                    record_moves=False,
+                )
+                result = dynamics.run(max_rounds=max_rounds)
+                row: Dict[str, Any] = {
+                    "family": family,
+                    "alpha": alpha,
+                    "seed": seed,
+                    "converged": result.converged,
+                }
+                if result.converged:
+                    found_any = True
+                    check = check_equilibrium_bounds(game, result.profile)
+                    estimate = estimate_price_of_anarchy(
+                        game, equilibria=[result.profile]
+                    )
+                    row.update(
+                        {
+                            "max_stretch": check.max_stretch,
+                            "stretch_bound": check.max_stretch_limit,
+                            "poa_lower": estimate.lower,
+                            "poa_bound": poa_upper_bound(alpha, n),
+                            "bounds_hold": check.holds
+                            and estimate.lower
+                            <= poa_upper_bound(alpha, n) * (1 + 1e-9),
+                        }
+                    )
+                    all_hold = all_hold and bool(row["bounds_hold"])
+                rows.append(row)
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Theorem 4.1 bounds hold on every found equilibrium",
+        paper_claim=(
+            "Theorem 4.1: for any metric space, equilibrium stretches are "
+            "<= alpha + 1 and the PoA is O(min(alpha, n))"
+        ),
+        rows=tuple(rows),
+        verdict=all_hold and found_any,
+        notes=(
+            "equilibria found by exact best-response dynamics (convergence "
+            "certifies a pure Nash equilibrium); non-converged runs carry "
+            "no bound obligations",
+        ),
+        params={
+            "families": list(families),
+            "n": n,
+            "alphas": list(alphas),
+            "seeds": list(seeds),
+        },
+    )

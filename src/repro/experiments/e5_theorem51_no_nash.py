@@ -1,0 +1,161 @@
+"""E5 — Theorem 5.1 / Figure 2: an instance with no pure Nash equilibrium.
+
+The paper proves that certain 2-D Euclidean instances admit no pure Nash
+equilibrium, so selfish rewiring never stabilizes even without churn.
+This experiment delivers the machine-checked version on the canonical
+witness (five peers in the plane, the Figure 2 anatomy at ``k = 1``,
+``alpha = 0.6``):
+
+1. **Exhaustive certificate** — sweep all ``2^20`` strategy profiles and
+   count equilibria: zero, for every alpha in the certified window.
+2. **Non-convergence in practice** — exact best-response dynamics from
+   multiple starts and activation orders always enters a provable cycle.
+3. **Alpha boundary** — just outside the window equilibria reappear,
+   locating the instance on the edge the paper's construction engineers.
+4. **Global divergence** — the full best-response graph over all 2^20
+   states has *no sink*, so no trajectory from any start under any
+   activation order can ever converge (the strongest reading of the
+   theorem), and the greedy pilot walk lands in a four-state attractor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.constructions.no_nash import (
+    CERTIFIED_ALPHAS,
+    WITNESS_ALPHA,
+    build_no_nash_instance,
+    certify_no_nash,
+)
+from repro.core.dynamics import (
+    BestResponseDynamics,
+    FixedOrderScheduler,
+    RoundRobinScheduler,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    alphas: Sequence[float] = CERTIFIED_ALPHAS,
+    boundary_alphas: Sequence[float] = (0.55, 0.7),
+    max_rounds: int = 120,
+    analyze_graph: bool = True,
+) -> ExperimentResult:
+    """Certify the no-Nash witness and demonstrate perpetual cycling."""
+    rows: List[Dict[str, Any]] = []
+    certified = True
+    for alpha in alphas:
+        result = certify_no_nash(alpha=alpha)
+        rows.append(
+            {
+                "phase": "exhaustive",
+                "alpha": alpha,
+                "profiles_checked": result.num_profiles,
+                "equilibria": result.num_equilibria,
+                "outcome": "no pure NE" if not result.has_equilibrium else "NE exists",
+            }
+        )
+        certified = certified and not result.has_equilibrium
+    boundary_has_ne = True
+    for alpha in boundary_alphas:
+        result = certify_no_nash(alpha=alpha)
+        rows.append(
+            {
+                "phase": "boundary",
+                "alpha": alpha,
+                "profiles_checked": result.num_profiles,
+                "equilibria": result.num_equilibria,
+                "outcome": "no pure NE" if not result.has_equilibrium else "NE exists",
+            }
+        )
+        boundary_has_ne = boundary_has_ne and result.has_equilibrium
+
+    game = build_no_nash_instance(WITNESS_ALPHA)
+    all_cycle = True
+    schedulers = {
+        "round-robin": RoundRobinScheduler(),
+        "reverse-order": FixedOrderScheduler(list(range(game.n - 1, -1, -1))),
+    }
+    starts = {
+        "empty": game.empty_profile(),
+        "complete": game.complete_profile(),
+        "random(7)": game.random_profile(0.4, seed=7),
+    }
+    for sched_name, scheduler in schedulers.items():
+        for start_name, start in starts.items():
+            dynamics = BestResponseDynamics(
+                game, scheduler=scheduler, record_moves=False
+            )
+            result = dynamics.run(initial=start, max_rounds=max_rounds)
+            rows.append(
+                {
+                    "phase": "dynamics",
+                    "alpha": WITNESS_ALPHA,
+                    "scheduler": sched_name,
+                    "start": start_name,
+                    "outcome": result.stopped_reason,
+                    "cycle_period": result.cycle.period if result.cycle else None,
+                    "distinct_topologies": (
+                        result.cycle.num_distinct_profiles
+                        if result.cycle
+                        else None
+                    ),
+                }
+            )
+            all_cycle = all_cycle and result.stopped_reason == "cycle"
+
+    graph_diverges = True
+    if analyze_graph:
+        from repro.core.response_graph import analyze_response_graph
+
+        analysis = analyze_response_graph(
+            game.distance_matrix, WITNESS_ALPHA
+        )
+        rows.append(
+            {
+                "phase": "response-graph",
+                "alpha": WITNESS_ALPHA,
+                "profiles_checked": analysis.num_profiles,
+                "equilibria": len(analysis.sink_ids),
+                "outcome": (
+                    "no sink: diverges from every start"
+                    if analysis.diverges_from_everywhere
+                    else "sink exists"
+                ),
+                "cycle_period": None,
+                "distinct_topologies": (
+                    len(analysis.attractor_ids)
+                    if analysis.attractor_ids
+                    else None
+                ),
+            }
+        )
+        graph_diverges = analysis.diverges_from_everywhere
+
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Theorem 5.1 witness: no pure Nash equilibrium exists",
+        paper_claim=(
+            "Theorem 5.1: there are 2-D Euclidean instances with no pure "
+            "Nash equilibrium; selfish dynamics never converge, even "
+            "without churn"
+        ),
+        rows=tuple(rows),
+        verdict=certified and all_cycle and graph_diverges,
+        notes=(
+            "witness coordinates reconstructed by numerical search (the "
+            "paper's Figure 2 coordinates are not fully recoverable); "
+            "certificate is stronger than the paper's hand proof: all "
+            "2^20 profiles checked",
+            "boundary alphas show equilibria reappearing outside the "
+            "window" if boundary_has_ne else "boundary alphas unexpectedly "
+            "also lack equilibria",
+        ),
+        params={
+            "alphas": list(alphas),
+            "boundary_alphas": list(boundary_alphas),
+        },
+    )

@@ -1,0 +1,34 @@
+"""Extensions: the paper's future-work directions, implemented.
+
+The conclusion invites incorporating "aspects such as overlay routing and
+congestion"; the related work contrasts with bilateral formation models.
+Both are built here on the same substrate as the main game:
+
+* :mod:`~repro.extensions.congestion` — an in-degree congestion term
+  ``beta * indeg_i``: equilibria are unchanged (the term is an
+  externality) but the social optimum shifts, quantifying the congestion
+  cost selfish peers impose on others.
+* :mod:`~repro.extensions.bilateral` — consent-based (Corbo–Parkes
+  style) link formation with pairwise stability; notably, pairwise-stable
+  topologies exist even on the Theorem 5.1 no-Nash witness.
+"""
+
+from repro.extensions.bilateral import (
+    BilateralGame,
+    BilateralTopology,
+    PairwiseStabilityCertificate,
+)
+from repro.extensions.congestion import (
+    CongestionCostBreakdown,
+    CongestionGame,
+    congestion_price_of_ignorance,
+)
+
+__all__ = [
+    "CongestionGame",
+    "CongestionCostBreakdown",
+    "congestion_price_of_ignorance",
+    "BilateralGame",
+    "BilateralTopology",
+    "PairwiseStabilityCertificate",
+]

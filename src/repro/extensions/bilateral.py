@@ -1,0 +1,253 @@
+"""Bilateral link formation: the Corbo–Parkes comparator (PODC 2005).
+
+The paper's related work cites Corbo and Parkes, *The Price of Selfish
+Behavior in Bilateral Network Formation* — a model where a link requires
+*consent from both endpoints* (and both pay), in contrast to our paper's
+unilateral directed links.  This module implements the bilateral variant
+over the same metric/stretch cost model so the two formation rules can be
+compared on identical populations:
+
+* A *bilateral topology* is an undirected edge set; both endpoints pay
+  ``alpha/2`` per incident edge (cost-shared consent) and enjoy the
+  symmetric overlay's stretches.
+* The solution concept is **pairwise stability** (Jackson–Wolinsky):
+  no single peer gains by *dropping* one of its edges, and no pair of
+  peers can *both* strictly gain by adding the edge between them.
+
+Pairwise stability is weaker than Nash in the deviation space (single
+edges, not whole strategy rewires), which is exactly what makes the
+comparison interesting: bilateral consent plus single-edge deviations
+tames the instability of Section 5 — pairwise-stable topologies exist on
+the no-Nash witness (the test suite pins one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.costs import stretch_matrix
+from repro.core.topology import overlay_from_matrix
+from repro.core.profile import StrategyProfile
+from repro.metrics.base import MetricSpace
+
+__all__ = [
+    "BilateralTopology",
+    "BilateralGame",
+    "PairwiseStabilityCertificate",
+]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BilateralTopology:
+    """An undirected edge set over ``n`` peers (value object)."""
+
+    n: int
+    edges: FrozenSet[Edge]
+
+    def __post_init__(self):
+        for u, v in self.edges:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise ValueError(f"edge ({u}, {v}) out of range")
+            if u >= v:
+                raise ValueError(
+                    f"edges must be normalized (u < v), got ({u}, {v})"
+                )
+
+    @classmethod
+    def from_pairs(cls, n: int, pairs) -> "BilateralTopology":
+        """Build from unordered pairs (normalized automatically)."""
+        normalized = set()
+        for u, v in pairs:
+            if u == v:
+                raise ValueError(f"self-edge on {u}")
+            normalized.add((min(u, v), max(u, v)))
+        return cls(n=n, edges=frozenset(normalized))
+
+    def degree(self, peer: int) -> int:
+        """Number of edges incident to ``peer``."""
+        return sum(1 for u, v in self.edges if peer in (u, v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self.edges
+
+    def with_edge(self, u: int, v: int) -> "BilateralTopology":
+        return BilateralTopology.from_pairs(
+            self.n, set(self.edges) | {(u, v)}
+        )
+
+    def without_edge(self, u: int, v: int) -> "BilateralTopology":
+        return BilateralTopology(
+            self.n, self.edges - {(min(u, v), max(u, v))}
+        )
+
+    def to_profile(self) -> StrategyProfile:
+        """Directed view: each undirected edge becomes two directed links."""
+        strategies: List[Set[int]] = [set() for _ in range(self.n)]
+        for u, v in self.edges:
+            strategies[u].add(v)
+            strategies[v].add(u)
+        return StrategyProfile(strategies)
+
+
+@dataclass(frozen=True)
+class PairwiseStabilityCertificate:
+    """Outcome of a pairwise-stability check.
+
+    ``is_stable`` iff both witness fields are ``None``; otherwise exactly
+    one of them names the profitable move.
+    """
+
+    is_stable: bool
+    drop_witness: Optional[Tuple[int, Edge, float]]
+    add_witness: Optional[Tuple[Edge, float, float]]
+
+
+class BilateralGame:
+    """Bilateral (consent-based) topology formation over a metric.
+
+    Parameters
+    ----------
+    metric:
+        Peer latency space.
+    alpha:
+        Total cost per undirected edge; each endpoint pays ``alpha / 2``.
+    """
+
+    def __init__(self, metric: MetricSpace, alpha: float) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self._metric = metric
+        self._alpha = float(alpha)
+        self._dmat = metric.distance_matrix()
+
+    @property
+    def n(self) -> int:
+        return self._metric.n
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    # ------------------------------------------------------------------
+    def individual_costs(self, topology: BilateralTopology) -> np.ndarray:
+        """``c_i = (alpha/2) deg_i + sum_j stretch(i, j)``."""
+        profile = topology.to_profile()
+        overlay = overlay_from_matrix(self._dmat, profile)
+        stretch = stretch_matrix(self._dmat, overlay)
+        degrees = np.array(
+            [topology.degree(i) for i in range(self.n)], dtype=float
+        )
+        return (self._alpha / 2.0) * degrees + stretch.sum(axis=1)
+
+    def _cost_keys(
+        self, topology: BilateralTopology
+    ) -> List[Tuple[int, float]]:
+        """Lexicographic cost keys ``(unreachable count, finite cost)``.
+
+        Comparing keys instead of raw costs makes improvement well
+        defined through the infinite-cost regime: connecting one more
+        peer always beats any finite saving (``inf - inf`` is meaningless
+        as a float but ``(2, c) > (1, c')`` is not).
+        """
+        profile = topology.to_profile()
+        overlay = overlay_from_matrix(self._dmat, profile)
+        stretch = stretch_matrix(self._dmat, overlay)
+        degrees = np.array(
+            [topology.degree(i) for i in range(self.n)], dtype=float
+        )
+        keys: List[Tuple[int, float]] = []
+        for i in range(self.n):
+            row = stretch[i]
+            unreachable = int(np.isinf(row).sum())
+            finite = float(row[np.isfinite(row)].sum())
+            keys.append(
+                (unreachable, (self._alpha / 2.0) * degrees[i] + finite)
+            )
+        return keys
+
+    def social_cost(self, topology: BilateralTopology) -> float:
+        """Sum of individual costs (``alpha |E| + sum stretch``)."""
+        return float(self.individual_costs(topology).sum())
+
+    # ------------------------------------------------------------------
+    def check_pairwise_stability(
+        self, topology: BilateralTopology
+    ) -> PairwiseStabilityCertificate:
+        """Certified pairwise-stability check.
+
+        Returns the first profitable unilateral *drop* (a peer strictly
+        gains by severing one incident edge) or bilateral *add* (both
+        endpoints strictly gain by creating the missing edge), if any.
+        """
+        keys = self._cost_keys(topology)
+
+        def gain_of(old: Tuple[int, float], new: Tuple[int, float]) -> float:
+            """Strictly positive iff ``new`` lexicographically beats ``old``."""
+            if new[0] != old[0]:
+                return math.inf if new[0] < old[0] else -math.inf
+            tolerance = 1e-9 * max(1.0, abs(old[1]))
+            delta = old[1] - new[1]
+            return delta if delta > tolerance else 0.0
+
+        # Unilateral drops.
+        for u, v in sorted(topology.edges):
+            dropped_keys = self._cost_keys(topology.without_edge(u, v))
+            for peer in (u, v):
+                gain = gain_of(keys[peer], dropped_keys[peer])
+                if gain > 0:
+                    return PairwiseStabilityCertificate(
+                        is_stable=False,
+                        drop_witness=(peer, (u, v), float(gain)),
+                        add_witness=None,
+                    )
+        # Bilateral adds.
+        for u in range(self.n):
+            for v in range(u + 1, self.n):
+                if topology.has_edge(u, v):
+                    continue
+                added_keys = self._cost_keys(topology.with_edge(u, v))
+                gain_u = gain_of(keys[u], added_keys[u])
+                gain_v = gain_of(keys[v], added_keys[v])
+                if gain_u > 0 and gain_v > 0:
+                    return PairwiseStabilityCertificate(
+                        is_stable=False,
+                        drop_witness=None,
+                        add_witness=((u, v), float(gain_u), float(gain_v)),
+                    )
+        return PairwiseStabilityCertificate(
+            is_stable=True, drop_witness=None, add_witness=None
+        )
+
+    def improve_dynamics(
+        self,
+        initial: Optional[BilateralTopology] = None,
+        max_steps: int = 10_000,
+    ) -> Tuple[BilateralTopology, bool, int]:
+        """Myerson-style improving dynamics: apply drops/adds until stable.
+
+        Returns ``(topology, stabilized, steps)``.  Unlike the unilateral
+        game, these single-edge dynamics always terminate here in
+        practice; a step limit guards pathological ties.
+        """
+        topology = (
+            initial
+            if initial is not None
+            else BilateralTopology.from_pairs(self.n, [])
+        )
+        for step in range(max_steps):
+            certificate = self.check_pairwise_stability(topology)
+            if certificate.is_stable:
+                return topology, True, step
+            if certificate.drop_witness is not None:
+                _, edge, _ = certificate.drop_witness
+                topology = topology.without_edge(*edge)
+            else:
+                edge, _, _ = certificate.add_witness
+                topology = topology.with_edge(*edge)
+        return topology, False, max_steps

@@ -1,0 +1,170 @@
+"""Congestion-aware topology game (the paper's future-work direction).
+
+The conclusion of the paper proposes "to incorporate aspects such as
+overlay routing and congestion into our model."  This module implements
+the natural first step: a peer that many others link to carries more
+forwarding load, so its *in-degree* enters the cost function::
+
+    c_i(s) = alpha * |s_i| + sum_{j != i} stretch(i, j) + beta * indeg_i(s)
+
+``beta`` prices the forwarding/congestion burden a peer carries for the
+links pointed *at* it.  Two game-theoretic consequences, both exercised
+by the test suite:
+
+* The congestion term is *externally imposed*: peer ``i`` cannot change
+  its own in-degree by rewiring, so best responses — and therefore the
+  set of pure Nash equilibria — are **unchanged** for any ``beta``.
+  (``c_i`` differs by a constant w.r.t. ``s_i``.)
+* The *social* cost does change — by ``beta |E|`` in aggregate — so the
+  socially optimal topology shifts toward fewer links, and the Price of
+  Anarchy moves with it.  Selfish peers ignore the congestion they cause
+  others: a textbook negative externality, quantified by
+  :func:`congestion_price_of_ignorance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.costs import CostBreakdown, stretch_matrix
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.topology import overlay_from_matrix
+from repro.metrics.base import MetricSpace
+
+__all__ = [
+    "CongestionCostBreakdown",
+    "CongestionGame",
+    "congestion_price_of_ignorance",
+]
+
+
+@dataclass(frozen=True)
+class CongestionCostBreakdown:
+    """Social cost split including the congestion term."""
+
+    link_cost: float
+    stretch_cost: float
+    congestion_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.link_cost + self.stretch_cost + self.congestion_cost
+
+    def __str__(self) -> str:
+        return (
+            f"C = {self.total:.6g} (links {self.link_cost:.6g} + stretch "
+            f"{self.stretch_cost:.6g} + congestion {self.congestion_cost:.6g})"
+        )
+
+
+class CongestionGame:
+    """The topology game with an in-degree congestion term.
+
+    Parameters
+    ----------
+    metric:
+        Peer latency space.
+    alpha:
+        Link-maintenance cost (as in the base game).
+    beta:
+        Congestion price per incoming link.
+    """
+
+    def __init__(
+        self, metric: MetricSpace, alpha: float, beta: float
+    ) -> None:
+        if beta < 0:
+            raise ValueError(f"beta must be >= 0, got {beta}")
+        self._base = TopologyGame(metric, alpha)
+        self._beta = float(beta)
+
+    @property
+    def base_game(self) -> TopologyGame:
+        """The congestion-free game sharing metric and alpha."""
+        return self._base
+
+    @property
+    def alpha(self) -> float:
+        return self._base.alpha
+
+    @property
+    def beta(self) -> float:
+        return self._beta
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    # ------------------------------------------------------------------
+    def in_degrees(self, profile: StrategyProfile) -> np.ndarray:
+        """Incoming-link counts per peer."""
+        degrees = np.zeros(profile.n, dtype=int)
+        for _, j in profile.edges():
+            degrees[j] += 1
+        return degrees
+
+    def individual_costs(self, profile: StrategyProfile) -> np.ndarray:
+        """Per-peer cost including the congestion term."""
+        base = self._base.individual_costs(profile)
+        return base + self._beta * self.in_degrees(profile)
+
+    def social_cost(
+        self, profile: StrategyProfile
+    ) -> CongestionCostBreakdown:
+        """Social cost; the congestion component is ``beta |E|``."""
+        base: CostBreakdown = self._base.social_cost(profile)
+        return CongestionCostBreakdown(
+            link_cost=base.link_cost,
+            stretch_cost=base.stretch_cost,
+            congestion_cost=self._beta * profile.num_links,
+        )
+
+    # ------------------------------------------------------------------
+    def best_response(self, profile: StrategyProfile, peer: int):
+        """Best response — identical to the base game's.
+
+        A peer's in-degree is controlled by *other* peers' strategies, so
+        the congestion term is constant in ``s_i`` and drops out of the
+        argmin.  Delegation is therefore exact, not an approximation.
+        """
+        return self._base.best_response(profile, peer)
+
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        """Nash equilibria coincide with the base game's (see module doc)."""
+        from repro.core.equilibrium import verify_nash
+
+        return verify_nash(self._base, profile).is_nash
+
+
+def congestion_price_of_ignorance(
+    game: CongestionGame,
+    equilibrium: StrategyProfile,
+    reference: Optional[StrategyProfile] = None,
+) -> float:
+    """How much selfish link-buying over-congests the network.
+
+    Ratio of the congestion-aware social cost of ``equilibrium`` (reached
+    by peers who ignore the congestion they impose) to that of
+    ``reference`` (default: the best candidate topology of the base
+    game's optimum portfolio evaluated under congestion-aware cost).
+    Values above 1 quantify the externality.
+    """
+    if reference is None:
+        from repro.core.social_optimum import candidate_topologies
+
+        best_cost = None
+        for _, profile in candidate_topologies(game.base_game):
+            cost = game.social_cost(profile).total
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+        reference_cost = best_cost if best_cost is not None else float("inf")
+    else:
+        reference_cost = game.social_cost(reference).total
+    equilibrium_cost = game.social_cost(equilibrium).total
+    if reference_cost <= 0:
+        raise ValueError("reference topology has non-positive cost")
+    return equilibrium_cost / reference_cost

@@ -1,0 +1,51 @@
+"""Graph substrate: weighted digraphs and shortest-path algorithms.
+
+The overlay topologies formed by selfish peers are *directed* graphs whose
+edge weights are metric distances.  This subpackage provides the minimal,
+fast graph machinery the game layer is built on:
+
+* :class:`~repro.graphs.digraph.WeightedDigraph` — a compact adjacency-map
+  digraph with float weights.
+* :mod:`~repro.graphs.shortest_paths` — Dijkstra single-source /
+  multi-source / all-pairs distances with two interchangeable backends
+  (a pure-Python reference implementation and a scipy-accelerated one),
+  cross-validated in the test suite.
+* :mod:`~repro.graphs.reachability` — reachability and strong-connectivity
+  checks (a profile with unreachable pairs has infinite social cost).
+* :mod:`~repro.graphs.generators` — deterministic graph generators used by
+  tests and baselines.
+"""
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.generators import (
+    bidirectional_cycle,
+    bidirectional_path,
+    complete_digraph,
+    random_digraph,
+    star_digraph,
+)
+from repro.graphs.reachability import (
+    all_pairs_reachable,
+    is_strongly_connected,
+    reachable_from,
+)
+from repro.graphs.shortest_paths import (
+    all_pairs_distances,
+    multi_source_distances,
+    single_source_distances,
+)
+
+__all__ = [
+    "WeightedDigraph",
+    "single_source_distances",
+    "multi_source_distances",
+    "all_pairs_distances",
+    "reachable_from",
+    "is_strongly_connected",
+    "all_pairs_reachable",
+    "complete_digraph",
+    "bidirectional_path",
+    "bidirectional_cycle",
+    "star_digraph",
+    "random_digraph",
+]

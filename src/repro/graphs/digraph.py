@@ -1,0 +1,202 @@
+"""A compact weighted directed graph.
+
+The game layer rebuilds overlays frequently (every best-response evaluation
+constructs a graph with one peer's out-edges removed), so this class is
+deliberately small: nodes are the integers ``0..n-1`` and adjacency is a list
+of per-node successor dictionaries.  Converters to scipy sparse matrices and
+networkx are provided for the accelerated shortest-path backend and for
+interoperability, respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+__all__ = ["WeightedDigraph"]
+
+Edge = Tuple[int, int, float]
+
+
+class WeightedDigraph:
+    """A directed graph on nodes ``0..n-1`` with float edge weights.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.  Nodes are implicit; only edges are stored.
+
+    Notes
+    -----
+    Edge weights must be non-negative (they are metric distances in this
+    library).  Adding an edge that already exists overwrites its weight.
+    """
+
+    __slots__ = ("_num_nodes", "_succ", "_num_edges")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._succ: List[Dict[int, float]] = [{} for _ in range(num_nodes)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges currently in the graph."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedDigraph(num_nodes={self._num_nodes}, "
+            f"num_edges={self._num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._num_nodes:
+            raise IndexError(f"node {u} out of range [0, {self._num_nodes})")
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add (or overwrite) the directed edge ``u -> v``."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loop on node {u} is not allowed")
+        if weight < 0:
+            raise ValueError(f"edge weight must be >= 0, got {weight}")
+        if v not in self._succ[u]:
+            self._num_edges += 1
+        self._succ[u][v] = float(weight)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the directed edge ``u -> v`` (KeyError if absent)."""
+        self._check_node(u)
+        del self._succ[u][v]
+        self._num_edges -= 1
+
+    def remove_out_edges(self, u: int) -> None:
+        """Remove every out-edge of node ``u``."""
+        self._check_node(u)
+        self._num_edges -= len(self._succ[u])
+        self._succ[u] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if the directed edge ``u -> v`` exists."""
+        self._check_node(u)
+        return v in self._succ[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Return the weight of edge ``u -> v`` (KeyError if absent)."""
+        self._check_node(u)
+        return self._succ[u][v]
+
+    def successors(self, u: int) -> Mapping[int, float]:
+        """Read-only view of ``u``'s successor -> weight mapping."""
+        self._check_node(u)
+        return self._succ[u]
+
+    def out_degree(self, u: int) -> int:
+        """Number of out-edges of node ``u``."""
+        self._check_node(u)
+        return len(self._succ[u])
+
+    def in_degree(self, u: int) -> int:
+        """Number of in-edges of node ``u`` (computed, O(E))."""
+        self._check_node(u)
+        return sum(1 for succ in self._succ if u in succ)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(u, v, weight)`` triples."""
+        for u, succ in enumerate(self._succ):
+            for v, w in succ.items():
+                yield (u, v, w)
+
+    # ------------------------------------------------------------------
+    # Copies and converters
+    # ------------------------------------------------------------------
+    def copy(self) -> "WeightedDigraph":
+        """Return an independent copy of the graph."""
+        clone = WeightedDigraph(self._num_nodes)
+        clone._succ = [dict(succ) for succ in self._succ]
+        clone._num_edges = self._num_edges
+        return clone
+
+    def copy_without_out_edges(self, u: int) -> "WeightedDigraph":
+        """Copy of the graph with all out-edges of ``u`` removed.
+
+        This is the graph ``H`` used by best-response computations: a
+        shortest path from ``u`` never revisits ``u``, so distances from any
+        first-hop candidate are evaluated in ``H``.
+        """
+        clone = self.copy()
+        clone.remove_out_edges(u)
+        return clone
+
+    def reversed(self) -> "WeightedDigraph":
+        """Return the graph with every edge direction flipped."""
+        rev = WeightedDigraph(self._num_nodes)
+        for u, v, w in self.edges():
+            rev.add_edge(v, u, w)
+        return rev
+
+    def to_csr(self):
+        """Convert to a ``scipy.sparse.csr_matrix`` for csgraph routines."""
+        from scipy.sparse import csr_matrix
+
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for u, v, w in self.edges():
+            rows.append(u)
+            cols.append(v)
+            data.append(w)
+        n = self._num_nodes
+        return csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def to_networkx(self):
+        """Convert to a ``networkx.DiGraph`` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self._num_nodes))
+        g.add_weighted_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Iterable[Edge]
+    ) -> "WeightedDigraph":
+        """Build a graph from an iterable of ``(u, v, weight)`` triples."""
+        graph = cls(num_nodes)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedDigraph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes and self._succ == other._succ
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("WeightedDigraph is mutable and unhashable")

@@ -1,0 +1,98 @@
+"""Deterministic digraph generators.
+
+These build *graphs* (not strategy profiles); they are used by unit tests,
+shortest-path cross-validation, and documentation examples.  Overlay
+profiles over metric spaces live in :mod:`repro.baselines.structured`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.graphs.digraph import WeightedDigraph
+
+__all__ = [
+    "complete_digraph",
+    "bidirectional_path",
+    "bidirectional_cycle",
+    "star_digraph",
+    "random_digraph",
+]
+
+WeightFn = Callable[[int, int], float]
+
+
+def _unit_weight(_u: int, _v: int) -> float:
+    return 1.0
+
+
+def complete_digraph(
+    num_nodes: int, weight_fn: WeightFn = _unit_weight
+) -> WeightedDigraph:
+    """Complete digraph: every ordered pair gets an edge."""
+    graph = WeightedDigraph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v:
+                graph.add_edge(u, v, weight_fn(u, v))
+    return graph
+
+
+def bidirectional_path(
+    num_nodes: int, weight_fn: WeightFn = _unit_weight
+) -> WeightedDigraph:
+    """Path ``0 - 1 - ... - (n-1)`` with edges in both directions."""
+    graph = WeightedDigraph(num_nodes)
+    for u in range(num_nodes - 1):
+        graph.add_edge(u, u + 1, weight_fn(u, u + 1))
+        graph.add_edge(u + 1, u, weight_fn(u + 1, u))
+    return graph
+
+
+def bidirectional_cycle(
+    num_nodes: int, weight_fn: WeightFn = _unit_weight
+) -> WeightedDigraph:
+    """Cycle over ``0..n-1`` with edges in both directions."""
+    if num_nodes < 3:
+        raise ValueError(f"a cycle needs >= 3 nodes, got {num_nodes}")
+    graph = bidirectional_path(num_nodes, weight_fn)
+    graph.add_edge(num_nodes - 1, 0, weight_fn(num_nodes - 1, 0))
+    graph.add_edge(0, num_nodes - 1, weight_fn(0, num_nodes - 1))
+    return graph
+
+
+def star_digraph(
+    num_nodes: int, center: int = 0, weight_fn: WeightFn = _unit_weight
+) -> WeightedDigraph:
+    """Star with bidirectional spokes between ``center`` and all others."""
+    if not 0 <= center < num_nodes:
+        raise IndexError(f"center {center} out of range")
+    graph = WeightedDigraph(num_nodes)
+    for v in range(num_nodes):
+        if v != center:
+            graph.add_edge(center, v, weight_fn(center, v))
+            graph.add_edge(v, center, weight_fn(v, center))
+    return graph
+
+
+def random_digraph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: Optional[int] = None,
+    max_weight: float = 10.0,
+) -> WeightedDigraph:
+    """Erdos-Renyi style digraph with uniform random weights.
+
+    Used by the shortest-path property tests (pure vs scipy backends must
+    agree on arbitrary graphs, not only on metric overlays).
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = WeightedDigraph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v and rng.random() < edge_probability:
+                graph.add_edge(u, v, rng.uniform(0.0, max_weight))
+    return graph

@@ -1,0 +1,56 @@
+"""Reachability checks on weighted digraphs.
+
+A strategy profile only has finite social cost when every peer can reach
+every other peer over the overlay, so connectivity checks appear in cost
+computation fast paths, equilibrium search pruning, and validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Set
+
+from repro.graphs.digraph import WeightedDigraph
+
+__all__ = [
+    "reachable_from",
+    "is_strongly_connected",
+    "all_pairs_reachable",
+]
+
+
+def reachable_from(graph: WeightedDigraph, source: int) -> Set[int]:
+    """Set of nodes reachable from ``source`` (including itself)."""
+    if not 0 <= source < graph.num_nodes:
+        raise IndexError(f"source {source} out of range")
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.successors(u):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def is_strongly_connected(graph: WeightedDigraph) -> bool:
+    """True if every node reaches every other node.
+
+    Checked with two BFS traversals (forward and on the reversed graph),
+    which is sufficient for strong connectivity.
+    """
+    n = graph.num_nodes
+    if n <= 1:
+        return True
+    if len(reachable_from(graph, 0)) != n:
+        return False
+    return len(reachable_from(graph.reversed(), 0)) == n
+
+
+def all_pairs_reachable(graph: WeightedDigraph) -> bool:
+    """Alias of :func:`is_strongly_connected`, named for the cost model.
+
+    The social cost of a topology is finite exactly when this holds.
+    """
+    return is_strongly_connected(graph)

@@ -1,0 +1,28 @@
+"""I/O: JSON persistence, DOT export, and ASCII topology rendering."""
+
+from repro.io.ascii_art import render_line_topology
+from repro.io.dot import graph_to_dot, profile_to_dot
+from repro.io.serialize import (
+    game_from_dict,
+    game_to_dict,
+    load_json,
+    metric_from_dict,
+    metric_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+)
+
+__all__ = [
+    "metric_to_dict",
+    "metric_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "game_to_dict",
+    "game_from_dict",
+    "save_json",
+    "load_json",
+    "profile_to_dot",
+    "graph_to_dot",
+    "render_line_topology",
+]

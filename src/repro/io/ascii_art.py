@@ -1,0 +1,86 @@
+"""ASCII rendering of line topologies (the paper's Figure 1, in text).
+
+For 1-D instances the overlay is best understood as peers on a ruler with
+link arcs above it; :func:`render_line_topology` draws exactly that, which
+is how the examples and EXPERIMENTS.md visualize the exponential-line
+equilibrium without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.profile import StrategyProfile
+from repro.metrics.line import LineMetric
+
+__all__ = ["render_line_topology"]
+
+
+def render_line_topology(
+    metric: LineMetric,
+    profile: StrategyProfile,
+    width: int = 72,
+    log_scale: bool = True,
+) -> str:
+    """Draw a 1-D instance as peers on a ruler with link arcs above.
+
+    Peer ``i`` is drawn as its index on a horizontal axis placed by
+    position (log-scaled by default — the paper's Figure 1 has
+    exponentially growing gaps).  Each directed link ``i -> j`` becomes an
+    arc row above the axis with ``>``/``<`` marking the head.
+
+    Example output (n=4 exponential line)::
+
+        0>>2       <--- arcs (one row per link)
+        1<0 ...
+        0   1   2      3    <--- the ruler
+    """
+    if metric.n != profile.n:
+        raise ValueError(
+            f"metric has {metric.n} peers, profile has {profile.n}"
+        )
+    n = metric.n
+    if n == 0:
+        return "(empty topology)"
+    positions = np.asarray(metric.positions, dtype=float)
+    if log_scale:
+        shifted = positions - positions.min()
+        scaled = np.log1p(shifted)
+    else:
+        scaled = positions - positions.min()
+    span = scaled.max() if scaled.max() > 0 else 1.0
+    columns = np.round(scaled / span * (width - 1)).astype(int)
+    # Separate coincident columns so every peer is visible.
+    order = np.argsort(positions, kind="stable")
+    last_col = -1
+    for peer in order:
+        if columns[peer] <= last_col:
+            columns[peer] = last_col + 1
+        last_col = int(columns[peer])
+    total_width = max(int(columns.max()) + 1, width)
+
+    axis = [" "] * total_width
+    for peer in range(n):
+        label = str(peer)
+        col = int(columns[peer])
+        for offset, ch in enumerate(label):
+            if col + offset < total_width:
+                axis[col + offset] = ch
+
+    arc_rows: List[str] = []
+    for i, j in sorted(profile.edges()):
+        row = [" "] * total_width
+        a, b = int(columns[i]), int(columns[j])
+        left, right = (a, b) if a <= b else (b, a)
+        for col in range(left, right + 1):
+            row[col] = "-"
+        row[a] = "*"
+        row[b if a != b else b] = ">" if b > a else "<"
+        if a == b:
+            row[a] = "*"
+        arc_rows.append("".join(row).rstrip() + f"   ({i} -> {j})")
+
+    lines = arc_rows + ["".join(axis).rstrip()]
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Graphviz DOT export of overlay topologies.
+
+Purely textual (no graphviz dependency): the output can be piped into
+``dot -Tsvg`` or pasted into any online renderer to eyeball an overlay.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.profile import StrategyProfile
+from repro.graphs.digraph import WeightedDigraph
+
+__all__ = ["profile_to_dot", "graph_to_dot"]
+
+
+def _quote(label: str) -> str:
+    return '"' + label.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(
+    graph: WeightedDigraph,
+    node_labels: Optional[Mapping[int, str]] = None,
+    weight_precision: int = 3,
+    name: str = "overlay",
+) -> str:
+    """Render a weighted digraph as DOT source."""
+    lines = [f"digraph {name} {{"]
+    lines.append("  rankdir=LR;")
+    for node in range(graph.num_nodes):
+        label = (
+            node_labels[node]
+            if node_labels is not None and node in node_labels
+            else str(node)
+        )
+        lines.append(f"  {node} [label={_quote(label)}];")
+    for u, v, w in sorted(graph.edges()):
+        lines.append(
+            f"  {u} -> {v} [label={_quote(f'{w:.{weight_precision}g}')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def profile_to_dot(
+    profile: StrategyProfile,
+    node_labels: Optional[Mapping[int, str]] = None,
+    name: str = "overlay",
+) -> str:
+    """Render a strategy profile's link structure as DOT source.
+
+    Weights are omitted (the profile alone carries no metric); use
+    :func:`graph_to_dot` with ``TopologyGame.overlay`` for weighted output.
+    """
+    lines = [f"digraph {name} {{"]
+    lines.append("  rankdir=LR;")
+    for node in range(profile.n):
+        label = (
+            node_labels[node]
+            if node_labels is not None and node in node_labels
+            else str(node)
+        )
+        lines.append(f"  {node} [label={_quote(label)}];")
+    for i, j in sorted(profile.edges()):
+        lines.append(f"  {i} -> {j};")
+    lines.append("}")
+    return "\n".join(lines)

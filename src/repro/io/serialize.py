@@ -1,0 +1,127 @@
+"""JSON round-tripping of metrics, profiles, and game instances.
+
+Experiments persist their instances (notably the no-Nash witness and
+sampled equilibria) so results are replayable artifacts.  The format is a
+plain JSON object with a ``"kind"`` discriminator; numpy arrays are stored
+as nested lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.base import MetricSpace
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+from repro.metrics.matrix import DistanceMatrixMetric, UniformMetric
+from repro.metrics.ring import RingMetric
+
+__all__ = [
+    "metric_to_dict",
+    "metric_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "game_to_dict",
+    "game_from_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def metric_to_dict(metric: MetricSpace) -> Dict[str, Any]:
+    """Serialize a metric space to a JSON-compatible dict."""
+    if isinstance(metric, LineMetric):
+        return {
+            "kind": "line",
+            "positions": metric.positions.tolist(),
+        }
+    if isinstance(metric, EuclideanMetric):
+        return {
+            "kind": "euclidean",
+            "points": metric.points.tolist(),
+        }
+    if isinstance(metric, RingMetric):
+        return {
+            "kind": "ring",
+            "positions": metric.positions.tolist(),
+            "circumference": metric.circumference,
+        }
+    if isinstance(metric, UniformMetric):
+        return {"kind": "uniform", "n": metric.n}
+    if isinstance(metric, DistanceMatrixMetric):
+        return {
+            "kind": "matrix",
+            "matrix": metric.distance_matrix().tolist(),
+        }
+    # Fallback: any metric can be persisted through its distance matrix.
+    return {
+        "kind": "matrix",
+        "matrix": metric.distance_matrix().tolist(),
+    }
+
+
+def metric_from_dict(data: Dict[str, Any]) -> MetricSpace:
+    """Deserialize a metric space produced by :func:`metric_to_dict`."""
+    kind = data.get("kind")
+    if kind == "euclidean":
+        return EuclideanMetric(np.asarray(data["points"], dtype=float))
+    if kind == "line":
+        return LineMetric(np.asarray(data["positions"], dtype=float))
+    if kind == "ring":
+        return RingMetric(
+            np.asarray(data["positions"], dtype=float),
+            circumference=float(data["circumference"]),
+        )
+    if kind == "uniform":
+        return UniformMetric(int(data["n"]))
+    if kind == "matrix":
+        return DistanceMatrixMetric(np.asarray(data["matrix"], dtype=float))
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+def profile_to_dict(profile: StrategyProfile) -> Dict[str, Any]:
+    """Serialize a strategy profile (sorted adjacency lists)."""
+    return {
+        "kind": "profile",
+        "strategies": [sorted(s) for s in profile.strategies()],
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> StrategyProfile:
+    """Deserialize a profile produced by :func:`profile_to_dict`."""
+    if data.get("kind") != "profile":
+        raise ValueError(f"expected kind 'profile', got {data.get('kind')!r}")
+    return StrategyProfile([frozenset(s) for s in data["strategies"]])
+
+
+def game_to_dict(game: TopologyGame) -> Dict[str, Any]:
+    """Serialize a game instance (metric + alpha)."""
+    return {
+        "kind": "game",
+        "alpha": game.alpha,
+        "metric": metric_to_dict(game.metric),
+    }
+
+
+def game_from_dict(data: Dict[str, Any]) -> TopologyGame:
+    """Deserialize a game produced by :func:`game_to_dict`."""
+    if data.get("kind") != "game":
+        raise ValueError(f"expected kind 'game', got {data.get('kind')!r}")
+    return TopologyGame(metric_from_dict(data["metric"]), float(data["alpha"]))
+
+
+def save_json(obj: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write a serialized object to disk (pretty-printed, stable order)."""
+    path = Path(path)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a serialized object back from disk."""
+    return json.loads(Path(path).read_text())

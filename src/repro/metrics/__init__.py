@@ -1,0 +1,49 @@
+"""Metric spaces peers are embedded in.
+
+The paper's model places peers in an arbitrary metric space whose distance
+function encodes pairwise latency.  This subpackage provides:
+
+* :class:`~repro.metrics.base.MetricSpace` — the abstract interface
+  (cached dense distance matrix + axiom validation).
+* Concrete spaces: Euclidean ``R^k``, the 1-D line (Figure 1's home), rings,
+  explicit distance matrices (with metric repair), the uniform metric
+  (hop-count games), and graph-induced latency metrics.
+* :mod:`~repro.metrics.diagnostics` — growth-bound / doubling estimators,
+  matching the metric families Theorem 4.1 calls out.
+"""
+
+from repro.metrics.base import MetricSpace, MetricViolation, check_metric_axioms
+from repro.metrics.diagnostics import (
+    ball_sizes,
+    doubling_constant_estimate,
+    doubling_dimension_estimate,
+    growth_constant,
+    is_growth_bounded,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.graph_metric import GraphMetric
+from repro.metrics.line import LineMetric
+from repro.metrics.matrix import (
+    DistanceMatrixMetric,
+    UniformMetric,
+    metric_closure_repair,
+)
+from repro.metrics.ring import RingMetric
+
+__all__ = [
+    "MetricSpace",
+    "MetricViolation",
+    "check_metric_axioms",
+    "EuclideanMetric",
+    "LineMetric",
+    "RingMetric",
+    "DistanceMatrixMetric",
+    "UniformMetric",
+    "metric_closure_repair",
+    "GraphMetric",
+    "growth_constant",
+    "doubling_constant_estimate",
+    "doubling_dimension_estimate",
+    "is_growth_bounded",
+    "ball_sizes",
+]

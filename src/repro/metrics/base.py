@@ -1,0 +1,176 @@
+"""The metric-space interface peers live in.
+
+The paper models peers as points of a metric space ``M = (V, d)`` whose
+distance function describes pairwise latencies.  Every concrete metric in
+this package implements :class:`MetricSpace`; game-layer code consumes the
+cached dense :meth:`MetricSpace.distance_matrix`, which makes stretch and
+cost computations pure numpy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MetricSpace", "MetricViolation", "check_metric_axioms"]
+
+
+@dataclass(frozen=True)
+class MetricViolation:
+    """A witnessed violation of one of the metric axioms.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"symmetry"``, ``"identity"``, ``"negativity"``,
+        ``"triangle"``.
+    indices:
+        The offending point indices (2 for pairwise axioms, 3 for the
+        triangle inequality).
+    magnitude:
+        How badly the axiom is violated (e.g. ``d(i,k) - d(i,j) - d(j,k)``
+        for a triangle violation).
+    """
+
+    kind: str
+    indices: Tuple[int, ...]
+    magnitude: float
+
+
+def check_metric_axioms(
+    matrix: np.ndarray,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+    max_violations: int = 16,
+) -> List[MetricViolation]:
+    """Check a dense distance matrix against the metric axioms.
+
+    Returns at most ``max_violations`` witnessed violations; an empty list
+    means the matrix is a metric up to the given tolerances.  The triangle
+    inequality is checked via one round of min-plus relaxation (``O(n^3)``,
+    vectorized), which detects *any* triangle violation.
+    """
+    violations: List[MetricViolation] = []
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {matrix.shape}")
+    n = matrix.shape[0]
+
+    diag = np.diagonal(matrix)
+    for i in np.nonzero(diag != 0.0)[0]:
+        violations.append(MetricViolation("identity", (int(i),), float(diag[i])))
+        if len(violations) >= max_violations:
+            return violations
+
+    neg = np.argwhere(matrix < 0)
+    for i, j in neg:
+        violations.append(
+            MetricViolation("negativity", (int(i), int(j)), float(matrix[i, j]))
+        )
+        if len(violations) >= max_violations:
+            return violations
+
+    asym = np.abs(matrix - matrix.T)
+    tol = atol + rtol * np.maximum(np.abs(matrix), np.abs(matrix.T))
+    bad = np.argwhere(asym > tol)
+    for i, j in bad:
+        if i < j:
+            violations.append(
+                MetricViolation(
+                    "symmetry", (int(i), int(j)), float(asym[i, j])
+                )
+            )
+            if len(violations) >= max_violations:
+                return violations
+
+    # Triangle inequality: d(i,k) <= d(i,j) + d(j,k) for all i, j, k.
+    off_diag_zero = np.argwhere((matrix == 0) & ~np.eye(n, dtype=bool))
+    for i, j in off_diag_zero[: max(0, max_violations - len(violations))]:
+        violations.append(MetricViolation("identity", (int(i), int(j)), 0.0))
+    if len(violations) >= max_violations:
+        return violations
+    for j in range(n):
+        # slack[i, k] = d(i, j) + d(j, k) - d(i, k); negative => violation.
+        slack = matrix[:, j][:, None] + matrix[j, :][None, :] - matrix
+        tol3 = atol + rtol * np.abs(matrix)
+        bad3 = np.argwhere(slack < -tol3)
+        for i, k in bad3:
+            violations.append(
+                MetricViolation(
+                    "triangle", (int(i), int(j), int(k)), float(-slack[i, k])
+                )
+            )
+            if len(violations) >= max_violations:
+                return violations
+    return violations
+
+
+class MetricSpace(abc.ABC):
+    """Abstract base class for finite metric spaces of peers.
+
+    Concrete subclasses implement :meth:`_compute_distance_matrix`; the
+    dense matrix is computed once and cached.  Points are identified with
+    the indices ``0..n-1`` throughout the library.
+    """
+
+    def __init__(self) -> None:
+        self._cached_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of points (peers) in the space."""
+
+    @abc.abstractmethod
+    def _compute_distance_matrix(self) -> np.ndarray:
+        """Compute the dense symmetric distance matrix (zero diagonal)."""
+
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """Dense distance matrix, computed lazily and cached.
+
+        The returned array is marked read-only; callers needing to mutate it
+        must copy first.
+        """
+        if self._cached_matrix is None:
+            matrix = np.asarray(self._compute_distance_matrix(), dtype=float)
+            if matrix.shape != (self.n, self.n):
+                raise ValueError(
+                    f"distance matrix has shape {matrix.shape}, "
+                    f"expected {(self.n, self.n)}"
+                )
+            matrix.setflags(write=False)
+            self._cached_matrix = matrix
+        return self._cached_matrix
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between points ``i`` and ``j``."""
+        return float(self.distance_matrix()[i, j])
+
+    def validate(
+        self, rtol: float = 1e-9, atol: float = 1e-12
+    ) -> List[MetricViolation]:
+        """Check the metric axioms; empty list means all hold."""
+        return check_metric_axioms(self.distance_matrix(), rtol=rtol, atol=atol)
+
+    def min_positive_distance(self) -> float:
+        """Smallest strictly positive pairwise distance."""
+        matrix = self.distance_matrix()
+        off = matrix[~np.eye(self.n, dtype=bool)]
+        positive = off[off > 0]
+        if positive.size == 0:
+            raise ValueError("metric has no positive distances")
+        return float(positive.min())
+
+    def diameter(self) -> float:
+        """Largest pairwise distance."""
+        if self.n == 0:
+            return 0.0
+        return float(self.distance_matrix().max())
+
+    def __len__(self) -> int:
+        return self.n

@@ -1,0 +1,110 @@
+"""Diagnostics for metric structure: growth bound and doubling constant.
+
+Theorem 4.1's upper bound holds for arbitrary metrics, "including the
+popular growth-bounded and doubling metrics".  These estimators measure how
+growth-bounded / doubling a concrete finite metric actually is, so that
+experiments can report the structure of the spaces they ran on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+__all__ = ["growth_constant", "doubling_constant_estimate", "ball_sizes"]
+
+
+def ball_sizes(metric: MetricSpace, center: int, radii) -> np.ndarray:
+    """``|B(center, r)|`` for each radius ``r`` (closed balls)."""
+    row = metric.distance_matrix()[center]
+    radii = np.asarray(radii, dtype=float)
+    return (row[None, :] <= radii[:, None]).sum(axis=1)
+
+
+def growth_constant(
+    metric: MetricSpace, num_radii: int = 16
+) -> float:
+    """Max ratio ``|B(x, 2r)| / |B(x, r)|`` over sampled centers and radii.
+
+    A metric is *growth-bounded* when this ratio is bounded by a constant.
+    Radii are sampled geometrically between the smallest positive distance
+    and the diameter.  Returns 1.0 for trivially small metrics.
+    """
+    n = metric.n
+    if n <= 1:
+        return 1.0
+    d_min = metric.min_positive_distance()
+    d_max = metric.diameter()
+    if d_max <= 0:
+        return 1.0
+    radii = np.geomspace(d_min / 2.0, d_max, num=num_radii)
+    worst = 1.0
+    matrix = metric.distance_matrix()
+    for center in range(n):
+        row = matrix[center]
+        small = (row[None, :] <= radii[:, None]).sum(axis=1)
+        large = (row[None, :] <= (2.0 * radii)[:, None]).sum(axis=1)
+        nonzero = small > 0
+        if nonzero.any():
+            worst = max(worst, float((large[nonzero] / small[nonzero]).max()))
+    return worst
+
+
+def doubling_constant_estimate(
+    metric: MetricSpace, num_radii: int = 8, seed: Optional[int] = None
+) -> int:
+    """Greedy estimate of the doubling constant of a finite metric.
+
+    The doubling constant is the smallest ``M`` such that every ball of
+    radius ``2r`` is covered by ``M`` balls of radius ``r``.  Computing it
+    exactly is a set-cover problem; this estimator uses the standard greedy
+    ``r``-net construction inside each ball, which upper-bounds the true
+    constant within a logarithmic factor and is the usual practical proxy.
+    """
+    n = metric.n
+    if n <= 1:
+        return 1
+    matrix = metric.distance_matrix()
+    d_min = metric.min_positive_distance()
+    d_max = metric.diameter()
+    if d_max <= 0:
+        return 1
+    rng = np.random.default_rng(seed)
+    radii = np.geomspace(d_min, d_max / 2.0, num=num_radii)
+    worst = 1
+    for r in radii:
+        centers = range(n) if n <= 64 else rng.choice(n, size=64, replace=False)
+        for center in centers:
+            members = np.nonzero(matrix[center] <= 2.0 * r)[0]
+            if members.size <= 1:
+                continue
+            # Greedy r-net of the ball: repeatedly pick an uncovered point.
+            uncovered = set(members.tolist())
+            net_size = 0
+            while uncovered:
+                pick = next(iter(uncovered))
+                net_size += 1
+                covered = {
+                    q for q in uncovered if matrix[pick, q] <= r
+                }
+                uncovered -= covered
+            worst = max(worst, net_size)
+    return worst
+
+
+def is_growth_bounded(metric: MetricSpace, constant: float = 8.0) -> bool:
+    """Convenience predicate: growth constant below the given threshold."""
+    if constant < 1.0:
+        raise ValueError("constant must be >= 1")
+    if metric.n <= 2:
+        return True
+    return growth_constant(metric) <= constant
+
+
+def doubling_dimension_estimate(metric: MetricSpace) -> float:
+    """``log2`` of the doubling-constant estimate (dimension-like scale)."""
+    return math.log2(max(1, doubling_constant_estimate(metric)))

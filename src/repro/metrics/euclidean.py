@@ -1,0 +1,115 @@
+"""Euclidean point metrics (arbitrary dimension).
+
+The paper's lower bound lives on the 1-dimensional Euclidean line and the
+non-convergence instance on the 2-dimensional Euclidean plane, so Euclidean
+metrics are the most used concrete spaces in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+__all__ = ["EuclideanMetric"]
+
+
+class EuclideanMetric(MetricSpace):
+    """Points in ``R^dim`` under the Euclidean (L2) distance.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, dim)`` (or ``(n,)``, treated as 1-D).
+    """
+
+    def __init__(self, points: Sequence) -> None:
+        super().__init__()
+        array = np.asarray(points, dtype=float)
+        if array.ndim == 1:
+            array = array[:, None]
+        if array.ndim != 2:
+            raise ValueError(
+                f"points must have shape (n, dim), got {array.shape}"
+            )
+        array = array.copy()
+        array.setflags(write=False)
+        self._points = array
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self._points.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the ambient Euclidean space."""
+        return int(self._points.shape[1])
+
+    @property
+    def points(self) -> np.ndarray:
+        """Read-only ``(n, dim)`` coordinate array."""
+        return self._points
+
+    def _compute_distance_matrix(self) -> np.ndarray:
+        diff = self._points[:, None, :] - self._points[None, :, :]
+        matrix = np.sqrt((diff * diff).sum(axis=-1))
+        # Exact zeros on the diagonal despite floating-point arithmetic.
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "EuclideanMetric":
+        """Metric restricted to the given point indices (in given order)."""
+        return EuclideanMetric(self._points[list(indices)])
+
+    def translate(self, offset: Sequence[float]) -> "EuclideanMetric":
+        """Metric with all points shifted by ``offset`` (distances equal)."""
+        return EuclideanMetric(self._points + np.asarray(offset, dtype=float))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random_uniform(
+        cls,
+        n: int,
+        dim: int = 2,
+        seed: Optional[int] = None,
+        box: float = 1.0,
+    ) -> "EuclideanMetric":
+        """``n`` points drawn uniformly from ``[0, box]^dim``."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        rng = np.random.default_rng(seed)
+        return cls(rng.uniform(0.0, box, size=(n, dim)))
+
+    @classmethod
+    def clustered(
+        cls,
+        num_clusters: int,
+        points_per_cluster: int,
+        cluster_spread: float = 0.02,
+        dim: int = 2,
+        seed: Optional[int] = None,
+        box: float = 1.0,
+    ) -> "EuclideanMetric":
+        """Gaussian clusters around uniformly random centers.
+
+        Clustered peer populations are the regime where locality matters
+        most (and where the paper's non-convergence instance lives).
+        """
+        if num_clusters < 1 or points_per_cluster < 1:
+            raise ValueError("need at least one cluster and one point each")
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(0.0, box, size=(num_clusters, dim))
+        points = np.vstack(
+            [
+                center
+                + rng.normal(0.0, cluster_spread, size=(points_per_cluster, dim))
+                for center in centers
+            ]
+        )
+        return cls(points)

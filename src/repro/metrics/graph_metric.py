@@ -1,0 +1,55 @@
+"""Metrics induced by weighted graphs.
+
+Latency structure in real deployments is closer to shortest-path distances
+over an underlay network than to clean Euclidean geometry.  A
+:class:`GraphMetric` takes any strongly connected weighted digraph (e.g. a
+random underlay, or a measured AS-level topology) and uses its symmetrized
+shortest-path distances as the peer metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.shortest_paths import all_pairs_distances
+from repro.metrics.base import MetricSpace
+
+__all__ = ["GraphMetric"]
+
+
+class GraphMetric(MetricSpace):
+    """Shortest-path metric of a weighted digraph.
+
+    The digraph's all-pairs shortest-path matrix is symmetrized by taking
+    ``min(d(u, v), d(v, u))`` (round-trip latency is governed by the faster
+    direction in either case); the result satisfies the triangle inequality
+    by construction.  The graph must connect every pair in at least one
+    direction, otherwise distances would be infinite.
+    """
+
+    def __init__(self, graph: WeightedDigraph) -> None:
+        super().__init__()
+        distances = all_pairs_distances(graph)
+        sym = np.minimum(distances, distances.T)
+        if np.isinf(sym).any():
+            raise ValueError(
+                "underlay graph leaves some pairs mutually unreachable; "
+                "a graph metric requires finite distances for all pairs"
+            )
+        np.fill_diagonal(sym, 0.0)
+        sym.setflags(write=False)
+        self._matrix = sym
+        self._graph = graph.copy()
+
+    @property
+    def n(self) -> int:
+        return int(self._matrix.shape[0])
+
+    @property
+    def underlay(self) -> WeightedDigraph:
+        """A copy of the underlay graph that induced this metric."""
+        return self._graph.copy()
+
+    def _compute_distance_matrix(self) -> np.ndarray:
+        return self._matrix

@@ -1,0 +1,65 @@
+"""1-dimensional Euclidean line metrics.
+
+The paper's Price-of-Anarchy lower bound (Figure 1) is built on the line,
+"the simplest metric space".  :class:`LineMetric` adds line-specific helpers
+(sorted order, gaps) over :class:`~repro.metrics.euclidean.EuclideanMetric`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.euclidean import EuclideanMetric
+
+__all__ = ["LineMetric"]
+
+
+class LineMetric(EuclideanMetric):
+    """Points on the real line under ``d(i, j) = |x_i - x_j|``."""
+
+    def __init__(self, positions: Sequence[float]) -> None:
+        array = np.asarray(positions, dtype=float)
+        if array.ndim != 1:
+            raise ValueError(
+                f"positions must be a 1-D sequence, got shape {array.shape}"
+            )
+        super().__init__(array[:, None])
+
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only 1-D array of point positions."""
+        return self.points[:, 0]
+
+    def _compute_distance_matrix(self) -> np.ndarray:
+        x = self.positions
+        matrix = np.abs(x[:, None] - x[None, :])
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    def sorted_order(self) -> np.ndarray:
+        """Indices of the points in increasing position order."""
+        return np.argsort(self.positions, kind="stable")
+
+    def gaps(self) -> np.ndarray:
+        """Consecutive gaps between sorted positions (length ``n - 1``)."""
+        ordered = np.sort(self.positions)
+        return np.diff(ordered)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform_grid(cls, n: int, spacing: float = 1.0) -> "LineMetric":
+        """``n`` evenly spaced points ``0, spacing, 2*spacing, ...``."""
+        if spacing <= 0:
+            raise ValueError(f"spacing must be > 0, got {spacing}")
+        return cls(np.arange(n, dtype=float) * spacing)
+
+    @classmethod
+    def random_uniform_line(
+        cls, n: int, seed: Optional[int] = None, length: float = 1.0
+    ) -> "LineMetric":
+        """``n`` points uniform on ``[0, length]``."""
+        rng = np.random.default_rng(seed)
+        return cls(rng.uniform(0.0, length, size=n))

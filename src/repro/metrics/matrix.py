@@ -1,0 +1,126 @@
+"""Explicit distance-matrix metrics.
+
+General metric spaces (Theorem 4.1 holds for *arbitrary* metrics) are
+represented by their dense distance matrix.  Matrices measured from real
+systems are often only approximately metric; :func:`metric_closure_repair`
+turns any non-negative symmetric matrix into a genuine metric by shortest-
+path closure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace, check_metric_axioms
+
+__all__ = ["DistanceMatrixMetric", "UniformMetric", "metric_closure_repair"]
+
+
+def metric_closure_repair(matrix: np.ndarray) -> np.ndarray:
+    """Enforce the triangle inequality by shortest-path (metric) closure.
+
+    The input must be square with zero diagonal; it is symmetrized by
+    averaging and negatives are rejected.  The result is the all-pairs
+    shortest-path matrix of the complete graph weighted by the input, which
+    is always a metric and never larger than the input entrywise.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError("distances must be non-negative")
+    if (np.diagonal(matrix) != 0).any():
+        raise ValueError("diagonal must be zero")
+    sym = (matrix + matrix.T) / 2.0
+    n = sym.shape[0]
+    closed = sym.copy()
+    for k in range(n):
+        # Floyd-Warshall relaxation, vectorized over (i, j).
+        via_k = closed[:, k][:, None] + closed[k, :][None, :]
+        np.minimum(closed, via_k, out=closed)
+    np.fill_diagonal(closed, 0.0)
+    return closed
+
+
+class DistanceMatrixMetric(MetricSpace):
+    """A metric given by an explicit dense distance matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square array of pairwise distances.
+    validate:
+        When True (default) the metric axioms are checked at construction
+        and a ``ValueError`` is raised on the first violation.  Pass
+        ``validate=False`` for matrices known to be metric (e.g. produced by
+        :func:`metric_closure_repair`).
+    """
+
+    def __init__(self, matrix: Sequence, validate: bool = True) -> None:
+        super().__init__()
+        array = np.asarray(matrix, dtype=float).copy()
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise ValueError(f"matrix must be square, got {array.shape}")
+        if validate:
+            violations = check_metric_axioms(array, max_violations=1)
+            if violations:
+                v = violations[0]
+                raise ValueError(
+                    f"not a metric: {v.kind} violation at indices "
+                    f"{v.indices} (magnitude {v.magnitude:.3g}); consider "
+                    f"metric_closure_repair()"
+                )
+        array.setflags(write=False)
+        self._matrix = array
+
+    @property
+    def n(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def _compute_distance_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_repair(cls, matrix: Sequence) -> "DistanceMatrixMetric":
+        """Build a metric from a possibly non-metric matrix via closure."""
+        return cls(metric_closure_repair(np.asarray(matrix)), validate=False)
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        seed: Optional[int] = None,
+        low: float = 1.0,
+        high: float = 10.0,
+    ) -> "DistanceMatrixMetric":
+        """Random metric: uniform symmetric matrix made metric by closure.
+
+        Random matrices are almost never metric, so the closure repair is
+        applied; the result is a genuine (generally non-Euclidean) metric.
+        """
+        if high < low or low < 0:
+            raise ValueError("need 0 <= low <= high")
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(low, high, size=(n, n))
+        raw = (raw + raw.T) / 2.0
+        np.fill_diagonal(raw, 0.0)
+        return cls.from_repair(raw)
+
+
+class UniformMetric(DistanceMatrixMetric):
+    """The uniform metric: every pair of distinct points at distance 1.
+
+    Under this metric the overlay stretch equals the hop count, so the
+    topology game degenerates to the classic network-creation game of
+    Fabrikant et al. (PODC 2003) in its unilateral, directed form.  See
+    :mod:`repro.baselines.fabrikant`.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        matrix = np.ones((n, n)) - np.eye(n)
+        super().__init__(matrix, validate=False)

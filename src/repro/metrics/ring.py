@@ -1,0 +1,85 @@
+"""Ring (circle) metric.
+
+A 1-D metric with wrap-around, useful as a growth-bounded test space and as
+the substrate for Chord-like structured baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+__all__ = ["RingMetric"]
+
+
+class RingMetric(MetricSpace):
+    """Points on a circle of given circumference.
+
+    ``d(i, j)`` is the shorter arc length between the two positions.
+
+    Parameters
+    ----------
+    positions:
+        Positions along the circle; taken modulo ``circumference``.
+    circumference:
+        Total length of the circle (must be positive).
+    """
+
+    def __init__(
+        self, positions: Sequence[float], circumference: float = 1.0
+    ) -> None:
+        super().__init__()
+        if circumference <= 0:
+            raise ValueError(
+                f"circumference must be > 0, got {circumference}"
+            )
+        array = np.asarray(positions, dtype=float) % circumference
+        if array.ndim != 1:
+            raise ValueError(
+                f"positions must be a 1-D sequence, got shape {array.shape}"
+            )
+        array.setflags(write=False)
+        self._positions = array
+        self._circumference = float(circumference)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self._positions.shape[0])
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only positions along the circle, in ``[0, circumference)``."""
+        return self._positions
+
+    @property
+    def circumference(self) -> float:
+        """Total circle length."""
+        return self._circumference
+
+    def _compute_distance_matrix(self) -> np.ndarray:
+        x = self._positions
+        arc = np.abs(x[:, None] - x[None, :])
+        matrix = np.minimum(arc, self._circumference - arc)
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def evenly_spaced(cls, n: int, circumference: float = 1.0) -> "RingMetric":
+        """``n`` points equally spaced around the circle."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        positions = np.arange(n, dtype=float) * (circumference / n)
+        return cls(positions, circumference)
+
+    @classmethod
+    def random_uniform(
+        cls, n: int, seed: Optional[int] = None, circumference: float = 1.0
+    ) -> "RingMetric":
+        """``n`` points uniform around the circle."""
+        rng = np.random.default_rng(seed)
+        return cls(rng.uniform(0.0, circumference, size=n), circumference)

@@ -1,0 +1,40 @@
+"""Simulation tooling: engines, observers, churn, and lookup workloads.
+
+Built on the strategic core (:mod:`repro.core`), this package adds the
+systems-flavored instrumentation used by the experiments:
+
+* :mod:`~repro.simulation.engine` — simulation runs with pluggable
+  per-round observers and the max-gain activation policy.
+* :mod:`~repro.simulation.observers` — cost traces, degree and stretch
+  telemetry, convergence tracking.
+* :mod:`~repro.simulation.churn` — join/leave processes, to contrast the
+  paper's churn-free instability result with environmental churn.
+* :mod:`~repro.simulation.lookups` — lookup workloads routed over the
+  overlay, tying the stretch cost model to observable latency.
+"""
+
+from repro.simulation.churn import ChurnEpochRecord, ChurnResult, ChurnSimulation
+from repro.simulation.engine import SimulationEngine, SimulationReport
+from repro.simulation.lookups import LookupStats, LookupWorkload
+from repro.simulation.observers import (
+    ConvergenceObserver,
+    CostTraceObserver,
+    DegreeObserver,
+    Observer,
+    StretchObserver,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "SimulationReport",
+    "Observer",
+    "CostTraceObserver",
+    "DegreeObserver",
+    "StretchObserver",
+    "ConvergenceObserver",
+    "ChurnSimulation",
+    "ChurnResult",
+    "ChurnEpochRecord",
+    "LookupWorkload",
+    "LookupStats",
+]

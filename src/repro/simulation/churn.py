@@ -1,0 +1,231 @@
+"""Churn: peers joining and leaving while selfish rewiring runs.
+
+The paper's Theorem 5.1 is striking precisely because it holds *without*
+churn: "the network may never stabilize, **even in the absence of
+churn**."  This module supplies the contrast experiment (E9's extension):
+a population where peers arrive and depart lets us measure how much of the
+observed instability is environmental versus game-inherent.
+
+The simulation keeps a fixed universe of potential peers (a metric over
+``capacity`` points) and an *active set*.  Each epoch: (1) every active
+peer plays a best response within the active subgame, (2) a seeded RNG
+removes each active peer with probability ``leave_prob`` and activates
+inactive ones with probability ``join_prob``.  Joining peers start with a
+single link to their nearest active neighbor (the cheap bootstrap real
+systems use); links pointing at departed peers are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.best_response import best_response as solve_best_response
+from repro.core.profile import StrategyProfile
+from repro.metrics.base import MetricSpace
+
+__all__ = ["ChurnEpochRecord", "ChurnResult", "ChurnSimulation"]
+
+
+@dataclass(frozen=True)
+class ChurnEpochRecord:
+    """Telemetry of one churn epoch."""
+
+    epoch: int
+    num_active: int
+    joins: int
+    leaves: int
+    moves: int
+    social_cost: float
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Outcome of a churn simulation run."""
+
+    records: Tuple[ChurnEpochRecord, ...]
+    final_active: Tuple[int, ...]
+    final_profile: StrategyProfile
+
+    @property
+    def total_moves(self) -> int:
+        return sum(record.moves for record in self.records)
+
+    @property
+    def mean_cost(self) -> float:
+        finite = [
+            r.social_cost for r in self.records if np.isfinite(r.social_cost)
+        ]
+        return float(np.mean(finite)) if finite else float("nan")
+
+
+class ChurnSimulation:
+    """Selfish rewiring under peer churn.
+
+    Parameters
+    ----------
+    metric:
+        Metric over the full peer universe (``capacity = metric.n``).
+    alpha:
+        Trade-off parameter of the underlying game.
+    join_prob / leave_prob:
+        Per-epoch activation/departure probabilities per peer.
+    initial_active:
+        Initially active peers (default: the first half of the universe).
+    seed:
+        RNG seed; runs are fully deterministic given the seed.
+    method:
+        Best-response solver used by active peers.
+    """
+
+    def __init__(
+        self,
+        metric: MetricSpace,
+        alpha: float,
+        join_prob: float = 0.05,
+        leave_prob: float = 0.05,
+        initial_active: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        method: str = "greedy",
+    ) -> None:
+        if not 0.0 <= join_prob <= 1.0 or not 0.0 <= leave_prob <= 1.0:
+            raise ValueError("join_prob and leave_prob must lie in [0, 1]")
+        if metric.n < 2:
+            raise ValueError("churn simulation needs a universe of >= 2 peers")
+        self._metric = metric
+        self._alpha = float(alpha)
+        self._join_prob = join_prob
+        self._leave_prob = leave_prob
+        self._rng = np.random.default_rng(seed)
+        self._method = method
+        if initial_active is None:
+            initial_active = list(range(max(2, metric.n // 2)))
+        self._initial_active = sorted(set(initial_active))
+        for peer in self._initial_active:
+            if not 0 <= peer < metric.n:
+                raise IndexError(f"peer {peer} outside universe")
+
+    # ------------------------------------------------------------------
+    def run(self, epochs: int = 50) -> ChurnResult:
+        """Run the churn simulation for the given number of epochs."""
+        active: List[int] = list(self._initial_active)
+        # Strategies over universe indices; inactive peers hold no links.
+        strategies: List[Set[int]] = [set() for _ in range(self._metric.n)]
+        self._bootstrap(active, strategies)
+        records: List[ChurnEpochRecord] = []
+        for epoch in range(epochs):
+            moves = self._rewire_epoch(active, strategies)
+            cost = self._social_cost(active, strategies)
+            joins, leaves = self._apply_churn(active, strategies)
+            records.append(
+                ChurnEpochRecord(
+                    epoch=epoch,
+                    num_active=len(active),
+                    joins=joins,
+                    leaves=leaves,
+                    moves=moves,
+                    social_cost=cost,
+                )
+            )
+        profile = StrategyProfile(
+            [frozenset(s) for s in strategies]
+        )
+        return ChurnResult(
+            records=tuple(records),
+            final_active=tuple(sorted(active)),
+            final_profile=profile,
+        )
+
+    # ------------------------------------------------------------------
+    def _bootstrap(
+        self, active: List[int], strategies: List[Set[int]]
+    ) -> None:
+        """Connect initial peers in a nearest-neighbor chain."""
+        dmat = self._metric.distance_matrix()
+        for peer in active:
+            others = [p for p in active if p != peer]
+            if others:
+                nearest = min(others, key=lambda p: (dmat[peer, p], p))
+                strategies[peer].add(nearest)
+
+    def _subgame(self, active: List[int]):
+        """Restricted distance matrix and index maps for the active set."""
+        index_of = {peer: k for k, peer in enumerate(active)}
+        dmat = self._metric.distance_matrix()[np.ix_(active, active)]
+        return dmat, index_of
+
+    def _sub_profile(
+        self, active: List[int], strategies: List[Set[int]]
+    ) -> StrategyProfile:
+        index_of = {peer: k for k, peer in enumerate(active)}
+        return StrategyProfile(
+            [
+                frozenset(
+                    index_of[t] for t in strategies[peer] if t in index_of
+                )
+                for peer in active
+            ]
+        )
+
+    def _rewire_epoch(
+        self, active: List[int], strategies: List[Set[int]]
+    ) -> int:
+        """One best-response pass over the active peers; returns #moves."""
+        if len(active) < 2:
+            return 0
+        dmat, _ = self._subgame(active)
+        moves = 0
+        for slot, peer in enumerate(active):
+            sub = self._sub_profile(active, strategies)
+            response = solve_best_response(
+                dmat, sub, slot, self._alpha, method=self._method
+            )
+            if response.improved:
+                strategies[peer] = {active[t] for t in response.strategy}
+                moves += 1
+        return moves
+
+    def _social_cost(
+        self, active: List[int], strategies: List[Set[int]]
+    ) -> float:
+        from repro.core.costs import social_cost as cost_of
+
+        if len(active) < 2:
+            return 0.0
+        dmat, _ = self._subgame(active)
+        sub = self._sub_profile(active, strategies)
+        return cost_of(dmat, sub, self._alpha).total
+
+    def _apply_churn(
+        self, active: List[int], strategies: List[Set[int]]
+    ) -> Tuple[int, int]:
+        """Join/leave phase; mutates ``active``/``strategies`` in place."""
+        active_set = set(active)
+        inactive = [p for p in range(self._metric.n) if p not in active_set]
+        leaving = {
+            p
+            for p in active
+            if len(active_set) > 2 and self._rng.random() < self._leave_prob
+        }
+        # Keep at least two peers alive.
+        while len(active_set) - len(leaving) < 2 and leaving:
+            leaving.pop()
+        joining = [
+            p for p in inactive if self._rng.random() < self._join_prob
+        ]
+        for peer in leaving:
+            active_set.discard(peer)
+            strategies[peer] = set()
+        for holder in active_set:
+            strategies[holder] -= leaving
+        dmat = self._metric.distance_matrix()
+        for peer in joining:
+            current = sorted(active_set)
+            if current:
+                nearest = min(current, key=lambda p: (dmat[peer, p], p))
+                strategies[peer] = {nearest}
+            active_set.add(peer)
+        active[:] = sorted(active_set)
+        return len(joining), len(leaving)

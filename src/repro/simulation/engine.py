@@ -1,0 +1,250 @@
+"""The simulation engine: dynamics + observers + activation policies.
+
+A thin orchestration layer over :class:`repro.core.dynamics.
+BestResponseDynamics` that adds what systems experiments need: pluggable
+observers invoked every round, the *max-gain* (adversarial-greedy)
+activation policy, and a compact :class:`SimulationReport`.
+
+Activation policies
+-------------------
+
+* ``"round-robin"`` / ``"random"`` / an explicit scheduler object —
+  delegated to the core dynamics engine.
+* ``"max-gain"`` — at every step the peer with the currently largest
+  best-response improvement moves.  This is the natural greedy/adversarial
+  dynamic; on the paper's no-Nash witness it cycles like every other
+  policy, and on convergent instances it often converges in fewer moves
+  (at the price of evaluating every peer's response each step).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dynamics import (
+    BestResponseDynamics,
+    CycleInfo,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.simulation.observers import Observer
+
+__all__ = ["SimulationReport", "SimulationEngine"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    profile:
+        Final strategy profile.
+    converged:
+        True when a full round passed without movement (with exact
+        responses the final profile is then a pure Nash equilibrium).
+    stopped_reason:
+        ``"converged"``, ``"cycle"``, ``"max_rounds"`` or ``"max_steps"``.
+    rounds / moves:
+        Completed activation rounds and total strategy changes.
+    cycle:
+        Cycle evidence when the dynamics provably entered a loop.
+    final_cost:
+        Social cost of the final profile.
+    """
+
+    profile: StrategyProfile
+    converged: bool
+    stopped_reason: str
+    rounds: int
+    moves: int
+    cycle: Optional[CycleInfo]
+    final_cost: float
+
+
+class SimulationEngine:
+    """Run selfish-rewiring simulations with instrumentation.
+
+    Parameters
+    ----------
+    game:
+        The topology game to simulate.
+    method:
+        Best-response solver (``"exact"``, ``"greedy"``, ``"brute"``).
+    activation:
+        ``"round-robin"``, ``"random"``, ``"max-gain"``, or a scheduler
+        object with an ``order(round_index, n)`` method.
+    seed:
+        Seed for the ``"random"`` activation policy.
+    """
+
+    def __init__(
+        self,
+        game: TopologyGame,
+        method: str = "exact",
+        activation="round-robin",
+        seed: Optional[int] = None,
+    ) -> None:
+        self._game = game
+        self._method = method
+        self._activation = activation
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial: Optional[StrategyProfile] = None,
+        max_rounds: int = 200,
+        observers: Iterable[Observer] = (),
+        detect_cycles: bool = True,
+    ) -> SimulationReport:
+        """Run the dynamics until convergence, cycle, or round limit."""
+        observers = list(observers)
+        if self._activation == "max-gain":
+            return self._run_max_gain(
+                initial, max_rounds, observers, detect_cycles
+            )
+        scheduler = self._resolve_scheduler()
+        profile = initial if initial is not None else self._game.empty_profile()
+        # Delegate round by round so observers see every round boundary.
+        dynamics = BestResponseDynamics(
+            self._game,
+            method=self._method,
+            scheduler=scheduler,
+            record_moves=False,
+        )
+        result = dynamics.run(
+            initial=profile,
+            max_rounds=max_rounds,
+            detect_cycles=detect_cycles,
+        )
+        if observers:
+            # Replay rounds for the observers when requested: rerun with a
+            # fresh scheduler of the same kind to preserve determinism.
+            self._replay_for_observers(
+                profile, max_rounds, observers, detect_cycles
+            )
+        return SimulationReport(
+            profile=result.profile,
+            converged=result.converged,
+            stopped_reason=result.stopped_reason,
+            rounds=result.rounds_completed,
+            moves=result.num_moves,
+            cycle=result.cycle,
+            final_cost=self._game.social_cost(result.profile).total,
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_scheduler(self):
+        if self._activation == "round-robin":
+            return RoundRobinScheduler()
+        if self._activation == "random":
+            return RandomScheduler(self._seed)
+        if isinstance(self._activation, str):
+            raise ValueError(
+                f"unknown activation policy {self._activation!r}; expected "
+                f"'round-robin', 'random', 'max-gain' or a scheduler object"
+            )
+        return self._activation
+
+    def _replay_for_observers(
+        self,
+        initial: StrategyProfile,
+        max_rounds: int,
+        observers: List[Observer],
+        detect_cycles: bool,
+    ) -> None:
+        """Second pass driving observers round by round.
+
+        The core engine has no observer hook (by design, it stays small);
+        simulations that need instrumentation pay one extra run.  Random
+        activation reuses the same seed, so the replay is identical.
+        """
+        game = self._game
+        scheduler = self._resolve_scheduler()
+        profile = initial
+        seen = set()
+        deterministic = getattr(scheduler, "deterministic", False)
+        for round_index in range(max_rounds):
+            moved = False
+            for peer in scheduler.order(round_index, game.n):
+                response = game.best_response(profile, peer, self._method)
+                if response.improved:
+                    profile = profile.with_strategy(peer, response.strategy)
+                    moved = True
+            for observer in observers:
+                observer.on_round(round_index, profile, moved)
+            if not moved:
+                return
+            if detect_cycles and deterministic:
+                key = profile.key()
+                if key in seen:
+                    return
+                seen.add(key)
+
+    # ------------------------------------------------------------------
+    def _run_max_gain(
+        self,
+        initial: Optional[StrategyProfile],
+        max_rounds: int,
+        observers: List[Observer],
+        detect_cycles: bool,
+    ) -> SimulationReport:
+        """Largest-gain-first dynamics (one move per "round")."""
+        game = self._game
+        profile = initial if initial is not None else game.empty_profile()
+        seen = {}
+        cycle: Optional[CycleInfo] = None
+        moves = 0
+        stopped_reason = "max_rounds"
+        rounds = 0
+        trail: List[Tuple[tuple, int]] = []
+        for round_index in range(max_rounds):
+            best_peer = -1
+            best_response = None
+            for peer in range(game.n):
+                response = game.best_response(profile, peer, self._method)
+                if response.improved and (
+                    best_response is None or response.gain > best_response.gain
+                ):
+                    best_peer, best_response = peer, response
+            moved = best_response is not None
+            if moved:
+                profile = profile.with_strategy(
+                    best_peer, best_response.strategy
+                )
+                moves += 1
+            for observer in observers:
+                observer.on_round(round_index, profile, moved)
+            rounds += 1
+            if not moved:
+                stopped_reason = "converged"
+                break
+            if detect_cycles:
+                state = (profile.key(), best_peer)
+                if state in seen:
+                    first = seen[state]
+                    cycle = CycleInfo(
+                        first_step=first,
+                        period=moves - first,
+                        profiles=tuple(
+                            key for key, marker in trail if marker >= first
+                        ),
+                    )
+                    stopped_reason = "cycle"
+                    break
+                seen[state] = moves
+                trail.append((profile.key(), moves))
+        return SimulationReport(
+            profile=profile,
+            converged=stopped_reason == "converged",
+            stopped_reason=stopped_reason,
+            rounds=rounds,
+            moves=moves,
+            cycle=cycle,
+            final_cost=game.social_cost(profile).total,
+        )

@@ -1,0 +1,152 @@
+"""Lookup workloads: tying stretch to simulated lookup latency.
+
+The paper motivates the stretch term of the cost function as lookup
+latency ("a peer exploits locality properties in order to minimize the
+latency (or response times) of its lookup operations") but runs no
+workload experiment.  This module adds one: draw lookup (source, target)
+pairs from a configurable popularity distribution, route them over the
+overlay, and report the empirical latency and stretch a peer population
+actually experiences under a given topology.
+
+The headline statistic, :attr:`LookupStats.mean_stretch`, converges to the
+profile's average pairwise stretch under a uniform workload — the test
+suite pins that consistency — while skewed (Zipf) workloads weight the
+stretches of popular targets, which is where locality-aware neighbor
+selection pays off most.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.costs import stretch_matrix
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.graphs.shortest_paths import all_pairs_distances
+
+__all__ = ["LookupStats", "LookupWorkload"]
+
+
+@dataclass(frozen=True)
+class LookupStats:
+    """Empirical statistics of a routed lookup workload.
+
+    Attributes
+    ----------
+    num_lookups:
+        Number of (source, target) pairs drawn.
+    delivered:
+        Lookups whose target was reachable over the overlay.
+    mean_latency / p95_latency:
+        Overlay path latency over delivered lookups.
+    mean_stretch / p95_stretch / max_stretch:
+        Overlay latency divided by direct distance, per delivered lookup.
+    """
+
+    num_lookups: int
+    delivered: int
+    mean_latency: float
+    p95_latency: float
+    mean_stretch: float
+    p95_stretch: float
+    max_stretch: float
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.num_lookups == 0:
+            return 1.0
+        return self.delivered / self.num_lookups
+
+
+class LookupWorkload:
+    """A stochastic lookup workload over a peer population.
+
+    Parameters
+    ----------
+    game:
+        The topology game (supplies the metric and distances).
+    popularity:
+        ``"uniform"`` — targets drawn uniformly; ``"zipf"`` — target
+        popularity follows a Zipf law with exponent ``zipf_exponent``
+        (peer 0 most popular, matching rank order).
+    zipf_exponent:
+        Skew of the Zipf law (ignored for uniform workloads).
+    seed:
+        RNG seed for reproducible workloads.
+    """
+
+    def __init__(
+        self,
+        game: TopologyGame,
+        popularity: str = "uniform",
+        zipf_exponent: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if popularity not in ("uniform", "zipf"):
+            raise ValueError(
+                f"popularity must be 'uniform' or 'zipf', got {popularity!r}"
+            )
+        if game.n < 2:
+            raise ValueError("lookup workload needs at least 2 peers")
+        self._game = game
+        self._rng = np.random.default_rng(seed)
+        n = game.n
+        if popularity == "uniform":
+            self._target_weights = np.full(n, 1.0 / n)
+        else:
+            ranks = np.arange(1, n + 1, dtype=float)
+            weights = ranks ** (-zipf_exponent)
+            self._target_weights = weights / weights.sum()
+
+    def sample_pairs(self, num_lookups: int) -> np.ndarray:
+        """Draw ``(source, target)`` pairs (targets by popularity)."""
+        if num_lookups < 0:
+            raise ValueError(f"num_lookups must be >= 0, got {num_lookups}")
+        n = self._game.n
+        sources = self._rng.integers(0, n, size=num_lookups)
+        targets = self._rng.choice(n, size=num_lookups, p=self._target_weights)
+        # Resample collisions (a peer does not look itself up).
+        collisions = sources == targets
+        while collisions.any():
+            targets[collisions] = self._rng.choice(
+                n, size=int(collisions.sum()), p=self._target_weights
+            )
+            collisions = sources == targets
+        return np.stack([sources, targets], axis=1)
+
+    def run(
+        self, profile: StrategyProfile, num_lookups: int = 1000
+    ) -> LookupStats:
+        """Route a sampled workload over ``profile``'s overlay."""
+        game = self._game
+        overlay = game.overlay(profile)
+        overlay_dist = all_pairs_distances(overlay)
+        stretch = stretch_matrix(game.distance_matrix, overlay)
+        pairs = self.sample_pairs(num_lookups)
+        if num_lookups == 0:
+            return LookupStats(0, 0, math.nan, math.nan, math.nan, math.nan,
+                               math.nan)
+        latencies = overlay_dist[pairs[:, 0], pairs[:, 1]]
+        stretches = stretch[pairs[:, 0], pairs[:, 1]]
+        reachable = np.isfinite(latencies)
+        delivered = int(reachable.sum())
+        if delivered == 0:
+            return LookupStats(
+                num_lookups, 0, math.inf, math.inf, math.inf, math.inf,
+                math.inf,
+            )
+        lat = latencies[reachable]
+        st = stretches[reachable]
+        return LookupStats(
+            num_lookups=num_lookups,
+            delivered=delivered,
+            mean_latency=float(lat.mean()),
+            p95_latency=float(np.percentile(lat, 95)),
+            mean_stretch=float(st.mean()),
+            p95_stretch=float(np.percentile(st, 95)),
+            max_stretch=float(st.max()),
+        )

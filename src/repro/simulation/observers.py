@@ -1,0 +1,148 @@
+"""Observers: per-round instrumentation of dynamics and simulations.
+
+An observer is any object with an ``on_round(round_index, profile, moved)``
+method; the simulation engine invokes it after every completed activation
+round.  Observers compute their statistics lazily where possible, because
+an all-pairs stretch computation per round is the dominant cost for large
+populations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+
+__all__ = [
+    "Observer",
+    "CostTraceObserver",
+    "DegreeObserver",
+    "StretchObserver",
+    "ConvergenceObserver",
+]
+
+
+class Observer:
+    """Base class for simulation observers (no-op default)."""
+
+    def on_round(
+        self, round_index: int, profile: StrategyProfile, moved: bool
+    ) -> None:
+        """Called after each completed activation round."""
+
+
+class CostTraceObserver(Observer):
+    """Records the social cost (link/stretch breakdown) after every round."""
+
+    def __init__(self, game: TopologyGame) -> None:
+        self._game = game
+        self.rounds: List[int] = []
+        self.totals: List[float] = []
+        self.link_costs: List[float] = []
+        self.stretch_costs: List[float] = []
+
+    def on_round(
+        self, round_index: int, profile: StrategyProfile, moved: bool
+    ) -> None:
+        breakdown = self._game.social_cost(profile)
+        self.rounds.append(round_index)
+        self.totals.append(breakdown.total)
+        self.link_costs.append(breakdown.link_cost)
+        self.stretch_costs.append(breakdown.stretch_cost)
+
+    @property
+    def final_cost(self) -> float:
+        """Social cost after the last observed round (nan if none)."""
+        return self.totals[-1] if self.totals else math.nan
+
+
+class DegreeObserver(Observer):
+    """Tracks out-degree statistics (min / mean / max) per round."""
+
+    def __init__(self) -> None:
+        self.rounds: List[int] = []
+        self.min_degrees: List[int] = []
+        self.mean_degrees: List[float] = []
+        self.max_degrees: List[int] = []
+
+    def on_round(
+        self, round_index: int, profile: StrategyProfile, moved: bool
+    ) -> None:
+        degrees = [profile.out_degree(i) for i in range(profile.n)]
+        self.rounds.append(round_index)
+        self.min_degrees.append(min(degrees) if degrees else 0)
+        self.mean_degrees.append(
+            sum(degrees) / len(degrees) if degrees else 0.0
+        )
+        self.max_degrees.append(max(degrees) if degrees else 0)
+
+
+class StretchObserver(Observer):
+    """Tracks stretch statistics (mean / p95 / max) per round.
+
+    ``every`` thins the sampling (all-pairs shortest paths per round are
+    expensive); round 0 and every ``every``-th round are recorded.
+    """
+
+    def __init__(self, game: TopologyGame, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._game = game
+        self._every = every
+        self.rounds: List[int] = []
+        self.mean_stretches: List[float] = []
+        self.p95_stretches: List[float] = []
+        self.max_stretches: List[float] = []
+
+    def on_round(
+        self, round_index: int, profile: StrategyProfile, moved: bool
+    ) -> None:
+        if round_index % self._every:
+            return
+        stretch = self._game.stretches(profile)
+        n = profile.n
+        off_diag = stretch[~np.eye(n, dtype=bool)] if n > 1 else np.array([])
+        self.rounds.append(round_index)
+        if off_diag.size == 0:
+            self.mean_stretches.append(math.nan)
+            self.p95_stretches.append(math.nan)
+            self.max_stretches.append(math.nan)
+            return
+        finite = off_diag[np.isfinite(off_diag)]
+        if finite.size == 0:
+            self.mean_stretches.append(math.inf)
+            self.p95_stretches.append(math.inf)
+            self.max_stretches.append(math.inf)
+        else:
+            self.mean_stretches.append(float(finite.mean()))
+            self.p95_stretches.append(float(np.percentile(finite, 95)))
+            self.max_stretches.append(
+                math.inf if finite.size < off_diag.size else float(finite.max())
+            )
+
+
+class ConvergenceObserver(Observer):
+    """Remembers the last round in which any peer moved."""
+
+    def __init__(self) -> None:
+        self.last_moved_round: Optional[int] = None
+        self.rounds_observed: int = 0
+
+    def on_round(
+        self, round_index: int, profile: StrategyProfile, moved: bool
+    ) -> None:
+        self.rounds_observed += 1
+        if moved:
+            self.last_moved_round = round_index
+
+    @property
+    def quiet_rounds(self) -> int:
+        """Rounds observed after the last move."""
+        if self.last_moved_round is None:
+            return self.rounds_observed
+        return self.rounds_observed - self.last_moved_round - 1

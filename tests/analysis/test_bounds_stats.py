@@ -1,0 +1,172 @@
+"""Tests for the analysis package: bounds, statistics, tables."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    check_equilibrium_bounds,
+    max_stretch_bound,
+    nash_cost_bound,
+    optimum_lower_bound,
+    poa_upper_bound,
+    theta_min_alpha_n,
+)
+from repro.analysis.stats import fit_loglog, ratio_spread, summarize
+from repro.analysis.tables import (
+    format_value,
+    render_markdown_table,
+    render_table,
+)
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestBounds:
+    def test_closed_forms(self):
+        assert max_stretch_bound(3.0) == 4.0
+        assert nash_cost_bound(2.0, 3) == pytest.approx(2 * 6 + 3 * 6)
+        assert optimum_lower_bound(2.0, 3) == pytest.approx(2 * 3 + 6)
+        assert theta_min_alpha_n(5.0, 3) == 3.0
+        assert theta_min_alpha_n(2.0, 30) == 2.0
+        assert theta_min_alpha_n(2.0, 0) == 0.0
+
+    def test_poa_bound_at_least_one(self):
+        for alpha in (0.1, 1.0, 50.0):
+            for n in (2, 10):
+                assert poa_upper_bound(alpha, n) >= 1.0
+
+    def test_check_on_real_equilibrium(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 2.0)
+        from repro.core.profile import StrategyProfile
+
+        check = check_equilibrium_bounds(game, StrategyProfile([{1}, {0}]))
+        assert check.holds
+        assert check.violations() == []
+        assert check.max_stretch == pytest.approx(1.0)
+
+    def test_check_flags_excessive_stretch(self):
+        # A long detour on a non-equilibrium profile violates alpha+1.
+        metric = EuclideanMetric([[0.0, 0.0], [10.0, 0.0], [0.0, 5.0]])
+        game = TopologyGame(metric, 0.1)
+        from repro.core.profile import StrategyProfile
+
+        profile = StrategyProfile([{2}, {2}, {0, 1}])
+        check = check_equilibrium_bounds(game, profile)
+        assert not check.holds
+        assert any("stretch" in v for v in check.violations())
+
+    def test_check_single_peer(self):
+        game = TopologyGame(EuclideanMetric([[0.0, 0.0]]), 1.0)
+        check = check_equilibrium_bounds(game, game.empty_profile())
+        assert check.max_stretch == 0.0
+
+
+class TestLogLogFit:
+    def test_exact_power_law(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [12.0 * x ** 3 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(32.0) == pytest.approx(12.0 * 32.0 ** 3)
+
+    def test_constant_series(self):
+        fit = fit_loglog([1.0, 2.0, 4.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two points"):
+            fit_loglog([1.0], [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            fit_loglog([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValueError, match="equal length"):
+            fit_loglog([1.0, 2.0], [1.0])
+
+    @given(
+        slope=st.floats(-3.0, 3.0),
+        scale=st.floats(0.1, 100.0),
+    )
+    def test_recovers_planted_exponent(self, slope, scale):
+        xs = np.array([1.0, 2.0, 5.0, 10.0, 30.0])
+        ys = scale * xs ** slope
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_summarize_with_inf(self):
+        summary = summarize([1.0, math.inf])
+        assert summary.mean == math.inf
+        assert summary.maximum == math.inf
+
+    def test_summarize_drops_nan(self):
+        summary = summarize([1.0, math.nan, 3.0])
+        assert summary.count == 2
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_ratio_spread(self):
+        spread = ratio_spread([2.0, 4.0], [1.0, 2.0])
+        assert spread.minimum == pytest.approx(2.0)
+        assert spread.maximum == pytest.approx(2.0)
+
+    def test_ratio_spread_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            ratio_spread([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="zero"):
+            ratio_spread([1.0], [0.0])
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(3.0) == "3"
+        assert format_value(math.inf) == "inf"
+        assert format_value(math.nan) == "nan"
+        assert format_value(3.14159, precision=3) == "3.14"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="t"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_missing_cells(self):
+        table = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in table and "b" in table
+
+    def test_render_empty(self):
+        assert render_table([]) == ""
+        assert render_markdown_table([]) == ""
+
+    def test_markdown_table_shape(self):
+        md = render_markdown_table([{"x": 1.5, "y": 2}])
+        lines = md.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1.5 | 2 |"
+
+    def test_explicit_columns_order(self):
+        table = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")

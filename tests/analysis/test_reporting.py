@@ -1,0 +1,62 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.analysis.reporting import full_report, summary_table
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def results():
+    return [
+        ExperimentResult(
+            experiment_id="E1",
+            title="first experiment",
+            paper_claim="a claim",
+            rows=({"x": 1, "y": 2.5},),
+            verdict=True,
+            notes=("a note",),
+        ),
+        ExperimentResult(
+            experiment_id="E2",
+            title="second experiment",
+            paper_claim="another claim",
+            rows=({"x": 3, "y": 4.5}, {"x": 5, "y": 6.5}),
+            verdict=False,
+        ),
+    ]
+
+
+class TestSummaryTable:
+    def test_one_row_per_result(self, results):
+        table = summary_table(results)
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(results)
+
+    def test_verdict_column(self, results):
+        table = summary_table(results)
+        assert "SUPPORTED" in table
+        assert "NOT SUPPORTED" in table
+
+
+class TestFullReport:
+    def test_headings_and_counts(self, results):
+        report = full_report(results, heading="Test report")
+        assert report.startswith("# Test report")
+        assert "**1 / 2 experiments SUPPORTED.**" in report
+        assert "## E1 — first experiment" in report
+        assert "## E2 — second experiment" in report
+
+    def test_notes_and_rows_rendered(self, results):
+        report = full_report(results)
+        assert "* a note" in report
+        assert "| x | y |" in report
+        assert "| 5 | 6.5 |" in report
+
+    def test_real_experiment_renders(self):
+        from repro.experiments import e6_figure3_cases
+
+        result = e6_figure3_cases.run()
+        report = full_report([result])
+        assert "E6" in report
+        assert "SUPPORTED" in report

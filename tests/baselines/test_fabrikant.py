@@ -1,0 +1,161 @@
+"""Tests for the Fabrikant et al. network-creation baseline."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.fabrikant import (
+    FabrikantGame,
+    complete_profile,
+    path_profile,
+    star_profile,
+)
+from repro.core.profile import StrategyProfile
+
+
+class TestProfiles:
+    def test_star_shape(self):
+        profile = star_profile(5)
+        assert profile.out_degree(0) == 0
+        assert all(profile.strategy(i) == frozenset({0}) for i in range(1, 5))
+
+    def test_star_custom_center(self):
+        profile = star_profile(4, center=2)
+        assert profile.out_degree(2) == 0
+        assert profile.has_link(0, 2)
+
+    def test_star_bad_center(self):
+        with pytest.raises(IndexError):
+            star_profile(3, center=5)
+
+    def test_complete_each_pair_once(self):
+        profile = complete_profile(4)
+        assert profile.num_links == 6  # n choose 2
+
+    def test_path(self):
+        profile = path_profile(4)
+        assert sorted(profile.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestCostModel:
+    def test_star_costs(self):
+        game = FabrikantGame(4, alpha=2.0)
+        costs = game.individual_costs(star_profile(4))
+        # Center: no bought edges, distance 1 to the three leaves.
+        assert costs[0] == pytest.approx(3.0)
+        # Leaf: one bought edge, distances 1 + 2 + 2.
+        assert costs[1] == pytest.approx(2.0 + 5.0)
+
+    def test_social_cost_sums(self):
+        game = FabrikantGame(4, alpha=1.0)
+        profile = star_profile(4)
+        assert game.social_cost(profile) == pytest.approx(
+            float(game.individual_costs(profile).sum())
+        )
+
+    def test_disconnected_infinite(self):
+        game = FabrikantGame(3, alpha=1.0)
+        costs = game.individual_costs(StrategyProfile.empty(3))
+        assert all(math.isinf(c) for c in costs)
+
+    def test_undirected_usability(self):
+        """An edge bought by 0 is usable by 1 at no cost to 1."""
+        game = FabrikantGame(2, alpha=5.0)
+        profile = StrategyProfile([{1}, set()])
+        costs = game.individual_costs(profile)
+        assert costs[0] == pytest.approx(5.0 + 1.0)
+        assert costs[1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabrikantGame(0, 1.0)
+        with pytest.raises(ValueError):
+            FabrikantGame(3, -1.0)
+        game = FabrikantGame(3, 1.0)
+        with pytest.raises(ValueError, match="players"):
+            game.social_cost(StrategyProfile.empty(4))
+
+
+class TestBestResponse:
+    @given(
+        seed=st.integers(0, 500),
+        alpha=st.floats(0.2, 5.0),
+    )
+    def test_matches_brute_force(self, seed, alpha):
+        """Exact responder validated against full subset enumeration."""
+        import random
+
+        rng = random.Random(seed)
+        n = 4
+        profile = StrategyProfile(
+            [
+                frozenset(
+                    j for j in range(n) if j != i and rng.random() < 0.4
+                )
+                for i in range(n)
+            ]
+        )
+        game = FabrikantGame(n, alpha)
+        player = seed % n
+        response = game.best_response(profile, player)
+        others = [j for j in range(n) if j != player]
+        best_brute = math.inf
+        for size in range(n):
+            for combo in itertools.combinations(others, size):
+                trial = profile.with_strategy(player, frozenset(combo))
+                best_brute = min(best_brute, game.cost(trial, player))
+        assert response.cost == pytest.approx(best_brute, rel=1e-9)
+
+    def test_gain_property(self):
+        game = FabrikantGame(4, 1.0)
+        response = game.best_response(StrategyProfile.empty(4), 0)
+        assert response.improved
+        assert response.gain > 0
+
+
+class TestKnownEquilibria:
+    """Classic results from Fabrikant et al. (PODC 2003) on small n."""
+
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 5.0])
+    def test_star_is_nash_for_alpha_above_one(self, alpha):
+        game = FabrikantGame(5, alpha)
+        assert game.is_nash(star_profile(5))
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.9])
+    def test_complete_is_nash_for_alpha_below_one(self, alpha):
+        game = FabrikantGame(5, alpha)
+        assert game.is_nash(complete_profile(5))
+
+    def test_star_not_nash_for_small_alpha(self):
+        game = FabrikantGame(5, 0.5)
+        assert not game.is_nash(star_profile(5))
+
+    def test_complete_not_nash_for_large_alpha(self):
+        game = FabrikantGame(5, 3.0)
+        assert not game.is_nash(complete_profile(5))
+
+    def test_verify_nash_returns_deviation(self):
+        game = FabrikantGame(4, 3.0)
+        deviation = game.verify_nash(complete_profile(4))
+        assert deviation is not None
+        assert deviation.improved
+
+
+class TestDynamics:
+    def test_converges_to_nash(self):
+        game = FabrikantGame(5, 1.5)
+        final, converged, rounds = game.best_response_dynamics()
+        assert converged
+        assert game.is_nash(final)
+        assert rounds < 100
+
+    def test_custom_start(self):
+        game = FabrikantGame(4, 0.5)
+        final, converged, _ = game.best_response_dynamics(
+            initial=complete_profile(4)
+        )
+        assert converged
+        assert game.is_nash(final)

@@ -1,0 +1,130 @@
+"""Tests for the structured overlay baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.structured import (
+    chain_profile,
+    nearest_neighbor_order,
+    ring_fingers_profile,
+    star_profile_metric,
+    structured_portfolio,
+    tulip_profile,
+)
+from repro.core.game import TopologyGame
+from repro.graphs.reachability import is_strongly_connected
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+@pytest.fixture
+def metric():
+    return EuclideanMetric.random_uniform(12, dim=2, seed=42)
+
+
+class TestNearestNeighborOrder:
+    def test_recovers_line_order(self):
+        metric = LineMetric([3.0, 0.0, 1.0, 2.0])
+        order = nearest_neighbor_order(metric, start=1)
+        assert order == [1, 2, 3, 0]
+
+    def test_is_permutation(self, metric):
+        order = nearest_neighbor_order(metric)
+        assert sorted(order) == list(range(metric.n))
+
+    def test_bad_start(self, metric):
+        with pytest.raises(IndexError):
+            nearest_neighbor_order(metric, start=99)
+
+
+class TestChainProfile:
+    def test_link_count(self, metric):
+        assert chain_profile(metric).num_links == 2 * (metric.n - 1)
+
+    def test_strongly_connected(self, metric):
+        game = TopologyGame(metric, 1.0)
+        assert is_strongly_connected(game.overlay(chain_profile(metric)))
+
+    def test_unit_stretch_on_line(self):
+        metric = LineMetric.uniform_grid(7)
+        game = TopologyGame(metric, 1.0)
+        stretch = game.stretches(chain_profile(metric))
+        off_diag = stretch[~np.eye(7, dtype=bool)]
+        np.testing.assert_allclose(off_diag, 1.0)
+
+
+class TestStarProfile:
+    def test_link_count(self, metric):
+        assert star_profile_metric(metric).num_links == 2 * (metric.n - 1)
+
+    def test_two_hop_routes(self, metric):
+        game = TopologyGame(metric, 1.0)
+        profile = star_profile_metric(metric)
+        overlay = game.overlay(profile)
+        from repro.graphs.shortest_paths import all_pairs_distances
+
+        dist = all_pairs_distances(overlay)
+        assert np.isfinite(dist).all()
+
+    def test_trivial_sizes(self):
+        assert star_profile_metric(EuclideanMetric([[0.0, 0.0]])).n == 1
+
+
+class TestRingFingers:
+    def test_degree_logarithmic(self, metric):
+        profile = ring_fingers_profile(metric)
+        max_degree = max(profile.out_degree(i) for i in range(metric.n))
+        assert max_degree <= int(math.log2(metric.n)) + 2
+
+    def test_strongly_connected(self, metric):
+        game = TopologyGame(metric, 1.0)
+        assert is_strongly_connected(
+            game.overlay(ring_fingers_profile(metric))
+        )
+
+    def test_bad_base(self, metric):
+        with pytest.raises(ValueError, match="base"):
+            ring_fingers_profile(metric, base=1)
+
+    def test_larger_base_fewer_fingers(self, metric):
+        base2 = ring_fingers_profile(metric, base=2)
+        base4 = ring_fingers_profile(metric, base=4)
+        assert base4.num_links <= base2.num_links
+
+
+class TestTulipProfile:
+    def test_degree_order_sqrt_n(self):
+        metric = EuclideanMetric.random_uniform(25, dim=2, seed=1)
+        profile = tulip_profile(metric)
+        max_degree = max(profile.out_degree(i) for i in range(25))
+        # ~sqrt(n) cluster mates + ~sqrt(n) representatives.
+        assert max_degree <= 4 * int(math.sqrt(25)) + 2
+
+    def test_strongly_connected(self, metric):
+        game = TopologyGame(metric, 1.0)
+        assert is_strongly_connected(game.overlay(tulip_profile(metric)))
+
+    def test_two_hop_stretch_bounded(self):
+        # With locality clustering the realized stretches stay modest.
+        metric = EuclideanMetric.clustered(3, 4, seed=2)
+        game = TopologyGame(metric, 1.0)
+        stretch = game.stretches(tulip_profile(metric))
+        finite = stretch[np.isfinite(stretch) & (stretch > 0)]
+        assert finite.max() < 50.0
+
+    def test_single_peer(self):
+        assert tulip_profile(EuclideanMetric([[0.0, 0.0]])).num_links == 0
+
+
+class TestPortfolio:
+    def test_all_designs_present(self, metric):
+        portfolio = structured_portfolio(metric)
+        assert set(portfolio) == {"chain", "star", "ring-fingers", "tulip-sqrt"}
+
+    def test_all_designs_have_finite_cost(self, metric):
+        game = TopologyGame(metric, 2.0)
+        for name, profile in structured_portfolio(metric).items():
+            cost = game.social_cost(profile).total
+            assert math.isfinite(cost), name

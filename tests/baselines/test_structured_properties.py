@@ -1,0 +1,60 @@
+"""Property-based invariants of the structured overlay designs.
+
+Every design in the portfolio must produce a valid, strongly connected,
+finite-cost overlay on *any* metric — these are the guarantees experiment
+E8 and the examples lean on, checked here across random geometries.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.structured import structured_portfolio
+from repro.core.game import TopologyGame
+from repro.graphs.reachability import is_strongly_connected
+
+from tests.conftest import euclidean_metrics
+
+
+class TestPortfolioInvariants:
+    @given(euclidean_metrics(min_n=2, max_n=14))
+    @settings(max_examples=20)
+    def test_all_designs_strongly_connected(self, metric):
+        game = TopologyGame(metric, 1.0)
+        for name, profile in structured_portfolio(metric).items():
+            assert is_strongly_connected(game.overlay(profile)), name
+
+    @given(euclidean_metrics(min_n=2, max_n=14))
+    @settings(max_examples=20)
+    def test_all_designs_finite_cost(self, metric):
+        game = TopologyGame(metric, 2.0)
+        for name, profile in structured_portfolio(metric).items():
+            assert math.isfinite(game.social_cost(profile).total), name
+
+    @given(euclidean_metrics(min_n=3, max_n=14))
+    @settings(max_examples=20)
+    def test_no_design_exceeds_complete_graph_links(self, metric):
+        n = metric.n
+        for name, profile in structured_portfolio(metric).items():
+            assert profile.num_links <= n * (n - 1), name
+
+    @given(euclidean_metrics(min_n=3, max_n=14))
+    @settings(max_examples=20)
+    def test_chain_and_star_are_sparsest(self, metric):
+        portfolio = structured_portfolio(metric)
+        n = metric.n
+        assert portfolio["chain"].num_links == 2 * (n - 1)
+        assert portfolio["star"].num_links == 2 * (n - 1)
+
+    @given(euclidean_metrics(min_n=4, max_n=14))
+    @settings(max_examples=15)
+    def test_designs_beat_the_optimum_floor(self, metric):
+        """No overlay can undercut the paper's OPT lower bound."""
+        from repro.core.social_optimum import social_cost_lower_bound
+
+        game = TopologyGame(metric, 1.0)
+        floor = social_cost_lower_bound(1.0, metric.n)
+        for name, profile in structured_portfolio(metric).items():
+            cost = game.social_cost(profile).total
+            assert cost >= floor - 1e-9, name

@@ -1,0 +1,99 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+
+# Default hypothesis profile: modest example counts keep the full suite
+# fast while still exploring the space; deadline disabled because the
+# exact solvers have occasional slow examples.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_metric() -> EuclideanMetric:
+    """Five random points in the unit square (fixed seed)."""
+    return EuclideanMetric.random_uniform(5, dim=2, seed=11)
+
+
+@pytest.fixture
+def small_game(small_metric) -> TopologyGame:
+    """A small game over :func:`small_metric` with a moderate alpha."""
+    return TopologyGame(small_metric, alpha=1.0)
+
+
+@pytest.fixture
+def line_game() -> TopologyGame:
+    """Six peers on a uniformly spaced line."""
+    from repro.metrics.line import LineMetric
+
+    return TopologyGame(LineMetric.uniform_grid(6), alpha=2.0)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+def euclidean_metrics(
+    min_n: int = 2, max_n: int = 8, dim: int = 2
+) -> st.SearchStrategy[EuclideanMetric]:
+    """Random Euclidean metrics with well-separated points."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_n, max_n))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        # Rejection-free separation: snap points to a coarse grid offset
+        # so no two coincide.
+        points = rng.uniform(0.0, 1.0, size=(n, dim))
+        points += np.arange(n)[:, None] * 1e-3
+        return EuclideanMetric(points)
+
+    return build()
+
+
+def profiles_for(n: int) -> st.SearchStrategy[StrategyProfile]:
+    """Random strategy profiles over ``n`` peers."""
+    return st.builds(
+        lambda sets: StrategyProfile(
+            [frozenset(t for t in s if t != i) for i, s in enumerate(sets)]
+        ),
+        st.lists(
+            st.sets(st.integers(0, n - 1), max_size=n - 1),
+            min_size=n,
+            max_size=n,
+        ),
+    )
+
+
+@st.composite
+def games_with_profiles(draw, min_n: int = 2, max_n: int = 6):
+    """A (game, profile) pair over a random metric and alpha."""
+    metric = draw(euclidean_metrics(min_n, max_n))
+    alpha = draw(
+        st.floats(
+            min_value=0.05,
+            max_value=16.0,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    game = TopologyGame(metric, alpha)
+    profile = draw(profiles_for(metric.n))
+    return game, profile

@@ -1,0 +1,142 @@
+"""Tests for the Figure 3 candidates and the machine-checked case analysis."""
+
+import pytest
+
+from repro.constructions.candidates import (
+    CANDIDATE_TOP_LINKS,
+    PAPER_CYCLE,
+    all_candidate_profiles,
+    candidate_profile,
+    classify_candidate,
+    deviation_table,
+    run_paper_cycle,
+)
+from repro.constructions.no_nash import (
+    CLUSTER_A,
+    CLUSTER_B,
+    CLUSTER_C,
+    PI1,
+    PI2,
+    build_no_nash_instance,
+)
+from repro.core.equilibrium import verify_nash
+from repro.graphs.reachability import is_strongly_connected
+
+
+class TestCandidateProfiles:
+    def test_six_distinct_candidates(self):
+        profiles = all_candidate_profiles()
+        assert len(profiles) == 6
+        assert len({p.key() for p in profiles.values()}) == 6
+
+    def test_case_structure_matches_lemma52(self):
+        """Pi1 always links to a; Pi2 links to exactly one of b/c, never a."""
+        for case, profile in all_candidate_profiles().items():
+            pi1_top = profile.strategy(PI1) - {PI2}
+            pi2_top = profile.strategy(PI2) - {PI1}
+            assert CLUSTER_A in pi1_top
+            assert len(pi1_top) <= 2  # never three top links (Lemma 5.2 i)
+            assert len(pi2_top) == 1
+            assert CLUSTER_A not in pi2_top
+
+    def test_all_candidates_strongly_connected(self):
+        game = build_no_nash_instance()
+        for profile in all_candidate_profiles().values():
+            assert is_strongly_connected(game.overlay(profile))
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(ValueError, match="case"):
+            candidate_profile(0)
+        with pytest.raises(ValueError, match="case"):
+            candidate_profile(7)
+
+    def test_classify_roundtrip(self):
+        for case in range(1, 7):
+            assert classify_candidate(candidate_profile(case)) == case
+
+    def test_classify_unknown_profile(self):
+        game = build_no_nash_instance()
+        assert classify_candidate(game.empty_profile()) is None
+
+    def test_top_links_table_consistent(self):
+        for case, (pi1_top, pi2_top) in CANDIDATE_TOP_LINKS.items():
+            profile = candidate_profile(case)
+            assert profile.strategy(PI1) - {PI2} == pi1_top
+            assert profile.strategy(PI2) - {PI1} == pi2_top
+
+
+class TestDeviationTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return deviation_table()
+
+    def test_every_candidate_has_improving_deviation(self, table):
+        """No candidate is a Nash equilibrium (the paper's six cases)."""
+        assert len(table) == 6
+        assert all(row.gain > 0 for row in table)
+
+    def test_deviations_match_paper_narrative(self, table):
+        by_case = {row.case: row for row in table}
+        # Case 1: Pi1 adds the link to b.
+        assert by_case[1].deviator_name == "Pi1"
+        assert set(by_case[1].new_strategy) - set(by_case[1].old_strategy) == {
+            CLUSTER_B
+        }
+        # Case 2: Pi2 switches c -> b.
+        assert by_case[2].deviator_name == "Pi2"
+        assert CLUSTER_C in by_case[2].old_strategy
+        assert CLUSTER_B in by_case[2].new_strategy
+        # Case 3: Pi2 switches b -> c.
+        assert by_case[3].deviator_name == "Pi2"
+        assert CLUSTER_C in by_case[3].new_strategy
+        # Case 4: Pi1 drops the link to b.
+        assert by_case[4].deviator_name == "Pi1"
+        assert set(by_case[4].old_strategy) - set(by_case[4].new_strategy) == {
+            CLUSTER_B
+        }
+        # Case 5: Pi1 replaces c with b.
+        assert by_case[5].deviator_name == "Pi1"
+        assert CLUSTER_C in by_case[5].old_strategy
+        assert CLUSTER_B in by_case[5].new_strategy
+        # Case 6: Pi1 removes the c link.
+        assert by_case[6].deviator_name == "Pi1"
+        assert set(by_case[6].old_strategy) - set(by_case[6].new_strategy) == {
+            CLUSTER_C
+        }
+
+    def test_deviations_verified_against_nash_checker(self, table):
+        game = build_no_nash_instance()
+        for row in table:
+            profile = candidate_profile(row.case)
+            assert not verify_nash(game, profile).is_nash
+
+    def test_cycle_cases_feed_the_loop(self, table):
+        by_case = {row.case: row for row in table}
+        assert by_case[1].next_case == 3
+        assert by_case[3].next_case == 4
+        assert by_case[4].next_case == 2
+        assert by_case[2].next_case == 1
+
+
+class TestPaperCycle:
+    def test_cycle_closes_as_in_the_paper(self):
+        steps = run_paper_cycle(start_case=1)
+        assert tuple(step.case for step in steps) == PAPER_CYCLE
+        assert steps[-1].next_case == 1
+
+    def test_cycle_from_other_entry_points(self):
+        # Starting anywhere on the loop returns to the start.
+        for start in PAPER_CYCLE:
+            steps = run_paper_cycle(start_case=start)
+            assert steps[0].case == start
+            assert steps[-1].next_case == start
+            assert len(steps) == 4
+
+    def test_gains_strictly_positive_along_cycle(self):
+        steps = run_paper_cycle()
+        assert all(step.gain > 0 for step in steps)
+
+    def test_off_cycle_cases_flow_into_the_loop(self):
+        table = {row.case: row for row in deviation_table()}
+        assert table[5].next_case in PAPER_CYCLE
+        assert table[6].next_case in PAPER_CYCLE

@@ -1,0 +1,81 @@
+"""Qualitative anatomy of I_k cluster instances (Section 5's lemmas).
+
+The paper's Section 5 lemmas describe the structure any equilibrium-ish
+topology on the five-cluster instance must have: peers connect within
+their clusters (cheap, high-value links), and between clusters only a few
+links exist.  The k >= 2 instances at the canonical centers *do* converge
+(our geometry certifies non-existence only at k = 1); these tests check
+that the equilibria they reach exhibit the lemma-like anatomy — evidence
+that the reconstruction preserves the construction's character beyond the
+single certified point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constructions.no_nash import build_cluster_instance
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.equilibrium import verify_nash
+
+
+@pytest.fixture(scope="module")
+def k2_equilibrium():
+    """A converged equilibrium of the k=2 cluster instance."""
+    instance = build_cluster_instance(2, epsilon=0.01)
+    result = BestResponseDynamics(
+        instance.game, record_moves=False
+    ).run(max_rounds=150)
+    assert result.converged
+    return instance, result.profile
+
+
+class TestClusterAnatomy:
+    def test_equilibrium_is_certified(self, k2_equilibrium):
+        instance, profile = k2_equilibrium
+        assert verify_nash(instance.game, profile).is_nash
+
+    def test_intra_cluster_connectivity(self, k2_equilibrium):
+        """Paper: 'two peers in the same cluster are always connected by
+        a path that does not leave the cluster'."""
+        from repro.graphs.digraph import WeightedDigraph
+        from repro.graphs.reachability import is_strongly_connected
+
+        instance, profile = k2_equilibrium
+        for members in instance.clusters:
+            index_of = {peer: k for k, peer in enumerate(members)}
+            sub = WeightedDigraph(len(members))
+            for i, j in profile.edges():
+                if i in index_of and j in index_of:
+                    sub.add_edge(index_of[i], index_of[j], 1.0)
+            assert is_strongly_connected(sub), (
+                f"cluster {members} lacks an internal path"
+            )
+
+    def test_few_links_between_cluster_pairs(self, k2_equilibrium):
+        """Paper: 'for every i and j, there is at most one directed link
+        from a cluster Πi to peers in a cluster Πj'."""
+        instance, profile = k2_equilibrium
+        cluster_of = {}
+        for index, members in enumerate(instance.clusters):
+            for peer in members:
+                cluster_of[peer] = index
+        counts = {}
+        for i, j in profile.edges():
+            ci, cj = cluster_of[i], cluster_of[j]
+            if ci != cj:
+                counts[(ci, cj)] = counts.get((ci, cj), 0) + 1
+        assert counts, "no inter-cluster links at all"
+        assert max(counts.values()) <= 2  # at most ~one per direction
+
+    def test_every_stretch_respects_theorem41(self, k2_equilibrium):
+        instance, profile = k2_equilibrium
+        stretches = instance.game.stretches(profile)
+        n = instance.n
+        off_diag = stretches[~np.eye(n, dtype=bool)]
+        assert off_diag.max() <= instance.game.alpha + 1.0 + 1e-9
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_alpha_scales_with_k(self, k):
+        instance = build_cluster_instance(k)
+        assert instance.game.alpha == pytest.approx(0.6 * k)
+        assert instance.n == 5 * k

@@ -1,0 +1,163 @@
+"""Tests for the Figure 1 construction (Lemma 4.2 / 4.3 / Theorem 4.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constructions.line_lower_bound import (
+    MIN_ALPHA,
+    build_lower_bound_instance,
+    lower_bound_metric,
+    lower_bound_positions,
+    lower_bound_profile,
+)
+from repro.constructions.line_optimal import (
+    optimal_line_cost_formula,
+    optimal_line_profile,
+)
+from repro.core.equilibrium import verify_nash
+from repro.graphs.reachability import is_strongly_connected
+
+
+class TestPositions:
+    def test_paper_formula(self):
+        """Peer i (1-indexed) at alpha^(i-1)/2 if odd, alpha^(i-1) if even."""
+        alpha = 4.0
+        positions = lower_bound_positions(6, alpha)
+        expected = [
+            alpha ** 0 / 2,  # i=1 odd
+            alpha ** 1,      # i=2 even
+            alpha ** 2 / 2,  # i=3 odd
+            alpha ** 3,      # i=4 even
+            alpha ** 4 / 2,  # i=5 odd
+            alpha ** 5,      # i=6 even
+        ]
+        np.testing.assert_allclose(positions, expected)
+
+    def test_strictly_increasing(self):
+        positions = lower_bound_positions(10, 3.5)
+        assert (np.diff(positions) > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n"):
+            lower_bound_positions(0, 4.0)
+        with pytest.raises(ValueError, match="alpha"):
+            lower_bound_positions(5, 1.0)
+
+
+class TestProfileShape:
+    def test_left_links_everywhere(self):
+        profile = lower_bound_profile(8)
+        for k in range(1, 8):
+            assert profile.has_link(k, k - 1)
+
+    def test_odd_peers_link_two_right(self):
+        profile = lower_bound_profile(9)
+        for k in range(0, 7, 2):  # paper-odd peers (0-indexed even)
+            assert profile.has_link(k, k + 2)
+
+    def test_even_paper_peers_have_no_right_links(self):
+        profile = lower_bound_profile(9)
+        for k in range(1, 9, 2):  # paper-even peers
+            assert profile.strategy(k) == frozenset({k - 1})
+
+    def test_overlay_strongly_connected(self):
+        for n in (2, 5, 8, 11):
+            instance = build_lower_bound_instance(n, 4.0)
+            assert is_strongly_connected(
+                instance.game.overlay(instance.profile)
+            )
+
+    def test_link_count_linear(self):
+        profile = lower_bound_profile(11)
+        # n-1 left links + ceil((n-2)/2) right links (odd n).
+        assert profile.num_links == 10 + 5
+
+
+class TestNashProperty:
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_nash_at_guaranteed_alpha(self, n):
+        instance = build_lower_bound_instance(n, MIN_ALPHA)
+        assert verify_nash(instance.game, instance.profile).is_nash
+
+    @pytest.mark.parametrize("alpha", [3.4, 5.0, 12.0])
+    def test_nash_across_alphas(self, alpha):
+        instance = build_lower_bound_instance(9, alpha)
+        assert verify_nash(instance.game, instance.profile).is_nash
+
+    def test_not_nash_for_tiny_alpha(self):
+        # Far below the threshold the profile stops being stable.
+        instance = build_lower_bound_instance(8, 1.1)
+        assert not verify_nash(instance.game, instance.profile).is_nash
+
+    def test_max_stretch_bound_holds(self):
+        instance = build_lower_bound_instance(10, 4.0)
+        stretches = instance.game.stretches(instance.profile)
+        off_diag = stretches[~np.eye(10, dtype=bool)]
+        assert off_diag.max() <= 4.0 + 1.0 + 1e-9
+
+
+class TestSocialCostScaling:
+    def test_quadratic_in_n(self):
+        alpha = 4.0
+        costs = {}
+        for n in (8, 16, 32):
+            instance = build_lower_bound_instance(n, alpha)
+            costs[n] = instance.game.social_cost(instance.profile).total
+        # Doubling n should roughly quadruple the cost.
+        assert 2.5 <= costs[16] / costs[8] <= 6.0
+        assert 2.5 <= costs[32] / costs[16] <= 6.0
+
+    def test_cost_normalized_by_alpha_n2_bounded(self):
+        for n in (6, 12, 24):
+            instance = build_lower_bound_instance(n, 4.0)
+            cost = instance.game.social_cost(instance.profile).total
+            ratio = cost / (4.0 * n * n)
+            assert 0.05 <= ratio <= 5.0
+
+
+class TestOptimalLineBaseline:
+    def test_chain_profile_structure(self):
+        metric = lower_bound_metric(6, 4.0)
+        profile = optimal_line_profile(metric)
+        assert profile.num_links == 2 * 5
+        assert is_strongly_connected(
+            build_lower_bound_instance(6, 4.0).game.overlay(profile)
+        )
+
+    def test_chain_achieves_unit_stretch(self):
+        instance = build_lower_bound_instance(7, 4.0)
+        profile = optimal_line_profile(instance.game.metric)
+        stretches = instance.game.stretches(profile)
+        off_diag = stretches[~np.eye(7, dtype=bool)]
+        np.testing.assert_allclose(off_diag, 1.0)
+
+    def test_closed_form_matches_measured(self):
+        instance = build_lower_bound_instance(7, 4.0)
+        profile = optimal_line_profile(instance.game.metric)
+        measured = instance.game.social_cost(profile).total
+        assert measured == pytest.approx(optimal_line_cost_formula(4.0, 7))
+
+    def test_formula_validation(self):
+        with pytest.raises(ValueError):
+            optimal_line_cost_formula(4.0, 0)
+
+
+class TestPoALowerBound:
+    def test_poa_grows_with_alpha(self):
+        n = 20
+        ratios = []
+        for alpha in (4.0, 8.0, 16.0):
+            instance = build_lower_bound_instance(n, alpha)
+            cost = instance.game.social_cost(instance.profile).total
+            ratios.append(cost / optimal_line_cost_formula(alpha, n))
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_poa_within_constant_of_min_alpha_n(self):
+        for n, alpha in ((16, 4.0), (24, 8.0), (10, 64.0)):
+            instance = build_lower_bound_instance(n, alpha)
+            cost = instance.game.social_cost(instance.profile).total
+            poa = cost / optimal_line_cost_formula(alpha, n)
+            reference = min(alpha, n)
+            assert 0.02 * reference <= poa <= 3.0 * reference

@@ -1,0 +1,111 @@
+"""Tests for Price-of-Anarchy estimation."""
+
+import math
+
+import pytest
+
+from repro.core.anarchy import (
+    estimate_price_of_anarchy,
+    nash_equilibrium_cost_upper_bound,
+    price_of_anarchy_upper_bound,
+    sample_equilibria,
+)
+from repro.core.equilibrium import verify_nash
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestClosedFormBounds:
+    def test_nash_cost_bound_formula(self):
+        assert nash_equilibrium_cost_upper_bound(2.0, 4) == pytest.approx(
+            2.0 * 12 + 3.0 * 12
+        )
+
+    def test_trivial_n(self):
+        assert nash_equilibrium_cost_upper_bound(2.0, 1) == 0.0
+        assert price_of_anarchy_upper_bound(2.0, 1) == 1.0
+
+    def test_poa_bound_saturates_with_alpha(self):
+        """The bound grows with alpha but is O(n) for huge alpha."""
+        n = 16
+        small = price_of_anarchy_upper_bound(1.0, n)
+        large = price_of_anarchy_upper_bound(1e9, n)
+        assert small < large
+        assert large <= 2 * n  # alpha n(n-1) * 2 / (alpha n) = 2(n-1)
+
+    def test_poa_bound_is_o_min(self):
+        for alpha in (0.5, 2.0, 10.0, 100.0):
+            for n in (2, 5, 20):
+                bound = price_of_anarchy_upper_bound(alpha, n)
+                assert bound <= 2.0 * min(alpha, n) + 3.0
+
+
+class TestSampleEquilibria:
+    def test_all_samples_are_nash(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(6, seed=0), alpha=1.0
+        )
+        equilibria = sample_equilibria(game, num_samples=3, seed=1)
+        assert equilibria
+        for profile in equilibria:
+            assert verify_nash(game, profile).is_nash
+
+    def test_deduplicates(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        equilibria = sample_equilibria(game, num_samples=5, seed=2)
+        keys = [p.key() for p in equilibria]
+        assert len(keys) == len(set(keys))
+
+    def test_custom_starts_used(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 2.0]), 1.0)
+        equilibria = sample_equilibria(
+            game,
+            num_samples=1,
+            initial_profiles=[game.complete_profile()],
+            seed=0,
+        )
+        assert len(equilibria) <= 1
+
+
+class TestEstimatePoA:
+    def test_bracket_is_ordered(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(6, seed=3), alpha=2.0
+        )
+        estimate = estimate_price_of_anarchy(game, num_samples=3, seed=4)
+        assert estimate.num_equilibria >= 1
+        assert 0 < estimate.lower <= estimate.upper + 1e-9
+
+    def test_uses_supplied_equilibria(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        from repro.core.profile import StrategyProfile
+
+        equilibrium = StrategyProfile([{1}, {0}])
+        estimate = estimate_price_of_anarchy(game, equilibria=[equilibrium])
+        assert estimate.worst_equilibrium == equilibrium
+        assert estimate.num_equilibria == 1
+
+    def test_no_equilibria_yields_nan(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        game = build_no_nash_instance()
+        estimate = estimate_price_of_anarchy(
+            game, num_samples=2, seed=0
+        )
+        # The witness has no pure equilibria: dynamics cycle, nothing is
+        # sampled, the lower end is NaN by contract.
+        assert estimate.num_equilibria == 0
+        assert math.isnan(estimate.lower)
+
+    def test_lower_bound_sanity_on_line(self):
+        # PoA lower bound from a witnessed equilibrium is at least 1 ...
+        game = TopologyGame(LineMetric.uniform_grid(5), alpha=2.0)
+        estimate = estimate_price_of_anarchy(game, num_samples=3, seed=5)
+        if estimate.num_equilibria:
+            assert estimate.lower >= 0.9  # optimum upper bound slack
+
+    def test_str_rendering(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        estimate = estimate_price_of_anarchy(game, num_samples=1, seed=0)
+        assert "PoA in" in str(estimate)

@@ -1,0 +1,184 @@
+"""Best-response solver tests: exact vs brute force, structure, edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.best_response import (
+    best_response,
+    compute_service_costs,
+    find_improving_deviation,
+    strategy_cost,
+)
+from repro.core.costs import individual_costs
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+from tests.conftest import games_with_profiles
+
+
+class TestServiceCosts:
+    def test_weights_are_stretches_via_first_hop(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        profile = StrategyProfile([set(), {2}, set()])
+        service = compute_service_costs(
+            metric.distance_matrix(), profile, 0
+        )
+        # Candidate 1: reaches 1 directly (stretch 1), 2 via 1 (stretch 1).
+        row1 = service.weights[service.candidates.index(1)]
+        assert row1[1] == pytest.approx(1.0)
+        assert row1[2] == pytest.approx(1.0)
+        # Candidate 2: reaches 2 at stretch 2/2=1; cannot reach 1.
+        row2 = service.weights[service.candidates.index(2)]
+        assert row2[2] == pytest.approx(1.0)
+        assert math.isinf(row2[1])
+
+    def test_own_column_zero(self):
+        metric = EuclideanMetric.random_uniform(4, seed=0)
+        profile = StrategyProfile.random(4, 0.5, seed=1)
+        service = compute_service_costs(metric.distance_matrix(), profile, 2)
+        assert (service.weights[:, 2] == 0.0).all()
+
+    def test_bad_peer_rejected(self):
+        metric = LineMetric([0.0, 1.0])
+        with pytest.raises(IndexError):
+            compute_service_costs(
+                metric.distance_matrix(), StrategyProfile.empty(2), 5
+            )
+
+    def test_strategy_cost_matches_individual_cost(self):
+        metric = EuclideanMetric.random_uniform(6, seed=2)
+        profile = StrategyProfile.random(6, 0.4, seed=2)
+        dmat = metric.distance_matrix()
+        alpha = 1.7
+        direct = individual_costs(dmat, profile, alpha)
+        for peer in range(6):
+            service = compute_service_costs(dmat, profile, peer)
+            via_service = strategy_cost(
+                service, sorted(profile.strategy(peer)), alpha
+            )
+            if math.isfinite(direct[peer]):
+                assert via_service == pytest.approx(direct[peer])
+            else:
+                assert math.isinf(via_service)
+
+    def test_empty_strategy_cost_infinite(self):
+        metric = LineMetric([0.0, 1.0])
+        service = compute_service_costs(
+            metric.distance_matrix(), StrategyProfile.empty(2), 0
+        )
+        assert math.isinf(strategy_cost(service, [], 1.0))
+
+
+class TestExactAgainstBrute:
+    @given(games_with_profiles(min_n=2, max_n=5))
+    def test_exact_matches_brute_force(self, game_profile):
+        """The branch and bound is validated against full enumeration."""
+        game, profile = game_profile
+        for peer in range(game.n):
+            exact = game.best_response(profile, peer, method="exact")
+            brute = game.best_response(profile, peer, method="brute")
+            assert exact.cost == pytest.approx(brute.cost, rel=1e-9)
+
+    @given(games_with_profiles(min_n=2, max_n=5))
+    def test_greedy_never_beats_exact(self, game_profile):
+        game, profile = game_profile
+        for peer in range(game.n):
+            exact = game.best_response(profile, peer, method="exact")
+            greedy = game.best_response(profile, peer, method="greedy")
+            assert greedy.cost >= exact.cost - 1e-9
+
+
+class TestBestResponseSemantics:
+    def test_status_quo_on_tie(self):
+        # A peer already playing optimally keeps its strategy.
+        metric = LineMetric([0.0, 1.0])
+        profile = StrategyProfile([{1}, {0}])
+        result = best_response(metric.distance_matrix(), profile, 0, 1.0)
+        assert not result.improved
+        assert result.strategy == frozenset({1})
+        assert result.gain == 0.0
+
+    def test_improvement_detected(self):
+        # Disconnected peer must link up (infinite -> finite cost).
+        metric = LineMetric([0.0, 1.0, 2.0])
+        profile = StrategyProfile([set(), {0, 2}, {1}])
+        result = best_response(metric.distance_matrix(), profile, 0, 1.0)
+        assert result.improved
+        assert math.isinf(result.current_cost)
+        assert math.isfinite(result.cost)
+
+    def test_unknown_method_rejected(self):
+        metric = LineMetric([0.0, 1.0])
+        with pytest.raises(ValueError, match="method"):
+            best_response(
+                metric.distance_matrix(),
+                StrategyProfile.empty(2),
+                0,
+                1.0,
+                method="quantum",
+            )
+
+    def test_single_peer_game(self):
+        metric = LineMetric([0.0])
+        result = best_response(
+            metric.distance_matrix(), StrategyProfile.empty(1), 0, 1.0
+        )
+        assert not result.improved
+        assert result.strategy == frozenset()
+
+    def test_huge_alpha_prefers_single_link(self):
+        """With very expensive links the responder buys exactly one."""
+        metric = LineMetric([0.0, 1.0, 2.0, 3.0])
+        profile = StrategyProfile(
+            [set(), {0, 2}, {1, 3}, {2}]
+        )
+        result = best_response(
+            metric.distance_matrix(), profile, 0, alpha=1000.0
+        )
+        assert len(result.strategy) == 1
+
+    def test_tiny_alpha_links_everywhere_useful(self):
+        """With nearly free links the responder buys direct links."""
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 0.5], [2.0, -0.5]])
+        profile = StrategyProfile([set(), {2}, {1}])
+        result = best_response(
+            metric.distance_matrix(), profile, 0, alpha=1e-6
+        )
+        assert result.strategy == frozenset({1, 2})
+
+
+class TestFindImprovingDeviation:
+    def test_none_at_best_response(self):
+        metric = LineMetric([0.0, 1.0])
+        profile = StrategyProfile([{1}, {0}])
+        assert (
+            find_improving_deviation(
+                metric.distance_matrix(), profile, 0, 1.0
+            )
+            is None
+        )
+
+    def test_found_when_improvable(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        profile = StrategyProfile([{1, 2}, {0, 2}, {0, 1}])
+        # With alpha large, peer 0 should drop a redundant link.
+        deviation = find_improving_deviation(
+            metric.distance_matrix(), profile, 0, 100.0
+        )
+        assert deviation is not None
+        assert deviation.improved
+        assert deviation.cost < deviation.current_cost
+
+    @given(games_with_profiles(min_n=2, max_n=5))
+    def test_consistent_with_best_response(self, game_profile):
+        """A deviation exists iff the best response improves."""
+        game, profile = game_profile
+        for peer in range(game.n):
+            deviation = game.find_improving_deviation(profile, peer)
+            exact = game.best_response(profile, peer, method="exact")
+            assert (deviation is not None) == exact.improved

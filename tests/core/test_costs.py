@@ -1,0 +1,131 @@
+"""Tests for the cost model: stretch matrices, individual and social cost."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.costs import individual_costs, social_cost, stretch_matrix
+from repro.core.profile import StrategyProfile
+from repro.core.topology import build_overlay, overlay_from_matrix
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+from tests.conftest import games_with_profiles
+
+
+class TestOverlayConstruction:
+    def test_build_overlay_edge_weights(self):
+        metric = LineMetric([0.0, 1.0, 3.0])
+        profile = StrategyProfile([{2}, set(), {0}])
+        overlay = build_overlay(metric, profile)
+        assert overlay.weight(0, 2) == pytest.approx(3.0)
+        assert overlay.weight(2, 0) == pytest.approx(3.0)
+        assert overlay.num_edges == 2
+
+    def test_size_mismatch_rejected(self):
+        metric = LineMetric([0.0, 1.0])
+        with pytest.raises(ValueError):
+            build_overlay(metric, StrategyProfile.empty(3))
+
+    def test_overlay_from_matrix_shape_check(self):
+        with pytest.raises(ValueError):
+            overlay_from_matrix(np.zeros((2, 2)), StrategyProfile.empty(3))
+
+
+class TestStretchMatrix:
+    def test_complete_profile_unit_stretch(self):
+        metric = EuclideanMetric.random_uniform(5, seed=0)
+        overlay = build_overlay(metric, StrategyProfile.complete(5))
+        stretch = stretch_matrix(metric.distance_matrix(), overlay)
+        off_diag = stretch[~np.eye(5, dtype=bool)]
+        np.testing.assert_allclose(off_diag, 1.0)
+
+    def test_diagonal_zero(self):
+        metric = EuclideanMetric.random_uniform(4, seed=1)
+        overlay = build_overlay(metric, StrategyProfile.complete(4))
+        stretch = stretch_matrix(metric.distance_matrix(), overlay)
+        np.testing.assert_array_equal(np.diagonal(stretch), 0.0)
+
+    def test_unreachable_pair_is_inf(self):
+        metric = LineMetric([0.0, 1.0])
+        overlay = build_overlay(metric, StrategyProfile([{1}, set()]))
+        stretch = stretch_matrix(metric.distance_matrix(), overlay)
+        assert stretch[0, 1] == 1.0
+        assert math.isinf(stretch[1, 0])
+
+    def test_detour_stretch_value(self):
+        # 0 -> 1 -> 2 on a line: path 0->2 via 1 is exact, stretch 1.
+        metric = LineMetric([0.0, 1.0, 2.0])
+        profile = StrategyProfile([{1}, {2}, set()])
+        overlay = build_overlay(metric, profile)
+        stretch = stretch_matrix(metric.distance_matrix(), overlay)
+        assert stretch[0, 2] == pytest.approx(1.0)
+
+    def test_off_line_detour_has_stretch_above_one(self):
+        metric = EuclideanMetric([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        profile = StrategyProfile([{1}, {2}, set()])
+        overlay = build_overlay(metric, profile)
+        stretch = stretch_matrix(metric.distance_matrix(), overlay)
+        assert stretch[0, 2] == pytest.approx(2 * math.sqrt(2) / 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        metric = LineMetric([0.0, 1.0])
+        overlay = build_overlay(metric, StrategyProfile.empty(2))
+        with pytest.raises(ValueError):
+            stretch_matrix(np.zeros((3, 3)), overlay)
+
+    @given(games_with_profiles())
+    def test_stretch_at_least_one_when_finite(self, game_profile):
+        game, profile = game_profile
+        stretch = game.stretches(profile)
+        n = game.n
+        off_diag = stretch[~np.eye(n, dtype=bool)]
+        finite = off_diag[np.isfinite(off_diag)]
+        assert (finite >= 1.0 - 1e-9).all()
+
+
+class TestCosts:
+    def test_individual_cost_formula(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        profile = StrategyProfile([{1}, {0, 2}, {1}])
+        alpha = 2.0
+        costs = individual_costs(metric.distance_matrix(), profile, alpha)
+        # Peer 0: one link + stretch 1 to peer 1 + stretch 1 to peer 2.
+        assert costs[0] == pytest.approx(2.0 + 1.0 + 1.0)
+        # Peer 1: two links + unit stretches.
+        assert costs[1] == pytest.approx(4.0 + 2.0)
+
+    def test_social_cost_is_sum_of_individuals(self):
+        metric = EuclideanMetric.random_uniform(6, seed=3)
+        profile = StrategyProfile.random(6, 0.5, seed=3)
+        alpha = 1.5
+        dmat = metric.distance_matrix()
+        total = social_cost(dmat, profile, alpha)
+        individuals = individual_costs(dmat, profile, alpha)
+        if np.isfinite(individuals).all():
+            assert total.total == pytest.approx(float(individuals.sum()))
+
+    def test_breakdown_components(self):
+        metric = LineMetric([0.0, 1.0])
+        profile = StrategyProfile([{1}, {0}])
+        breakdown = social_cost(metric.distance_matrix(), profile, 3.0)
+        assert breakdown.link_cost == pytest.approx(6.0)
+        assert breakdown.stretch_cost == pytest.approx(2.0)
+        assert breakdown.total == pytest.approx(8.0)
+
+    def test_disconnected_profile_infinite_cost(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        breakdown = social_cost(
+            metric.distance_matrix(), StrategyProfile.empty(3), 1.0
+        )
+        assert math.isinf(breakdown.total)
+
+    @given(games_with_profiles())
+    def test_link_cost_counts_edges(self, game_profile):
+        game, profile = game_profile
+        breakdown = game.social_cost(profile)
+        assert breakdown.link_cost == pytest.approx(
+            game.alpha * profile.num_links
+        )

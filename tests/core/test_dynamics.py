@@ -1,0 +1,135 @@
+"""Tests for best-response dynamics, schedulers, and cycle detection."""
+
+import pytest
+
+from repro.core.dynamics import (
+    BestResponseDynamics,
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.equilibrium import verify_nash
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestSchedulers:
+    def test_round_robin_order(self):
+        assert list(RoundRobinScheduler().order(3, 4)) == [0, 1, 2, 3]
+
+    def test_fixed_order(self):
+        scheduler = FixedOrderScheduler([2, 0, 1])
+        assert list(scheduler.order(0, 3)) == [2, 0, 1]
+
+    def test_fixed_order_validates_range(self):
+        scheduler = FixedOrderScheduler([5])
+        with pytest.raises(IndexError):
+            list(scheduler.order(0, 3))
+
+    def test_random_scheduler_deterministic_with_seed(self):
+        a = RandomScheduler(42)
+        b = RandomScheduler(42)
+        assert list(a.order(0, 6)) == list(b.order(0, 6))
+
+    def test_random_scheduler_permutation(self):
+        order = list(RandomScheduler(1).order(0, 8))
+        assert sorted(order) == list(range(8))
+
+
+class TestConvergence:
+    def test_converged_state_is_nash(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(7, seed=9), alpha=1.5
+        )
+        result = BestResponseDynamics(game).run(max_rounds=100)
+        assert result.converged
+        assert result.stopped_reason == "converged"
+        assert verify_nash(game, result.profile).is_nash
+
+    def test_starts_from_given_profile(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        equilibrium = StrategyProfile([{1}, {0}])
+        result = BestResponseDynamics(game).run(initial=equilibrium)
+        assert result.converged
+        assert result.num_moves == 0
+        assert result.profile == equilibrium
+
+    def test_wrong_initial_size_rejected(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        with pytest.raises(ValueError, match="initial"):
+            BestResponseDynamics(game).run(initial=StrategyProfile.empty(3))
+
+    def test_max_steps_respected(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(8, seed=2), alpha=1.0
+        )
+        result = BestResponseDynamics(game).run(max_steps=3)
+        assert result.steps <= 3
+        assert result.stopped_reason in ("max_steps", "converged")
+
+    def test_move_log_records_improvements(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(5, seed=3), alpha=1.0
+        )
+        result = BestResponseDynamics(game, record_moves=True).run()
+        assert len(result.moves) == result.num_moves
+        for move in result.moves:
+            assert move.new_cost < move.old_cost
+            assert move.gain > 0
+
+    def test_cost_trace_monotone_for_round_robin_from_empty(self):
+        # Not guaranteed in general games, but holds on this seed; the
+        # trace must at least be recorded per round.
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(5, seed=4), alpha=1.0
+        )
+        result = BestResponseDynamics(game, record_costs=True).run()
+        assert len(result.cost_trace) == result.rounds_completed
+
+    def test_greedy_method_converges_to_greedy_stable(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(10, seed=5), alpha=1.0
+        )
+        result = BestResponseDynamics(game, method="greedy").run(
+            max_rounds=200
+        )
+        assert result.converged
+
+
+class TestCycleDetection:
+    def test_witness_cycles_and_reports_evidence(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        game = build_no_nash_instance()
+        result = BestResponseDynamics(game).run(max_rounds=200)
+        assert result.stopped_reason == "cycle"
+        assert result.cycle is not None
+        assert result.cycle.period > 0
+        assert result.cycle.num_distinct_profiles >= 2
+
+    def test_cycle_detection_can_be_disabled(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        game = build_no_nash_instance()
+        result = BestResponseDynamics(game).run(
+            max_rounds=30, detect_cycles=False
+        )
+        assert result.stopped_reason == "max_rounds"
+        assert result.cycle is None
+
+    def test_random_scheduler_never_claims_cycles(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        game = build_no_nash_instance()
+        result = BestResponseDynamics(
+            game, scheduler=RandomScheduler(0)
+        ).run(max_rounds=30)
+        # Sound detection is disabled for nondeterministic schedulers.
+        assert result.stopped_reason == "max_rounds"
+
+    def test_str_reports_outcome(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        result = BestResponseDynamics(game).run()
+        assert "converged" in str(result)

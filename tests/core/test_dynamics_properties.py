@@ -1,0 +1,82 @@
+"""Property-based invariants of best-response dynamics.
+
+Hypothesis-driven end-to-end checks over random games: these pin the
+contracts the rest of the library (and the experiments) rely on, beyond
+the example-based tests in ``test_dynamics.py``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import BestResponseDynamics, RandomScheduler
+from repro.core.equilibrium import verify_nash
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+
+from tests.conftest import euclidean_metrics
+
+
+@st.composite
+def small_games(draw):
+    metric = draw(euclidean_metrics(min_n=2, max_n=6))
+    alpha = draw(st.floats(0.1, 8.0))
+    return TopologyGame(metric, alpha)
+
+
+class TestConvergenceContract:
+    @given(small_games())
+    @settings(max_examples=15)
+    def test_converged_exact_dynamics_yield_certified_nash(self, game):
+        """THE contract: convergence with exact responses == pure NE."""
+        result = BestResponseDynamics(game, record_moves=False).run(
+            max_rounds=150
+        )
+        if result.converged:
+            assert verify_nash(game, result.profile).is_nash
+
+    @given(small_games())
+    @settings(max_examples=15)
+    def test_converged_profile_has_finite_cost(self, game):
+        result = BestResponseDynamics(game, record_moves=False).run(
+            max_rounds=150
+        )
+        if result.converged and game.n >= 2:
+            assert math.isfinite(game.social_cost(result.profile).total)
+
+    @given(small_games())
+    @settings(max_examples=10)
+    def test_every_logged_move_strictly_improves(self, game):
+        result = BestResponseDynamics(game, record_moves=True).run(
+            max_rounds=100
+        )
+        for move in result.moves:
+            assert move.new_cost < move.old_cost
+
+    @given(small_games(), st.integers(0, 1000))
+    @settings(max_examples=10)
+    def test_random_scheduler_reaches_some_equilibrium(self, game, seed):
+        result = BestResponseDynamics(
+            game,
+            scheduler=RandomScheduler(seed),
+            record_moves=False,
+        ).run(max_rounds=150)
+        if result.converged:
+            assert verify_nash(game, result.profile).is_nash
+
+    @given(small_games())
+    @settings(max_examples=10)
+    def test_restart_from_equilibrium_is_immediate(self, game):
+        """Dynamics restarted at a found equilibrium make zero moves."""
+        first = BestResponseDynamics(game, record_moves=False).run(
+            max_rounds=150
+        )
+        if not first.converged:
+            return
+        second = BestResponseDynamics(game, record_moves=False).run(
+            initial=first.profile, max_rounds=5
+        )
+        assert second.converged
+        assert second.num_moves == 0

@@ -1,0 +1,101 @@
+"""Tests for Nash verification and exhaustive equilibrium search."""
+
+import pytest
+
+from repro.core.equilibrium import (
+    best_response_closure,
+    enumerate_profiles,
+    find_equilibria_exhaustive,
+    verify_nash,
+)
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestVerifyNash:
+    def test_two_peer_mutual_links_is_nash(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        certificate = verify_nash(game, StrategyProfile([{1}, {0}]))
+        assert certificate.is_nash
+        assert certificate.deviations == ()
+        assert certificate.checked_peers == 2
+
+    def test_empty_profile_is_not_nash(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        certificate = verify_nash(game, StrategyProfile.empty(2))
+        assert not certificate.is_nash
+        assert certificate.first_deviation is not None
+        assert certificate.first_deviation.improved
+
+    def test_first_only_stops_early(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 2.0]), 1.0)
+        certificate = verify_nash(
+            game, StrategyProfile.empty(3), first_only=True
+        )
+        assert certificate.checked_peers == 1
+        assert len(certificate.deviations) == 1
+
+    def test_collect_all_deviators(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 2.0]), 1.0)
+        certificate = verify_nash(
+            game, StrategyProfile.empty(3), first_only=False
+        )
+        assert len(certificate.deviations) == 3
+
+    def test_restricted_peer_set(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 2.0]), 1.0)
+        certificate = verify_nash(
+            game, StrategyProfile.empty(3), peers=[1]
+        )
+        assert certificate.checked_peers == 1
+
+
+class TestEnumerateProfiles:
+    def test_count_for_two_peers(self):
+        profiles = list(enumerate_profiles(2))
+        assert len(profiles) == 4  # 2 strategies per peer
+
+    def test_count_for_three_peers(self):
+        profiles = list(enumerate_profiles(3))
+        assert len(profiles) == 2 ** 6
+        assert len(set(profiles)) == 2 ** 6
+
+    def test_zero_peers(self):
+        assert list(enumerate_profiles(0)) == [StrategyProfile.empty(0)]
+
+
+class TestFindEquilibriaExhaustive:
+    def test_two_peer_game_unique_equilibrium(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        equilibria = find_equilibria_exhaustive(game)
+        assert equilibria == [StrategyProfile([{1}, {0}])]
+
+    def test_limit_enforced(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(6, seed=0), 1.0)
+        with pytest.raises(ValueError, match="max_profiles"):
+            find_equilibria_exhaustive(game, max_profiles=100)
+
+    def test_all_found_are_verified(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 2.5]), 2.0)
+        equilibria = find_equilibria_exhaustive(game)
+        assert equilibria
+        for profile in equilibria:
+            assert verify_nash(game, profile).is_nash
+
+
+class TestBestResponseClosure:
+    def test_reaches_equilibrium(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(6, seed=1), alpha=1.0
+        )
+        final = best_response_closure(game, game.empty_profile())
+        assert verify_nash(game, final).is_nash
+
+    def test_raises_on_nonconvergence(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        game = build_no_nash_instance()
+        with pytest.raises(RuntimeError, match="closure"):
+            best_response_closure(game, game.empty_profile(), max_steps=500)

@@ -1,0 +1,175 @@
+"""Tests for the vectorized exhaustive sweep and encoded dynamics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costs import individual_costs
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.equilibrium import find_equilibria_exhaustive, verify_nash
+from repro.core.exhaustive import (
+    MAX_EXHAUSTIVE_PEERS,
+    decode_profile,
+    encode_profile,
+    encoded_best_response_dynamics,
+    exhaustive_equilibria,
+    profile_costs_batch,
+)
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+
+from tests.conftest import profiles_for
+
+
+class TestEncoding:
+    @given(profiles_for(4))
+    def test_encode_decode_roundtrip(self, profile):
+        assert decode_profile(encode_profile(profile), 4) == profile
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            decode_profile(1 << 12, 4)
+        with pytest.raises(ValueError, match="range"):
+            decode_profile(-1, 3)
+
+    def test_zero_is_empty_profile(self):
+        assert decode_profile(0, 3) == StrategyProfile.empty(3)
+
+    def test_all_ones_is_complete_profile(self):
+        n = 4
+        full = (1 << (n * (n - 1))) - 1
+        assert decode_profile(full, n) == StrategyProfile.complete(n)
+
+
+class TestBatchCosts:
+    @given(
+        seed=st.integers(0, 1_000),
+        alpha=st.floats(0.1, 8.0),
+    )
+    def test_matches_reference_cost_model(self, seed, alpha):
+        """Batched min-plus costs equal the Dijkstra-based reference."""
+        n = 4
+        metric = EuclideanMetric.random_uniform(n, seed=seed)
+        dmat = metric.distance_matrix()
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 1 << (n * (n - 1)), size=12)
+        batch = profile_costs_batch(ids, dmat, alpha)
+        for row, pid in enumerate(ids):
+            profile = decode_profile(int(pid), n)
+            reference = individual_costs(dmat, profile, alpha)
+            for i in range(n):
+                if math.isfinite(reference[i]):
+                    assert batch[row, i] == pytest.approx(reference[i])
+                else:
+                    assert math.isinf(batch[row, i])
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError, match="square"):
+            profile_costs_batch(np.array([0]), np.zeros((2, 3)), 1.0)
+
+
+class TestExhaustiveSweep:
+    def test_matches_slow_enumeration_n3(self):
+        metric = EuclideanMetric.random_uniform(3, seed=7)
+        game = TopologyGame(metric, 0.9)
+        slow = {p.key() for p in find_equilibria_exhaustive(game)}
+        fast = exhaustive_equilibria(metric.distance_matrix(), 0.9)
+        assert {p.key() for p in fast.equilibria()} == slow
+
+    def test_optimum_found_is_global_n3(self):
+        from repro.core.social_optimum import optimum_exact
+
+        metric = EuclideanMetric.random_uniform(3, seed=8)
+        game = TopologyGame(metric, 1.2)
+        exact = optimum_exact(game)
+        sweep = exhaustive_equilibria(metric.distance_matrix(), 1.2)
+        assert sweep.best_social_cost == pytest.approx(exact.upper)
+
+    def test_equilibria_verified_by_independent_checker(self):
+        metric = EuclideanMetric.random_uniform(4, seed=9)
+        game = TopologyGame(metric, 1.0)
+        sweep = exhaustive_equilibria(metric.distance_matrix(), 1.0)
+        assert sweep.has_equilibrium
+        for profile in sweep.equilibria():
+            assert verify_nash(game, profile).is_nash
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="<="):
+            exhaustive_equilibria(np.zeros((6, 6)), 1.0)
+
+    def test_trivial_single_peer(self):
+        result = exhaustive_equilibria(np.zeros((1, 1)), 1.0)
+        assert result.has_equilibrium
+        assert result.num_profiles == 1
+
+    def test_max_equilibria_truncation(self):
+        metric = EuclideanMetric.random_uniform(3, seed=10)
+        full = exhaustive_equilibria(metric.distance_matrix(), 0.5)
+        capped = exhaustive_equilibria(
+            metric.distance_matrix(), 0.5, max_equilibria=1
+        )
+        if full.num_equilibria > 1:
+            assert capped.num_equilibria == 1
+
+    def test_chunking_invariance(self):
+        metric = EuclideanMetric.random_uniform(4, seed=11)
+        a = exhaustive_equilibria(metric.distance_matrix(), 1.0, chunk_size=64)
+        b = exhaustive_equilibria(
+            metric.distance_matrix(), 1.0, chunk_size=1 << 14
+        )
+        assert a.equilibrium_ids == b.equilibrium_ids
+        assert a.best_profile_id == b.best_profile_id
+
+
+class TestEncodedDynamics:
+    def test_agrees_with_core_dynamics_on_convergent_instance(self):
+        metric = EuclideanMetric.random_uniform(4, seed=12)
+        game = TopologyGame(metric, 1.0)
+        core = BestResponseDynamics(game).run(max_rounds=60)
+        encoded = encoded_best_response_dynamics(
+            metric.distance_matrix(), 1.0, start_id=0
+        )
+        assert core.converged and encoded.converged
+        assert decode_profile(encoded.profile_id, 4) == core.profile
+
+    def test_cycles_on_the_witness(self):
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+
+        result = encoded_best_response_dynamics(
+            witness_metric().distance_matrix(), WITNESS_ALPHA
+        )
+        assert result.outcome == "cycle"
+        assert len(result.cycle_profile_ids) >= 2
+        profiles = result.profiles_in_cycle(5)
+        assert all(isinstance(p, StrategyProfile) for p in profiles)
+
+    def test_custom_activation_order(self):
+        metric = EuclideanMetric.random_uniform(4, seed=13)
+        result = encoded_best_response_dynamics(
+            metric.distance_matrix(), 1.0, order=[3, 2, 1, 0]
+        )
+        assert result.outcome == "converged"
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="<="):
+            encoded_best_response_dynamics(np.zeros((7, 7)), 1.0)
+
+    def test_max_rounds(self):
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+
+        result = encoded_best_response_dynamics(
+            witness_metric().distance_matrix(),
+            WITNESS_ALPHA,
+            max_rounds=1,
+        )
+        assert result.outcome in ("cycle", "max_rounds")

@@ -1,0 +1,97 @@
+"""Tests for the TopologyGame facade."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+from tests.conftest import games_with_profiles
+
+
+class TestConstruction:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            TopologyGame(LineMetric([0.0, 1.0]), -1.0)
+
+    def test_zero_alpha_allowed(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 0.0)
+        assert game.alpha == 0.0
+
+    def test_properties(self):
+        metric = EuclideanMetric.random_uniform(4, seed=0)
+        game = TopologyGame(metric, 2.5)
+        assert game.n == 4
+        assert game.metric is metric
+        assert game.distance_matrix.shape == (4, 4)
+
+    def test_with_alpha(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        other = game.with_alpha(5.0)
+        assert other.alpha == 5.0
+        assert other.metric is game.metric
+        assert game.alpha == 1.0
+
+
+class TestCostInterfaces:
+    def test_cost_matches_individual_costs_vector(self, small_game):
+        profile = small_game.random_profile(0.5, seed=4)
+        vector = small_game.individual_costs(profile)
+        for peer in range(small_game.n):
+            single = small_game.cost(profile, peer)
+            if math.isfinite(vector[peer]):
+                assert single == pytest.approx(vector[peer])
+            else:
+                assert math.isinf(single)
+
+    def test_complete_profile_social_cost_closed_form(self):
+        metric = EuclideanMetric.random_uniform(6, seed=5)
+        game = TopologyGame(metric, 3.0)
+        breakdown = game.social_cost(game.complete_profile())
+        n = game.n
+        assert breakdown.link_cost == pytest.approx(3.0 * n * (n - 1))
+        assert breakdown.stretch_cost == pytest.approx(n * (n - 1))
+
+    def test_profile_size_mismatch_rejected(self, small_game):
+        with pytest.raises(ValueError, match="peers"):
+            small_game.social_cost(StrategyProfile.empty(3))
+        with pytest.raises(ValueError, match="peers"):
+            small_game.individual_costs(StrategyProfile.empty(3))
+        with pytest.raises(ValueError, match="peers"):
+            small_game.best_response(StrategyProfile.empty(3), 0)
+
+    def test_stretches_shape(self, small_game):
+        stretch = small_game.stretches(small_game.complete_profile())
+        assert stretch.shape == (small_game.n, small_game.n)
+
+    def test_convenience_profiles(self, small_game):
+        assert small_game.empty_profile().num_links == 0
+        n = small_game.n
+        assert small_game.complete_profile().num_links == n * (n - 1)
+        random_profile = small_game.random_profile(0.5, seed=1)
+        assert random_profile.n == n
+
+
+class TestGameInvariants:
+    @given(games_with_profiles())
+    def test_individual_costs_lower_bounded(self, game_profile):
+        """c_i >= alpha * deg_i + (n-1): every stretch is at least 1."""
+        game, profile = game_profile
+        costs = game.individual_costs(profile)
+        n = game.n
+        for peer in range(n):
+            floor = game.alpha * profile.out_degree(peer) + (n - 1)
+            assert costs[peer] >= floor - 1e-6
+
+    @given(games_with_profiles())
+    def test_social_cost_decomposition(self, game_profile):
+        game, profile = game_profile
+        breakdown = game.social_cost(profile)
+        assert breakdown.total == pytest.approx(
+            breakdown.link_cost + breakdown.stretch_cost
+        )

@@ -1,0 +1,77 @@
+"""Tests for potential-function and weak-acyclicity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.game import TopologyGame
+from repro.core.potential import find_improvement_cycle, weak_acyclicity
+from repro.metrics.euclidean import EuclideanMetric
+
+
+class TestImprovementCycle:
+    def test_witness_has_a_cycle(self):
+        """A closed improving loop refutes any ordinal potential."""
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        cycle = find_improvement_cycle(build_no_nash_instance())
+        assert cycle is not None
+        assert cycle.length >= 2
+        assert all(gain > 0 for gain in cycle.gains)
+        assert cycle.total_gain > 0
+
+    def test_cycle_closes(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        cycle = find_improvement_cycle(build_no_nash_instance())
+        # Hop count matches gains; the loop returns to the first profile.
+        assert len(cycle.gains) == len(cycle.profiles)
+        assert len(set(p.key() for p in cycle.profiles)) == cycle.length
+
+    def test_convergent_instance_has_no_cycle_from_empty(self):
+        game = TopologyGame(
+            EuclideanMetric.random_uniform(6, dim=2, seed=51), alpha=1.0
+        )
+        assert find_improvement_cycle(game) is None
+
+
+class TestWeakAcyclicity:
+    def test_witness_fraction_zero(self):
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+
+        report = weak_acyclicity(
+            witness_metric().distance_matrix(), WITNESS_ALPHA
+        )
+        assert report.num_equilibria == 0
+        assert report.reachable_fraction == 0.0
+        assert report.has_trap_states
+        assert not report.is_weakly_acyclic
+
+    def test_witness_off_window_is_weakly_acyclic(self):
+        """At alpha = 0.7 the witness has a unique equilibrium that every
+        state can reach — scheduler-independent convergence."""
+        from repro.constructions.no_nash import witness_metric
+
+        report = weak_acyclicity(witness_metric().distance_matrix(), 0.7)
+        assert report.num_equilibria >= 1
+        assert report.is_weakly_acyclic
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_small_instances_weakly_acyclic(self, seed):
+        metric = EuclideanMetric.random_uniform(4, seed=seed)
+        report = weak_acyclicity(metric.distance_matrix(), 1.0)
+        assert report.num_equilibria >= 1
+        assert report.is_weakly_acyclic
+
+    def test_fraction_counts_equilibria_as_reachable(self):
+        metric = EuclideanMetric.random_uniform(3, seed=3)
+        report = weak_acyclicity(metric.distance_matrix(), 1.0)
+        assert report.reachable_fraction >= (
+            report.num_equilibria / report.num_profiles
+        )
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="<="):
+            weak_acyclicity(np.zeros((6, 6)), 1.0)

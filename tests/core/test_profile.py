@@ -1,0 +1,112 @@
+"""Tests for strategy profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.profile import StrategyProfile
+
+from tests.conftest import profiles_for
+
+
+class TestConstruction:
+    def test_basic(self):
+        profile = StrategyProfile([{1}, {0, 2}, set()])
+        assert profile.n == 3
+        assert profile.strategy(1) == frozenset({0, 2})
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            StrategyProfile([{0}])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            StrategyProfile([{5}, set()])
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            StrategyProfile([{"a"}, set()])
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            StrategyProfile([{True}, set()])
+
+    def test_empty_profile(self):
+        profile = StrategyProfile.empty(4)
+        assert profile.num_links == 0
+        assert all(profile.out_degree(i) == 0 for i in range(4))
+
+    def test_complete_profile(self):
+        profile = StrategyProfile.complete(4)
+        assert profile.num_links == 12
+        assert not profile.has_link(2, 2)
+
+    def test_from_dict_sparse(self):
+        profile = StrategyProfile.from_dict(4, {0: [1, 2], 3: [0]})
+        assert profile.has_link(0, 2)
+        assert profile.out_degree(1) == 0
+
+    def test_from_dict_bad_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            StrategyProfile.from_dict(2, {5: [0]})
+
+    def test_random_determinism_and_bounds(self):
+        a = StrategyProfile.random(6, 0.5, seed=1)
+        b = StrategyProfile.random(6, 0.5, seed=1)
+        assert a == b
+        with pytest.raises(ValueError):
+            StrategyProfile.random(3, 1.5)
+
+    def test_random_extremes(self):
+        assert StrategyProfile.random(5, 0.0, seed=0).num_links == 0
+        assert StrategyProfile.random(5, 1.0, seed=0).num_links == 20
+
+
+class TestQueriesAndUpdates:
+    def test_edges_iteration(self):
+        profile = StrategyProfile([{1, 2}, set(), {0}])
+        assert sorted(profile.edges()) == [(0, 1), (0, 2), (2, 0)]
+
+    def test_with_strategy_immutable(self):
+        original = StrategyProfile.empty(3)
+        updated = original.with_strategy(0, {1})
+        assert original.out_degree(0) == 0
+        assert updated.has_link(0, 1)
+
+    def test_with_and_without_link(self):
+        profile = StrategyProfile.empty(3).with_link(0, 1)
+        assert profile.has_link(0, 1)
+        removed = profile.without_link(0, 1)
+        assert not removed.has_link(0, 1)
+        # Removing a missing link is a no-op, not an error.
+        assert removed.without_link(0, 2) == removed
+
+    def test_num_links(self):
+        profile = StrategyProfile([{1}, {0, 2}, set()])
+        assert profile.num_links == 3
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = StrategyProfile([{1}, {0}])
+        b = StrategyProfile([[1], [0]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != StrategyProfile([{1}, set()])
+
+    def test_usable_as_dict_key(self):
+        seen = {StrategyProfile.empty(3): "empty"}
+        assert seen[StrategyProfile.empty(3)] == "empty"
+
+    def test_key_is_canonical_sorted(self):
+        profile = StrategyProfile([{2, 1}, set(), set()])
+        assert profile.key() == ((1, 2), (), ())
+
+    def test_eq_other_type(self):
+        assert StrategyProfile.empty(1) != "not a profile"
+
+    @given(profiles_for(5))
+    def test_key_roundtrip(self, profile):
+        rebuilt = StrategyProfile([frozenset(s) for s in profile.key()])
+        assert rebuilt == profile
+        assert hash(rebuilt) == hash(profile)

@@ -1,0 +1,148 @@
+"""Tests for the global best-response graph analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import verify_nash
+from repro.core.exhaustive import decode_profile, exhaustive_equilibria
+from repro.core.game import TopologyGame
+from repro.core.response_graph import (
+    analyze_response_graph,
+    best_response_moves,
+)
+from repro.metrics.euclidean import EuclideanMetric
+
+
+class TestBestResponseMoves:
+    def test_moves_agree_with_exact_best_response(self):
+        """Each successor must be the exact best response (or status quo)."""
+        metric = EuclideanMetric.random_uniform(4, seed=17)
+        game = TopologyGame(metric, 1.0)
+        moves = best_response_moves(metric.distance_matrix(), 1.0)
+        rng = np.random.default_rng(0)
+        for pid in rng.integers(0, moves.shape[0], size=25):
+            profile = decode_profile(int(pid), 4)
+            for peer in range(4):
+                successor = decode_profile(int(moves[pid, peer]), 4)
+                response = game.best_response(profile, peer)
+                if response.improved:
+                    expected = profile.with_strategy(peer, response.strategy)
+                    # Cost-equal alternatives may differ; compare costs.
+                    got_cost = game.cost(successor, peer)
+                    assert got_cost == pytest.approx(response.cost, rel=1e-9)
+                else:
+                    assert successor == profile
+
+    def test_status_quo_tiebreak(self):
+        """A peer at its best response must map to itself."""
+        metric = EuclideanMetric.random_uniform(3, seed=18)
+        moves = best_response_moves(metric.distance_matrix(), 1.0)
+        sweep = exhaustive_equilibria(metric.distance_matrix(), 1.0)
+        for pid in sweep.equilibrium_ids:
+            assert (moves[pid] == pid).all()
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="<="):
+            best_response_moves(np.zeros((6, 6)), 1.0)
+
+    def test_trivial_single_peer(self):
+        moves = best_response_moves(np.zeros((1, 1)), 1.0)
+        assert moves.shape[0] == 1
+
+
+class TestAnalysis:
+    def test_sinks_are_exactly_the_equilibria(self):
+        for seed in (3, 7, 11):
+            metric = EuclideanMetric.random_uniform(4, seed=seed)
+            dmat = metric.distance_matrix()
+            analysis = analyze_response_graph(dmat, 1.0)
+            sweep = exhaustive_equilibria(dmat, 1.0)
+            assert set(analysis.sink_ids) == set(sweep.equilibrium_ids)
+
+    def test_sinks_verified_independently(self):
+        metric = EuclideanMetric.random_uniform(4, seed=19)
+        game = TopologyGame(metric, 0.8)
+        analysis = analyze_response_graph(metric.distance_matrix(), 0.8)
+        for profile in analysis.sinks():
+            assert verify_nash(game, profile).is_nash
+
+    def test_attractor_none_when_sink_exists(self):
+        metric = EuclideanMetric.random_uniform(3, seed=20)
+        analysis = analyze_response_graph(metric.distance_matrix(), 1.0)
+        assert analysis.has_sink
+        assert analysis.attractor_ids is None
+        assert analysis.attractor() == []
+
+    def test_witness_diverges_from_everywhere(self):
+        """Strongest Theorem 5.1 statement: zero sinks in the BR graph."""
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+
+        analysis = analyze_response_graph(
+            witness_metric().distance_matrix(), WITNESS_ALPHA
+        )
+        assert analysis.num_profiles == 2 ** 20
+        assert analysis.diverges_from_everywhere
+        assert not analysis.has_sink
+
+    def test_witness_attractor_is_a_true_cycle(self):
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+
+        dmat = witness_metric().distance_matrix()
+        analysis = analyze_response_graph(dmat, WITNESS_ALPHA)
+        attractor = analysis.attractor_ids
+        assert attractor is not None
+        assert len(attractor) >= 2
+        # Every consecutive hop in the attractor is a best-response move.
+        moves = best_response_moves(dmat, WITNESS_ALPHA)
+        for current, nxt in zip(attractor, attractor[1:] + attractor[:1]):
+            assert nxt in set(int(x) for x in moves[current])
+
+    def test_terminal_singletons_are_equilibria(self):
+        from repro.core.response_graph import terminal_components
+
+        metric = EuclideanMetric.random_uniform(4, seed=6)
+        dmat = metric.distance_matrix()
+        moves = best_response_moves(dmat, 1.0)
+        components = terminal_components(moves)
+        singletons = {c[0] for c in components if len(c) == 1}
+        equilibria = set(exhaustive_equilibria(dmat, 1.0).equilibrium_ids)
+        assert singletons == equilibria
+
+    def test_witness_unique_attractor_is_the_paper_cycle(self):
+        """The global punchline: the only long-run outcome of selfish
+        dynamics on the witness, from ANY start, is the paper's Figure 3
+        cycle over candidates {1, 2, 3, 4}."""
+        from repro.constructions.candidates import classify_candidate
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+        from repro.core.response_graph import terminal_components
+
+        dmat = witness_metric().distance_matrix()
+        moves = best_response_moves(dmat, WITNESS_ALPHA)
+        components = terminal_components(moves)
+        assert len(components) == 1
+        attractor = components[0]
+        assert len(attractor) == 4
+        cases = {
+            classify_candidate(decode_profile(pid, 5)) for pid in attractor
+        }
+        assert cases == {1, 2, 3, 4}
+
+    def test_chunking_invariance(self):
+        metric = EuclideanMetric.random_uniform(3, seed=21)
+        a = analyze_response_graph(
+            metric.distance_matrix(), 1.0, chunk_size=16
+        )
+        b = analyze_response_graph(
+            metric.distance_matrix(), 1.0, chunk_size=1 << 13
+        )
+        assert a.sink_ids == b.sink_ids
+        assert a.num_moving_edges == b.num_moving_edges

@@ -1,0 +1,111 @@
+"""Tests for social-optimum bounds and heuristics."""
+
+import pytest
+
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.social_optimum import (
+    candidate_topologies,
+    local_search_improve,
+    optimum_exact,
+    optimum_upper_bound,
+    social_cost_lower_bound,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestLowerBound:
+    def test_formula(self):
+        assert social_cost_lower_bound(2.0, 5) == pytest.approx(
+            2.0 * 5 + 5 * 4
+        )
+
+    def test_trivial_cases(self):
+        assert social_cost_lower_bound(3.0, 0) == 0.0
+        assert social_cost_lower_bound(3.0, 1) == 0.0
+
+    def test_no_profile_beats_the_bound_tiny(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 3.0]), 1.5)
+        exact = optimum_exact(game)
+        assert exact.lower >= social_cost_lower_bound(1.5, 3) - 1e-9
+
+
+class TestCandidatePortfolio:
+    def test_contains_expected_designs(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(6, seed=0), 1.0)
+        names = {name for name, _ in candidate_topologies(game)}
+        assert names == {"complete", "star", "nn-chain", "mst"}
+
+    def test_single_peer(self):
+        game = TopologyGame(LineMetric([0.0]), 1.0)
+        assert candidate_topologies(game) == [
+            ("empty", StrategyProfile.empty(1))
+        ]
+
+    def test_all_candidates_connected(self):
+        from repro.graphs.reachability import is_strongly_connected
+
+        game = TopologyGame(EuclideanMetric.random_uniform(8, seed=1), 1.0)
+        for _, profile in candidate_topologies(game):
+            assert is_strongly_connected(game.overlay(profile))
+
+
+class TestUpperBound:
+    def test_bracket_ordering(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(7, seed=2), 2.0)
+        estimate = optimum_upper_bound(game)
+        assert estimate.lower <= estimate.upper
+        assert game.social_cost(estimate.profile).total == pytest.approx(
+            estimate.upper
+        )
+
+    def test_polish_never_hurts(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(6, seed=3), 1.0)
+        raw = optimum_upper_bound(game, polish=False)
+        polished = optimum_upper_bound(game, polish=True)
+        assert polished.upper <= raw.upper + 1e-9
+
+    def test_line_chain_is_good(self):
+        # On a line the chain achieves stretch 1 everywhere, so the
+        # portfolio must reach C <= alpha*2(n-1) + n(n-1).
+        metric = LineMetric.uniform_grid(8)
+        game = TopologyGame(metric, 3.0)
+        estimate = optimum_upper_bound(game)
+        assert estimate.upper <= 3.0 * 2 * 7 + 8 * 7 + 1e-9
+
+    def test_gap_property(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(5, seed=4), 1.0)
+        estimate = optimum_upper_bound(game)
+        assert estimate.gap >= 0.0
+
+
+class TestExactOptimum:
+    def test_matches_brute_force_bracket(self):
+        game = TopologyGame(LineMetric([0.0, 1.0, 2.5]), 1.0)
+        exact = optimum_exact(game)
+        heuristic = optimum_upper_bound(game, polish=True)
+        assert exact.upper <= heuristic.upper + 1e-9
+        assert exact.lower == exact.upper
+
+    def test_size_guard(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(8, seed=5), 1.0)
+        with pytest.raises(ValueError, match="max_profiles"):
+            optimum_exact(game)
+
+    def test_two_peer_optimum(self):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 2.0)
+        exact = optimum_exact(game)
+        # Mutual links: cost 2*alpha + 2 stretches of 1.
+        assert exact.upper == pytest.approx(2 * 2.0 + 2.0)
+
+
+class TestLocalSearch:
+    def test_never_increases_cost(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(5, seed=6), 1.0)
+        start = game.complete_profile()
+        improved = local_search_improve(game, start)
+        assert (
+            game.social_cost(improved).total
+            <= game.social_cost(start).total + 1e-9
+        )

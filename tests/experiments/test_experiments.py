@@ -1,0 +1,195 @@
+"""Tests for the experiment registry and every experiment's verdict.
+
+Each experiment is run with reduced parameters (the defaults power the
+benchmark harness); the assertions here pin the *claims*: every paper
+artifact must come out SUPPORTED on the reduced sweep too.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments import (
+    e1_figure1_nash,
+    e10_congestion,
+    e11_bilateral,
+    e2_lemma43_social_cost,
+    e3_theorem44_poa,
+    e4_theorem41_upper,
+    e5_theorem51_no_nash,
+    e6_figure3_cases,
+    e7_alpha_threshold,
+    e8_structured_vs_selfish,
+    e9_convergence,
+)
+
+
+class TestRegistry:
+    def test_all_eleven_registered(self):
+        assert sorted(EXPERIMENTS) == sorted(
+            f"E{i}" for i in range(1, 12)
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e3").experiment_id == "E3"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_experiment("E42")
+
+    def test_specs_carry_bench_paths(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.bench.startswith("benchmarks/")
+            assert spec.paper_artifact
+
+
+class TestResultInterface:
+    def test_table_and_summary_render(self):
+        result = e6_figure3_cases.run()
+        assert "E6" in result.table()
+        assert "SUPPORTED" in result.summary()
+
+
+class TestE1:
+    def test_verdict_on_reduced_grid(self):
+        result = e1_figure1_nash.run(ns=(4, 7), alphas=(3.4, 6.0))
+        assert result.verdict
+        assert all(row["is_nash"] for row in result.rows)
+
+    def test_stretch_bound_recorded(self):
+        result = e1_figure1_nash.run(ns=(5,), alphas=(4.0,))
+        row = result.rows[0]
+        assert row["max_stretch"] <= row["stretch_bound"]
+
+
+class TestE2:
+    def test_quadratic_scaling_detected(self):
+        result = e2_lemma43_social_cost.run(ns=(6, 12, 24), alpha=4.0)
+        assert result.verdict
+        assert any("slope" in note for note in result.notes)
+
+
+class TestE3:
+    def test_theta_shape(self):
+        result = e3_theorem44_poa.run(
+            alpha_sweep=(3.4, 8.0, 16.0),
+            n_for_alpha_sweep=24,
+            n_sweep=(4, 8, 12),
+            alpha_for_n_sweep=48.0,
+        )
+        assert result.verdict
+        # alpha sweep grows, n sweep grows.
+        alpha_rows = [r for r in result.rows if r["sweep"] == "alpha"]
+        assert alpha_rows[-1]["poa_lower"] > alpha_rows[0]["poa_lower"]
+
+
+class TestE4:
+    def test_bounds_hold_on_found_equilibria(self):
+        result = e4_theorem41_upper.run(
+            families=("line-1d", "euclidean-2d"),
+            n=7,
+            alphas=(1.0,),
+            seeds=(0, 1),
+        )
+        assert result.verdict
+        converged = [r for r in result.rows if r["converged"]]
+        assert converged
+        assert all(r["bounds_hold"] for r in converged)
+
+
+class TestE5:
+    def test_no_nash_certificate(self):
+        result = e5_theorem51_no_nash.run(
+            alphas=(0.6,), boundary_alphas=(0.7,), max_rounds=80
+        )
+        assert result.verdict
+        exhaustive = [r for r in result.rows if r["phase"] == "exhaustive"]
+        assert all(r["equilibria"] == 0 for r in exhaustive)
+        dynamics = [r for r in result.rows if r["phase"] == "dynamics"]
+        assert all(r["outcome"] == "cycle" for r in dynamics)
+
+
+class TestE6:
+    def test_case_analysis_matches_paper(self):
+        result = e6_figure3_cases.run()
+        assert result.verdict
+        case_rows = [r for r in result.rows if r["case"] != "cycle"]
+        assert len(case_rows) == 6
+        assert all(r["matches_paper"] for r in case_rows)
+
+    def test_cycle_row_closes(self):
+        result = e6_figure3_cases.run()
+        cycle_row = result.rows[-1]
+        assert cycle_row["paper_move"] == "1 -> 3 -> 4 -> 2 -> 1"
+
+
+class TestE7:
+    def test_guaranteed_threshold_holds(self):
+        result = e7_alpha_threshold.run(ns=(4, 8), grid=(2.0, 3.4))
+        assert result.verdict
+        for row in result.rows:
+            assert row["nash@3.4"]
+
+    def test_empirical_threshold_below_guarantee(self):
+        from repro.experiments.e7_alpha_threshold import empirical_threshold
+
+        threshold = empirical_threshold(8)
+        assert threshold is not None
+        assert threshold <= 3.4
+
+
+class TestE8:
+    def test_designs_compared(self):
+        result = e8_structured_vs_selfish.run(
+            n=8, alphas=(2.0,), seeds=(0,), num_equilibrium_samples=2
+        )
+        assert result.verdict
+        designs = {row["design"] for row in result.rows}
+        assert {"chain", "star", "ring-fingers", "tulip-sqrt"} <= designs
+
+
+class TestE9:
+    def test_generic_convergence_vs_witness(self):
+        result = e9_convergence.run(
+            n=6, alphas=(1.0,), num_instances=3,
+            schedulers=("round-robin",), max_rounds=80,
+        )
+        assert result.verdict
+        witness_row = result.rows[-1]
+        assert witness_row["instance"] == "no-nash-witness"
+        assert witness_row["converged"] == 0
+
+
+class TestE10:
+    def test_equilibrium_invariance_and_monotone_gap(self):
+        result = e10_congestion.run(
+            n=7, alpha=1.0, betas=(0.0, 2.0, 8.0), seeds=(0,)
+        )
+        assert result.verdict
+        assert all(row["equilibrium_unchanged"] for row in result.rows)
+        ratios = [row["price_of_ignorance"] for row in result.rows]
+        assert ratios == sorted(ratios)
+
+    def test_congestion_cost_is_beta_times_links(self):
+        result = e10_congestion.run(
+            n=6, alpha=1.0, betas=(3.0,), seeds=(1,)
+        )
+        row = result.rows[0]
+        assert row["congestion_cost"] == pytest.approx(
+            3.0 * row["links"]
+        )
+
+
+class TestE11:
+    def test_witness_contrast(self):
+        result = e11_bilateral.run(n=6, alpha=1.0, seeds=(0,))
+        assert result.verdict
+        witness_row = result.rows[0]
+        assert witness_row["instance"] == "no-nash-witness"
+        assert witness_row["unilateral_outcome"] == "cycle"
+        assert witness_row["bilateral_stable"]
+
+    def test_random_instances_stabilize_bilaterally(self):
+        result = e11_bilateral.run(n=6, alpha=1.0, seeds=(0, 1))
+        for row in result.rows[1:]:
+            assert row["bilateral_stable"]
+            assert row["bilateral_cost"] > 0

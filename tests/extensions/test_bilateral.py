@@ -1,0 +1,120 @@
+"""Tests for bilateral link formation and pairwise stability."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.extensions.bilateral import BilateralGame, BilateralTopology
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestBilateralTopology:
+    def test_from_pairs_normalizes(self):
+        topo = BilateralTopology.from_pairs(4, [(3, 1), (0, 2)])
+        assert topo.has_edge(1, 3)
+        assert topo.has_edge(3, 1)
+        assert (1, 3) in topo.edges
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError, match="self-edge"):
+            BilateralTopology.from_pairs(3, [(1, 1)])
+
+    def test_unnormalized_direct_construction_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            BilateralTopology(3, frozenset({(2, 1)}))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            BilateralTopology.from_pairs(3, [(0, 5)])
+
+    def test_degree(self):
+        topo = BilateralTopology.from_pairs(4, [(0, 1), (0, 2), (0, 3)])
+        assert topo.degree(0) == 3
+        assert topo.degree(1) == 1
+
+    def test_edge_updates(self):
+        topo = BilateralTopology.from_pairs(3, [])
+        added = topo.with_edge(2, 0)
+        assert added.has_edge(0, 2)
+        removed = added.without_edge(0, 2)
+        assert not removed.has_edge(0, 2)
+
+    def test_to_profile_symmetric(self):
+        topo = BilateralTopology.from_pairs(3, [(0, 2)])
+        profile = topo.to_profile()
+        assert profile.has_link(0, 2)
+        assert profile.has_link(2, 0)
+
+
+class TestCostModel:
+    def test_cost_split_between_endpoints(self):
+        metric = LineMetric([0.0, 1.0])
+        game = BilateralGame(metric, alpha=4.0)
+        topo = BilateralTopology.from_pairs(2, [(0, 1)])
+        costs = game.individual_costs(topo)
+        # Each endpoint pays alpha/2 plus a unit stretch.
+        np.testing.assert_allclose(costs, [2.0 + 1.0, 2.0 + 1.0])
+
+    def test_social_cost_is_alpha_E_plus_stretch(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        game = BilateralGame(metric, alpha=3.0)
+        topo = BilateralTopology.from_pairs(3, [(0, 1), (1, 2)])
+        # 2 edges * alpha + 6 unit stretches.
+        assert game.social_cost(topo) == pytest.approx(6.0 + 6.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BilateralGame(LineMetric([0.0, 1.0]), -1.0)
+
+
+class TestPairwiseStability:
+    def test_empty_topology_unstable_for_moderate_alpha(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        game = BilateralGame(metric, alpha=1.0)
+        cert = game.check_pairwise_stability(
+            BilateralTopology.from_pairs(3, [])
+        )
+        assert not cert.is_stable
+        assert cert.add_witness is not None
+
+    def test_redundant_edge_dropped(self):
+        # Complete triangle with huge alpha: someone wants to sever.
+        metric = LineMetric([0.0, 1.0, 2.0])
+        game = BilateralGame(metric, alpha=100.0)
+        topo = BilateralTopology.from_pairs(3, [(0, 1), (1, 2), (0, 2)])
+        cert = game.check_pairwise_stability(topo)
+        assert not cert.is_stable
+        assert cert.drop_witness is not None
+
+    def test_chain_on_line_is_stable(self):
+        metric = LineMetric([0.0, 1.0, 2.0, 3.0])
+        game = BilateralGame(metric, alpha=2.0)
+        topo = BilateralTopology.from_pairs(
+            4, [(0, 1), (1, 2), (2, 3)]
+        )
+        cert = game.check_pairwise_stability(topo)
+        assert cert.is_stable
+
+    def test_improve_dynamics_reaches_stability(self):
+        metric = EuclideanMetric.random_uniform(6, dim=2, seed=41)
+        game = BilateralGame(metric, alpha=1.0)
+        topo, stable, steps = game.improve_dynamics()
+        assert stable
+        assert game.check_pairwise_stability(topo).is_stable
+        assert math.isfinite(game.social_cost(topo))
+
+    def test_witness_admits_pairwise_stable_topology(self):
+        """The headline contrast: bilateral consent restores stability
+        on the very instance where unilateral formation has no pure NE."""
+        from repro.constructions.no_nash import (
+            WITNESS_ALPHA,
+            witness_metric,
+        )
+
+        game = BilateralGame(witness_metric(), WITNESS_ALPHA)
+        topo, stable, _ = game.improve_dynamics()
+        assert stable
+        assert game.check_pairwise_stability(topo).is_stable
+        assert topo.edges  # non-trivial topology

@@ -1,0 +1,113 @@
+"""Tests for the congestion-aware game extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.extensions.congestion import (
+    CongestionGame,
+    congestion_price_of_ignorance,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+@pytest.fixture
+def metric():
+    return EuclideanMetric.random_uniform(7, dim=2, seed=31)
+
+
+class TestCostModel:
+    def test_beta_zero_reduces_to_base_game(self, metric):
+        base = TopologyGame(metric, 1.5)
+        congestion = CongestionGame(metric, 1.5, beta=0.0)
+        profile = StrategyProfile.random(7, 0.4, seed=1)
+        np.testing.assert_allclose(
+            base.individual_costs(profile),
+            congestion.individual_costs(profile),
+        )
+
+    def test_in_degrees(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        game = CongestionGame(metric, 1.0, beta=1.0)
+        profile = StrategyProfile([{1}, {0}, {0}])
+        np.testing.assert_array_equal(game.in_degrees(profile), [2, 1, 0])
+
+    def test_congestion_charged_to_the_target(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        game = CongestionGame(metric, 1.0, beta=10.0)
+        profile = StrategyProfile([{1}, {0, 2}, {1}])
+        costs = game.individual_costs(profile)
+        base = game.base_game.individual_costs(profile)
+        np.testing.assert_allclose(
+            costs - base, 10.0 * game.in_degrees(profile)
+        )
+
+    def test_social_cost_adds_beta_E(self, metric):
+        game = CongestionGame(metric, 2.0, beta=0.7)
+        profile = StrategyProfile.random(7, 0.5, seed=2)
+        breakdown = game.social_cost(profile)
+        assert breakdown.congestion_cost == pytest.approx(
+            0.7 * profile.num_links
+        )
+        base_total = game.base_game.social_cost(profile).total
+        assert breakdown.total == pytest.approx(
+            base_total + breakdown.congestion_cost
+        )
+
+    def test_negative_beta_rejected(self, metric):
+        with pytest.raises(ValueError, match="beta"):
+            CongestionGame(metric, 1.0, beta=-0.1)
+
+
+class TestEquilibriumInvariance:
+    """The congestion term is an externality: equilibria are unchanged."""
+
+    def test_base_equilibrium_stays_nash_under_congestion(self, metric):
+        base = TopologyGame(metric, 1.0)
+        result = BestResponseDynamics(base).run(max_rounds=80)
+        assert result.converged
+        for beta in (0.1, 1.0, 100.0):
+            game = CongestionGame(metric, 1.0, beta=beta)
+            assert game.is_nash(result.profile)
+
+    def test_best_response_matches_base_game(self, metric):
+        game = CongestionGame(metric, 1.0, beta=5.0)
+        profile = StrategyProfile.random(7, 0.3, seed=3)
+        for peer in range(3):
+            ours = game.best_response(profile, peer)
+            base = game.base_game.best_response(profile, peer)
+            assert ours.strategy == base.strategy
+            assert ours.cost == base.cost
+
+
+class TestPriceOfIgnorance:
+    def test_at_least_misses_congestion_externality(self, metric):
+        base = TopologyGame(metric, 1.0)
+        result = BestResponseDynamics(base).run(max_rounds=80)
+        game = CongestionGame(metric, 1.0, beta=2.0)
+        ratio = congestion_price_of_ignorance(game, result.profile)
+        assert ratio > 0
+
+    def test_explicit_reference(self, metric):
+        game = CongestionGame(metric, 1.0, beta=1.0)
+        profile = StrategyProfile.complete(7)
+        ratio = congestion_price_of_ignorance(
+            game, profile, reference=profile
+        )
+        assert ratio == pytest.approx(1.0)
+
+    def test_grows_with_beta(self, metric):
+        """Denser selfish equilibria get relatively worse as beta rises."""
+        base = TopologyGame(metric, 0.5)
+        result = BestResponseDynamics(base).run(max_rounds=80)
+        assert result.converged
+        ratios = [
+            congestion_price_of_ignorance(
+                CongestionGame(metric, 0.5, beta=beta), result.profile
+            )
+            for beta in (0.0, 2.0, 8.0)
+        ]
+        assert ratios == sorted(ratios)

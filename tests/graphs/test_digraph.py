@@ -1,0 +1,149 @@
+"""Unit tests for the weighted digraph substrate."""
+
+import pytest
+
+from repro.graphs.digraph import WeightedDigraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = WeightedDigraph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            WeightedDigraph(-1)
+
+    def test_from_edges(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.5)])
+        assert g.num_edges == 2
+        assert g.weight(1, 2) == 2.5
+
+    def test_len_is_node_count(self):
+        assert len(WeightedDigraph(7)) == 7
+
+
+class TestMutation:
+    def test_add_edge(self):
+        g = WeightedDigraph(3)
+        g.add_edge(0, 2, 1.5)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(2, 0)
+        assert g.num_edges == 1
+
+    def test_add_edge_overwrites_weight(self):
+        g = WeightedDigraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 3.0)
+        assert g.num_edges == 1
+        assert g.weight(0, 1) == 3.0
+
+    def test_self_loop_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(1, 1, 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(ValueError, match="weight"):
+            g.add_edge(0, 1, -0.5)
+
+    def test_out_of_range_node_rejected(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 2, 1.0)
+        with pytest.raises(IndexError):
+            g.add_edge(-1, 0, 1.0)
+
+    def test_remove_edge(self):
+        g = WeightedDigraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.remove_edge(0, 1)
+        assert g.num_edges == 0
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_remove_out_edges(self):
+        g = WeightedDigraph.from_edges(
+            3, [(0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0)]
+        )
+        g.remove_out_edges(0)
+        assert g.out_degree(0) == 0
+        assert g.num_edges == 1
+        assert g.has_edge(1, 0)
+
+
+class TestQueries:
+    def test_successors_view(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0), (0, 2, 2.0)])
+        assert dict(g.successors(0)) == {1: 1.0, 2: 2.0}
+
+    def test_degrees(self):
+        g = WeightedDigraph.from_edges(
+            3, [(0, 1, 1.0), (0, 2, 1.0), (2, 1, 1.0)]
+        )
+        assert g.out_degree(0) == 2
+        assert g.in_degree(1) == 2
+        assert g.in_degree(0) == 0
+
+    def test_edges_iteration(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+        g = WeightedDigraph.from_edges(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+
+class TestCopies:
+    def test_copy_is_independent(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 1.0)])
+        clone = g.copy()
+        clone.add_edge(1, 0, 2.0)
+        assert not g.has_edge(1, 0)
+        assert clone.num_edges == 2
+
+    def test_copy_without_out_edges(self):
+        g = WeightedDigraph.from_edges(
+            3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]
+        )
+        stripped = g.copy_without_out_edges(0)
+        assert stripped.out_degree(0) == 0
+        assert stripped.has_edge(1, 2)
+        assert g.out_degree(0) == 2  # original untouched
+
+    def test_reversed(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        rev = g.reversed()
+        assert rev.has_edge(1, 0)
+        assert rev.weight(2, 1) == 2.5
+        assert not rev.has_edge(0, 1)
+
+    def test_equality(self):
+        a = WeightedDigraph.from_edges(2, [(0, 1, 1.0)])
+        b = WeightedDigraph.from_edges(2, [(0, 1, 1.0)])
+        c = WeightedDigraph.from_edges(2, [(0, 1, 2.0)])
+        assert a == b
+        assert a != c
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(WeightedDigraph(1))
+
+
+class TestConverters:
+    def test_to_csr_round_trip(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0), (2, 0, 4.0)])
+        csr = g.to_csr()
+        assert csr.shape == (3, 3)
+        assert csr[0, 1] == 1.0
+        assert csr[2, 0] == 4.0
+
+    def test_to_networkx(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg[0][1]["weight"] == 1.0

@@ -1,0 +1,79 @@
+"""Tests for the deterministic digraph generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    bidirectional_cycle,
+    bidirectional_path,
+    complete_digraph,
+    random_digraph,
+    star_digraph,
+)
+
+
+class TestCompleteDigraph:
+    def test_edge_count(self):
+        g = complete_digraph(5)
+        assert g.num_edges == 5 * 4
+
+    def test_custom_weights(self):
+        g = complete_digraph(3, weight_fn=lambda u, v: float(u + v))
+        assert g.weight(1, 2) == 3.0
+
+
+class TestBidirectionalPath:
+    def test_edge_count(self):
+        assert bidirectional_path(4).num_edges == 2 * 3
+
+    def test_single_node(self):
+        assert bidirectional_path(1).num_edges == 0
+
+    def test_symmetric(self):
+        g = bidirectional_path(3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+
+class TestBidirectionalCycle:
+    def test_edge_count(self):
+        assert bidirectional_cycle(5).num_edges == 2 * 5
+
+    def test_wraparound_edge(self):
+        g = bidirectional_cycle(4)
+        assert g.has_edge(3, 0) and g.has_edge(0, 3)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            bidirectional_cycle(2)
+
+
+class TestStarDigraph:
+    def test_edge_count(self):
+        assert star_digraph(6).num_edges == 2 * 5
+
+    def test_custom_center(self):
+        g = star_digraph(4, center=2)
+        assert g.has_edge(2, 0) and g.has_edge(0, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_bad_center_rejected(self):
+        with pytest.raises(IndexError):
+            star_digraph(3, center=3)
+
+
+class TestRandomDigraph:
+    def test_deterministic_given_seed(self):
+        a = random_digraph(6, 0.5, seed=9)
+        b = random_digraph(6, 0.5, seed=9)
+        assert a == b
+
+    def test_probability_extremes(self):
+        assert random_digraph(5, 0.0, seed=1).num_edges == 0
+        assert random_digraph(5, 1.0, seed=1).num_edges == 20
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            random_digraph(3, 1.5)
+
+    def test_weights_bounded(self):
+        g = random_digraph(6, 0.8, seed=2, max_weight=3.0)
+        assert all(0.0 <= w <= 3.0 for _, _, w in g.edges())

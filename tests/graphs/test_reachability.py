@@ -1,0 +1,58 @@
+"""Reachability and strong-connectivity tests."""
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.generators import (
+    bidirectional_cycle,
+    bidirectional_path,
+    complete_digraph,
+    star_digraph,
+)
+from repro.graphs.reachability import (
+    all_pairs_reachable,
+    is_strongly_connected,
+    reachable_from,
+)
+
+
+class TestReachableFrom:
+    def test_single_node(self):
+        assert reachable_from(WeightedDigraph(1), 0) == {0}
+
+    def test_directed_chain(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert reachable_from(g, 0) == {0, 1, 2}
+        assert reachable_from(g, 2) == {2}
+
+    def test_disconnected_component(self):
+        g = WeightedDigraph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert reachable_from(g, 0) == {0, 1}
+
+
+class TestStrongConnectivity:
+    def test_empty_graph_is_connected(self):
+        assert is_strongly_connected(WeightedDigraph(0))
+
+    def test_single_node_is_connected(self):
+        assert is_strongly_connected(WeightedDigraph(1))
+
+    def test_bidirectional_generators_are_connected(self):
+        assert is_strongly_connected(bidirectional_path(5))
+        assert is_strongly_connected(bidirectional_cycle(5))
+        assert is_strongly_connected(complete_digraph(5))
+        assert is_strongly_connected(star_digraph(5))
+
+    def test_one_way_chain_is_not(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert not is_strongly_connected(g)
+
+    def test_directed_cycle_is_connected(self):
+        g = WeightedDigraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]
+        )
+        assert is_strongly_connected(g)
+
+    def test_all_pairs_reachable_matches(self):
+        connected = bidirectional_cycle(4)
+        broken = WeightedDigraph.from_edges(4, [(0, 1, 1.0)])
+        assert all_pairs_reachable(connected)
+        assert not all_pairs_reachable(broken)

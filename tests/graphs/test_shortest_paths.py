@@ -1,0 +1,141 @@
+"""Shortest-path tests: correctness and backend cross-validation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.generators import bidirectional_path, random_digraph
+from repro.graphs.shortest_paths import (
+    all_pairs_distances,
+    multi_source_distances,
+    shortest_path,
+    single_source_distances,
+)
+
+
+def triangle_graph() -> WeightedDigraph:
+    return WeightedDigraph.from_edges(
+        3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]
+    )
+
+
+class TestSingleSource:
+    def test_prefers_two_hop_path(self):
+        dist = single_source_distances(triangle_graph(), 0)
+        assert dist[2] == 2.0  # 0 -> 1 -> 2 beats the direct weight 5
+
+    def test_unreachable_is_inf(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0)])
+        dist = single_source_distances(g, 1)
+        assert math.isinf(dist[0])
+        assert math.isinf(dist[2])
+        assert dist[1] == 0.0
+
+    def test_source_distance_zero(self):
+        dist = single_source_distances(triangle_graph(), 2)
+        assert dist[2] == 0.0
+
+    def test_bad_source_raises(self):
+        with pytest.raises(IndexError):
+            single_source_distances(triangle_graph(), 5)
+
+    def test_bad_backend_raises(self):
+        with pytest.raises(ValueError, match="backend"):
+            single_source_distances(triangle_graph(), 0, backend="gpu")
+
+    def test_directedness_respected(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 1.0)])
+        assert single_source_distances(g, 0)[1] == 1.0
+        assert math.isinf(single_source_distances(g, 1)[0])
+
+
+class TestMultiSource:
+    def test_empty_sources(self):
+        result = multi_source_distances(triangle_graph(), [])
+        assert result.shape == (0, 3)
+
+    def test_rows_match_single_source(self):
+        g = bidirectional_path(5)
+        multi = multi_source_distances(g, [0, 3])
+        np.testing.assert_allclose(multi[0], single_source_distances(g, 0))
+        np.testing.assert_allclose(multi[1], single_source_distances(g, 3))
+
+    def test_all_pairs_shape_and_diagonal(self):
+        g = bidirectional_path(4)
+        dist = all_pairs_distances(g)
+        assert dist.shape == (4, 4)
+        np.testing.assert_allclose(np.diagonal(dist), 0.0)
+
+    def test_all_pairs_empty_graph(self):
+        assert all_pairs_distances(WeightedDigraph(0)).shape == (0, 0)
+
+
+class TestBackendCrossValidation:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 12),
+        p=st.floats(0.1, 0.9),
+    )
+    def test_pure_equals_scipy_on_random_graphs(self, seed, n, p):
+        g = random_digraph(n, p, seed=seed)
+        pure = all_pairs_distances(g, backend="pure")
+        scipy_result = all_pairs_distances(g, backend="scipy")
+        np.testing.assert_allclose(pure, scipy_result)
+
+    def test_auto_threshold_consistency(self):
+        # A graph exactly at the auto threshold must give the same answer
+        # regardless of backend resolution.
+        from repro.graphs.shortest_paths import AUTO_SCIPY_THRESHOLD
+
+        g = bidirectional_path(AUTO_SCIPY_THRESHOLD)
+        np.testing.assert_allclose(
+            all_pairs_distances(g, backend="auto"),
+            all_pairs_distances(g, backend="pure"),
+        )
+
+
+class TestShortestPath:
+    def test_path_endpoints_and_length(self):
+        path = shortest_path(triangle_graph(), 0, 2)
+        assert path == [0, 1, 2]
+
+    def test_trivial_path(self):
+        assert shortest_path(triangle_graph(), 1, 1) == [1]
+
+    def test_unreachable_returns_none(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 1.0)])
+        assert shortest_path(g, 2, 0) is None
+
+    def test_path_length_matches_distance(self):
+        g = random_digraph(8, 0.4, seed=3)
+        dist = all_pairs_distances(g)
+        for target in range(8):
+            path = shortest_path(g, 0, target)
+            if path is None:
+                assert math.isinf(dist[0, target])
+            else:
+                total = sum(
+                    g.weight(u, v) for u, v in zip(path, path[1:])
+                )
+                assert total == pytest.approx(dist[0, target])
+
+    def test_bad_indices_raise(self):
+        with pytest.raises(IndexError):
+            shortest_path(triangle_graph(), 0, 9)
+        with pytest.raises(IndexError):
+            shortest_path(triangle_graph(), 9, 0)
+
+
+class TestMetricProperties:
+    @given(seed=st.integers(0, 5_000), n=st.integers(3, 10))
+    def test_triangle_inequality_of_distances(self, seed, n):
+        """Shortest-path distances always satisfy the triangle inequality."""
+        g = random_digraph(n, 0.5, seed=seed)
+        dist = all_pairs_distances(g)
+        for j in range(n):
+            via = dist[:, j][:, None] + dist[j, :][None, :]
+            assert (dist <= via + 1e-9).all()

@@ -1,0 +1,146 @@
+"""Tests for serialization, DOT export, and ASCII rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.constructions.line_lower_bound import build_lower_bound_instance
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.io.ascii_art import render_line_topology
+from repro.io.dot import graph_to_dot, profile_to_dot
+from repro.io.serialize import (
+    game_from_dict,
+    game_to_dict,
+    load_json,
+    metric_from_dict,
+    metric_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+from repro.metrics.matrix import DistanceMatrixMetric, UniformMetric
+from repro.metrics.ring import RingMetric
+
+from tests.conftest import euclidean_metrics, profiles_for
+
+
+class TestMetricSerialization:
+    @pytest.mark.parametrize(
+        "metric",
+        [
+            EuclideanMetric.random_uniform(4, seed=0),
+            LineMetric([0.0, 1.5, 4.0]),
+            RingMetric.evenly_spaced(5, circumference=2.0),
+            UniformMetric(4),
+            DistanceMatrixMetric.random(4, seed=1),
+        ],
+        ids=["euclidean", "line", "ring", "uniform", "matrix"],
+    )
+    def test_roundtrip_preserves_distances(self, metric):
+        rebuilt = metric_from_dict(metric_to_dict(metric))
+        np.testing.assert_allclose(
+            metric.distance_matrix(), rebuilt.distance_matrix()
+        )
+
+    def test_line_kind_preserved(self):
+        data = metric_to_dict(LineMetric([0.0, 1.0]))
+        assert data["kind"] == "line"
+        assert isinstance(metric_from_dict(data), LineMetric)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            metric_from_dict({"kind": "hyperbolic"})
+
+    @given(euclidean_metrics())
+    def test_roundtrip_property(self, metric):
+        rebuilt = metric_from_dict(metric_to_dict(metric))
+        np.testing.assert_allclose(
+            metric.distance_matrix(), rebuilt.distance_matrix()
+        )
+
+
+class TestProfileAndGameSerialization:
+    @given(profiles_for(5))
+    def test_profile_roundtrip(self, profile):
+        assert profile_from_dict(profile_to_dict(profile)) == profile
+
+    def test_profile_kind_check(self):
+        with pytest.raises(ValueError, match="profile"):
+            profile_from_dict({"kind": "game"})
+
+    def test_game_roundtrip(self):
+        game = TopologyGame(EuclideanMetric.random_uniform(4, seed=2), 2.5)
+        rebuilt = game_from_dict(game_to_dict(game))
+        assert rebuilt.alpha == 2.5
+        np.testing.assert_allclose(
+            game.distance_matrix, rebuilt.distance_matrix
+        )
+
+    def test_game_kind_check(self):
+        with pytest.raises(ValueError, match="game"):
+            game_from_dict({"kind": "profile"})
+
+    def test_file_roundtrip(self, tmp_path):
+        game = TopologyGame(LineMetric([0.0, 1.0]), 1.0)
+        path = tmp_path / "game.json"
+        save_json(game_to_dict(game), path)
+        rebuilt = game_from_dict(load_json(path))
+        assert rebuilt.n == 2
+
+
+class TestDotExport:
+    def test_profile_dot_contains_edges(self):
+        profile = StrategyProfile([{1}, {0, 2}, set()])
+        dot = profile_to_dot(profile)
+        assert "0 -> 1;" in dot
+        assert "1 -> 2;" in dot
+        assert dot.startswith("digraph overlay {")
+        assert dot.endswith("}")
+
+    def test_graph_dot_has_weights(self):
+        game = TopologyGame(LineMetric([0.0, 2.0]), 1.0)
+        overlay = game.overlay(StrategyProfile([{1}, {0}]))
+        dot = graph_to_dot(overlay)
+        assert 'label="2"' in dot
+
+    def test_node_labels(self):
+        profile = StrategyProfile([{1}, set()])
+        dot = profile_to_dot(profile, node_labels={0: "Pi1", 1: "Pi2"})
+        assert 'label="Pi1"' in dot
+
+    def test_label_quoting(self):
+        profile = StrategyProfile([set()])
+        dot = profile_to_dot(profile, node_labels={0: 'x"y'})
+        assert '\\"' in dot
+
+
+class TestAsciiArt:
+    def test_figure1_rendering_contains_all_links(self):
+        instance = build_lower_bound_instance(6, 4.0)
+        art = render_line_topology(
+            instance.game.metric, instance.profile, width=60
+        )
+        for i, j in instance.profile.edges():
+            assert f"({i} -> {j})" in art
+
+    def test_axis_row_labels_every_peer(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        art = render_line_topology(metric, StrategyProfile.empty(3))
+        axis = art.splitlines()[-1]
+        for peer in range(3):
+            assert str(peer) in axis
+
+    def test_size_mismatch_rejected(self):
+        metric = LineMetric([0.0, 1.0])
+        with pytest.raises(ValueError):
+            render_line_topology(metric, StrategyProfile.empty(3))
+
+    def test_linear_scale_option(self):
+        metric = LineMetric([0.0, 1.0, 2.0])
+        art = render_line_topology(
+            metric, StrategyProfile.empty(3), log_scale=False
+        )
+        assert art.splitlines()

@@ -1,0 +1,93 @@
+"""Tests for the metric-space interface and axiom checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.metrics.base import check_metric_axioms
+from repro.metrics.euclidean import EuclideanMetric
+
+from tests.conftest import euclidean_metrics
+
+
+class TestAxiomChecker:
+    def test_valid_metric_passes(self):
+        matrix = np.array(
+            [[0.0, 1.0, 2.0], [1.0, 0.0, 1.5], [2.0, 1.5, 0.0]]
+        )
+        assert check_metric_axioms(matrix) == []
+
+    def test_identity_violation_detected(self):
+        matrix = np.array([[0.5, 1.0], [1.0, 0.0]])
+        violations = check_metric_axioms(matrix)
+        assert any(v.kind == "identity" for v in violations)
+
+    def test_negativity_violation_detected(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        violations = check_metric_axioms(matrix)
+        assert any(v.kind == "negativity" for v in violations)
+
+    def test_symmetry_violation_detected(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        violations = check_metric_axioms(matrix)
+        assert any(v.kind == "symmetry" for v in violations)
+
+    def test_triangle_violation_detected(self):
+        matrix = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]
+        )
+        violations = check_metric_axioms(matrix)
+        triangle = [v for v in violations if v.kind == "triangle"]
+        assert triangle
+        assert triangle[0].magnitude == pytest.approx(3.0)
+
+    def test_off_diagonal_zero_flagged(self):
+        matrix = np.array([[0.0, 0.0], [0.0, 0.0]])
+        violations = check_metric_axioms(matrix)
+        assert any(
+            v.kind == "identity" and len(v.indices) == 2 for v in violations
+        )
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            check_metric_axioms(np.zeros((2, 3)))
+
+    def test_max_violations_cap(self):
+        matrix = -np.ones((6, 6))
+        np.fill_diagonal(matrix, 0.0)
+        violations = check_metric_axioms(matrix, max_violations=4)
+        assert len(violations) == 4
+
+    @given(euclidean_metrics(min_n=2, max_n=10))
+    def test_euclidean_metrics_always_pass(self, metric):
+        assert check_metric_axioms(metric.distance_matrix()) == []
+
+
+class TestMetricSpaceInterface:
+    def test_matrix_is_cached_and_readonly(self):
+        metric = EuclideanMetric.random_uniform(4, seed=0)
+        first = metric.distance_matrix()
+        assert metric.distance_matrix() is first
+        with pytest.raises(ValueError):
+            first[0, 1] = 99.0
+
+    def test_distance_accessor(self):
+        metric = EuclideanMetric([[0.0, 0.0], [3.0, 4.0]])
+        assert metric.distance(0, 1) == pytest.approx(5.0)
+
+    def test_diameter_and_min_positive(self):
+        metric = EuclideanMetric([[0.0], [1.0], [10.0]])
+        assert metric.diameter() == pytest.approx(10.0)
+        assert metric.min_positive_distance() == pytest.approx(1.0)
+
+    def test_min_positive_requires_positive_distance(self):
+        metric = EuclideanMetric([[1.0, 1.0]])
+        with pytest.raises(ValueError, match="positive"):
+            metric.min_positive_distance()
+
+    def test_len(self):
+        assert len(EuclideanMetric.random_uniform(7, seed=1)) == 7
+
+    def test_validate_clean_metric(self):
+        metric = EuclideanMetric.random_uniform(5, seed=2)
+        assert metric.validate() == []

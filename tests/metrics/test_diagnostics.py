@@ -1,0 +1,73 @@
+"""Tests for growth-bound / doubling diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.diagnostics import (
+    ball_sizes,
+    doubling_constant_estimate,
+    doubling_dimension_estimate,
+    growth_constant,
+    is_growth_bounded,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+from repro.metrics.matrix import UniformMetric
+
+
+class TestBallSizes:
+    def test_counts_include_center(self):
+        metric = LineMetric([0.0, 1.0, 2.0, 10.0])
+        sizes = ball_sizes(metric, 0, [0.5, 1.5, 100.0])
+        np.testing.assert_array_equal(sizes, [1, 2, 4])
+
+    def test_monotone_in_radius(self):
+        metric = EuclideanMetric.random_uniform(10, seed=0)
+        radii = np.linspace(0.01, 2.0, 8)
+        sizes = ball_sizes(metric, 3, radii)
+        assert (np.diff(sizes) >= 0).all()
+
+
+class TestGrowthConstant:
+    def test_uniform_grid_is_growth_bounded(self):
+        metric = LineMetric.uniform_grid(32)
+        assert growth_constant(metric) <= 4.0
+
+    def test_exponential_line_is_not(self):
+        # Exponentially spaced points violate growth-boundedness: a ball
+        # that doubles past the next gap swallows all closer points.
+        positions = [2.0 ** i for i in range(12)]
+        metric = LineMetric(positions)
+        assert growth_constant(metric) > 4.0
+
+    def test_trivial_metrics(self):
+        assert growth_constant(EuclideanMetric([[0.0, 0.0]])) == 1.0
+
+    def test_is_growth_bounded_predicate(self):
+        grid = LineMetric.uniform_grid(16)
+        assert is_growth_bounded(grid)
+        with pytest.raises(ValueError, match="constant"):
+            is_growth_bounded(grid, constant=0.5)
+
+
+class TestDoublingEstimates:
+    def test_uniform_metric_small_doubling(self):
+        # All distances equal: one ball of radius r >= 1 covers everything.
+        metric = UniformMetric(16)
+        assert doubling_constant_estimate(metric) <= 16
+
+    def test_line_doubling_dimension_close_to_one(self):
+        metric = LineMetric.uniform_grid(64)
+        dim = doubling_dimension_estimate(metric)
+        assert 0.5 <= dim <= 3.0
+
+    def test_2d_dimension_at_least_line(self):
+        line = doubling_dimension_estimate(LineMetric.uniform_grid(36))
+        grid_points = [
+            [i, j] for i in range(6) for j in range(6)
+        ]
+        plane = doubling_dimension_estimate(EuclideanMetric(grid_points))
+        assert plane >= line - 0.5
+
+    def test_trivial_metric(self):
+        assert doubling_constant_estimate(EuclideanMetric([[0.0, 0.0]])) == 1

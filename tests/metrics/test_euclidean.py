@@ -1,0 +1,99 @@
+"""Tests for Euclidean and line metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.line import LineMetric
+
+
+class TestEuclideanMetric:
+    def test_distances_match_numpy(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        metric = EuclideanMetric(points)
+        assert metric.distance(0, 1) == pytest.approx(5.0)
+        assert metric.distance(0, 2) == pytest.approx(10.0)
+        assert metric.distance(1, 2) == pytest.approx(5.0)
+
+    def test_one_dimensional_input_promoted(self):
+        metric = EuclideanMetric([0.0, 1.0, 4.0])
+        assert metric.dim == 1
+        assert metric.distance(1, 2) == pytest.approx(3.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            EuclideanMetric(np.zeros((2, 2, 2)))
+
+    def test_points_readonly(self):
+        metric = EuclideanMetric.random_uniform(3, seed=0)
+        with pytest.raises(ValueError):
+            metric.points[0, 0] = 42.0
+
+    def test_subset_preserves_distances(self):
+        metric = EuclideanMetric.random_uniform(6, seed=1)
+        sub = metric.subset([4, 1])
+        assert sub.n == 2
+        assert sub.distance(0, 1) == pytest.approx(metric.distance(4, 1))
+
+    def test_translate_invariance(self):
+        metric = EuclideanMetric.random_uniform(4, seed=2)
+        moved = metric.translate([10.0, -3.0])
+        np.testing.assert_allclose(
+            metric.distance_matrix(), moved.distance_matrix()
+        )
+
+    def test_random_uniform_determinism_and_bounds(self):
+        a = EuclideanMetric.random_uniform(5, dim=3, seed=7, box=2.0)
+        b = EuclideanMetric.random_uniform(5, dim=3, seed=7, box=2.0)
+        np.testing.assert_array_equal(a.points, b.points)
+        assert (a.points >= 0).all() and (a.points <= 2.0).all()
+        assert a.dim == 3
+
+    def test_random_uniform_validates_args(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric.random_uniform(-1)
+        with pytest.raises(ValueError):
+            EuclideanMetric.random_uniform(3, dim=0)
+
+    def test_clustered_shape(self):
+        metric = EuclideanMetric.clustered(3, 4, seed=0)
+        assert metric.n == 12
+
+    def test_clustered_validates_args(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric.clustered(0, 5)
+
+
+class TestLineMetric:
+    def test_distance_is_absolute_difference(self):
+        metric = LineMetric([0.0, 2.0, 7.0])
+        assert metric.distance(0, 2) == pytest.approx(7.0)
+        assert metric.distance(1, 2) == pytest.approx(5.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            LineMetric(np.zeros((3, 2)))
+
+    def test_sorted_order_unsorted_input(self):
+        metric = LineMetric([5.0, 1.0, 3.0])
+        assert list(metric.sorted_order()) == [1, 2, 0]
+
+    def test_gaps(self):
+        metric = LineMetric([0.0, 10.0, 1.0])
+        np.testing.assert_allclose(metric.gaps(), [1.0, 9.0])
+
+    def test_uniform_grid(self):
+        metric = LineMetric.uniform_grid(4, spacing=2.0)
+        assert metric.distance(0, 3) == pytest.approx(6.0)
+
+    def test_uniform_grid_validates_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            LineMetric.uniform_grid(3, spacing=0.0)
+
+    def test_random_uniform_line_determinism(self):
+        a = LineMetric.random_uniform_line(5, seed=3)
+        b = LineMetric.random_uniform_line(5, seed=3)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_is_euclidean_subclass(self):
+        assert isinstance(LineMetric([0.0, 1.0]), EuclideanMetric)

@@ -1,0 +1,150 @@
+"""Tests for ring, explicit-matrix, uniform, and graph-induced metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.generators import bidirectional_path
+from repro.metrics.base import check_metric_axioms
+from repro.metrics.graph_metric import GraphMetric
+from repro.metrics.matrix import (
+    DistanceMatrixMetric,
+    UniformMetric,
+    metric_closure_repair,
+)
+from repro.metrics.ring import RingMetric
+
+
+class TestRingMetric:
+    def test_wraparound_distance(self):
+        metric = RingMetric([0.0, 0.9], circumference=1.0)
+        assert metric.distance(0, 1) == pytest.approx(0.1)
+
+    def test_positions_taken_modulo(self):
+        metric = RingMetric([1.25], circumference=1.0)
+        assert metric.positions[0] == pytest.approx(0.25)
+
+    def test_evenly_spaced_symmetry(self):
+        metric = RingMetric.evenly_spaced(4, circumference=8.0)
+        assert metric.distance(0, 1) == pytest.approx(2.0)
+        assert metric.distance(0, 2) == pytest.approx(4.0)
+        assert metric.distance(0, 3) == pytest.approx(2.0)
+
+    def test_invalid_circumference(self):
+        with pytest.raises(ValueError, match="circumference"):
+            RingMetric([0.0], circumference=0.0)
+
+    def test_evenly_spaced_validates_n(self):
+        with pytest.raises(ValueError):
+            RingMetric.evenly_spaced(0)
+
+    def test_axioms_hold(self):
+        metric = RingMetric.random_uniform(8, seed=5)
+        assert metric.validate() == []
+
+    def test_max_distance_half_circumference(self):
+        metric = RingMetric.random_uniform(10, seed=1, circumference=2.0)
+        assert metric.diameter() <= 1.0 + 1e-12
+
+
+class TestMetricClosureRepair:
+    def test_fixes_triangle_violation(self):
+        matrix = np.array(
+            [[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]
+        )
+        repaired = metric_closure_repair(matrix)
+        assert repaired[0, 2] == pytest.approx(2.0)
+        assert check_metric_axioms(repaired) == []
+
+    def test_symmetrizes(self):
+        matrix = np.array([[0.0, 2.0], [4.0, 0.0]])
+        repaired = metric_closure_repair(matrix)
+        assert repaired[0, 1] == pytest.approx(3.0)
+        assert repaired[1, 0] == pytest.approx(3.0)
+
+    def test_never_increases_entries(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.uniform(1.0, 10.0, size=(6, 6))
+        matrix = (matrix + matrix.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        repaired = metric_closure_repair(matrix)
+        assert (repaired <= matrix + 1e-12).all()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            metric_closure_repair(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            metric_closure_repair(np.array([[1.0]]))
+
+    @given(seed=st.integers(0, 2_000), n=st.integers(2, 8))
+    def test_result_is_always_metric(self, seed, n):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0.5, 10.0, size=(n, n))
+        np.fill_diagonal(matrix, 0.0)
+        repaired = metric_closure_repair(matrix)
+        assert check_metric_axioms(repaired) == []
+
+
+class TestDistanceMatrixMetric:
+    def test_valid_matrix_accepted(self):
+        metric = DistanceMatrixMetric(
+            [[0.0, 1.0, 2.0], [1.0, 0.0, 1.5], [2.0, 1.5, 0.0]]
+        )
+        assert metric.n == 3
+        assert metric.distance(0, 2) == 2.0
+
+    def test_invalid_matrix_rejected_with_hint(self):
+        bad = [[0.0, 1.0, 9.0], [1.0, 0.0, 1.0], [9.0, 1.0, 0.0]]
+        with pytest.raises(ValueError, match="metric_closure_repair"):
+            DistanceMatrixMetric(bad)
+
+    def test_validate_false_skips_check(self):
+        bad = [[0.0, 1.0, 9.0], [1.0, 0.0, 1.0], [9.0, 1.0, 0.0]]
+        metric = DistanceMatrixMetric(bad, validate=False)
+        assert metric.distance(0, 2) == 9.0
+
+    def test_from_repair(self):
+        bad = [[0.0, 1.0, 9.0], [1.0, 0.0, 1.0], [9.0, 1.0, 0.0]]
+        metric = DistanceMatrixMetric.from_repair(bad)
+        assert metric.distance(0, 2) == pytest.approx(2.0)
+
+    def test_random_is_metric_and_deterministic(self):
+        a = DistanceMatrixMetric.random(7, seed=6)
+        b = DistanceMatrixMetric.random(7, seed=6)
+        np.testing.assert_array_equal(
+            a.distance_matrix(), b.distance_matrix()
+        )
+        assert a.validate() == []
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            DistanceMatrixMetric(np.zeros((2, 3)))
+
+
+class TestUniformMetric:
+    def test_all_distances_one(self):
+        metric = UniformMetric(4)
+        off_diag = metric.distance_matrix()[~np.eye(4, dtype=bool)]
+        assert (off_diag == 1.0).all()
+
+    def test_is_valid_metric(self):
+        assert UniformMetric(5).validate() == []
+
+
+class TestGraphMetric:
+    def test_induced_by_shortest_paths(self):
+        metric = GraphMetric(bidirectional_path(4))
+        assert metric.distance(0, 3) == pytest.approx(3.0)
+
+    def test_disconnected_underlay_rejected(self):
+        from repro.graphs.digraph import WeightedDigraph
+
+        with pytest.raises(ValueError):
+            GraphMetric(WeightedDigraph(3))
+
+    def test_axioms_hold(self):
+        metric = GraphMetric(bidirectional_path(5))
+        assert metric.validate() == []

@@ -1,0 +1,121 @@
+"""Tests for the simulation engine and observers."""
+
+import math
+
+import pytest
+
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.observers import (
+    ConvergenceObserver,
+    CostTraceObserver,
+    DegreeObserver,
+    StretchObserver,
+)
+
+
+@pytest.fixture
+def game():
+    return TopologyGame(EuclideanMetric.random_uniform(7, dim=2, seed=21), 1.0)
+
+
+class TestSimulationEngine:
+    def test_round_robin_converges_to_equilibrium(self, game):
+        from repro.core.equilibrium import verify_nash
+
+        report = SimulationEngine(game).run(max_rounds=100)
+        assert report.converged
+        assert verify_nash(game, report.profile).is_nash
+        assert math.isfinite(report.final_cost)
+
+    def test_random_activation(self, game):
+        report = SimulationEngine(game, activation="random", seed=3).run(
+            max_rounds=100
+        )
+        assert report.converged
+
+    def test_max_gain_activation(self, game):
+        report = SimulationEngine(game, activation="max-gain").run(
+            max_rounds=300
+        )
+        assert report.converged
+        # One move per round in max-gain mode.
+        assert report.moves <= report.rounds
+
+    def test_max_gain_cycles_on_witness(self):
+        from repro.constructions.no_nash import build_no_nash_instance
+
+        engine = SimulationEngine(
+            build_no_nash_instance(), activation="max-gain"
+        )
+        report = engine.run(max_rounds=300)
+        assert report.stopped_reason == "cycle"
+        assert report.cycle is not None
+
+    def test_unknown_activation_rejected(self, game):
+        with pytest.raises(ValueError, match="activation"):
+            SimulationEngine(game, activation="chaotic").run()
+
+    def test_custom_scheduler_object(self, game):
+        from repro.core.dynamics import FixedOrderScheduler
+
+        engine = SimulationEngine(
+            game, activation=FixedOrderScheduler(list(range(game.n)))
+        )
+        assert engine.run(max_rounds=100).converged
+
+
+class TestObservers:
+    def test_cost_trace_records_every_round(self, game):
+        observer = CostTraceObserver(game)
+        SimulationEngine(game).run(max_rounds=60, observers=[observer])
+        assert len(observer.totals) >= 1
+        assert observer.final_cost == observer.totals[-1]
+        assert len(observer.link_costs) == len(observer.totals)
+
+    def test_cost_trace_final_matches_report(self, game):
+        observer = CostTraceObserver(game)
+        report = SimulationEngine(game).run(
+            max_rounds=60, observers=[observer]
+        )
+        assert observer.final_cost == pytest.approx(report.final_cost)
+
+    def test_degree_observer(self, game):
+        observer = DegreeObserver()
+        SimulationEngine(game).run(max_rounds=60, observers=[observer])
+        assert observer.max_degrees
+        assert all(
+            low <= mean <= high
+            for low, mean, high in zip(
+                observer.min_degrees,
+                observer.mean_degrees,
+                observer.max_degrees,
+            )
+        )
+
+    def test_stretch_observer_thinning(self, game):
+        observer = StretchObserver(game, every=2)
+        SimulationEngine(game).run(max_rounds=60, observers=[observer])
+        assert all(r % 2 == 0 for r in observer.rounds)
+
+    def test_stretch_observer_validation(self, game):
+        with pytest.raises(ValueError, match="every"):
+            StretchObserver(game, every=0)
+
+    def test_stretch_values_at_least_one(self, game):
+        observer = StretchObserver(game)
+        SimulationEngine(game).run(max_rounds=60, observers=[observer])
+        finite = [m for m in observer.mean_stretches if math.isfinite(m)]
+        assert finite
+        assert all(m >= 1.0 - 1e-9 for m in finite)
+
+    def test_convergence_observer(self, game):
+        observer = ConvergenceObserver()
+        SimulationEngine(game).run(max_rounds=60, observers=[observer])
+        assert observer.rounds_observed >= 1
+        assert observer.quiet_rounds >= 1  # final quiet round seals it
+
+    def test_cost_trace_on_empty_never_run(self, game):
+        observer = CostTraceObserver(game)
+        assert math.isnan(observer.final_cost)

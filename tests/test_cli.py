@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E6", "--json", "--out", "x.json"]
+        )
+        assert args.experiment_id == "E6"
+        assert args.json
+        assert args.out == "x.json"
+
+    def test_certify_alpha(self):
+        args = build_parser().parse_args(["certify", "--alpha", "0.62"])
+        assert args.alpha == 0.62
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("E1", "E5", "E11"):
+            assert experiment_id in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "E6"]) == 0
+        out = capsys.readouterr().out
+        assert "SUPPORTED" in out
+        assert "case" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "E6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E6"
+        assert payload["verdict"] == "SUPPORTED"
+        assert len(payload["rows"]) == 7
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "e6.txt"
+        assert main(["run", "E6", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert "SUPPORTED" in out_file.read_text()
+
+    def test_certify_witness(self, capsys):
+        assert main(["certify"]) == 0
+        out = capsys.readouterr().out
+        assert "1,048,576" in out
+        assert "certified" in out
+
+    def test_certify_off_window_alpha_reports_equilibria(self, capsys):
+        assert main(["certify", "--alpha", "0.8"]) == 1
+        assert "equilibria exist" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "cycled" in out
+        assert "converged" in out

@@ -1,0 +1,120 @@
+"""Degenerate-input behavior: coincident peers and zero distances.
+
+Real latency data contains ties and near-zero measurements; the cost
+model defines stretch for coincident peers (``d(i,j) = 0``) as 1 when the
+overlay also reaches them at distance 0 and infinite otherwise.  These
+tests pin that convention across every layer that reimplements the cost
+computation (reference path, best-response service costs, vectorized
+batch path), because a divergence between them would silently corrupt
+equilibrium verification.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import best_response, compute_service_costs
+from repro.core.costs import social_cost, stretch_matrix
+from repro.core.exhaustive import encode_profile, profile_costs_batch
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.topology import overlay_from_matrix
+from repro.metrics.euclidean import EuclideanMetric
+
+
+@pytest.fixture
+def coincident_metric():
+    """Three peers: two at the origin, one at distance 1."""
+    return EuclideanMetric([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+
+
+class TestStretchConvention:
+    def test_zero_distance_reached_at_zero_is_stretch_one(
+        self, coincident_metric
+    ):
+        dmat = coincident_metric.distance_matrix()
+        profile = StrategyProfile([{1}, {0}, {0}])
+        overlay = overlay_from_matrix(dmat, profile)
+        stretch = stretch_matrix(dmat, overlay)
+        assert stretch[0, 1] == 1.0
+        assert stretch[1, 0] == 1.0
+
+    def test_zero_distance_unreached_is_infinite(self, coincident_metric):
+        dmat = coincident_metric.distance_matrix()
+        profile = StrategyProfile([{2}, set(), {0}])
+        overlay = overlay_from_matrix(dmat, profile)
+        stretch = stretch_matrix(dmat, overlay)
+        # Peer 0 cannot reach its coincident twin except through... the
+        # twin has no in-links from 2 either, so it is unreachable.
+        assert math.isinf(stretch[0, 1])
+
+    def test_zero_distance_via_zero_weight_link(self, coincident_metric):
+        dmat = coincident_metric.distance_matrix()
+        # Direct zero-weight link between the twins: overlay distance 0.
+        profile = StrategyProfile([{1}, {0}, {1}])
+        overlay = overlay_from_matrix(dmat, profile)
+        stretch = stretch_matrix(dmat, overlay)
+        assert stretch[0, 1] == 1.0
+        assert stretch[2, 1] == pytest.approx(1.0)
+
+
+class TestCrossLayerAgreement:
+    @pytest.mark.parametrize(
+        "links",
+        [
+            {0: [1], 1: [0, 2], 2: [0]},
+            {0: [2], 1: [0], 2: [1]},
+            {0: [1, 2], 1: [2], 2: [0]},
+        ],
+    )
+    def test_batch_path_matches_reference(self, coincident_metric, links):
+        dmat = coincident_metric.distance_matrix()
+        profile = StrategyProfile.from_dict(3, links)
+        reference = social_cost(dmat, profile, alpha=1.0)
+        batch = profile_costs_batch(
+            np.array([encode_profile(profile)]), dmat, 1.0
+        )
+        batch_total = float(batch.sum())
+        if math.isfinite(reference.total):
+            assert batch_total == pytest.approx(reference.total)
+        else:
+            assert math.isinf(batch_total)
+
+    def test_best_response_handles_coincident_targets(
+        self, coincident_metric
+    ):
+        dmat = coincident_metric.distance_matrix()
+        profile = StrategyProfile([set(), {0, 2}, {1}])
+        result = best_response(dmat, profile, 0, alpha=0.5)
+        assert result.improved
+        assert math.isfinite(result.cost)
+
+    def test_service_costs_zero_column_semantics(self, coincident_metric):
+        dmat = coincident_metric.distance_matrix()
+        profile = StrategyProfile([set(), {2}, {1}])
+        service = compute_service_costs(dmat, profile, 0)
+        # Candidate 1 (the coincident twin) serves target 1 at stretch 1
+        # via the zero-length direct link.
+        row = service.weights[service.candidates.index(1)]
+        assert row[1] == 1.0
+
+
+class TestEquilibriumWithCoincidentPeers:
+    def test_dynamics_converge(self, coincident_metric):
+        from repro.core.dynamics import BestResponseDynamics
+        from repro.core.equilibrium import verify_nash
+
+        game = TopologyGame(coincident_metric, alpha=1.0)
+        result = BestResponseDynamics(game).run(max_rounds=60)
+        assert result.converged
+        assert verify_nash(game, result.profile).is_nash
+
+    def test_exhaustive_sweep_runs(self, coincident_metric):
+        from repro.core.exhaustive import exhaustive_equilibria
+
+        sweep = exhaustive_equilibria(
+            coincident_metric.distance_matrix(), 1.0
+        )
+        assert sweep.num_profiles == 2 ** 6
+        assert sweep.has_equilibrium

@@ -1,0 +1,162 @@
+"""Integration tests: end-to-end scenarios across modules.
+
+Each test stitches together several subsystems the way a downstream user
+would — construct, simulate, verify, persist, reload, re-verify — so
+regressions in cross-module contracts surface even when unit tests pass.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BestResponseDynamics,
+    TopologyGame,
+    estimate_price_of_anarchy,
+    verify_nash,
+)
+from repro.analysis.bounds import check_equilibrium_bounds
+from repro.baselines.structured import structured_portfolio
+from repro.constructions.line_lower_bound import build_lower_bound_instance
+from repro.constructions.no_nash import build_no_nash_instance
+from repro.io.serialize import (
+    game_from_dict,
+    game_to_dict,
+    load_json,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.lookups import LookupWorkload
+from repro.simulation.observers import CostTraceObserver
+
+
+class TestEquilibriumPipeline:
+    """Metric -> game -> dynamics -> verification -> bounds -> PoA."""
+
+    def test_full_pipeline_on_random_instance(self):
+        metric = EuclideanMetric.random_uniform(9, dim=2, seed=101)
+        game = TopologyGame(metric, alpha=1.5)
+        result = BestResponseDynamics(game).run(max_rounds=100)
+        assert result.converged
+
+        certificate = verify_nash(game, result.profile)
+        assert certificate.is_nash
+
+        bounds = check_equilibrium_bounds(game, result.profile)
+        assert bounds.holds
+
+        estimate = estimate_price_of_anarchy(
+            game, equilibria=[result.profile]
+        )
+        assert 0 < estimate.lower <= estimate.upper + 1e-9
+
+    def test_dynamics_cost_never_ends_above_start_from_greedy_join(self):
+        """A joined-up sanity check: a full simulation with observers
+        produces a coherent cost trace ending at the reported final cost."""
+        metric = EuclideanMetric.random_uniform(8, dim=2, seed=102)
+        game = TopologyGame(metric, alpha=1.0)
+        observer = CostTraceObserver(game)
+        report = SimulationEngine(game).run(
+            max_rounds=100, observers=[observer]
+        )
+        assert report.converged
+        assert observer.final_cost == pytest.approx(report.final_cost)
+        assert all(math.isfinite(c) for c in observer.totals[1:])
+
+
+class TestPersistenceRoundTrip:
+    """Serialize a full experiment artifact, reload, re-verify."""
+
+    def test_equilibrium_survives_disk_round_trip(self, tmp_path):
+        metric = EuclideanMetric.random_uniform(7, dim=2, seed=103)
+        game = TopologyGame(metric, alpha=2.0)
+        result = BestResponseDynamics(game).run(max_rounds=100)
+        assert result.converged
+
+        save_json(game_to_dict(game), tmp_path / "game.json")
+        save_json(
+            profile_to_dict(result.profile), tmp_path / "profile.json"
+        )
+
+        reloaded_game = game_from_dict(load_json(tmp_path / "game.json"))
+        reloaded_profile = profile_from_dict(
+            load_json(tmp_path / "profile.json")
+        )
+        # The reloaded pair must verify exactly as the original did.
+        assert verify_nash(reloaded_game, reloaded_profile).is_nash
+        assert reloaded_game.social_cost(
+            reloaded_profile
+        ).total == pytest.approx(game.social_cost(result.profile).total)
+
+    def test_witness_game_round_trip_preserves_no_nash(self, tmp_path):
+        from repro.core.exhaustive import exhaustive_equilibria
+
+        game = build_no_nash_instance()
+        save_json(game_to_dict(game), tmp_path / "witness.json")
+        reloaded = game_from_dict(load_json(tmp_path / "witness.json"))
+        sweep = exhaustive_equilibria(reloaded.distance_matrix, reloaded.alpha)
+        assert not sweep.has_equilibrium
+
+
+class TestConstructionsMeetSimulation:
+    def test_figure1_equilibrium_is_fixed_point_of_engine(self):
+        instance = build_lower_bound_instance(8, 4.0)
+        report = SimulationEngine(instance.game).run(
+            initial=instance.profile, max_rounds=5
+        )
+        assert report.converged
+        assert report.moves == 0
+        assert report.profile == instance.profile
+
+    def test_lookups_on_figure1_reflect_equilibrium_stretch(self):
+        instance = build_lower_bound_instance(8, 4.0)
+        workload = LookupWorkload(instance.game, seed=9)
+        stats = workload.run(instance.profile, num_lookups=2000)
+        assert stats.delivery_rate == 1.0
+        # Equilibrium stretches are bounded by alpha + 1 (Theorem 4.1).
+        assert stats.max_stretch <= 4.0 + 1.0 + 1e-9
+
+    def test_structured_designs_beat_worst_selfish_on_clusters(self):
+        """On clustered populations with moderate alpha, at least one
+        engineered design should match or beat a sampled equilibrium."""
+        metric = EuclideanMetric.clustered(3, 4, seed=104)
+        game = TopologyGame(metric, alpha=1.0)
+        result = BestResponseDynamics(game).run(max_rounds=150)
+        assert result.converged
+        selfish_cost = game.social_cost(result.profile).total
+        best_structured = min(
+            game.social_cost(profile).total
+            for profile in structured_portfolio(metric).values()
+        )
+        assert best_structured <= 2.0 * selfish_cost
+
+
+class TestExtensionsMeetCore:
+    def test_congestion_game_reuses_equilibria_end_to_end(self):
+        from repro.extensions.congestion import CongestionGame
+
+        metric = EuclideanMetric.random_uniform(7, dim=2, seed=105)
+        base = TopologyGame(metric, alpha=1.0)
+        equilibrium = BestResponseDynamics(base).run(max_rounds=100).profile
+        game = CongestionGame(metric, 1.0, beta=3.0)
+        assert game.is_nash(equilibrium)
+        assert game.social_cost(equilibrium).total == pytest.approx(
+            base.social_cost(equilibrium).total
+            + 3.0 * equilibrium.num_links
+        )
+
+    def test_bilateral_outcome_prices_under_unilateral_model(self):
+        from repro.extensions.bilateral import BilateralGame
+
+        game = build_no_nash_instance()
+        bilateral = BilateralGame(game.metric, game.alpha)
+        topology, stable, _ = bilateral.improve_dynamics()
+        assert stable
+        # The bilateral outcome, viewed as a directed profile, has finite
+        # cost under the unilateral model too (strong connectivity).
+        profile = topology.to_profile()
+        assert math.isfinite(game.social_cost(profile).total)

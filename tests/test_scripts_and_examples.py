@@ -1,0 +1,55 @@
+"""Smoke tests: the shipped scripts and examples stay runnable.
+
+Examples are documentation that executes; a refactor that silently breaks
+them is a release blocker even when the library tests pass.  Each example
+is run in-process with a tight scope (they are seeded and finish in
+seconds); the search script is exercised through its CLI surface.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted(
+    path.name for path in (REPO_ROOT / "examples").glob("*.py")
+)
+
+# The exhaustive-certificate walkthrough takes ~15s; every other example
+# finishes in a couple of seconds.
+FAST_EXAMPLES = [
+    name for name in EXAMPLES if name != "nonconvergence_demo.py"
+]
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 6
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_example_runs(self, name, capsys):
+        runpy.run_path(
+            str(REPO_ROOT / "examples" / name), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name} produced no output"
+
+
+class TestSearchScript:
+    def test_help_exits_cleanly(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "search_no_nash.py"),
+                "--help",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "alpha" in result.stdout
