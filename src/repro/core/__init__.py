@@ -28,15 +28,18 @@ from repro.core.best_response import (
     best_response,
     compute_service_costs,
     find_improving_deviation,
+    peer_cost,
     strategy_cost,
 )
 from repro.core.better_response import (
     BetterResponseDynamics,
     BetterResponseResult,
     find_improving_flip,
+    find_improving_flip_naive,
     flip_candidates,
     is_flip_stable,
 )
+from repro.core.evaluator import EvaluatorStats, GameEvaluator
 from repro.core.costs import (
     CostBreakdown,
     individual_costs,
@@ -145,5 +148,9 @@ __all__ = [
     "BetterResponseResult",
     "flip_candidates",
     "find_improving_flip",
+    "find_improving_flip_naive",
     "is_flip_stable",
+    "GameEvaluator",
+    "EvaluatorStats",
+    "peer_cost",
 ]

@@ -40,15 +40,21 @@ import numpy as np
 
 from repro.core.profile import StrategyProfile
 from repro.core.topology import overlay_from_matrix
+from repro.graphs.digraph import WeightedDigraph
 from repro.graphs.shortest_paths import multi_source_distances
 
 __all__ = [
     "BestResponseResult",
     "ServiceCosts",
     "compute_service_costs",
+    "service_costs_from_overlay",
+    "service_cost_rows",
     "strategy_cost",
+    "peer_cost",
     "best_response",
+    "best_response_from_service",
     "find_improving_deviation",
+    "improving_deviation_from_service",
     "RELATIVE_TOLERANCE",
 ]
 
@@ -116,6 +122,55 @@ class ServiceCosts:
         return int(self.weights.shape[1]) if self.weights.size else 1
 
 
+def service_cost_rows(
+    distance_matrix: np.ndarray,
+    stripped_overlay: WeightedDigraph,
+    peer: int,
+    sources: Sequence[int],
+    backend: str = "auto",
+) -> np.ndarray:
+    """Normalized service-cost rows for a subset of first-hop ``sources``.
+
+    ``stripped_overlay`` must already have ``peer``'s out-edges removed.
+    This is the row-granular core shared by :func:`compute_service_costs`
+    (all candidates at once) and the incremental cache in
+    :mod:`repro.core.evaluator` (only the dirtied rows).
+    """
+    dist_h = multi_source_distances(stripped_overlay, list(sources), backend=backend)
+    direct = distance_matrix[peer]
+    service = direct[list(sources)][:, None] + dist_h
+    with np.errstate(divide="ignore", invalid="ignore"):
+        weights = service / direct[None, :]
+    zero_direct = direct == 0
+    zero_direct[peer] = False
+    if zero_direct.any():
+        cols = np.nonzero(zero_direct)[0]
+        for col in cols:
+            weights[:, col] = np.where(service[:, col] == 0.0, 1.0, math.inf)
+    weights[:, peer] = 0.0
+    return weights
+
+
+def service_costs_from_overlay(
+    distance_matrix: np.ndarray,
+    overlay: WeightedDigraph,
+    peer: int,
+    backend: str = "auto",
+) -> ServiceCosts:
+    """Service-cost matrix ``W`` for ``peer`` given a prebuilt overlay."""
+    n = overlay.num_nodes
+    if not 0 <= peer < n:
+        raise IndexError(f"peer {peer} out of range [0, {n})")
+    candidates = tuple(j for j in range(n) if j != peer)
+    if not candidates:
+        return ServiceCosts(peer, (), np.zeros((0, 1)))
+    stripped = overlay.copy_without_out_edges(peer)
+    weights = service_cost_rows(
+        distance_matrix, stripped, peer, candidates, backend
+    )
+    return ServiceCosts(peer, candidates, weights)
+
+
 def compute_service_costs(
     distance_matrix: np.ndarray,
     profile: StrategyProfile,
@@ -130,24 +185,8 @@ def compute_service_costs(
     n = profile.n
     if not 0 <= peer < n:
         raise IndexError(f"peer {peer} out of range [0, {n})")
-    candidates = tuple(j for j in range(n) if j != peer)
-    if not candidates:
-        return ServiceCosts(peer, (), np.zeros((0, 1)))
     overlay = overlay_from_matrix(distance_matrix, profile)
-    stripped = overlay.copy_without_out_edges(peer)
-    dist_h = multi_source_distances(stripped, list(candidates), backend=backend)
-    direct = distance_matrix[peer]
-    service = direct[list(candidates)][:, None] + dist_h
-    with np.errstate(divide="ignore", invalid="ignore"):
-        weights = service / direct[None, :]
-    zero_direct = direct == 0
-    zero_direct[peer] = False
-    if zero_direct.any():
-        cols = np.nonzero(zero_direct)[0]
-        for col in cols:
-            weights[:, col] = np.where(service[:, col] == 0.0, 1.0, math.inf)
-    weights[:, peer] = 0.0
-    return ServiceCosts(peer, candidates, weights)
+    return service_costs_from_overlay(distance_matrix, overlay, peer, backend)
 
 
 def strategy_cost(
@@ -162,6 +201,22 @@ def strategy_cost(
     index_of = {c: idx for idx, c in enumerate(service.candidates)}
     rows = [index_of[s] for s in strategy]
     return alpha * k + float(service.weights[rows].min(axis=0).sum())
+
+
+def peer_cost(
+    distance_matrix: np.ndarray,
+    profile: StrategyProfile,
+    peer: int,
+    alpha: float,
+    backend: str = "auto",
+) -> float:
+    """Individual cost ``c_i(s)`` of one peer via its service-cost matrix.
+
+    Shared by :meth:`repro.core.game.TopologyGame.cost` and the cached
+    evaluator path so the two never diverge.
+    """
+    service = compute_service_costs(distance_matrix, profile, peer, backend)
+    return strategy_cost(service, sorted(profile.strategy(peer)), alpha)
 
 
 # ----------------------------------------------------------------------
@@ -362,11 +417,29 @@ def best_response(
     (tie-breaking favors the status quo, so dynamics cannot churn on
     cost-neutral moves).
     """
+    service = compute_service_costs(distance_matrix, profile, peer, backend)
+    return best_response_from_service(
+        service, profile.strategy(peer), alpha, method
+    )
+
+
+def best_response_from_service(
+    service: ServiceCosts,
+    current_strategy: Sequence[int],
+    alpha: float,
+    method: str = "exact",
+) -> BestResponseResult:
+    """Best (or heuristic) response given a precomputed service matrix.
+
+    This is the solver core of :func:`best_response`; the caching
+    :class:`~repro.core.evaluator.GameEvaluator` calls it directly so a
+    warm ``W`` matrix is never recomputed.
+    """
     if method not in _METHODS:
         raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
-    service = compute_service_costs(distance_matrix, profile, peer, backend)
-    current = sorted(profile.strategy(peer))
+    current = sorted(current_strategy)
     current_cost = strategy_cost(service, current, alpha)
+    peer = service.peer
 
     if service.num_candidates == 0:
         return BestResponseResult(
@@ -414,7 +487,19 @@ def find_improving_deviation(
     response).
     """
     service = compute_service_costs(distance_matrix, profile, peer, backend)
-    current = sorted(profile.strategy(peer))
+    return improving_deviation_from_service(
+        service, profile.strategy(peer), alpha
+    )
+
+
+def improving_deviation_from_service(
+    service: ServiceCosts,
+    current_strategy: Sequence[int],
+    alpha: float,
+) -> Optional[BestResponseResult]:
+    """Improving-deviation search given a precomputed service matrix."""
+    peer = service.peer
+    current = sorted(current_strategy)
     current_cost = strategy_cost(service, current, alpha)
     if service.num_candidates == 0:
         return None

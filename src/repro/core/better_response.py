@@ -22,12 +22,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.dynamics import CycleInfo, RoundRobinScheduler
+from repro.core.evaluator import GameEvaluator
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
+from repro.graphs.shortest_paths import single_source_distances
 
 __all__ = [
     "flip_candidates",
     "find_improving_flip",
+    "find_improving_flip_naive",
     "is_flip_stable",
     "BetterResponseResult",
     "BetterResponseDynamics",
@@ -68,9 +71,12 @@ def _peer_cost_key(
     (``inf < inf`` is false, so a flip that connects one more peer would
     never look improving from a disconnected start); the key makes
     "reach more peers" dominate any finite saving.
-    """
-    from repro.graphs.shortest_paths import single_source_distances
 
+    Coincident peers follow the cost-model convention of
+    :func:`repro.core.costs.stretch_matrix`: a target at direct distance 0
+    counts as stretch 1 when the overlay reaches it at distance 0 and as
+    unreachable otherwise.
+    """
     overlay = game.overlay(profile)
     dist = single_source_distances(overlay, peer)
     dmat = game.distance_matrix
@@ -79,22 +85,43 @@ def _peer_cost_key(
     for j in range(game.n):
         if j == peer:
             continue
-        if dist[j] == float("inf"):
+        direct = dmat[peer, j]
+        if dist[j] == float("inf") or (direct == 0 and dist[j] > 0):
             unreachable += 1
         else:
-            direct = dmat[peer, j]
             finite += (dist[j] / direct) if direct > 0 else 1.0
     return unreachable, finite
 
 
 def find_improving_flip(
-    game: TopologyGame, profile: StrategyProfile, peer: int
+    game: TopologyGame,
+    profile: StrategyProfile,
+    peer: int,
+    evaluator: Optional[GameEvaluator] = None,
 ) -> Optional[Tuple[StrategyProfile, float]]:
     """The best single-link flip of ``peer``, or None when none improves.
 
     Returns ``(new profile, gain)`` for the largest-gain flip; when the
     flip newly connects previously unreachable targets the reported gain
-    is ``inf`` (see :func:`_peer_cost_key` for the ordering).
+    is ``inf``.  All O(n^2) candidates are scored from one service-cost
+    matrix (no per-candidate shortest-path runs); pass ``evaluator`` to
+    reuse a warm cache, otherwise the game's shared evaluator is used.
+    See :func:`find_improving_flip_naive` for the reference
+    implementation.
+    """
+    if evaluator is None:
+        evaluator = game.evaluator
+    return evaluator.set_profile(profile).find_improving_flip(peer)
+
+
+def find_improving_flip_naive(
+    game: TopologyGame, profile: StrategyProfile, peer: int
+) -> Optional[Tuple[StrategyProfile, float]]:
+    """Reference implementation of :func:`find_improving_flip`.
+
+    Runs one single-source Dijkstra per candidate flip (O(n^3 log n) per
+    activation) and exists to validate the vectorized evaluator path in
+    tests and benchmarks.
     """
     current_key = _peer_cost_key(game, profile, peer)
     tolerance = _RELATIVE_TOLERANCE * max(1.0, abs(current_key[1]))
@@ -116,15 +143,21 @@ def find_improving_flip(
     return best
 
 
-def is_flip_stable(game: TopologyGame, profile: StrategyProfile) -> bool:
+def is_flip_stable(
+    game: TopologyGame,
+    profile: StrategyProfile,
+    evaluator: Optional[GameEvaluator] = None,
+) -> bool:
     """True when no peer has an improving single-link flip.
 
     Weaker than Nash: multi-link rewires are not considered.  Every Nash
     equilibrium is flip-stable but not vice versa.
     """
+    if evaluator is None:
+        evaluator = game.evaluator
+    evaluator.set_profile(profile)
     return all(
-        find_improving_flip(game, profile, peer) is None
-        for peer in range(game.n)
+        evaluator.find_improving_flip(peer) is None for peer in range(game.n)
     )
 
 
@@ -150,13 +183,27 @@ class BetterResponseDynamics:
     activated peer applies its largest-gain improving flip, if any.
     Stops at a flip-stable profile, on a detected state cycle
     (deterministic schedulers), or at the round limit.
+
+    By default every activation is scored from one cached service-cost
+    matrix through a shared :class:`~repro.core.evaluator.GameEvaluator`
+    (warm across the whole run).  Pass ``evaluator`` to share a cache
+    with other components, or ``incremental=False`` to force the naive
+    per-candidate-Dijkstra reference path (validation/benchmarks only).
     """
 
-    def __init__(self, game: TopologyGame, scheduler=None) -> None:
+    def __init__(
+        self,
+        game: TopologyGame,
+        scheduler=None,
+        evaluator: Optional[GameEvaluator] = None,
+        incremental: bool = True,
+    ) -> None:
         self._game = game
         self._scheduler = (
             scheduler if scheduler is not None else RoundRobinScheduler()
         )
+        self._incremental = incremental
+        self._evaluator = evaluator
 
     def run(
         self,
@@ -176,6 +223,11 @@ class BetterResponseDynamics:
         detect = detect_cycles and getattr(
             self._scheduler, "deterministic", False
         )
+        evaluator: Optional[GameEvaluator] = None
+        if self._incremental:
+            evaluator = (
+                self._evaluator if self._evaluator is not None else game.evaluator
+            )
         seen: Dict[tuple, int] = {}
         trail: List[Tuple[tuple, int]] = []
         moves = 0
@@ -185,7 +237,12 @@ class BetterResponseDynamics:
         for round_index in range(max_rounds):
             moved = False
             for peer in self._scheduler.order(round_index, game.n):
-                flip = find_improving_flip(game, profile, peer)
+                if evaluator is not None:
+                    flip = evaluator.set_profile(profile).find_improving_flip(
+                        peer
+                    )
+                else:
+                    flip = find_improving_flip_naive(game, profile, peer)
                 if flip is None:
                     continue
                 profile = flip[0]

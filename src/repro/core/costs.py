@@ -28,9 +28,12 @@ from repro.graphs.shortest_paths import all_pairs_distances
 
 __all__ = [
     "CostBreakdown",
+    "stretch_from_distances",
     "stretch_matrix",
     "individual_costs",
+    "individual_costs_from_stretch",
     "social_cost",
+    "social_cost_from_stretch",
 ]
 
 
@@ -61,6 +64,33 @@ class CostBreakdown:
         )
 
 
+def stretch_from_distances(
+    distance_matrix: np.ndarray, overlay_distances: np.ndarray
+) -> np.ndarray:
+    """Pairwise stretch from a precomputed overlay distance matrix.
+
+    This is the normalization core shared by :func:`stretch_matrix` and
+    the caching :class:`~repro.core.evaluator.GameEvaluator` (which
+    maintains overlay distances incrementally and must not re-run the
+    all-pairs computation).
+    """
+    n = distance_matrix.shape[0]
+    if overlay_distances.shape != (n, n):
+        raise ValueError(
+            f"overlay distance shape {overlay_distances.shape} does not "
+            f"match metric distance shape {distance_matrix.shape}"
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stretch = overlay_distances / distance_matrix
+    zero_direct = (distance_matrix == 0) & ~np.eye(n, dtype=bool)
+    if zero_direct.any():
+        zero_overlay = overlay_distances == 0
+        stretch[zero_direct & zero_overlay] = 1.0
+        stretch[zero_direct & ~zero_overlay] = math.inf
+    np.fill_diagonal(stretch, 0.0)
+    return stretch
+
+
 def stretch_matrix(
     distance_matrix: np.ndarray, overlay: WeightedDigraph
 ) -> np.ndarray:
@@ -77,16 +107,25 @@ def stretch_matrix(
             f"distance matrix shape {distance_matrix.shape} does not match "
             f"overlay with {n} nodes"
         )
-    overlay_dist = all_pairs_distances(overlay)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        stretch = overlay_dist / distance_matrix
-    zero_direct = (distance_matrix == 0) & ~np.eye(n, dtype=bool)
-    if zero_direct.any():
-        zero_overlay = overlay_dist == 0
-        stretch[zero_direct & zero_overlay] = 1.0
-        stretch[zero_direct & ~zero_overlay] = math.inf
-    np.fill_diagonal(stretch, 0.0)
-    return stretch
+    return stretch_from_distances(distance_matrix, all_pairs_distances(overlay))
+
+
+def individual_costs_from_stretch(
+    stretch: np.ndarray, profile: StrategyProfile, alpha: float
+) -> np.ndarray:
+    """Vector of individual costs given a precomputed stretch matrix."""
+    degrees = np.array([profile.out_degree(i) for i in range(profile.n)])
+    return alpha * degrees + stretch.sum(axis=1)
+
+
+def social_cost_from_stretch(
+    stretch: np.ndarray, profile: StrategyProfile, alpha: float
+) -> CostBreakdown:
+    """Social cost breakdown given a precomputed stretch matrix."""
+    return CostBreakdown(
+        link_cost=alpha * profile.num_links,
+        stretch_cost=float(stretch.sum()),
+    )
 
 
 def individual_costs(
@@ -97,8 +136,7 @@ def individual_costs(
     """Vector of individual costs ``c_i(s)`` for every peer."""
     overlay = overlay_from_matrix(distance_matrix, profile)
     stretch = stretch_matrix(distance_matrix, overlay)
-    degrees = np.array([profile.out_degree(i) for i in range(profile.n)])
-    return alpha * degrees + stretch.sum(axis=1)
+    return individual_costs_from_stretch(stretch, profile, alpha)
 
 
 def social_cost(
@@ -109,7 +147,4 @@ def social_cost(
     """Social cost breakdown ``C = alpha |E| + sum stretch``."""
     overlay = overlay_from_matrix(distance_matrix, profile)
     stretch = stretch_matrix(distance_matrix, overlay)
-    return CostBreakdown(
-        link_cost=alpha * profile.num_links,
-        stretch_cost=float(stretch.sum()),
-    )
+    return social_cost_from_stretch(stretch, profile, alpha)

@@ -17,10 +17,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.best_response import best_response as _uncached_best_response
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.evaluator import GameEvaluator
 
 __all__ = [
     "RoundRobinScheduler",
@@ -154,8 +158,16 @@ class BestResponseDynamics:
     record_moves:
         Keep a log of every strategy change (bounded by ``max_move_log``).
     record_costs:
-        Record the social cost after every round (adds one all-pairs
-        computation per round).
+        Record the social cost after every round (served from the shared
+        evaluator's warm stretch cache).
+    evaluator:
+        A :class:`~repro.core.evaluator.GameEvaluator` to share across the
+        run (default: the game's shared evaluator).  Each activation then
+        reuses cached service-cost matrices and overlay distances that
+        survive the single-peer strategy changes the dynamics produce.
+    incremental:
+        Set False to bypass the evaluator entirely and recompute every
+        response from scratch (reference path for validation/benchmarks).
     """
 
     def __init__(
@@ -166,6 +178,8 @@ class BestResponseDynamics:
         record_moves: bool = True,
         record_costs: bool = False,
         max_move_log: int = 100_000,
+        evaluator: Optional["GameEvaluator"] = None,
+        incremental: bool = True,
     ) -> None:
         self._game = game
         self._method = method
@@ -173,6 +187,8 @@ class BestResponseDynamics:
         self._record_moves = record_moves
         self._record_costs = record_costs
         self._max_move_log = max_move_log
+        self._evaluator = evaluator
+        self._incremental = incremental
 
     def run(
         self,
@@ -193,6 +209,11 @@ class BestResponseDynamics:
                 f"initial profile has {profile.n} peers, game has {game.n}"
             )
         detect = detect_cycles and getattr(self._scheduler, "deterministic", False)
+        evaluator: Optional["GameEvaluator"] = None
+        if self._incremental:
+            evaluator = (
+                self._evaluator if self._evaluator is not None else game.evaluator
+            )
         seen: Dict[tuple, int] = {}
         trail: List[tuple] = []
         moves: List[MoveRecord] = []
@@ -209,7 +230,18 @@ class BestResponseDynamics:
                 if max_steps is not None and steps >= max_steps:
                     stopped_reason = "max_steps"
                     break
-                response = game.best_response(profile, peer, self._method)
+                if evaluator is not None:
+                    response = evaluator.set_profile(profile).best_response(
+                        peer, self._method
+                    )
+                else:
+                    response = _uncached_best_response(
+                        game.distance_matrix,
+                        profile,
+                        peer,
+                        game.alpha,
+                        self._method,
+                    )
                 steps += 1
                 if response.improved:
                     num_moves += 1
@@ -249,7 +281,12 @@ class BestResponseDynamics:
             else:
                 rounds += 1
                 if self._record_costs:
-                    cost_trace.append(game.social_cost(profile).total)
+                    if evaluator is not None:
+                        cost_trace.append(
+                            evaluator.set_profile(profile).social_cost().total
+                        )
+                    else:
+                        cost_trace.append(game.social_cost(profile).total)
                 if not moved_this_round:
                     stopped_reason = "converged"
                     break

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro.core.best_response import BestResponseResult
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.evaluator import GameEvaluator
 
 __all__ = [
     "NashCertificate",
@@ -58,6 +61,7 @@ def verify_nash(
     profile: StrategyProfile,
     first_only: bool = True,
     peers: Optional[Sequence[int]] = None,
+    evaluator: Optional["GameEvaluator"] = None,
 ) -> NashCertificate:
     """Exactly verify whether ``profile`` is a pure Nash equilibrium.
 
@@ -75,12 +79,19 @@ def verify_nash(
         Restrict the check to these peers (default: all).  Restricting is
         useful for cluster-symmetric instances where a representative per
         equivalence class suffices.
+    evaluator:
+        Evaluator whose warm caches to use (default: the game's shared
+        one).  All per-peer checks then share one overlay build and any
+        still-valid service-cost matrices.
     """
     deviations: List[BestResponseResult] = []
     to_check = list(range(game.n)) if peers is None else list(peers)
+    if evaluator is None:
+        evaluator = game.evaluator
+    evaluator.set_profile(profile)
     checked = 0
     for peer in to_check:
-        deviation = game.find_improving_deviation(profile, peer)
+        deviation = evaluator.find_improving_deviation(peer)
         checked += 1
         if deviation is not None:
             deviations.append(deviation)

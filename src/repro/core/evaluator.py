@@ -1,0 +1,561 @@
+"""Shared incremental evaluation layer for the topology game.
+
+Every strategic question this library asks — individual and social costs,
+Nash verification, best responses, and the O(n^2) single-link flips of
+better-response dynamics — is a function of two expensive artifacts:
+
+* the all-pairs distance matrix of the overlay ``G[s]``, and
+* per-peer *service-cost* matrices ``W_i`` (see
+  :mod:`repro.core.best_response`), where ``W_i[u, j]`` prices reaching
+  target ``j`` through first hop ``u`` in ``H_i = G[s]`` minus ``i``'s
+  out-edges.
+
+Historically each layer recomputed these from scratch: ``social_cost``
+rebuilt the overlay and reran all-pairs Dijkstra, and
+``find_improving_flip`` ran one Dijkstra *per candidate flip* —
+O(n^3 log n) work per activation.  :class:`GameEvaluator` memoizes both
+artifacts against a bound :class:`~repro.core.profile.StrategyProfile`
+and keeps them warm across an entire dynamics run.
+
+Caching / invalidation contract
+-------------------------------
+
+The evaluator is bound to one profile at a time via :meth:`set_profile`.
+Queries (:meth:`social_cost`, :meth:`peer_costs`, :meth:`service_costs`,
+:meth:`best_response`, :meth:`find_improving_flip`, ...) are pure with
+respect to the bound profile and populate caches lazily.
+
+When ``set_profile`` receives a profile that differs from the bound one
+in **exactly one** peer's strategy (the shape every dynamics step
+produces), invalidation is incremental and exploits two structural facts:
+
+1. Changing peer ``p``'s out-edges cannot change any distance *from* a
+   node ``u`` that cannot reach ``p``: a path from ``u`` visits ``p``
+   only if ``u`` reaches ``p``, and reachability *to* ``p`` is itself
+   independent of ``p``'s out-edges.  So only rows of the overlay
+   distance matrix (and of cached ``W_i``) whose source reaches ``p``
+   are dirtied; all other rows are reused verbatim.  Dirty rows are
+   recomputed lazily by a multi-source Dijkstra over just those sources,
+   which is bitwise identical to a full recompute because per-source
+   runs are independent.
+2. ``W_p`` is built on ``H_p = G[s]`` minus ``p``'s own out-edges, so it
+   is *entirely unaffected* by ``p`` changing strategy and survives the
+   move untouched.  This is why a whole better-response activation needs
+   at most one fresh multi-source Dijkstra.
+
+Any other rebind (multi-peer diff, different ``n``) resets all caches.
+Mutating a profile object is impossible (profiles are immutable).  Cached
+service matrices are handed out with their ``weights`` arrays marked
+read-only (they are live cache entries, repaired in place on rebinds);
+:attr:`overlay` is the one mutable object exposed and callers must treat
+it as read-only.
+
+The batch flip API (:meth:`find_improving_flip`) scores every drop, add
+and swap of a peer from its single ``W`` matrix with numpy reductions —
+no per-candidate shortest-path work at all — turning better-response
+activation from O(n^3 log n) into O(n^2)-ish amortized work.
+
+Equivalence with the naive paths: candidate enumeration order and
+tie-breaking mirror the reference implementations, and the two agree
+exactly whenever no two candidates are *mathematically* tied.  The
+cached and naive paths accumulate floating-point sums in different
+orders (``min_u (d(i,u) + d_H(u,j))`` versus a single Dijkstra over
+``G``), so on degenerate instances with exactly tied candidates — e.g.
+coincident peers — the two may break the tie differently.  Both picks
+are then optimal and of equal cost, but dynamics trajectories can
+diverge; the trajectory-identity guarantee holds for instances without
+such ties (random Euclidean/ring instances in particular).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.best_response import (
+    BestResponseResult,
+    ServiceCosts,
+    best_response_from_service,
+    improving_deviation_from_service,
+    service_cost_rows,
+    service_costs_from_overlay,
+    strategy_cost,
+)
+from repro.core.costs import (
+    CostBreakdown,
+    individual_costs_from_stretch,
+    social_cost_from_stretch,
+    stretch_from_distances,
+)
+from repro.core.profile import StrategyProfile
+from repro.core.topology import overlay_from_matrix
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.shortest_paths import multi_source_distances
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.game import TopologyGame
+
+__all__ = ["EvaluatorStats", "GameEvaluator"]
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass
+class EvaluatorStats:
+    """Counters describing how much work the caches saved.
+
+    ``service_rows_reused`` counts candidate rows served from cache when a
+    service matrix was revalidated; ``service_rows_recomputed`` counts the
+    rows that actually went back through Dijkstra.
+    """
+
+    full_resets: int = 0
+    incremental_rebinds: int = 0
+    service_full_builds: int = 0
+    service_cache_hits: int = 0
+    service_rows_recomputed: int = 0
+    service_rows_reused: int = 0
+    distance_full_builds: int = 0
+    distance_rows_recomputed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _ServiceEntry:
+    service: ServiceCosts
+    dirty: Set[int] = field(default_factory=set)
+
+
+class GameEvaluator:
+    """Memoizing evaluator bound to one game and one profile at a time.
+
+    Parameters
+    ----------
+    game:
+        The :class:`~repro.core.game.TopologyGame` to evaluate.
+    profile:
+        Optional initial profile to bind (default: bind lazily on first
+        :meth:`set_profile`).
+    backend:
+        Shortest-path backend forwarded to the Dijkstra layer.
+    max_cached_services:
+        Upper bound on the number of per-peer service matrices kept warm
+        (each is an ``(n-1) x n`` float matrix).  Oldest entries are
+        evicted first.
+    """
+
+    def __init__(
+        self,
+        game: "TopologyGame",
+        profile: Optional[StrategyProfile] = None,
+        backend: str = "auto",
+        max_cached_services: int = 512,
+    ) -> None:
+        self._game = game
+        self._dmat = game.distance_matrix
+        self._alpha = game.alpha
+        self._n = game.n
+        self._backend = backend
+        self._max_cached = max(1, int(max_cached_services))
+        self._profile: Optional[StrategyProfile] = None
+        self._overlay: Optional[WeightedDigraph] = None
+        self._dist: Optional[np.ndarray] = None
+        self._dist_dirty: Set[int] = set()
+        self._stretch: Optional[np.ndarray] = None
+        self._service: Dict[int, _ServiceEntry] = {}
+        self.stats = EvaluatorStats()
+        if profile is not None:
+            self.set_profile(profile)
+
+    # ------------------------------------------------------------------
+    # Binding and invalidation
+    # ------------------------------------------------------------------
+    @property
+    def game(self) -> "TopologyGame":
+        return self._game
+
+    @property
+    def profile(self) -> StrategyProfile:
+        """The currently bound profile (raises if none is bound)."""
+        if self._profile is None:
+            raise RuntimeError("no profile bound; call set_profile() first")
+        return self._profile
+
+    @property
+    def overlay(self) -> WeightedDigraph:
+        """The overlay ``G[s]`` of the bound profile.  Treat as read-only."""
+        if self._overlay is None:
+            self._overlay = overlay_from_matrix(self._dmat, self.profile)
+        return self._overlay
+
+    def set_profile(self, profile: StrategyProfile) -> "GameEvaluator":
+        """Bind ``profile``, invalidating incrementally when possible.
+
+        Returns ``self`` so calls can be chained into queries.
+        """
+        if profile.n != self._n:
+            raise ValueError(
+                f"profile has {profile.n} peers but game has {self._n}"
+            )
+        old = self._profile
+        if old is None:
+            self._reset(profile)
+            return self
+        if profile is old:
+            return self
+        changed = [
+            i
+            for i in range(self._n)
+            if profile.strategy(i) != old.strategy(i)
+        ]
+        if not changed:
+            self._profile = profile
+            return self
+        if len(changed) == 1:
+            self._rebind_single(changed[0], profile)
+        else:
+            self._reset(profile)
+        return self
+
+    def invalidate(self) -> None:
+        """Drop every cache (the bound profile, if any, is kept)."""
+        if self._profile is not None:
+            self._reset(self._profile)
+            self.stats.full_resets -= 1  # reset() counts; manual call is free
+
+    def _reset(self, profile: StrategyProfile) -> None:
+        self._profile = profile
+        self._overlay = None
+        self._dist = None
+        self._dist_dirty = set()
+        self._stretch = None
+        self._service = {}
+        self.stats.full_resets += 1
+
+    def _rebind_single(self, peer: int, profile: StrategyProfile) -> None:
+        """Incremental rebind after ``peer`` alone changed strategy."""
+        overlay = self.overlay  # materialized against the *old* profile
+        # Sources whose rows may change = nodes that reach `peer`.  Edges
+        # into `peer` are identical in the old and new overlay, so the
+        # reverse reachability computed here is valid for both.
+        affected = self._reverse_reachable(overlay, peer)
+        # Splice the overlay in place: only `peer`'s out-edges differ.
+        overlay.remove_out_edges(peer)
+        for j in profile.strategy(peer):
+            overlay.add_edge(peer, j, float(self._dmat[peer, j]))
+        if self._dist is not None:
+            self._dist_dirty |= affected
+        self._stretch = None
+        for i, entry in self._service.items():
+            if i == peer:
+                continue  # H_peer excludes peer's out-edges: fully valid.
+            entry.dirty |= affected - {i}
+        self._profile = profile
+        self.stats.incremental_rebinds += 1
+
+    @staticmethod
+    def _reverse_reachable(overlay: WeightedDigraph, target: int) -> Set[int]:
+        """All nodes with a path *to* ``target`` (including ``target``)."""
+        n = overlay.num_nodes
+        preds: List[List[int]] = [[] for _ in range(n)]
+        for u, v, _w in overlay.edges():
+            preds[v].append(u)
+        seen = {target}
+        frontier = [target]
+        while frontier:
+            node = frontier.pop()
+            for u in preds[node]:
+                if u not in seen:
+                    seen.add(u)
+                    frontier.append(u)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Distances, stretches, costs
+    # ------------------------------------------------------------------
+    def overlay_distances(self) -> np.ndarray:
+        """All-pairs overlay distance matrix (cached, row-incremental)."""
+        if self._dist is None:
+            self._dist = multi_source_distances(
+                self.overlay, list(range(self._n)), backend=self._backend
+            )
+            self._dist_dirty = set()
+            self.stats.distance_full_builds += 1
+        elif self._dist_dirty:
+            rows = sorted(self._dist_dirty)
+            fresh = multi_source_distances(
+                self.overlay, rows, backend=self._backend
+            )
+            self._dist[rows] = fresh
+            self.stats.distance_rows_recomputed += len(rows)
+            self._dist_dirty = set()
+            self._stretch = None
+        return self._dist
+
+    def stretches(self) -> np.ndarray:
+        """Pairwise stretch matrix of the bound profile (cached)."""
+        if self._stretch is None or self._dist_dirty:
+            self._stretch = stretch_from_distances(
+                self._dmat, self.overlay_distances()
+            )
+        return self._stretch
+
+    def social_cost(self) -> CostBreakdown:
+        """Social cost ``C(G[s])`` of the bound profile."""
+        return social_cost_from_stretch(
+            self.stretches(), self.profile, self._alpha
+        )
+
+    def peer_costs(self) -> np.ndarray:
+        """Vector of individual costs ``c_i(s)`` for all peers."""
+        return individual_costs_from_stretch(
+            self.stretches(), self.profile, self._alpha
+        )
+
+    def peer_cost(self, peer: int) -> float:
+        """Individual cost of one peer, served from its service matrix."""
+        service = self.service_costs(peer)
+        return strategy_cost(
+            service, sorted(self.profile.strategy(peer)), self._alpha
+        )
+
+    # ------------------------------------------------------------------
+    # Service-cost matrices
+    # ------------------------------------------------------------------
+    def service_costs(self, peer: int) -> ServiceCosts:
+        """The service-cost matrix ``W`` of ``peer`` (cached, row-repaired).
+
+        The returned object is the *live* cache entry: its ``weights``
+        array is marked read-only (mutating it would poison every query
+        routed through this evaluator) and may be repaired in place by a
+        later :meth:`set_profile`.  Copy it if you need a snapshot.
+        """
+        if not 0 <= peer < self._n:
+            raise IndexError(f"peer {peer} out of range [0, {self._n})")
+        entry = self._service.get(peer)
+        if entry is None:
+            service = service_costs_from_overlay(
+                self._dmat, self.overlay, peer, self._backend
+            )
+            service.weights.setflags(write=False)
+            self._service[peer] = _ServiceEntry(service)
+            self.stats.service_full_builds += 1
+            self._evict_services()
+            return service
+        if entry.dirty:
+            self._repair_service(peer, entry)
+        else:
+            self.stats.service_cache_hits += 1
+        return entry.service
+
+    def _repair_service(self, peer: int, entry: _ServiceEntry) -> None:
+        service = entry.service
+        row_of = {c: k for k, c in enumerate(service.candidates)}
+        sources = sorted(c for c in entry.dirty if c in row_of)
+        entry.dirty = set()
+        if not sources:
+            self.stats.service_cache_hits += 1
+            return
+        stripped = self.overlay.copy_without_out_edges(peer)
+        fresh = service_cost_rows(
+            self._dmat, stripped, peer, sources, self._backend
+        )
+        rows = [row_of[c] for c in sources]
+        service.weights.setflags(write=True)
+        service.weights[rows] = fresh
+        service.weights.setflags(write=False)
+        self.stats.service_rows_recomputed += len(rows)
+        self.stats.service_rows_reused += service.num_candidates - len(rows)
+
+    def _evict_services(self) -> None:
+        while len(self._service) > self._max_cached:
+            oldest = next(iter(self._service))
+            del self._service[oldest]
+
+    # ------------------------------------------------------------------
+    # Strategic queries
+    # ------------------------------------------------------------------
+    def best_response(
+        self, peer: int, method: str = "exact"
+    ) -> BestResponseResult:
+        """Best (or heuristic) response of ``peer`` from the cached ``W``."""
+        service = self.service_costs(peer)
+        return best_response_from_service(
+            service, self.profile.strategy(peer), self._alpha, method
+        )
+
+    def find_improving_deviation(
+        self, peer: int
+    ) -> Optional[BestResponseResult]:
+        """Some strictly improving deviation of ``peer``, or None (exact)."""
+        service = self.service_costs(peer)
+        return improving_deviation_from_service(
+            service, self.profile.strategy(peer), self._alpha
+        )
+
+    def peer_cost_key(self, peer: int) -> Tuple[int, float]:
+        """Lexicographic cost key ``(unreachable targets, finite part)``.
+
+        Matches the ordering used by better-response dynamics: reaching
+        more peers dominates any finite saving (plain float comparison is
+        useless through the infinite-cost regime).
+        """
+        service = self.service_costs(peer)
+        strategy = self.profile.strategy(peer)
+        minima = self._strategy_minima(service, strategy)
+        return self._key_of(minima, len(strategy))
+
+    def _strategy_minima(
+        self, service: ServiceCosts, strategy
+    ) -> np.ndarray:
+        if len(strategy) == 0 or service.num_candidates == 0:
+            minima = np.full(self._n, math.inf)
+            minima[service.peer] = 0.0
+            return minima
+        row_of = {c: k for k, c in enumerate(service.candidates)}
+        rows = [row_of[s] for s in strategy]
+        return service.weights[rows].min(axis=0)
+
+    def _key_of(self, minima: np.ndarray, size: int) -> Tuple[int, float]:
+        infinite = np.isinf(minima)
+        finite_sum = float(np.where(infinite, 0.0, minima).sum())
+        return int(infinite.sum()), self._alpha * size + finite_sum
+
+    # ------------------------------------------------------------------
+    # Batch flip evaluation
+    # ------------------------------------------------------------------
+    def find_improving_flip(
+        self, peer: int
+    ) -> Optional[Tuple[StrategyProfile, float]]:
+        """Best single-link flip of ``peer`` scored from one ``W`` matrix.
+
+        Vectorized replacement for the naive per-candidate-Dijkstra path
+        (:func:`repro.core.better_response.find_improving_flip_naive`):
+        drops use a columnwise top-2 reduction over the current strategy's
+        rows, adds/swaps a single ``np.minimum`` against the cached rows.
+        Candidate enumeration order and tie-breaking mirror the naive
+        implementation, so trajectories are preserved on instances
+        without mathematically tied candidates (see the module docstring
+        for the degenerate-tie caveat).
+        """
+        profile = self.profile
+        service = self.service_costs(peer)
+        if service.num_candidates == 0:
+            return None
+        weights = service.weights
+        alpha = self._alpha
+        n = self._n
+        current = profile.strategy(peer)
+        row_of = {c: k for k, c in enumerate(service.candidates)}
+        # Candidate enumeration mirrors flip_candidates(): drops in the
+        # strategy's iteration order, adds in ascending peer order, swaps
+        # as (old in strategy order) x (new in ascending order).
+        members = list(current)
+        adds = [
+            j for j in range(n) if j != peer and j not in current
+        ]
+        member_rows = [row_of[j] for j in members]
+        add_rows = [row_of[j] for j in adds]
+
+        empty_minima = np.full(n, math.inf)
+        empty_minima[peer] = 0.0
+        if member_rows:
+            chosen = weights[member_rows]
+            cur_min = chosen.min(axis=0)
+        else:
+            chosen = None
+            cur_min = empty_minima
+        current_key = self._key_of(cur_min, len(members))
+
+        # minima over the strategy minus each single member (top-2 trick).
+        if chosen is None:
+            drop_minima = np.zeros((0, n))
+        elif len(member_rows) == 1:
+            drop_minima = empty_minima[None, :]
+        else:
+            part = np.partition(chosen, 1, axis=0)
+            second = part[1]
+            argmin = chosen.argmin(axis=0)
+            drop_minima = np.where(
+                argmin[None, :] == np.arange(len(member_rows))[:, None],
+                second[None, :],
+                cur_min[None, :],
+            )
+
+        blocks: List[np.ndarray] = []
+        sizes: List[int] = []
+        if member_rows:
+            blocks.append(drop_minima)
+            sizes.extend([len(members) - 1] * len(members))
+        if add_rows:
+            blocks.append(np.minimum(cur_min[None, :], weights[add_rows]))
+            sizes.extend([len(members) + 1] * len(adds))
+        if member_rows and add_rows:
+            add_block = weights[add_rows]
+            for t in range(len(members)):
+                blocks.append(np.minimum(drop_minima[t][None, :], add_block))
+                sizes.extend([len(members)] * len(adds))
+        if not blocks:
+            return None
+        stacked = np.vstack(blocks)
+        infinite = np.isinf(stacked)
+        unreachable = infinite.sum(axis=1)
+        finite = np.where(infinite, 0.0, stacked).sum(axis=1)
+        finite += alpha * np.asarray(sizes, dtype=float)
+
+        cur_u, cur_f = current_key
+        tolerance = _RELATIVE_TOLERANCE * max(1.0, abs(cur_f))
+        best_index = -1
+        best_key: Optional[Tuple[int, float]] = None
+        u_list = unreachable.tolist()
+        f_list = finite.tolist()
+        for index, (u, f) in enumerate(zip(u_list, f_list)):
+            if u > cur_u:
+                continue
+            if u == cur_u and f >= cur_f - tolerance:
+                continue
+            key = (u, f)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        if best_index < 0:
+            return None
+        strategy = self._flip_strategy(current, members, adds, best_index)
+        gain = (
+            math.inf if best_key[0] < cur_u else cur_f - best_key[1]
+        )
+        return profile.with_strategy(peer, strategy), gain
+
+    @staticmethod
+    def _flip_strategy(current, members, adds, index):
+        """Reconstruct the flip at ``index`` of the enumeration order.
+
+        Strategy sets are built with the same set operations as
+        ``flip_candidates`` so the resulting frozensets iterate in the
+        same order (cycle-detection keys and later flip enumerations then
+        match the naive path bit for bit).
+        """
+        m, a = len(members), len(adds)
+        if index < m:
+            return current - {members[index]}
+        index -= m
+        if index < a:
+            return current | {adds[index]}
+        index -= a
+        old = members[index // a]
+        new = adds[index % a]
+        return (current - {old}) | {new}
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = self._profile is not None
+        return (
+            f"GameEvaluator(n={self._n}, alpha={self._alpha}, "
+            f"bound={bound}, cached_services={len(self._service)})"
+        )

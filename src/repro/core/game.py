@@ -7,21 +7,19 @@ social costs, stretch matrices, best responses, and Nash verification.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core import best_response as br
-from repro.core.costs import (
-    CostBreakdown,
-    individual_costs,
-    social_cost,
-    stretch_matrix,
-)
+from repro.core.costs import CostBreakdown
 from repro.core.profile import StrategyProfile
 from repro.core.topology import build_overlay
 from repro.graphs.digraph import WeightedDigraph
 from repro.metrics.base import MetricSpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.evaluator import GameEvaluator
 
 __all__ = ["TopologyGame"]
 
@@ -54,6 +52,7 @@ class TopologyGame:
         self._metric = metric
         self._alpha = float(alpha)
         self._dmat = metric.distance_matrix()
+        self._evaluator: Optional["GameEvaluator"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -81,33 +80,65 @@ class TopologyGame:
         return TopologyGame(self._metric, alpha)
 
     # ------------------------------------------------------------------
+    # Evaluation layer
+    # ------------------------------------------------------------------
+    @property
+    def evaluator(self) -> "GameEvaluator":
+        """The game's shared incremental evaluator (lazily created).
+
+        Every cost and best-response query on this game routes through
+        this evaluator, so a whole dynamics run — any code path that
+        changes one peer's strategy at a time — reuses warm overlay
+        distances and service-cost matrices automatically.
+
+        Sharing a cache makes these queries *stateful*: results are
+        unchanged, but concurrent queries on one game (threads, or two
+        interleaved dynamics runs that want isolated caches) must each
+        use their own :meth:`make_evaluator` instead — the shared
+        evaluator rebinds and repairs its caches in place and is not
+        thread-safe.
+        """
+        if self._evaluator is None:
+            from repro.core.evaluator import GameEvaluator
+
+            self._evaluator = GameEvaluator(self)
+        return self._evaluator
+
+    def make_evaluator(
+        self, profile: Optional[StrategyProfile] = None
+    ) -> "GameEvaluator":
+        """A fresh, independent evaluator (isolated cache)."""
+        from repro.core.evaluator import GameEvaluator
+
+        return GameEvaluator(self, profile)
+
+    # ------------------------------------------------------------------
     # Topologies and costs
     # ------------------------------------------------------------------
     def overlay(self, profile: StrategyProfile) -> WeightedDigraph:
-        """The overlay graph ``G[s]`` induced by ``profile``."""
+        """The overlay graph ``G[s]`` induced by ``profile`` (fresh copy)."""
         return build_overlay(self._metric, profile)
 
     def stretches(self, profile: StrategyProfile) -> np.ndarray:
         """Pairwise stretch matrix of the overlay (``inf`` if unreachable)."""
-        return stretch_matrix(self._dmat, self.overlay(profile))
+        self._check_profile(profile)
+        # Copy: callers historically received a fresh array they may mutate.
+        return self.evaluator.set_profile(profile).stretches().copy()
 
     def individual_costs(self, profile: StrategyProfile) -> np.ndarray:
         """Vector of ``c_i(s)`` for all peers."""
         self._check_profile(profile)
-        return individual_costs(self._dmat, profile, self._alpha)
+        return self.evaluator.set_profile(profile).peer_costs()
 
     def cost(self, profile: StrategyProfile, peer: int) -> float:
         """Individual cost ``c_i(s)`` of one peer."""
         self._check_profile(profile)
-        service = br.compute_service_costs(self._dmat, profile, peer)
-        return br.strategy_cost(
-            service, sorted(profile.strategy(peer)), self._alpha
-        )
+        return self.evaluator.set_profile(profile).peer_cost(peer)
 
     def social_cost(self, profile: StrategyProfile) -> CostBreakdown:
         """Social cost ``C(G[s])`` split into link and stretch parts."""
         self._check_profile(profile)
-        return social_cost(self._dmat, profile, self._alpha)
+        return self.evaluator.set_profile(profile).social_cost()
 
     # ------------------------------------------------------------------
     # Strategic reasoning
@@ -117,15 +148,15 @@ class TopologyGame:
     ) -> br.BestResponseResult:
         """Best (or heuristic) response of ``peer`` against ``profile``."""
         self._check_profile(profile)
-        return br.best_response(self._dmat, profile, peer, self._alpha, method)
+        return self.evaluator.set_profile(profile).best_response(peer, method)
 
     def find_improving_deviation(
         self, profile: StrategyProfile, peer: int
     ) -> Optional[br.BestResponseResult]:
         """Some strictly improving deviation of ``peer``, or None (exact)."""
         self._check_profile(profile)
-        return br.find_improving_deviation(
-            self._dmat, profile, peer, self._alpha
+        return self.evaluator.set_profile(profile).find_improving_deviation(
+            peer
         )
 
     # ------------------------------------------------------------------

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.best_response import best_response as _uncached_best_response
 from repro.core.dynamics import (
     BestResponseDynamics,
     CycleInfo,
@@ -32,6 +33,9 @@ from repro.core.dynamics import (
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
 from repro.simulation.observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.evaluator import GameEvaluator
 
 __all__ = ["SimulationReport", "SimulationEngine"]
 
@@ -80,6 +84,14 @@ class SimulationEngine:
         object with an ``order(round_index, n)`` method.
     seed:
         Seed for the ``"random"`` activation policy.
+    evaluator:
+        A :class:`~repro.core.evaluator.GameEvaluator` owned for the
+        whole simulation (default: the game's shared one), so every
+        activation — including the max-gain policy's all-peers sweep —
+        reuses warm service-cost matrices and overlay distances.
+    incremental:
+        Set False to recompute every response from scratch (reference
+        path for validation/benchmarks).
     """
 
     def __init__(
@@ -88,11 +100,42 @@ class SimulationEngine:
         method: str = "exact",
         activation="round-robin",
         seed: Optional[int] = None,
+        evaluator: Optional["GameEvaluator"] = None,
+        incremental: bool = True,
     ) -> None:
         self._game = game
         self._method = method
         self._activation = activation
         self._seed = seed
+        self._incremental = incremental
+        self._evaluator = evaluator
+
+    def _active_evaluator(self) -> Optional["GameEvaluator"]:
+        if not self._incremental:
+            return None
+        if self._evaluator is not None:
+            return self._evaluator
+        return self._game.evaluator
+
+    def _best_response(self, profile: StrategyProfile, peer: int):
+        evaluator = self._active_evaluator()
+        if evaluator is not None:
+            return evaluator.set_profile(profile).best_response(
+                peer, self._method
+            )
+        return _uncached_best_response(
+            self._game.distance_matrix,
+            profile,
+            peer,
+            self._game.alpha,
+            self._method,
+        )
+
+    def _social_cost_total(self, profile: StrategyProfile) -> float:
+        evaluator = self._active_evaluator()
+        if evaluator is not None:
+            return evaluator.set_profile(profile).social_cost().total
+        return self._game.social_cost(profile).total
 
     # ------------------------------------------------------------------
     def run(
@@ -116,6 +159,8 @@ class SimulationEngine:
             method=self._method,
             scheduler=scheduler,
             record_moves=False,
+            evaluator=self._evaluator,
+            incremental=self._incremental,
         )
         result = dynamics.run(
             initial=profile,
@@ -135,7 +180,7 @@ class SimulationEngine:
             rounds=result.rounds_completed,
             moves=result.num_moves,
             cycle=result.cycle,
-            final_cost=self._game.social_cost(result.profile).total,
+            final_cost=self._social_cost_total(result.profile),
         )
 
     # ------------------------------------------------------------------
@@ -172,7 +217,7 @@ class SimulationEngine:
         for round_index in range(max_rounds):
             moved = False
             for peer in scheduler.order(round_index, game.n):
-                response = game.best_response(profile, peer, self._method)
+                response = self._best_response(profile, peer)
                 if response.improved:
                     profile = profile.with_strategy(peer, response.strategy)
                     moved = True
@@ -207,7 +252,7 @@ class SimulationEngine:
             best_peer = -1
             best_response = None
             for peer in range(game.n):
-                response = game.best_response(profile, peer, self._method)
+                response = self._best_response(profile, peer)
                 if response.improved and (
                     best_response is None or response.gain > best_response.gain
                 ):
@@ -246,5 +291,5 @@ class SimulationEngine:
             rounds=rounds,
             moves=moves,
             cycle=cycle,
-            final_cost=game.social_cost(profile).total,
+            final_cost=self._social_cost_total(profile),
         )

@@ -1,0 +1,313 @@
+"""Correctness of the shared incremental evaluation layer.
+
+The :class:`~repro.core.evaluator.GameEvaluator` reimplements every cost
+and strategic query against memoized, incrementally invalidated state.
+These tests pin it to the naive from-scratch paths (``costs.social_cost``,
+``find_improving_flip_naive``, ``best_response`` on a fresh profile) on
+random Euclidean and ring instances, with particular attention to cache
+invalidation after single-peer strategy changes and to the infinite-cost
+regime of disconnected profiles.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.best_response import (
+    best_response as naive_best_response,
+    find_improving_deviation as naive_find_improving_deviation,
+    peer_cost as naive_peer_cost,
+)
+from repro.core.better_response import (
+    BetterResponseDynamics,
+    find_improving_flip,
+    find_improving_flip_naive,
+)
+from repro.core.costs import individual_costs, social_cost
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.evaluator import GameEvaluator
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.ring import RingMetric
+
+from tests.conftest import games_with_profiles
+
+
+def _random_game(seed: int, n: int, alpha: float, kind: str) -> TopologyGame:
+    rng = np.random.default_rng(seed)
+    if kind == "ring":
+        metric = RingMetric(np.sort(rng.uniform(0.0, 1.0, size=n)))
+    else:
+        metric = EuclideanMetric(rng.uniform(0.0, 1.0, size=(n, 2)))
+    return TopologyGame(metric, alpha)
+
+
+class TestCostAgreement:
+    @pytest.mark.parametrize("kind", ["euclidean", "ring"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_costs_match_naive(self, kind, seed):
+        game = _random_game(seed, n=7, alpha=1.5, kind=kind)
+        profile = game.random_profile(0.35, seed=seed)
+        evaluator = GameEvaluator(game, profile)
+        reference = social_cost(game.distance_matrix, profile, game.alpha)
+        got = evaluator.social_cost()
+        assert got.link_cost == reference.link_cost
+        assert got.stretch_cost == reference.stretch_cost
+        ref_vec = individual_costs(game.distance_matrix, profile, game.alpha)
+        np.testing.assert_array_equal(evaluator.peer_costs(), ref_vec)
+
+    @pytest.mark.parametrize("kind", ["euclidean", "ring"])
+    def test_peer_cost_matches_module_helper(self, kind):
+        game = _random_game(11, n=6, alpha=0.7, kind=kind)
+        profile = game.random_profile(0.4, seed=5)
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            assert evaluator.peer_cost(peer) == naive_peer_cost(
+                game.distance_matrix, profile, peer, game.alpha
+            )
+
+    def test_disconnected_profile_infinite_costs(self):
+        game = _random_game(3, n=5, alpha=1.0, kind="euclidean")
+        profile = game.empty_profile()
+        evaluator = GameEvaluator(game, profile)
+        assert math.isinf(evaluator.social_cost().total)
+        assert all(math.isinf(c) for c in evaluator.peer_costs())
+        assert math.isinf(evaluator.peer_cost(0))
+
+    @given(games_with_profiles(min_n=2, max_n=6))
+    @settings(max_examples=25)
+    def test_social_cost_property(self, game_profile):
+        game, profile = game_profile
+        evaluator = GameEvaluator(game, profile)
+        reference = social_cost(game.distance_matrix, profile, game.alpha)
+        got = evaluator.social_cost()
+        if math.isinf(reference.total):
+            assert math.isinf(got.total)
+        else:
+            assert got.total == pytest.approx(reference.total, rel=1e-12)
+
+
+class TestServiceCacheInvalidation:
+    def _walk(self, game, profile, steps, seed):
+        """Random single-peer strategy changes, as dynamics produce them."""
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            peer = int(rng.integers(game.n))
+            targets = [j for j in range(game.n) if j != peer]
+            size = int(rng.integers(0, len(targets) + 1))
+            strategy = frozenset(
+                int(t) for t in rng.choice(targets, size=size, replace=False)
+            )
+            profile = profile.with_strategy(peer, strategy)
+            yield profile
+
+    @pytest.mark.parametrize("kind", ["euclidean", "ring"])
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_incremental_matches_fresh_after_changes(self, kind, seed):
+        game = _random_game(seed, n=6, alpha=1.2, kind=kind)
+        profile = game.random_profile(0.3, seed=seed)
+        warm = GameEvaluator(game, profile)
+        # Warm every cache layer before mutating.
+        warm.social_cost()
+        for peer in range(game.n):
+            warm.service_costs(peer)
+        for step, profile in enumerate(self._walk(game, profile, 12, seed)):
+            warm.set_profile(profile)
+            fresh = GameEvaluator(game, profile)
+            np.testing.assert_array_equal(
+                warm.overlay_distances(), fresh.overlay_distances()
+            )
+            for peer in range(game.n):
+                np.testing.assert_array_equal(
+                    warm.service_costs(peer).weights,
+                    fresh.service_costs(peer).weights,
+                )
+        assert warm.stats.incremental_rebinds > 0
+
+    def test_multi_peer_rebind_resets(self):
+        game = _random_game(2, n=5, alpha=1.0, kind="euclidean")
+        a = game.random_profile(0.4, seed=1)
+        b = game.random_profile(0.4, seed=2)
+        evaluator = GameEvaluator(game, a)
+        evaluator.social_cost()
+        before = evaluator.stats.full_resets
+        evaluator.set_profile(b)
+        assert evaluator.stats.full_resets == before + 1
+        reference = social_cost(game.distance_matrix, b, game.alpha)
+        assert evaluator.social_cost().total == pytest.approx(
+            reference.total
+        )
+
+    def test_own_service_matrix_survives_own_move(self):
+        """W_p is built without p's out-edges, so p's moves keep it valid."""
+        game = _random_game(5, n=6, alpha=1.0, kind="euclidean")
+        profile = game.random_profile(0.5, seed=3)
+        evaluator = GameEvaluator(game, profile)
+        evaluator.service_costs(0)
+        builds_before = evaluator.stats.service_full_builds
+        evaluator.set_profile(profile.with_strategy(0, frozenset({1})))
+        evaluator.service_costs(0)
+        assert evaluator.stats.service_full_builds == builds_before
+        assert evaluator.stats.service_rows_recomputed == 0
+
+
+class TestFlipAgreement:
+    @pytest.mark.parametrize("kind", ["euclidean", "ring"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_naive_on_random_profiles(self, kind, seed):
+        game = _random_game(seed, n=7, alpha=1.0, kind=kind)
+        profile = game.random_profile(0.3, seed=seed)
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            naive = find_improving_flip_naive(game, profile, peer)
+            fast = evaluator.find_improving_flip(peer)
+            if naive is None:
+                assert fast is None
+                continue
+            assert fast is not None
+            assert fast[0] == naive[0]
+            if math.isinf(naive[1]):
+                assert math.isinf(fast[1])
+            else:
+                assert fast[1] == pytest.approx(naive[1], rel=1e-9)
+
+    def test_matches_naive_from_disconnected_start(self):
+        game = _random_game(9, n=6, alpha=0.5, kind="euclidean")
+        profile = game.empty_profile()
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            naive = find_improving_flip_naive(game, profile, peer)
+            fast = evaluator.find_improving_flip(peer)
+            assert (naive is None) == (fast is None)
+            if naive is not None:
+                assert fast[0] == naive[0]
+                assert math.isinf(naive[1]) and math.isinf(fast[1])
+
+    @given(games_with_profiles(min_n=2, max_n=6))
+    @settings(max_examples=25)
+    def test_flip_agreement_property(self, game_profile):
+        game, profile = game_profile
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            naive = find_improving_flip_naive(game, profile, peer)
+            fast = evaluator.find_improving_flip(peer)
+            assert (naive is None) == (fast is None)
+            if naive is not None:
+                assert fast[0] == naive[0]
+
+    def test_module_entry_point_uses_shared_evaluator(self):
+        game = _random_game(4, n=5, alpha=1.0, kind="euclidean")
+        profile = game.empty_profile()
+        flip = find_improving_flip(game, profile, 0)
+        naive = find_improving_flip_naive(game, profile, 0)
+        assert (flip is None) == (naive is None)
+        if flip is not None:
+            assert flip[0] == naive[0]
+        assert game.evaluator.stats.service_full_builds >= 1
+
+
+class TestBestResponseAgreement:
+    @pytest.mark.parametrize("kind", ["euclidean", "ring"])
+    @pytest.mark.parametrize("seed", [1, 4, 8])
+    def test_matches_module_path(self, kind, seed):
+        game = _random_game(seed, n=6, alpha=1.0, kind=kind)
+        profile = game.random_profile(0.3, seed=seed)
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            fresh = naive_best_response(
+                game.distance_matrix, profile, peer, game.alpha, "exact"
+            )
+            cached = evaluator.best_response(peer, "exact")
+            assert cached.strategy == fresh.strategy
+            assert cached.cost == pytest.approx(fresh.cost)
+            assert cached.improved == fresh.improved
+
+    def test_deviation_search_after_incremental_updates(self):
+        game = _random_game(6, n=6, alpha=1.0, kind="euclidean")
+        profile = game.random_profile(0.4, seed=6)
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            evaluator.service_costs(peer)
+        for peer in range(game.n):
+            response = evaluator.best_response(peer, "exact")
+            if response.improved:
+                profile = profile.with_strategy(peer, response.strategy)
+                evaluator.set_profile(profile)
+            fresh = naive_find_improving_deviation(
+                game.distance_matrix, profile, peer, game.alpha
+            )
+            cached = evaluator.find_improving_deviation(peer)
+            assert (fresh is None) == (cached is None)
+
+
+class TestTrajectoryIdentity:
+    """The cached dynamics must replay the naive dynamics exactly."""
+
+    @pytest.mark.parametrize("kind", ["euclidean", "ring"])
+    @pytest.mark.parametrize("seed", [0, 3, 12])
+    def test_better_response_runs_identical(self, kind, seed):
+        game = _random_game(seed, n=10, alpha=1.0, kind=kind)
+        naive = BetterResponseDynamics(game, incremental=False).run(
+            max_rounds=60
+        )
+        cached = BetterResponseDynamics(game).run(max_rounds=60)
+        assert cached.profile.key() == naive.profile.key()
+        assert cached.stopped_reason == naive.stopped_reason
+        assert cached.num_moves == naive.num_moves
+        assert cached.rounds_completed == naive.rounds_completed
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_best_response_runs_identical(self, seed):
+        game = _random_game(seed, n=8, alpha=1.0, kind="euclidean")
+        naive = BestResponseDynamics(game, incremental=False).run(
+            max_rounds=60
+        )
+        cached = BestResponseDynamics(game).run(max_rounds=60)
+        assert cached.profile.key() == naive.profile.key()
+        assert cached.stopped_reason == naive.stopped_reason
+        assert cached.num_moves == naive.num_moves
+
+
+class TestDegenerateMetrics:
+    def test_flip_key_follows_cost_model_for_coincident_peers(self):
+        """Coincident peers reached only at positive overlay distance are
+        unreachable for the flip ordering, matching stretch_matrix."""
+        metric = EuclideanMetric([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        game = TopologyGame(metric, alpha=0.1)
+        # Peer 0 links to 2 only; 2 links back to 0.  Peer 0 reaches its
+        # coincident twin 1 not at all (1 has no in-links).
+        profile = StrategyProfile([{2}, set(), {0}])
+        evaluator = GameEvaluator(game, profile)
+        naive = find_improving_flip_naive(game, profile, 0)
+        fast = evaluator.find_improving_flip(0)
+        assert (naive is None) == (fast is None)
+        if naive is not None:
+            assert fast[0] == naive[0]
+
+    def test_guardrails(self):
+        game = _random_game(0, n=4, alpha=1.0, kind="euclidean")
+        evaluator = GameEvaluator(game)
+        with pytest.raises(RuntimeError):
+            evaluator.profile
+        with pytest.raises(ValueError):
+            evaluator.set_profile(StrategyProfile.empty(3))
+        evaluator.set_profile(game.empty_profile())
+        with pytest.raises(IndexError):
+            evaluator.service_costs(99)
+
+    def test_cached_service_weights_are_read_only(self):
+        """Mutating a cached W would poison every query on the game."""
+        game = _random_game(1, n=5, alpha=1.0, kind="euclidean")
+        profile = game.random_profile(0.5, seed=1)
+        evaluator = GameEvaluator(game, profile)
+        weights = evaluator.service_costs(0).weights
+        with pytest.raises(ValueError):
+            weights[0, 0] = 123.0
+        # Repair after a rebind still works through the write guard.
+        evaluator.set_profile(profile.with_strategy(1, frozenset({0})))
+        repaired = evaluator.service_costs(0)
+        fresh = GameEvaluator(game, evaluator.profile).service_costs(0)
+        np.testing.assert_array_equal(repaired.weights, fresh.weights)
