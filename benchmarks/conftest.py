@@ -3,29 +3,76 @@
 Each benchmark regenerates one paper artifact via its experiment runner,
 times it with pytest-benchmark (single round — these are experiment
 harnesses, not microbenchmarks), prints the result table, and persists it
-under ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from the
-artifacts.
+under ``benchmarks/results/`` — both a human-readable ``.txt`` table and
+a machine-readable ``.json`` twin, so the perf trajectory across PRs can
+be tracked (and uploaded as a CI artifact) without parsing tables.
+
+Perf benchmarks record entries of the shape
+``{"name", "n", "method", "wall_s", "speedup"}`` (plus free extras) via
+:func:`write_json_results`.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
+from typing import Dict
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_json_results(name: str, payload: Dict) -> None:
+    """Persist a machine-readable result file under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, default=str, sort_keys=False)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+
+
+def perf_entry(
+    name: str, n: int, method: str, wall_s: float, speedup: float, **extra
+) -> Dict:
+    """One perf-trajectory record (fixed schema + free extras)."""
+    entry = {
+        "name": name,
+        "n": n,
+        "method": method,
+        "wall_s": round(float(wall_s), 4),
+        "speedup": round(float(speedup), 2),
+    }
+    entry.update(extra)
+    return entry
 
 
 def run_and_record(benchmark, spec, **params):
     """Run one experiment under the benchmark timer and persist its table.
 
     Returns the :class:`~repro.experiments.base.ExperimentResult` so the
-    calling test can make its assertions.
+    calling test can make its assertions.  Alongside the ``.txt`` table a
+    ``.json`` twin records the structured rows, verdict, and wall time.
     """
+    start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: spec.run(**params), rounds=1, iterations=1
     )
+    wall_s = time.perf_counter() - start
     RESULTS_DIR.mkdir(exist_ok=True)
     text = result.table() + "\n\n" + result.summary() + "\n"
     (RESULTS_DIR / f"{result.experiment_id.lower()}.txt").write_text(text)
+    write_json_results(
+        result.experiment_id.lower(),
+        {
+            "name": result.experiment_id.lower(),
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "paper_claim": result.paper_claim,
+            "verdict": "SUPPORTED" if result.verdict else "NOT SUPPORTED",
+            "wall_s": round(wall_s, 4),
+            "notes": list(result.notes),
+            "params": result.params,
+            "rows": list(result.rows),
+        },
+    )
     print()
     print(text)
     return result

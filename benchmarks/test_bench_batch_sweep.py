@@ -1,0 +1,260 @@
+"""E13 benchmark: batched gain sweeps vs the pre-refactor per-peer sweep.
+
+The max-gain activation policy evaluates every peer's best response each
+step.  The seed engine ran that as ``n`` sequential solver calls — one
+full service-matrix build (multi-source Dijkstra) plus one loop-based
+greedy local search per peer.  The batched engine runs the same sweep as
+one :meth:`~repro.core.evaluator.GameEvaluator.gain_sweep`: blocked
+multi-source Dijkstra for the builds/repairs, dirty-row effect-bound
+memo skips, and the vectorized greedy solver.
+
+The baseline below reimplements the pre-refactor sweep faithfully —
+per-peer from-scratch service builds and
+:func:`~repro.core.best_response.greedy_local_search_reference` (the
+seed's loop solver, kept in the library as a validation reference) —
+and asserts that both engines walk the *same trajectory* (same argmax
+choices, same final profile, same move count).  The acceptance floor is
+a >= 5x speedup at n = 128.
+
+A second section pins trajectory identity of the refactored dynamics
+for all existing singleton schedulers (round-robin, fixed-order, seeded
+random) against the from-scratch reference path.
+
+Results go to ``benchmarks/results/e13.txt`` and, machine-readable,
+``benchmarks/results/e13.json`` (schema per entry: name, n, method,
+wall_s, speedup, plus extras).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.best_response import (
+    compute_service_costs,
+    greedy_local_search_reference,
+    improvement_tolerance,
+    strategy_cost,
+)
+from repro.core.dynamics import (
+    BestResponseDynamics,
+    FixedOrderScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+from repro.simulation.engine import SimulationEngine
+
+from benchmarks.conftest import RESULTS_DIR, perf_entry, write_json_results
+
+#: (n, max_rounds) for the max-gain sweep comparison; rounds shrink with
+#: n so the pre-refactor baseline stays bounded.
+SWEEP_CASES = [(32, 40), (64, 20), (128, 12)]
+SEED = 42
+ALPHA = 1.0
+SPEEDUP_FLOOR_AT_128 = 5.0
+
+
+def _game(n: int) -> TopologyGame:
+    rng = np.random.default_rng(SEED)
+    return TopologyGame(
+        EuclideanMetric(rng.uniform(0.0, 1.0, size=(n, 2))), alpha=ALPHA
+    )
+
+
+def _pre_refactor_max_gain(game: TopologyGame, max_rounds: int):
+    """The seed engine's max-gain loop: n sequential solver calls per
+    step, each with its own from-scratch service build and the loop-based
+    greedy solver."""
+    profile = game.empty_profile()
+    moves = 0
+    for _ in range(max_rounds):
+        best_gain, best_peer, best_strategy = 0.0, -1, None
+        for peer in range(game.n):
+            service = compute_service_costs(
+                game.distance_matrix, profile, peer
+            )
+            current_cost = strategy_cost(
+                service, sorted(profile.strategy(peer)), game.alpha
+            )
+            rows, cost = greedy_local_search_reference(service, game.alpha)
+            if cost < current_cost - improvement_tolerance(current_cost):
+                gain = current_cost - cost
+                if best_strategy is None or gain > best_gain:
+                    best_peer, best_gain = peer, gain
+                    best_strategy = frozenset(
+                        service.candidates[r] for r in rows
+                    )
+        if best_strategy is None:
+            break
+        profile = profile.with_strategy(best_peer, best_strategy)
+        moves += 1
+    return profile, moves
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _run_sweep_case(n: int, max_rounds: int) -> dict:
+    game = _game(n)
+    (ref_profile, ref_moves), ref_s = _timed(
+        lambda: _pre_refactor_max_gain(_game(n), max_rounds)
+    )
+    report, new_s = _timed(
+        lambda: SimulationEngine(
+            game, method="greedy", activation="max-gain"
+        ).run(max_rounds=max_rounds)
+    )
+    stats = game.evaluator.stats
+    assert report.profile.key() == ref_profile.key()
+    assert report.moves == ref_moves
+    return {
+        "scenario": f"max-gain-sweep(n={n})",
+        "n": n,
+        "ref_s": ref_s,
+        "new_s": new_s,
+        "speedup": ref_s / new_s,
+        "moves": report.moves,
+        "memo_hits": stats.response_memo_hits,
+        "solves": stats.response_solves,
+        "identical": True,
+    }
+
+
+def _singleton_identity_cases(n: int = 32, max_rounds: int = 40):
+    """Trajectory identity of the refactored engine's singleton paths."""
+    schedulers = [
+        ("round-robin", lambda: RoundRobinScheduler()),
+        ("fixed-order", lambda: FixedOrderScheduler(range(n - 1, -1, -1))),
+        ("seeded-random", lambda: RandomScheduler(7)),
+    ]
+    rows = []
+    for name, make in schedulers:
+        cached, cached_s = _timed(
+            lambda: BestResponseDynamics(
+                _game(n), method="greedy", scheduler=make()
+            ).run(max_rounds=max_rounds)
+        )
+        naive, naive_s = _timed(
+            lambda: BestResponseDynamics(
+                _game(n), method="greedy", scheduler=make(),
+                incremental=False,
+            ).run(max_rounds=max_rounds)
+        )
+        identical = (
+            cached.profile.key() == naive.profile.key()
+            and cached.num_moves == naive.num_moves
+            and cached.steps == naive.steps
+            and cached.stopped_reason == naive.stopped_reason
+            and cached.moves == naive.moves
+        )
+        assert identical, f"{name} trajectory diverged"
+        rows.append(
+            {
+                "scenario": f"identity-{name}(n={n})",
+                "n": n,
+                "ref_s": naive_s,
+                "new_s": cached_s,
+                "speedup": naive_s / cached_s,
+                "moves": cached.num_moves,
+                "memo_hits": 0,
+                "solves": cached.steps,
+                "identical": True,
+            }
+        )
+    return rows
+
+
+def _format_table(rows) -> str:
+    header = (
+        f"{'scenario':>28}  {'ref_s':>8}  {'new_s':>8}  {'speedup':>8}  "
+        f"{'moves':>6}  {'memo_hits':>9}  identical"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:>28}  {row['ref_s']:8.3f}  "
+            f"{row['new_s']:8.3f}  {row['speedup']:7.1f}x  "
+            f"{row['moves']:>6}  {row['memo_hits']:>9}  {row['identical']}"
+        )
+    return "\n".join(lines)
+
+
+def test_gain_sweep_smoke():
+    """CI-friendly smoke: identity plus a conservative speedup floor."""
+    row = _run_sweep_case(48, 10)
+    assert row["identical"]
+    assert row["speedup"] > 1.5
+
+
+def test_batch_sweep_report(benchmark):
+    """Full sweep: pin the 5x acceptance floor at n=128 and persist
+    txt + JSON results."""
+    rows = [_run_sweep_case(n, rounds) for n, rounds in SWEEP_CASES]
+    rows += _singleton_identity_cases()
+    benchmark.pedantic(
+        lambda: SimulationEngine(
+            _game(128), method="greedy", activation="max-gain"
+        ).run(max_rounds=3),
+        rounds=1,
+        iterations=1,
+    )
+    headline = next(
+        r for r in rows if r["scenario"] == "max-gain-sweep(n=128)"
+    )
+    supported = headline["speedup"] >= SPEEDUP_FLOOR_AT_128
+    text = (
+        "E13: Batched activation rounds (gain_sweep vs per-peer sweep)\n"
+        + _format_table(rows)
+        + "\n\nE13: batched gain sweeps"
+        + "\n  claim   : one blocked build + vectorized solves per sweep"
+        " replace n sequential build-and-solve calls"
+        + "\n  verdict : "
+        + ("SUPPORTED" if supported else "NOT SUPPORTED")
+        + "\n  note    : trajectories identical in all scenarios; the"
+        f" n=128 max-gain sweep speedup is {headline['speedup']:.1f}x"
+        f" (acceptance floor {SPEEDUP_FLOOR_AT_128:.0f}x) against the"
+        " pre-refactor per-peer sweep (from-scratch builds + loop"
+        " greedy)\n"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "e13.txt").write_text(text)
+    write_json_results(
+        "e13",
+        {
+            "name": "e13",
+            "title": (
+                "Batched activation rounds: gain_sweep vs per-peer sweep"
+            ),
+            "acceptance": {
+                "floor": SPEEDUP_FLOOR_AT_128,
+                "measured": round(headline["speedup"], 2),
+                "supported": bool(supported),
+            },
+            "entries": [
+                perf_entry(
+                    row["scenario"],
+                    row["n"],
+                    "greedy",
+                    row["new_s"],
+                    row["speedup"],
+                    baseline_wall_s=round(row["ref_s"], 4),
+                    moves=row["moves"],
+                    memo_hits=row["memo_hits"],
+                    identical=row["identical"],
+                )
+                for row in rows
+            ],
+        },
+    )
+    print()
+    print(text)
+    assert supported, (
+        f"expected >= {SPEEDUP_FLOOR_AT_128}x at n=128, got "
+        f"{headline['speedup']:.1f}x"
+    )

@@ -30,7 +30,7 @@ from repro.core.game import TopologyGame
 from repro.metrics.euclidean import EuclideanMetric
 from repro.simulation.engine import SimulationEngine
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import RESULTS_DIR, perf_entry, write_json_results
 
 #: (n, max_rounds) — rounds shrink with n so every naive run stays bounded.
 FLIP_CASES = [(16, 30), (32, 8), (64, 3)]
@@ -161,5 +161,25 @@ def test_evaluator_speedup_report(benchmark):
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "e12.txt").write_text(text)
+    write_json_results(
+        "e12",
+        {
+            "name": "e12",
+            "title": "Shared incremental evaluation layer (GameEvaluator)",
+            "entries": [
+                perf_entry(
+                    row["scenario"],
+                    int(row["scenario"].split("n=")[1].rstrip(")")),
+                    "flip" if row["scenario"].startswith("flip") else "greedy",
+                    row["cached_s"],
+                    row["speedup"],
+                    baseline_wall_s=round(row["naive_s"], 4),
+                    moves=row["moves"],
+                    identical=row["identical"],
+                )
+                for row in rows
+            ],
+        },
+    )
     print()
     print(text)

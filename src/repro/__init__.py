@@ -27,6 +27,7 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchedScheduler,
     BestResponseDynamics,
     CostBreakdown,
     DynamicsResult,
@@ -56,6 +57,7 @@ __all__ = [
     "StrategyProfile",
     "CostBreakdown",
     "BestResponseDynamics",
+    "BatchedScheduler",
     "DynamicsResult",
     "NashCertificate",
     "verify_nash",

@@ -25,6 +25,32 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _experiment_id_range() -> str:
+    """``"E1..E11"``-style range derived from the experiment registry.
+
+    Derived rather than hard-coded so `run --help` can never drift from
+    the registered experiments again.
+    """
+    from repro.experiments import EXPERIMENTS
+
+    ids = list(EXPERIMENTS)
+    if not ids:  # pragma: no cover - the registry is never empty
+        return "none registered"
+    return ids[0] if len(ids) == 1 else f"{ids[0]}..{ids[-1]}"
+
+
+def _add_workers_flag(command) -> None:
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "thread-pool size for batched response solves (forwarded to "
+            "experiments that support it; 1 = serial)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -39,18 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the registered experiments")
 
     run = sub.add_parser("run", help="run one experiment (e.g. E5)")
-    run.add_argument("experiment_id", help="experiment id, E1..E11")
+    run.add_argument(
+        "experiment_id", help=f"experiment id, {_experiment_id_range()}"
+    )
     run.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"
     )
     run.add_argument(
         "--out", default=None, help="also write the output to this file"
     )
+    _add_workers_flag(run)
 
     run_all = sub.add_parser(
         "run-all", help="run every experiment (full reproduction)"
     )
     run_all.add_argument("--json", action="store_true")
+    _add_workers_flag(run_all)
 
     certify = sub.add_parser(
         "certify", help="exhaustively certify the no-Nash witness"
@@ -62,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="trade-off parameter (default: the canonical 0.6)",
     )
 
-    sub.add_parser("demo", help="a 30-second guided tour")
+    demo = sub.add_parser("demo", help="a 30-second guided tour")
+    _add_workers_flag(demo)
     return parser
 
 
@@ -102,7 +133,9 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, as_json: bool, out: Optional[str]) -> int:
+def _cmd_run(
+    experiment_id: str, as_json: bool, out: Optional[str], workers: int
+) -> int:
     from repro.experiments import get_experiment
 
     try:
@@ -110,7 +143,7 @@ def _cmd_run(experiment_id: str, as_json: bool, out: Optional[str]) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = spec.run()
+    result = spec.run(workers=workers)
     if as_json:
         _emit(json.dumps(_result_payload(result), indent=2, default=str), out)
     else:
@@ -118,13 +151,13 @@ def _cmd_run(experiment_id: str, as_json: bool, out: Optional[str]) -> int:
     return 0 if result.verdict else 1
 
 
-def _cmd_run_all(as_json: bool) -> int:
+def _cmd_run_all(as_json: bool, workers: int) -> int:
     from repro.experiments import EXPERIMENTS
 
     exit_code = 0
     payloads = []
     for spec in EXPERIMENTS.values():
-        result = spec.run()
+        result = spec.run(workers=workers)
         if as_json:
             payloads.append(_result_payload(result))
         else:
@@ -156,10 +189,11 @@ def _cmd_certify(alpha: Optional[float]) -> int:
     return 0
 
 
-def _cmd_demo() -> int:
+def _cmd_demo(workers: int) -> int:
     from repro import BestResponseDynamics, TopologyGame
     from repro.constructions.no_nash import build_no_nash_instance
     from repro.metrics.euclidean import EuclideanMetric
+    from repro.simulation.engine import SimulationEngine
 
     print("1. Selfish rewiring on a random instance (n=12, alpha=2):")
     game = TopologyGame(
@@ -174,6 +208,26 @@ def _cmd_demo() -> int:
     witness_run = BestResponseDynamics(witness).run(max_rounds=100)
     print(f"   {witness_run}")
     print()
+    print(
+        f"3. Batched max-gain sweeps (n=32, alpha=1, workers={workers}):"
+    )
+    sweep_game = TopologyGame(
+        EuclideanMetric.random_uniform(32, dim=2, seed=2), alpha=1.0
+    )
+    engine = SimulationEngine(
+        sweep_game, method="greedy", activation="max-gain", workers=workers
+    )
+    report = engine.run(max_rounds=120)
+    stats = sweep_game.evaluator.stats
+    print(
+        f"   {report.stopped_reason} after {report.moves} moves; "
+        f"final cost {report.final_cost:.2f}"
+    )
+    print(
+        f"   gain sweeps: {stats.gain_sweeps}, solver calls: "
+        f"{stats.response_solves}, memo skips: {stats.response_memo_hits}"
+    )
+    print()
     print("   run `python -m repro certify` for the exhaustive 2^20 "
           "certificate,")
     print("   or  `python -m repro run E6` for the Figure 3 case table.")
@@ -187,13 +241,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.experiment_id, args.json, args.out)
+            return _cmd_run(
+                args.experiment_id, args.json, args.out, args.workers
+            )
         if args.command == "run-all":
-            return _cmd_run_all(args.json)
+            return _cmd_run_all(args.json, args.workers)
         if args.command == "certify":
             return _cmd_certify(args.alpha)
         if args.command == "demo":
-            return _cmd_demo()
+            return _cmd_demo(args.workers)
     except BrokenPipeError:  # downstream pager closed (e.g. `| head`)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

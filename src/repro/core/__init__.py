@@ -47,6 +47,7 @@ from repro.core.costs import (
     stretch_matrix,
 )
 from repro.core.dynamics import (
+    BatchedScheduler,
     BestResponseDynamics,
     CycleInfo,
     DynamicsResult,
@@ -54,6 +55,8 @@ from repro.core.dynamics import (
     MoveRecord,
     RandomScheduler,
     RoundRobinScheduler,
+    Scheduler,
+    scheduler_batches,
 )
 from repro.core.equilibrium import (
     NashCertificate,
@@ -117,9 +120,12 @@ __all__ = [
     "DynamicsResult",
     "CycleInfo",
     "MoveRecord",
+    "Scheduler",
     "RoundRobinScheduler",
     "FixedOrderScheduler",
     "RandomScheduler",
+    "BatchedScheduler",
+    "scheduler_batches",
     "OptimumEstimate",
     "social_cost_lower_bound",
     "candidate_topologies",

@@ -49,12 +49,15 @@ __all__ = [
     "compute_service_costs",
     "service_costs_from_overlay",
     "service_cost_rows",
+    "normalize_service_rows",
     "strategy_cost",
     "peer_cost",
     "best_response",
     "best_response_from_service",
     "find_improving_deviation",
     "improving_deviation_from_service",
+    "greedy_local_search_reference",
+    "improvement_tolerance",
     "RELATIVE_TOLERANCE",
 ]
 
@@ -122,6 +125,33 @@ class ServiceCosts:
         return int(self.weights.shape[1]) if self.weights.size else 1
 
 
+def normalize_service_rows(
+    distance_matrix: np.ndarray,
+    peer: int,
+    sources: Sequence[int],
+    dist_h: np.ndarray,
+) -> np.ndarray:
+    """Turn raw ``d_H(u, j)`` rows into normalized service-cost rows.
+
+    ``dist_h[k, j]`` must hold the distance from ``sources[k]`` to ``j``
+    in ``H`` (the overlay minus ``peer``'s out-edges).  Shared by the
+    per-peer and blocked-batch build paths so both produce bitwise
+    identical weights from identical distances.
+    """
+    direct = distance_matrix[peer]
+    service = direct[list(sources)][:, None] + dist_h
+    with np.errstate(divide="ignore", invalid="ignore"):
+        weights = service / direct[None, :]
+    zero_direct = direct == 0
+    zero_direct[peer] = False
+    if zero_direct.any():
+        cols = np.nonzero(zero_direct)[0]
+        for col in cols:
+            weights[:, col] = np.where(service[:, col] == 0.0, 1.0, math.inf)
+    weights[:, peer] = 0.0
+    return weights
+
+
 def service_cost_rows(
     distance_matrix: np.ndarray,
     stripped_overlay: WeightedDigraph,
@@ -137,18 +167,7 @@ def service_cost_rows(
     :mod:`repro.core.evaluator` (only the dirtied rows).
     """
     dist_h = multi_source_distances(stripped_overlay, list(sources), backend=backend)
-    direct = distance_matrix[peer]
-    service = direct[list(sources)][:, None] + dist_h
-    with np.errstate(divide="ignore", invalid="ignore"):
-        weights = service / direct[None, :]
-    zero_direct = direct == 0
-    zero_direct[peer] = False
-    if zero_direct.any():
-        cols = np.nonzero(zero_direct)[0]
-        for col in cols:
-            weights[:, col] = np.where(service[:, col] == 0.0, 1.0, math.inf)
-    weights[:, peer] = 0.0
-    return weights
+    return normalize_service_rows(distance_matrix, peer, sources, dist_h)
 
 
 def service_costs_from_overlay(
@@ -225,11 +244,101 @@ def peer_cost(
 def _greedy_with_local_search(
     service: ServiceCosts, alpha: float
 ) -> Tuple[List[int], float]:
-    """Greedy addition then drop/swap local search.
+    """Greedy addition then drop/swap local search (fully vectorized).
 
     Returns the chosen candidate *row indices* and the achieved cost.
     Uses an (infinite-target-count, finite-cost) lexicographic key so the
     greedy phase makes progress even while some targets are unreachable.
+
+    Every greedy-addition step and every swap scan scores *all* candidate
+    rows in one ``(k, n)`` numpy block instead of a per-row Python loop —
+    the solver is the hot path of whole-population gain sweeps, and this
+    turns an O(k) loop of small numpy calls into a handful of large ones.
+    Candidate enumeration order and tie-breaking mirror the reference
+    loop exactly: greedy addition takes the lexicographically best key
+    breaking ties toward the lowest row index, the swap scan takes the
+    first (lowest-index) strictly improving candidate.
+    """
+    weights = service.weights
+    k, n = weights.shape
+    chosen: List[int] = []
+    in_chosen = np.zeros(k, dtype=bool)
+    minima = np.full(n, math.inf)
+    minima[service.peer] = 0.0
+
+    def block_keys(
+        block: np.ndarray, num_links: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (unreachable-count, finite-cost) key components."""
+        infinite = np.isinf(block)
+        num_inf = infinite.sum(axis=1).astype(float)
+        finite = np.where(infinite, 0.0, block).sum(axis=1)
+        return num_inf, finite + alpha * num_links
+
+    def cost_key(num_links: int, m: np.ndarray) -> Tuple[int, float]:
+        infinite = np.isinf(m)
+        finite = float(np.where(infinite, 0.0, m).sum())
+        return (int(infinite.sum()), alpha * num_links + finite)
+
+    current_key = cost_key(0, minima)
+    # Greedy addition.
+    while True:
+        block = np.minimum(minima[None, :], weights)
+        num_inf, finite = block_keys(block, len(chosen) + 1)
+        num_inf[in_chosen] = math.inf
+        best_row = int(np.lexsort((finite, num_inf))[0])
+        best_key = (num_inf[best_row], finite[best_row])
+        if in_chosen[best_row] or not best_key < current_key:
+            break
+        chosen.append(best_row)
+        in_chosen[best_row] = True
+        minima = block[best_row]
+        current_key = (int(best_key[0]), float(best_key[1]))
+    # Local search: drops and swaps until fixpoint.
+    improved = True
+    while improved and chosen:
+        improved = False
+        for row in list(chosen):
+            rest = [r for r in chosen if r != row]
+            rest_minima = _minima_of(weights, rest, service.peer)
+            key = cost_key(len(rest), rest_minima)
+            if key < current_key:
+                chosen, minima, current_key = rest, rest_minima, key
+                in_chosen[row] = False
+                improved = True
+                break
+            block = np.minimum(rest_minima[None, :], weights)
+            num_inf, finite = block_keys(block, len(rest) + 1)
+            num_inf[in_chosen] = math.inf
+            qualifies = (num_inf < current_key[0]) | (
+                (num_inf == current_key[0]) & (finite < current_key[1])
+            )
+            hits = np.nonzero(qualifies)[0]
+            if hits.size:
+                other = int(hits[0])
+                chosen = rest + [other]
+                in_chosen[row] = False
+                in_chosen[other] = True
+                minima = block[other]
+                current_key = (int(num_inf[other]), float(finite[other]))
+                improved = True
+                break
+    num_inf_final, cost = current_key
+    return chosen, (math.inf if num_inf_final else cost)
+
+
+def greedy_local_search_reference(
+    service: ServiceCosts, alpha: float
+) -> Tuple[List[int], float]:
+    """Loop-based reference for :func:`_greedy_with_local_search`.
+
+    The pre-vectorization implementation, kept (like
+    ``find_improving_flip_naive``) as a validation baseline: property
+    tests cross-check the vectorized solver against it, and benchmarks
+    use it to measure the solver speedup.  The two agree exactly except
+    on mathematically tied candidates, where summation-order differences
+    (compacted versus zero-padded finite sums) may break the tie
+    differently; both picks then cost the same.
     """
     weights = service.weights
     k, n = weights.shape
@@ -390,10 +499,21 @@ def _branch_and_bound(
     return best_rows, best_cost
 
 
-def _tolerance(reference: float) -> float:
+def improvement_tolerance(reference: float) -> float:
+    """Absolute slack below which a cost difference is treated as a tie.
+
+    The single source of truth for the improvement test: the solvers,
+    the evaluator's memoized-response path, and the batch-commit
+    re-check of :mod:`repro.core.dynamics` all must agree on it, or
+    stale commits could disagree with the solver's own ``improved``
+    flag.
+    """
     if not math.isfinite(reference):
         return 0.0
     return RELATIVE_TOLERANCE * max(1.0, abs(reference))
+
+
+_tolerance = improvement_tolerance
 
 
 # ----------------------------------------------------------------------

@@ -7,18 +7,51 @@ exact responses that state is a pure Nash equilibrium), *cycle* (the same
 state recurs, which proves the run will never converge — Section 5 of the
 paper constructs instances where this is unavoidable), or hit a step limit.
 
+Activation batches
+------------------
+
+Schedulers emit *batches* of logically-concurrent activations per round
+(:meth:`Scheduler.batches`); the classic schedulers emit singleton batches
+and behave exactly as sequential activation.  A multi-peer batch — one
+sub-round in the round-based scheduling model standard in distributed
+computing — runs under **stale-profile semantics**:
+
+1. every response in the batch is computed against the profile as it stood
+   when the batch began (one :meth:`~repro.core.evaluator.GameEvaluator.
+   gain_sweep` on the shared evaluator);
+2. commits are applied in batch order; a commit that follows an earlier
+   commit in the same batch is *re-checked* against the live profile and
+   dropped unless the proposed strategy still strictly improves beyond
+   tolerance (so stale responses can never regress a peer's cost).
+
 Cycle detection hashes the pair (profile, scheduler phase) after every
-activation, so it is sound for deterministic schedulers.  For randomized
-schedulers recurring states do not imply non-convergence, so detection is
-disabled there.
+activation — for multi-peer batches, after every batch that committed a
+move, keyed by the batch's phase within the round — so it is sound for
+deterministic round-invariant schedulers: recurrence of a post-move
+state implies the deterministic future repeats.  For randomized
+schedulers recurring states do not imply non-convergence, so detection
+is disabled there.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.best_response import (
+    BestResponseResult,
+    compute_service_costs,
+    improvement_tolerance,
+    strategy_cost,
+)
 from repro.core.best_response import best_response as _uncached_best_response
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
@@ -27,9 +60,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.evaluator import GameEvaluator
 
 __all__ = [
+    "Scheduler",
     "RoundRobinScheduler",
     "FixedOrderScheduler",
     "RandomScheduler",
+    "BatchedScheduler",
+    "scheduler_batches",
     "MoveRecord",
     "CycleInfo",
     "DynamicsResult",
@@ -37,7 +73,48 @@ __all__ = [
 ]
 
 
-class RoundRobinScheduler:
+class Scheduler:
+    """Base activation policy: who moves, and what moves *together*.
+
+    Subclasses implement :meth:`order`; the default :meth:`batches` wraps
+    that order into singleton batches, which is exactly the sequential
+    activation model of the seed engine.  Override :meth:`batches` to
+    emit multi-peer batches of logically-concurrent activations (see the
+    module docstring for their stale-profile commit semantics).
+    """
+
+    #: Whether the activation sequence is a pure function of the round
+    #: index (enables sound cycle detection).
+    deterministic = False
+
+    def order(self, round_index: int, n: int) -> Sequence[int]:
+        raise NotImplementedError
+
+    def batches(self, round_index: int, n: int) -> Iterator[Sequence[int]]:
+        """Yield this round's activation batches (default: singletons)."""
+        for peer in self.order(round_index, n):
+            yield (peer,)
+
+
+def scheduler_batches(
+    scheduler, round_index: int, n: int
+) -> Iterator[Sequence[int]]:
+    """The batches a scheduler emits for one round.
+
+    Works with any object exposing ``batches(round_index, n)`` or the
+    legacy ``order(round_index, n)`` protocol (wrapped into singleton
+    batches), so third-party schedulers written against the seed engine
+    keep working unchanged.
+    """
+    batches = getattr(scheduler, "batches", None)
+    if batches is not None:
+        yield from batches(round_index, n)
+        return
+    for peer in scheduler.order(round_index, n):
+        yield (peer,)
+
+
+class RoundRobinScheduler(Scheduler):
     """Activate peers ``0, 1, ..., n-1`` in every round (deterministic)."""
 
     deterministic = True
@@ -46,7 +123,7 @@ class RoundRobinScheduler:
         return range(n)
 
 
-class FixedOrderScheduler:
+class FixedOrderScheduler(Scheduler):
     """Activate peers in a caller-supplied order in every round."""
 
     deterministic = True
@@ -61,7 +138,7 @@ class FixedOrderScheduler:
         return self._order
 
 
-class RandomScheduler:
+class RandomScheduler(Scheduler):
     """Activate peers in an independently shuffled order each round."""
 
     deterministic = False
@@ -75,6 +152,52 @@ class RandomScheduler:
         order = list(range(n))
         self._rng.shuffle(order)
         return order
+
+
+class BatchedScheduler(Scheduler):
+    """Activate peers in multi-peer batches of logically-concurrent moves.
+
+    Every round covers all peers (or a caller-supplied order) chunked
+    into batches of ``batch_size``; the default is one batch per round —
+    the fully-synchronous sub-round model.  Responses within a batch are
+    computed against the batch-start profile and committed in order with
+    conflict re-checks (module docstring).
+
+    Parameters
+    ----------
+    batch_size:
+        Peers per batch (default: the whole population in one batch).
+    order:
+        Optional fixed activation order (default: ``0..n-1``).
+    """
+
+    deterministic = True
+
+    def __init__(
+        self,
+        batch_size: Optional[int] = None,
+        order: Optional[Sequence[int]] = None,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size = batch_size
+        self._order = tuple(order) if order is not None else None
+
+    def order(self, round_index: int, n: int) -> Sequence[int]:
+        if self._order is None:
+            return range(n)
+        for peer in self._order:
+            if not 0 <= peer < n:
+                raise IndexError(f"peer {peer} out of range [0, {n})")
+        return self._order
+
+    def batches(self, round_index: int, n: int) -> Iterator[Sequence[int]]:
+        peers = list(self.order(round_index, n))
+        size = self._batch_size if self._batch_size is not None else max(
+            1, len(peers)
+        )
+        for start in range(0, len(peers), size):
+            yield peers[start : start + size]
 
 
 @dataclass(frozen=True)
@@ -141,6 +264,63 @@ class DynamicsResult:
         return f"stopped: {self.stopped_reason} after {self.steps} steps"
 
 
+def batch_responses(
+    game: TopologyGame,
+    profile: StrategyProfile,
+    batch: Sequence[int],
+    method: str,
+    evaluator: Optional["GameEvaluator"] = None,
+    workers: int = 1,
+) -> List[BestResponseResult]:
+    """Stale responses for one batch, all computed against ``profile``.
+
+    With an evaluator this is one
+    :meth:`~repro.core.evaluator.GameEvaluator.gain_sweep` (blocked
+    service builds, effect-bound memo skips, optional thread pool);
+    without, the from-scratch reference path solves the batch peer by
+    peer against the same frozen profile.
+    """
+    if evaluator is not None:
+        return evaluator.set_profile(profile).gain_sweep(
+            method, peers=batch, workers=workers
+        )
+    return [
+        _uncached_best_response(
+            game.distance_matrix, profile, peer, game.alpha, method
+        )
+        for peer in batch
+    ]
+
+
+def recheck_improvement(
+    game: TopologyGame,
+    profile: StrategyProfile,
+    response: BestResponseResult,
+    evaluator: Optional["GameEvaluator"] = None,
+) -> Tuple[bool, float, float]:
+    """Re-score a stale response against the live (partially committed)
+    profile.
+
+    Returns ``(commit, current_cost, proposed_cost)``: the proposed
+    strategy's cost and the peer's current cost under ``profile``, and
+    whether the proposal still strictly improves beyond the solver's
+    tolerance — the conflict re-check of stale-profile batch commits.
+    """
+    peer = response.peer
+    if evaluator is not None:
+        service = evaluator.set_profile(profile).service_costs(peer)
+    else:
+        service = compute_service_costs(game.distance_matrix, profile, peer)
+    current_cost = strategy_cost(
+        service, sorted(profile.strategy(peer)), game.alpha
+    )
+    proposed_cost = strategy_cost(
+        service, sorted(response.strategy), game.alpha
+    )
+    commit = proposed_cost < current_cost - improvement_tolerance(current_cost)
+    return commit, current_cost, proposed_cost
+
+
 class BestResponseDynamics:
     """Engine running (best-)response dynamics on a topology game.
 
@@ -154,7 +334,13 @@ class BestResponseDynamics:
         Convergence with ``"exact"`` certifies a pure Nash equilibrium;
         with ``"greedy"`` it only certifies greedy-stability.
     scheduler:
-        Activation order policy; defaults to round robin.
+        Activation policy; defaults to round robin.  Schedulers emitting
+        singleton batches reproduce sequential activation exactly;
+        multi-peer batches (e.g. :class:`BatchedScheduler`) run under
+        stale-profile semantics: all responses in a batch are computed
+        against the batch-start profile, then committed in order, each
+        commit after the first re-checked against the live profile and
+        dropped unless it still strictly improves.
     record_moves:
         Keep a log of every strategy change (bounded by ``max_move_log``).
     record_costs:
@@ -168,6 +354,9 @@ class BestResponseDynamics:
     incremental:
         Set False to bypass the evaluator entirely and recompute every
         response from scratch (reference path for validation/benchmarks).
+    workers:
+        Thread-pool size for the independent response solves of a
+        multi-peer batch (1 = serial; results are identical either way).
     """
 
     def __init__(
@@ -180,6 +369,7 @@ class BestResponseDynamics:
         max_move_log: int = 100_000,
         evaluator: Optional["GameEvaluator"] = None,
         incremental: bool = True,
+        workers: int = 1,
     ) -> None:
         self._game = game
         self._method = method
@@ -189,6 +379,7 @@ class BestResponseDynamics:
         self._max_move_log = max_move_log
         self._evaluator = evaluator
         self._incremental = incremental
+        self._workers = max(1, int(workers))
 
     def run(
         self,
@@ -201,6 +392,8 @@ class BestResponseDynamics:
 
         Stops on convergence (one full round without a move), on a detected
         cycle (deterministic schedulers only), or on the round/step limits.
+        Every activation — including the ones of a multi-peer batch —
+        counts as one step.
         """
         game = self._game
         profile = initial if initial is not None else game.empty_profile()
@@ -223,27 +416,72 @@ class BestResponseDynamics:
         num_moves = 0
         cycle: Optional[CycleInfo] = None
         stopped_reason = "max_rounds"
+        halted = False
 
         for round_index in range(max_rounds):
             moved_this_round = False
-            for peer in self._scheduler.order(round_index, game.n):
-                if max_steps is not None and steps >= max_steps:
-                    stopped_reason = "max_steps"
-                    break
-                if evaluator is not None:
-                    response = evaluator.set_profile(profile).best_response(
-                        peer, self._method
-                    )
+            for phase, batch in enumerate(
+                scheduler_batches(self._scheduler, round_index, game.n)
+            ):
+                batch = list(batch)
+                truncated = False
+                if max_steps is not None:
+                    remaining = max_steps - steps
+                    if remaining <= 0:
+                        stopped_reason = "max_steps"
+                        halted = True
+                        break
+                    if len(batch) > remaining:
+                        # The budget cuts this batch short: process the
+                        # prefix, then stop as "max_steps" — a round that
+                        # never activated every peer must not be allowed
+                        # to report convergence.
+                        batch = batch[:remaining]
+                        truncated = True
+                if len(batch) == 1:
+                    # Sequential activation: identical to the seed engine.
+                    peer = batch[0]
+                    if evaluator is not None:
+                        responses = [
+                            evaluator.set_profile(profile).best_response(
+                                peer, self._method
+                            )
+                        ]
+                    else:
+                        responses = [
+                            _uncached_best_response(
+                                game.distance_matrix,
+                                profile,
+                                peer,
+                                game.alpha,
+                                self._method,
+                            )
+                        ]
                 else:
-                    response = _uncached_best_response(
-                        game.distance_matrix,
+                    responses = batch_responses(
+                        game,
                         profile,
-                        peer,
-                        game.alpha,
+                        batch,
                         self._method,
+                        evaluator,
+                        self._workers,
                     )
-                steps += 1
-                if response.improved:
+                base_profile = profile
+                singleton = len(batch) == 1
+                for peer, response in zip(batch, responses):
+                    steps += 1
+                    if not response.improved:
+                        continue
+                    old_cost = response.current_cost
+                    new_cost = response.cost
+                    if profile is not base_profile:
+                        # An earlier commit in this batch changed the
+                        # profile: the stale response must still improve.
+                        commit, old_cost, new_cost = recheck_improvement(
+                            game, profile, response, evaluator
+                        )
+                        if not commit:
+                            continue
                     num_moves += 1
                     if self._record_moves and len(moves) < self._max_move_log:
                         moves.append(
@@ -255,13 +493,13 @@ class BestResponseDynamics:
                                     sorted(profile.strategy(peer))
                                 ),
                                 new_strategy=tuple(sorted(response.strategy)),
-                                old_cost=response.current_cost,
-                                new_cost=response.cost,
+                                old_cost=old_cost,
+                                new_cost=new_cost,
                             )
                         )
                     profile = profile.with_strategy(peer, response.strategy)
                     moved_this_round = True
-                    if detect:
+                    if detect and singleton:
                         state = (profile.key(), peer)
                         if state in seen:
                             first = seen[state]
@@ -275,23 +513,56 @@ class BestResponseDynamics:
                                 ),
                             )
                             stopped_reason = "cycle"
+                            halted = True
                             break
                         seen[state] = steps
                         trail.append((profile.key(), steps))
-            else:
-                rounds += 1
-                if self._record_costs:
-                    if evaluator is not None:
-                        cost_trace.append(
-                            evaluator.set_profile(profile).social_cost().total
+                if (
+                    not halted
+                    and detect
+                    and not singleton
+                    and profile is not base_profile
+                ):
+                    # Multi-peer batches are detected at batch boundaries:
+                    # mid-batch states are meaningless (pending stale
+                    # responses belong to the batch-start profile), but a
+                    # recurring *post-move* batch state keyed by its phase
+                    # pins the whole deterministic future.
+                    state = (profile.key(), ("batch", phase))
+                    if state in seen:
+                        first = seen[state]
+                        cycle = CycleInfo(
+                            first_step=first,
+                            period=steps - first,
+                            profiles=tuple(
+                                key
+                                for key, marker in trail
+                                if marker >= first
+                            ),
                         )
+                        stopped_reason = "cycle"
+                        halted = True
                     else:
-                        cost_trace.append(game.social_cost(profile).total)
-                if not moved_this_round:
-                    stopped_reason = "converged"
+                        seen[state] = steps
+                        trail.append((profile.key(), steps))
+                if truncated and not halted:
+                    stopped_reason = "max_steps"
+                    halted = True
+                if halted:
                     break
-                continue
-            break
+            if halted:
+                break
+            rounds += 1
+            if self._record_costs:
+                if evaluator is not None:
+                    cost_trace.append(
+                        evaluator.set_profile(profile).social_cost().total
+                    )
+                else:
+                    cost_trace.append(game.social_cost(profile).total)
+            if not moved_this_round:
+                stopped_reason = "converged"
+                break
 
         converged = stopped_reason == "converged"
         return DynamicsResult(

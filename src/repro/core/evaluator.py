@@ -55,6 +55,30 @@ and swap of a peer from its single ``W`` matrix with numpy reductions —
 no per-candidate shortest-path work at all — turning better-response
 activation from O(n^3 log n) into O(n^2)-ish amortized work.
 
+Batched activation rounds
+-------------------------
+
+Two batch APIs serve whole scheduler rounds of logically-concurrent
+activations.  :meth:`batch_service_costs` builds/repairs many peers'
+service matrices through one block-diagonal multi-source Dijkstra per
+budgeted chunk (:func:`~repro.graphs.shortest_paths.
+blocked_multi_source_distances`) — values are bitwise identical to the
+per-peer calls, only the call count changes.  :meth:`gain_sweep` returns
+every peer's current best response from one such pass plus a *response
+memo*: each repair accumulates, per target column, an upper bound on how
+much any strategy's column minimum can have decreased (``dec_cum``), and
+:meth:`best_response` returns the memoized response without re-solving
+whenever the matrix is bit-identical (sound for any deterministic
+solver) or — for exact methods — the effect bound proves the stored
+optimum cannot have been overtaken.  ``gain_sweep(workers=N)``
+dispatches the remaining (independent, read-only) solver calls to a
+thread pool; results are identical for any worker count.
+
+The evaluator rebinds and repairs caches in place and is **not**
+thread-safe across concurrent queries; the worker pool inside
+``gain_sweep`` is safe because all cache mutation happens before and
+after the parallel section.
+
 Equivalence with the naive paths: candidate enumeration order and
 tie-breaking mirror the reference implementations, and the two agree
 exactly whenever no two candidates are *mathematically* tied.  The
@@ -72,7 +96,16 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -80,7 +113,9 @@ from repro.core.best_response import (
     BestResponseResult,
     ServiceCosts,
     best_response_from_service,
+    improvement_tolerance,
     improving_deviation_from_service,
+    normalize_service_rows,
     service_cost_rows,
     service_costs_from_overlay,
     strategy_cost,
@@ -94,7 +129,10 @@ from repro.core.costs import (
 from repro.core.profile import StrategyProfile
 from repro.core.topology import overlay_from_matrix
 from repro.graphs.digraph import WeightedDigraph
-from repro.graphs.shortest_paths import multi_source_distances
+from repro.graphs.shortest_paths import (
+    blocked_multi_source_distances,
+    multi_source_distances,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.game import TopologyGame
@@ -110,7 +148,12 @@ class EvaluatorStats:
 
     ``service_rows_reused`` counts candidate rows served from cache when a
     service matrix was revalidated; ``service_rows_recomputed`` counts the
-    rows that actually went back through Dijkstra.
+    rows that actually went back through Dijkstra.  ``response_memo_hits``
+    counts best-response queries answered from the memoized response (the
+    dirty-row effect bound proved the response cannot have changed), while
+    ``response_solves`` counts queries that went to the solver.
+    ``batch_calls`` counts :meth:`GameEvaluator.batch_service_costs`
+    invocations that issued at least one blocked Dijkstra.
     """
 
     full_resets: int = 0
@@ -121,15 +164,42 @@ class EvaluatorStats:
     service_rows_reused: int = 0
     distance_full_builds: int = 0
     distance_rows_recomputed: int = 0
+    batch_calls: int = 0
+    gain_sweeps: int = 0
+    response_solves: int = 0
+    response_memo_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
 
 
 @dataclass
+class _ResponseMemo:
+    """A solved response, reusable while the effect bound holds.
+
+    ``cost`` is the solver's achieved value for ``strategy`` against the
+    service matrix as it stood when the memo was stored; the entry's
+    ``dec_cum``/``changed_since_memo`` trackers measure how far the matrix
+    has drifted since then.
+    """
+
+    method: str
+    strategy: FrozenSet[int]
+    cost: float
+
+
+@dataclass
 class _ServiceEntry:
     service: ServiceCosts
     dirty: Set[int] = field(default_factory=set)
+    #: Per-target cumulative upper bound on how much the column minimum of
+    #: *any* strategy can have decreased across repairs since the memo was
+    #: stored (sum over repairs of max over repaired rows of the positive
+    #: part of ``old - new``).  Reset whenever a fresh response is memoized.
+    dec_cum: Optional[np.ndarray] = None
+    #: True when any repair since the memo actually changed a weight.
+    changed_since_memo: bool = False
+    memo: Optional[_ResponseMemo] = None
 
 
 class GameEvaluator:
@@ -343,22 +413,31 @@ class GameEvaluator:
             service = service_costs_from_overlay(
                 self._dmat, self.overlay, peer, self._backend
             )
-            service.weights.setflags(write=False)
-            self._service[peer] = _ServiceEntry(service)
-            self.stats.service_full_builds += 1
+            entry = self._admit_service(peer, service)
             self._evict_services()
-            return service
+            return entry.service
         if entry.dirty:
             self._repair_service(peer, entry)
         else:
             self.stats.service_cache_hits += 1
         return entry.service
 
-    def _repair_service(self, peer: int, entry: _ServiceEntry) -> None:
-        service = entry.service
-        row_of = {c: k for k, c in enumerate(service.candidates)}
+    def _admit_service(self, peer: int, service: ServiceCosts) -> _ServiceEntry:
+        service.weights.setflags(write=False)
+        entry = _ServiceEntry(service, dec_cum=np.zeros(self._n))
+        self._service[peer] = entry
+        self.stats.service_full_builds += 1
+        return entry
+
+    def _repair_sources(self, entry: _ServiceEntry) -> List[int]:
+        """Consume ``entry.dirty``, returning the candidate rows to rebuild."""
+        row_of = {c: k for k, c in enumerate(entry.service.candidates)}
         sources = sorted(c for c in entry.dirty if c in row_of)
         entry.dirty = set()
+        return sources
+
+    def _repair_service(self, peer: int, entry: _ServiceEntry) -> None:
+        sources = self._repair_sources(entry)
         if not sources:
             self.stats.service_cache_hits += 1
             return
@@ -366,12 +445,93 @@ class GameEvaluator:
         fresh = service_cost_rows(
             self._dmat, stripped, peer, sources, self._backend
         )
+        self._install_rows(entry, sources, fresh)
+
+    def _install_rows(
+        self, entry: _ServiceEntry, sources: Sequence[int], fresh: np.ndarray
+    ) -> None:
+        """Write repaired rows in place and advance the effect bound."""
+        service = entry.service
+        row_of = {c: k for k, c in enumerate(service.candidates)}
         rows = [row_of[c] for c in sources]
+        old = service.weights[rows]  # fancy indexing: a snapshot copy
         service.weights.setflags(write=True)
         service.weights[rows] = fresh
         service.weights.setflags(write=False)
         self.stats.service_rows_recomputed += len(rows)
         self.stats.service_rows_reused += service.num_candidates - len(rows)
+        if np.array_equal(old, fresh):
+            return
+        with np.errstate(invalid="ignore"):
+            drop = old - fresh
+        drop[np.isnan(drop)] = 0.0  # inf - inf: still unreachable, no drop
+        np.maximum(drop, 0.0, out=drop)
+        if entry.dec_cum is None:
+            entry.dec_cum = np.zeros(self._n)
+        entry.dec_cum += drop.max(axis=0)
+        entry.changed_since_memo = True
+
+    def batch_service_costs(
+        self, peers: Optional[Sequence[int]] = None
+    ) -> List[ServiceCosts]:
+        """Service matrices for many peers from blocked Dijkstra calls.
+
+        Missing matrices are built in full and dirty ones repaired, but
+        instead of one shortest-path call per peer the underlying
+        multi-source runs are stacked into a block-diagonal graph and
+        answered by :func:`~repro.graphs.shortest_paths.
+        blocked_multi_source_distances` — a handful of scipy calls per
+        scheduler round.  Results (weights, cache bookkeeping, stats
+        semantics) are identical to calling :meth:`service_costs` once
+        per peer; only the call count changes.
+        """
+        self.profile  # raises unless a profile is bound
+        peers = list(range(self._n)) if peers is None else list(peers)
+        out: Dict[int, ServiceCosts] = {}
+        jobs: List[Tuple[int, str, List[int]]] = []
+        for peer in dict.fromkeys(peers):
+            if not 0 <= peer < self._n:
+                raise IndexError(f"peer {peer} out of range [0, {self._n})")
+            entry = self._service.get(peer)
+            if entry is None:
+                if self._n <= 1:
+                    out[peer] = self.service_costs(peer)
+                    continue
+                candidates = [j for j in range(self._n) if j != peer]
+                jobs.append((peer, "build", candidates))
+            elif entry.dirty:
+                sources = self._repair_sources(entry)
+                if not sources:
+                    self.stats.service_cache_hits += 1
+                    out[peer] = entry.service
+                else:
+                    jobs.append((peer, "repair", sources))
+            else:
+                self.stats.service_cache_hits += 1
+                out[peer] = entry.service
+        if jobs:
+            overlay = self.overlay
+            dist_blocks = blocked_multi_source_distances(
+                [
+                    (overlay.copy_without_out_edges(peer), sources)
+                    for peer, _kind, sources in jobs
+                ],
+                backend=self._backend,
+            )
+            for (peer, kind, sources), dist_h in zip(jobs, dist_blocks):
+                weights = normalize_service_rows(
+                    self._dmat, peer, sources, dist_h
+                )
+                if kind == "build":
+                    service = ServiceCosts(peer, tuple(sources), weights)
+                    entry = self._admit_service(peer, service)
+                else:
+                    entry = self._service[peer]
+                    self._install_rows(entry, sources, weights)
+                out[peer] = entry.service
+            self.stats.batch_calls += 1
+            self._evict_services()
+        return [out[peer] for peer in peers]
 
     def _evict_services(self) -> None:
         while len(self._service) > self._max_cached:
@@ -381,14 +541,156 @@ class GameEvaluator:
     # ------------------------------------------------------------------
     # Strategic queries
     # ------------------------------------------------------------------
+    #: Methods whose memoized response may be reused under the effect
+    #: bound (they return a true optimum, so "no strategy can have
+    #: overtaken it" is provable).  Heuristic methods reuse memos only
+    #: when the matrix is bit-identical (the solver is deterministic).
+    _EXACT_METHODS = ("exact", "brute")
+
     def best_response(
         self, peer: int, method: str = "exact"
     ) -> BestResponseResult:
-        """Best (or heuristic) response of ``peer`` from the cached ``W``."""
+        """Best (or heuristic) response of ``peer`` from the cached ``W``.
+
+        Responses are memoized per peer: when the dirty-row effect bound
+        proves the stored response cannot have been overtaken (see
+        :meth:`_memoized_response`), the solver is skipped entirely and
+        the memo is re-validated against the peer's current strategy.
+        """
         service = self.service_costs(peer)
-        return best_response_from_service(
+        cached = self._memoized_response(peer, method)
+        if cached is not None:
+            return cached
+        response = best_response_from_service(
             service, self.profile.strategy(peer), self._alpha, method
         )
+        self._store_memo(peer, response)
+        return response
+
+    def gain_sweep(
+        self,
+        method: str = "exact",
+        peers: Optional[Sequence[int]] = None,
+        workers: int = 1,
+    ) -> List[BestResponseResult]:
+        """Every peer's current best response (and gain) in one pass.
+
+        The sweep (1) refreshes all requested service matrices through
+        :meth:`batch_service_costs` (blocked Dijkstra), (2) answers peers
+        whose memoized response provably survived from the memo, and
+        (3) sends only the remaining peers to the response solver —
+        optionally across a thread pool (``workers > 1``; the per-peer
+        solves are independent pure functions of their service matrices,
+        so results are identical for any worker count).
+
+        Returns results in ``peers`` order (default: all peers).  This is
+        the engine behind the max-gain activation policy and multi-peer
+        scheduler batches: one sub-round of logically-concurrent
+        activations costs one blocked build plus the solves the effect
+        bound could not skip.
+        """
+        profile = self.profile
+        peers = list(range(self._n)) if peers is None else list(peers)
+        services = dict(zip(peers, self.batch_service_costs(peers)))
+        self.stats.gain_sweeps += 1
+        results: Dict[int, BestResponseResult] = {}
+        to_solve: List[int] = []
+        for peer in peers:
+            if peer in results:
+                continue
+            cached = self._memoized_response(peer, method)
+            if cached is not None:
+                results[peer] = cached
+            else:
+                to_solve.append(peer)
+
+        def solve(peer: int) -> BestResponseResult:
+            return best_response_from_service(
+                services[peer], profile.strategy(peer), self._alpha, method
+            )
+
+        if workers > 1 and len(to_solve) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(to_solve))
+            ) as pool:
+                solved = list(pool.map(solve, to_solve))
+        else:
+            solved = [solve(peer) for peer in to_solve]
+        for peer, response in zip(to_solve, solved):
+            self._store_memo(peer, response)
+            results[peer] = response
+        return [results[peer] for peer in peers]
+
+    def _memoized_response(
+        self, peer: int, method: str
+    ) -> Optional[BestResponseResult]:
+        """The stored response, iff it provably equals a fresh solve.
+
+        Two sound reuse conditions, checked against a *clean* (repaired)
+        service matrix:
+
+        * the matrix is bit-identical to when the memo was stored — any
+          deterministic solver returns the same strategy; or
+        * for exact methods, the effect bound holds: every repair
+          accumulated a per-target upper bound ``dec_cum[j]`` on how much
+          any strategy's column minimum can have dropped, so for every
+          strategy ``S``, ``f_new(S) >= f_old(S) - sum_j dec_cum[j] >=
+          old_opt - delta``.  When the memoized strategy's freshly
+          recomputed cost is ``<= old_opt - delta`` it is still optimal.
+
+        Either way the memo is re-scored against the peer's *current*
+        strategy (tolerance and status-quo tie-breaking mirror
+        :func:`~repro.core.best_response.best_response_from_service`), so
+        the result matches a fresh solve exactly on instances without
+        mathematically tied optima (the module-docstring caveat).
+        """
+        entry = self._service.get(peer)
+        if entry is None or entry.dirty:
+            return None
+        memo = entry.memo
+        if memo is None or memo.method != method:
+            return None
+        service = entry.service
+        if service.num_candidates == 0:
+            return None
+        if not entry.changed_since_memo:
+            opt_cost = memo.cost
+        else:
+            if method not in self._EXACT_METHODS:
+                return None
+            delta = float(entry.dec_cum.sum())
+            if not math.isfinite(delta):
+                return None
+            opt_cost = strategy_cost(
+                service, sorted(memo.strategy), self._alpha
+            )
+            if not opt_cost <= memo.cost - delta:
+                return None
+        current = sorted(self.profile.strategy(peer))
+        current_cost = strategy_cost(service, current, self._alpha)
+        self.stats.response_memo_hits += 1
+        if opt_cost < current_cost - improvement_tolerance(current_cost):
+            return BestResponseResult(
+                peer, memo.strategy, opt_cost, current_cost, True, method
+            )
+        return BestResponseResult(
+            peer, frozenset(current), current_cost, current_cost, False, method
+        )
+
+    def _store_memo(self, peer: int, response: BestResponseResult) -> None:
+        entry = self._service.get(peer)
+        self.stats.response_solves += 1
+        if entry is None:  # evicted between build and solve
+            return
+        entry.memo = _ResponseMemo(
+            response.method, response.strategy, response.cost
+        )
+        if entry.dec_cum is None:
+            entry.dec_cum = np.zeros(self._n)
+        entry.dec_cum[:] = 0.0
+        entry.changed_since_memo = False
 
     def find_improving_deviation(
         self, peer: int

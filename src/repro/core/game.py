@@ -159,6 +159,24 @@ class TopologyGame:
             peer
         )
 
+    def best_responses(
+        self, profile: StrategyProfile, method: str = "exact", workers: int = 1
+    ) -> list:
+        """Every peer's best response against ``profile`` in one sweep.
+
+        Batched counterpart of :meth:`best_response`: one
+        :meth:`~repro.core.evaluator.GameEvaluator.gain_sweep` builds all
+        service matrices through blocked multi-source Dijkstra, reuses
+        memoized responses when the dirty-row effect bound allows, and
+        (``workers > 1``) solves the rest on a thread pool.  Results are
+        identical to ``[game.best_response(profile, i, method) for i in
+        range(game.n)]``.
+        """
+        self._check_profile(profile)
+        return self.evaluator.set_profile(profile).gain_sweep(
+            method, workers=workers
+        )
+
     # ------------------------------------------------------------------
     # Convenience profiles
     # ------------------------------------------------------------------

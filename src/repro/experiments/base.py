@@ -9,12 +9,13 @@ hold?" is a field, not an interpretation.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
 
-__all__ = ["ExperimentResult", "ExperimentSpec"]
+__all__ = ["ExperimentResult", "ExperimentSpec", "HARNESS_PARAMS"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,13 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+#: Harness-level options the CLI applies to every experiment; these (and
+#: only these) are silently dropped for runners that do not accept them.
+#: Any other unknown parameter still raises ``TypeError`` as before, so
+#: a mistyped override cannot silently run the default workload.
+HARNESS_PARAMS = frozenset({"workers"})
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """Registry entry tying an experiment id to its runner.
@@ -82,5 +90,23 @@ class ExperimentSpec:
     runner: Callable[..., ExperimentResult]
 
     def run(self, **params) -> ExperimentResult:
-        """Run the experiment with the given parameter overrides."""
-        return self.runner(**params)
+        """Run the experiment with the given parameter overrides.
+
+        :data:`HARNESS_PARAMS` options (``workers``, ...) are forwarded
+        only to runners whose signature accepts them, so individual
+        experiments opt in without every runner growing pass-through
+        parameters; all other unknown parameters raise ``TypeError``.
+        """
+        runner = self.runner
+        signature = inspect.signature(runner)
+        accepts_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in signature.parameters.values()
+        )
+        if not accepts_kwargs:
+            params = {
+                key: value
+                for key, value in params.items()
+                if key in signature.parameters or key not in HARNESS_PARAMS
+            }
+        return runner(**params)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.constructions.no_nash import build_no_nash_instance
 from repro.core.dynamics import (
+    BatchedScheduler,
     BestResponseDynamics,
     RandomScheduler,
     RoundRobinScheduler,
@@ -29,14 +30,33 @@ from repro.metrics.euclidean import EuclideanMetric
 __all__ = ["run"]
 
 
+def _make_scheduler(name: str, seed: int):
+    """Scheduler factory shared by the random and witness passes.
+
+    ``"batched"`` runs every round as one logically-concurrent batch
+    (stale-profile semantics) — the round-based model of Theorem 5.1's
+    asynchronous-dynamics framing.
+    """
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    if name == "batched":
+        return BatchedScheduler()
+    return RandomScheduler(seed)
+
+
 def run(
     n: int = 8,
     alphas: Sequence[float] = (0.3, 1.0, 4.0),
     num_instances: int = 6,
     schedulers: Sequence[str] = ("round-robin", "random"),
     max_rounds: int = 150,
+    workers: int = 1,
 ) -> ExperimentResult:
-    """Convergence statistics on random instances vs the witness."""
+    """Convergence statistics on random instances vs the witness.
+
+    ``workers`` sizes the thread pool for the batched scheduler's
+    concurrent response solves (no effect on singleton schedulers).
+    """
     rows: List[Dict[str, Any]] = []
     for alpha in alphas:
         for scheduler_name in schedulers:
@@ -46,13 +66,12 @@ def run(
             for seed in range(num_instances):
                 metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
                 game = TopologyGame(metric, alpha)
-                scheduler = (
-                    RoundRobinScheduler()
-                    if scheduler_name == "round-robin"
-                    else RandomScheduler(seed)
-                )
+                scheduler = _make_scheduler(scheduler_name, seed)
                 result = BestResponseDynamics(
-                    game, scheduler=scheduler, record_moves=False
+                    game,
+                    scheduler=scheduler,
+                    record_moves=False,
+                    workers=workers,
                 ).run(max_rounds=max_rounds)
                 if result.converged:
                     outcomes["converged"] += 1
@@ -84,11 +103,7 @@ def run(
     witness_runs = 0
     for scheduler_name in schedulers:
         for seed in range(num_instances):
-            scheduler = (
-                RoundRobinScheduler()
-                if scheduler_name == "round-robin"
-                else RandomScheduler(seed)
-            )
+            scheduler = _make_scheduler(scheduler_name, seed)
             result = BestResponseDynamics(
                 witness, scheduler=scheduler, record_moves=False
             ).run(
@@ -137,5 +152,6 @@ def run(
             "alphas": list(alphas),
             "num_instances": num_instances,
             "schedulers": list(schedulers),
+            "workers": workers,
         },
     )

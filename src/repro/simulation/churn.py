@@ -23,8 +23,11 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.best_response import best_response as solve_best_response
+from repro.core.evaluator import GameEvaluator
+from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
 from repro.metrics.base import MetricSpace
+from repro.metrics.matrix import DistanceMatrixMetric
 
 __all__ = ["ChurnEpochRecord", "ChurnResult", "ChurnSimulation"]
 
@@ -78,6 +81,14 @@ class ChurnSimulation:
         RNG seed; runs are fully deterministic given the seed.
     method:
         Best-response solver used by active peers.
+    incremental:
+        Route every epoch's rewiring pass through a shared
+        :class:`~repro.core.evaluator.GameEvaluator` over the epoch's
+        active subgame (default), so consecutive activations reuse warm
+        overlay distances and service matrices; the epoch's social cost
+        is then served from the same caches.  Set False for the naive
+        from-scratch reference path (validation/benchmarks), matching
+        the dynamics/engine convention.
     """
 
     def __init__(
@@ -89,6 +100,7 @@ class ChurnSimulation:
         initial_active: Optional[Sequence[int]] = None,
         seed: Optional[int] = None,
         method: str = "greedy",
+        incremental: bool = True,
     ) -> None:
         if not 0.0 <= join_prob <= 1.0 or not 0.0 <= leave_prob <= 1.0:
             raise ValueError("join_prob and leave_prob must lie in [0, 1]")
@@ -100,6 +112,7 @@ class ChurnSimulation:
         self._leave_prob = leave_prob
         self._rng = np.random.default_rng(seed)
         self._method = method
+        self._incremental = incremental
         if initial_active is None:
             initial_active = list(range(max(2, metric.n // 2)))
         self._initial_active = sorted(set(initial_active))
@@ -116,8 +129,7 @@ class ChurnSimulation:
         self._bootstrap(active, strategies)
         records: List[ChurnEpochRecord] = []
         for epoch in range(epochs):
-            moves = self._rewire_epoch(active, strategies)
-            cost = self._social_cost(active, strategies)
+            moves, cost = self._run_epoch(active, strategies)
             joins, leaves = self._apply_churn(active, strategies)
             records.append(
                 ChurnEpochRecord(
@@ -169,34 +181,55 @@ class ChurnSimulation:
             ]
         )
 
-    def _rewire_epoch(
+    def _run_epoch(
         self, active: List[int], strategies: List[Set[int]]
-    ) -> int:
-        """One best-response pass over the active peers; returns #moves."""
+    ) -> Tuple[int, float]:
+        """One best-response pass over the active peers.
+
+        Returns ``(#moves, social cost)`` of the epoch.  On the default
+        incremental path the epoch owns one
+        :class:`~repro.core.evaluator.GameEvaluator` over the active
+        subgame: each activation is a single-peer strategy change, so
+        consecutive responses (and the closing social-cost query) reuse
+        warm overlay distances and service matrices instead of rerunning
+        Dijkstra from scratch per activation.
+        """
         if len(active) < 2:
-            return 0
+            return 0, 0.0
         dmat, _ = self._subgame(active)
+        sub = self._sub_profile(active, strategies)
+        evaluator: Optional[GameEvaluator] = None
+        if self._incremental:
+            subgame = TopologyGame(
+                DistanceMatrixMetric(dmat, validate=False), self._alpha
+            )
+            evaluator = GameEvaluator(subgame, sub)
         moves = 0
         for slot, peer in enumerate(active):
-            sub = self._sub_profile(active, strategies)
-            response = solve_best_response(
-                dmat, sub, slot, self._alpha, method=self._method
-            )
+            if evaluator is not None:
+                response = evaluator.set_profile(sub).best_response(
+                    slot, self._method
+                )
+            else:
+                # Reference path: rebuild the subprofile and solve from
+                # scratch, exactly as the seed implementation did.
+                sub = self._sub_profile(active, strategies)
+                response = solve_best_response(
+                    dmat, sub, slot, self._alpha, method=self._method
+                )
             if response.improved:
                 strategies[peer] = {active[t] for t in response.strategy}
                 moves += 1
-        return moves
+                if evaluator is not None:
+                    sub = sub.with_strategy(slot, response.strategy)
+        if evaluator is not None:
+            cost = evaluator.set_profile(sub).social_cost().total
+        else:
+            from repro.core.costs import social_cost as cost_of
 
-    def _social_cost(
-        self, active: List[int], strategies: List[Set[int]]
-    ) -> float:
-        from repro.core.costs import social_cost as cost_of
-
-        if len(active) < 2:
-            return 0.0
-        dmat, _ = self._subgame(active)
-        sub = self._sub_profile(active, strategies)
-        return cost_of(dmat, sub, self._alpha).total
+            sub = self._sub_profile(active, strategies)
+            cost = cost_of(dmat, sub, self._alpha).total
+        return moves, cost
 
     def _apply_churn(
         self, active: List[int], strategies: List[Set[int]]

@@ -10,11 +10,20 @@ Activation policies
 
 * ``"round-robin"`` / ``"random"`` / an explicit scheduler object —
   delegated to the core dynamics engine.
+* ``"batched"`` — every round activates all peers as one
+  logically-concurrent batch (:class:`~repro.core.dynamics.
+  BatchedScheduler`): responses are computed against the round-start
+  profile in one evaluator gain sweep, then committed in order with
+  conflict re-checks (stale-profile semantics; see
+  :mod:`repro.core.dynamics`).
 * ``"max-gain"`` — at every step the peer with the currently largest
   best-response improvement moves.  This is the natural greedy/adversarial
   dynamic; on the paper's no-Nash witness it cycles like every other
-  policy, and on convergent instances it often converges in fewer moves
-  (at the price of evaluating every peer's response each step).
+  policy, and on convergent instances it often converges in fewer moves.
+  The all-peers sweep each step runs as one
+  :meth:`~repro.core.evaluator.GameEvaluator.gain_sweep`: blocked
+  service-matrix builds, effect-bound memo skips, and (``workers > 1``)
+  thread-pooled response solves.
 """
 
 from __future__ import annotations
@@ -25,10 +34,14 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.best_response import best_response as _uncached_best_response
 from repro.core.dynamics import (
+    BatchedScheduler,
     BestResponseDynamics,
     CycleInfo,
     RandomScheduler,
     RoundRobinScheduler,
+    batch_responses,
+    recheck_improvement,
+    scheduler_batches,
 )
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
@@ -80,8 +93,9 @@ class SimulationEngine:
     method:
         Best-response solver (``"exact"``, ``"greedy"``, ``"brute"``).
     activation:
-        ``"round-robin"``, ``"random"``, ``"max-gain"``, or a scheduler
-        object with an ``order(round_index, n)`` method.
+        ``"round-robin"``, ``"random"``, ``"batched"``, ``"max-gain"``,
+        or a scheduler object with an ``order``/``batches`` method (see
+        :class:`~repro.core.dynamics.Scheduler`).
     seed:
         Seed for the ``"random"`` activation policy.
     evaluator:
@@ -92,6 +106,10 @@ class SimulationEngine:
     incremental:
         Set False to recompute every response from scratch (reference
         path for validation/benchmarks).
+    workers:
+        Thread-pool size for the independent response solves of a gain
+        sweep (max-gain policy and multi-peer batches).  Results are
+        identical for any worker count; 1 means fully serial.
     """
 
     def __init__(
@@ -102,6 +120,7 @@ class SimulationEngine:
         seed: Optional[int] = None,
         evaluator: Optional["GameEvaluator"] = None,
         incremental: bool = True,
+        workers: int = 1,
     ) -> None:
         self._game = game
         self._method = method
@@ -109,6 +128,7 @@ class SimulationEngine:
         self._seed = seed
         self._incremental = incremental
         self._evaluator = evaluator
+        self._workers = max(1, int(workers))
 
     def _active_evaluator(self) -> Optional["GameEvaluator"]:
         if not self._incremental:
@@ -161,6 +181,7 @@ class SimulationEngine:
             record_moves=False,
             evaluator=self._evaluator,
             incremental=self._incremental,
+            workers=self._workers,
         )
         result = dynamics.run(
             initial=profile,
@@ -189,10 +210,13 @@ class SimulationEngine:
             return RoundRobinScheduler()
         if self._activation == "random":
             return RandomScheduler(self._seed)
+        if self._activation == "batched":
+            return BatchedScheduler()
         if isinstance(self._activation, str):
             raise ValueError(
                 f"unknown activation policy {self._activation!r}; expected "
-                f"'round-robin', 'random', 'max-gain' or a scheduler object"
+                f"'round-robin', 'random', 'batched', 'max-gain' or a "
+                f"scheduler object"
             )
         return self._activation
 
@@ -207,18 +231,41 @@ class SimulationEngine:
 
         The core engine has no observer hook (by design, it stays small);
         simulations that need instrumentation pay one extra run.  Random
-        activation reuses the same seed, so the replay is identical.
+        activation reuses the same seed, so the replay is identical, and
+        multi-peer batches replay under the same stale-profile commit
+        semantics as the main run.
         """
         game = self._game
         scheduler = self._resolve_scheduler()
+        evaluator = self._active_evaluator()
         profile = initial
         seen = set()
         deterministic = getattr(scheduler, "deterministic", False)
         for round_index in range(max_rounds):
             moved = False
-            for peer in scheduler.order(round_index, game.n):
-                response = self._best_response(profile, peer)
-                if response.improved:
+            for batch in scheduler_batches(scheduler, round_index, game.n):
+                batch = list(batch)
+                if len(batch) == 1:
+                    responses = [self._best_response(profile, batch[0])]
+                else:
+                    responses = batch_responses(
+                        game,
+                        profile,
+                        batch,
+                        self._method,
+                        evaluator,
+                        self._workers,
+                    )
+                base_profile = profile
+                for peer, response in zip(batch, responses):
+                    if not response.improved:
+                        continue
+                    if profile is not base_profile:
+                        commit, _old, _new = recheck_improvement(
+                            game, profile, response, evaluator
+                        )
+                        if not commit:
+                            continue
                     profile = profile.with_strategy(peer, response.strategy)
                     moved = True
             for observer in observers:
@@ -239,9 +286,19 @@ class SimulationEngine:
         observers: List[Observer],
         detect_cycles: bool,
     ) -> SimulationReport:
-        """Largest-gain-first dynamics (one move per "round")."""
+        """Largest-gain-first dynamics (one move per "round").
+
+        The all-peers sweep of every step is one evaluator
+        :meth:`~repro.core.evaluator.GameEvaluator.gain_sweep` — blocked
+        service-matrix builds plus effect-bound memo skips — instead of
+        ``n`` sequential solver calls; the non-incremental reference
+        path keeps the per-peer loop.  Peer enumeration order and the
+        strictly-greater argmax are unchanged, so trajectories match the
+        per-peer sweep exactly.
+        """
         game = self._game
         profile = initial if initial is not None else game.empty_profile()
+        evaluator = self._active_evaluator()
         seen = {}
         cycle: Optional[CycleInfo] = None
         moves = 0
@@ -251,8 +308,16 @@ class SimulationEngine:
         for round_index in range(max_rounds):
             best_peer = -1
             best_response = None
-            for peer in range(game.n):
-                response = self._best_response(profile, peer)
+            if evaluator is not None:
+                responses = evaluator.set_profile(profile).gain_sweep(
+                    self._method, workers=self._workers
+                )
+            else:
+                responses = [
+                    self._best_response(profile, peer)
+                    for peer in range(game.n)
+                ]
+            for peer, response in enumerate(responses):
                 if response.improved and (
                     best_response is None or response.gain > best_response.gain
                 ):

@@ -30,6 +30,23 @@ class TestChurnSimulation:
         assert len(result.records) == 6
         assert [r.epoch for r in result.records] == list(range(6))
 
+    def test_incremental_matches_reference_path(self, universe):
+        """The evaluator-backed epochs reproduce the naive path exactly."""
+        cached = ChurnSimulation(universe, alpha=1.0, seed=9).run(epochs=10)
+        naive = ChurnSimulation(
+            universe, alpha=1.0, seed=9, incremental=False
+        ).run(epochs=10)
+        assert cached.final_active == naive.final_active
+        assert cached.final_profile == naive.final_profile
+        for got, want in zip(cached.records, naive.records):
+            assert (got.epoch, got.num_active, got.joins, got.leaves,
+                    got.moves) == (want.epoch, want.num_active, want.joins,
+                                   want.leaves, want.moves)
+            if math.isinf(want.social_cost):
+                assert math.isinf(got.social_cost)
+            else:
+                assert got.social_cost == pytest.approx(want.social_cost)
+
     def test_active_count_tracks_joins_and_leaves(self, universe):
         result = ChurnSimulation(
             universe, alpha=1.0, join_prob=0.3, leave_prob=0.1, seed=2

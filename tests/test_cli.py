@@ -24,6 +24,22 @@ class TestParser:
         args = build_parser().parse_args(["certify", "--alpha", "0.62"])
         assert args.alpha == 0.62
 
+    def test_workers_flag_on_run_run_all_and_demo(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "E9", "--workers", "4"]).workers == 4
+        assert parser.parse_args(["run", "E9"]).workers == 1
+        assert parser.parse_args(["run-all", "--workers", "2"]).workers == 2
+        assert parser.parse_args(["demo", "--workers", "3"]).workers == 3
+
+    def test_run_help_range_derived_from_registry(self, capsys):
+        from repro.experiments import EXPERIMENTS
+
+        ids = list(EXPERIMENTS)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        out = capsys.readouterr().out
+        assert f"{ids[0]}..{ids[-1]}" in out
+
 
 class TestCommands:
     def test_list(self, capsys):
