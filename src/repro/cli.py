@@ -39,16 +39,57 @@ def _experiment_id_range() -> str:
     return ids[0] if len(ids) == 1 else f"{ids[0]}..{ids[-1]}"
 
 
-def _add_workers_flag(command) -> None:
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: reject 0/negative up front.
+
+    A worker count below 1 used to fall through to a silently-serial
+    run; failing fast keeps "I asked for parallelism and got none"
+    impossible.
+    """
+    try:
+        value = int(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from error
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {value}"
+        )
+    return value
+
+
+def _add_execution_flags(command) -> None:
     command.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help=(
-            "thread-pool size for batched response solves (forwarded to "
+            "worker count for batched response solves (forwarded to "
             "experiments that support it; 1 = serial)"
         ),
     )
+    command.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help=(
+            "execution backend for those solves: 'thread' shares the "
+            "caches under the GIL, 'process' runs a worker pool over a "
+            "shared-memory service-matrix store (needs --workers >= 2); "
+            "default: thread pool iff --workers > 1"
+        ),
+    )
+
+
+def _check_execution_flags(args, parser: argparse.ArgumentParser) -> None:
+    """Cross-flag validation argparse cannot express on its own."""
+    if getattr(args, "backend", None) == "process" and args.workers < 2:
+        parser.error(
+            "--backend process needs --workers >= 2: a single-worker "
+            "process pool only adds IPC overhead over a serial run "
+            "(use --backend serial, or raise --workers)"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,13 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out", default=None, help="also write the output to this file"
     )
-    _add_workers_flag(run)
+    _add_execution_flags(run)
 
     run_all = sub.add_parser(
         "run-all", help="run every experiment (full reproduction)"
     )
     run_all.add_argument("--json", action="store_true")
-    _add_workers_flag(run_all)
+    _add_execution_flags(run_all)
 
     certify = sub.add_parser(
         "certify", help="exhaustively certify the no-Nash witness"
@@ -93,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     demo = sub.add_parser("demo", help="a 30-second guided tour")
-    _add_workers_flag(demo)
+    _add_execution_flags(demo)
     return parser
 
 
@@ -134,7 +175,11 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(
-    experiment_id: str, as_json: bool, out: Optional[str], workers: int
+    experiment_id: str,
+    as_json: bool,
+    out: Optional[str],
+    workers: int,
+    backend: Optional[str],
 ) -> int:
     from repro.experiments import get_experiment
 
@@ -143,7 +188,7 @@ def _cmd_run(
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = spec.run(workers=workers)
+    result = spec.run(workers=workers, backend=backend)
     if as_json:
         _emit(json.dumps(_result_payload(result), indent=2, default=str), out)
     else:
@@ -151,13 +196,13 @@ def _cmd_run(
     return 0 if result.verdict else 1
 
 
-def _cmd_run_all(as_json: bool, workers: int) -> int:
+def _cmd_run_all(as_json: bool, workers: int, backend: Optional[str]) -> int:
     from repro.experiments import EXPERIMENTS
 
     exit_code = 0
     payloads = []
     for spec in EXPERIMENTS.values():
-        result = spec.run(workers=workers)
+        result = spec.run(workers=workers, backend=backend)
         if as_json:
             payloads.append(_result_payload(result))
         else:
@@ -189,7 +234,7 @@ def _cmd_certify(alpha: Optional[float]) -> int:
     return 0
 
 
-def _cmd_demo(workers: int) -> int:
+def _cmd_demo(workers: int, backend: Optional[str]) -> int:
     from repro import BestResponseDynamics, TopologyGame
     from repro.constructions.no_nash import build_no_nash_instance
     from repro.metrics.euclidean import EuclideanMetric
@@ -209,13 +254,18 @@ def _cmd_demo(workers: int) -> int:
     print(f"   {witness_run}")
     print()
     print(
-        f"3. Batched max-gain sweeps (n=32, alpha=1, workers={workers}):"
+        f"3. Batched max-gain sweeps (n=32, alpha=1, workers={workers}, "
+        f"backend={backend or 'auto'}):"
     )
     sweep_game = TopologyGame(
         EuclideanMetric.random_uniform(32, dim=2, seed=2), alpha=1.0
     )
     engine = SimulationEngine(
-        sweep_game, method="greedy", activation="max-gain", workers=workers
+        sweep_game,
+        method="greedy",
+        activation="max-gain",
+        workers=workers,
+        backend=backend,
     )
     report = engine.run(max_rounds=120)
     stats = sweep_game.evaluator.stats
@@ -236,20 +286,27 @@ def _cmd_demo(workers: int) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("run", "run-all", "demo"):
+        _check_execution_flags(args, parser)
     try:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(
-                args.experiment_id, args.json, args.out, args.workers
+                args.experiment_id,
+                args.json,
+                args.out,
+                args.workers,
+                args.backend,
             )
         if args.command == "run-all":
-            return _cmd_run_all(args.json, args.workers)
+            return _cmd_run_all(args.json, args.workers, args.backend)
         if args.command == "certify":
             return _cmd_certify(args.alpha)
         if args.command == "demo":
-            return _cmd_demo(args.workers)
+            return _cmd_demo(args.workers, args.backend)
     except BrokenPipeError:  # downstream pager closed (e.g. `| head`)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

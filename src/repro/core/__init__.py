@@ -94,11 +94,35 @@ from repro.core.social_optimum import (
     optimum_upper_bound,
     social_cost_lower_bound,
 )
+from repro.core.backends import (
+    ProcessBackend,
+    SerialBackend,
+    SolverBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.core.service_store import (
+    ArrayStore,
+    ServiceStore,
+    SharedMemoryStore,
+    SpillStore,
+    make_store,
+)
 from repro.core.topology import build_overlay, overlay_from_matrix
 
 __all__ = [
     "StrategyProfile",
     "TopologyGame",
+    "SolverBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "ServiceStore",
+    "ArrayStore",
+    "SharedMemoryStore",
+    "SpillStore",
+    "make_store",
     "CostBreakdown",
     "stretch_matrix",
     "individual_costs",

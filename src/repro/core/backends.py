@@ -1,0 +1,271 @@
+"""Pluggable execution backends for independent best-response solves.
+
+A gain sweep (:meth:`repro.core.evaluator.GameEvaluator.gain_sweep`)
+ends in a batch of *independent, read-only* solver calls — one
+facility-location solve per peer against that peer's service matrix.
+How those calls execute is a deployment decision, not a game-theoretic
+one, so it lives behind a tiny protocol:
+
+:class:`SerialBackend`
+    Plain loop in the calling thread (the default; byte-identical to
+    the pre-backend engine).
+:class:`ThreadBackend`
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  Wins
+    are capped by the GIL on the numpy-light solver paths, but threads
+    share every cache for free.
+:class:`ProcessBackend`
+    A persistent :class:`~concurrent.futures.ProcessPoolExecutor` whose
+    workers *attach* to the evaluator's shareable
+    :mod:`~repro.core.service_store` (shared-memory segments or spill-
+    file windows) and solve against the parent's pages directly — tasks
+    carry ``(store_handle, peer, strategy, profile_digest)``, never the
+    ``W`` matrix itself, so dispatch cost is independent of ``n``.
+
+Every backend runs the same pure function
+(:func:`~repro.core.best_response.best_response_from_service`) on the
+same bytes, so results — and therefore dynamics trajectories — are
+identical across backends and worker counts.  The test-suite pins this.
+
+Backends are resolved once per engine (:func:`resolve_backend`) so the
+pools persist across sweeps; ``close()`` (or garbage collection) tears
+the pools down.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.best_response import (
+    BestResponseResult,
+    ServiceCosts,
+    best_response_from_service,
+)
+from repro.core.service_store import attach_service_weights
+
+__all__ = [
+    "SolverBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "BACKEND_SPECS",
+]
+
+#: ``--backend`` spec strings accepted by :func:`resolve_backend`.
+BACKEND_SPECS = ("serial", "thread", "process")
+
+#: A picklable solve task: ``(store_handle, peer, strategy, alpha,
+#: method, profile_digest)``.  The digest identifies which bound profile
+#: the strategy (and the attached matrix's bytes) belong to — pure
+#: observability/debugging metadata; the solve is a function of the
+#: other fields alone.
+SolveTask = Tuple[Tuple, int, Tuple[int, ...], float, str, int]
+
+
+class SolverBackend:
+    """Execution policy for a batch of independent response solves.
+
+    :meth:`run_solves` receives the peers to solve, a ``solve_local``
+    closure (solves one peer in this process against the evaluator's
+    caches) and a ``make_task`` closure (builds the picklable
+    :data:`SolveTask` for one peer, attaching a store handle).  In-
+    process backends use ``solve_local``; distributed ones use
+    ``make_task``.  Results come back in ``peers`` order.
+    """
+
+    name = "serial"
+    #: True when solves cross process boundaries, i.e. the evaluator
+    #: must expose its service matrices through a shareable store.
+    distributed = False
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+
+    def run_solves(
+        self,
+        peers: Sequence[int],
+        solve_local: Callable[[int], BestResponseResult],
+        make_task: Optional[Callable[[int], SolveTask]] = None,
+    ) -> List[BestResponseResult]:
+        return [solve_local(peer) for peer in peers]
+
+    def close(self) -> None:
+        """Release pool resources (no-op for poolless backends)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(SolverBackend):
+    """Solve in the calling thread — the reference execution order."""
+
+    name = "serial"
+
+
+class ThreadBackend(SolverBackend):
+    """Thread-pool solves sharing the caller's caches (GIL-capped)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._pool = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-solver",
+            )
+            self._finalizer = weakref.finalize(
+                self, ThreadBackend._shutdown, self._pool
+            )
+        return self._pool
+
+    @staticmethod
+    def _shutdown(pool) -> None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_solves(
+        self,
+        peers: Sequence[int],
+        solve_local: Callable[[int], BestResponseResult],
+        make_task: Optional[Callable[[int], SolveTask]] = None,
+    ) -> List[BestResponseResult]:
+        if len(peers) <= 1 or self.workers <= 1:
+            return [solve_local(peer) for peer in peers]
+        return list(self._executor().map(solve_local, peers))
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+            self._pool = None
+            self._finalizer = None
+
+
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+#: Worker-side cache of candidate tuples; every service matrix built by
+#: the evaluator prices all first hops, so candidates are always
+#: ``(0..n-1) - {peer}`` and need not travel with the task.
+_CANDIDATE_CACHE: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+
+def _candidates_of(peer: int, n: int) -> Tuple[int, ...]:
+    key = (peer, n)
+    cached = _CANDIDATE_CACHE.get(key)
+    if cached is None:
+        cached = tuple(j for j in range(n) if j != peer)
+        _CANDIDATE_CACHE[key] = cached
+    return cached
+
+
+def solve_service_task(task: SolveTask) -> BestResponseResult:
+    """Pool-worker entry point: attach the matrix, solve, return.
+
+    The matrix bytes never cross the pipe — only the handle does; the
+    worker maps the owner's shared-memory segment / spill-file window
+    (cached per process) and runs the same pure solver the serial
+    backend runs.
+    """
+    handle, peer, strategy, alpha, method, _digest = task
+    weights = attach_service_weights(handle)
+    service = ServiceCosts(peer, _candidates_of(peer, weights.shape[1]), weights)
+    return best_response_from_service(service, strategy, alpha, method)
+
+
+class ProcessBackend(SolverBackend):
+    """Process-pool solves over a shared-memory service-matrix store.
+
+    Workers receive :data:`SolveTask` tuples and attach the evaluator's
+    store (see module docstring).  The pool is created lazily on first
+    use — with the ``fork`` start method where available, so workers
+    inherit the parent's imports — and persists across sweeps; in-place
+    matrix repairs between sweeps are visible to the workers through the
+    shared mappings without any re-dispatch.
+    """
+
+    name = "process"
+    distributed = True
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._pool = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _executor(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+            self._finalizer = weakref.finalize(
+                self, ProcessBackend._shutdown, self._pool
+            )
+        return self._pool
+
+    @staticmethod
+    def _shutdown(pool) -> None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_solves(
+        self,
+        peers: Sequence[int],
+        solve_local: Callable[[int], BestResponseResult],
+        make_task: Optional[Callable[[int], SolveTask]] = None,
+    ) -> List[BestResponseResult]:
+        if len(peers) <= 1:
+            # Pool round-trips cost more than a singleton solve; results
+            # are identical either way (same pure function, same bytes).
+            return [solve_local(peer) for peer in peers]
+        if make_task is None:
+            raise RuntimeError(
+                "ProcessBackend needs store-handle tasks; the evaluator "
+                "must expose a shareable service store"
+            )
+        tasks = [make_task(peer) for peer in peers]
+        chunksize = max(1, len(tasks) // (self.workers * 4))
+        return list(
+            self._executor().map(solve_service_task, tasks, chunksize=chunksize)
+        )
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+            self._pool = None
+            self._finalizer = None
+
+
+# ----------------------------------------------------------------------
+def resolve_backend(spec, workers: int = 1) -> SolverBackend:
+    """Normalize a backend spec into a :class:`SolverBackend` instance.
+
+    ``None`` preserves the legacy ``workers=N`` behavior: a thread pool
+    when ``workers > 1``, else serial.  Strings name the standard
+    backends (:data:`BACKEND_SPECS`), sized by ``workers``; instances
+    pass through unchanged (their own worker count wins).
+    """
+    if isinstance(spec, SolverBackend):
+        return spec
+    if spec is None:
+        return ThreadBackend(workers) if workers > 1 else SerialBackend()
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "thread":
+        return ThreadBackend(max(2, workers))
+    if spec == "process":
+        return ProcessBackend(max(2, workers))
+    raise ValueError(
+        f"unknown solver backend {spec!r}; expected one of {BACKEND_SPECS}, "
+        f"None, or a SolverBackend instance"
+    )

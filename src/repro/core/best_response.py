@@ -57,6 +57,8 @@ __all__ = [
     "find_improving_deviation",
     "improving_deviation_from_service",
     "greedy_local_search_reference",
+    "dominance_filter",
+    "dominance_filter_reference",
     "improvement_tolerance",
     "RELATIVE_TOLERANCE",
 ]
@@ -405,12 +407,50 @@ def _minima_of(weights: np.ndarray, rows: Sequence[int], peer: int) -> np.ndarra
 # ----------------------------------------------------------------------
 # Exact: branch and bound
 # ----------------------------------------------------------------------
-def _dominance_filter(weights: np.ndarray) -> List[int]:
+#: Broadcast-block size cap for the vectorized dominance filter: each
+#: chunk materializes a ``(k, chunk, n)`` boolean block; 2^24 cells keeps
+#: that under ~32 MiB of comparison temporaries at any ``k``.
+_DOMINANCE_CHUNK_CELLS = 1 << 24
+
+
+def dominance_filter(weights: np.ndarray) -> List[int]:
     """Indices of candidate rows that are not (weakly) dominated.
 
     Row ``u`` is dominated by ``v`` when ``W[v, j] <= W[u, j]`` for every
     target ``j``; dominated candidates never appear in some optimal
     solution, so they can be dropped (ties keep the lower index).
+
+    One broadcast comparison replaces the historical O(k^2) Python loop
+    (kept as :func:`dominance_filter_reference`): ``le[v, u]`` /
+    ``lt[v, u]`` are reduced over the target axis for all pairs at once,
+    chunked over ``u`` so the boolean temporaries stay bounded.  The
+    predicate — and therefore the returned index list — is identical to
+    the reference for every input, ``inf`` entries included (``inf <=
+    inf`` and the loop agree elementwise).
+    """
+    k = weights.shape[0]
+    if k <= 1:
+        return list(range(k))
+    n = max(1, weights.shape[1])
+    keep = np.ones(k, dtype=bool)
+    chunk = max(1, _DOMINANCE_CHUNK_CELLS // (k * n))
+    v_index = np.arange(k)[:, None]
+    for start in range(0, k, chunk):
+        block = weights[start : start + chunk]  # the "u" rows
+        le = (weights[:, None, :] <= block[None, :, :]).all(axis=2)
+        lt = (weights[:, None, :] < block[None, :, :]).any(axis=2)
+        u_index = np.arange(start, start + block.shape[0])[None, :]
+        dominates = le & (lt | (v_index < u_index)) & (v_index != u_index)
+        keep[start : start + block.shape[0]] = ~dominates.any(axis=0)
+    return np.nonzero(keep)[0].tolist()
+
+
+def dominance_filter_reference(weights: np.ndarray) -> List[int]:
+    """Loop-based reference oracle for :func:`dominance_filter`.
+
+    The pre-vectorization implementation, kept (like
+    ``greedy_local_search_reference``) as a validation baseline for
+    property tests and benchmarks.
     """
     k = weights.shape[0]
     keep = []
@@ -426,6 +466,9 @@ def _dominance_filter(weights: np.ndarray) -> List[int]:
         if not dominated:
             keep.append(u)
     return keep
+
+
+_dominance_filter = dominance_filter
 
 
 def _branch_and_bound(

@@ -139,19 +139,39 @@ class FixedOrderScheduler(Scheduler):
 
 
 class RandomScheduler(Scheduler):
-    """Activate peers in an independently shuffled order each round."""
+    """Activate peers in an independently shuffled order each round.
+
+    ``batch_size`` chunks each round's shuffled order into multi-peer
+    batches of logically-concurrent activations (stale-profile commit
+    semantics, see the module docstring); the default ``None`` keeps the
+    classic singleton behavior.  The shuffle stream is identical either
+    way, so ``batch_size=1`` reproduces the default exactly.
+    """
 
     deterministic = False
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(
+        self, seed: Optional[int] = None, batch_size: Optional[int] = None
+    ) -> None:
         import random
 
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._rng = random.Random(seed)
+        self._batch_size = batch_size
 
     def order(self, round_index: int, n: int) -> Sequence[int]:
         order = list(range(n))
         self._rng.shuffle(order)
         return order
+
+    def batches(self, round_index: int, n: int) -> Iterator[Sequence[int]]:
+        if self._batch_size is None:
+            yield from super().batches(round_index, n)
+            return
+        peers = list(self.order(round_index, n))
+        for start in range(0, len(peers), self._batch_size):
+            yield peers[start : start + self._batch_size]
 
 
 class BatchedScheduler(Scheduler):
@@ -271,18 +291,21 @@ def batch_responses(
     method: str,
     evaluator: Optional["GameEvaluator"] = None,
     workers: int = 1,
+    backend=None,
 ) -> List[BestResponseResult]:
     """Stale responses for one batch, all computed against ``profile``.
 
     With an evaluator this is one
     :meth:`~repro.core.evaluator.GameEvaluator.gain_sweep` (blocked
-    service builds, effect-bound memo skips, optional thread pool);
+    service builds, effect-bound memo skips, and the solves dispatched
+    through the given :mod:`~repro.core.backends` execution backend);
     without, the from-scratch reference path solves the batch peer by
-    peer against the same frozen profile.
+    peer against the same frozen profile (``backend`` is ignored there —
+    the reference path stays maximally simple).
     """
     if evaluator is not None:
         return evaluator.set_profile(profile).gain_sweep(
-            method, peers=batch, workers=workers
+            method, peers=batch, workers=workers, backend=backend
         )
     return [
         _uncached_best_response(
@@ -355,8 +378,16 @@ class BestResponseDynamics:
         Set False to bypass the evaluator entirely and recompute every
         response from scratch (reference path for validation/benchmarks).
     workers:
-        Thread-pool size for the independent response solves of a
+        Worker count for the independent response solves of a
         multi-peer batch (1 = serial; results are identical either way).
+    backend:
+        Execution backend for those solves — ``"serial"``, ``"thread"``,
+        ``"process"``, or a :class:`~repro.core.backends.SolverBackend`
+        instance (default: a thread pool when ``workers > 1``, else
+        serial).  Resolved once so pools persist across rounds; the
+        process backend attaches the evaluator's shared service store
+        and never pickles a service matrix.  Results are identical for
+        every backend.
     """
 
     def __init__(
@@ -370,7 +401,10 @@ class BestResponseDynamics:
         evaluator: Optional["GameEvaluator"] = None,
         incremental: bool = True,
         workers: int = 1,
+        backend=None,
     ) -> None:
+        from repro.core.backends import resolve_backend
+
         self._game = game
         self._method = method
         self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
@@ -380,6 +414,7 @@ class BestResponseDynamics:
         self._evaluator = evaluator
         self._incremental = incremental
         self._workers = max(1, int(workers))
+        self._backend = resolve_backend(backend, self._workers)
 
     def run(
         self,
@@ -465,6 +500,7 @@ class BestResponseDynamics:
                         self._method,
                         evaluator,
                         self._workers,
+                        self._backend,
                     )
                 base_profile = profile
                 singleton = len(batch) == 1

@@ -75,9 +75,33 @@ dispatches the remaining (independent, read-only) solver calls to a
 thread pool; results are identical for any worker count.
 
 The evaluator rebinds and repairs caches in place and is **not**
-thread-safe across concurrent queries; the worker pool inside
-``gain_sweep`` is safe because all cache mutation happens before and
+thread-safe across concurrent queries; the worker pools driven by
+``gain_sweep`` are safe because all cache mutation happens before and
 after the parallel section.
+
+Service stores and execution backends
+-------------------------------------
+
+Where the cached ``W`` matrices *live* is pluggable
+(:mod:`repro.core.service_store`): the default ``store="memory"`` keeps
+plain ndarrays (the historical behavior), ``store="shared"`` moves every
+matrix into a :mod:`multiprocessing.shared_memory` segment, and
+``store="spill"`` (or a configured ``SpillStore``) bounds the resident
+RAM copies to a byte budget, spilling cold matrices to a memory-mapped
+file with LRU promotion.  Stores move bytes without changing them, so
+every query is bit-identical across stores.
+
+How a sweep's response solves *execute* is equally pluggable
+(:mod:`repro.core.backends`): ``gain_sweep(backend=...)`` accepts
+``"serial"``/``"thread"``/``"process"`` or a
+:class:`~repro.core.backends.SolverBackend` instance.  The process
+backend requires (and auto-migrates to) a shareable store: pool workers
+receive ``(store_handle, peer, strategy, digest)`` tasks and attach the
+store's segments/windows directly — the matrices are never pickled, and
+in-place repairs between sweeps are visible to long-lived workers
+through the shared mappings.  All backends run the same pure solver on
+the same bytes, so trajectories are identical for any backend and any
+worker count.
 
 Equivalence with the naive paths: candidate enumeration order and
 tie-breaking mirror the reference implementations, and the two agree
@@ -100,6 +124,7 @@ from typing import (
     TYPE_CHECKING,
     Dict,
     FrozenSet,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -109,6 +134,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.backends import SolverBackend, resolve_backend
 from repro.core.best_response import (
     BestResponseResult,
     ServiceCosts,
@@ -127,6 +153,7 @@ from repro.core.costs import (
     stretch_from_distances,
 )
 from repro.core.profile import StrategyProfile
+from repro.core.service_store import SharedMemoryStore, make_store
 from repro.core.topology import overlay_from_matrix
 from repro.graphs.digraph import WeightedDigraph
 from repro.graphs.shortest_paths import (
@@ -154,6 +181,14 @@ class EvaluatorStats:
     ``response_solves`` counts queries that went to the solver.
     ``batch_calls`` counts :meth:`GameEvaluator.batch_service_costs`
     invocations that issued at least one blocked Dijkstra.
+
+    The ``store_*`` counters are maintained by the bound service store
+    (:mod:`repro.core.service_store`): ``store_resident_bytes`` /
+    ``store_resident_peak_bytes`` track the RAM held by matrix copies
+    right now / at the high-water mark, and ``store_promotions`` /
+    ``store_demotions`` count spill-file round-trips.  For the plain
+    in-memory store, promotions and demotions stay 0 and resident bytes
+    equal the cache size.
     """
 
     full_resets: int = 0
@@ -168,6 +203,10 @@ class EvaluatorStats:
     gain_sweeps: int = 0
     response_solves: int = 0
     response_memo_hits: int = 0
+    store_promotions: int = 0
+    store_demotions: int = 0
+    store_resident_bytes: int = 0
+    store_resident_peak_bytes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -190,7 +229,17 @@ class _ResponseMemo:
 
 @dataclass
 class _ServiceEntry:
-    service: ServiceCosts
+    """Cache bookkeeping for one peer's service matrix.
+
+    The matrix *bytes* live in the evaluator's service store; the entry
+    holds the candidate row order plus dirtiness/memo state.  ``service``
+    is a transient :class:`ServiceCosts` view over the store's current
+    backing array — cached only for stores whose backing never moves, so
+    a spill store's demotions actually release the RAM copy.
+    """
+
+    candidates: Tuple[int, ...]
+    service: Optional[ServiceCosts] = None
     dirty: Set[int] = field(default_factory=set)
     #: Per-target cumulative upper bound on how much the column minimum of
     #: *any* strategy can have decreased across repairs since the memo was
@@ -213,11 +262,19 @@ class GameEvaluator:
         Optional initial profile to bind (default: bind lazily on first
         :meth:`set_profile`).
     backend:
-        Shortest-path backend forwarded to the Dijkstra layer.
+        Shortest-path backend forwarded to the Dijkstra layer (not to be
+        confused with the *solver execution* backend of
+        :meth:`gain_sweep`).
     max_cached_services:
         Upper bound on the number of per-peer service matrices kept warm
         (each is an ``(n-1) x n`` float matrix).  Oldest entries are
         evicted first.
+    store:
+        Where cached service matrices live: ``"memory"`` (default,
+        plain ndarrays), ``"shared"`` (shared-memory segments, required
+        for — and auto-migrated to by — the process solver backend),
+        ``"spill"`` (budgeted RAM + memory-mapped spill file), or any
+        :class:`~repro.core.service_store.ServiceStore` instance.
     """
 
     def __init__(
@@ -226,6 +283,7 @@ class GameEvaluator:
         profile: Optional[StrategyProfile] = None,
         backend: str = "auto",
         max_cached_services: int = 512,
+        store="memory",
     ) -> None:
         self._game = game
         self._dmat = game.distance_matrix
@@ -240,6 +298,8 @@ class GameEvaluator:
         self._stretch: Optional[np.ndarray] = None
         self._service: Dict[int, _ServiceEntry] = {}
         self.stats = EvaluatorStats()
+        self._store = make_store(store)
+        self._store.bind_stats(self.stats)
         if profile is not None:
             self.set_profile(profile)
 
@@ -306,6 +366,7 @@ class GameEvaluator:
         self._dist_dirty = set()
         self._stretch = None
         self._service = {}
+        self._store.clear()
         self.stats.full_resets += 1
 
     def _rebind_single(self, peer: int, profile: StrategyProfile) -> None:
@@ -401,10 +462,12 @@ class GameEvaluator:
     def service_costs(self, peer: int) -> ServiceCosts:
         """The service-cost matrix ``W`` of ``peer`` (cached, row-repaired).
 
-        The returned object is the *live* cache entry: its ``weights``
-        array is marked read-only (mutating it would poison every query
-        routed through this evaluator) and may be repaired in place by a
-        later :meth:`set_profile`.  Copy it if you need a snapshot.
+        The returned object is a view over the *live* cache entry: its
+        ``weights`` array is marked read-only (mutating it would poison
+        every query routed through this evaluator) and may be repaired in
+        place by a later :meth:`set_profile`.  Copy it if you need a
+        snapshot.  With a spill store the backing array may move between
+        accesses — re-fetch rather than holding the view.
         """
         if not 0 <= peer < self._n:
             raise IndexError(f"peer {peer} out of range [0, {self._n})")
@@ -413,25 +476,39 @@ class GameEvaluator:
             service = service_costs_from_overlay(
                 self._dmat, self.overlay, peer, self._backend
             )
-            entry = self._admit_service(peer, service)
-            self._evict_services()
-            return entry.service
-        if entry.dirty:
+            entry = self._admit_service(peer, service.candidates, service.weights)
+            self._evict_services(protect={peer})
+        elif entry.dirty:
             self._repair_service(peer, entry)
         else:
             self.stats.service_cache_hits += 1
-        return entry.service
+        return self._entry_service(peer, entry)
 
-    def _admit_service(self, peer: int, service: ServiceCosts) -> _ServiceEntry:
-        service.weights.setflags(write=False)
-        entry = _ServiceEntry(service, dec_cum=np.zeros(self._n))
+    def _entry_service(self, peer: int, entry: _ServiceEntry) -> ServiceCosts:
+        """A :class:`ServiceCosts` view over the store's current backing."""
+        backing = self._store.get(peer)
+        service = entry.service
+        if service is not None and service.weights is backing:
+            return service
+        service = ServiceCosts(peer, entry.candidates, backing)
+        if self._store.stable_backing:
+            entry.service = service
+        return service
+
+    def _admit_service(
+        self, peer: int, candidates: Sequence[int], weights: np.ndarray
+    ) -> _ServiceEntry:
+        self._store.put(peer, weights)
+        entry = _ServiceEntry(
+            candidates=tuple(candidates), dec_cum=np.zeros(self._n)
+        )
         self._service[peer] = entry
         self.stats.service_full_builds += 1
         return entry
 
     def _repair_sources(self, entry: _ServiceEntry) -> List[int]:
         """Consume ``entry.dirty``, returning the candidate rows to rebuild."""
-        row_of = {c: k for k, c in enumerate(entry.service.candidates)}
+        row_of = {c: k for k, c in enumerate(entry.candidates)}
         sources = sorted(c for c in entry.dirty if c in row_of)
         entry.dirty = set()
         return sources
@@ -445,21 +522,22 @@ class GameEvaluator:
         fresh = service_cost_rows(
             self._dmat, stripped, peer, sources, self._backend
         )
-        self._install_rows(entry, sources, fresh)
+        self._install_rows(peer, entry, sources, fresh)
 
     def _install_rows(
-        self, entry: _ServiceEntry, sources: Sequence[int], fresh: np.ndarray
+        self,
+        peer: int,
+        entry: _ServiceEntry,
+        sources: Sequence[int],
+        fresh: np.ndarray,
     ) -> None:
         """Write repaired rows in place and advance the effect bound."""
-        service = entry.service
-        row_of = {c: k for k, c in enumerate(service.candidates)}
+        row_of = {c: k for k, c in enumerate(entry.candidates)}
         rows = [row_of[c] for c in sources]
-        old = service.weights[rows]  # fancy indexing: a snapshot copy
-        service.weights.setflags(write=True)
-        service.weights[rows] = fresh
-        service.weights.setflags(write=False)
+        old = self._store.get(peer)[rows]  # fancy indexing: a snapshot copy
+        self._store.write_rows(peer, rows, fresh)
         self.stats.service_rows_recomputed += len(rows)
-        self.stats.service_rows_reused += service.num_candidates - len(rows)
+        self.stats.service_rows_reused += len(entry.candidates) - len(rows)
         if np.array_equal(old, fresh):
             return
         with np.errstate(invalid="ignore"):
@@ -481,13 +559,32 @@ class GameEvaluator:
         multi-source runs are stacked into a block-diagonal graph and
         answered by :func:`~repro.graphs.shortest_paths.
         blocked_multi_source_distances` — a handful of scipy calls per
-        scheduler round.  Results (weights, cache bookkeeping, stats
+        scheduler round (chunked to the store's byte budget when one is
+        configured).  Results (weights, cache bookkeeping, stats
         semantics) are identical to calling :meth:`service_costs` once
         per peer; only the call count changes.
         """
         self.profile  # raises unless a profile is bound
         peers = list(range(self._n)) if peers is None else list(peers)
-        out: Dict[int, ServiceCosts] = {}
+        self._batch_refresh(peers)
+        return [
+            self._entry_service(peer, self._service[peer]) for peer in peers
+        ]
+
+    def _batch_refresh(self, peers: Sequence[int]) -> None:
+        """Build/repair many peers' matrices via blocked Dijkstra.
+
+        Write-only core of :meth:`batch_service_costs`: everything lands
+        in the service store without materializing result views, so bulk
+        refreshes keep a spill store's resident set bounded.
+
+        The requested peers are protected from eviction: a request for
+        more matrices than ``max_cached_services`` legitimately needs
+        them all alive at once, so the cap bounds the cache *between*
+        requests, not within one (the pre-store code had the same
+        transient overshoot, just implicitly).
+        """
+        requested = set(peers)
         jobs: List[Tuple[int, str, List[int]]] = []
         for peer in dict.fromkeys(peers):
             if not 0 <= peer < self._n:
@@ -495,7 +592,7 @@ class GameEvaluator:
             entry = self._service.get(peer)
             if entry is None:
                 if self._n <= 1:
-                    out[peer] = self.service_costs(peer)
+                    self.service_costs(peer)
                     continue
                 candidates = [j for j in range(self._n) if j != peer]
                 jobs.append((peer, "build", candidates))
@@ -503,40 +600,72 @@ class GameEvaluator:
                 sources = self._repair_sources(entry)
                 if not sources:
                     self.stats.service_cache_hits += 1
-                    out[peer] = entry.service
                 else:
                     jobs.append((peer, "repair", sources))
             else:
                 self.stats.service_cache_hits += 1
-                out[peer] = entry.service
-        if jobs:
-            overlay = self.overlay
+        if not jobs:
+            return
+        overlay = self.overlay
+        for chunk in self._job_chunks(jobs):
             dist_blocks = blocked_multi_source_distances(
                 [
                     (overlay.copy_without_out_edges(peer), sources)
-                    for peer, _kind, sources in jobs
+                    for peer, _kind, sources in chunk
                 ],
                 backend=self._backend,
             )
-            for (peer, kind, sources), dist_h in zip(jobs, dist_blocks):
+            for (peer, kind, sources), dist_h in zip(chunk, dist_blocks):
                 weights = normalize_service_rows(
                     self._dmat, peer, sources, dist_h
                 )
                 if kind == "build":
-                    service = ServiceCosts(peer, tuple(sources), weights)
-                    entry = self._admit_service(peer, service)
+                    self._admit_service(peer, tuple(sources), weights)
                 else:
-                    entry = self._service[peer]
-                    self._install_rows(entry, sources, weights)
-                out[peer] = entry.service
-            self.stats.batch_calls += 1
-            self._evict_services()
-        return [out[peer] for peer in peers]
+                    self._install_rows(
+                        peer, self._service[peer], sources, weights
+                    )
+        self.stats.batch_calls += 1
+        self._evict_services(protect=requested)
 
-    def _evict_services(self) -> None:
-        while len(self._service) > self._max_cached:
-            oldest = next(iter(self._service))
-            del self._service[oldest]
+    def _job_chunks(
+        self, jobs: List[Tuple[int, str, List[int]]]
+    ) -> Iterator[List[Tuple[int, str, List[int]]]]:
+        """Split a blocked build into store-budget-sized chunks.
+
+        Without a store budget everything goes in one blocked call (the
+        historical behavior).  With one, each chunk materializes at most
+        ``chunk_budget_bytes`` of fresh matrices before they are handed
+        to the store — per-source Dijkstra runs are independent, so the
+        chunking cannot change a single value.
+        """
+        budget = self._store.chunk_budget_bytes
+        if budget is None or self._n <= 1:
+            yield jobs
+            return
+        matrix_nbytes = (self._n - 1) * self._n * 8
+        per_chunk = max(1, budget // max(1, matrix_nbytes))
+        for start in range(0, len(jobs), per_chunk):
+            yield jobs[start : start + per_chunk]
+
+    def _evict_services(self, protect: Optional[Set[int]] = None) -> None:
+        """Evict oldest entries past the cap, sparing ``protect``.
+
+        Callers protect the peers of the in-flight request so a sweep
+        wider than ``max_cached_services`` cannot evict matrices it is
+        about to read (or hand to pool workers); the cache shrinks back
+        on the next, narrower request.
+        """
+        if len(self._service) <= self._max_cached:
+            return
+        protect = protect or set()
+        for peer in list(self._service):
+            if len(self._service) <= self._max_cached:
+                break
+            if peer in protect:
+                continue
+            del self._service[peer]
+            self._store.discard(peer)
 
     # ------------------------------------------------------------------
     # Strategic queries
@@ -572,16 +701,27 @@ class GameEvaluator:
         method: str = "exact",
         peers: Optional[Sequence[int]] = None,
         workers: int = 1,
+        backend=None,
     ) -> List[BestResponseResult]:
         """Every peer's current best response (and gain) in one pass.
 
         The sweep (1) refreshes all requested service matrices through
-        :meth:`batch_service_costs` (blocked Dijkstra), (2) answers peers
-        whose memoized response provably survived from the memo, and
-        (3) sends only the remaining peers to the response solver —
-        optionally across a thread pool (``workers > 1``; the per-peer
-        solves are independent pure functions of their service matrices,
-        so results are identical for any worker count).
+        one blocked-Dijkstra pass (:meth:`batch_service_costs` core),
+        (2) answers peers whose memoized response provably survived from
+        the memo, and (3) dispatches only the remaining peers to the
+        response solver through an execution backend
+        (:mod:`repro.core.backends`): in the calling thread (serial), a
+        thread pool, or a process pool attached to the shared service
+        store.  The per-peer solves are independent pure functions of
+        their service matrices, so results are identical for any backend
+        and worker count.
+
+        ``backend`` accepts a :class:`~repro.core.backends.SolverBackend`
+        instance or a spec string (``"serial"``/``"thread"``/
+        ``"process"``); ``None`` keeps the legacy behavior of sizing a
+        thread pool from ``workers``.  A process backend requires a
+        shareable store — a plain in-memory store is migrated to shared
+        memory once, then workers attach it zero-copy.
 
         Returns results in ``peers`` order (default: all peers).  This is
         the engine behind the max-gain activation policy and multi-peer
@@ -589,9 +729,12 @@ class GameEvaluator:
         activations costs one blocked build plus the solves the effect
         bound could not skip.
         """
+        backend = resolve_backend(backend, workers)
         profile = self.profile
         peers = list(range(self._n)) if peers is None else list(peers)
-        services = dict(zip(peers, self.batch_service_costs(peers)))
+        if backend.distributed:
+            self._ensure_shareable_store()
+        self._batch_refresh(peers)
         self.stats.gain_sweeps += 1
         results: Dict[int, BestResponseResult] = {}
         to_solve: List[int] = []
@@ -604,24 +747,69 @@ class GameEvaluator:
             else:
                 to_solve.append(peer)
 
+        alpha = self._alpha
+        services: Dict[int, ServiceCosts] = {}
+        if not backend.distributed and backend.workers > 1 and len(to_solve) > 1:
+            # Materialize before the parallel section: worker threads
+            # must not race on the store's bookkeeping (LRU, flags).
+            for peer in to_solve:
+                services[peer] = self._entry_service(peer, self._service[peer])
+
         def solve(peer: int) -> BestResponseResult:
+            service = services.get(peer)
+            if service is None:
+                service = self._entry_service(peer, self._service[peer])
             return best_response_from_service(
-                services[peer], profile.strategy(peer), self._alpha, method
+                service, profile.strategy(peer), alpha, method
             )
 
-        if workers > 1 and len(to_solve) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        make_task = None
+        if backend.distributed and to_solve:
+            self._store.flush(to_solve)
+            digest = self._profile_digest()
 
-            with ThreadPoolExecutor(
-                max_workers=min(workers, len(to_solve))
-            ) as pool:
-                solved = list(pool.map(solve, to_solve))
-        else:
-            solved = [solve(peer) for peer in to_solve]
+            def make_task(peer: int):
+                handle = self._store.handle(peer)
+                if handle is None:  # pragma: no cover - store contract
+                    raise RuntimeError(
+                        f"store {self._store.name!r} produced no handle "
+                        f"for peer {peer}"
+                    )
+                return (
+                    handle,
+                    peer,
+                    tuple(profile.strategy(peer)),
+                    alpha,
+                    method,
+                    digest,
+                )
+
+        solved = backend.run_solves(to_solve, solve, make_task)
         for peer, response in zip(to_solve, solved):
             self._store_memo(peer, response)
             results[peer] = response
         return [results[peer] for peer in peers]
+
+    def _profile_digest(self) -> int:
+        """Stable fingerprint of the bound profile (task metadata)."""
+        return hash(self.profile.key()) & 0xFFFFFFFF
+
+    def _ensure_shareable_store(self) -> None:
+        """Migrate the service store to shared memory if it cannot hand
+        out cross-process handles (one-time copy of the warm cache)."""
+        if self._store.shareable:
+            return
+        old = self._store
+        new = SharedMemoryStore()
+        new.bind_stats(self.stats)
+        for peer in old.keys():
+            new.put(peer, old.get(peer))
+            old.discard(peer)
+            entry = self._service.get(peer)
+            if entry is not None:
+                entry.service = None  # view points at the retired buffer
+        old.close()
+        self._store = new
 
     def _memoized_response(
         self, peer: int, method: str
@@ -652,9 +840,9 @@ class GameEvaluator:
         memo = entry.memo
         if memo is None or memo.method != method:
             return None
-        service = entry.service
-        if service.num_candidates == 0:
+        if not entry.candidates:
             return None
+        service = self._entry_service(peer, entry)
         if not entry.changed_since_memo:
             opt_cost = memo.cost
         else:
@@ -855,6 +1043,21 @@ class GameEvaluator:
         return (current - {old}) | {new}
 
     # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The bound service store (read-mostly; see its module docs)."""
+        return self._store
+
+    def close(self) -> None:
+        """Release the service store's buffers (segments, spill file).
+
+        Optional — stores clean up via finalizers when the evaluator is
+        garbage collected — but deterministic teardown keeps shared-
+        memory segments out of ``/dev/shm`` between runs.
+        """
+        self._service = {}
+        self._store.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bound = self._profile is not None
         return (

@@ -1,0 +1,652 @@
+"""Pluggable storage arenas for per-peer service-cost matrices.
+
+The :class:`~repro.core.evaluator.GameEvaluator` keeps up to
+``max_cached_services`` warm ``W`` matrices — each an ``(n-1) x n``
+float64 block — which makes two things hard at scale:
+
+* **process-pool solvers** need workers to read ``W`` without pickling
+  megabytes per task, and
+* **very large populations** need the resident footprint of the cache
+  bounded below ``O(n^3)`` bytes.
+
+A :class:`ServiceStore` owns the backing buffers of those matrices and
+decouples *where the bytes live* from the evaluator's cache bookkeeping:
+
+* :class:`ArrayStore` — plain process-private ndarrays (the default;
+  byte-for-byte the pre-store behavior).
+* :class:`SharedMemoryStore` — one :mod:`multiprocessing.shared_memory`
+  segment per matrix.  :meth:`~ServiceStore.handle` descriptors let pool
+  workers attach the segment by name and solve against the *same pages*
+  the parent repaired in place — zero-copy, no ``W`` pickling.
+* :class:`SpillStore` — a memory-mapped spill file plus a bounded set of
+  resident in-RAM copies (LRU promotion on access, demotion past the
+  byte ``budget``).  Handles point workers at ``(path, offset)`` windows
+  of the same file, so the spill store is also process-shareable after a
+  :meth:`~ServiceStore.flush`.
+
+Stores only move bytes; they never change them.  Every implementation
+round-trips matrices bit-exactly, so evaluator results (and dynamics
+trajectories) are identical whichever store backs the cache — the
+property the store test-suite pins.
+
+The evaluator binds its :class:`~repro.core.evaluator.EvaluatorStats` to
+the store (:meth:`~ServiceStore.bind_stats`) so promotions, demotions and
+the resident byte ceiling are observable through the usual counters.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import uuid
+import weakref
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ServiceStore",
+    "ArrayStore",
+    "SharedMemoryStore",
+    "SpillStore",
+    "attach_service_weights",
+    "make_store",
+]
+
+#: ``store=`` spec strings accepted by :func:`make_store` (and therefore
+#: by the evaluator constructor).
+STORE_SPECS = ("memory", "shared", "spill")
+
+
+def _new_stats() -> SimpleNamespace:
+    """Standalone counter namespace (field names match EvaluatorStats)."""
+    return SimpleNamespace(
+        store_promotions=0,
+        store_demotions=0,
+        store_resident_bytes=0,
+        store_resident_peak_bytes=0,
+    )
+
+
+class ServiceStore:
+    """Base class: a keyed arena of read-only float matrices.
+
+    The evaluator is the only writer; all mutation goes through
+    :meth:`put` (whole matrix) and :meth:`write_rows` (repair), and both
+    return the *current backing array* — callers must re-fetch via
+    :meth:`get` after any store operation because implementations are
+    free to move a matrix between buffers (RAM copy vs. memmap window).
+    Returned arrays are always marked read-only.
+    """
+
+    #: Whether :meth:`handle` can describe entries to another process.
+    shareable = False
+    #: Whether :meth:`get` always returns the same buffer for a key.
+    #: Stores that move matrices between RAM and disk set this False so
+    #: callers re-fetch instead of pinning demoted copies alive.
+    stable_backing = True
+    #: Soft cap (bytes) a bulk builder should stay under per chunk of
+    #: freshly materialized matrices; None means unbounded.
+    chunk_budget_bytes: Optional[int] = None
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = _new_stats()
+
+    # -- lifecycle ------------------------------------------------------
+    def bind_stats(self, stats) -> None:
+        """Route the store's counters into ``stats`` (EvaluatorStats)."""
+        for field in vars(_new_stats()):
+            setattr(stats, field, getattr(stats, field, 0))
+        self.stats = stats
+
+    def close(self) -> None:
+        """Release every buffer (segments, spill file)."""
+
+    # -- data plane -----------------------------------------------------
+    def put(self, key: int, weights: np.ndarray) -> np.ndarray:
+        """Ingest a full matrix for ``key``; returns the backing array."""
+        raise NotImplementedError
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        """Current backing array of ``key`` (None when absent)."""
+        raise NotImplementedError
+
+    def write_rows(
+        self, key: int, rows: Sequence[int], values: np.ndarray
+    ) -> np.ndarray:
+        """Overwrite ``rows`` of ``key`` in place; returns the backing."""
+        raise NotImplementedError
+
+    def discard(self, key: int) -> None:
+        """Drop ``key`` (no-op when absent)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry, keeping reusable buffers where possible."""
+        raise NotImplementedError
+
+    def keys(self) -> List[int]:
+        raise NotImplementedError
+
+    # -- process sharing ------------------------------------------------
+    def handle(self, key: int) -> Optional[Tuple]:
+        """Picklable zero-copy descriptor of ``key`` for pool workers.
+
+        ``None`` means this store cannot share the entry across process
+        boundaries (the evaluator then migrates to a shareable store).
+        """
+        return None
+
+    def flush(self, keys: Optional[Sequence[int]] = None) -> None:
+        """Make pending writes visible to :meth:`handle` attachments."""
+
+    # -- accounting -----------------------------------------------------
+    def resident_bytes(self) -> int:
+        """Bytes currently held in process-private RAM copies."""
+        return 0
+
+    def _account_resident(self, delta: int) -> None:
+        stats = self.stats
+        stats.store_resident_bytes += delta
+        if stats.store_resident_bytes > stats.store_resident_peak_bytes:
+            stats.store_resident_peak_bytes = stats.store_resident_bytes
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+def _write_rows_inplace(
+    array: np.ndarray, rows: Sequence[int], values: np.ndarray
+) -> None:
+    array.setflags(write=True)
+    try:
+        array[list(rows)] = values
+    finally:
+        array.setflags(write=False)
+
+
+class ArrayStore(ServiceStore):
+    """Plain in-process ndarrays — the default, zero-overhead store."""
+
+    shareable = False
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: Dict[int, np.ndarray] = {}
+
+    def put(self, key: int, weights: np.ndarray) -> np.ndarray:
+        # Takes ownership of ``weights`` (the evaluator hands over freshly
+        # built arrays), so the default store adds zero copies.
+        array = np.ascontiguousarray(weights, dtype=np.float64)
+        old = self._data.get(key)
+        self._data[key] = _read_only(array)
+        self._account_resident(
+            array.nbytes - (old.nbytes if old is not None else 0)
+        )
+        return array
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        return self._data.get(key)
+
+    def write_rows(
+        self, key: int, rows: Sequence[int], values: np.ndarray
+    ) -> np.ndarray:
+        array = self._data[key]
+        _write_rows_inplace(array, rows, values)
+        return array
+
+    def discard(self, key: int) -> None:
+        array = self._data.pop(key, None)
+        if array is not None:
+            self._account_resident(-array.nbytes)
+
+    def clear(self) -> None:
+        for key in list(self._data):
+            self.discard(key)
+
+    def close(self) -> None:
+        self.clear()
+
+    def keys(self) -> List[int]:
+        return list(self._data)
+
+    def resident_bytes(self) -> int:
+        return sum(a.nbytes for a in self._data.values())
+
+
+# ----------------------------------------------------------------------
+# Shared-memory store
+# ----------------------------------------------------------------------
+def _segment_name() -> str:
+    return f"repro_{os.getpid()}_{uuid.uuid4().hex[:12]}"
+
+
+class SharedMemoryStore(ServiceStore):
+    """One ``multiprocessing.shared_memory`` segment per matrix.
+
+    Pool workers attach segments by name (:func:`attach_service_weights`)
+    and read the exact pages the parent writes — repairs between sweeps
+    are visible to long-lived workers without any re-send.  Segments of
+    evicted entries are kept on a same-size freelist (every matrix of one
+    evaluator has identical shape) so steady-state eviction costs no
+    ``shm_open`` churn.
+    """
+
+    shareable = True
+    name = "shared"
+
+    def __init__(self) -> None:
+        super().__init__()
+        from multiprocessing import shared_memory  # lazy: import cost
+
+        self._shm_mod = shared_memory
+        #: key -> (segment, array view, shape)
+        self._data: Dict[int, Tuple] = {}
+        self._free: Dict[int, List] = {}  # nbytes -> [segments]
+        self._finalizer = weakref.finalize(
+            self, SharedMemoryStore._release, self._data, self._free
+        )
+
+    @staticmethod
+    def _release(data: Dict, free: Dict) -> None:
+        for segment, _array, _shape in data.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        data.clear()
+        for segments in free.values():
+            for segment in segments:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        free.clear()
+
+    def close(self) -> None:
+        self._account_resident(-self.resident_bytes())
+        self._finalizer()
+
+    def _segment_for(self, nbytes: int):
+        pool = self._free.get(nbytes)
+        if pool:
+            return pool.pop()
+        return self._shm_mod.SharedMemory(
+            name=_segment_name(), create=True, size=nbytes
+        )
+
+    def put(self, key: int, weights: np.ndarray) -> np.ndarray:
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        old = self._data.get(key)
+        if old is not None and old[0].size >= weights.nbytes > 0:
+            segment = old[0]
+        else:
+            if old is not None:
+                self._retire(old[0])
+                self._account_resident(-old[1].nbytes)
+            segment = self._segment_for(max(1, weights.nbytes))
+        array = np.ndarray(
+            weights.shape, dtype=np.float64, buffer=segment.buf
+        )
+        array.setflags(write=True)
+        array[...] = weights
+        self._data[key] = (segment, _read_only(array), weights.shape)
+        if old is not None and old[0] is segment:
+            self._account_resident(array.nbytes - old[1].nbytes)
+        else:
+            self._account_resident(array.nbytes)
+        return array
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        entry = self._data.get(key)
+        return None if entry is None else entry[1]
+
+    def write_rows(
+        self, key: int, rows: Sequence[int], values: np.ndarray
+    ) -> np.ndarray:
+        array = self._data[key][1]
+        _write_rows_inplace(array, rows, values)
+        return array
+
+    def discard(self, key: int) -> None:
+        entry = self._data.pop(key, None)
+        if entry is not None:
+            self._retire(entry[0])
+            self._account_resident(-entry[1].nbytes)
+
+    def _retire(self, segment) -> None:
+        self._free.setdefault(segment.size, []).append(segment)
+
+    def clear(self) -> None:
+        for key in list(self._data):
+            self.discard(key)
+
+    def keys(self) -> List[int]:
+        return list(self._data)
+
+    def resident_bytes(self) -> int:
+        # Shared pages are counted as resident: they live in this host's
+        # memory even though children map them too.
+        return sum(entry[1].nbytes for entry in self._data.values())
+
+    def handle(self, key: int) -> Optional[Tuple]:
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        segment, _array, shape = entry
+        return ("shm", segment.name, tuple(shape))
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped spill store
+# ----------------------------------------------------------------------
+class _SpillSlot:
+    __slots__ = ("offset", "shape", "nbytes", "resident", "dirty")
+
+    def __init__(self, offset: int, shape: Tuple[int, ...], nbytes: int):
+        self.offset = offset
+        self.shape = shape
+        self.nbytes = nbytes
+        self.resident: Optional[np.ndarray] = None
+        self.dirty = False
+
+
+class SpillStore(ServiceStore):
+    """Spill-file arena with a bounded set of resident RAM copies.
+
+    Every matrix owns an (append-allocated, freelist-reused) slab of one
+    spill file.  Hot entries additionally keep an in-RAM copy; the sum of
+    those copies never exceeds ``budget_bytes`` *plus at most one matrix*
+    (the entry being accessed is always promoted first, then older
+    entries are demoted LRU-first — so a budget below a single matrix
+    degenerates to exactly one resident entry).  Demotion writes dirty
+    copies back to the slab; promotion reads the slab back bit-exactly.
+
+    Handles describe ``(path, offset, shape)`` windows, so pool workers
+    can map the same file read-only; :meth:`flush` writes pending dirty
+    copies out first.
+    """
+
+    shareable = True
+    stable_backing = False
+    name = "spill"
+
+    def __init__(
+        self,
+        budget_bytes: int = 64 * 1024 * 1024,
+        directory: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self.chunk_budget_bytes = self.budget_bytes
+        fd, path = tempfile.mkstemp(
+            prefix="repro-spill-", suffix=".bin", dir=directory
+        )
+        self._fd = fd
+        self._path = path
+        self._end = 0
+        self._slots: Dict[int, _SpillSlot] = {}
+        #: Resident keys in least-recently-used-first order (dicts keep
+        #: insertion order, so re-inserting on touch is an O(1) LRU).
+        self._lru: Dict[int, None] = {}
+        self._resident_total = 0
+        self._free: Dict[int, List[int]] = {}  # nbytes -> [offsets]
+        self._finalizer = weakref.finalize(self, SpillStore._release, fd, path)
+
+    @staticmethod
+    def _release(fd: int, path: str) -> None:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        self._account_resident(-self.resident_bytes())
+        self._resident_total = 0
+        self._slots.clear()
+        self._lru.clear()
+        self._finalizer()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # -- slab I/O -------------------------------------------------------
+    def _alloc(self, nbytes: int) -> int:
+        pool = self._free.get(nbytes)
+        if pool:
+            return pool.pop()
+        offset = self._end
+        self._end += nbytes
+        os.truncate(self._fd, self._end)
+        return offset
+
+    def _write_slab(self, slot: _SpillSlot, array: np.ndarray) -> None:
+        os.pwrite(self._fd, array.tobytes(), slot.offset)
+        slot.dirty = False
+
+    def _read_slab(self, slot: _SpillSlot) -> np.ndarray:
+        raw = os.pread(self._fd, slot.nbytes, slot.offset)
+        return np.frombuffer(bytearray(raw), dtype=np.float64).reshape(
+            slot.shape
+        )
+
+    # -- residency ------------------------------------------------------
+    def _touch(self, key: int) -> None:
+        self._lru.pop(key, None)
+        self._lru[key] = None
+
+    def _admit(self, key: int, array: np.ndarray) -> None:
+        slot = self._slots[key]
+        slot.resident = _read_only(array)
+        self._resident_total += array.nbytes
+        self._account_resident(array.nbytes)
+        self._touch(key)
+        self._enforce_budget(keep=key)
+
+    def _demote(self, key: int) -> None:
+        slot = self._slots[key]
+        if slot.resident is None:
+            return
+        if slot.dirty:
+            self._write_slab(slot, slot.resident)
+        self._resident_total -= slot.resident.nbytes
+        self._account_resident(-slot.resident.nbytes)
+        slot.resident = None
+        self._lru.pop(key, None)
+        self.stats.store_demotions += 1
+
+    def _enforce_budget(self, keep: int) -> None:
+        while self._resident_total > self.budget_bytes:
+            victim = next((k for k in self._lru if k != keep), None)
+            if victim is None:
+                break
+            self._demote(victim)
+
+    def _promote(self, key: int) -> np.ndarray:
+        slot = self._slots[key]
+        if slot.resident is None:
+            self._admit(key, self._read_slab(slot))
+            self.stats.store_promotions += 1
+        else:
+            self._touch(key)
+        return slot.resident
+
+    # -- ServiceStore API ----------------------------------------------
+    def put(self, key: int, weights: np.ndarray) -> np.ndarray:
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        old = self._slots.get(key)
+        if old is not None and old.nbytes == weights.nbytes:
+            slot = old
+            slot.shape = weights.shape
+            if slot.resident is not None:
+                self._resident_total -= slot.resident.nbytes
+                self._account_resident(-slot.resident.nbytes)
+                slot.resident = None
+                self._lru.pop(key, None)
+        else:
+            if old is not None:
+                self.discard(key)
+            slot = _SpillSlot(
+                self._alloc(weights.nbytes), weights.shape, weights.nbytes
+            )
+            self._slots[key] = slot
+        array = weights.copy()
+        slot.dirty = True
+        self._admit(key, array)
+        return slot.resident
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        if key not in self._slots:
+            return None
+        return self._promote(key)
+
+    def write_rows(
+        self, key: int, rows: Sequence[int], values: np.ndarray
+    ) -> np.ndarray:
+        array = self._promote(key)
+        _write_rows_inplace(array, rows, values)
+        self._slots[key].dirty = True
+        return array
+
+    def discard(self, key: int) -> None:
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return
+        if slot.resident is not None:
+            self._resident_total -= slot.resident.nbytes
+            self._account_resident(-slot.resident.nbytes)
+            self._lru.pop(key, None)
+        self._free.setdefault(slot.nbytes, []).append(slot.offset)
+
+    def clear(self) -> None:
+        for key in list(self._slots):
+            self.discard(key)
+
+    def keys(self) -> List[int]:
+        return list(self._slots)
+
+    def resident_bytes(self) -> int:
+        return self._resident_total
+
+    def flush(self, keys: Optional[Sequence[int]] = None) -> None:
+        targets = self._slots.keys() if keys is None else keys
+        for key in targets:
+            slot = self._slots.get(key)
+            if slot is not None and slot.resident is not None and slot.dirty:
+                self._write_slab(slot, slot.resident)
+
+    def handle(self, key: int) -> Optional[Tuple]:
+        slot = self._slots.get(key)
+        if slot is None:
+            return None
+        return ("mmap", self._path, slot.offset, tuple(slot.shape))
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment
+# ----------------------------------------------------------------------
+#: Per-process cache of attached buffers; keyed by the immutable part of
+#: the handle so long-lived pool workers attach each segment/window once.
+#: ``_ATTACHED_SEGMENTS`` pins the SharedMemory objects so their mappings
+#: outlive the tasks (ndarrays cannot hold arbitrary attributes).
+_ATTACHMENTS: Dict[Tuple, np.ndarray] = {}
+_ATTACHED_SEGMENTS: Dict[Tuple, object] = {}
+_ATTACHMENT_CAP = 1024
+
+
+def attach_service_weights(handle: Tuple) -> np.ndarray:
+    """Materialize a read-only weights view from a store handle.
+
+    Runs inside pool workers.  ``("shm", name, shape)`` attaches the
+    named shared-memory segment; ``("mmap", path, offset, shape)`` maps
+    a window of the spill file.  Attachments are cached per process, so
+    repeated tasks against the same matrix touch no syscalls — and
+    because both mappings are shared, in-place repairs by the owner are
+    visible here without re-attaching.
+
+    Resource-tracker note: pool workers inherit the owner's tracker
+    (multiprocessing ships the tracker fd to fork *and* spawn children),
+    so the attach-side ``register`` is an idempotent no-op and the
+    owner's eventual ``unlink`` balances the books — no unregister hack
+    is needed here, and adding one would double-unregister.
+    """
+    kind = handle[0]
+    if kind == "shm":
+        _kind, segment_name, shape = handle
+        key = ("shm", segment_name, shape)
+        cached = _ATTACHMENTS.get(key)
+        if cached is not None:
+            return cached
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=segment_name)
+        array = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+        array.setflags(write=False)
+        _cache_attachment(key, array)
+        _ATTACHED_SEGMENTS[key] = segment  # keep the mapping alive
+        return array
+    if kind == "mmap":
+        _kind, path, offset, shape = handle
+        key = ("mmap", path, offset, shape)
+        cached = _ATTACHMENTS.get(key)
+        if cached is not None:
+            return cached
+        array = np.memmap(
+            path, dtype=np.float64, mode="r", offset=offset, shape=shape
+        )
+        _cache_attachment(key, array)
+        return array
+    raise ValueError(f"unknown service-store handle kind {kind!r}")
+
+
+def _cache_attachment(key: Tuple, array: np.ndarray) -> None:
+    # FIFO per-entry eviction: dict order makes the oldest attachment —
+    # most likely a segment its owner has already retired — the first
+    # to go, so a long-lived worker cannot pin unbounded unlinked
+    # segments, and hot recent entries survive the cap.
+    while len(_ATTACHMENTS) >= _ATTACHMENT_CAP:
+        oldest = next(iter(_ATTACHMENTS))
+        del _ATTACHMENTS[oldest]
+        segment = _ATTACHED_SEGMENTS.pop(oldest, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+    _ATTACHMENTS[key] = array
+
+
+# ----------------------------------------------------------------------
+def make_store(spec) -> ServiceStore:
+    """Build a store from a spec string or pass an instance through.
+
+    ``"memory"`` | ``"shared"`` | ``"spill"`` (default budget), or any
+    :class:`ServiceStore` instance for custom configuration (e.g.
+    ``SpillStore(budget_bytes=8 << 20)``).
+    """
+    if isinstance(spec, ServiceStore):
+        return spec
+    if spec == "memory":
+        return ArrayStore()
+    if spec == "shared":
+        return SharedMemoryStore()
+    if spec == "spill":
+        return SpillStore()
+    raise ValueError(
+        f"unknown service store {spec!r}; expected one of {STORE_SPECS} "
+        f"or a ServiceStore instance"
+    )

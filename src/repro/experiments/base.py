@@ -72,7 +72,7 @@ class ExperimentResult:
 #: only these) are silently dropped for runners that do not accept them.
 #: Any other unknown parameter still raises ``TypeError`` as before, so
 #: a mistyped override cannot silently run the default workload.
-HARNESS_PARAMS = frozenset({"workers"})
+HARNESS_PARAMS = frozenset({"workers", "backend"})
 
 
 @dataclass(frozen=True)
@@ -92,8 +92,9 @@ class ExperimentSpec:
     def run(self, **params) -> ExperimentResult:
         """Run the experiment with the given parameter overrides.
 
-        :data:`HARNESS_PARAMS` options (``workers``, ...) are forwarded
-        only to runners whose signature accepts them, so individual
+        :data:`HARNESS_PARAMS` options (``workers``, ``backend``, ...)
+        are forwarded only to runners whose signature accepts them, so
+        individual
         experiments opt in without every runner growing pass-through
         parameters; all other unknown parameters raise ``TypeError``.
         """

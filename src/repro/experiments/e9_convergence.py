@@ -48,15 +48,23 @@ def run(
     n: int = 8,
     alphas: Sequence[float] = (0.3, 1.0, 4.0),
     num_instances: int = 6,
-    schedulers: Sequence[str] = ("round-robin", "random"),
+    schedulers: Sequence[str] = ("round-robin", "random", "batched"),
     max_rounds: int = 150,
     workers: int = 1,
+    backend=None,
 ) -> ExperimentResult:
     """Convergence statistics on random instances vs the witness.
 
-    ``workers`` sizes the thread pool for the batched scheduler's
-    concurrent response solves (no effect on singleton schedulers).
+    ``workers``/``backend`` configure the execution of the batched
+    scheduler's concurrent response solves (``"serial"``, ``"thread"``
+    or ``"process"``; no effect on singleton schedulers).  Results are
+    identical for every backend — with ``"batched"`` among the default
+    schedulers, this experiment is the CLI's smoke-test surface for
+    ``--backend process``.
     """
+    from repro.core.backends import resolve_backend
+
+    solver_backend = resolve_backend(backend, workers)
     rows: List[Dict[str, Any]] = []
     for alpha in alphas:
         for scheduler_name in schedulers:
@@ -72,6 +80,7 @@ def run(
                     scheduler=scheduler,
                     record_moves=False,
                     workers=workers,
+                    backend=solver_backend,
                 ).run(max_rounds=max_rounds)
                 if result.converged:
                     outcomes["converged"] += 1
@@ -153,5 +162,6 @@ def run(
             "num_instances": num_instances,
             "schedulers": list(schedulers),
             "workers": workers,
+            "backend": solver_backend.name,
         },
     )

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.best_response import best_response as solve_best_response
+from repro.core.dynamics import batch_responses, recheck_improvement
 from repro.core.evaluator import GameEvaluator
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
@@ -89,6 +90,21 @@ class ChurnSimulation:
         is then served from the same caches.  Set False for the naive
         from-scratch reference path (validation/benchmarks), matching
         the dynamics/engine convention.
+    activation:
+        ``"sequential"`` (default) activates the epoch's peers one after
+        another, each seeing the previous commits — the historical
+        semantics, byte-identical to earlier versions.  ``"batched"``
+        runs the whole epoch as one logically-concurrent batch: every
+        response is computed against the epoch-start profile in one
+        evaluator gain sweep, then committed in order with the same
+        stale-profile conflict re-checks as the dynamics engine.
+    workers / backend:
+        Execution of the batched epoch's independent solves — worker
+        count plus ``"serial"``/``"thread"``/``"process"`` or a
+        :class:`~repro.core.backends.SolverBackend` instance (resolved
+        once, so a process pool persists across epochs).  Epoch
+        trajectories are identical for every backend; sequential
+        activation ignores both.
     """
 
     def __init__(
@@ -101,11 +117,21 @@ class ChurnSimulation:
         seed: Optional[int] = None,
         method: str = "greedy",
         incremental: bool = True,
+        activation: str = "sequential",
+        workers: int = 1,
+        backend=None,
     ) -> None:
+        from repro.core.backends import resolve_backend
+
         if not 0.0 <= join_prob <= 1.0 or not 0.0 <= leave_prob <= 1.0:
             raise ValueError("join_prob and leave_prob must lie in [0, 1]")
         if metric.n < 2:
             raise ValueError("churn simulation needs a universe of >= 2 peers")
+        if activation not in ("sequential", "batched"):
+            raise ValueError(
+                f"activation must be 'sequential' or 'batched', "
+                f"got {activation!r}"
+            )
         self._metric = metric
         self._alpha = float(alpha)
         self._join_prob = join_prob
@@ -113,6 +139,9 @@ class ChurnSimulation:
         self._rng = np.random.default_rng(seed)
         self._method = method
         self._incremental = incremental
+        self._activation = activation
+        self._workers = max(1, int(workers))
+        self._solver_backend = resolve_backend(backend, self._workers)
         if initial_active is None:
             initial_active = list(range(max(2, metric.n // 2)))
         self._initial_active = sorted(set(initial_active))
@@ -198,12 +227,27 @@ class ChurnSimulation:
             return 0, 0.0
         dmat, _ = self._subgame(active)
         sub = self._sub_profile(active, strategies)
+        subgame: Optional[TopologyGame] = None
         evaluator: Optional[GameEvaluator] = None
-        if self._incremental:
+        if self._incremental or self._activation == "batched":
             subgame = TopologyGame(
                 DistanceMatrixMetric(dmat, validate=False), self._alpha
             )
-            evaluator = GameEvaluator(subgame, sub)
+        if self._incremental:
+            # Shared-memory segments only pay off when the batched epoch
+            # actually dispatches to a process pool; sequential epochs
+            # never do, whatever backend is configured.
+            needs_shared = (
+                self._activation == "batched"
+                and self._solver_backend.distributed
+            )
+            evaluator = GameEvaluator(
+                subgame, sub, store="shared" if needs_shared else "memory"
+            )
+        if self._activation == "batched":
+            return self._run_epoch_batched(
+                active, strategies, dmat, subgame, sub, evaluator
+            )
         moves = 0
         for slot, peer in enumerate(active):
             if evaluator is not None:
@@ -228,6 +272,56 @@ class ChurnSimulation:
             from repro.core.costs import social_cost as cost_of
 
             sub = self._sub_profile(active, strategies)
+            cost = cost_of(dmat, sub, self._alpha).total
+        return moves, cost
+
+    def _run_epoch_batched(
+        self,
+        active: List[int],
+        strategies: List[Set[int]],
+        dmat: np.ndarray,
+        subgame: TopologyGame,
+        sub: StrategyProfile,
+        evaluator: Optional[GameEvaluator],
+    ) -> Tuple[int, float]:
+        """One epoch as a single logically-concurrent activation batch.
+
+        Mirrors the stale-profile semantics of
+        :mod:`repro.core.dynamics`: all responses are computed against
+        the epoch-start profile — one evaluator gain sweep dispatched
+        through the configured execution backend — then committed in
+        slot order, each commit after the first re-checked against the
+        live profile and dropped unless it still strictly improves.
+        """
+        batch = list(range(len(active)))
+        responses = batch_responses(
+            subgame,
+            sub,
+            batch,
+            self._method,
+            evaluator,
+            self._workers,
+            self._solver_backend,
+        )
+        moves = 0
+        base = sub
+        for slot, response in zip(batch, responses):
+            if not response.improved:
+                continue
+            if sub is not base:
+                commit, _old, _new = recheck_improvement(
+                    subgame, sub, response, evaluator
+                )
+                if not commit:
+                    continue
+            strategies[active[slot]] = {active[t] for t in response.strategy}
+            sub = sub.with_strategy(slot, response.strategy)
+            moves += 1
+        if evaluator is not None:
+            cost = evaluator.set_profile(sub).social_cost().total
+        else:
+            from repro.core.costs import social_cost as cost_of
+
             cost = cost_of(dmat, sub, self._alpha).total
         return moves, cost
 

@@ -107,9 +107,17 @@ class SimulationEngine:
         Set False to recompute every response from scratch (reference
         path for validation/benchmarks).
     workers:
-        Thread-pool size for the independent response solves of a gain
+        Worker count for the independent response solves of a gain
         sweep (max-gain policy and multi-peer batches).  Results are
         identical for any worker count; 1 means fully serial.
+    backend:
+        Execution backend for those solves — ``"serial"``, ``"thread"``,
+        ``"process"``, or a :class:`~repro.core.backends.SolverBackend`
+        instance (default: thread pool when ``workers > 1``, else
+        serial).  Resolved once per engine so pools persist across
+        rounds; the process backend solves against the evaluator's
+        shared-memory service store.  Trajectories are identical for
+        every backend.
     """
 
     def __init__(
@@ -121,7 +129,10 @@ class SimulationEngine:
         evaluator: Optional["GameEvaluator"] = None,
         incremental: bool = True,
         workers: int = 1,
+        backend=None,
     ) -> None:
+        from repro.core.backends import resolve_backend
+
         self._game = game
         self._method = method
         self._activation = activation
@@ -129,6 +140,7 @@ class SimulationEngine:
         self._incremental = incremental
         self._evaluator = evaluator
         self._workers = max(1, int(workers))
+        self._backend = resolve_backend(backend, self._workers)
 
     def _active_evaluator(self) -> Optional["GameEvaluator"]:
         if not self._incremental:
@@ -182,6 +194,7 @@ class SimulationEngine:
             evaluator=self._evaluator,
             incremental=self._incremental,
             workers=self._workers,
+            backend=self._backend,
         )
         result = dynamics.run(
             initial=profile,
@@ -255,6 +268,7 @@ class SimulationEngine:
                         self._method,
                         evaluator,
                         self._workers,
+                        self._backend,
                     )
                 base_profile = profile
                 for peer, response in zip(batch, responses):
@@ -310,7 +324,7 @@ class SimulationEngine:
             best_response = None
             if evaluator is not None:
                 responses = evaluator.set_profile(profile).gain_sweep(
-                    self._method, workers=self._workers
+                    self._method, workers=self._workers, backend=self._backend
                 )
             else:
                 responses = [

@@ -80,3 +80,77 @@ class TestConvergenceContract:
         )
         assert second.converged
         assert second.num_moves == 0
+
+
+class TestStaleBatchCommits:
+    """Stale-profile batch commits under the randomized scheduler.
+
+    Multi-peer batches compute every response against the batch-start
+    profile; commits after the first are re-checked against the live
+    profile.  The invariant: **no commit may fail to strictly improve
+    the mover's cost at commit time**, whatever the (randomized) batch
+    composition.  Verified against from-scratch cost recomputation, so
+    an evaluator-cache bug cannot mask a re-check bug.
+    """
+
+    @given(
+        small_games(),
+        st.integers(0, 1000),
+        st.integers(1, 6),
+        st.sampled_from(["exact", "greedy"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_recheck_never_commits_non_improving_response(
+        self, game, seed, batch_size, method
+    ):
+        from repro.core.best_response import (
+            improvement_tolerance,
+            peer_cost,
+        )
+
+        result = BestResponseDynamics(
+            game,
+            method=method,
+            scheduler=RandomScheduler(seed, batch_size=batch_size),
+            record_moves=True,
+        ).run(max_rounds=30)
+        profile = game.empty_profile()
+        for move in result.moves:
+            assert tuple(sorted(profile.strategy(move.peer))) == (
+                move.old_strategy
+            )
+            before = peer_cost(
+                game.distance_matrix, profile, move.peer, game.alpha
+            )
+            profile = profile.with_strategy(
+                move.peer, frozenset(move.new_strategy)
+            )
+            after = peer_cost(
+                game.distance_matrix, profile, move.peer, game.alpha
+            )
+            # The committed deviation strictly improved the live profile
+            # beyond the solver's own tolerance.
+            assert after < before - improvement_tolerance(before)
+        # The replayed move log reconstructs the final profile exactly.
+        assert profile.key() == result.profile.key()
+
+    @given(small_games(), st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_batch_size_one_reproduces_singleton_scheduler(self, game, seed):
+        """The shuffle stream is shared, so batch_size=1 is a no-op."""
+        singleton = BestResponseDynamics(
+            game, scheduler=RandomScheduler(seed), record_moves=False
+        ).run(max_rounds=40)
+        batched = BestResponseDynamics(
+            game,
+            scheduler=RandomScheduler(seed, batch_size=1),
+            record_moves=False,
+        ).run(max_rounds=40)
+        assert batched.profile.key() == singleton.profile.key()
+        assert batched.num_moves == singleton.num_moves
+
+    def test_batch_size_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="batch_size"):
+            RandomScheduler(0, batch_size=0)

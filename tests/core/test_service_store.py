@@ -1,0 +1,284 @@
+"""Service-matrix stores: bit-exact round-trips and bounded residency.
+
+Two families of guarantees:
+
+* **Transparency** — every store implementation round-trips matrices
+  bit-exactly and repairs rows in place, so evaluator queries (and whole
+  dynamics trajectories) are identical whichever store backs the cache.
+* **Residency** — the spill store's in-RAM copies never exceed the
+  configured byte budget (plus the single entry being accessed), with
+  promotions/demotions observable through ``EvaluatorStats`` — the
+  memory-ceiling contract large-``n`` deployments rely on.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.evaluator import GameEvaluator
+from repro.core.game import TopologyGame
+from repro.core.service_store import (
+    ArrayStore,
+    SharedMemoryStore,
+    SpillStore,
+    attach_service_weights,
+    make_store,
+)
+from repro.metrics.euclidean import EuclideanMetric
+
+
+def _game(n=10, alpha=1.0, seed=7):
+    return TopologyGame(
+        EuclideanMetric.random_uniform(n, dim=2, seed=seed), alpha
+    )
+
+
+def _matrix(seed, shape=(4, 5)):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.0, 9.0, size=shape)
+    weights[rng.random(shape) < 0.15] = math.inf
+    return weights
+
+
+ALL_STORES = [
+    ArrayStore,
+    SharedMemoryStore,
+    lambda: SpillStore(budget_bytes=1 << 20),
+    lambda: SpillStore(budget_bytes=0),  # everything cold after access
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", ALL_STORES)
+    def test_put_get_bitexact(self, make):
+        store = make()
+        originals = {key: _matrix(key) for key in range(5)}
+        for key, weights in originals.items():
+            store.put(key, weights.copy())
+        for key, weights in originals.items():
+            got = store.get(key)
+            np.testing.assert_array_equal(got, weights)
+            assert not got.flags.writeable
+        assert sorted(store.keys()) == list(range(5))
+        store.close()
+
+    @pytest.mark.parametrize("make", ALL_STORES)
+    def test_write_rows_repairs_in_place(self, make):
+        store = make()
+        weights = _matrix(1)
+        store.put(0, weights.copy())
+        fresh = _matrix(99)[[0, 2]]
+        store.write_rows(0, [0, 2], fresh)
+        expected = weights.copy()
+        expected[[0, 2]] = fresh
+        np.testing.assert_array_equal(store.get(0), expected)
+        store.close()
+
+    @pytest.mark.parametrize("make", ALL_STORES)
+    def test_discard_and_clear(self, make):
+        store = make()
+        for key in range(4):
+            store.put(key, _matrix(key))
+        store.discard(1)
+        store.discard(1)  # idempotent
+        assert sorted(store.keys()) == [0, 2, 3]
+        store.clear()
+        assert store.keys() == []
+        assert store.get(0) is None
+        store.close()
+
+    def test_make_store_specs(self):
+        assert isinstance(make_store("memory"), ArrayStore)
+        shared = make_store("shared")
+        assert isinstance(shared, SharedMemoryStore)
+        shared.close()
+        spill = make_store("spill")
+        assert isinstance(spill, SpillStore)
+        spill.close()
+        passthrough = ArrayStore()
+        assert make_store(passthrough) is passthrough
+        with pytest.raises(ValueError, match="unknown service store"):
+            make_store("disk")
+
+
+class TestHandles:
+    def test_shared_memory_handle_attaches_same_bytes(self):
+        store = SharedMemoryStore()
+        weights = _matrix(3)
+        store.put(7, weights.copy())
+        handle = store.handle(7)
+        assert handle[0] == "shm"
+        attached = attach_service_weights(handle)
+        np.testing.assert_array_equal(attached, weights)
+        # In-place repair is visible through the existing attachment.
+        fresh = np.zeros((1, weights.shape[1]))
+        store.write_rows(7, [1], fresh)
+        np.testing.assert_array_equal(attached[1], fresh[0])
+        store.close()
+
+    def test_spill_handle_attaches_after_flush(self):
+        store = SpillStore(budget_bytes=1 << 20)
+        weights = _matrix(4)
+        store.put(2, weights.copy())
+        store.flush([2])
+        handle = store.handle(2)
+        assert handle[0] == "mmap"
+        attached = attach_service_weights(handle)
+        np.testing.assert_array_equal(np.asarray(attached), weights)
+        store.close()
+
+    def test_array_store_has_no_handles(self):
+        store = ArrayStore()
+        store.put(0, _matrix(0))
+        assert store.handle(0) is None
+        assert not store.shareable
+
+    def test_unknown_handle_kind_rejected(self):
+        with pytest.raises(ValueError, match="handle kind"):
+            attach_service_weights(("gpu", "x", (1, 1)))
+
+
+class TestSpillResidency:
+    def test_budget_bounds_resident_bytes(self):
+        matrix_bytes = _matrix(0).nbytes
+        store = SpillStore(budget_bytes=2 * matrix_bytes)
+        for key in range(6):
+            store.put(key, _matrix(key))
+            assert store.resident_bytes() <= store.budget_bytes
+            assert store.stats.store_resident_bytes == store.resident_bytes()
+        # Touching a cold entry promotes it and demotes the LRU victim.
+        before = store.stats.store_promotions
+        np.testing.assert_array_equal(store.get(0), _matrix(0))
+        assert store.stats.store_promotions == before + 1
+        assert store.resident_bytes() <= store.budget_bytes
+        assert store.stats.store_demotions >= 4
+        assert (
+            store.stats.store_resident_peak_bytes
+            <= store.budget_bytes + matrix_bytes
+        )
+        store.close()
+
+    def test_zero_budget_keeps_only_the_active_entry(self):
+        store = SpillStore(budget_bytes=0)
+        for key in range(3):
+            store.put(key, _matrix(key))
+        # Each access keeps exactly the touched entry resident.
+        for key in range(3):
+            np.testing.assert_array_equal(store.get(key), _matrix(key))
+            assert store.resident_bytes() == _matrix(key).nbytes
+        store.close()
+
+    def test_demotion_then_promotion_is_bitexact_after_repair(self):
+        matrix_bytes = _matrix(0).nbytes
+        store = SpillStore(budget_bytes=matrix_bytes)
+        weights = _matrix(5)
+        store.put(0, weights.copy())
+        fresh = _matrix(77)[[1]]
+        store.write_rows(0, [1], fresh)
+        store.put(1, _matrix(6))  # demotes 0 (dirty -> written back)
+        expected = weights.copy()
+        expected[[1]] = fresh
+        np.testing.assert_array_equal(store.get(0), expected)
+        store.close()
+
+    def test_spill_file_removed_on_close(self):
+        store = SpillStore(budget_bytes=1024)
+        path = store.path
+        store.put(0, _matrix(0))
+        assert os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+
+
+class TestEvaluatorIntegration:
+    """The acceptance contract: stores are invisible to the game layer."""
+
+    @pytest.mark.parametrize("store_spec", ["shared", "spill"])
+    def test_dynamics_trajectory_identical_across_stores(self, store_spec):
+        game = _game(n=10)
+        reference = BestResponseDynamics(
+            game,
+            method="greedy",
+            evaluator=GameEvaluator(game),
+        ).run(max_rounds=40)
+        store = make_store(store_spec)
+        run = BestResponseDynamics(
+            game,
+            method="greedy",
+            evaluator=GameEvaluator(game, store=store),
+        ).run(max_rounds=40)
+        assert run.profile.key() == reference.profile.key()
+        assert run.num_moves == reference.num_moves
+        assert run.stopped_reason == reference.stopped_reason
+        store.close()
+
+    def test_spill_evaluator_bounds_memory_via_stats(self):
+        game = _game(n=12)
+        n = game.n
+        matrix_bytes = (n - 1) * n * 8
+        budget = 3 * matrix_bytes
+        evaluator = GameEvaluator(
+            game,
+            game.random_profile(0.3, seed=9),
+            store=SpillStore(budget_bytes=budget),
+        )
+        serial = GameEvaluator(game, evaluator.profile)
+        for sweep in range(3):
+            assert evaluator.gain_sweep("greedy") == serial.gain_sweep(
+                "greedy"
+            )
+        stats = evaluator.stats
+        assert stats.store_resident_bytes <= budget
+        # The sweep touches every peer but residency never exceeds the
+        # budget plus the single in-flight matrix.
+        assert stats.store_resident_peak_bytes <= budget + matrix_bytes
+        assert stats.store_promotions > 0
+        assert stats.store_demotions > 0
+        evaluator.close()
+
+    def test_memory_store_counts_resident_bytes(self):
+        game = _game(n=6)
+        evaluator = GameEvaluator(game, game.empty_profile())
+        evaluator.batch_service_costs()
+        expected = game.n * (game.n - 1) * game.n * 8
+        assert evaluator.stats.store_resident_bytes == expected
+        assert evaluator.stats.store_promotions == 0
+        assert evaluator.stats.store_demotions == 0
+
+    def test_eviction_releases_store_entries(self):
+        game = _game(n=8)
+        evaluator = GameEvaluator(
+            game, game.empty_profile(), max_cached_services=3
+        )
+        for peer in range(game.n):
+            evaluator.service_costs(peer)
+        assert len(evaluator.store.keys()) <= 3
+        assert (
+            evaluator.stats.store_resident_bytes
+            == sum(evaluator.store.get(k).nbytes for k in evaluator.store.keys())
+        )
+
+    def test_sweep_wider_than_cache_cap_still_works(self):
+        """A full-population request must not evict its own matrices.
+
+        Regression: with ``max_cached_services < n`` the post-refresh
+        eviction used to delete entries the sweep was about to read,
+        crashing ``gain_sweep``/``batch_service_costs`` with KeyError —
+        exactly at the large-n scale the bounded stores target.
+        """
+        game = _game(n=10)
+        profile = game.random_profile(0.3, seed=4)
+        reference = GameEvaluator(game, profile).gain_sweep("greedy")
+        capped = GameEvaluator(game, profile, max_cached_services=4)
+        assert capped.gain_sweep("greedy") == reference
+        services = capped.batch_service_costs()
+        assert len(services) == game.n
+        for peer, service in enumerate(services):
+            want = GameEvaluator(game, profile).service_costs(peer)
+            np.testing.assert_array_equal(service.weights, want.weights)
+        # The cap re-applies on the next narrower request.
+        capped.service_costs(0)
+        assert len(capped.store.keys()) <= game.n

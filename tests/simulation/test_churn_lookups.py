@@ -149,3 +149,78 @@ class TestLookupWorkload:
         a = LookupWorkload(game, seed=9).run(profile, 200)
         b = LookupWorkload(game, seed=9).run(profile, 200)
         assert a == b
+
+
+class TestBatchedChurn:
+    """Batched epochs: stale-profile semantics, backend-independent."""
+
+    def test_batched_identical_across_backends(self, universe):
+        """Serial / thread / process backends walk one trajectory."""
+        from repro.core.backends import ProcessBackend, ThreadBackend
+
+        runs = {}
+        process = ProcessBackend(workers=2)
+        try:
+            for name, backend in (
+                ("serial", None),
+                ("thread", ThreadBackend(3)),
+                ("process", process),
+            ):
+                runs[name] = ChurnSimulation(
+                    universe,
+                    alpha=1.0,
+                    seed=4,
+                    activation="batched",
+                    backend=backend,
+                ).run(epochs=6)
+        finally:
+            process.close()
+        for name in ("thread", "process"):
+            assert runs[name].final_profile == runs["serial"].final_profile
+            assert runs[name].final_active == runs["serial"].final_active
+            assert runs[name].total_moves == runs["serial"].total_moves
+
+    def test_batched_incremental_matches_reference(self, universe):
+        cached = ChurnSimulation(
+            universe, alpha=1.0, seed=11, activation="batched"
+        ).run(epochs=8)
+        naive = ChurnSimulation(
+            universe,
+            alpha=1.0,
+            seed=11,
+            activation="batched",
+            incremental=False,
+        ).run(epochs=8)
+        assert cached.final_profile == naive.final_profile
+        assert cached.final_active == naive.final_active
+        assert cached.total_moves == naive.total_moves
+
+    def test_batched_commits_never_regress_costs(self, universe):
+        """Every epoch's recorded cost is finite once connected; the
+        batched run remains deterministic given the seed."""
+        a = ChurnSimulation(
+            universe, alpha=1.0, seed=2, activation="batched"
+        ).run(epochs=8)
+        b = ChurnSimulation(
+            universe, alpha=1.0, seed=2, activation="batched"
+        ).run(epochs=8)
+        assert a.final_profile == b.final_profile
+        assert a.total_moves == b.total_moves
+
+    def test_default_sequential_unchanged_by_new_parameters(self, universe):
+        """The new knobs default to the historical behavior."""
+        legacy = ChurnSimulation(universe, alpha=1.0, seed=6).run(epochs=6)
+        explicit = ChurnSimulation(
+            universe,
+            alpha=1.0,
+            seed=6,
+            activation="sequential",
+            workers=1,
+            backend="serial",
+        ).run(epochs=6)
+        assert explicit.final_profile == legacy.final_profile
+        assert explicit.total_moves == legacy.total_moves
+
+    def test_activation_validation(self, universe):
+        with pytest.raises(ValueError, match="activation"):
+            ChurnSimulation(universe, alpha=1.0, activation="warp")

@@ -31,6 +31,41 @@ class TestParser:
         assert parser.parse_args(["run-all", "--workers", "2"]).workers == 2
         assert parser.parse_args(["demo", "--workers", "3"]).workers == 3
 
+    def test_backend_flag_on_run_run_all_and_demo(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "E9"]).backend is None
+        for command in (["run", "E9"], ["run-all"], ["demo"]):
+            for backend in ("serial", "thread", "process"):
+                args = parser.parse_args(command + ["--backend", backend])
+                assert args.backend == backend
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E9", "--backend", "gpu"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_nonpositive_workers_rejected(self, capsys):
+        for bad in ("0", "-2", "zero"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "E9", "--workers", bad])
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_process_backend_with_single_worker_rejected(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E9", "--backend", "process"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--backend process needs --workers >= 2" in err
+
+    def test_process_backend_with_enough_workers_parses(self):
+        args = build_parser().parse_args(
+            ["run", "E9", "--backend", "process", "--workers", "2"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 2
+
     def test_run_help_range_derived_from_registry(self, capsys):
         from repro.experiments import EXPERIMENTS
 
