@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to existing files.
+
+Usage::
+
+    python scripts/check_markdown_links.py README.md ROADMAP.md docs
+
+Arguments are markdown files or directories (scanned recursively for
+``*.md``).  Every inline link ``[text](target)`` whose target is not an
+absolute URL (``http(s)://``, ``mailto:``) or a pure in-page anchor
+(``#...``) must point at an existing file or directory, resolved
+relative to the markdown file that contains it.  Exit status is the
+number of broken links (0 = all good), so CI can gate on it directly.
+
+Stdlib-only on purpose: the CI docs job and the local pre-push check
+must not need anything beyond the Python toolchain.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links: ``[text](target)``; target captured without
+#: any ``"title"`` suffix.  Reference-style links are rare enough here
+#: that they are simply not used (the checker would miss them).
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(markdown: Path) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` pairs whose targets do not exist."""
+    failures: List[Tuple[int, str]] = []
+    inside_code_fence = False
+    for line_number, line in enumerate(
+        markdown.read_text().splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            inside_code_fence = not inside_code_fence
+            continue
+        if inside_code_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if not (markdown.parent / path_part).exists():
+                failures.append((line_number, target))
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(
+            "usage: check_markdown_links.py FILE_OR_DIR [...]",
+            file=sys.stderr,
+        )
+        return 2
+    files = markdown_files(argv)
+    missing = [path for path in files if not path.exists()]
+    for path in missing:
+        print(f"MISSING INPUT  {path}")
+    total_broken = len(missing)
+    for markdown in files:
+        if not markdown.exists():
+            continue
+        for line_number, target in broken_links(markdown):
+            print(f"BROKEN  {markdown}:{line_number}  -> {target}")
+            total_broken += 1
+    checked = len(files) - len(missing)
+    print(f"checked {checked} markdown file(s); {total_broken} broken link(s)")
+    return min(total_broken, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -39,24 +39,32 @@ def _experiment_id_range() -> str:
     return ids[0] if len(ids) == 1 else f"{ids[0]}..{ids[-1]}"
 
 
-def _positive_int(text: str) -> int:
-    """argparse type for ``--workers``: reject 0/negative up front.
+def _positive_int_arg(name: str):
+    """argparse type rejecting 0/negative counts up front.
 
     A worker count below 1 used to fall through to a silently-serial
     run; failing fast keeps "I asked for parallelism and got none"
-    impossible.
+    impossible (and the same for a shard count that would silently
+    mean "unsharded").
     """
-    try:
-        value = int(text)
-    except ValueError as error:
-        raise argparse.ArgumentTypeError(
-            f"invalid int value: {text!r}"
-        ) from error
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"workers must be >= 1, got {value}"
-        )
-    return value
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(
+                f"invalid int value: {text!r}"
+            ) from error
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be >= 1, got {value}"
+            )
+        return value
+
+    return parse
+
+
+_positive_int = _positive_int_arg("workers")
 
 
 def _add_execution_flags(command) -> None:
@@ -78,6 +86,18 @@ def _add_execution_flags(command) -> None:
             "caches under the GIL, 'process' runs a worker pool over a "
             "shared-memory service-matrix store (needs --workers >= 2); "
             "default: thread pool iff --workers > 1"
+        ),
+    )
+    command.add_argument(
+        "--shards",
+        type=_positive_int_arg("shards"),
+        default=None,
+        help=(
+            "shard the evaluator's peer space into K row blocks "
+            "(forwarded to experiments that support it): resident "
+            "overlay-distance memory drops to roughly 1/K and each "
+            "shard gets its own service-store budget; trajectories are "
+            "identical to the unsharded default"
         ),
     )
 
@@ -180,6 +200,7 @@ def _cmd_run(
     out: Optional[str],
     workers: int,
     backend: Optional[str],
+    shards: Optional[int],
 ) -> int:
     from repro.experiments import get_experiment
 
@@ -188,7 +209,7 @@ def _cmd_run(
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = spec.run(workers=workers, backend=backend)
+    result = spec.run(workers=workers, backend=backend, shards=shards)
     if as_json:
         _emit(json.dumps(_result_payload(result), indent=2, default=str), out)
     else:
@@ -196,13 +217,18 @@ def _cmd_run(
     return 0 if result.verdict else 1
 
 
-def _cmd_run_all(as_json: bool, workers: int, backend: Optional[str]) -> int:
+def _cmd_run_all(
+    as_json: bool,
+    workers: int,
+    backend: Optional[str],
+    shards: Optional[int],
+) -> int:
     from repro.experiments import EXPERIMENTS
 
     exit_code = 0
     payloads = []
     for spec in EXPERIMENTS.values():
-        result = spec.run(workers=workers, backend=backend)
+        result = spec.run(workers=workers, backend=backend, shards=shards)
         if as_json:
             payloads.append(_result_payload(result))
         else:
@@ -234,7 +260,9 @@ def _cmd_certify(alpha: Optional[float]) -> int:
     return 0
 
 
-def _cmd_demo(workers: int, backend: Optional[str]) -> int:
+def _cmd_demo(
+    workers: int, backend: Optional[str], shards: Optional[int]
+) -> int:
     from repro import BestResponseDynamics, TopologyGame
     from repro.constructions.no_nash import build_no_nash_instance
     from repro.metrics.euclidean import EuclideanMetric
@@ -255,7 +283,7 @@ def _cmd_demo(workers: int, backend: Optional[str]) -> int:
     print()
     print(
         f"3. Batched max-gain sweeps (n=32, alpha=1, workers={workers}, "
-        f"backend={backend or 'auto'}):"
+        f"backend={backend or 'auto'}, shards={shards or 'unsharded'}):"
     )
     sweep_game = TopologyGame(
         EuclideanMetric.random_uniform(32, dim=2, seed=2), alpha=1.0
@@ -266,9 +294,10 @@ def _cmd_demo(workers: int, backend: Optional[str]) -> int:
         activation="max-gain",
         workers=workers,
         backend=backend,
+        shards=shards,
     )
     report = engine.run(max_rounds=120)
-    stats = sweep_game.evaluator.stats
+    stats = engine.evaluator.stats
     print(
         f"   {report.stopped_reason} after {report.moves} moves; "
         f"final cost {report.final_cost:.2f}"
@@ -300,13 +329,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.out,
                 args.workers,
                 args.backend,
+                args.shards,
             )
         if args.command == "run-all":
-            return _cmd_run_all(args.json, args.workers, args.backend)
+            return _cmd_run_all(
+                args.json, args.workers, args.backend, args.shards
+            )
         if args.command == "certify":
             return _cmd_certify(args.alpha)
         if args.command == "demo":
-            return _cmd_demo(args.workers, args.backend)
+            return _cmd_demo(args.workers, args.backend, args.shards)
     except BrokenPipeError:  # downstream pager closed (e.g. `| head`)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -108,6 +108,12 @@ from repro.core.service_store import (
     SpillStore,
     make_store,
 )
+from repro.core.sharded import (
+    ShardedDistances,
+    ShardedEvaluator,
+    ShardedStore,
+    ShardPlan,
+)
 from repro.core.topology import build_overlay, overlay_from_matrix
 
 __all__ = [
@@ -182,5 +188,9 @@ __all__ = [
     "is_flip_stable",
     "GameEvaluator",
     "EvaluatorStats",
+    "ShardPlan",
+    "ShardedDistances",
+    "ShardedStore",
+    "ShardedEvaluator",
     "peer_cost",
 ]

@@ -29,6 +29,7 @@ from repro.graphs.shortest_paths import all_pairs_distances
 __all__ = [
     "CostBreakdown",
     "stretch_from_distances",
+    "stretch_from_distance_rows",
     "stretch_matrix",
     "individual_costs",
     "individual_costs_from_stretch",
@@ -80,14 +81,42 @@ def stretch_from_distances(
             f"overlay distance shape {overlay_distances.shape} does not "
             f"match metric distance shape {distance_matrix.shape}"
         )
+    return stretch_from_distance_rows(
+        distance_matrix, overlay_distances, range(n)
+    )
+
+
+def stretch_from_distance_rows(
+    distance_rows: np.ndarray,
+    overlay_rows: np.ndarray,
+    rows,
+) -> np.ndarray:
+    """Stretch for a *row block* of the (overlay) distance matrix.
+
+    ``distance_rows`` and ``overlay_rows`` are the metric and overlay
+    distances of the global source rows listed in ``rows`` (shape
+    ``(len(rows), n)``).  Every operation is elementwise, so the values
+    are bitwise identical to the corresponding rows of
+    :func:`stretch_from_distances` on the full matrices — the property
+    that lets the sharded evaluator (:mod:`repro.core.sharded`) stream
+    stretch sums shard by shard without materializing ``n x n`` arrays.
+    """
+    rows = np.asarray(list(rows), dtype=int)
+    n = distance_rows.shape[1]
+    if overlay_rows.shape != distance_rows.shape:
+        raise ValueError(
+            f"overlay distance shape {overlay_rows.shape} does not "
+            f"match metric distance shape {distance_rows.shape}"
+        )
     with np.errstate(divide="ignore", invalid="ignore"):
-        stretch = overlay_distances / distance_matrix
-    zero_direct = (distance_matrix == 0) & ~np.eye(n, dtype=bool)
+        stretch = overlay_rows / distance_rows
+    off_diagonal = rows[:, None] != np.arange(n)[None, :]
+    zero_direct = (distance_rows == 0) & off_diagonal
     if zero_direct.any():
-        zero_overlay = overlay_distances == 0
+        zero_overlay = overlay_rows == 0
         stretch[zero_direct & zero_overlay] = 1.0
         stretch[zero_direct & ~zero_overlay] = math.inf
-    np.fill_diagonal(stretch, 0.0)
+    stretch[np.arange(len(rows)), rows] = 0.0
     return stretch
 
 

@@ -388,6 +388,13 @@ class BestResponseDynamics:
         process backend attaches the evaluator's shared service store
         and never pickles a service matrix.  Results are identical for
         every backend.
+    shards:
+        When set, the dynamics own a
+        :class:`~repro.core.sharded.ShardedEvaluator` with that many
+        row-block shards instead of the game's shared evaluator —
+        bounding resident overlay-distance memory to roughly ``1/k`` of
+        the monolithic matrix.  Trajectories are identical for every
+        shard count.  Mutually exclusive with ``evaluator``.
     """
 
     def __init__(
@@ -402,9 +409,24 @@ class BestResponseDynamics:
         incremental: bool = True,
         workers: int = 1,
         backend=None,
+        shards: Optional[int] = None,
     ) -> None:
         from repro.core.backends import resolve_backend
 
+        if shards is not None:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            if evaluator is not None:
+                raise ValueError(
+                    "pass either an evaluator or shards, not both "
+                    "(a sharded evaluator is built from the shards count)"
+                )
+            if not incremental:
+                raise ValueError(
+                    "shards requires the incremental evaluator path; "
+                    "incremental=False recomputes from scratch and would "
+                    "silently ignore the shard count"
+                )
         self._game = game
         self._method = method
         self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
@@ -415,6 +437,27 @@ class BestResponseDynamics:
         self._incremental = incremental
         self._workers = max(1, int(workers))
         self._backend = resolve_backend(backend, self._workers)
+        self._shards = shards
+        self._owned_evaluator: Optional["GameEvaluator"] = None
+
+    def _resolve_evaluator(self) -> "GameEvaluator":
+        """The evaluator this run shares: explicit > sharded > game's.
+
+        The sharded evaluator is created once and reused across ``run``
+        calls so its caches (and any backend pools attached to its
+        store) persist, mirroring the game's shared evaluator.
+        """
+        if self._evaluator is not None:
+            return self._evaluator
+        if self._shards is not None:
+            if self._owned_evaluator is None:
+                from repro.core.sharded import ShardedEvaluator
+
+                self._owned_evaluator = ShardedEvaluator(
+                    self._game, shards=self._shards
+                )
+            return self._owned_evaluator
+        return self._game.evaluator
 
     def run(
         self,
@@ -439,9 +482,7 @@ class BestResponseDynamics:
         detect = detect_cycles and getattr(self._scheduler, "deterministic", False)
         evaluator: Optional["GameEvaluator"] = None
         if self._incremental:
-            evaluator = (
-                self._evaluator if self._evaluator is not None else game.evaluator
-            )
+            evaluator = self._resolve_evaluator()
         seen: Dict[tuple, int] = {}
         trail: List[tuple] = []
         moves: List[MoveRecord] = []

@@ -103,6 +103,12 @@ through the shared mappings.  All backends run the same pure solver on
 the same bytes, so trajectories are identical for any backend and any
 worker count.
 
+For populations where even the ``n x n`` overlay-distance matrix is too
+large to hold, :class:`~repro.core.sharded.ShardedEvaluator` partitions
+the peer space into row-block shards — each with its own distance-row
+slice and its own service store — behind this same interface (see
+``docs/architecture.md`` for the full walkthrough).
+
 Equivalence with the naive paths: candidate enumeration order and
 tie-breaking mirror the reference implementations, and the two agree
 exactly whenever no two candidates are *mathematically* tied.  The
@@ -189,6 +195,14 @@ class EvaluatorStats:
     ``store_demotions`` count spill-file round-trips.  For the plain
     in-memory store, promotions and demotions stay 0 and resident bytes
     equal the cache size.
+
+    The ``distance_resident_*`` counters track the RAM held by cached
+    overlay-distance rows right now / at the high-water mark: the full
+    ``n x n`` matrix for :class:`GameEvaluator`, the currently-resident
+    row blocks for :class:`~repro.core.sharded.ShardedEvaluator` (which
+    also counts ``distance_block_builds`` / ``distance_block_releases``
+    — full rebuilds and evictions of one shard's row block; both stay 0
+    on the unsharded evaluator).
     """
 
     full_resets: int = 0
@@ -199,6 +213,10 @@ class EvaluatorStats:
     service_rows_reused: int = 0
     distance_full_builds: int = 0
     distance_rows_recomputed: int = 0
+    distance_block_builds: int = 0
+    distance_block_releases: int = 0
+    distance_resident_bytes: int = 0
+    distance_resident_peak_bytes: int = 0
     batch_calls: int = 0
     gain_sweeps: int = 0
     response_solves: int = 0
@@ -210,6 +228,17 @@ class EvaluatorStats:
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
+
+    def account_distance(self, delta: int) -> None:
+        """Move resident overlay-distance bytes by ``delta`` (track peak).
+
+        Shared by the unsharded evaluator (full-matrix builds/resets)
+        and the sharded distance manager (block builds/releases) so the
+        peak semantics the e15 benchmark asserts on live in one place.
+        """
+        self.distance_resident_bytes += delta
+        if self.distance_resident_bytes > self.distance_resident_peak_bytes:
+            self.distance_resident_peak_bytes = self.distance_resident_bytes
 
 
 @dataclass
@@ -362,6 +391,8 @@ class GameEvaluator:
     def _reset(self, profile: StrategyProfile) -> None:
         self._profile = profile
         self._overlay = None
+        if self._dist is not None:
+            self._account_distance(-self._dist.nbytes)
         self._dist = None
         self._dist_dirty = set()
         self._stretch = None
@@ -380,8 +411,7 @@ class GameEvaluator:
         overlay.remove_out_edges(peer)
         for j in profile.strategy(peer):
             overlay.add_edge(peer, j, float(self._dmat[peer, j]))
-        if self._dist is not None:
-            self._dist_dirty |= affected
+        self._mark_distance_dirty(affected)
         self._stretch = None
         for i, entry in self._service.items():
             if i == peer:
@@ -389,6 +419,20 @@ class GameEvaluator:
             entry.dirty |= affected - {i}
         self._profile = profile
         self.stats.incremental_rebinds += 1
+
+    def _mark_distance_dirty(self, affected: Set[int]) -> None:
+        """Record that the distance rows in ``affected`` may have changed.
+
+        Hook point for subclasses that keep overlay distances somewhere
+        other than the monolithic ``_dist`` matrix (the sharded
+        evaluator routes the dirty rows to their owning shards here).
+        """
+        if self._dist is not None:
+            self._dist_dirty |= affected
+
+    def _account_distance(self, delta: int) -> None:
+        """Track resident overlay-distance bytes (and their peak)."""
+        self.stats.account_distance(delta)
 
     @staticmethod
     def _reverse_reachable(overlay: WeightedDigraph, target: int) -> Set[int]:
@@ -418,6 +462,7 @@ class GameEvaluator:
             )
             self._dist_dirty = set()
             self.stats.distance_full_builds += 1
+            self._account_distance(self._dist.nbytes)
         elif self._dist_dirty:
             rows = sorted(self._dist_dirty)
             fresh = multi_source_distances(

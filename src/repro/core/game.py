@@ -105,12 +105,26 @@ class TopologyGame:
         return self._evaluator
 
     def make_evaluator(
-        self, profile: Optional[StrategyProfile] = None
+        self,
+        profile: Optional[StrategyProfile] = None,
+        shards: Optional[int] = None,
+        store="memory",
     ) -> "GameEvaluator":
-        """A fresh, independent evaluator (isolated cache)."""
+        """A fresh, independent evaluator (isolated cache).
+
+        ``shards`` switches to a
+        :class:`~repro.core.sharded.ShardedEvaluator` with that many
+        row-block shards — same interface and identical trajectories,
+        with resident overlay-distance memory bounded to roughly
+        ``1/shards`` and one service store (``store`` spec) per shard.
+        """
+        if shards is not None:
+            from repro.core.sharded import ShardedEvaluator
+
+            return ShardedEvaluator(self, profile, store=store, shards=shards)
         from repro.core.evaluator import GameEvaluator
 
-        return GameEvaluator(self, profile)
+        return GameEvaluator(self, profile, store=store)
 
     # ------------------------------------------------------------------
     # Topologies and costs

@@ -29,6 +29,11 @@ round-trips matrices bit-exactly, so evaluator results (and dynamics
 trajectories) are identical whichever store backs the cache — the
 property the store test-suite pins.
 
+For sharded evaluators, :class:`~repro.core.sharded.ShardedStore` wraps
+one store of any of these kinds *per row-block shard* — giving each
+shard its own byte budget — and routes every key (and worker handle) to
+the owning shard's store.
+
 The evaluator binds its :class:`~repro.core.evaluator.EvaluatorStats` to
 the store (:meth:`~ServiceStore.bind_stats`) so promotions, demotions and
 the resident byte ceiling are observable through the usual counters.

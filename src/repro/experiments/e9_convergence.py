@@ -52,6 +52,7 @@ def run(
     max_rounds: int = 150,
     workers: int = 1,
     backend=None,
+    shards=None,
 ) -> ExperimentResult:
     """Convergence statistics on random instances vs the witness.
 
@@ -60,7 +61,10 @@ def run(
     or ``"process"``; no effect on singleton schedulers).  Results are
     identical for every backend — with ``"batched"`` among the default
     schedulers, this experiment is the CLI's smoke-test surface for
-    ``--backend process``.
+    ``--backend process``.  ``shards`` runs every dynamics pass on a
+    :class:`~repro.core.sharded.ShardedEvaluator` with that many
+    row-block shards (identical results; the CLI's ``--shards`` smoke
+    surface).
     """
     from repro.core.backends import resolve_backend
 
@@ -81,6 +85,7 @@ def run(
                     record_moves=False,
                     workers=workers,
                     backend=solver_backend,
+                    shards=shards,
                 ).run(max_rounds=max_rounds)
                 if result.converged:
                     outcomes["converged"] += 1
@@ -114,7 +119,7 @@ def run(
         for seed in range(num_instances):
             scheduler = _make_scheduler(scheduler_name, seed)
             result = BestResponseDynamics(
-                witness, scheduler=scheduler, record_moves=False
+                witness, scheduler=scheduler, record_moves=False, shards=shards
             ).run(
                 initial=witness.random_profile(0.4, seed=seed),
                 max_rounds=max_rounds,
@@ -163,5 +168,6 @@ def run(
             "schedulers": list(schedulers),
             "workers": workers,
             "backend": solver_backend.name,
+            "shards": shards,
         },
     )

@@ -105,6 +105,12 @@ class ChurnSimulation:
         once, so a process pool persists across epochs).  Epoch
         trajectories are identical for every backend; sequential
         activation ignores both.
+    shards:
+        When set, each epoch's evaluator is a
+        :class:`~repro.core.sharded.ShardedEvaluator` over the epoch's
+        active subgame with that many row-block shards (clamped to the
+        epoch's population, so small epochs still work).  Epoch
+        trajectories are identical for every shard count.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class ChurnSimulation:
         activation: str = "sequential",
         workers: int = 1,
         backend=None,
+        shards: Optional[int] = None,
     ) -> None:
         from repro.core.backends import resolve_backend
 
@@ -132,6 +139,16 @@ class ChurnSimulation:
                 f"activation must be 'sequential' or 'batched', "
                 f"got {activation!r}"
             )
+        if shards is not None:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            if not incremental:
+                raise ValueError(
+                    "shards requires the incremental evaluator path; "
+                    "incremental=False recomputes from scratch and would "
+                    "silently ignore the shard count"
+                )
+        self._shards = shards
         self._metric = metric
         self._alpha = float(alpha)
         self._join_prob = join_prob
@@ -241,9 +258,15 @@ class ChurnSimulation:
                 self._activation == "batched"
                 and self._solver_backend.distributed
             )
-            evaluator = GameEvaluator(
-                subgame, sub, store="shared" if needs_shared else "memory"
-            )
+            store = "shared" if needs_shared else "memory"
+            if self._shards is not None:
+                from repro.core.sharded import ShardedEvaluator
+
+                evaluator = ShardedEvaluator(
+                    subgame, sub, store=store, shards=self._shards
+                )
+            else:
+                evaluator = GameEvaluator(subgame, sub, store=store)
         if self._activation == "batched":
             return self._run_epoch_batched(
                 active, strategies, dmat, subgame, sub, evaluator

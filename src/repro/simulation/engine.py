@@ -118,6 +118,14 @@ class SimulationEngine:
         rounds; the process backend solves against the evaluator's
         shared-memory service store.  Trajectories are identical for
         every backend.
+    shards:
+        When set, the engine owns a
+        :class:`~repro.core.sharded.ShardedEvaluator` with that many
+        row-block shards instead of the game's shared evaluator —
+        bounding resident overlay-distance memory to roughly ``1/k``
+        and giving each shard its own service-store budget.
+        Trajectories are identical for every shard count.  Mutually
+        exclusive with ``evaluator``.
     """
 
     def __init__(
@@ -130,9 +138,24 @@ class SimulationEngine:
         incremental: bool = True,
         workers: int = 1,
         backend=None,
+        shards: Optional[int] = None,
     ) -> None:
         from repro.core.backends import resolve_backend
 
+        if shards is not None:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            if evaluator is not None:
+                raise ValueError(
+                    "pass either an evaluator or shards, not both "
+                    "(a sharded evaluator is built from the shards count)"
+                )
+            if not incremental:
+                raise ValueError(
+                    "shards requires the incremental evaluator path; "
+                    "incremental=False recomputes from scratch and would "
+                    "silently ignore the shard count"
+                )
         self._game = game
         self._method = method
         self._activation = activation
@@ -141,12 +164,30 @@ class SimulationEngine:
         self._evaluator = evaluator
         self._workers = max(1, int(workers))
         self._backend = resolve_backend(backend, self._workers)
+        self._shards = shards
+        self._owned_evaluator: Optional["GameEvaluator"] = None
+
+    @property
+    def evaluator(self) -> Optional["GameEvaluator"]:
+        """The evaluator this engine's runs share (None when
+        ``incremental=False``) — explicit > engine-owned sharded > the
+        game's shared one.  Exposes the run's
+        :class:`~repro.core.evaluator.EvaluatorStats` to callers."""
+        return self._active_evaluator()
 
     def _active_evaluator(self) -> Optional["GameEvaluator"]:
         if not self._incremental:
             return None
         if self._evaluator is not None:
             return self._evaluator
+        if self._shards is not None:
+            if self._owned_evaluator is None:
+                from repro.core.sharded import ShardedEvaluator
+
+                self._owned_evaluator = ShardedEvaluator(
+                    self._game, shards=self._shards
+                )
+            return self._owned_evaluator
         return self._game.evaluator
 
     def _best_response(self, profile: StrategyProfile, peer: int):
@@ -191,7 +232,10 @@ class SimulationEngine:
             method=self._method,
             scheduler=scheduler,
             record_moves=False,
-            evaluator=self._evaluator,
+            # The resolved evaluator (explicit > engine-owned sharded >
+            # the game's shared one) so a sharded engine shares its
+            # caches with the core dynamics it delegates to.
+            evaluator=self._active_evaluator(),
             incremental=self._incremental,
             workers=self._workers,
             backend=self._backend,

@@ -66,6 +66,19 @@ class TestParser:
         assert args.backend == "process"
         assert args.workers == 2
 
+    def test_shards_flag_on_run_run_all_and_demo(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "E9"]).shards is None
+        assert parser.parse_args(["run", "E9", "--shards", "4"]).shards == 4
+        assert parser.parse_args(["run-all", "--shards", "2"]).shards == 2
+        assert parser.parse_args(["demo", "--shards", "3"]).shards == 3
+
+    def test_nonpositive_shards_rejected(self, capsys):
+        for bad in ("0", "-1", "two"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "E9", "--shards", bad])
+        capsys.readouterr()
+
     def test_run_help_range_derived_from_registry(self, capsys):
         from repro.experiments import EXPERIMENTS
 
