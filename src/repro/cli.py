@@ -100,6 +100,28 @@ def _add_execution_flags(command) -> None:
             "identical to the unsharded default"
         ),
     )
+    command.add_argument(
+        "--shard-placement",
+        choices=("local", "process"),
+        default=None,
+        help=(
+            "where the shard row blocks live (needs --shards): 'local' "
+            "keeps them in this process (the default), 'process' runs "
+            "one long-lived worker process per shard serving distance "
+            "rows over a pipe — the coordinator then holds no distance "
+            "block at all; trajectories are identical either way"
+        ),
+    )
+    command.add_argument(
+        "--max-resident-shards",
+        type=_positive_int_arg("max-resident-shards"),
+        default=None,
+        help=(
+            "how many shard row blocks may be RAM-resident at once "
+            "under local placement (needs --shards, must not exceed "
+            "it; default 1)"
+        ),
+    )
 
 
 def _check_execution_flags(args, parser: argparse.ArgumentParser) -> None:
@@ -110,6 +132,26 @@ def _check_execution_flags(args, parser: argparse.ArgumentParser) -> None:
             "process pool only adds IPC overhead over a serial run "
             "(use --backend serial, or raise --workers)"
         )
+    shards = getattr(args, "shards", None)
+    placement = getattr(args, "shard_placement", None)
+    max_resident = getattr(args, "max_resident_shards", None)
+    if placement is not None and shards is None:
+        parser.error(
+            "--shard-placement needs --shards: there is nothing to "
+            "place without a shard count"
+        )
+    if max_resident is not None:
+        if shards is None:
+            parser.error(
+                "--max-resident-shards needs --shards: it budgets the "
+                "resident row blocks of a sharded evaluator"
+            )
+        if max_resident > shards:
+            parser.error(
+                f"--max-resident-shards ({max_resident}) cannot exceed "
+                f"--shards ({shards}): there are only {shards} row "
+                f"blocks to keep resident"
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,13 +236,22 @@ def _cmd_list() -> int:
     return 0
 
 
+def _harness_params(args) -> dict:
+    """The execution flags forwarded to experiment runners."""
+    return {
+        "workers": args.workers,
+        "backend": args.backend,
+        "shards": args.shards,
+        "shard_placement": args.shard_placement,
+        "max_resident_shards": args.max_resident_shards,
+    }
+
+
 def _cmd_run(
     experiment_id: str,
     as_json: bool,
     out: Optional[str],
-    workers: int,
-    backend: Optional[str],
-    shards: Optional[int],
+    params: dict,
 ) -> int:
     from repro.experiments import get_experiment
 
@@ -209,7 +260,13 @@ def _cmd_run(
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = spec.run(workers=workers, backend=backend, shards=shards)
+    try:
+        result = spec.run(**params)
+    except ValueError as error:
+        # Experiment-level flag validation (e.g. --shards exceeding the
+        # experiment's population): a clear error, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if as_json:
         _emit(json.dumps(_result_payload(result), indent=2, default=str), out)
     else:
@@ -219,16 +276,18 @@ def _cmd_run(
 
 def _cmd_run_all(
     as_json: bool,
-    workers: int,
-    backend: Optional[str],
-    shards: Optional[int],
+    params: dict,
 ) -> int:
     from repro.experiments import EXPERIMENTS
 
     exit_code = 0
     payloads = []
     for spec in EXPERIMENTS.values():
-        result = spec.run(workers=workers, backend=backend, shards=shards)
+        try:
+            result = spec.run(**params)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         if as_json:
             payloads.append(_result_payload(result))
         else:
@@ -260,14 +319,15 @@ def _cmd_certify(alpha: Optional[float]) -> int:
     return 0
 
 
-def _cmd_demo(
-    workers: int, backend: Optional[str], shards: Optional[int]
-) -> int:
+def _cmd_demo(params: dict) -> int:
     from repro import BestResponseDynamics, TopologyGame
     from repro.constructions.no_nash import build_no_nash_instance
     from repro.metrics.euclidean import EuclideanMetric
     from repro.simulation.engine import SimulationEngine
 
+    workers = params["workers"]
+    backend = params["backend"]
+    shards = params["shards"]
     print("1. Selfish rewiring on a random instance (n=12, alpha=2):")
     game = TopologyGame(
         EuclideanMetric.random_uniform(12, dim=2, seed=1), alpha=2.0
@@ -281,23 +341,27 @@ def _cmd_demo(
     witness_run = BestResponseDynamics(witness).run(max_rounds=100)
     print(f"   {witness_run}")
     print()
+    placement = params["shard_placement"]
     print(
         f"3. Batched max-gain sweeps (n=32, alpha=1, workers={workers}, "
-        f"backend={backend or 'auto'}, shards={shards or 'unsharded'}):"
+        f"backend={backend or 'auto'}, shards={shards or 'unsharded'}"
+        f"{f', placement={placement}' if placement else ''}):"
     )
     sweep_game = TopologyGame(
         EuclideanMetric.random_uniform(32, dim=2, seed=2), alpha=1.0
     )
-    engine = SimulationEngine(
+    with SimulationEngine(
         sweep_game,
         method="greedy",
         activation="max-gain",
         workers=workers,
         backend=backend,
         shards=shards,
-    )
-    report = engine.run(max_rounds=120)
-    stats = engine.evaluator.stats
+        shard_placement=placement,
+        max_resident_shards=params["max_resident_shards"],
+    ) as engine:
+        report = engine.run(max_rounds=120)
+        stats = engine.evaluator.stats
     print(
         f"   {report.stopped_reason} after {report.moves} moves; "
         f"final cost {report.final_cost:.2f}"
@@ -327,18 +391,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.experiment_id,
                 args.json,
                 args.out,
-                args.workers,
-                args.backend,
-                args.shards,
+                _harness_params(args),
             )
         if args.command == "run-all":
-            return _cmd_run_all(
-                args.json, args.workers, args.backend, args.shards
-            )
+            return _cmd_run_all(args.json, _harness_params(args))
         if args.command == "certify":
             return _cmd_certify(args.alpha)
         if args.command == "demo":
-            return _cmd_demo(args.workers, args.backend, args.shards)
+            return _cmd_demo(_harness_params(args))
     except BrokenPipeError:  # downstream pager closed (e.g. `| head`)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -395,6 +395,23 @@ class BestResponseDynamics:
         bounding resident overlay-distance memory to roughly ``1/k`` of
         the monolithic matrix.  Trajectories are identical for every
         shard count.  Mutually exclusive with ``evaluator``.
+    shard_placement:
+        Where that sharded evaluator's distance blocks live:
+        ``"local"`` (default) or ``"process"`` — one worker process per
+        shard (:mod:`repro.core.shard_workers`) serving distance rows
+        over a pipe, leaving the coordinator with no resident block at
+        all.  Trajectories are identical for either placement.
+        Requires ``shards``.
+    max_resident_shards:
+        Resident row-block budget of the owned sharded evaluator
+        (local placement; default 1).  Requires ``shards`` and must not
+        exceed it.
+
+    The dynamics own the sharded evaluator (and any backend resolved
+    from a spec string), so they are a context manager: ``close()`` —
+    or leaving the ``with`` block — tears those down deterministically.
+    Externally supplied evaluators and backend *instances* are the
+    caller's to close.
     """
 
     def __init__(
@@ -410,12 +427,14 @@ class BestResponseDynamics:
         workers: int = 1,
         backend=None,
         shards: Optional[int] = None,
+        shard_placement: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
-        from repro.core.backends import resolve_backend
+        from repro.core.backends import SolverBackend, resolve_backend
+        from repro.core.sharded import check_shard_options
 
+        check_shard_options(shards, shard_placement, max_resident_shards)
         if shards is not None:
-            if shards < 1:
-                raise ValueError(f"shards must be >= 1, got {shards}")
             if evaluator is not None:
                 raise ValueError(
                     "pass either an evaluator or shards, not both "
@@ -436,28 +455,53 @@ class BestResponseDynamics:
         self._evaluator = evaluator
         self._incremental = incremental
         self._workers = max(1, int(workers))
+        self._owns_backend = not isinstance(backend, SolverBackend)
         self._backend = resolve_backend(backend, self._workers)
         self._shards = shards
+        self._shard_placement = shard_placement
+        self._max_resident_shards = max_resident_shards
         self._owned_evaluator: Optional["GameEvaluator"] = None
 
     def _resolve_evaluator(self) -> "GameEvaluator":
         """The evaluator this run shares: explicit > sharded > game's.
 
         The sharded evaluator is created once and reused across ``run``
-        calls so its caches (and any backend pools attached to its
-        store) persist, mirroring the game's shared evaluator.
+        calls so its caches (and any backend pools or shard workers
+        attached to it) persist, mirroring the game's shared evaluator.
         """
         if self._evaluator is not None:
             return self._evaluator
         if self._shards is not None:
             if self._owned_evaluator is None:
-                from repro.core.sharded import ShardedEvaluator
+                from repro.core.sharded import build_sharded_evaluator
 
-                self._owned_evaluator = ShardedEvaluator(
-                    self._game, shards=self._shards
+                self._owned_evaluator = build_sharded_evaluator(
+                    self._game,
+                    shards=self._shards,
+                    placement=self._shard_placement,
+                    max_resident_shards=self._max_resident_shards,
                 )
             return self._owned_evaluator
         return self._game.evaluator
+
+    def close(self) -> None:
+        """Release owned resources (idempotent).
+
+        Closes the engine-owned sharded evaluator (its stores and shard
+        workers) and, when the backend was resolved from a spec string
+        rather than passed as an instance, the backend's pools.
+        """
+        if self._owned_evaluator is not None:
+            self._owned_evaluator.close()
+            self._owned_evaluator = None
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "BestResponseDynamics":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,

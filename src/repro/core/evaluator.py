@@ -125,6 +125,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import weakref
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -329,8 +330,23 @@ class GameEvaluator:
         self.stats = EvaluatorStats()
         self._store = make_store(store)
         self._store.bind_stats(self.stats)
+        # Safety net mirroring the backend _shutdown pattern: if this
+        # evaluator is abandoned without close() — a test failure
+        # mid-run, a CLI Ctrl-C — the store still gets closed at GC or
+        # interpreter exit, keeping shm segments out of /dev/shm and
+        # spill slabs out of the temp dir.  The one-element cell tracks
+        # store migrations so the *current* store is the one closed.
+        self._store_cell: List = [self._store]
+        self._store_finalizer = weakref.finalize(
+            self, GameEvaluator._close_stores, self._store_cell
+        )
         if profile is not None:
             self.set_profile(profile)
+
+    @staticmethod
+    def _close_stores(cell: List) -> None:
+        for store in cell:
+            store.close()
 
     # ------------------------------------------------------------------
     # Binding and invalidation
@@ -855,6 +871,7 @@ class GameEvaluator:
                 entry.service = None  # view points at the retired buffer
         old.close()
         self._store = new
+        self._store_cell[0] = new  # the finalizer must close the live store
 
     def _memoized_response(
         self, peer: int, method: str
@@ -1096,12 +1113,21 @@ class GameEvaluator:
     def close(self) -> None:
         """Release the service store's buffers (segments, spill file).
 
-        Optional — stores clean up via finalizers when the evaluator is
-        garbage collected — but deterministic teardown keeps shared-
-        memory segments out of ``/dev/shm`` between runs.
+        Idempotent, and optional — the evaluator's finalizer (and each
+        store's own) closes the buffers at garbage collection or
+        interpreter exit — but deterministic teardown keeps shared-
+        memory segments out of ``/dev/shm`` between runs.  An evaluator
+        may keep serving queries after ``close()``: the stores re-arm
+        their cleanup on the next write.
         """
         self._service = {}
         self._store.close()
+
+    def __enter__(self) -> "GameEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bound = self._profile is not None

@@ -109,6 +109,8 @@ class TopologyGame:
         profile: Optional[StrategyProfile] = None,
         shards: Optional[int] = None,
         store="memory",
+        placement: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> "GameEvaluator":
         """A fresh, independent evaluator (isolated cache).
 
@@ -117,11 +119,25 @@ class TopologyGame:
         row-block shards — same interface and identical trajectories,
         with resident overlay-distance memory bounded to roughly
         ``1/shards`` and one service store (``store`` spec) per shard.
+        ``placement="process"`` additionally moves each shard's distance
+        block into its own worker process
+        (:mod:`repro.core.shard_workers`); ``max_resident_shards``
+        budgets the locally resident blocks.  Both require ``shards``.
         """
         if shards is not None:
-            from repro.core.sharded import ShardedEvaluator
+            from repro.core.sharded import build_sharded_evaluator
 
-            return ShardedEvaluator(self, profile, store=store, shards=shards)
+            return build_sharded_evaluator(
+                self,
+                profile,
+                store=store,
+                shards=shards,
+                placement=placement,
+                max_resident_shards=max_resident_shards,
+            )
+        from repro.core.sharded import check_shard_options
+
+        check_shard_options(shards, placement, max_resident_shards)
         from repro.core.evaluator import GameEvaluator
 
         return GameEvaluator(self, profile, store=store)

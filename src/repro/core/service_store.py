@@ -41,6 +41,7 @@ the resident byte ceiling are observable through the usual counters.
 
 from __future__ import annotations
 
+import itertools
 import os
 import tempfile
 import uuid
@@ -62,6 +63,14 @@ __all__ = [
 #: ``store=`` spec strings accepted by :func:`make_store` (and therefore
 #: by the evaluator constructor).
 STORE_SPECS = ("memory", "shared", "spill")
+
+#: Monotone id stamped into every shareable store's handles (and bumped
+#: when a closed store is re-armed), so a worker's attachment cache can
+#: never serve a mapping from a *previous* store whose segment or spill
+#: file happened to reuse the same name — the cache key is
+#: ``(handle kind, location, shape, generation)``, and two different
+#: backings never share a generation.
+_GENERATIONS = itertools.count(1)
 
 
 def _new_stats() -> SimpleNamespace:
@@ -250,12 +259,29 @@ class SharedMemoryStore(ServiceStore):
         from multiprocessing import shared_memory  # lazy: import cost
 
         self._shm_mod = shared_memory
+        self._generation = next(_GENERATIONS)
         #: key -> (segment, array view, shape)
         self._data: Dict[int, Tuple] = {}
         self._free: Dict[int, List] = {}  # nbytes -> [segments]
         self._finalizer = weakref.finalize(
             self, SharedMemoryStore._release, self._data, self._free
         )
+
+    def _ensure_open(self) -> None:
+        """Re-arm the cleanup finalizer after a close-then-reuse.
+
+        ``weakref.finalize`` fires at most once: without this, a store
+        that is written to again after :meth:`close` would allocate
+        fresh segments with a *dead* finalizer — exactly the silent
+        ``/dev/shm`` leak the safety net exists to prevent.  Re-opening
+        also advances the store's generation, so any stale worker
+        attachments keyed to the closed incarnation cannot be served.
+        """
+        if not self._finalizer.alive:
+            self._generation = next(_GENERATIONS)
+            self._finalizer = weakref.finalize(
+                self, SharedMemoryStore._release, self._data, self._free
+            )
 
     @staticmethod
     def _release(data: Dict, free: Dict) -> None:
@@ -288,6 +314,7 @@ class SharedMemoryStore(ServiceStore):
         )
 
     def put(self, key: int, weights: np.ndarray) -> np.ndarray:
+        self._ensure_open()
         weights = np.ascontiguousarray(weights, dtype=np.float64)
         old = self._data.get(key)
         if old is not None and old[0].size >= weights.nbytes > 0:
@@ -346,7 +373,7 @@ class SharedMemoryStore(ServiceStore):
         if entry is None:
             return None
         segment, _array, shape = entry
-        return ("shm", segment.name, tuple(shape))
+        return ("shm", segment.name, tuple(shape), self._generation)
 
 
 # ----------------------------------------------------------------------
@@ -393,6 +420,8 @@ class SpillStore(ServiceStore):
             raise ValueError(f"budget_bytes must be >= 0, got {budget_bytes}")
         self.budget_bytes = int(budget_bytes)
         self.chunk_budget_bytes = self.budget_bytes
+        self._directory = directory
+        self._generation = next(_GENERATIONS)
         fd, path = tempfile.mkstemp(
             prefix="repro-spill-", suffix=".bin", dir=directory
         )
@@ -418,11 +447,33 @@ class SpillStore(ServiceStore):
         except OSError:  # pragma: no cover - already gone
             pass
 
+    def _ensure_open(self) -> None:
+        """Open a fresh slab file after a close-then-reuse.
+
+        A ``weakref.finalize`` fires at most once, and :meth:`close`
+        also closed the slab fd — so a store written to again after
+        ``close`` must start a new spill file (with a live finalizer and
+        a new generation) rather than silently re-truncating a dead fd
+        or leaking the new file on exit.
+        """
+        if self._finalizer.alive:
+            return
+        fd, path = tempfile.mkstemp(
+            prefix="repro-spill-", suffix=".bin", dir=self._directory
+        )
+        self._fd = fd
+        self._path = path
+        self._end = 0
+        self._free = {}  # old offsets belonged to the unlinked file
+        self._generation = next(_GENERATIONS)
+        self._finalizer = weakref.finalize(self, SpillStore._release, fd, path)
+
     def close(self) -> None:
         self._account_resident(-self.resident_bytes())
         self._resident_total = 0
         self._slots.clear()
         self._lru.clear()
+        self._free = {}
         self._finalizer()
 
     @property
@@ -492,6 +543,7 @@ class SpillStore(ServiceStore):
 
     # -- ServiceStore API ----------------------------------------------
     def put(self, key: int, weights: np.ndarray) -> np.ndarray:
+        self._ensure_open()
         weights = np.ascontiguousarray(weights, dtype=np.float64)
         old = self._slots.get(key)
         if old is not None and old.nbytes == weights.nbytes:
@@ -558,7 +610,13 @@ class SpillStore(ServiceStore):
         slot = self._slots.get(key)
         if slot is None:
             return None
-        return ("mmap", self._path, slot.offset, tuple(slot.shape))
+        return (
+            "mmap",
+            self._path,
+            slot.offset,
+            tuple(slot.shape),
+            self._generation,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -576,12 +634,19 @@ _ATTACHMENT_CAP = 1024
 def attach_service_weights(handle: Tuple) -> np.ndarray:
     """Materialize a read-only weights view from a store handle.
 
-    Runs inside pool workers.  ``("shm", name, shape)`` attaches the
-    named shared-memory segment; ``("mmap", path, offset, shape)`` maps
-    a window of the spill file.  Attachments are cached per process, so
-    repeated tasks against the same matrix touch no syscalls — and
-    because both mappings are shared, in-place repairs by the owner are
-    visible here without re-attaching.
+    Runs inside pool workers.  ``("shm", name, shape, generation)``
+    attaches the named shared-memory segment;
+    ``("mmap", path, offset, shape, generation)`` maps a window of the
+    spill file.  Attachments are cached per process, so repeated tasks
+    against the same matrix touch no syscalls — and because both
+    mappings are shared, in-place repairs by the owner are visible here
+    without re-attaching.
+
+    The cache key is the *whole* handle including the owning store's
+    generation: a segment or spill-file name can be reused by a later
+    store after the original was closed, and a name-only key would then
+    serve the dead incarnation's mapping — bytes from a buffer the owner
+    has already retired.  A new generation forces a fresh attach.
 
     Resource-tracker note: pool workers inherit the owner's tracker
     (multiprocessing ships the tracker fd to fork *and* spawn children),
@@ -591,8 +656,8 @@ def attach_service_weights(handle: Tuple) -> np.ndarray:
     """
     kind = handle[0]
     if kind == "shm":
-        _kind, segment_name, shape = handle
-        key = ("shm", segment_name, shape)
+        _kind, segment_name, shape, _generation = handle
+        key = tuple(handle)
         cached = _ATTACHMENTS.get(key)
         if cached is not None:
             return cached
@@ -605,8 +670,8 @@ def attach_service_weights(handle: Tuple) -> np.ndarray:
         _ATTACHED_SEGMENTS[key] = segment  # keep the mapping alive
         return array
     if kind == "mmap":
-        _kind, path, offset, shape = handle
-        key = ("mmap", path, offset, shape)
+        _kind, path, offset, shape, _generation = handle
+        key = tuple(handle)
         cached = _ATTACHMENTS.get(key)
         if cached is not None:
             return cached

@@ -1,0 +1,440 @@
+"""Shard *worker processes*: distance row blocks served across processes.
+
+:class:`~repro.core.sharded.ShardedEvaluator` (PR 4) bounds one
+process's resident overlay-distance memory, but all ``k`` row-block
+shards still live in a single address space.  This module promotes each
+shard to a **long-lived worker process** that owns its distance slice —
+the next rung toward populations whose overlay state cannot fit any one
+process:
+
+* Each worker holds its own copy of the bound profile's overlay and
+  builds/repairs its ``[lo, hi)`` distance row block with the *same*
+  per-source Dijkstra calls the in-process
+  :class:`~repro.core.sharded.ShardedDistances` issues — per-source runs
+  are independent, so the bytes are identical wherever they are
+  computed.
+* The cross-shard interface stays narrow (the communication-efficiency
+  discipline of distributed self-stabilizing protocols): shards exchange
+  only the ``distance_rows`` they are asked for and O(n/k) stretch
+  *reductions* — never whole matrices.  A single-peer rebind ships just
+  ``(peer, new_targets)``; every worker re-derives the affected rows
+  from its own overlay with the same reverse-reachability BFS the
+  coordinator runs, so no row set crosses the wire either.
+* The transport is abstracted behind :class:`ShardTransport` — the
+  default :class:`PipeTransport` forks one worker per shard over a
+  ``multiprocessing`` pipe; a socket transport can slot in later without
+  touching the pool or the evaluator.
+
+Message protocol (one request/reply pair per call, strictly ordered per
+worker):
+
+=============  =======================================  ==============
+request        payload                                  reply payload
+=============  =======================================  ==============
+``"reset"``    strategies (tuple of target tuples)      ``None``
+``"rebind"``   ``(peer, targets)``                      ``None``
+``"rows"``     global row ids owned by this shard       ``(m, n)`` array
+``"sums"``     —                                        ``(row sums, total)``
+``"stats"``    —                                        counter dict
+``"ping"``     —                                        ``"pong"``
+``"stop"``     —                                        ``None`` (exits)
+=============  =======================================  ==============
+
+Replies are ``("ok", payload)`` or ``("error", traceback_text)``; the
+coordinator re-raises the latter as :class:`ShardWorkerError`.
+
+Lifecycle: workers are daemonic and the pool registers a
+``weakref.finalize`` safety net (mirroring the backend ``_shutdown``
+pattern in :mod:`repro.core.backends`), so an abandoned pool — a test
+failure mid-run, a CLI Ctrl-C — still tears its processes down at
+garbage collection or interpreter exit; :meth:`ShardWorkerPool.close`
+is the deterministic, idempotent path.
+"""
+
+from __future__ import annotations
+
+import traceback
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costs import stretch_from_distance_rows
+from repro.core.evaluator import GameEvaluator
+from repro.core.profile import StrategyProfile
+from repro.core.sharded import ShardPlan
+from repro.core.topology import overlay_from_matrix
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.shortest_paths import multi_source_distances
+
+#: The coordinator's reverse-reachability BFS, shared (not duplicated):
+#: worker dirty sets agree with the coordinator's *because this is the
+#: same function* — any future change applies to both sides at once.
+_reverse_reachable = GameEvaluator._reverse_reachable
+
+__all__ = [
+    "ShardWorkerError",
+    "ShardTransport",
+    "PipeTransport",
+    "ShardWorkerPool",
+    "PLACEMENT_SPECS",
+]
+
+#: ``placement=`` spec strings accepted by the sharded evaluator (and
+#: therefore by the ``--shard-placement`` CLI flag).
+PLACEMENT_SPECS = ("local", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed while serving a request (traceback inside)."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """One shard's state machine, running inside the worker process.
+
+    Mirrors the in-process :class:`~repro.core.sharded.ShardedDistances`
+    semantics for a single always-resident block: built lazily by one
+    multi-source Dijkstra over the shard's own sources, repaired
+    row-incrementally after rebinds, dirt ignored while the block is
+    unbuilt (it will be built in full anyway).
+    """
+
+    def __init__(
+        self, lo: int, hi: int, dmat: np.ndarray, backend: str
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.dmat = dmat
+        self.backend = backend
+        self.overlay: Optional[WeightedDigraph] = None
+        self.block: Optional[np.ndarray] = None
+        self.dirty: set = set()
+        self.sums: Optional[Tuple[np.ndarray, float]] = None
+        self.block_builds = 0
+        self.rows_recomputed = 0
+        self.resident_peak_bytes = 0
+
+    # -- profile sync ---------------------------------------------------
+    def reset(self, strategies: Sequence[Tuple[int, ...]]) -> None:
+        profile = StrategyProfile([frozenset(s) for s in strategies])
+        self.overlay = overlay_from_matrix(self.dmat, profile)
+        self.block = None
+        self.dirty = set()
+        self.sums = None
+
+    def rebind(self, peer: int, targets: Tuple[int, ...]) -> None:
+        overlay = self._require_overlay()
+        # Same invariant as the coordinator's incremental rebind: edges
+        # *into* peer are identical before and after the splice, so the
+        # reverse reachability computed on the old overlay is valid for
+        # both — and identical to the coordinator's affected set.
+        affected = _reverse_reachable(overlay, peer)
+        overlay.remove_out_edges(peer)
+        for j in targets:
+            overlay.add_edge(peer, j, float(self.dmat[peer, j]))
+        mine = {row for row in affected if self.lo <= row < self.hi}
+        if mine:
+            self.sums = None
+            if self.block is not None:
+                self.dirty |= mine
+
+    # -- queries --------------------------------------------------------
+    def _require_overlay(self) -> WeightedDigraph:
+        if self.overlay is None:
+            raise RuntimeError("no profile bound; send a 'reset' first")
+        return self.overlay
+
+    def clean_block(self) -> np.ndarray:
+        overlay = self._require_overlay()
+        if self.block is None:
+            self.block = multi_source_distances(
+                overlay, list(range(self.lo, self.hi)), backend=self.backend
+            )
+            self.dirty = set()
+            self.block_builds += 1
+            self.resident_peak_bytes = max(
+                self.resident_peak_bytes, self.block.nbytes
+            )
+        elif self.dirty:
+            rows = sorted(self.dirty)
+            fresh = multi_source_distances(
+                overlay, rows, backend=self.backend
+            )
+            self.block[[row - self.lo for row in rows]] = fresh
+            self.rows_recomputed += len(rows)
+            self.dirty = set()
+        return self.block
+
+    def rows(self, wanted: Sequence[int]) -> np.ndarray:
+        block = self.clean_block()
+        return block[[row - self.lo for row in wanted]].copy()
+
+    def stretch_sums(self) -> Tuple[np.ndarray, float]:
+        # Bitwise identical to ShardedEvaluator._shard_stretch_sums:
+        # same stretch rows, same reduction order, same bytes.
+        if self.sums is None:
+            block = self.clean_block()
+            stretch = stretch_from_distance_rows(
+                self.dmat[self.lo : self.hi], block, range(self.lo, self.hi)
+            )
+            self.sums = (stretch.sum(axis=1), float(stretch.sum()))
+        return self.sums
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "shard_rows": self.hi - self.lo,
+            "block_builds": self.block_builds,
+            "rows_recomputed": self.rows_recomputed,
+            "resident_bytes": 0 if self.block is None else self.block.nbytes,
+            "resident_peak_bytes": self.resident_peak_bytes,
+        }
+
+
+def _worker_main(
+    conn, lo: int, hi: int, dmat: np.ndarray, backend: str
+) -> None:
+    """Worker process entry point: serve requests until ``stop``/EOF."""
+    state = _WorkerState(lo, hi, dmat, backend)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # coordinator went away
+            return
+        kind = message[0]
+        try:
+            if kind == "stop":
+                conn.send(("ok", None))
+                return
+            if kind == "reset":
+                reply = state.reset(message[1])
+            elif kind == "rebind":
+                reply = state.rebind(message[1], message[2])
+            elif kind == "rows":
+                reply = state.rows(message[1])
+            elif kind == "sums":
+                reply = state.stretch_sums()
+            elif kind == "stats":
+                reply = state.stats()
+            elif kind == "ping":
+                reply = "pong"
+            else:
+                raise ValueError(f"unknown shard-worker request {kind!r}")
+            conn.send(("ok", reply))
+        except Exception:  # noqa: BLE001 - forwarded to the coordinator
+            conn.send(("error", traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class ShardTransport:
+    """One ordered request/reply channel to a shard worker.
+
+    The seam that keeps the *placement* of a shard separate from how
+    messages reach it: :class:`PipeTransport` is the in-host default; a
+    socket transport serving the same request/reply protocol can slot in
+    without touching :class:`ShardWorkerPool` or the evaluator.
+    """
+
+    def request(self, message: Tuple):
+        """Send ``message``, block for the reply payload (or raise)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the channel (and any owned worker) down; idempotent."""
+
+    @property
+    def alive(self) -> bool:
+        """Whether the far side is still expected to answer."""
+        return False
+
+
+class PipeTransport(ShardTransport):
+    """A forked worker process behind a ``multiprocessing`` pipe.
+
+    Uses the ``fork`` start method where available so the worker
+    inherits the coordinator's distance matrix without pickling it; the
+    spawn fallback ships ``dmat`` once at startup.  Workers are daemonic
+    — the OS reaps them if the coordinator dies without closing.
+    """
+
+    def __init__(self, lo: int, hi: int, dmat: np.ndarray, backend: str):
+        import multiprocessing
+
+        context = multiprocessing
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        parent, child = context.Pipe()
+        self._conn = parent
+        self._process = context.Process(
+            target=_worker_main,
+            args=(child, lo, hi, dmat, backend),
+            daemon=True,
+            name=f"repro-shard-{lo}-{hi}",
+        )
+        self._process.start()
+        child.close()  # the worker holds its own copy of the fd
+
+    def request(self, message: Tuple):
+        try:
+            self._conn.send(message)
+            kind, payload = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} died mid-request "
+                f"({type(error).__name__})"
+            ) from error
+        if kind == "error":
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} failed:\n{payload}"
+            )
+        return payload
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def close(self) -> None:
+        _stop_pipe_worker(self._conn, self._process)
+
+
+def _stop_pipe_worker(conn, process) -> None:
+    """Stop one pipe worker; safe to call repeatedly or post-mortem."""
+    if process.is_alive():
+        try:
+            conn.send(("stop",))
+            conn.recv()
+        except (EOFError, OSError):  # already gone / pipe torn
+            pass
+        process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=5)
+    conn.close()
+
+
+class ShardWorkerPool:
+    """One long-lived worker per shard, serving the distance row blocks.
+
+    The pool is the coordinator-side face of process placement: it
+    routes :meth:`rows` requests to the owning shards (assembling the
+    reply in ``peers`` order, exactly like
+    :meth:`~repro.core.sharded.ShardedDistances.rows`), broadcasts
+    profile syncs, and collects per-worker stats.  All methods are
+    synchronous and ordered per worker, so a ``rows`` request can never
+    overtake the ``rebind`` that dirtied it.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        dmat: np.ndarray,
+        backend: str = "auto",
+        transport_factory=PipeTransport,
+    ) -> None:
+        self._plan = plan
+        self._n = plan.n
+        transports: List[ShardTransport] = []
+        try:
+            for shard in range(plan.k):
+                lo, hi = plan.bounds[shard]
+                transports.append(transport_factory(lo, hi, dmat, backend))
+        except Exception:
+            for transport in transports:
+                transport.close()
+            raise
+        self._transports = transports
+        self._finalizer = weakref.finalize(
+            self, ShardWorkerPool._shutdown, transports
+        )
+
+    @staticmethod
+    def _shutdown(transports: List[ShardTransport]) -> None:
+        for transport in transports:
+            transport.close()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (idempotent; also runs via the finalizer)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._transports)
+
+    def alive_workers(self) -> int:
+        """How many workers still answer (for tests/diagnostics)."""
+        return sum(1 for transport in self._transports if transport.alive)
+
+    # -- profile sync ---------------------------------------------------
+    def reset(self, profile: StrategyProfile) -> None:
+        """Rebuild every worker's overlay from scratch (full rebind)."""
+        strategies = tuple(
+            tuple(sorted(profile.strategy(peer)))
+            for peer in range(profile.n)
+        )
+        self._broadcast(("reset", strategies))
+
+    def rebind(self, peer: int, targets) -> None:
+        """Splice one peer's new out-edges into every worker's overlay."""
+        self._broadcast(("rebind", peer, tuple(sorted(targets))))
+
+    def _broadcast(self, message: Tuple) -> None:
+        for transport in self._transports:
+            transport.request(message)
+
+    # -- data plane -----------------------------------------------------
+    def rows(self, peers: Sequence[int]) -> np.ndarray:
+        """The requested distance rows, gathered shard by shard.
+
+        Returns a fresh caller-owned ``(len(peers), n)`` array in
+        ``peers`` order; only the requested rows cross the transport.
+        """
+        peers = list(peers)
+        out = np.empty((len(peers), self._n), dtype=np.float64)
+        by_shard: Dict[int, List[int]] = {}
+        for position, peer in enumerate(peers):
+            if not 0 <= peer < self._n:
+                raise IndexError(f"peer {peer} out of range [0, {self._n})")
+            by_shard.setdefault(self._plan.owner(peer), []).append(position)
+        for shard in sorted(by_shard):
+            positions = by_shard[shard]
+            fetched = self._transports[shard].request(
+                ("rows", [peers[position] for position in positions])
+            )
+            for row, position in enumerate(positions):
+                out[position] = fetched[row]
+        return out
+
+    def stretch_sums(self, shard: int) -> Tuple[np.ndarray, float]:
+        """One shard's ``(stretch row sums, stretch total)`` reductions.
+
+        O(n/k) + O(1) values over the wire — the block itself never
+        leaves the worker.
+        """
+        return self._transports[shard].request(("sums",))
+
+    def worker_stats(self) -> List[Dict[str, int]]:
+        """Per-worker counters (builds, repairs, resident block bytes)."""
+        return [
+            transport.request(("stats",)) for transport in self._transports
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardWorkerPool(k={self._plan.k}, n={self._n}, "
+            f"closed={self.closed})"
+        )

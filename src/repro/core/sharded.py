@@ -27,7 +27,10 @@ service-store budget:
   store.
 * :class:`ShardedEvaluator` is a drop-in
   :class:`~repro.core.evaluator.GameEvaluator` facade wiring the two
-  together.  Strategic queries (``service_costs``, ``best_response``,
+  together — and, with ``placement="process"``, placing each shard's
+  distance block in its own worker process
+  (:mod:`repro.core.shard_workers`) so the coordinator holds no block
+  at all.  Strategic queries (``service_costs``, ``best_response``,
   ``gain_sweep``, ``find_improving_flip``) are inherited unchanged — they
   are functions of the per-peer service matrices, which the sharded store
   serves bit-identically — so dynamics trajectories are **identical** to
@@ -76,7 +79,82 @@ __all__ = [
     "ShardedDistances",
     "ShardedStore",
     "ShardedEvaluator",
+    "check_shard_options",
+    "build_sharded_evaluator",
 ]
+
+
+def check_shard_options(
+    shards: Optional[int],
+    placement: Optional[str] = None,
+    max_resident_shards: Optional[int] = None,
+) -> None:
+    """Validate the shard-tuning knobs shared by dynamics/engine/churn.
+
+    Fails fast with the same messages everywhere so a bad combination —
+    a placement without shards, a nonsensical residency budget — dies at
+    construction instead of deep inside :class:`ShardPlan` or being
+    silently clamped.
+    """
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if placement is not None:
+        from repro.core.shard_workers import PLACEMENT_SPECS
+
+        if placement not in PLACEMENT_SPECS:
+            raise ValueError(
+                f"unknown shard placement {placement!r}; expected one of "
+                f"{PLACEMENT_SPECS}"
+            )
+        if shards is None:
+            raise ValueError(
+                "shard_placement requires shards= (there is nothing to "
+                "place without a shard count)"
+            )
+    if max_resident_shards is not None:
+        if max_resident_shards < 1:
+            raise ValueError(
+                f"max_resident_shards must be >= 1, got {max_resident_shards}"
+            )
+        if shards is None:
+            raise ValueError(
+                "max_resident_shards requires shards= (it budgets the "
+                "resident row blocks of a sharded evaluator)"
+            )
+        if shards is not None and max_resident_shards > shards:
+            raise ValueError(
+                f"max_resident_shards ({max_resident_shards}) cannot "
+                f"exceed shards ({shards})"
+            )
+
+
+def build_sharded_evaluator(
+    game,
+    profile: Optional[StrategyProfile] = None,
+    *,
+    shards: int,
+    placement: Optional[str] = None,
+    max_resident_shards: Optional[int] = None,
+    store="memory",
+) -> "ShardedEvaluator":
+    """A :class:`ShardedEvaluator` from the optional driver-level knobs.
+
+    ``None`` placement/residency mean the class defaults — the one spot
+    where the drivers' "not configured" convention is translated, so
+    every layer (dynamics, engine, churn, ``make_evaluator``) builds
+    identical evaluators from identical flags.
+    """
+    check_shard_options(shards, placement, max_resident_shards)
+    return ShardedEvaluator(
+        game,
+        profile,
+        store=store,
+        shards=shards,
+        max_resident_shards=(
+            1 if max_resident_shards is None else max_resident_shards
+        ),
+        placement="local" if placement is None else placement,
+    )
 
 
 @dataclass(frozen=True)
@@ -152,10 +230,14 @@ class ShardedDistances:
         stats,
         max_resident: int = 1,
     ) -> None:
+        if max_resident < 1:
+            raise ValueError(
+                f"max_resident must be >= 1, got {max_resident}"
+            )
         self._plan = plan
         self._backend = backend
         self._stats = stats
-        self._max_resident = max(1, min(plan.k, int(max_resident)))
+        self._max_resident = min(plan.k, int(max_resident))
         self._blocks: List[Optional[np.ndarray]] = [None] * plan.k
         self._dirty: List[Set[int]] = [set() for _ in range(plan.k)]
         #: Resident shards in least-recently-used-first order (dict
@@ -429,6 +511,18 @@ class ShardedEvaluator(GameEvaluator):
     max_resident_shards:
         How many distance row blocks may be RAM-resident at once
         (default 1 — peak resident distance bytes ~ ``n^2/k * 8``).
+        Local placement only: a shard worker process always holds
+        exactly its own block, which *is* the per-process bound.
+    placement:
+        Where the distance row blocks live: ``"local"`` (default — in
+        this process, LRU-bounded by ``max_resident_shards``) or
+        ``"process"`` — one long-lived worker process per shard
+        (:class:`~repro.core.shard_workers.ShardWorkerPool`) serving
+        ``distance_rows`` and O(n/k) stretch reductions over a narrow
+        request/reply transport, so the coordinator process holds *no*
+        distance blocks at all.  Strategic queries are identical either
+        way (they never touch the distance layer); cost queries stream
+        the same per-shard reductions, computed from the same bytes.
 
     Everything else — the caching/invalidation contract, the gain-sweep
     batch APIs, the memo effect bound, backend dispatch — is inherited.
@@ -448,10 +542,24 @@ class ShardedEvaluator(GameEvaluator):
         store="memory",
         shards: int = 2,
         max_resident_shards: int = 1,
+        placement: str = "local",
     ) -> None:
+        from repro.core.shard_workers import PLACEMENT_SPECS
+
+        if placement not in PLACEMENT_SPECS:
+            raise ValueError(
+                f"unknown shard placement {placement!r}; expected one of "
+                f"{PLACEMENT_SPECS}"
+            )
+        if max_resident_shards < 1:
+            raise ValueError(
+                f"max_resident_shards must be >= 1, got {max_resident_shards}"
+            )
         plan = ShardPlan.build(game.n, shards)
         self._plan = plan
+        self._placement = placement
         self._shard_dist: Optional[ShardedDistances] = None
+        self._worker_pool = None
         #: Per-shard ``(stretch row sums, stretch total)`` — the O(n/k)
         #: reductions cost queries need — so repeat queries on an
         #: unchanged profile touch no distance blocks at all.  ``None``
@@ -464,9 +572,16 @@ class ShardedEvaluator(GameEvaluator):
             max_cached_services=max_cached_services,
             store=_sharded_store(plan, store),
         )
-        self._shard_dist = ShardedDistances(
-            plan, backend, self.stats, max_resident_shards
-        )
+        if placement == "process":
+            from repro.core.shard_workers import ShardWorkerPool
+
+            self._worker_pool = ShardWorkerPool(
+                plan, game.distance_matrix, backend
+            )
+        else:
+            self._shard_dist = ShardedDistances(
+                plan, backend, self.stats, max_resident_shards
+            )
         self._shard_sums = [None] * plan.k
         if profile is not None:
             self.set_profile(profile)
@@ -481,6 +596,30 @@ class ShardedEvaluator(GameEvaluator):
     def num_shards(self) -> int:
         return self._plan.k
 
+    @property
+    def placement(self) -> str:
+        """Where the distance blocks live: ``"local"`` or ``"process"``."""
+        return self._placement
+
+    @property
+    def worker_pool(self):
+        """The shard worker pool (``None`` under local placement)."""
+        return self._worker_pool
+
+    def shard_worker_stats(self) -> Optional[List[Dict[str, int]]]:
+        """Per-worker distance counters, or ``None`` under local placement.
+
+        The process-placement counterpart of the ``distance_*`` fields
+        of :class:`~repro.core.evaluator.EvaluatorStats` (which stay 0
+        on this evaluator's coordinator side — no block is ever resident
+        here): one dict per shard worker with ``block_builds``,
+        ``rows_recomputed``, ``resident_bytes`` and
+        ``resident_peak_bytes``.
+        """
+        if self._worker_pool is None:
+            return None
+        return self._worker_pool.worker_stats()
+
     # ------------------------------------------------------------------
     # Distance layer: sharded instead of monolithic
     # ------------------------------------------------------------------
@@ -488,7 +627,17 @@ class ShardedEvaluator(GameEvaluator):
         super()._reset(profile)
         if self._shard_dist is not None:
             self._shard_dist.reset()
+        if self._worker_pool is not None:
+            self._worker_pool.reset(profile)
         self._shard_sums = [None] * self._plan.k
+
+    def _rebind_single(self, peer: int, profile: StrategyProfile) -> None:
+        super()._rebind_single(peer, profile)
+        if self._worker_pool is not None:
+            # Ship only (peer, new targets); every worker re-derives the
+            # affected rows from its own overlay with the same BFS the
+            # coordinator just ran, so the dirty sets agree exactly.
+            self._worker_pool.rebind(peer, profile.strategy(peer))
 
     def _mark_distance_dirty(self, affected: Set[int]) -> None:
         if self._shard_dist is not None:
@@ -504,11 +653,15 @@ class ShardedEvaluator(GameEvaluator):
         """Overlay-distance rows for ``peers`` (fresh, caller-owned).
 
         The narrow cross-shard interface: each row is served by its
-        owning shard (built or repaired on demand), and only
-        ``max_resident_shards`` blocks are alive while gathering.
+        owning shard (built or repaired on demand).  Under local
+        placement only ``max_resident_shards`` blocks are alive while
+        gathering; under process placement the rows come back over the
+        worker transport and the coordinator holds no block at all.
         Values are bitwise identical to the same rows of the unsharded
         :meth:`~repro.core.evaluator.GameEvaluator.overlay_distances`.
         """
+        if self._worker_pool is not None:
+            return self._worker_pool.rows(peers)
         return self._shard_dist.rows(peers, self.overlay)
 
     def overlay_distances(self) -> np.ndarray:
@@ -550,8 +703,11 @@ class ShardedEvaluator(GameEvaluator):
         """
         cached = self._shard_sums[shard]
         if cached is None:
-            stretch = self._stretch_block(shard)
-            cached = (stretch.sum(axis=1), float(stretch.sum()))
+            if self._worker_pool is not None:
+                cached = self._worker_pool.stretch_sums(shard)
+            else:
+                stretch = self._stretch_block(shard)
+                cached = (stretch.sum(axis=1), float(stretch.sum()))
             self._shard_sums[shard] = cached
         return cached
 
@@ -610,12 +766,14 @@ class ShardedEvaluator(GameEvaluator):
     def close(self) -> None:
         if self._shard_dist is not None:
             self._shard_dist.reset()
+        if self._worker_pool is not None:
+            self._worker_pool.close()
         super().close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bound = self._profile is not None
         return (
             f"ShardedEvaluator(n={self._n}, alpha={self._alpha}, "
-            f"shards={self._plan.k}, bound={bound}, "
-            f"cached_services={len(self._service)})"
+            f"shards={self._plan.k}, placement={self._placement!r}, "
+            f"bound={bound}, cached_services={len(self._service)})"
         )

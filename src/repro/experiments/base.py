@@ -72,7 +72,9 @@ class ExperimentResult:
 #: only these) are silently dropped for runners that do not accept them.
 #: Any other unknown parameter still raises ``TypeError`` as before, so
 #: a mistyped override cannot silently run the default workload.
-HARNESS_PARAMS = frozenset({"workers", "backend", "shards"})
+HARNESS_PARAMS = frozenset(
+    {"workers", "backend", "shards", "shard_placement", "max_resident_shards"}
+)
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,8 @@ def run(
     workers: int = 1,
     backend=None,
     shards=None,
+    shard_placement=None,
+    max_resident_shards=None,
 ) -> ExperimentResult:
     """Convergence statistics on random instances vs the witness.
 
@@ -63,11 +65,21 @@ def run(
     schedulers, this experiment is the CLI's smoke-test surface for
     ``--backend process``.  ``shards`` runs every dynamics pass on a
     :class:`~repro.core.sharded.ShardedEvaluator` with that many
-    row-block shards (identical results; the CLI's ``--shards`` smoke
-    surface).
+    row-block shards; ``shard_placement="process"`` additionally moves
+    each shard's distance block into its own worker process, and
+    ``max_resident_shards`` budgets the locally resident blocks
+    (identical results; the CLI's ``--shards`` /
+    ``--shard-placement`` / ``--max-resident-shards`` smoke surface).
     """
     from repro.core.backends import resolve_backend
+    from repro.core.sharded import check_shard_options
 
+    check_shard_options(shards, shard_placement, max_resident_shards)
+    if shards is not None and shards > n:
+        raise ValueError(
+            f"shards={shards} exceeds this experiment's population "
+            f"n={n}; pass --shards <= {n} (or raise n)"
+        )
     solver_backend = resolve_backend(backend, workers)
     rows: List[Dict[str, Any]] = []
     for alpha in alphas:
@@ -79,14 +91,17 @@ def run(
                 metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
                 game = TopologyGame(metric, alpha)
                 scheduler = _make_scheduler(scheduler_name, seed)
-                result = BestResponseDynamics(
+                with BestResponseDynamics(
                     game,
                     scheduler=scheduler,
                     record_moves=False,
                     workers=workers,
                     backend=solver_backend,
                     shards=shards,
-                ).run(max_rounds=max_rounds)
+                    shard_placement=shard_placement,
+                    max_resident_shards=max_resident_shards,
+                ) as dynamics:
+                    result = dynamics.run(max_rounds=max_rounds)
                 if result.converged:
                     outcomes["converged"] += 1
                     rounds_used.append(result.rounds_completed)
@@ -118,12 +133,18 @@ def run(
     for scheduler_name in schedulers:
         for seed in range(num_instances):
             scheduler = _make_scheduler(scheduler_name, seed)
-            result = BestResponseDynamics(
-                witness, scheduler=scheduler, record_moves=False, shards=shards
-            ).run(
-                initial=witness.random_profile(0.4, seed=seed),
-                max_rounds=max_rounds,
-            )
+            with BestResponseDynamics(
+                witness,
+                scheduler=scheduler,
+                record_moves=False,
+                shards=shards,
+                shard_placement=shard_placement,
+                max_resident_shards=max_resident_shards,
+            ) as dynamics:
+                result = dynamics.run(
+                    initial=witness.random_profile(0.4, seed=seed),
+                    max_rounds=max_rounds,
+                )
             witness_runs += 1
             if result.stopped_reason in ("cycle", "max_rounds"):
                 witness_cycles += 1
@@ -169,5 +190,7 @@ def run(
             "workers": workers,
             "backend": solver_backend.name,
             "shards": shards,
+            "shard_placement": shard_placement,
+            "max_resident_shards": max_resident_shards,
         },
     )

@@ -111,6 +111,19 @@ class ChurnSimulation:
         active subgame with that many row-block shards (clamped to the
         epoch's population, so small epochs still work).  Epoch
         trajectories are identical for every shard count.
+    shard_placement:
+        ``"local"`` (default) or ``"process"`` — each epoch's sharded
+        evaluator places its distance blocks in per-shard worker
+        processes (:mod:`repro.core.shard_workers`), torn down at the
+        end of the epoch.  Identical trajectories; requires ``shards``.
+    max_resident_shards:
+        Resident row-block budget of each epoch's sharded evaluator
+        (local placement; default 1).  Requires ``shards`` and must not
+        exceed it.
+
+    The simulation owns any backend resolved from a spec string, so it
+    is a context manager: ``close()`` — or leaving the ``with`` block —
+    shuts the solver pools down; backend instances remain the caller's.
     """
 
     def __init__(
@@ -127,8 +140,11 @@ class ChurnSimulation:
         workers: int = 1,
         backend=None,
         shards: Optional[int] = None,
+        shard_placement: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
-        from repro.core.backends import resolve_backend
+        from repro.core.backends import SolverBackend, resolve_backend
+        from repro.core.sharded import check_shard_options
 
         if not 0.0 <= join_prob <= 1.0 or not 0.0 <= leave_prob <= 1.0:
             raise ValueError("join_prob and leave_prob must lie in [0, 1]")
@@ -139,9 +155,8 @@ class ChurnSimulation:
                 f"activation must be 'sequential' or 'batched', "
                 f"got {activation!r}"
             )
+        check_shard_options(shards, shard_placement, max_resident_shards)
         if shards is not None:
-            if shards < 1:
-                raise ValueError(f"shards must be >= 1, got {shards}")
             if not incremental:
                 raise ValueError(
                     "shards requires the incremental evaluator path; "
@@ -149,6 +164,9 @@ class ChurnSimulation:
                     "silently ignore the shard count"
                 )
         self._shards = shards
+        self._shard_placement = shard_placement
+        self._max_resident_shards = max_resident_shards
+        self._owns_backend = not isinstance(backend, SolverBackend)
         self._metric = metric
         self._alpha = float(alpha)
         self._join_prob = join_prob
@@ -165,6 +183,20 @@ class ChurnSimulation:
         for peer in self._initial_active:
             if not 0 <= peer < metric.n:
                 raise IndexError(f"peer {peer} outside universe")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release owned resources (idempotent): the solver pools of a
+        backend resolved from a spec string.  Per-epoch evaluators are
+        already closed at the end of their epoch."""
+        if self._owns_backend:
+            self._solver_backend.close()
+
+    def __enter__(self) -> "ChurnSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self, epochs: int = 50) -> ChurnResult:
@@ -260,13 +292,39 @@ class ChurnSimulation:
             )
             store = "shared" if needs_shared else "memory"
             if self._shards is not None:
-                from repro.core.sharded import ShardedEvaluator
+                from repro.core.sharded import build_sharded_evaluator
 
-                evaluator = ShardedEvaluator(
-                    subgame, sub, store=store, shards=self._shards
+                evaluator = build_sharded_evaluator(
+                    subgame,
+                    sub,
+                    store=store,
+                    shards=self._shards,
+                    placement=self._shard_placement,
+                    max_resident_shards=self._max_resident_shards,
                 )
             else:
                 evaluator = GameEvaluator(subgame, sub, store=store)
+        try:
+            return self._rewire_epoch(
+                active, strategies, dmat, subgame, sub, evaluator
+            )
+        finally:
+            # The evaluator lives for exactly one epoch (the active set
+            # changes afterwards): release its stores — and, under
+            # process placement, its shard workers — deterministically
+            # instead of leaning on garbage collection.
+            if evaluator is not None:
+                evaluator.close()
+
+    def _rewire_epoch(
+        self,
+        active: List[int],
+        strategies: List[Set[int]],
+        dmat: np.ndarray,
+        subgame: Optional[TopologyGame],
+        sub: StrategyProfile,
+        evaluator: Optional[GameEvaluator],
+    ) -> Tuple[int, float]:
         if self._activation == "batched":
             return self._run_epoch_batched(
                 active, strategies, dmat, subgame, sub, evaluator

@@ -126,6 +126,20 @@ class SimulationEngine:
         and giving each shard its own service-store budget.
         Trajectories are identical for every shard count.  Mutually
         exclusive with ``evaluator``.
+    shard_placement:
+        ``"local"`` (default) or ``"process"`` — place the sharded
+        evaluator's distance blocks in one worker process per shard
+        (:mod:`repro.core.shard_workers`).  Identical trajectories;
+        requires ``shards``.
+    max_resident_shards:
+        Resident row-block budget of the owned sharded evaluator
+        (local placement; default 1).  Requires ``shards`` and must not
+        exceed it.
+
+    The engine owns the sharded evaluator and any backend resolved from
+    a spec string, so it is a context manager: ``close()`` — or leaving
+    the ``with`` block — tears those down deterministically; externally
+    supplied evaluators/backend instances are the caller's to close.
     """
 
     def __init__(
@@ -139,12 +153,14 @@ class SimulationEngine:
         workers: int = 1,
         backend=None,
         shards: Optional[int] = None,
+        shard_placement: Optional[str] = None,
+        max_resident_shards: Optional[int] = None,
     ) -> None:
-        from repro.core.backends import resolve_backend
+        from repro.core.backends import SolverBackend, resolve_backend
+        from repro.core.sharded import check_shard_options
 
+        check_shard_options(shards, shard_placement, max_resident_shards)
         if shards is not None:
-            if shards < 1:
-                raise ValueError(f"shards must be >= 1, got {shards}")
             if evaluator is not None:
                 raise ValueError(
                     "pass either an evaluator or shards, not both "
@@ -163,9 +179,28 @@ class SimulationEngine:
         self._incremental = incremental
         self._evaluator = evaluator
         self._workers = max(1, int(workers))
+        self._owns_backend = not isinstance(backend, SolverBackend)
         self._backend = resolve_backend(backend, self._workers)
         self._shards = shards
+        self._shard_placement = shard_placement
+        self._max_resident_shards = max_resident_shards
         self._owned_evaluator: Optional["GameEvaluator"] = None
+
+    def close(self) -> None:
+        """Release owned resources (idempotent): the engine-owned
+        sharded evaluator (stores, shard workers) and any backend pools
+        resolved from a spec string."""
+        if self._owned_evaluator is not None:
+            self._owned_evaluator.close()
+            self._owned_evaluator = None
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "SimulationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def evaluator(self) -> Optional["GameEvaluator"]:
@@ -182,10 +217,13 @@ class SimulationEngine:
             return self._evaluator
         if self._shards is not None:
             if self._owned_evaluator is None:
-                from repro.core.sharded import ShardedEvaluator
+                from repro.core.sharded import build_sharded_evaluator
 
-                self._owned_evaluator = ShardedEvaluator(
-                    self._game, shards=self._shards
+                self._owned_evaluator = build_sharded_evaluator(
+                    self._game,
+                    shards=self._shards,
+                    placement=self._shard_placement,
+                    max_resident_shards=self._max_resident_shards,
                 )
             return self._owned_evaluator
         return self._game.evaluator

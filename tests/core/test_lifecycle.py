@@ -1,0 +1,260 @@
+"""Lifecycle matrix: every teardown path releases every buffer.
+
+The resources at stake: shared-memory segments in ``/dev/shm`` (one per
+cached ``W`` matrix on shared stores), spill-file slabs in the temp
+directory, solver pools, and shard worker processes.  The contract
+pinned here, across stores × backends × shards (including process
+placement):
+
+* ``close()`` is idempotent and double-close safe at every layer;
+* after ``close()`` no shm segment and no spill slab survives;
+* an *abandoned* object (no ``close()`` — a test failure mid-run, a
+  Ctrl-C) is cleaned by the ``weakref.finalize`` safety nets at garbage
+  collection;
+* a store written to again after ``close()`` re-arms its safety net (a
+  dead finalizer must not turn later segments into silent leaks).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.backends import ProcessBackend, SerialBackend
+from repro.core.dynamics import BestResponseDynamics
+from repro.core.evaluator import GameEvaluator
+from repro.core.game import TopologyGame
+from repro.core.service_store import SharedMemoryStore, SpillStore
+from repro.core.sharded import ShardedEvaluator
+from repro.metrics.euclidean import EuclideanMetric
+from repro.simulation.engine import SimulationEngine
+
+SHM_DIR = "/dev/shm"
+
+
+def _game(n=8, alpha=1.0, seed=3):
+    return TopologyGame(
+        EuclideanMetric.random_uniform(n, dim=2, seed=seed), alpha
+    )
+
+
+def _shm_entries():
+    """Current repro-owned shm segment names (empty off-POSIX)."""
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-POSIX host
+        return set()
+    return {
+        name for name in os.listdir(SHM_DIR) if name.startswith("repro_")
+    }
+
+
+def _segment_names(store) -> set:
+    """The shm segment names a (possibly sharded) store currently owns."""
+    stores = getattr(store, "stores", None) or (store,)
+    names = set()
+    for sub in stores:
+        for key in sub.keys():
+            handle = sub.handle(key)
+            if handle is not None and handle[0] == "shm":
+                names.add(handle[1])
+    return names
+
+
+def _spill_paths(store) -> set:
+    stores = getattr(store, "stores", None) or (store,)
+    return {sub.path for sub in stores if isinstance(sub, SpillStore)}
+
+
+EVALUATOR_CONFIGS = [
+    ("unsharded", None, None),
+    ("sharded-local", 2, "local"),
+    ("sharded-process", 2, "process"),
+]
+STORE_SPECS = ["memory", "shared", "spill"]
+
+
+class TestCloseMatrix:
+    @pytest.mark.parametrize("store", STORE_SPECS)
+    @pytest.mark.parametrize(
+        "label,shards,placement", EVALUATOR_CONFIGS,
+        ids=[c[0] for c in EVALUATOR_CONFIGS],
+    )
+    def test_close_releases_everything(self, store, label, shards, placement):
+        game = _game()
+        profile = game.random_profile(0.4, seed=1)
+        evaluator = game.make_evaluator(
+            profile, shards=shards, store=store, placement=placement
+        )
+        evaluator.gain_sweep("greedy")
+        evaluator.peer_costs()
+        segments = _segment_names(evaluator.store)
+        spills = _spill_paths(evaluator.store)
+        if store == "shared":
+            assert segments  # the matrix actually lives in /dev/shm
+        if store == "spill":
+            assert spills and all(os.path.exists(p) for p in spills)
+        pool = getattr(evaluator, "worker_pool", None)
+        evaluator.close()
+        evaluator.close()  # double close is safe
+        assert not (segments & _shm_entries())
+        assert not any(os.path.exists(path) for path in spills)
+        if pool is not None:
+            assert pool.closed and pool.alive_workers() == 0
+
+    @pytest.mark.parametrize(
+        "label,shards,placement", EVALUATOR_CONFIGS,
+        ids=[c[0] for c in EVALUATOR_CONFIGS],
+    )
+    def test_process_backend_migration_cleans_up(
+        self, label, shards, placement
+    ):
+        """Stores auto-migrated to shared memory are closed too."""
+        game = _game()
+        backend = ProcessBackend(workers=2)
+        evaluator = game.make_evaluator(
+            game.random_profile(0.4, seed=2), shards=shards,
+            placement=placement,
+        )
+        try:
+            evaluator.gain_sweep("greedy", backend=backend)
+            segments = _segment_names(evaluator.store)
+            assert segments
+        finally:
+            backend.close()
+            evaluator.close()
+        assert not (segments & _shm_entries())
+
+    def test_evaluator_usable_after_close(self):
+        game = _game()
+        evaluator = GameEvaluator(
+            game, game.random_profile(0.4, seed=1), store="shared"
+        )
+        before = [(r.peer, r.strategy) for r in evaluator.gain_sweep("greedy")]
+        evaluator.close()
+        again = [(r.peer, r.strategy) for r in evaluator.gain_sweep("greedy")]
+        assert again == before
+        segments = _segment_names(evaluator.store)
+        assert segments  # the post-close writes re-created segments...
+        evaluator.close()
+        assert not (segments & _shm_entries())  # ...and close still works
+
+
+class TestFinalizerSafetyNets:
+    def test_abandoned_evaluator_releases_segments(self):
+        game = _game()
+        evaluator = GameEvaluator(
+            game, game.random_profile(0.4, seed=1), store="shared"
+        )
+        evaluator.gain_sweep("greedy")
+        segments = _segment_names(evaluator.store)
+        assert segments
+        del evaluator  # never closed: the finalizer must fire at GC
+        assert not (segments & _shm_entries())
+
+    def test_abandoned_sharded_process_evaluator_releases_workers(self):
+        game = _game()
+        evaluator = ShardedEvaluator(
+            game, game.random_profile(0.4, seed=1),
+            shards=2, placement="process", store="shared",
+        )
+        evaluator.peer_costs()
+        segments = _segment_names(evaluator.store)
+        transports = evaluator.worker_pool._transports
+        del evaluator
+        assert not (segments & _shm_entries())
+        assert all(not transport.alive for transport in transports)
+
+    def test_abandoned_spill_store_unlinks_slab_file(self):
+        store = SpillStore(budget_bytes=1 << 20)
+        store.put(0, np.ones((4, 5)))
+        path = store.path
+        assert os.path.exists(path)
+        del store
+        assert not os.path.exists(path)
+
+
+class TestCloseThenReuse:
+    """A dead finalizer must never guard live segments (the leak bug)."""
+
+    def test_shared_store_rearms_after_close(self):
+        store = SharedMemoryStore()
+        store.put(0, np.ones((4, 5)))
+        first = _segment_names(store)
+        store.close()
+        assert not (first & _shm_entries())
+        store.put(1, np.full((4, 5), 2.0))  # reuse after close
+        second = _segment_names(store)
+        assert second and second.isdisjoint(first)
+        assert store._finalizer.alive  # re-armed: exit would clean up
+        store.close()
+        assert not (second & _shm_entries())
+
+    def test_spill_store_rearms_with_a_fresh_slab_file(self):
+        store = SpillStore(budget_bytes=1 << 20)
+        store.put(0, np.ones((4, 5)))
+        first_path = store.path
+        store.close()
+        assert not os.path.exists(first_path)
+        store.put(1, np.full((4, 5), 2.0))
+        second_path = store.path
+        assert second_path != first_path and os.path.exists(second_path)
+        np.testing.assert_array_equal(store.get(1), np.full((4, 5), 2.0))
+        assert store._finalizer.alive
+        store.close()
+        assert not os.path.exists(second_path)
+
+    def test_generation_advances_across_reuse(self):
+        store = SharedMemoryStore()
+        store.put(0, np.ones((2, 3)))
+        first = store.handle(0)[-1]
+        store.close()
+        store.put(0, np.ones((2, 3)))
+        assert store.handle(0)[-1] > first
+        store.close()
+
+
+class TestContextManagers:
+    def test_evaluator_is_a_context_manager(self):
+        game = _game()
+        with GameEvaluator(
+            game, game.random_profile(0.4, seed=1), store="shared"
+        ) as evaluator:
+            evaluator.gain_sweep("greedy")
+            segments = _segment_names(evaluator.store)
+            assert segments
+        assert not (segments & _shm_entries())
+
+    def test_engine_context_closes_owned_sharded_evaluator(self):
+        game = _game(n=10)
+        with SimulationEngine(
+            game,
+            method="greedy",
+            activation="max-gain",
+            shards=2,
+            shard_placement="process",
+        ) as engine:
+            engine.run(max_rounds=4)
+            pool = engine.evaluator.worker_pool
+            assert pool.alive_workers() == 2
+        assert pool.closed and pool.alive_workers() == 0
+
+    def test_dynamics_context_closes_owned_backend_and_evaluator(self):
+        game = _game(n=10)
+        with BestResponseDynamics(
+            game, shards=2, shard_placement="process"
+        ) as dynamics:
+            dynamics.run(max_rounds=5)
+            pool = dynamics._owned_evaluator.worker_pool
+        assert pool.closed
+
+    def test_externally_owned_resources_survive_engine_close(self):
+        game = _game(n=8)
+        backend = SerialBackend()
+        evaluator = game.make_evaluator(game.empty_profile())
+        with SimulationEngine(
+            game, evaluator=evaluator, backend=backend
+        ) as engine:
+            engine.run(max_rounds=3)
+        # Caller-supplied instances are untouched and still usable.
+        evaluator.set_profile(game.empty_profile()).peer_costs()
+        assert backend.run_solves([1], lambda p: p) == [1]
+        evaluator.close()

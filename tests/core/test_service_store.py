@@ -140,6 +140,52 @@ class TestHandles:
         with pytest.raises(ValueError, match="handle kind"):
             attach_service_weights(("gpu", "x", (1, 1)))
 
+    def test_handles_carry_the_store_generation(self):
+        shared = SharedMemoryStore()
+        shared.put(0, _matrix(0))
+        spill = SpillStore(budget_bytes=1 << 20)
+        spill.put(0, _matrix(0))
+        assert isinstance(shared.handle(0)[-1], int)
+        assert isinstance(spill.handle(0)[-1], int)
+        assert shared.handle(0)[-1] != spill.handle(0)[-1]
+        shared.close()
+        spill.close()
+
+    def test_attach_cache_cannot_serve_a_dead_stores_mapping(
+        self, monkeypatch
+    ):
+        """Regression: generation-keyed attachment cache.
+
+        When a store is closed and a *new* store's segment reuses the
+        same name, a worker's per-process attach cache keyed on the name
+        alone would serve the dead incarnation's pages.  The generation
+        component of the handle must force a fresh attach.
+        """
+        from repro.core import service_store
+
+        monkeypatch.setattr(
+            service_store, "_segment_name", lambda: "repro_test_stale_name"
+        )
+        first = SharedMemoryStore()
+        matrix_a = np.full((3, 4), 1.0)
+        first.put(0, matrix_a)
+        handle_a = first.handle(0)
+        np.testing.assert_array_equal(
+            attach_service_weights(handle_a), matrix_a
+        )
+        first.close()
+
+        second = SharedMemoryStore()  # same segment name, new backing
+        matrix_b = np.full((3, 4), 2.0)
+        second.put(0, matrix_b)
+        handle_b = second.handle(0)
+        assert handle_b[1] == handle_a[1]  # the name really was reused
+        assert handle_b[-1] != handle_a[-1]
+        np.testing.assert_array_equal(
+            attach_service_weights(handle_b), matrix_b
+        )
+        second.close()
+
 
 class TestSpillResidency:
     def test_budget_bounds_resident_bytes(self):

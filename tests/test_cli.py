@@ -79,6 +79,75 @@ class TestParser:
                 build_parser().parse_args(["run", "E9", "--shards", bad])
         capsys.readouterr()
 
+    def test_shard_placement_flag_on_run_run_all_and_demo(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "E9"]).shard_placement is None
+        for command in (["run", "E9"], ["run-all"], ["demo"]):
+            for placement in ("local", "process"):
+                args = parser.parse_args(
+                    command
+                    + ["--shards", "2", "--shard-placement", placement]
+                )
+                assert args.shard_placement == placement
+
+    def test_unknown_shard_placement_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "E9", "--shards", "2", "--shard-placement", "cloud"]
+            )
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_shard_placement_without_shards_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E9", "--shard-placement", "process"])
+        assert excinfo.value.code == 2
+        assert "--shard-placement needs --shards" in capsys.readouterr().err
+
+    def test_max_resident_shards_validation(self, capsys):
+        # Needs --shards ...
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E9", "--max-resident-shards", "2"])
+        assert excinfo.value.code == 2
+        assert "--max-resident-shards needs --shards" in (
+            capsys.readouterr().err
+        )
+        # ... must not exceed it ...
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", "E9", "--shards", "2", "--max-resident-shards", "4"]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot exceed" in capsys.readouterr().err
+        # ... and must be positive.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "E9", "--shards", "2", "--max-resident-shards", "0"]
+            )
+        assert "max-resident-shards must be >= 1" in (
+            capsys.readouterr().err
+        )
+
+    def test_valid_shard_flag_combination_parses(self):
+        args = build_parser().parse_args(
+            [
+                "run", "E9",
+                "--shards", "4",
+                "--shard-placement", "process",
+                "--max-resident-shards", "2",
+            ]
+        )
+        assert args.shards == 4
+        assert args.shard_placement == "process"
+        assert args.max_resident_shards == 2
+
+    def test_shards_exceeding_population_is_a_clean_error(self, capsys):
+        # Validated by the experiment runner (the CLI cannot know n):
+        # a clear message and exit code 2, not a deep-stack traceback
+        # or a silent clamp.
+        assert main(["run", "E9", "--shards", "999"]) == 2
+        err = capsys.readouterr().err
+        assert "exceeds" in err and "population" in err
+
     def test_run_help_range_derived_from_registry(self, capsys):
         from repro.experiments import EXPERIMENTS
 
