@@ -1,0 +1,124 @@
+"""Profile any registered experiment under cProfile.
+
+Runs one experiment from the :data:`repro.experiments.EXPERIMENTS`
+registry inside a :mod:`cProfile` session and prints the top-N entries
+of the resulting stats table, so hot spots in a sweep (distance
+repairs, response solves, store traffic) can be located without adding
+ad-hoc timers.  Parameter overrides are forwarded to the runner exactly
+as the benchmark harness would forward them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_sweep.py E3 --top 25
+    PYTHONPATH=src python scripts/profile_sweep.py E9 \
+        --param trials=5 --sort tottime --out e9.pstats
+    PYTHONPATH=src python scripts/profile_sweep.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import cProfile
+import pstats
+import sys
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+def parse_param(text: str):
+    """Parse one ``key=value`` override; values are Python literals."""
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        parsed = ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        parsed = value
+    return key, parsed
+
+
+def list_registry() -> str:
+    lines = []
+    for spec in EXPERIMENTS.values():
+        lines.append(
+            f"{spec.experiment_id:>4}  {spec.paper_artifact:<28}  "
+            f"{spec.title}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="registry id to profile (e.g. E3; see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment registry and exit",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="number of stats rows to print (default 25)",
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime"),
+        default="cumulative",
+        help="pstats sort key (default cumulative)",
+    )
+    parser.add_argument(
+        "--param",
+        type=parse_param,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="runner parameter override (repeatable; literal values)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also dump raw pstats data to this path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(list_registry())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment id is required (or --list)")
+
+    spec = get_experiment(args.experiment.upper())
+    params = dict(args.param)
+    print(
+        f"profiling {spec.experiment_id} ({spec.paper_artifact}) "
+        f"params={params or '{}'}",
+        file=sys.stderr,
+    )
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = spec.run(**params)
+    finally:
+        profile.disable()
+
+    print(result.summary())
+    print()
+    stats = pstats.Stats(profile, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw pstats written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

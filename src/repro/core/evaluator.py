@@ -163,6 +163,7 @@ from repro.core.profile import StrategyProfile
 from repro.core.service_store import SharedMemoryStore, make_store
 from repro.core.topology import overlay_from_matrix
 from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.dynamic_sssp import RowRepairer
 from repro.graphs.shortest_paths import (
     blocked_multi_source_distances,
     multi_source_distances,
@@ -204,6 +205,19 @@ class EvaluatorStats:
     also counts ``distance_block_builds`` / ``distance_block_releases``
     — full rebuilds and evictions of one shard's row block; both stay 0
     on the unsharded evaluator).
+
+    Under dynamic repair (``dynamic_repair=True``, the default) dirty
+    rows are patched in place by :mod:`repro.graphs.dynamic_sssp` rather
+    than re-solved: ``distance_vertices_repaired`` counts the vertices
+    actually recomputed or decreased across all repaired rows (overlay
+    and raw service rows alike), and ``distance_full_fallbacks`` counts
+    rows whose affected frontier blew the fallback threshold and went
+    back through scratch Dijkstra.  ``distance_rows_recomputed`` keeps
+    its historical meaning — dirty rows brought up to date — whichever
+    path repaired them.  ``service_dirty_noncandidates`` counts dirty
+    sources dropped from service repairs because they are not candidate
+    rows of that matrix (only the peer itself can be dropped this way;
+    anything else would be an invalidation-coverage bug).
     """
 
     full_resets: int = 0
@@ -212,8 +226,11 @@ class EvaluatorStats:
     service_cache_hits: int = 0
     service_rows_recomputed: int = 0
     service_rows_reused: int = 0
+    service_dirty_noncandidates: int = 0
     distance_full_builds: int = 0
     distance_rows_recomputed: int = 0
+    distance_vertices_repaired: int = 0
+    distance_full_fallbacks: int = 0
     distance_block_builds: int = 0
     distance_block_releases: int = 0
     distance_resident_bytes: int = 0
@@ -279,6 +296,22 @@ class _ServiceEntry:
     #: True when any repair since the memo actually changed a weight.
     changed_since_memo: bool = False
     memo: Optional[_ResponseMemo] = None
+    #: Raw ``d_H`` rows backing the weights (dynamic-repair state): row
+    #: ``k`` holds distances from ``candidates[k]`` on ``H_peer``.  The
+    #: normalization is not float-invertible, so incremental service
+    #: repair patches these and re-normalizes.  ``None`` when dynamic
+    #: repair is off or the store is RAM-budgeted (keeping a second
+    #: resident copy would break the spill store's memory contract).
+    raw: Optional[np.ndarray] = None
+    #: Flip-log cursor the ``raw`` rows are current with.
+    cursor: int = 0
+    #: Pre-change bytes of each weights row changed since the memo was
+    #: stored, keyed by row index.  When every such row is byte-identical
+    #: to its recorded state again, the whole matrix is bit-identical to
+    #: memo time and the memo is reusable for any method (the dirty-row
+    #: *slice* digest — the full-matrix comparison it replaces almost
+    #: never fired at n >= 64 because one row always drifted).
+    memo_rows: Dict[int, bytes] = field(default_factory=dict)
 
 
 class GameEvaluator:
@@ -305,6 +338,12 @@ class GameEvaluator:
         for — and auto-migrated to by — the process solver backend),
         ``"spill"`` (budgeted RAM + memory-mapped spill file), or any
         :class:`~repro.core.service_store.ServiceStore` instance.
+    dynamic_repair:
+        When True (default), dirty distance rows are patched in place by
+        the incremental updater of :mod:`repro.graphs.dynamic_sssp`
+        (O(affected) per rebind) instead of re-running a full per-source
+        Dijkstra; results are bitwise identical either way.  ``False``
+        keeps the scratch repair path (reference/benchmark baseline).
     """
 
     def __init__(
@@ -314,6 +353,7 @@ class GameEvaluator:
         backend: str = "auto",
         max_cached_services: int = 512,
         store="memory",
+        dynamic_repair: bool = True,
     ) -> None:
         self._game = game
         self._dmat = game.distance_matrix
@@ -327,6 +367,10 @@ class GameEvaluator:
         self._dist_dirty: Set[int] = set()
         self._stretch: Optional[np.ndarray] = None
         self._service: Dict[int, _ServiceEntry] = {}
+        self._repairer: Optional[RowRepairer] = (
+            RowRepairer(backend) if dynamic_repair else None
+        )
+        self._dist_cursor = 0
         self.stats = EvaluatorStats()
         self._store = make_store(store)
         self._store.bind_stats(self.stats)
@@ -414,6 +458,11 @@ class GameEvaluator:
         self._stretch = None
         self._service = {}
         self._store.clear()
+        if self._repairer is not None:
+            # Every maintained row block is gone, so the flip log has no
+            # remaining consumer; drop it (and the stale reverse index).
+            self._repairer.reset()
+        self._dist_cursor = 0
         self.stats.full_resets += 1
 
     def _rebind_single(self, peer: int, profile: StrategyProfile) -> None:
@@ -422,11 +471,20 @@ class GameEvaluator:
         # Sources whose rows may change = nodes that reach `peer`.  Edges
         # into `peer` are identical in the old and new overlay, so the
         # reverse reachability computed here is valid for both.
-        affected = self._reverse_reachable(overlay, peer)
-        # Splice the overlay in place: only `peer`'s out-edges differ.
-        overlay.remove_out_edges(peer)
-        for j in profile.strategy(peer):
-            overlay.add_edge(peer, j, float(self._dmat[peer, j]))
+        new_out = {
+            j: float(self._dmat[peer, j]) for j in profile.strategy(peer)
+        }
+        if self._repairer is not None:
+            # One call splices the overlay, logs the flip for the row
+            # repairers, and answers reachability from the maintained
+            # reverse index in O(affected edges).
+            affected = self._repairer.apply_rebind(overlay, peer, new_out)
+        else:
+            affected = self._reverse_reachable(overlay, peer)
+            # Splice the overlay in place: only `peer`'s out-edges differ.
+            overlay.remove_out_edges(peer)
+            for j, w in new_out.items():
+                overlay.add_edge(peer, j, w)
         self._mark_distance_dirty(affected)
         self._stretch = None
         for i, entry in self._service.items():
@@ -477,18 +535,31 @@ class GameEvaluator:
                 self.overlay, list(range(self._n)), backend=self._backend
             )
             self._dist_dirty = set()
+            self._dist_cursor = self._log_head()
             self.stats.distance_full_builds += 1
             self._account_distance(self._dist.nbytes)
         elif self._dist_dirty:
             rows = sorted(self._dist_dirty)
-            fresh = multi_source_distances(
-                self.overlay, rows, backend=self._backend
-            )
-            self._dist[rows] = fresh
+            if self._repairer is not None:
+                repaired, fallbacks = self._repairer.repair_block(
+                    self._dist, rows, rows, self.overlay, self._dist_cursor
+                )
+                self._dist_cursor = self._repairer.head
+                self.stats.distance_vertices_repaired += repaired
+                self.stats.distance_full_fallbacks += fallbacks
+            else:
+                fresh = multi_source_distances(
+                    self.overlay, rows, backend=self._backend
+                )
+                self._dist[rows] = fresh
             self.stats.distance_rows_recomputed += len(rows)
             self._dist_dirty = set()
             self._stretch = None
         return self._dist
+
+    def _log_head(self) -> int:
+        """Current flip-log head (0 when dynamic repair is off)."""
+        return 0 if self._repairer is None else self._repairer.head
 
     def stretches(self) -> np.ndarray:
         """Pairwise stretch matrix of the bound profile (cached)."""
@@ -534,10 +605,7 @@ class GameEvaluator:
             raise IndexError(f"peer {peer} out of range [0, {self._n})")
         entry = self._service.get(peer)
         if entry is None:
-            service = service_costs_from_overlay(
-                self._dmat, self.overlay, peer, self._backend
-            )
-            entry = self._admit_service(peer, service.candidates, service.weights)
+            entry = self._build_service(peer)
             self._evict_services(protect={peer})
         elif entry.dirty:
             self._repair_service(peer, entry)
@@ -556,13 +624,51 @@ class GameEvaluator:
             entry.service = service
         return service
 
+    def _build_service(self, peer: int) -> _ServiceEntry:
+        """Build one peer's matrix from scratch (keeping raw ``d_H`` rows
+        as dynamic-repair state when that mode is on)."""
+        candidates = tuple(j for j in range(self._n) if j != peer)
+        if not candidates:
+            service = service_costs_from_overlay(
+                self._dmat, self.overlay, peer, self._backend
+            )
+            return self._admit_service(
+                peer, service.candidates, service.weights
+            )
+        stripped = self.overlay.copy_without_out_edges(peer)
+        dist_h = multi_source_distances(
+            stripped, list(candidates), backend=self._backend
+        )
+        weights = normalize_service_rows(self._dmat, peer, candidates, dist_h)
+        return self._admit_service(peer, candidates, weights, raw=dist_h)
+
+    def _keep_raw(self) -> bool:
+        """Whether service entries may keep raw ``d_H`` repair state.
+
+        Gated off for RAM-budgeted stores: the raw rows double a
+        matrix's resident footprint, which would break the spill store's
+        memory contract; those entries repair through scratch rows
+        exactly as before.
+        """
+        return (
+            self._repairer is not None
+            and self._store.chunk_budget_bytes is None
+        )
+
     def _admit_service(
-        self, peer: int, candidates: Sequence[int], weights: np.ndarray
+        self,
+        peer: int,
+        candidates: Sequence[int],
+        weights: np.ndarray,
+        raw: Optional[np.ndarray] = None,
     ) -> _ServiceEntry:
         self._store.put(peer, weights)
         entry = _ServiceEntry(
             candidates=tuple(candidates), dec_cum=np.zeros(self._n)
         )
+        if raw is not None and self._keep_raw():
+            entry.raw = raw
+            entry.cursor = self._log_head()
         self._service[peer] = entry
         self.stats.service_full_builds += 1
         return entry
@@ -571,6 +677,11 @@ class GameEvaluator:
         """Consume ``entry.dirty``, returning the candidate rows to rebuild."""
         row_of = {c: k for k, c in enumerate(entry.candidates)}
         sources = sorted(c for c in entry.dirty if c in row_of)
+        dropped = len(entry.dirty) - len(sources)
+        if dropped:
+            # Only the matrix's own peer is a legitimate non-candidate;
+            # the counter keeps invalidation coverage observable.
+            self.stats.service_dirty_noncandidates += dropped
         entry.dirty = set()
         return sources
 
@@ -579,9 +690,41 @@ class GameEvaluator:
         if not sources:
             self.stats.service_cache_hits += 1
             return
+        if entry.raw is not None:
+            self._repair_service_dynamic(peer, entry, sources)
+            return
         stripped = self.overlay.copy_without_out_edges(peer)
         fresh = service_cost_rows(
             self._dmat, stripped, peer, sources, self._backend
+        )
+        self._install_rows(peer, entry, sources, fresh)
+
+    def _repair_service_dynamic(
+        self, peer: int, entry: _ServiceEntry, sources: List[int]
+    ) -> None:
+        """Patch the entry's raw ``d_H`` rows in place, then re-normalize.
+
+        The flips at ``peer`` itself are excluded (``H_peer`` never held
+        its out-edges), and normalization of the repaired raw rows runs
+        through the same :func:`normalize_service_rows` as every build
+        path, so the installed weights are bitwise identical to a
+        scratch repair.
+        """
+        row_of = {c: k for k, c in enumerate(entry.candidates)}
+        positions = [row_of[c] for c in sources]
+        repaired, fallbacks = self._repairer.repair_block(
+            entry.raw,
+            positions,
+            sources,
+            self.overlay,
+            entry.cursor,
+            exclude=peer,
+        )
+        entry.cursor = self._repairer.head
+        self.stats.distance_vertices_repaired += repaired
+        self.stats.distance_full_fallbacks += fallbacks
+        fresh = normalize_service_rows(
+            self._dmat, peer, sources, entry.raw[positions]
         )
         self._install_rows(peer, entry, sources, fresh)
 
@@ -601,6 +744,15 @@ class GameEvaluator:
         self.stats.service_rows_reused += len(entry.candidates) - len(rows)
         if np.array_equal(old, fresh):
             return
+        if entry.memo is not None:
+            # Remember each changed row's memo-time bytes: if every such
+            # row later matches its recorded bytes again, the matrix is
+            # bit-identical to memo time (the slice digest behind
+            # _memo_slice_intact).
+            changed = ~np.all(old == fresh, axis=1)
+            for k, row in enumerate(rows):
+                if changed[k]:
+                    entry.memo_rows.setdefault(row, old[k].tobytes())
         with np.errstate(invalid="ignore"):
             drop = old - fresh
         drop[np.isnan(drop)] = 0.0  # inf - inf: still unreachable, no drop
@@ -661,6 +813,10 @@ class GameEvaluator:
                 sources = self._repair_sources(entry)
                 if not sources:
                     self.stats.service_cache_hits += 1
+                elif entry.raw is not None:
+                    # Dynamic entries repair O(affected) rows in place —
+                    # cheaper than joining the blocked Dijkstra pass.
+                    self._repair_service_dynamic(peer, entry, sources)
                 else:
                     jobs.append((peer, "repair", sources))
             else:
@@ -681,7 +837,9 @@ class GameEvaluator:
                     self._dmat, peer, sources, dist_h
                 )
                 if kind == "build":
-                    self._admit_service(peer, tuple(sources), weights)
+                    self._admit_service(
+                        peer, tuple(sources), weights, raw=dist_h
+                    )
                 else:
                     self._install_rows(
                         peer, self._service[peer], sources, weights
@@ -882,7 +1040,13 @@ class GameEvaluator:
         service matrix:
 
         * the matrix is bit-identical to when the memo was stored — any
-          deterministic solver returns the same strategy; or
+          deterministic solver returns the same strategy.  Checked via
+          the dirty-row *slice* digest: ``entry.memo_rows`` records the
+          memo-time bytes of every row changed since the memo, so the
+          matrix is provably identical exactly when each recorded row
+          matches its bytes again (the ``changed_since_memo`` flag alone
+          almost never cleared at n >= 64 — one drifted row anywhere
+          killed the memo for good); or
         * for exact methods, the effect bound holds: every repair
           accumulated a per-target upper bound ``dec_cum[j]`` on how much
           any strategy's column minimum can have dropped, so for every
@@ -907,6 +1071,8 @@ class GameEvaluator:
         service = self._entry_service(peer, entry)
         if not entry.changed_since_memo:
             opt_cost = memo.cost
+        elif self._memo_slice_intact(entry, service.weights):
+            opt_cost = memo.cost
         else:
             if method not in self._EXACT_METHODS:
                 return None
@@ -929,6 +1095,30 @@ class GameEvaluator:
             peer, frozenset(current), current_cost, current_cost, False, method
         )
 
+    @staticmethod
+    def _memo_slice_intact(
+        entry: _ServiceEntry, weights: np.ndarray
+    ) -> bool:
+        """True when every row changed since the memo has changed *back*.
+
+        ``entry.memo_rows`` holds the memo-time bytes of exactly the rows
+        that drifted; if each matches the live matrix again, the whole
+        matrix is bit-identical to memo time (rows never recorded never
+        changed), so the drift trackers are reset and the memo revived.
+        Raw bytes are compared — not hashes — so a collision can never
+        revive a stale memo.
+        """
+        if not entry.memo_rows:
+            return False
+        for row, blob in entry.memo_rows.items():
+            if weights[row].tobytes() != blob:
+                return False
+        entry.memo_rows.clear()
+        entry.changed_since_memo = False
+        if entry.dec_cum is not None:
+            entry.dec_cum[:] = 0.0
+        return True
+
     def _store_memo(self, peer: int, response: BestResponseResult) -> None:
         entry = self._service.get(peer)
         self.stats.response_solves += 1
@@ -941,6 +1131,7 @@ class GameEvaluator:
             entry.dec_cum = np.zeros(self._n)
         entry.dec_cum[:] = 0.0
         entry.changed_since_memo = False
+        entry.memo_rows.clear()
 
     def find_improving_deviation(
         self, peer: int

@@ -9,10 +9,13 @@ process:
 
 * Each worker holds its own copy of the bound profile's overlay and
   builds/repairs its ``[lo, hi)`` distance row block with the *same*
-  per-source Dijkstra calls the in-process
-  :class:`~repro.core.sharded.ShardedDistances` issues — per-source runs
-  are independent, so the bytes are identical wherever they are
-  computed.
+  updater the in-process :class:`~repro.core.sharded.ShardedDistances`
+  uses — full builds are per-source Dijkstra runs, and dirty rows are
+  patched in place by the incremental dynamic-SSSP repairer
+  (:mod:`repro.graphs.dynamic_sssp`) unless the pool was built with
+  ``dynamic_repair=False``.  Either path computes each distance as the
+  same folded float64 sum, so the bytes are identical wherever (and
+  however) they are computed.
 * The cross-shard interface stays narrow (the communication-efficiency
   discipline of distributed self-stabilizing protocols): shards exchange
   only the ``distance_rows`` they are asked for and O(n/k) stretch
@@ -65,6 +68,7 @@ from repro.core.profile import StrategyProfile
 from repro.core.sharded import ShardPlan
 from repro.core.topology import overlay_from_matrix
 from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.dynamic_sssp import RowRepairer
 from repro.graphs.shortest_paths import multi_source_distances
 
 #: The coordinator's reverse-reachability BFS, shared (not duplicated):
@@ -103,7 +107,12 @@ class _WorkerState:
     """
 
     def __init__(
-        self, lo: int, hi: int, dmat: np.ndarray, backend: str
+        self,
+        lo: int,
+        hi: int,
+        dmat: np.ndarray,
+        backend: str,
+        dynamic: bool = True,
     ) -> None:
         self.lo = lo
         self.hi = hi
@@ -113,8 +122,14 @@ class _WorkerState:
         self.block: Optional[np.ndarray] = None
         self.dirty: set = set()
         self.sums: Optional[Tuple[np.ndarray, float]] = None
+        self.repairer: Optional[RowRepairer] = (
+            RowRepairer(backend) if dynamic else None
+        )
+        self.cursor = 0
         self.block_builds = 0
         self.rows_recomputed = 0
+        self.vertices_repaired = 0
+        self.full_fallbacks = 0
         self.resident_peak_bytes = 0
 
     # -- profile sync ---------------------------------------------------
@@ -124,17 +139,26 @@ class _WorkerState:
         self.block = None
         self.dirty = set()
         self.sums = None
+        if self.repairer is not None:
+            self.repairer.reset()
+        self.cursor = 0
 
     def rebind(self, peer: int, targets: Tuple[int, ...]) -> None:
         overlay = self._require_overlay()
         # Same invariant as the coordinator's incremental rebind: edges
         # *into* peer are identical before and after the splice, so the
         # reverse reachability computed on the old overlay is valid for
-        # both — and identical to the coordinator's affected set.
-        affected = _reverse_reachable(overlay, peer)
-        overlay.remove_out_edges(peer)
-        for j in targets:
-            overlay.add_edge(peer, j, float(self.dmat[peer, j]))
+        # both — and identical to the coordinator's affected set (the
+        # maintained reverse index answers the same query as the BFS,
+        # just in O(affected edges)).
+        new_out = {j: float(self.dmat[peer, j]) for j in targets}
+        if self.repairer is not None:
+            affected = self.repairer.apply_rebind(overlay, peer, new_out)
+        else:
+            affected = _reverse_reachable(overlay, peer)
+            overlay.remove_out_edges(peer)
+            for j, w in new_out.items():
+                overlay.add_edge(peer, j, w)
         mine = {row for row in affected if self.lo <= row < self.hi}
         if mine:
             self.sums = None
@@ -154,16 +178,30 @@ class _WorkerState:
                 overlay, list(range(self.lo, self.hi)), backend=self.backend
             )
             self.dirty = set()
+            if self.repairer is not None:
+                self.cursor = self.repairer.head
             self.block_builds += 1
             self.resident_peak_bytes = max(
                 self.resident_peak_bytes, self.block.nbytes
             )
         elif self.dirty:
             rows = sorted(self.dirty)
-            fresh = multi_source_distances(
-                overlay, rows, backend=self.backend
-            )
-            self.block[[row - self.lo for row in rows]] = fresh
+            if self.repairer is not None:
+                repaired, fallbacks = self.repairer.repair_block(
+                    self.block,
+                    [row - self.lo for row in rows],
+                    rows,
+                    overlay,
+                    self.cursor,
+                )
+                self.cursor = self.repairer.head
+                self.vertices_repaired += repaired
+                self.full_fallbacks += fallbacks
+            else:
+                fresh = multi_source_distances(
+                    overlay, rows, backend=self.backend
+                )
+                self.block[[row - self.lo for row in rows]] = fresh
             self.rows_recomputed += len(rows)
             self.dirty = set()
         return self.block
@@ -188,16 +226,23 @@ class _WorkerState:
             "shard_rows": self.hi - self.lo,
             "block_builds": self.block_builds,
             "rows_recomputed": self.rows_recomputed,
+            "vertices_repaired": self.vertices_repaired,
+            "full_fallbacks": self.full_fallbacks,
             "resident_bytes": 0 if self.block is None else self.block.nbytes,
             "resident_peak_bytes": self.resident_peak_bytes,
         }
 
 
 def _worker_main(
-    conn, lo: int, hi: int, dmat: np.ndarray, backend: str
+    conn,
+    lo: int,
+    hi: int,
+    dmat: np.ndarray,
+    backend: str,
+    dynamic: bool = True,
 ) -> None:
     """Worker process entry point: serve requests until ``stop``/EOF."""
-    state = _WorkerState(lo, hi, dmat, backend)
+    state = _WorkerState(lo, hi, dmat, backend, dynamic)
     while True:
         try:
             message = conn.recv()
@@ -261,7 +306,14 @@ class PipeTransport(ShardTransport):
     — the OS reaps them if the coordinator dies without closing.
     """
 
-    def __init__(self, lo: int, hi: int, dmat: np.ndarray, backend: str):
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        dmat: np.ndarray,
+        backend: str,
+        dynamic: bool = True,
+    ):
         import multiprocessing
 
         context = multiprocessing
@@ -271,7 +323,7 @@ class PipeTransport(ShardTransport):
         self._conn = parent
         self._process = context.Process(
             target=_worker_main,
-            args=(child, lo, hi, dmat, backend),
+            args=(child, lo, hi, dmat, backend, dynamic),
             daemon=True,
             name=f"repro-shard-{lo}-{hi}",
         )
@@ -334,6 +386,7 @@ class ShardWorkerPool:
         dmat: np.ndarray,
         backend: str = "auto",
         transport_factory=PipeTransport,
+        dynamic_repair: bool = True,
     ) -> None:
         self._plan = plan
         self._n = plan.n
@@ -341,7 +394,9 @@ class ShardWorkerPool:
         try:
             for shard in range(plan.k):
                 lo, hi = plan.bounds[shard]
-                transports.append(transport_factory(lo, hi, dmat, backend))
+                transports.append(
+                    transport_factory(lo, hi, dmat, backend, dynamic_repair)
+                )
         except Exception:
             for transport in transports:
                 transport.close()

@@ -221,6 +221,12 @@ class ShardedDistances:
     with every build and release, ``distance_block_builds`` counts full
     block (re)builds, and ``distance_rows_recomputed`` counts repaired
     rows exactly as on the unsharded evaluator.
+
+    When a :class:`~repro.graphs.dynamic_sssp.RowRepairer` is supplied
+    (the evaluator's, sharing its flip log), dirty rows of resident
+    blocks are patched in place O(affected) instead of re-solved; each
+    block keeps its own flip-log cursor so blocks repaired at different
+    times each replay exactly the flips they missed.
     """
 
     def __init__(
@@ -229,6 +235,7 @@ class ShardedDistances:
         backend: str,
         stats,
         max_resident: int = 1,
+        repairer=None,
     ) -> None:
         if max_resident < 1:
             raise ValueError(
@@ -240,6 +247,8 @@ class ShardedDistances:
         self._max_resident = min(plan.k, int(max_resident))
         self._blocks: List[Optional[np.ndarray]] = [None] * plan.k
         self._dirty: List[Set[int]] = [set() for _ in range(plan.k)]
+        self._repairer = repairer
+        self._cursors: List[int] = [0] * plan.k
         #: Resident shards in least-recently-used-first order (dict
         #: insertion order, same O(1) trick as the spill store's LRU).
         self._lru: Dict[int, None] = {}
@@ -280,14 +289,28 @@ class ShardedDistances:
             )
             self._blocks[shard] = block
             self._dirty[shard] = set()
+            if self._repairer is not None:
+                self._cursors[shard] = self._repairer.head
             self._stats.distance_block_builds += 1
             self._account(block.nbytes)
         elif self._dirty[shard]:
             rows = sorted(self._dirty[shard])
-            fresh = multi_source_distances(
-                overlay, rows, backend=self._backend
-            )
-            block[[row - lo for row in rows]] = fresh
+            if self._repairer is not None:
+                repaired, fallbacks = self._repairer.repair_block(
+                    block,
+                    [row - lo for row in rows],
+                    rows,
+                    overlay,
+                    self._cursors[shard],
+                )
+                self._cursors[shard] = self._repairer.head
+                self._stats.distance_vertices_repaired += repaired
+                self._stats.distance_full_fallbacks += fallbacks
+            else:
+                fresh = multi_source_distances(
+                    overlay, rows, backend=self._backend
+                )
+                block[[row - lo for row in rows]] = fresh
             self._stats.distance_rows_recomputed += len(rows)
             self._dirty[shard] = set()
         self._touch(shard)
@@ -523,6 +546,11 @@ class ShardedEvaluator(GameEvaluator):
         distance blocks at all.  Strategic queries are identical either
         way (they never touch the distance layer); cost queries stream
         the same per-shard reductions, computed from the same bytes.
+    dynamic_repair:
+        Inherited switch (see :class:`~repro.core.evaluator.
+        GameEvaluator`): when True the resident row blocks — local ones
+        here, per-worker ones under process placement — are patched in
+        place by the incremental updater instead of re-solved.
 
     Everything else — the caching/invalidation contract, the gain-sweep
     batch APIs, the memo effect bound, backend dispatch — is inherited.
@@ -543,6 +571,7 @@ class ShardedEvaluator(GameEvaluator):
         shards: int = 2,
         max_resident_shards: int = 1,
         placement: str = "local",
+        dynamic_repair: bool = True,
     ) -> None:
         from repro.core.shard_workers import PLACEMENT_SPECS
 
@@ -571,16 +600,24 @@ class ShardedEvaluator(GameEvaluator):
             backend=backend,
             max_cached_services=max_cached_services,
             store=_sharded_store(plan, store),
+            dynamic_repair=dynamic_repair,
         )
         if placement == "process":
             from repro.core.shard_workers import ShardWorkerPool
 
             self._worker_pool = ShardWorkerPool(
-                plan, game.distance_matrix, backend
+                plan,
+                game.distance_matrix,
+                backend,
+                dynamic_repair=dynamic_repair,
             )
         else:
             self._shard_dist = ShardedDistances(
-                plan, backend, self.stats, max_resident_shards
+                plan,
+                backend,
+                self.stats,
+                max_resident_shards,
+                repairer=self._repairer,
             )
         self._shard_sums = [None] * plan.k
         if profile is not None:
@@ -613,8 +650,8 @@ class ShardedEvaluator(GameEvaluator):
         of :class:`~repro.core.evaluator.EvaluatorStats` (which stay 0
         on this evaluator's coordinator side — no block is ever resident
         here): one dict per shard worker with ``block_builds``,
-        ``rows_recomputed``, ``resident_bytes`` and
-        ``resident_peak_bytes``.
+        ``rows_recomputed``, ``vertices_repaired``, ``full_fallbacks``,
+        ``resident_bytes`` and ``resident_peak_bytes``.
         """
         if self._worker_pool is None:
             return None

@@ -8,7 +8,7 @@ computation fast paths, equilibrium search pruning, and validation.
 from __future__ import annotations
 
 from collections import deque
-from typing import Set
+from typing import Dict, List, Mapping, Set
 
 from repro.graphs.digraph import WeightedDigraph
 
@@ -16,6 +16,7 @@ __all__ = [
     "reachable_from",
     "is_strongly_connected",
     "all_pairs_reachable",
+    "ReverseIndex",
 ]
 
 
@@ -54,3 +55,64 @@ def all_pairs_reachable(graph: WeightedDigraph) -> bool:
     The social cost of a topology is finite exactly when this holds.
     """
     return is_strongly_connected(graph)
+
+
+class ReverseIndex:
+    """Maintained predecessor adjacency of a mutable overlay.
+
+    Rebind invalidation needs "which sources reach the flipped peer?", and
+    the dynamic-SSSP repairer needs "who are ``v``'s predecessors?".  Both
+    used to rebuild a reversed adjacency from scratch — O(E) per rebind —
+    even though a rebind only splices one node's out-edges.  This index
+    keeps the reversed adjacency alive across rebinds: a splice costs
+    O(degree change) and a reverse-reachability query walks only the edges
+    of its answer set, so invalidation is O(affected edges).
+
+    The index is only valid for the graph it was built from, updated via
+    :meth:`splice` in lockstep with every mutation of that graph.
+    """
+
+    __slots__ = ("_num_nodes", "_preds")
+
+    def __init__(self, graph: WeightedDigraph) -> None:
+        n = graph.num_nodes
+        self._num_nodes = n
+        self._preds: List[Dict[int, float]] = [{} for _ in range(n)]
+        for u, v, w in graph.edges():
+            self._preds[v][u] = w
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the indexed graph."""
+        return self._num_nodes
+
+    def predecessors(self, v: int) -> Mapping[int, float]:
+        """Read-only view of ``v``'s predecessor -> weight mapping."""
+        return self._preds[v]
+
+    def splice(
+        self,
+        peer: int,
+        old_out: Mapping[int, float],
+        new_out: Mapping[int, float],
+    ) -> None:
+        """Replace ``peer``'s out-edges: ``old_out`` -> ``new_out``."""
+        preds = self._preds
+        for target in old_out:
+            if target not in new_out:
+                preds[target].pop(peer, None)
+        for target, weight in new_out.items():
+            preds[target][peer] = weight
+
+    def reverse_reachable(self, target: int) -> Set[int]:
+        """Nodes with a directed path to ``target`` (including itself)."""
+        preds = self._preds
+        seen = {target}
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            for u in preds[node]:
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        return seen

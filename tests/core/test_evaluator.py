@@ -311,3 +311,109 @@ class TestDegenerateMetrics:
         repaired = evaluator.service_costs(0)
         fresh = GameEvaluator(game, evaluator.profile).service_costs(0)
         np.testing.assert_array_equal(repaired.weights, fresh.weights)
+
+
+class TestMemoSliceDigest:
+    """The response memo revives when changed rows change *back*.
+
+    Regression suite for the slice-digest reuse path: the old
+    ``changed_since_memo`` flag was one-way, so a single drifted row
+    anywhere killed a (non-exact) memo for the rest of the run even
+    when a later repair restored the exact bytes.
+    """
+
+    def _setup(self, seed=3):
+        game = _random_game(seed, n=8, alpha=1.0, kind="euclidean")
+        profile = game.random_profile(0.4, seed=seed)
+        return game, profile, GameEvaluator(game, profile)
+
+    def test_memo_revives_when_rows_change_back(self):
+        game, profile, evaluator = self._setup()
+        peer, mover = 0, 4
+        original = profile.strategy(mover)
+        evaluator.best_response(peer, method="greedy")
+        solves = evaluator.stats.response_solves
+        # Drift W_peer away from the memo state and force a repair so
+        # the changed rows are recorded against the memo...
+        evaluator.set_profile(profile.with_strategy(mover, frozenset({peer})))
+        evaluator.service_costs(peer)
+        entry = evaluator._service[peer]
+        assert entry.changed_since_memo and entry.memo_rows
+        # ...then move the peer back: the repaired rows are byte-equal
+        # to memo time again, so the greedy memo must fire.
+        evaluator.set_profile(evaluator.profile.with_strategy(mover, original))
+        hits = evaluator.stats.response_memo_hits
+        response = evaluator.best_response(peer, method="greedy")
+        assert evaluator.stats.response_memo_hits == hits + 1
+        assert evaluator.stats.response_solves == solves
+        fresh = GameEvaluator(game, evaluator.profile)
+        reference = fresh.best_response(peer, method="greedy")
+        assert response.strategy == reference.strategy
+        assert response.cost == reference.cost
+
+    def test_memo_not_revived_while_rows_differ(self):
+        game, profile, evaluator = self._setup(seed=5)
+        peer, mover = 1, 6
+        evaluator.best_response(peer, method="greedy")
+        solves = evaluator.stats.response_solves
+        evaluator.set_profile(profile.with_strategy(mover, frozenset({peer})))
+        evaluator.service_costs(peer)
+        entry = evaluator._service[peer]
+        assert entry.changed_since_memo
+        if entry.memo_rows:  # rows actually drifted: memo must re-solve
+            evaluator.best_response(peer, method="greedy")
+            assert evaluator.stats.response_solves == solves + 1
+
+    def test_slice_digest_resets_drift_trackers(self):
+        game, profile, evaluator = self._setup(seed=9)
+        peer, mover = 2, 5
+        original = profile.strategy(mover)
+        evaluator.best_response(peer, method="exact")
+        evaluator.set_profile(profile.with_strategy(mover, frozenset({peer})))
+        evaluator.service_costs(peer)
+        entry = evaluator._service[peer]
+        assert entry.changed_since_memo and entry.memo_rows
+        evaluator.set_profile(evaluator.profile.with_strategy(mover, original))
+        evaluator.best_response(peer, method="exact")
+        assert not entry.changed_since_memo
+        assert not entry.memo_rows
+        assert float(entry.dec_cum.sum()) == 0.0
+
+
+class TestDirtyNonCandidateCounter:
+    """`_repair_sources` drops are counted, never silent (satellite fix)."""
+
+    def test_seeded_noncandidate_dirty_source_is_counted(self):
+        game = _random_game(0, n=6, alpha=1.0, kind="euclidean")
+        profile = game.random_profile(0.4, seed=1)
+        evaluator = GameEvaluator(game, profile)
+        evaluator.service_costs(2)
+        entry = evaluator._service[2]
+        # Simulate an invalidation-coverage bug: the peer itself (never
+        # a candidate row of its own matrix) lands in the dirty set.
+        entry.dirty = {2, 3}
+        evaluator.service_costs(2)
+        assert evaluator.stats.service_dirty_noncandidates == 1
+        fresh = GameEvaluator(game, profile)
+        np.testing.assert_array_equal(
+            evaluator.service_costs(2).weights,
+            fresh.service_costs(2).weights,
+        )
+
+    def test_normal_dynamics_never_drop_dirty_sources(self):
+        game = _random_game(4, n=6, alpha=1.2, kind="euclidean")
+        profile = game.random_profile(0.4, seed=2)
+        evaluator = GameEvaluator(game, profile)
+        for peer in range(game.n):
+            evaluator.service_costs(peer)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            peer = int(rng.integers(game.n))
+            targets = [j for j in range(game.n) if j != peer]
+            strategy = frozenset(
+                int(t) for t in rng.choice(targets, size=2, replace=False)
+            )
+            profile = profile.with_strategy(peer, strategy)
+            evaluator.set_profile(profile)
+            evaluator.service_costs(int(rng.integers(game.n)))
+        assert evaluator.stats.service_dirty_noncandidates == 0

@@ -1,0 +1,328 @@
+"""Dynamic-SSSP repair tests: bit-identity with scratch Dijkstra.
+
+The contract under test (see the :mod:`repro.graphs.dynamic_sssp`
+docstring): after any sequence of single-peer out-edge splices, repaired
+distance rows are **bitwise identical** to a from-scratch
+``multi_source_distances`` on the current graph — including zero-weight
+edges, unreachable regions, masked-peer (``exclude``) rows, and rows
+rebuilt through the fallback path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import WeightedDigraph
+from repro.graphs.dynamic_sssp import (
+    DEFAULT_FALLBACK_FRACTION,
+    FlipLog,
+    RowRepairer,
+    repair_row,
+)
+from repro.graphs.reachability import ReverseIndex
+from repro.graphs.shortest_paths import multi_source_distances
+
+
+def _random_overlay(rng: np.random.Generator, n: int) -> WeightedDigraph:
+    """A ring backbone plus random extras (always rebind-able)."""
+    graph = WeightedDigraph(n)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n, float(rng.random()))
+        extra = int(rng.integers(n))
+        if extra != i:
+            graph.add_edge(i, extra, float(rng.random()))
+    return graph
+
+
+def _random_rebind(rng: np.random.Generator, n: int):
+    peer = int(rng.integers(n))
+    size = int(rng.integers(1, 4))
+    targets = rng.choice(
+        [j for j in range(n) if j != peer], size=size, replace=False
+    )
+    return peer, {int(j): float(rng.random()) for j in targets}
+
+
+def _assert_rows_match(block, graph, sources, exclude=-1):
+    check = graph if exclude < 0 else graph.copy_without_out_edges(exclude)
+    fresh = multi_source_distances(check, list(sources), backend="pure")
+    np.testing.assert_array_equal(block[: len(sources)], fresh)
+
+
+class TestFlipLog:
+    def test_head_advances_per_record(self):
+        log = FlipLog()
+        assert log.head == 0
+        log.record(0, {1: 1.0})
+        log.record(0, {2: 2.0})
+        assert log.head == 2
+
+    def test_net_flips_dedupe_to_earliest_old_state(self):
+        graph = WeightedDigraph.from_edges(3, [(0, 1, 1.0)])
+        log = FlipLog()
+        log.record(0, {1: 1.0})  # first splice away from {1: 1.0}
+        graph.remove_out_edges(0)
+        graph.add_edge(0, 2, 2.0)
+        log.record(0, {2: 2.0})  # second splice; current state below
+        graph.remove_out_edges(0)
+        graph.add_edge(0, 1, 3.0)
+        (flip,) = log.net_flips(0, graph)
+        assert flip.peer == 0
+        assert dict(flip.removed) == {1: 1.0}
+        assert dict(flip.added) == {1: 3.0}
+
+    def test_no_net_change_produces_no_flip(self):
+        graph = WeightedDigraph.from_edges(3, [(0, 1, 1.0)])
+        log = FlipLog()
+        log.record(0, {1: 1.0})  # splices that ended where they started
+        assert log.net_flips(0, graph) == []
+
+    def test_exclude_drops_that_peer(self):
+        graph = WeightedDigraph.from_edges(3, [(0, 1, 5.0)])
+        log = FlipLog()
+        log.record(0, {1: 1.0})
+        assert log.net_flips(0, graph, exclude=0) == []
+
+    def test_cursor_skips_already_consumed_entries(self):
+        graph = WeightedDigraph.from_edges(3, [(0, 1, 5.0)])
+        log = FlipLog()
+        log.record(0, {1: 1.0})
+        assert log.net_flips(1, graph) == []
+
+
+class TestRepairRow:
+    def test_weight_increase_propagates(self):
+        # 0 -> 1 -> 2 chain; raising w(0,1) shifts both downstream rows.
+        graph = WeightedDigraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 1.0)]
+        )
+        dist = multi_source_distances(graph, [0], backend="pure")[0]
+        log = FlipLog()
+        log.record(0, dict(graph.successors(0)))
+        graph.remove_out_edges(0)
+        graph.add_edge(0, 1, 2.0)
+        rindex = ReverseIndex(graph)
+        flips = log.net_flips(0, graph)
+        touched = repair_row(dist, graph, rindex, flips, 0)
+        assert touched == 2  # vertices 1 and 2 recomputed
+        _assert_rows_match(dist[None, :], graph, [0])
+
+    def test_fallback_returns_none_and_leaves_row_untouched(self):
+        graph = WeightedDigraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+        )
+        dist = multi_source_distances(graph, [0], backend="pure")[0]
+        before = dist.copy()
+        log = FlipLog()
+        log.record(0, dict(graph.successors(0)))
+        graph.remove_out_edges(0)
+        graph.add_edge(0, 1, 9.0)
+        rindex = ReverseIndex(graph)
+        flips = log.net_flips(0, graph)
+        result = repair_row(dist, graph, rindex, flips, 0, max_affected=1)
+        assert result is None
+        np.testing.assert_array_equal(dist, before)
+
+    def test_unreachable_source_row_is_untouched(self):
+        graph = WeightedDigraph.from_edges(3, [(0, 1, 1.0), (1, 0, 1.0)])
+        # Row of source 2, which reaches nothing: flips at 0 cannot
+        # matter, and the classifier skips the row in O(flips).
+        dist = multi_source_distances(graph, [2], backend="pure")[0]
+        log = FlipLog()
+        log.record(0, dict(graph.successors(0)))
+        graph.remove_out_edges(0)
+        rindex = ReverseIndex(graph)
+        flips = log.net_flips(0, graph)
+        assert repair_row(dist, graph, rindex, flips, 2) == 0
+        _assert_rows_match(dist[None, :], graph, [2])
+
+    def test_zero_weight_tight_cycle_is_not_self_supporting(self):
+        # 0 -> 1 (w 1), then a zero-weight 2-cycle 1 <-> 2.  Deleting
+        # 0 -> 1 must invalidate both 1 and 2: neither may certify the
+        # other's stale distance through the zero-weight cycle.
+        graph = WeightedDigraph.from_edges(
+            3, [(0, 1, 1.0), (1, 2, 0.0), (2, 1, 0.0)]
+        )
+        dist = multi_source_distances(graph, [0], backend="pure")[0]
+        log = FlipLog()
+        log.record(0, dict(graph.successors(0)))
+        graph.remove_out_edges(0)
+        rindex = ReverseIndex(graph)
+        flips = log.net_flips(0, graph)
+        touched = repair_row(dist, graph, rindex, flips, 0)
+        assert touched == 2
+        assert math.isinf(dist[1]) and math.isinf(dist[2])
+
+    def test_insert_only_decrease(self):
+        graph = WeightedDigraph.from_edges(
+            3, [(0, 1, 5.0), (1, 2, 1.0)]
+        )
+        dist = multi_source_distances(graph, [0], backend="pure")[0]
+        log = FlipLog()
+        log.record(0, dict(graph.successors(0)))
+        graph.add_edge(0, 2, 0.5)  # keep 0 -> 1, add a shortcut
+        rindex = ReverseIndex(graph)
+        flips = log.net_flips(0, graph)
+        touched = repair_row(dist, graph, rindex, flips, 0)
+        assert touched == 1  # only vertex 2 decreased
+        _assert_rows_match(dist[None, :], graph, [0])
+
+
+class TestRowRepairer:
+    def test_apply_rebind_matches_bfs_affected_set(self):
+        rng = np.random.default_rng(7)
+        graph = _random_overlay(rng, 20)
+        repairer = RowRepairer()
+        for _step in range(30):
+            peer, new_out = _random_rebind(rng, 20)
+            expected = ReverseIndex(graph).reverse_reachable(peer)
+            affected = repairer.apply_rebind(graph, peer, new_out)
+            assert affected == expected
+            assert dict(graph.successors(peer)) == new_out
+
+    def test_repaired_rows_match_scratch_with_forced_fallbacks(self):
+        rng = np.random.default_rng(11)
+        n = 24
+        graph = _random_overlay(rng, n)
+        # A tiny fallback fraction forces the scratch path constantly;
+        # repaired rows must stay bit-identical either way.
+        repairer = RowRepairer(fallback_fraction=0.05)
+        sources = list(range(n))
+        block = multi_source_distances(graph, sources, backend="pure")
+        cursor = repairer.head
+        fallbacks_total = 0
+        for _step in range(20):
+            peer, new_out = _random_rebind(rng, n)
+            repairer.apply_rebind(graph, peer, new_out)
+            _repaired, fallbacks = repairer.repair_block(
+                block, sources, sources, graph, cursor
+            )
+            cursor = repairer.head
+            fallbacks_total += fallbacks
+            _assert_rows_match(block, graph, sources)
+        assert fallbacks_total > 0  # the fraction actually bit
+
+    def test_excluded_peer_rows_ignore_its_rebinds(self):
+        rng = np.random.default_rng(13)
+        n = 16
+        exclude = 3
+        graph = _random_overlay(rng, n)
+        repairer = RowRepairer()
+        sources = [j for j in range(n) if j != exclude]
+        masked = graph.copy_without_out_edges(exclude)
+        block = multi_source_distances(masked, sources, backend="pure")
+        cursor = repairer.head
+        for _step in range(15):
+            peer, new_out = _random_rebind(rng, n)
+            repairer.apply_rebind(graph, peer, new_out)
+            positions = list(range(len(sources)))
+            repairer.repair_block(
+                block, positions, sources, graph, cursor, exclude=exclude
+            )
+            cursor = repairer.head
+            _assert_rows_match(block, graph, sources, exclude=exclude)
+
+    def test_default_fallback_fraction_exported(self):
+        assert 0.0 < DEFAULT_FALLBACK_FRACTION <= 1.0
+
+
+@st.composite
+def _churn_case(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    num_flips = draw(st.integers(min_value=1, max_value=6))
+    flips = []
+    for _ in range(num_flips):
+        peer = draw(st.integers(min_value=0, max_value=n - 1))
+        others = [j for j in range(n) if j != peer]
+        targets = draw(
+            st.lists(
+                st.sampled_from(others),
+                min_size=0,
+                max_size=min(3, len(others)),
+                unique=True,
+            )
+        )
+        # Weight 0 is legal (coincident peers) and the hard case.
+        weights = [
+            draw(st.sampled_from([0.0, 0.25, 1.0, 2.0])) for _ in targets
+        ]
+        flips.append((peer, dict(zip(targets, weights))))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.sampled_from([0.0, 0.5, 1.0, 3.0]),
+            ),
+            max_size=3 * n,
+        )
+    )
+    return n, edges, flips
+
+
+class TestChurnProperties:
+    @given(_churn_case())
+    @settings(max_examples=150, deadline=None)
+    def test_repaired_rows_bit_identical_to_scratch(self, case):
+        n, edges, flips = case
+        graph = WeightedDigraph(n)
+        for u, v, w in edges:
+            if u != v:
+                graph.add_edge(u, v, w)
+        repairer = RowRepairer()
+        sources = list(range(n))
+        block = multi_source_distances(graph, sources, backend="pure")
+        cursor = repairer.head
+        for peer, new_out in flips:
+            repairer.apply_rebind(graph, peer, new_out)
+        repairer.repair_block(block, sources, sources, graph, cursor)
+        _assert_rows_match(block, graph, sources)
+
+    @given(_churn_case(), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_masked_rows_bit_identical_to_scratch(self, case, exclude_pick):
+        n, edges, flips = case
+        exclude = exclude_pick % n
+        graph = WeightedDigraph(n)
+        for u, v, w in edges:
+            if u != v:
+                graph.add_edge(u, v, w)
+        repairer = RowRepairer()
+        sources = [j for j in range(n) if j != exclude]
+        masked = graph.copy_without_out_edges(exclude)
+        block = multi_source_distances(masked, sources, backend="pure")
+        cursor = repairer.head
+        for peer, new_out in flips:
+            repairer.apply_rebind(graph, peer, new_out)
+        repairer.repair_block(
+            block,
+            list(range(len(sources))),
+            sources,
+            graph,
+            cursor,
+            exclude=exclude,
+        )
+        _assert_rows_match(block, graph, sources, exclude=exclude)
+
+
+class TestScipyParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_repair_matches_scipy_rows_above_auto_threshold(self, seed):
+        # At n >= AUTO_SCIPY_THRESHOLD the evaluator's scratch path runs
+        # scipy Dijkstra; repaired rows must match those bytes too.
+        rng = np.random.default_rng(seed)
+        n = 64
+        graph = _random_overlay(rng, n)
+        repairer = RowRepairer()
+        sources = list(range(n))
+        block = multi_source_distances(graph, sources, backend="scipy")
+        cursor = repairer.head
+        for _step in range(10):
+            peer, new_out = _random_rebind(rng, n)
+            repairer.apply_rebind(graph, peer, new_out)
+        repairer.repair_block(block, sources, sources, graph, cursor)
+        fresh = multi_source_distances(graph, sources, backend="scipy")
+        np.testing.assert_array_equal(block, fresh)

@@ -8,6 +8,7 @@ from repro.graphs.generators import (
     star_digraph,
 )
 from repro.graphs.reachability import (
+    ReverseIndex,
     all_pairs_reachable,
     is_strongly_connected,
     reachable_from,
@@ -56,3 +57,51 @@ class TestStrongConnectivity:
         broken = WeightedDigraph.from_edges(4, [(0, 1, 1.0)])
         assert all_pairs_reachable(connected)
         assert not all_pairs_reachable(broken)
+
+
+class TestReverseIndex:
+    def test_matches_reversed_graph_reachability(self):
+        g = WeightedDigraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 2.0), (3, 2, 1.0)]
+        )
+        index = ReverseIndex(g)
+        assert index.reverse_reachable(2) == {0, 1, 2, 3}
+        assert index.reverse_reachable(0) == {0}
+        assert dict(index.predecessors(2)) == {1: 2.0, 3: 1.0}
+
+    def test_splice_keeps_index_in_lockstep(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        n = 15
+        g = WeightedDigraph(n)
+        for i in range(n):
+            g.add_edge(i, (i + 1) % n, 1.0)
+        index = ReverseIndex(g)
+        for _step in range(40):
+            peer = int(rng.integers(n))
+            old = dict(g.successors(peer))
+            g.remove_out_edges(peer)
+            for t in rng.choice(n, size=int(rng.integers(1, 4)), replace=False):
+                if int(t) != peer:
+                    g.add_edge(peer, int(t), float(rng.random()))
+            index.splice(peer, old, g.successors(peer))
+            # The maintained index must equal one rebuilt from scratch.
+            rebuilt = ReverseIndex(g)
+            for v in range(n):
+                assert dict(index.predecessors(v)) == dict(
+                    rebuilt.predecessors(v)
+                )
+            target = int(rng.integers(n))
+            assert index.reverse_reachable(target) == rebuilt.reverse_reachable(
+                target
+            )
+
+    def test_weight_only_splice_updates_weight(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 1.0)])
+        index = ReverseIndex(g)
+        old = dict(g.successors(0))
+        g.remove_out_edges(0)
+        g.add_edge(0, 1, 2.0)
+        index.splice(0, old, g.successors(0))
+        assert dict(index.predecessors(1)) == {0: 2.0}

@@ -53,3 +53,39 @@ class TestSearchScript:
         )
         assert result.returncode == 0
         assert "alpha" in result.stdout
+
+
+class TestProfileSweepScript:
+    SCRIPT = REPO_ROOT / "scripts" / "profile_sweep.py"
+
+    def test_help_exits_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "--top" in result.stdout
+
+    def test_list_prints_registry(self):
+        result = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "--list"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "E1" in result.stdout
+        assert "E11" in result.stdout
+
+    def test_profiles_registered_experiment(self):
+        result = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "e1", "--top", "5"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "verdict" in result.stdout
+        assert "cumulative" in result.stdout
