@@ -1,0 +1,25 @@
+"""Launch a standalone shard server (thin wrapper).
+
+Equivalent to ``python -m repro.shard_server``; exists so a bare
+checkout can start a server without arranging ``PYTHONPATH`` first::
+
+    python scripts/shard_server.py --listen 0.0.0.0:7070
+    python scripts/shard_server.py --listen unix:/tmp/shards.sock
+
+See :mod:`repro.shard_server` for the protocol and flags.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.shard_server import main  # noqa: E402 - path bootstrap first
+
+if __name__ == "__main__":
+    sys.exit(main())

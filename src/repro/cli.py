@@ -67,6 +67,17 @@ def _positive_int_arg(name: str):
 _positive_int = _positive_int_arg("workers")
 
 
+def _host_list(text: str):
+    """Split a ``--shard-hosts`` comma list into a non-empty tuple."""
+    hosts = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not hosts:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of host:port or unix:/path "
+            "addresses"
+        )
+    return hosts
+
+
 def _add_execution_flags(command) -> None:
     command.add_argument(
         "--workers",
@@ -79,12 +90,14 @@ def _add_execution_flags(command) -> None:
     )
     command.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "shard"),
         default=None,
         help=(
             "execution backend for those solves: 'thread' shares the "
             "caches under the GIL, 'process' runs a worker pool over a "
-            "shared-memory service-matrix store (needs --workers >= 2); "
+            "shared-memory service-matrix store (needs --workers >= 2), "
+            "'shard' routes each solve to the shard worker owning the "
+            "peer (needs --shard-placement process or socket); "
             "default: thread pool iff --workers > 1"
         ),
     )
@@ -102,14 +115,30 @@ def _add_execution_flags(command) -> None:
     )
     command.add_argument(
         "--shard-placement",
-        choices=("local", "process"),
+        choices=("local", "process", "socket"),
         default=None,
         help=(
             "where the shard row blocks live (needs --shards): 'local' "
             "keeps them in this process (the default), 'process' runs "
             "one long-lived worker process per shard serving distance "
-            "rows over a pipe — the coordinator then holds no distance "
-            "block at all; trajectories are identical either way"
+            "rows over a pipe, 'socket' hosts the same workers behind "
+            "shard servers reached over TCP/Unix sockets (see "
+            "--shard-hosts; without it a same-host server is "
+            "auto-spawned) — with either worker placement the "
+            "coordinator holds no distance block at all; trajectories "
+            "are identical for every placement"
+        ),
+    )
+    command.add_argument(
+        "--shard-hosts",
+        type=_host_list,
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help=(
+            "comma-separated shard-server addresses (host:port or "
+            "unix:/path) to round-robin shards across (needs "
+            "--shard-placement socket); start servers with "
+            "`python -m repro.shard_server --listen ADDR`"
         ),
     )
     command.add_argument(
@@ -135,11 +164,33 @@ def _check_execution_flags(args, parser: argparse.ArgumentParser) -> None:
     shards = getattr(args, "shards", None)
     placement = getattr(args, "shard_placement", None)
     max_resident = getattr(args, "max_resident_shards", None)
+    shard_hosts = getattr(args, "shard_hosts", None)
     if placement is not None and shards is None:
         parser.error(
             "--shard-placement needs --shards: there is nothing to "
             "place without a shard count"
         )
+    if getattr(args, "backend", None) == "shard" and placement not in (
+        "process",
+        "socket",
+    ):
+        parser.error(
+            "--backend shard routes solves to shard worker processes; "
+            "it needs --shard-placement process or socket"
+        )
+    if shard_hosts is not None:
+        if placement != "socket":
+            parser.error(
+                "--shard-hosts needs --shard-placement socket: hosts "
+                "name the shard servers socket placement connects to"
+            )
+        from repro.core.transport import parse_address
+
+        for host in shard_hosts:
+            try:
+                parse_address(host)
+            except ValueError as error:
+                parser.error(f"--shard-hosts: {error}")
     if max_resident is not None:
         if shards is None:
             parser.error(
@@ -244,6 +295,7 @@ def _harness_params(args) -> dict:
         "shards": args.shards,
         "shard_placement": args.shard_placement,
         "max_resident_shards": args.max_resident_shards,
+        "shard_hosts": args.shard_hosts,
     }
 
 
@@ -359,6 +411,7 @@ def _cmd_demo(params: dict) -> int:
         shards=shards,
         shard_placement=placement,
         max_resident_shards=params["max_resident_shards"],
+        shard_hosts=params["shard_hosts"],
     ) as engine:
         report = engine.run(max_rounds=120)
         stats = engine.evaluator.stats

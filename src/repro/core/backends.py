@@ -53,7 +53,10 @@ __all__ = [
 ]
 
 #: ``--backend`` spec strings accepted by :func:`resolve_backend`.
-BACKEND_SPECS = ("serial", "thread", "process")
+#: ``"shard"`` routes solves to shard worker processes/servers (see
+#: :class:`~repro.core.shard_workers.ShardSolverBackend`) and needs a
+#: sharded evaluator with ``shard_placement`` ``"process"``/``"socket"``.
+BACKEND_SPECS = ("serial", "thread", "process", "shard")
 
 #: A picklable solve task: ``(store_handle, peer, strategy, alpha,
 #: method, profile_digest)``.  The digest identifies which bound profile
@@ -78,6 +81,11 @@ class SolverBackend:
     #: True when solves cross process boundaries, i.e. the evaluator
     #: must expose its service matrices through a shareable store.
     distributed = False
+    #: True when the backend consumes ``make_task`` tuples but sources
+    #: the matrices itself (shard-side solves): the evaluator skips its
+    #: local service build/refresh for dispatched peers and no store
+    #: handle is attached to the tasks.
+    wants_tasks = False
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = max(1, int(workers))
@@ -193,8 +201,15 @@ class ProcessBackend(SolverBackend):
     name = "process"
     distributed = True
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(
+        self, workers: int = 2, chunksize: Optional[int] = None
+    ) -> None:
         super().__init__(workers)
+        #: Tasks per pool dispatch.  ``None`` batches each sweep into
+        #: ``ceil(tasks / workers)`` groups — one round of chunks, so a
+        #: small-n sweep pays ``workers`` IPC round trips instead of one
+        #: per task.  Pass an explicit value (e.g. 1) to override.
+        self.chunksize = chunksize
         self._pool = None
         self._finalizer: Optional[weakref.finalize] = None
 
@@ -234,7 +249,15 @@ class ProcessBackend(SolverBackend):
                 "must expose a shareable service store"
             )
         tasks = [make_task(peer) for peer in peers]
-        chunksize = max(1, len(tasks) // (self.workers * 4))
+        chunksize = self.chunksize
+        if chunksize is None:
+            # Per-sweep batching: ceil(tasks / workers) puts every
+            # worker's share in a single submission, which amortizes the
+            # per-task executor/pickle overhead that dominates small-n
+            # sweeps.  The solves stay independent pure functions, so
+            # grouping cannot change any result.
+            chunksize = -(-len(tasks) // self.workers)
+        chunksize = max(1, int(chunksize))
         return list(
             self._executor().map(solve_service_task, tasks, chunksize=chunksize)
         )
@@ -265,6 +288,14 @@ def resolve_backend(spec, workers: int = 1) -> SolverBackend:
         return ThreadBackend(max(2, workers))
     if spec == "process":
         return ProcessBackend(max(2, workers))
+    if spec == "shard":
+        # Deferred import: shard_workers imports this module.  The
+        # instance starts unbound; the sharded evaluator binds its live
+        # worker pool per sweep (drivers resolve backends before any
+        # evaluator exists).
+        from repro.core.shard_workers import ShardSolverBackend
+
+        return ShardSolverBackend(workers)
     raise ValueError(
         f"unknown solver backend {spec!r}; expected one of {BACKEND_SPECS}, "
         f"None, or a SolverBackend instance"

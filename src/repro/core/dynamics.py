@@ -397,15 +397,21 @@ class BestResponseDynamics:
         shard count.  Mutually exclusive with ``evaluator``.
     shard_placement:
         Where that sharded evaluator's distance blocks live:
-        ``"local"`` (default) or ``"process"`` — one worker process per
+        ``"local"`` (default), ``"process"`` — one worker process per
         shard (:mod:`repro.core.shard_workers`) serving distance rows
-        over a pipe, leaving the coordinator with no resident block at
-        all.  Trajectories are identical for either placement.
-        Requires ``shards``.
+        over a pipe — or ``"socket"`` — the same workers behind
+        standalone :mod:`repro.shard_server` processes (auto-spawned
+        same-host by default).  Either worker placement leaves the
+        coordinator with no resident block at all.  Trajectories are
+        identical for every placement.  Requires ``shards``.
     max_resident_shards:
         Resident row-block budget of the owned sharded evaluator
         (local placement; default 1).  Requires ``shards`` and must not
         exceed it.
+    shard_hosts:
+        Socket placement only: addresses (``"host:port"`` /
+        ``"unix:/path"``) of running shard servers to round-robin
+        shards across; ``None`` auto-spawns a same-host server.
 
     The dynamics own the sharded evaluator (and any backend resolved
     from a spec string), so they are a context manager: ``close()`` —
@@ -429,11 +435,14 @@ class BestResponseDynamics:
         shards: Optional[int] = None,
         shard_placement: Optional[str] = None,
         max_resident_shards: Optional[int] = None,
+        shard_hosts=None,
     ) -> None:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
 
-        check_shard_options(shards, shard_placement, max_resident_shards)
+        check_shard_options(
+            shards, shard_placement, max_resident_shards, shard_hosts
+        )
         if shards is not None:
             if evaluator is not None:
                 raise ValueError(
@@ -460,6 +469,7 @@ class BestResponseDynamics:
         self._shards = shards
         self._shard_placement = shard_placement
         self._max_resident_shards = max_resident_shards
+        self._shard_hosts = shard_hosts
         self._owned_evaluator: Optional["GameEvaluator"] = None
 
     def _resolve_evaluator(self) -> "GameEvaluator":
@@ -480,6 +490,7 @@ class BestResponseDynamics:
                     shards=self._shards,
                     placement=self._shard_placement,
                     max_resident_shards=self._max_resident_shards,
+                    shard_hosts=self._shard_hosts,
                 )
             return self._owned_evaluator
         return self._game.evaluator

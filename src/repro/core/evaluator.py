@@ -937,10 +937,14 @@ class GameEvaluator:
 
         ``backend`` accepts a :class:`~repro.core.backends.SolverBackend`
         instance or a spec string (``"serial"``/``"thread"``/
-        ``"process"``); ``None`` keeps the legacy behavior of sizing a
-        thread pool from ``workers``.  A process backend requires a
-        shareable store — a plain in-memory store is migrated to shared
-        memory once, then workers attach it zero-copy.
+        ``"process"``/``"shard"``); ``None`` keeps the legacy behavior
+        of sizing a thread pool from ``workers``.  A process backend
+        requires a shareable store — a plain in-memory store is migrated
+        to shared memory once, then workers attach it zero-copy.  The
+        shard backend ships ``(peer, strategy)`` tasks to the shard
+        workers owning the peers (sharded evaluators with process/socket
+        placement only); the workers build and cache the matrices, so
+        this evaluator skips its own refresh for dispatched peers.
 
         Returns results in ``peers`` order (default: all peers).  This is
         the engine behind the max-gain activation policy and multi-peer
@@ -948,12 +952,17 @@ class GameEvaluator:
         activations costs one blocked build plus the solves the effect
         bound could not skip.
         """
-        backend = resolve_backend(backend, workers)
+        backend = self._resolve_solver_backend(backend, workers)
         profile = self.profile
         peers = list(range(self._n)) if peers is None else list(peers)
         if backend.distributed:
             self._ensure_shareable_store()
-        self._batch_refresh(peers)
+        if not backend.wants_tasks:
+            self._batch_refresh(peers)
+        # else: shard-side solves — the owning workers build, cache and
+        # repair their own service matrices, so the coordinator skips
+        # its local refresh entirely (a warm, provably-clean local memo
+        # still answers below; dirty or absent entries go to the wire).
         self.stats.gain_sweeps += 1
         results: Dict[int, BestResponseResult] = {}
         to_solve: List[int] = []
@@ -968,7 +977,12 @@ class GameEvaluator:
 
         alpha = self._alpha
         services: Dict[int, ServiceCosts] = {}
-        if not backend.distributed and backend.workers > 1 and len(to_solve) > 1:
+        if (
+            not backend.distributed
+            and not backend.wants_tasks
+            and backend.workers > 1
+            and len(to_solve) > 1
+        ):
             # Materialize before the parallel section: worker threads
             # must not race on the store's bookkeeping (LRU, flags).
             for peer in to_solve:
@@ -983,17 +997,22 @@ class GameEvaluator:
             )
 
         make_task = None
-        if backend.distributed and to_solve:
-            self._store.flush(to_solve)
+        if (backend.distributed or backend.wants_tasks) and to_solve:
+            if backend.distributed:
+                self._store.flush(to_solve)
             digest = self._profile_digest()
 
             def make_task(peer: int):
-                handle = self._store.handle(peer)
-                if handle is None:  # pragma: no cover - store contract
-                    raise RuntimeError(
-                        f"store {self._store.name!r} produced no handle "
-                        f"for peer {peer}"
-                    )
+                handle = None
+                if backend.distributed:
+                    handle = self._store.handle(peer)
+                    if handle is None:  # pragma: no cover - store contract
+                        raise RuntimeError(
+                            f"store {self._store.name!r} produced no "
+                            f"handle for peer {peer}"
+                        )
+                # Task-routing backends (shard-side solves) source the
+                # matrix at the worker that owns the peer: no handle.
                 return (
                     handle,
                     peer,
@@ -1008,6 +1027,23 @@ class GameEvaluator:
             self._store_memo(peer, response)
             results[peer] = response
         return [results[peer] for peer in peers]
+
+    def _resolve_solver_backend(self, backend, workers: int) -> SolverBackend:
+        """Resolve a gain-sweep backend spec for *this* evaluator.
+
+        Subclass hook: the sharded evaluator overrides it to bind the
+        ``"shard"`` backend to its live worker pool.  Here the spec is
+        rejected — a plain evaluator has no shard fabric to route solves
+        to, and silently solving locally would hide the misconfiguration.
+        """
+        resolved = resolve_backend(backend, workers)
+        if resolved.wants_tasks:
+            raise ValueError(
+                "backend 'shard' routes solves to shard worker "
+                "processes; it needs a ShardedEvaluator with "
+                "shard_placement 'process' or 'socket'"
+            )
+        return resolved
 
     def _profile_digest(self) -> int:
         """Stable fingerprint of the bound profile (task metadata)."""

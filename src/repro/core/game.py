@@ -111,6 +111,7 @@ class TopologyGame:
         store="memory",
         placement: Optional[str] = None,
         max_resident_shards: Optional[int] = None,
+        shard_hosts=None,
     ) -> "GameEvaluator":
         """A fresh, independent evaluator (isolated cache).
 
@@ -121,8 +122,12 @@ class TopologyGame:
         ``1/shards`` and one service store (``store`` spec) per shard.
         ``placement="process"`` additionally moves each shard's distance
         block into its own worker process
-        (:mod:`repro.core.shard_workers`); ``max_resident_shards``
-        budgets the locally resident blocks.  Both require ``shards``.
+        (:mod:`repro.core.shard_workers`), and ``placement="socket"``
+        hosts those workers behind :mod:`repro.shard_server` processes
+        reached over TCP/Unix sockets (``shard_hosts`` names the
+        servers; ``None`` auto-spawns one same-host);
+        ``max_resident_shards`` budgets the locally resident blocks.
+        All require ``shards``.
         """
         if shards is not None:
             from repro.core.sharded import build_sharded_evaluator
@@ -134,10 +139,11 @@ class TopologyGame:
                 shards=shards,
                 placement=placement,
                 max_resident_shards=max_resident_shards,
+                shard_hosts=shard_hosts,
             )
         from repro.core.sharded import check_shard_options
 
-        check_shard_options(shards, placement, max_resident_shards)
+        check_shard_options(shards, placement, max_resident_shards, shard_hosts)
         from repro.core.evaluator import GameEvaluator
 
         return GameEvaluator(self, profile, store=store)

@@ -25,8 +25,22 @@ process:
   coordinator runs, so no row set crosses the wire either.
 * The transport is abstracted behind :class:`ShardTransport` — the
   default :class:`PipeTransport` forks one worker per shard over a
-  ``multiprocessing`` pipe; a socket transport can slot in later without
-  touching the pool or the evaluator.
+  ``multiprocessing`` pipe, and
+  :class:`~repro.core.transport.SocketTransport` serves the identical
+  protocol from a standalone :mod:`repro.shard_server` over TCP or
+  Unix-domain sockets (``placement="socket"``), so shards can leave the
+  coordinator's host entirely.
+* Each worker also owns its *own* service-matrix store and solver
+  backend: the ``solve`` request routes best-response solves to the
+  shard that owns the peer, built from the worker's overlay with the
+  same stripped-Dijkstra + normalization pipeline the coordinator uses
+  — the bytes, and therefore the responses, are identical.
+* Broadcast fan-out is **pipelined**: the pool sends a broadcast
+  (``reset``/``rebind``/``sums``/``stats``) to all ``k`` transports
+  before collecting any reply, so a round trip costs one worker's
+  latency instead of ``k`` of them (``pool.pipelined = False`` restores
+  the sequential order for measurement; replies are collected in shard
+  order either way, so results cannot depend on the mode).
 
 Message protocol (one request/reply pair per call, strictly ordered per
 worker):
@@ -38,8 +52,10 @@ request        payload                                  reply payload
 ``"rebind"``   ``(peer, targets)``                      ``None``
 ``"rows"``     global row ids owned by this shard       ``(m, n)`` array
 ``"sums"``     —                                        ``(row sums, total)``
+``"solve"``    ``((peer, strategy), ...), alpha,        response tuple
+               method``
 ``"stats"``    —                                        counter dict
-``"ping"``     —                                        ``"pong"``
+``"ping"``     optional ``delay_s`` latency probe       ``"pong"``
 ``"stop"``     —                                        ``None`` (exits)
 =============  =======================================  ==============
 
@@ -56,15 +72,27 @@ is the deterministic, idempotent path.
 
 from __future__ import annotations
 
+import time
 import traceback
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backends import SolverBackend, resolve_backend
+from repro.core.best_response import (
+    BestResponseResult,
+    ServiceCosts,
+    best_response_from_service,
+    improvement_tolerance,
+    service_cost_rows,
+    service_costs_from_overlay,
+    strategy_cost,
+)
 from repro.core.costs import stretch_from_distance_rows
 from repro.core.evaluator import GameEvaluator
 from repro.core.profile import StrategyProfile
+from repro.core.service_store import make_store
 from repro.core.sharded import ShardPlan
 from repro.core.topology import overlay_from_matrix
 from repro.graphs.digraph import WeightedDigraph
@@ -81,12 +109,16 @@ __all__ = [
     "ShardTransport",
     "PipeTransport",
     "ShardWorkerPool",
+    "ShardSolverBackend",
     "PLACEMENT_SPECS",
 ]
 
 #: ``placement=`` spec strings accepted by the sharded evaluator (and
-#: therefore by the ``--shard-placement`` CLI flag).
-PLACEMENT_SPECS = ("local", "process")
+#: therefore by the ``--shard-placement`` CLI flag).  ``"socket"``
+#: places each shard behind a :mod:`repro.shard_server` connection (an
+#: auto-spawned same-host server by default, explicit ``shard_hosts``
+#: for multi-host fabrics).
+PLACEMENT_SPECS = ("local", "process", "socket")
 
 
 class ShardWorkerError(RuntimeError):
@@ -113,10 +145,13 @@ class _WorkerState:
         dmat: np.ndarray,
         backend: str,
         dynamic: bool = True,
+        solver: str = "serial",
+        solver_workers: int = 1,
     ) -> None:
         self.lo = lo
         self.hi = hi
         self.dmat = dmat
+        self.n = int(dmat.shape[0])
         self.backend = backend
         self.overlay: Optional[WeightedDigraph] = None
         self.block: Optional[np.ndarray] = None
@@ -131,6 +166,18 @@ class _WorkerState:
         self.vertices_repaired = 0
         self.full_fallbacks = 0
         self.resident_peak_bytes = 0
+        # Shard-side solver pool: this worker's own service-matrix store
+        # plus an in-process backend for the peers it owns (built lazily
+        # — workers that never see a "solve" pay nothing).
+        self.solver_spec = solver
+        self.solver_workers = solver_workers
+        self._solver: Optional[SolverBackend] = None
+        self._service_store = None
+        self._services: Dict[int, "_WorkerService"] = {}
+        self.service_builds = 0
+        self.service_rows_recomputed = 0
+        self.response_solves = 0
+        self.response_memo_hits = 0
 
     # -- profile sync ---------------------------------------------------
     def reset(self, strategies: Sequence[Tuple[int, ...]]) -> None:
@@ -142,6 +189,9 @@ class _WorkerState:
         if self.repairer is not None:
             self.repairer.reset()
         self.cursor = 0
+        self._services.clear()
+        if self._service_store is not None:
+            self._service_store.clear()
 
     def rebind(self, peer: int, targets: Tuple[int, ...]) -> None:
         overlay = self._require_overlay()
@@ -164,6 +214,14 @@ class _WorkerState:
             self.sums = None
             if self.block is not None:
                 self.dirty |= mine
+        # Service invalidation mirrors the coordinator's _rebind_single
+        # exactly: the rebound peer's own matrix stays fully valid
+        # (H_peer excludes its out-edges), every other cached matrix
+        # dirties the affected candidate rows.
+        for i, service in self._services.items():
+            if i == peer:
+                continue
+            service.dirty |= affected - {i}
 
     # -- queries --------------------------------------------------------
     def _require_overlay(self) -> WeightedDigraph:
@@ -221,6 +279,135 @@ class _WorkerState:
             self.sums = (stretch.sum(axis=1), float(stretch.sum()))
         return self.sums
 
+    # -- shard-side solver pool -----------------------------------------
+    def _solver_backend(self) -> SolverBackend:
+        if self._solver is None:
+            solver = resolve_backend(self.solver_spec, self.solver_workers)
+            if solver.distributed or solver.wants_tasks:
+                raise ValueError(
+                    f"shard-side solver must be 'serial' or 'thread', "
+                    f"got {self.solver_spec!r}"
+                )
+            self._solver = solver
+        return self._solver
+
+    def _store(self):
+        if self._service_store is None:
+            self._service_store = make_store("memory")
+        return self._service_store
+
+    def _service(self, peer: int) -> Tuple[ServiceCosts, "_WorkerService"]:
+        """The clean service matrix of ``peer`` (built/repaired on demand).
+
+        Built from this worker's overlay with the same stripped-overlay
+        Dijkstra + :func:`normalize_service_rows` pipeline as every
+        coordinator build path, so the bytes — and any solve over them —
+        are identical to a local computation.
+        """
+        overlay = self._require_overlay()
+        service = self._services.get(peer)
+        if service is None:
+            candidates = tuple(j for j in range(self.n) if j != peer)
+            if not candidates:
+                weights = service_costs_from_overlay(
+                    self.dmat, overlay, peer, self.backend
+                ).weights
+            else:
+                stripped = overlay.copy_without_out_edges(peer)
+                weights = service_cost_rows(
+                    self.dmat, stripped, peer, candidates, self.backend
+                )
+            self._store().put(peer, weights)
+            service = _WorkerService(candidates=candidates)
+            self._services[peer] = service
+            self.service_builds += 1
+        elif service.dirty:
+            self._repair_service(peer, service)
+        return (
+            ServiceCosts(peer, service.candidates, self._store().get(peer)),
+            service,
+        )
+
+    def _repair_service(self, peer: int, service: "_WorkerService") -> None:
+        row_of = {c: k for k, c in enumerate(service.candidates)}
+        sources = sorted(c for c in service.dirty if c in row_of)
+        service.dirty = set()
+        if not sources:
+            return
+        overlay = self._require_overlay()
+        stripped = overlay.copy_without_out_edges(peer)
+        fresh = service_cost_rows(
+            self.dmat, stripped, peer, sources, self.backend
+        )
+        rows = [row_of[c] for c in sources]
+        store = self._store()
+        old = store.get(peer)[rows]
+        store.write_rows(peer, rows, fresh)
+        self.service_rows_recomputed += len(rows)
+        if not np.array_equal(old, fresh):
+            # The memo's sound-reuse condition is "matrix bit-identical
+            # to memo time"; a repair that changed bytes voids it.
+            service.memo = None
+
+    def solve(
+        self, items: Sequence[Tuple[int, Tuple[int, ...]]], alpha, method: str
+    ) -> Tuple:
+        """Best responses for owned peers, solved against local matrices.
+
+        Memoized like the coordinator's unchanged-matrix reuse path: a
+        stored response survives exactly while the peer's matrix stays
+        bit-identical, and is re-scored against the peer's *current*
+        strategy with the shared tolerance/tie-breaking — so a memo hit
+        returns the same result a fresh solve would.
+        """
+        alpha = float(alpha)
+        peers = [int(peer) for peer, _ in items]
+        strategies = {int(peer): tuple(s) for peer, s in items}
+        services = {peer: self._service(peer) for peer in peers}
+        results: Dict[int, BestResponseResult] = {}
+        to_solve: List[int] = []
+        for peer in peers:
+            view, service = services[peer]
+            memo = service.memo
+            if (
+                memo is not None
+                and memo[0] == method
+                and service.candidates
+            ):
+                current = sorted(strategies[peer])
+                current_cost = strategy_cost(view, current, alpha)
+                opt_cost = memo[2]
+                self.response_memo_hits += 1
+                if opt_cost < current_cost - improvement_tolerance(
+                    current_cost
+                ):
+                    results[peer] = BestResponseResult(
+                        peer, memo[1], opt_cost, current_cost, True, method
+                    )
+                else:
+                    results[peer] = BestResponseResult(
+                        peer,
+                        frozenset(current),
+                        current_cost,
+                        current_cost,
+                        False,
+                        method,
+                    )
+            else:
+                to_solve.append(peer)
+
+        def solve_local(peer: int) -> BestResponseResult:
+            return best_response_from_service(
+                services[peer][0], strategies[peer], alpha, method
+            )
+
+        solved = self._solver_backend().run_solves(to_solve, solve_local)
+        self.response_solves += len(to_solve)
+        for peer, response in zip(to_solve, solved):
+            services[peer][1].memo = (method, response.strategy, response.cost)
+            results[peer] = response
+        return tuple(results[peer] for peer in peers)
+
     def stats(self) -> Dict[str, int]:
         return {
             "shard_rows": self.hi - self.lo,
@@ -230,7 +417,70 @@ class _WorkerState:
             "full_fallbacks": self.full_fallbacks,
             "resident_bytes": 0 if self.block is None else self.block.nbytes,
             "resident_peak_bytes": self.resident_peak_bytes,
+            "service_builds": self.service_builds,
+            "service_rows_recomputed": self.service_rows_recomputed,
+            "service_resident_bytes": (
+                0
+                if self._service_store is None
+                else self._service_store.resident_bytes()
+            ),
+            "response_solves": self.response_solves,
+            "response_memo_hits": self.response_memo_hits,
         }
+
+
+class _WorkerService:
+    """Cache bookkeeping for one owned peer's service matrix."""
+
+    __slots__ = ("candidates", "dirty", "memo")
+
+    def __init__(self, candidates: Tuple[int, ...]):
+        self.candidates = candidates
+        self.dirty: set = set()
+        #: ``(method, strategy, cost)`` of the last solve, valid while
+        #: the matrix stays bit-identical (cleared on changed repairs).
+        self.memo: Optional[Tuple[str, frozenset, float]] = None
+
+
+def serve_request(state: _WorkerState, message: Tuple) -> Tuple[Tuple, bool]:
+    """Serve one protocol request against ``state``.
+
+    Returns ``(reply, stop)`` where ``reply`` is the ``("ok", payload)``
+    / ``("error", traceback)`` pair to put on the wire and ``stop``
+    signals an orderly shutdown.  Shared verbatim by the pipe worker
+    loop and the socket server (:mod:`repro.shard_server`), so the two
+    placements cannot drift apart protocol-wise.
+    """
+    kind = message[0]
+    try:
+        if kind == "stop":
+            return ("ok", None), True
+        if kind == "reset":
+            reply = state.reset(message[1])
+        elif kind == "rebind":
+            reply = state.rebind(message[1], message[2])
+        elif kind == "rows":
+            reply = state.rows(message[1])
+        elif kind == "sums":
+            reply = state.stretch_sums()
+        elif kind == "solve":
+            reply = state.solve(message[1], message[2], message[3])
+        elif kind == "stats":
+            reply = state.stats()
+        elif kind == "ping":
+            # Optional latency probe: ``("ping", delay_s)`` holds the
+            # reply for ``delay_s`` seconds worker-side.  Stands in for
+            # cross-host wire latency in fan-out benchmarks (each shard
+            # delays concurrently, so pipelined broadcasts overlap it)
+            # and for stall-injection in liveness tests.
+            if len(message) > 1 and message[1]:
+                time.sleep(float(message[1]))
+            reply = "pong"
+        else:
+            raise ValueError(f"unknown shard-worker request {kind!r}")
+        return ("ok", reply), False
+    except Exception:  # noqa: BLE001 - forwarded to the coordinator
+        return ("error", traceback.format_exc()), False
 
 
 def _worker_main(
@@ -248,28 +498,10 @@ def _worker_main(
             message = conn.recv()
         except (EOFError, OSError):  # coordinator went away
             return
-        kind = message[0]
-        try:
-            if kind == "stop":
-                conn.send(("ok", None))
-                return
-            if kind == "reset":
-                reply = state.reset(message[1])
-            elif kind == "rebind":
-                reply = state.rebind(message[1], message[2])
-            elif kind == "rows":
-                reply = state.rows(message[1])
-            elif kind == "sums":
-                reply = state.stretch_sums()
-            elif kind == "stats":
-                reply = state.stats()
-            elif kind == "ping":
-                reply = "pong"
-            else:
-                raise ValueError(f"unknown shard-worker request {kind!r}")
-            conn.send(("ok", reply))
-        except Exception:  # noqa: BLE001 - forwarded to the coordinator
-            conn.send(("error", traceback.format_exc()))
+        reply, stop = serve_request(state, message)
+        conn.send(reply)
+        if stop:
+            return
 
 
 # ----------------------------------------------------------------------
@@ -279,14 +511,28 @@ class ShardTransport:
     """One ordered request/reply channel to a shard worker.
 
     The seam that keeps the *placement* of a shard separate from how
-    messages reach it: :class:`PipeTransport` is the in-host default; a
-    socket transport serving the same request/reply protocol can slot in
-    without touching :class:`ShardWorkerPool` or the evaluator.
+    messages reach it: :class:`PipeTransport` is the in-host default and
+    :class:`~repro.core.transport.SocketTransport` serves the same
+    protocol from a standalone server, without touching
+    :class:`ShardWorkerPool` or the evaluator.
+
+    ``request`` is split into :meth:`send` / :meth:`recv` halves so the
+    pool can *pipeline* a broadcast — send to every worker, then collect
+    every reply — instead of serializing ``k`` full round trips.
     """
+
+    def send(self, message: Tuple) -> None:
+        """Put one request on the wire without waiting for its reply."""
+        raise NotImplementedError
+
+    def recv(self):
+        """Block for the next pending reply's payload (or raise)."""
+        raise NotImplementedError
 
     def request(self, message: Tuple):
         """Send ``message``, block for the reply payload (or raise)."""
-        raise NotImplementedError
+        self.send(message)
+        return self.recv()
 
     def close(self) -> None:
         """Tear the channel (and any owned worker) down; idempotent."""
@@ -330,9 +576,17 @@ class PipeTransport(ShardTransport):
         self._process.start()
         child.close()  # the worker holds its own copy of the fd
 
-    def request(self, message: Tuple):
+    def send(self, message: Tuple) -> None:
         try:
             self._conn.send(message)
+        except (EOFError, OSError, BrokenPipeError) as error:
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} died mid-request "
+                f"({type(error).__name__})"
+            ) from error
+
+    def recv(self):
+        try:
             kind, payload = self._conn.recv()
         except (EOFError, OSError) as error:
             raise ShardWorkerError(
@@ -387,9 +641,16 @@ class ShardWorkerPool:
         backend: str = "auto",
         transport_factory=PipeTransport,
         dynamic_repair: bool = True,
+        pipelined: bool = True,
     ) -> None:
         self._plan = plan
         self._n = plan.n
+        #: Public toggle: pipelined fan-out (send to all k workers, then
+        #: collect all k replies) vs strict request-by-request rounds.
+        #: Replies are gathered in shard order either way, so every
+        #: result — and every trajectory — is identical in both modes;
+        #: the sequential mode exists as the e18 latency baseline.
+        self.pipelined = pipelined
         transports: List[ShardTransport] = []
         try:
             for shard in range(plan.k):
@@ -400,16 +661,21 @@ class ShardWorkerPool:
         except Exception:
             for transport in transports:
                 transport.close()
+            _close_factory(transport_factory)
             raise
         self._transports = transports
         self._finalizer = weakref.finalize(
-            self, ShardWorkerPool._shutdown, transports
+            self, ShardWorkerPool._shutdown, transports, transport_factory
         )
 
     @staticmethod
-    def _shutdown(transports: List[ShardTransport]) -> None:
+    def _shutdown(transports: List[ShardTransport], factory=None) -> None:
         for transport in transports:
             transport.close()
+        # Stateful factories (the socket launcher) own placement-level
+        # resources — an auto-spawned server process, its socket file —
+        # that outlive any one transport; reap them after the workers.
+        _close_factory(factory)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -447,16 +713,67 @@ class ShardWorkerPool:
         """Splice one peer's new out-edges into every worker's overlay."""
         self._broadcast(("rebind", peer, tuple(sorted(targets))))
 
-    def _broadcast(self, message: Tuple) -> None:
-        for transport in self._transports:
-            transport.request(message)
+    def ping(self, delay: float = 0.0) -> None:
+        """One no-op round trip to every worker (liveness / latency).
+
+        ``delay`` holds each worker's reply for that many seconds — a
+        stand-in for cross-host wire latency: the workers delay
+        concurrently, so a pipelined broadcast pays it once while a
+        sequential one pays it ``k`` times.
+        """
+        self._broadcast(("ping", float(delay)) if delay else ("ping",))
+
+    def _exchange(self, requests: Sequence[Tuple[ShardTransport, Tuple]]):
+        """Run one request per listed transport, replies in list order.
+
+        Pipelined (default): every request goes on the wire before any
+        reply is collected, so the wall-clock cost is one worker's
+        round trip plus the slowest handler — not the sum of ``k`` round
+        trips.  When a worker fails mid-exchange the remaining streams
+        are still drained (each transport sees a complete send/recv pair
+        or is dead), then the first error is re-raised.
+        """
+        if not self.pipelined:
+            return [
+                transport.request(message) for transport, message in requests
+            ]
+        failure: Optional[ShardWorkerError] = None
+        sent: List[Optional[ShardTransport]] = []
+        for transport, message in requests:
+            try:
+                transport.send(message)
+                sent.append(transport)
+            except ShardWorkerError as error:
+                if failure is None:
+                    failure = error
+                sent.append(None)
+        replies = []
+        for transport in sent:
+            if transport is None:
+                replies.append(None)
+                continue
+            try:
+                replies.append(transport.recv())
+            except ShardWorkerError as error:
+                if failure is None:
+                    failure = error
+                replies.append(None)
+        if failure is not None:
+            raise failure
+        return replies
+
+    def _broadcast(self, message: Tuple):
+        return self._exchange(
+            [(transport, message) for transport in self._transports]
+        )
 
     # -- data plane -----------------------------------------------------
     def rows(self, peers: Sequence[int]) -> np.ndarray:
-        """The requested distance rows, gathered shard by shard.
+        """The requested distance rows, gathered from their owner shards.
 
         Returns a fresh caller-owned ``(len(peers), n)`` array in
-        ``peers`` order; only the requested rows cross the transport.
+        ``peers`` order; only the requested rows cross the transport,
+        and the per-shard requests fan out pipelined.
         """
         peers = list(peers)
         out = np.empty((len(peers), self._n), dtype=np.float64)
@@ -465,12 +782,21 @@ class ShardWorkerPool:
             if not 0 <= peer < self._n:
                 raise IndexError(f"peer {peer} out of range [0, {self._n})")
             by_shard.setdefault(self._plan.owner(peer), []).append(position)
-        for shard in sorted(by_shard):
-            positions = by_shard[shard]
-            fetched = self._transports[shard].request(
-                ("rows", [peers[position] for position in positions])
-            )
-            for row, position in enumerate(positions):
+        shards = sorted(by_shard)
+        replies = self._exchange(
+            [
+                (
+                    self._transports[shard],
+                    (
+                        "rows",
+                        [peers[position] for position in by_shard[shard]],
+                    ),
+                )
+                for shard in shards
+            ]
+        )
+        for shard, fetched in zip(shards, replies):
+            for row, position in enumerate(by_shard[shard]):
                 out[position] = fetched[row]
         return out
 
@@ -482,14 +808,141 @@ class ShardWorkerPool:
         """
         return self._transports[shard].request(("sums",))
 
+    def stretch_sums_all(
+        self, shards: Optional[Sequence[int]] = None
+    ) -> Dict[int, Tuple[np.ndarray, float]]:
+        """The ``sums`` reductions of several shards, fanned out at once.
+
+        The cost-query prefetch path: after a reset/rebind every shard's
+        sum cache is stale, and collecting all of them in one pipelined
+        broadcast overlaps the k workers' block builds.
+        """
+        shards = (
+            list(range(self._plan.k)) if shards is None else sorted(shards)
+        )
+        replies = self._exchange(
+            [(self._transports[shard], ("sums",)) for shard in shards]
+        )
+        return dict(zip(shards, replies))
+
+    def solve(
+        self,
+        items: Sequence[Tuple[int, Tuple[int, ...]]],
+        alpha: float,
+        method: str,
+    ) -> List[BestResponseResult]:
+        """Best responses for ``items``, solved by each peer's owner shard.
+
+        ``items`` holds ``(peer, current_strategy)`` pairs; results come
+        back in ``items`` order.  Only strategies and responses cross
+        the wire — each worker builds and caches the service matrices of
+        the peers it owns (see :meth:`_WorkerState.solve`).
+        """
+        items = [(int(peer), tuple(strategy)) for peer, strategy in items]
+        by_shard: Dict[int, List[int]] = {}
+        for position, (peer, _strategy) in enumerate(items):
+            if not 0 <= peer < self._n:
+                raise IndexError(f"peer {peer} out of range [0, {self._n})")
+            by_shard.setdefault(self._plan.owner(peer), []).append(position)
+        shards = sorted(by_shard)
+        replies = self._exchange(
+            [
+                (
+                    self._transports[shard],
+                    (
+                        "solve",
+                        tuple(items[position] for position in by_shard[shard]),
+                        float(alpha),
+                        method,
+                    ),
+                )
+                for shard in shards
+            ]
+        )
+        out: List[Optional[BestResponseResult]] = [None] * len(items)
+        for shard, solved in zip(shards, replies):
+            for row, position in enumerate(by_shard[shard]):
+                out[position] = solved[row]
+        return out
+
     def worker_stats(self) -> List[Dict[str, int]]:
         """Per-worker counters (builds, repairs, resident block bytes)."""
-        return [
-            transport.request(("stats",)) for transport in self._transports
-        ]
+        return self._broadcast(("stats",))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardWorkerPool(k={self._plan.k}, n={self._n}, "
             f"closed={self.closed})"
+        )
+
+
+def _close_factory(factory) -> None:
+    """Close a stateful transport factory (classes have nothing to own)."""
+    if factory is None or isinstance(factory, type):
+        return
+    close = getattr(factory, "close", None)
+    if callable(close):
+        close()
+
+
+# ----------------------------------------------------------------------
+# Shard-side solver backend
+# ----------------------------------------------------------------------
+class ShardSolverBackend(SolverBackend):
+    """Route gain-sweep solves to the shard workers that own the peers.
+
+    The ``backend="shard"`` spec: instead of building every service
+    matrix in the coordinator and shipping store handles to a solver
+    pool, the sweep ships each peer's ``(peer, strategy)`` task to the
+    worker that owns the peer's row block; the worker builds, caches and
+    row-repairs that peer's matrix locally and solves through its own
+    in-worker backend.  The coordinator then holds *no* service matrices
+    for swept peers at all — solves co-locate with the shard fabric.
+
+    Resolution is two-phase because drivers resolve backends at
+    construction time, before any evaluator exists: the instance starts
+    unbound, and the sharded evaluator binds its live worker pool on
+    each sweep (:meth:`~repro.core.sharded.ShardedEvaluator.
+    _resolve_solver_backend`).  Plain evaluators reject the spec with a
+    clear error instead of silently solving locally.
+    """
+
+    name = "shard"
+    distributed = False
+    wants_tasks = True
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ShardWorkerPool] = None
+
+    @property
+    def pool(self) -> Optional[ShardWorkerPool]:
+        return self._pool
+
+    def bind_pool(self, pool: ShardWorkerPool) -> None:
+        """Point the backend at the evaluator's live worker pool."""
+        self._pool = pool
+
+    def run_solves(
+        self,
+        peers: Sequence[int],
+        solve_local,
+        make_task=None,
+    ) -> List[BestResponseResult]:
+        if not peers:
+            return []
+        if make_task is None:
+            # No task channel (e.g. a direct best_response call): solve
+            # locally — same pure function, same bytes, same results.
+            return [solve_local(peer) for peer in peers]
+        if self._pool is None or self._pool.closed:
+            raise ShardWorkerError(
+                "shard solver backend has no live worker pool; use a "
+                "ShardedEvaluator with shard_placement 'process' or "
+                "'socket'"
+            )
+        tasks = [make_task(peer) for peer in peers]
+        alpha, method = tasks[0][3], tasks[0][4]
+        return self._pool.solve(
+            [(task[1], task[2]) for task in tasks], alpha, method
         )

@@ -88,6 +88,7 @@ def check_shard_options(
     shards: Optional[int],
     placement: Optional[str] = None,
     max_resident_shards: Optional[int] = None,
+    shard_hosts: Optional[Sequence[str]] = None,
 ) -> None:
     """Validate the shard-tuning knobs shared by dynamics/engine/churn.
 
@@ -111,6 +112,16 @@ def check_shard_options(
                 "shard_placement requires shards= (there is nothing to "
                 "place without a shard count)"
             )
+    if shard_hosts is not None and len(list(shard_hosts)) > 0:
+        if placement != "socket":
+            raise ValueError(
+                "shard_hosts requires shard_placement='socket' (hosts "
+                "name the shard servers socket placement connects to)"
+            )
+        from repro.core.transport import parse_address
+
+        for host in shard_hosts:
+            parse_address(host)  # fail fast on malformed specs
     if max_resident_shards is not None:
         if max_resident_shards < 1:
             raise ValueError(
@@ -135,6 +146,7 @@ def build_sharded_evaluator(
     shards: int,
     placement: Optional[str] = None,
     max_resident_shards: Optional[int] = None,
+    shard_hosts: Optional[Sequence[str]] = None,
     store="memory",
 ) -> "ShardedEvaluator":
     """A :class:`ShardedEvaluator` from the optional driver-level knobs.
@@ -144,7 +156,7 @@ def build_sharded_evaluator(
     every layer (dynamics, engine, churn, ``make_evaluator``) builds
     identical evaluators from identical flags.
     """
-    check_shard_options(shards, placement, max_resident_shards)
+    check_shard_options(shards, placement, max_resident_shards, shard_hosts)
     return ShardedEvaluator(
         game,
         profile,
@@ -154,6 +166,7 @@ def build_sharded_evaluator(
             1 if max_resident_shards is None else max_resident_shards
         ),
         placement="local" if placement is None else placement,
+        shard_hosts=shard_hosts,
     )
 
 
@@ -538,14 +551,23 @@ class ShardedEvaluator(GameEvaluator):
         exactly its own block, which *is* the per-process bound.
     placement:
         Where the distance row blocks live: ``"local"`` (default — in
-        this process, LRU-bounded by ``max_resident_shards``) or
+        this process, LRU-bounded by ``max_resident_shards``),
         ``"process"`` — one long-lived worker process per shard
         (:class:`~repro.core.shard_workers.ShardWorkerPool`) serving
         ``distance_rows`` and O(n/k) stretch reductions over a narrow
         request/reply transport, so the coordinator process holds *no*
-        distance blocks at all.  Strategic queries are identical either
-        way (they never touch the distance layer); cost queries stream
-        the same per-shard reductions, computed from the same bytes.
+        distance blocks at all — or ``"socket"``, the same worker pool
+        behind :class:`~repro.core.transport.SocketTransport`
+        connections to standalone :mod:`repro.shard_server` processes
+        (auto-spawned on this host by default; see ``shard_hosts``).
+        Strategic queries are identical in every placement (they never
+        touch the distance layer); cost queries stream the same
+        per-shard reductions, computed from the same bytes.
+    shard_hosts:
+        Socket placement only: ``"host:port"`` / ``"unix:/path"``
+        addresses of running shard servers; shards round-robin across
+        them.  ``None`` (default) auto-spawns one private same-host
+        server, so no external setup is needed.
     dynamic_repair:
         Inherited switch (see :class:`~repro.core.evaluator.
         GameEvaluator`): when True the resident row blocks — local ones
@@ -571,6 +593,7 @@ class ShardedEvaluator(GameEvaluator):
         shards: int = 2,
         max_resident_shards: int = 1,
         placement: str = "local",
+        shard_hosts: Optional[Sequence[str]] = None,
         dynamic_repair: bool = True,
     ) -> None:
         from repro.core.shard_workers import PLACEMENT_SPECS
@@ -579,6 +602,11 @@ class ShardedEvaluator(GameEvaluator):
             raise ValueError(
                 f"unknown shard placement {placement!r}; expected one of "
                 f"{PLACEMENT_SPECS}"
+            )
+        if shard_hosts and placement != "socket":
+            raise ValueError(
+                "shard_hosts requires shard_placement='socket' (hosts "
+                "name the shard servers socket placement connects to)"
             )
         if max_resident_shards < 1:
             raise ValueError(
@@ -602,13 +630,20 @@ class ShardedEvaluator(GameEvaluator):
             store=_sharded_store(plan, store),
             dynamic_repair=dynamic_repair,
         )
-        if placement == "process":
-            from repro.core.shard_workers import ShardWorkerPool
+        if placement in ("process", "socket"):
+            from repro.core.shard_workers import PipeTransport, ShardWorkerPool
 
+            if placement == "socket":
+                from repro.core.transport import SocketTransportFactory
+
+                factory = SocketTransportFactory(shard_hosts)
+            else:
+                factory = PipeTransport
             self._worker_pool = ShardWorkerPool(
                 plan,
                 game.distance_matrix,
                 backend,
+                transport_factory=factory,
                 dynamic_repair=dynamic_repair,
             )
         else:
@@ -635,13 +670,35 @@ class ShardedEvaluator(GameEvaluator):
 
     @property
     def placement(self) -> str:
-        """Where the distance blocks live: ``"local"`` or ``"process"``."""
+        """Where the blocks live: ``"local"``/``"process"``/``"socket"``."""
         return self._placement
 
     @property
     def worker_pool(self):
         """The shard worker pool (``None`` under local placement)."""
         return self._worker_pool
+
+    def _resolve_solver_backend(self, backend, workers: int):
+        """Bind the ``"shard"`` backend spec to this evaluator's pool.
+
+        Drivers resolve backends at construction time, before any
+        evaluator (or worker pool) exists, so a
+        :class:`~repro.core.shard_workers.ShardSolverBackend` arrives
+        unbound; binding per sweep also keeps it correct across the
+        per-epoch evaluators churn builds.
+        """
+        from repro.core.backends import resolve_backend
+
+        resolved = resolve_backend(backend, workers)
+        if getattr(resolved, "wants_tasks", False):
+            if self._worker_pool is None:
+                raise ValueError(
+                    "backend 'shard' routes solves to shard workers; "
+                    "build the evaluator with shard_placement 'process' "
+                    "or 'socket'"
+                )
+            resolved.bind_pool(self._worker_pool)
+        return resolved
 
     def shard_worker_stats(self) -> Optional[List[Dict[str, int]]]:
         """Per-worker distance counters, or ``None`` under local placement.
@@ -748,6 +805,25 @@ class ShardedEvaluator(GameEvaluator):
             self._shard_sums[shard] = cached
         return cached
 
+    def _prefetch_stretch_sums(self) -> None:
+        """Refill every stale shard-sum cache in one pipelined fan-out.
+
+        Worker placements only: a full cost query after a reset/rebind
+        needs all ``k`` reductions anyway, and one broadcast overlaps
+        the workers' block builds instead of serializing them.
+        """
+        if self._worker_pool is None:
+            return
+        stale = [
+            shard
+            for shard in range(self._plan.k)
+            if self._shard_sums[shard] is None
+        ]
+        if not stale:
+            return
+        for shard, sums in self._worker_pool.stretch_sums_all(stale).items():
+            self._shard_sums[shard] = sums
+
     def social_cost(self) -> CostBreakdown:
         """Social cost, streamed one shard block at a time.
 
@@ -759,6 +835,7 @@ class ShardedEvaluator(GameEvaluator):
         module docstring.
         """
         profile = self.profile
+        self._prefetch_stretch_sums()
         stretch_total = 0.0
         for shard in range(self._plan.k):
             stretch_total += self._shard_stretch_sums(shard)[1]
@@ -780,6 +857,7 @@ class ShardedEvaluator(GameEvaluator):
         )
         if self._n == 0:
             return degrees
+        self._prefetch_stretch_sums()
         sums = np.concatenate(
             [
                 self._shard_stretch_sums(shard)[0]

@@ -73,7 +73,14 @@ class ExperimentResult:
 #: Any other unknown parameter still raises ``TypeError`` as before, so
 #: a mistyped override cannot silently run the default workload.
 HARNESS_PARAMS = frozenset(
-    {"workers", "backend", "shards", "shard_placement", "max_resident_shards"}
+    {
+        "workers",
+        "backend",
+        "shards",
+        "shard_placement",
+        "max_resident_shards",
+        "shard_hosts",
+    }
 )
 
 

@@ -55,6 +55,7 @@ def run(
     shards=None,
     shard_placement=None,
     max_resident_shards=None,
+    shard_hosts=None,
 ) -> ExperimentResult:
     """Convergence statistics on random instances vs the witness.
 
@@ -66,15 +67,19 @@ def run(
     ``--backend process``.  ``shards`` runs every dynamics pass on a
     :class:`~repro.core.sharded.ShardedEvaluator` with that many
     row-block shards; ``shard_placement="process"`` additionally moves
-    each shard's distance block into its own worker process, and
+    each shard's distance block into its own worker process,
+    ``shard_placement="socket"`` hosts those workers behind
+    :mod:`repro.shard_server` processes (``shard_hosts`` names the
+    servers, ``None`` auto-spawns one same-host), and
     ``max_resident_shards`` budgets the locally resident blocks
     (identical results; the CLI's ``--shards`` /
-    ``--shard-placement`` / ``--max-resident-shards`` smoke surface).
+    ``--shard-placement`` / ``--shard-hosts`` /
+    ``--max-resident-shards`` smoke surface).
     """
     from repro.core.backends import resolve_backend
     from repro.core.sharded import check_shard_options
 
-    check_shard_options(shards, shard_placement, max_resident_shards)
+    check_shard_options(shards, shard_placement, max_resident_shards, shard_hosts)
     if shards is not None and shards > n:
         raise ValueError(
             f"shards={shards} exceeds this experiment's population "
@@ -100,6 +105,7 @@ def run(
                     shards=shards,
                     shard_placement=shard_placement,
                     max_resident_shards=max_resident_shards,
+                    shard_hosts=shard_hosts,
                 ) as dynamics:
                     result = dynamics.run(max_rounds=max_rounds)
                 if result.converged:
@@ -140,6 +146,7 @@ def run(
                 shards=shards,
                 shard_placement=shard_placement,
                 max_resident_shards=max_resident_shards,
+                shard_hosts=shard_hosts,
             ) as dynamics:
                 result = dynamics.run(
                     initial=witness.random_profile(0.4, seed=seed),
@@ -192,5 +199,6 @@ def run(
             "shards": shards,
             "shard_placement": shard_placement,
             "max_resident_shards": max_resident_shards,
+            "shard_hosts": list(shard_hosts) if shard_hosts else None,
         },
     )

@@ -112,14 +112,20 @@ class ChurnSimulation:
         epoch's population, so small epochs still work).  Epoch
         trajectories are identical for every shard count.
     shard_placement:
-        ``"local"`` (default) or ``"process"`` — each epoch's sharded
+        ``"local"`` (default), ``"process"`` — each epoch's sharded
         evaluator places its distance blocks in per-shard worker
         processes (:mod:`repro.core.shard_workers`), torn down at the
-        end of the epoch.  Identical trajectories; requires ``shards``.
+        end of the epoch — or ``"socket"`` — the same workers behind
+        :mod:`repro.shard_server` processes reached over TCP/Unix
+        sockets.  Identical trajectories; requires ``shards``.
     max_resident_shards:
         Resident row-block budget of each epoch's sharded evaluator
         (local placement; default 1).  Requires ``shards`` and must not
         exceed it.
+    shard_hosts:
+        Socket placement only: shard-server addresses
+        (``"host:port"`` / ``"unix:/path"``) to round-robin each
+        epoch's shards across; ``None`` auto-spawns a same-host server.
 
     The simulation owns any backend resolved from a spec string, so it
     is a context manager: ``close()`` — or leaving the ``with`` block —
@@ -142,6 +148,7 @@ class ChurnSimulation:
         shards: Optional[int] = None,
         shard_placement: Optional[str] = None,
         max_resident_shards: Optional[int] = None,
+        shard_hosts=None,
     ) -> None:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
@@ -155,7 +162,9 @@ class ChurnSimulation:
                 f"activation must be 'sequential' or 'batched', "
                 f"got {activation!r}"
             )
-        check_shard_options(shards, shard_placement, max_resident_shards)
+        check_shard_options(
+            shards, shard_placement, max_resident_shards, shard_hosts
+        )
         if shards is not None:
             if not incremental:
                 raise ValueError(
@@ -166,6 +175,7 @@ class ChurnSimulation:
         self._shards = shards
         self._shard_placement = shard_placement
         self._max_resident_shards = max_resident_shards
+        self._shard_hosts = shard_hosts
         self._owns_backend = not isinstance(backend, SolverBackend)
         self._metric = metric
         self._alpha = float(alpha)
@@ -301,6 +311,7 @@ class ChurnSimulation:
                     shards=self._shards,
                     placement=self._shard_placement,
                     max_resident_shards=self._max_resident_shards,
+                    shard_hosts=self._shard_hosts,
                 )
             else:
                 evaluator = GameEvaluator(subgame, sub, store=store)

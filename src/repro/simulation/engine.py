@@ -127,14 +127,20 @@ class SimulationEngine:
         Trajectories are identical for every shard count.  Mutually
         exclusive with ``evaluator``.
     shard_placement:
-        ``"local"`` (default) or ``"process"`` — place the sharded
+        ``"local"`` (default), ``"process"`` — place the sharded
         evaluator's distance blocks in one worker process per shard
-        (:mod:`repro.core.shard_workers`).  Identical trajectories;
-        requires ``shards``.
+        (:mod:`repro.core.shard_workers`) — or ``"socket"`` — the same
+        workers behind :mod:`repro.shard_server` processes reached over
+        TCP/Unix sockets (auto-spawned same-host by default).
+        Identical trajectories; requires ``shards``.
     max_resident_shards:
         Resident row-block budget of the owned sharded evaluator
         (local placement; default 1).  Requires ``shards`` and must not
         exceed it.
+    shard_hosts:
+        Socket placement only: shard-server addresses
+        (``"host:port"`` / ``"unix:/path"``) to round-robin shards
+        across; ``None`` auto-spawns a same-host server.
 
     The engine owns the sharded evaluator and any backend resolved from
     a spec string, so it is a context manager: ``close()`` — or leaving
@@ -155,11 +161,14 @@ class SimulationEngine:
         shards: Optional[int] = None,
         shard_placement: Optional[str] = None,
         max_resident_shards: Optional[int] = None,
+        shard_hosts=None,
     ) -> None:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
 
-        check_shard_options(shards, shard_placement, max_resident_shards)
+        check_shard_options(
+            shards, shard_placement, max_resident_shards, shard_hosts
+        )
         if shards is not None:
             if evaluator is not None:
                 raise ValueError(
@@ -184,6 +193,7 @@ class SimulationEngine:
         self._shards = shards
         self._shard_placement = shard_placement
         self._max_resident_shards = max_resident_shards
+        self._shard_hosts = shard_hosts
         self._owned_evaluator: Optional["GameEvaluator"] = None
 
     def close(self) -> None:
@@ -224,6 +234,7 @@ class SimulationEngine:
                     shards=self._shards,
                     placement=self._shard_placement,
                     max_resident_shards=self._max_resident_shards,
+                    shard_hosts=self._shard_hosts,
                 )
             return self._owned_evaluator
         return self._game.evaluator

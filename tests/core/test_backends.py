@@ -66,7 +66,7 @@ class TestResolveBackend:
 
     def test_spec_names_are_stable(self):
         # The CLI exposes exactly these.
-        assert BACKEND_SPECS == ("serial", "thread", "process")
+        assert BACKEND_SPECS == ("serial", "thread", "process", "shard")
         for spec in BACKEND_SPECS:
             assert resolve_backend(spec, 2).name == spec
 

@@ -11,6 +11,10 @@ blocks; and the worker lifecycle must be leak-proof (daemonic processes,
 finalizer safety net, idempotent close).
 """
 
+import glob
+import os
+import tempfile
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -28,9 +32,11 @@ from repro.core.sharded import (
 )
 from repro.core.shard_workers import (
     PLACEMENT_SPECS,
+    ShardSolverBackend,
     ShardWorkerError,
     ShardWorkerPool,
 )
+from repro.core.transport import SocketTransportFactory
 from repro.metrics.euclidean import EuclideanMetric
 from repro.simulation.churn import ChurnSimulation
 from repro.simulation.engine import SimulationEngine
@@ -230,11 +236,15 @@ class TestPlacementIdentity:
 
     def test_placement_validation(self):
         game = _random_game(11, n=6)
-        assert PLACEMENT_SPECS == ("local", "process")
+        assert PLACEMENT_SPECS == ("local", "process", "socket")
         with pytest.raises(ValueError, match="placement"):
-            ShardedEvaluator(game, shards=2, placement="socket")
+            ShardedEvaluator(game, shards=2, placement="cloud")
         with pytest.raises(ValueError, match="max_resident_shards"):
             ShardedEvaluator(game, shards=2, max_resident_shards=0)
+        with pytest.raises(ValueError, match="shard_hosts"):
+            ShardedEvaluator(
+                game, shards=2, placement="process", shard_hosts=("h:1",)
+            )
 
     def test_local_placement_has_no_pool(self):
         game = _random_game(11, n=6)
@@ -412,3 +422,259 @@ class TestDriverValidation:
         assert evaluator.placement == "local"
         assert evaluator.num_shards == 3
         evaluator.close()
+
+
+def _leaked_shard_sockets():
+    return glob.glob(
+        os.path.join(tempfile.gettempdir(), "repro-shard-*.sock")
+    )
+
+
+class TestSocketPlacement:
+    """Socket placement: same protocol, same bytes, over a real socket."""
+
+    def test_pool_rows_and_sums_match_pipe_transport(self):
+        game = _random_game(20, n=13)
+        profile = game.random_profile(0.35, seed=8)
+        with ShardWorkerPool(
+            ShardPlan.build(game.n, 3), game.distance_matrix
+        ) as pipe_pool, ShardWorkerPool(
+            ShardPlan.build(game.n, 3),
+            game.distance_matrix,
+            transport_factory=SocketTransportFactory(),
+        ) as sock_pool:
+            for pool in (pipe_pool, sock_pool):
+                pool.reset(profile)
+            np.testing.assert_array_equal(
+                sock_pool.rows(range(game.n)), pipe_pool.rows(range(game.n))
+            )
+            for shard in range(3):
+                got = sock_pool.stretch_sums(shard)
+                expected = pipe_pool.stretch_sums(shard)
+                np.testing.assert_array_equal(got[0], expected[0])
+                assert got[1] == expected[1]
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_dynamics_identical_across_every_placement(self, shards):
+        game = _random_game(21, n=11, alpha=1.5)
+        reference = BestResponseDynamics(game).run(max_rounds=60)
+        for placement in ("local", "process", "socket"):
+            with BestResponseDynamics(
+                TopologyGame(game.metric, game.alpha),
+                shards=shards,
+                shard_placement=placement,
+            ) as dynamics:
+                result = dynamics.run(max_rounds=60)
+            assert result.profile.key() == reference.profile.key()
+            assert result.num_moves == reference.num_moves
+            assert result.stopped_reason == reference.stopped_reason
+
+    def test_churn_identical_with_socket_placement(self):
+        # Local placement at the same shard count is the reference: the
+        # per-shard summation order is then identical too, so even the
+        # social-cost scalars must match to the last ulp — any deviation
+        # is the transport's fault.
+        metric = EuclideanMetric.random_uniform(12, dim=2, seed=7)
+        with ChurnSimulation(
+            metric, alpha=1.0, seed=17, shards=2, shard_placement="local"
+        ) as local:
+            reference = local.run(epochs=5)
+        with ChurnSimulation(
+            metric,
+            alpha=1.0,
+            seed=17,
+            shards=2,
+            shard_placement="socket",
+        ) as sharded:
+            result = sharded.run(epochs=5)
+        assert result.final_profile.key() == reference.final_profile.key()
+        assert result.final_active == reference.final_active
+        for got, expected in zip(result.records, reference.records):
+            assert (got.moves, got.social_cost) == (
+                expected.moves,
+                expected.social_cost,
+            )
+
+    def test_sequential_fanout_identical_to_pipelined(self):
+        game = _random_game(22, n=12)
+        profile = game.random_profile(0.3, seed=9)
+        with ShardWorkerPool(
+            ShardPlan.build(game.n, 4), game.distance_matrix
+        ) as fast, ShardWorkerPool(
+            ShardPlan.build(game.n, 4), game.distance_matrix, pipelined=False
+        ) as slow:
+            assert fast.pipelined and not slow.pipelined
+            for pool in (fast, slow):
+                pool.reset(profile)
+                pool.rebind(2, (0, 5))
+            np.testing.assert_array_equal(
+                slow.rows(range(game.n)), fast.rows(range(game.n))
+            )
+            fast_sums = fast.stretch_sums_all()
+            slow_sums = slow.stretch_sums_all()
+            assert fast_sums.keys() == slow_sums.keys()
+            for shard in fast_sums:
+                np.testing.assert_array_equal(
+                    slow_sums[shard][0], fast_sums[shard][0]
+                )
+                assert slow_sums[shard][1] == fast_sums[shard][1]
+
+    def test_coordinator_resident_bytes_zero_under_socket_placement(self):
+        game = _random_game(23, n=18)
+        profile = game.random_profile(0.3, seed=10)
+        with ShardedEvaluator(
+            game, profile, shards=3, placement="socket"
+        ) as evaluator:
+            evaluator.peer_costs()
+            evaluator.social_cost()
+            evaluator.gain_sweep("greedy")
+            assert evaluator.stats.distance_resident_peak_bytes == 0
+            assert evaluator.stats.distance_block_builds == 0
+
+    def test_no_socket_files_leak(self):
+        before = set(_leaked_shard_sockets())
+        game = _random_game(24, n=8)
+        with ShardedEvaluator(
+            game,
+            game.random_profile(0.3, seed=14),
+            shards=2,
+            placement="socket",
+        ) as evaluator:
+            evaluator.social_cost()
+        leaked = set(_leaked_shard_sockets()) - before
+        assert not leaked, f"leaked socket files: {sorted(leaked)}"
+
+
+class TestShardSideSolves:
+    """``backend="shard"``: solves co-locate with the owning shard."""
+
+    @pytest.mark.parametrize("placement", ["process", "socket"])
+    def test_engine_identical_with_shard_backend(self, placement):
+        game = _random_game(25, n=13, alpha=1.0)
+        reference = SimulationEngine(
+            game, method="greedy", activation="max-gain"
+        ).run(max_rounds=30)
+        with SimulationEngine(
+            TopologyGame(game.metric, game.alpha),
+            method="greedy",
+            activation="max-gain",
+            shards=3,
+            shard_placement=placement,
+            backend="shard",
+        ) as engine:
+            report = engine.run(max_rounds=30)
+            stats = engine.evaluator.stats
+        assert report.profile.key() == reference.profile.key()
+        assert report.moves == reference.moves
+        assert stats.distance_resident_peak_bytes == 0
+
+    def test_exact_sweep_identical_with_shard_backend(self):
+        game = _random_game(26, n=10)
+        profile = game.random_profile(0.4, seed=11)
+        reference = GameEvaluator(game, profile)
+        expected = _response_tuples(reference.gain_sweep("exact"))
+        with ShardedEvaluator(
+            game, profile, shards=2, placement="socket"
+        ) as evaluator:
+            got = _response_tuples(
+                evaluator.gain_sweep("exact", backend="shard")
+            )
+        assert got == expected
+
+    def test_workers_memoize_unchanged_matrices(self):
+        game = _random_game(27, n=10)
+        profile = game.random_profile(0.4, seed=12)
+        with ShardedEvaluator(
+            game, profile, shards=2, placement="process"
+        ) as evaluator:
+            evaluator.gain_sweep("greedy", backend="shard")
+            evaluator.gain_sweep("greedy", backend="shard")
+            stats = evaluator.shard_worker_stats()
+        total_solves = sum(s["response_solves"] for s in stats)
+        total_memo = sum(s["response_memo_hits"] for s in stats)
+        assert total_solves > 0
+        # Second sweep over an unchanged profile: every solve memoized.
+        assert total_memo >= game.n
+
+    def test_plain_evaluator_rejects_shard_backend(self):
+        game = _random_game(28, n=6)
+        evaluator = GameEvaluator(game, game.random_profile(0.3, seed=13))
+        with pytest.raises(ValueError, match="ShardedEvaluator"):
+            evaluator.gain_sweep("greedy", backend="shard")
+
+    def test_local_placement_rejects_shard_backend(self):
+        game = _random_game(28, n=6)
+        with ShardedEvaluator(game, shards=2) as evaluator:
+            with pytest.raises(ValueError, match="process.*socket"):
+                evaluator.gain_sweep("greedy", backend="shard")
+
+    def test_unbound_backend_has_a_clear_error(self):
+        backend = ShardSolverBackend()
+        assert backend.wants_tasks and not backend.distributed
+        with pytest.raises(ShardWorkerError, match="no live worker pool"):
+            backend.run_solves(
+                [0],
+                lambda peer: None,
+                make_task=lambda peer: (None, peer, (), 1.0, "greedy"),
+            )
+
+
+class TestSocketFailureHandling:
+    """A dead worker is a named error, never a hang or a leak."""
+
+    def test_killed_server_raises_named_shard_error(self):
+        game = _random_game(29, n=8)
+        factory = SocketTransportFactory()
+        pool = ShardWorkerPool(
+            ShardPlan.build(game.n, 2),
+            game.distance_matrix,
+            transport_factory=factory,
+        )
+        try:
+            pool.reset(game.empty_profile())
+            pool.ping()
+            factory._server.kill()
+            factory._server.wait()
+            with pytest.raises(ShardWorkerError, match="repro-shard-"):
+                for _ in range(3):  # first request after the kill must raise
+                    pool.rows(range(game.n))
+        finally:
+            pool.close()
+            factory.close()
+        assert pool.closed
+
+    def test_close_after_worker_death_reaps_everything(self):
+        before = set(_leaked_shard_sockets())
+        game = _random_game(30, n=8)
+        factory = SocketTransportFactory()
+        pool = ShardWorkerPool(
+            ShardPlan.build(game.n, 3),
+            game.distance_matrix,
+            transport_factory=factory,
+        )
+        pool.reset(game.empty_profile())
+        server = factory._server
+        server.kill()
+        server.wait()
+        with pytest.raises(ShardWorkerError):
+            pool.ping()
+        pool.close()  # survivors torn down, factory reaped
+        assert pool.closed
+        assert pool.alive_workers() == 0
+        assert server.poll() is not None
+        leaked = set(_leaked_shard_sockets()) - before
+        assert not leaked, f"leaked socket files: {sorted(leaked)}"
+
+    def test_pipe_worker_death_still_raises_named_error(self):
+        # The pipelined fan-out path must preserve PR 5's failure
+        # contract for pipe transports too.
+        game = _random_game(31, n=8)
+        pool = ShardWorkerPool(ShardPlan.build(game.n, 2), game.distance_matrix)
+        try:
+            pool.reset(game.empty_profile())
+            pool._transports[1]._process.kill()
+            pool._transports[1]._process.join()
+            with pytest.raises(ShardWorkerError, match="shard"):
+                pool.rows(range(game.n))
+        finally:
+            pool.close()
