@@ -1,0 +1,240 @@
+"""Open-loop load generator for the churn service (``repro serve``).
+
+Drives a running service with a seeded Poisson request stream —
+configurable arrival rate, request mix, duration/count, and number of
+concurrent client connections — then prints a one-line summary plus the
+server's own stats snapshot.  The request stream comes from
+:class:`repro.service.workload.WorkloadGenerator`, the same generator
+the e19 benchmark and the replay-identity tests use, so a load-gen run
+is reproducible from its seed.
+
+Usage::
+
+    PYTHONPATH=src python -m repro serve --listen unix:/tmp/churn.sock &
+    PYTHONPATH=src python scripts/load_gen.py unix:/tmp/churn.sock \
+        --rate 200 --duration 10 --seed 7
+    # or a fixed request count instead of a duration:
+    PYTHONPATH=src python scripts/load_gen.py unix:/tmp/churn.sock \
+        --count 500 --rate 0 --shutdown
+
+``--rate 0`` disables pacing (closed-loop: each client sends as fast as
+its replies return).  ``--shutdown`` stops the server when done — CI
+uses it for a clean teardown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.service.requests import (
+    RequestFailed,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.server import ServiceClient
+from repro.service.workload import DEFAULT_MIX, WorkloadGenerator, WorkloadMix
+
+
+def run_client(
+    address: str,
+    requests,
+    gaps,
+    counters: dict,
+    lock: threading.Lock,
+) -> None:
+    """One client connection sending its slice of the stream."""
+    ok = failed = shed = errors = 0
+    try:
+        with ServiceClient(address) as client:
+            start = time.perf_counter()
+            elapsed_target = 0.0
+            for request, gap in zip(requests, gaps):
+                if gap:
+                    elapsed_target += gap
+                    sleep_for = elapsed_target - (
+                        time.perf_counter() - start
+                    )
+                    if sleep_for > 0:
+                        time.sleep(sleep_for)
+                try:
+                    client.request(request.kind, request.peer)
+                    ok += 1
+                except RequestFailed:
+                    failed += 1  # processed and rejected: service healthy
+                except ServiceOverloadedError:
+                    shed += 1
+    except ServiceError as error:
+        errors += 1
+        print(f"load_gen: client error: {error}", file=sys.stderr)
+    with lock:
+        counters["ok"] += ok
+        counters["failed"] += failed
+        counters["shed"] += shed
+        counters["errors"] += errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "address", help="service address: host:port or unix:/path"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="aggregate Poisson arrival rate, requests/sec "
+        "(0 = unpaced closed-loop; default 100)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="run for this many seconds (default: until --count)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="total requests to send (default 1000 when no --duration)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=1,
+        help="concurrent client connections (default 1)",
+    )
+    parser.add_argument(
+        "--mix",
+        type=WorkloadMix.parse,
+        default=DEFAULT_MIX,
+        metavar="KIND=W[,KIND=W...]",
+        help="request mix weights, e.g. 'rebind=0.8,query_cost=0.2'",
+    )
+    parser.add_argument(
+        "--universe",
+        type=int,
+        default=10_000,
+        help="peer universe size (must match the server's)",
+    )
+    parser.add_argument(
+        "--active",
+        type=int,
+        default=64,
+        help="initially active peers (must match the server's)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="stop the server after the run (clean CI teardown)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+    if args.rate < 0:
+        parser.error("--rate must be >= 0")
+
+    generator = WorkloadGenerator(
+        args.universe, range(args.active), args.seed, mix=args.mix
+    )
+    if args.duration is not None:
+        if args.rate <= 0:
+            parser.error("--duration needs --rate > 0 to size the stream")
+        total = max(args.clients, int(args.rate * args.duration))
+    else:
+        total = args.count if args.count is not None else 1000
+
+    # Generate the stream once (keeps it identical to a same-seed
+    # closed-loop run), then deal it round-robin across clients along
+    # with each request's Poisson inter-arrival gap.
+    stream = [
+        (
+            generator.next(),
+            generator.interarrival_s(args.rate) if args.rate > 0 else 0.0,
+        )
+        for _ in range(total)
+    ]
+    slices = [
+        (
+            [request for request, _gap in stream[i :: args.clients]],
+            # Each client paces at rate/clients: aggregate arrivals
+            # approximate the requested rate.
+            [gap * args.clients for _request, gap in stream[i :: args.clients]],
+        )
+        for i in range(args.clients)
+    ]
+
+    counters = {"ok": 0, "failed": 0, "shed": 0, "errors": 0}
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=run_client,
+            args=(args.address, requests, gaps, counters, lock),
+            name=f"load-gen-{i}",
+        )
+        for i, (requests, gaps) in enumerate(slices)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    stats = None
+    try:
+        with ServiceClient(args.address) as client:
+            stats = client.stats()
+            if args.shutdown:
+                client.shutdown()
+    except ServiceError as error:
+        print(f"load_gen: stats/shutdown failed: {error}", file=sys.stderr)
+
+    done = counters["ok"] + counters["failed"]
+    summary = {
+        "sent": total,
+        "completed": done,
+        "ok": counters["ok"],
+        "rejected": counters["failed"],
+        "shed": counters["shed"],
+        "client_errors": counters["errors"],
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(done / elapsed, 1) if elapsed > 0 else 0.0,
+        "server_stats": stats,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"load_gen: {done}/{total} completed in {elapsed:.2f}s "
+            f"({summary['throughput_rps']} req/s), "
+            f"{counters['failed']} rejected, {counters['shed']} shed, "
+            f"{counters['errors']} client errors"
+        )
+        if stats is not None:
+            latency = stats.get("latency_ms", {})
+            for kind, histogram in sorted(latency.items()):
+                print(
+                    f"  {kind:>18}: n={histogram['count']:<6} "
+                    f"p50={histogram['p50_ms']:.2f}ms "
+                    f"p90={histogram['p90_ms']:.2f}ms "
+                    f"p99={histogram['p99_ms']:.2f}ms"
+                )
+            print(
+                f"  epochs={stats.get('epochs')} "
+                f"max_epoch_size={stats.get('max_epoch_size')} "
+                f"coalesced_requests={stats.get('coalesced_requests')} "
+                f"queue_depth_peak={stats.get('queue_depth_peak')}"
+            )
+    return 0 if counters["errors"] == 0 and done > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

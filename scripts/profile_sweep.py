@@ -13,6 +13,14 @@ Usage::
     PYTHONPATH=src python scripts/profile_sweep.py E9 \
         --param trials=5 --sort tottime --out e9.pstats
     PYTHONPATH=src python scripts/profile_sweep.py --list
+    PYTHONPATH=src python scripts/profile_sweep.py --service \
+        --param count=2000 --param max_batch=32
+
+``--service`` profiles the churn-service epoch engine instead of a
+registry experiment: a seeded workload stream is applied through
+:meth:`~repro.service.ServiceState.apply_epoch` with the coalescing
+plan the live front-end would pick, so epoch and evaluator costs show
+up in one stats table.
 """
 
 from __future__ import annotations
@@ -24,6 +32,74 @@ import pstats
 import sys
 
 from repro.experiments import EXPERIMENTS, get_experiment
+
+#: Defaults for ``--service`` mode; all overridable via ``--param``.
+SERVICE_DEFAULTS = {
+    "universe": 4096,
+    "active": 64,
+    "alpha": 2.0,
+    "seed": 0,
+    "count": 1000,
+    "method": "greedy",
+    "coalesce": True,
+    "max_batch": 64,
+    "workers": 1,
+    "backend": None,
+    "shards": None,
+    "shard_placement": None,
+}
+
+
+def run_service_profile(**overrides):
+    """Drive the service epoch engine with a seeded workload.
+
+    Epochs are applied synchronously on the calling thread — the same
+    coalescing plan the :class:`~repro.service.ChurnService` worker
+    would pick (chunks of ``max_batch``, or one request per epoch with
+    ``coalesce=False``) — so cProfile sees the epoch engine and the
+    evaluators instead of a lock wait on a worker thread.  Returns a
+    one-line summary string for the report header.
+    """
+    from repro.metrics.euclidean import EuclideanMetric
+    from repro.service import ServiceState, WorkloadGenerator
+
+    params = dict(SERVICE_DEFAULTS)
+    unknown = set(overrides) - set(params)
+    if unknown:
+        raise SystemExit(
+            f"unknown --service params {sorted(unknown)}; "
+            f"known: {sorted(params)}"
+        )
+    params.update(overrides)
+    active = list(range(params["active"]))
+    metric = EuclideanMetric.random_uniform(
+        params["universe"], dim=2, seed=params["seed"]
+    )
+    requests = WorkloadGenerator(
+        params["universe"], active, params["seed"]
+    ).take(params["count"])
+    chunk = params["max_batch"] if params["coalesce"] else 1
+    done = failed = epochs = 0
+    with ServiceState(
+        metric,
+        params["alpha"],
+        initial_active=active,
+        method=params["method"],
+        workers=params["workers"],
+        backend=params["backend"],
+        shards=params["shards"],
+        shard_placement=params["shard_placement"],
+    ) as state:
+        for start in range(0, len(requests), chunk):
+            outcome = state.apply_epoch(requests[start : start + chunk])
+            epochs += 1
+            done += sum(1 for ok, _ in outcome.results if ok)
+            failed += sum(1 for ok, _ in outcome.results if not ok)
+    return (
+        f"service profile: {done} ok / {failed} rejected over "
+        f"{epochs} epochs "
+        f"(coalesce={params['coalesce']}, max_batch={params['max_batch']})"
+    )
 
 
 def parse_param(text: str):
@@ -63,6 +139,12 @@ def main(argv=None) -> int:
         help="print the experiment registry and exit",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="profile the churn service front-end instead of an "
+        "experiment (see SERVICE_DEFAULTS for --param keys)",
+    )
+    parser.add_argument(
         "--top",
         type=int,
         default=25,
@@ -92,25 +174,36 @@ def main(argv=None) -> int:
     if args.list:
         print(list_registry())
         return 0
-    if args.experiment is None:
-        parser.error("an experiment id is required (or --list)")
-
-    spec = get_experiment(args.experiment.upper())
     params = dict(args.param)
-    print(
-        f"profiling {spec.experiment_id} ({spec.paper_artifact}) "
-        f"params={params or '{}'}",
-        file=sys.stderr,
-    )
+    if args.service:
+        if args.experiment is not None:
+            parser.error("--service does not take an experiment id")
+        print(
+            f"profiling churn service params={params or '{}'}",
+            file=sys.stderr,
+        )
+        runner = lambda: run_service_profile(**params)  # noqa: E731
+    else:
+        if args.experiment is None:
+            parser.error(
+                "an experiment id is required (or --list / --service)"
+            )
+        spec = get_experiment(args.experiment.upper())
+        print(
+            f"profiling {spec.experiment_id} ({spec.paper_artifact}) "
+            f"params={params or '{}'}",
+            file=sys.stderr,
+        )
+        runner = lambda: spec.run(**params)  # noqa: E731
 
     profile = cProfile.Profile()
     profile.enable()
     try:
-        result = spec.run(**params)
+        result = runner()
     finally:
         profile.disable()
 
-    print(result.summary())
+    print(result if isinstance(result, str) else result.summary())
     print()
     stats = pstats.Stats(profile, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)

@@ -248,6 +248,85 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="a 30-second guided tour")
     _add_execution_flags(demo)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the churn/query service on a socket (open-loop traffic)",
+    )
+    serve.add_argument(
+        "--listen",
+        required=True,
+        metavar="ADDR",
+        help="address to listen on: host:port (port 0 = ephemeral, "
+        "printed on startup) or unix:/path",
+    )
+    serve.add_argument(
+        "--universe",
+        type=_positive_int_arg("universe"),
+        default=10_000,
+        help="size of the fixed peer universe (default 10000)",
+    )
+    serve.add_argument(
+        "--active",
+        type=_positive_int_arg("active"),
+        default=64,
+        help="initially active peers (ids 0..N-1; default 64)",
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=2.0, help="link-cost trade-off"
+    )
+    serve.add_argument(
+        "--dim", type=_positive_int_arg("dim"), default=2,
+        help="dimension of the random Euclidean universe",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="universe placement seed"
+    )
+    serve.add_argument(
+        "--method",
+        choices=("greedy", "exact", "brute"),
+        default="greedy",
+        help="best-response solver for rebind epochs (default greedy)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int_arg("max-queue"),
+        default=1024,
+        help="admission bound: most requests that may be queued",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int_arg("max-batch"),
+        default=64,
+        help="most requests one coalesced epoch may hold",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="coalescer linger after an epoch's first request (ms)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("block", "shed"),
+        default="block",
+        help="full-queue policy: block producers or shed the request",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="one epoch per request (the measured baseline mode)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write the replayable epoch journal here on shutdown",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress stderr log lines"
+    )
+    _add_execution_flags(serve)
     return parser
 
 
@@ -430,11 +509,75 @@ def _cmd_demo(params: dict) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.metrics.euclidean import EuclideanMetric
+    from repro.service import (
+        ChurnService,
+        ServiceJournal,
+        ServiceServer,
+        ServiceState,
+    )
+
+    if args.active > args.universe:
+        print(
+            f"error: --active ({args.active}) cannot exceed --universe "
+            f"({args.universe})",
+            file=sys.stderr,
+        )
+        return 2
+    metric = EuclideanMetric.random_uniform(
+        args.universe, dim=args.dim, seed=args.seed
+    )
+    journal = ServiceJournal() if args.journal else None
+    state = ServiceState(
+        metric,
+        args.alpha,
+        initial_active=range(args.active),
+        method=args.method,
+        journal=journal,
+        **_harness_params(args),
+    )
+    service = ChurnService(
+        state,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        policy=args.policy,
+        coalesce=not args.no_coalesce,
+    )
+    try:
+        server = ServiceServer(service, args.listen, quiet=args.quiet)
+    except (OSError, ValueError) as error:
+        service.close()
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 1
+    from repro.core.transport import parse_address
+
+    # Announce the bound address: with an ephemeral TCP port it is the
+    # one output a launcher cannot know without us.
+    if not args.quiet or (parse_address(args.listen)[-1] == 0):
+        print(f"listening on {server.address}", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    finally:
+        server.close()
+        if journal is not None:
+            journal.save(args.journal)
+            if not args.quiet:
+                print(
+                    f"journal: {len(journal)} epochs -> {args.journal}",
+                    file=sys.stderr,
+                )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("run", "run-all", "demo"):
+    if args.command in ("run", "run-all", "demo", "serve"):
         _check_execution_flags(args, parser)
     try:
         if args.command == "list":
@@ -452,6 +595,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_certify(args.alpha)
         if args.command == "demo":
             return _cmd_demo(_harness_params(args))
+        if args.command == "serve":
+            return _cmd_serve(args)
     except BrokenPipeError:  # downstream pager closed (e.g. `| head`)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

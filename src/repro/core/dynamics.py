@@ -331,7 +331,14 @@ def recheck_improvement(
     """
     peer = response.peer
     if evaluator is not None:
-        service = evaluator.set_profile(profile).service_costs(peer)
+        # The scores below read only the committed and proposed link
+        # rows — narrow the repair guarantee to those so a heavily
+        # dirtied matrix (late commits of a large batch) is not
+        # re-solved wholesale for a two-row comparison.
+        needed = sorted(set(profile.strategy(peer)) | set(response.strategy))
+        service = evaluator.set_profile(profile).service_costs(
+            peer, rows=needed
+        )
     else:
         service = compute_service_costs(game.distance_matrix, profile, peer)
     current_cost = strategy_cost(
@@ -440,6 +447,12 @@ class BestResponseDynamics:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
 
+        # Owned-resource slots first: close() must be a no-op on an
+        # instance whose __init__ died in the validation below.
+        self._owned_evaluator: Optional["GameEvaluator"] = None
+        self._owns_backend = False
+        self._backend = None
+
         check_shard_options(
             shards, shard_placement, max_resident_shards, shard_hosts
         )
@@ -470,7 +483,6 @@ class BestResponseDynamics:
         self._shard_placement = shard_placement
         self._max_resident_shards = max_resident_shards
         self._shard_hosts = shard_hosts
-        self._owned_evaluator: Optional["GameEvaluator"] = None
 
     def _resolve_evaluator(self) -> "GameEvaluator":
         """The evaluator this run shares: explicit > sharded > game's.
@@ -500,12 +512,13 @@ class BestResponseDynamics:
 
         Closes the engine-owned sharded evaluator (its stores and shard
         workers) and, when the backend was resolved from a spec string
-        rather than passed as an instance, the backend's pools.
+        rather than passed as an instance, the backend's pools.  Safe
+        after a failed ``__init__`` and double-close.
         """
         if self._owned_evaluator is not None:
             self._owned_evaluator.close()
             self._owned_evaluator = None
-        if self._owns_backend:
+        if self._owns_backend and self._backend is not None:
             self._backend.close()
 
     def __enter__(self) -> "BestResponseDynamics":

@@ -226,6 +226,7 @@ class EvaluatorStats:
     service_cache_hits: int = 0
     service_rows_recomputed: int = 0
     service_rows_reused: int = 0
+    service_partial_repairs: int = 0
     service_dirty_noncandidates: int = 0
     distance_full_builds: int = 0
     distance_rows_recomputed: int = 0
@@ -591,7 +592,9 @@ class GameEvaluator:
     # ------------------------------------------------------------------
     # Service-cost matrices
     # ------------------------------------------------------------------
-    def service_costs(self, peer: int) -> ServiceCosts:
+    def service_costs(
+        self, peer: int, rows: Optional[Sequence[int]] = None
+    ) -> ServiceCosts:
         """The service-cost matrix ``W`` of ``peer`` (cached, row-repaired).
 
         The returned object is a view over the *live* cache entry: its
@@ -600,6 +603,17 @@ class GameEvaluator:
         place by a later :meth:`set_profile`.  Copy it if you need a
         snapshot.  With a spill store the backing array may move between
         accesses — re-fetch rather than holding the view.
+
+        ``rows`` narrows the freshness guarantee: only those candidate
+        rows are guaranteed repaired; other dirty rows may stay stale
+        (and stay *marked* dirty, so a later unrestricted call repairs
+        them).  Callers that read a known handful of rows — the
+        stale-commit re-check reads the committed and proposed links
+        only — skip re-solving the rest of a heavily dirtied matrix.
+        Repaired row values are bitwise identical either way; the hint
+        only defers work.  (Entries holding dynamic-repair state are
+        repaired in full regardless: their flip-log cursor is shared by
+        the whole matrix, so a partial catch-up would corrupt it.)
         """
         if not 0 <= peer < self._n:
             raise IndexError(f"peer {peer} out of range [0, {self._n})")
@@ -608,10 +622,71 @@ class GameEvaluator:
             entry = self._build_service(peer)
             self._evict_services(protect={peer})
         elif entry.dirty:
-            self._repair_service(peer, entry)
+            if rows is not None and entry.raw is None:
+                self._repair_service_rows(peer, entry, rows)
+            else:
+                self._repair_service(peer, entry)
         else:
             self.stats.service_cache_hits += 1
         return self._entry_service(peer, entry)
+
+    def strategy_rows_cost(self, peer: int, strategy: Sequence[int]) -> float:
+        """Cost of ``strategy`` for ``peer`` from a rows-only build.
+
+        Prices exactly the strategy's link rows — one multi-source
+        Dijkstra from ``|strategy|`` sources over the stripped overlay —
+        instead of building or repairing ``peer``'s full candidate
+        matrix; the service cache is neither consulted nor touched.
+        Row values go through the same :func:`service_cost_rows` +
+        :func:`strategy_cost` pipeline as the cached path, so the result
+        is bitwise identical to
+        ``strategy_cost(self.service_costs(peer), strategy, alpha)``.
+        The service front-end answers ``query_cost`` through this: a
+        query is a point read and must not pay for (or perturb) the
+        solver-grade cache.
+        """
+        return self.strategy_rows_costs([(peer, strategy)])[0]
+
+    def strategy_rows_costs(
+        self, items: Sequence[Tuple[int, Sequence[int]]]
+    ) -> List[float]:
+        """Batched :meth:`strategy_rows_cost`: one blocked Dijkstra pass.
+
+        All ``(peer, strategy)`` point reads of an epoch share one
+        :func:`blocked_multi_source_distances` call (which guarantees
+        per-job results bitwise identical to the unbatched path), so a
+        query-heavy batch prices every strategy for a handful of scipy
+        calls instead of one stripped-overlay Dijkstra per peer.
+        """
+        prepared = [
+            (peer, sorted(set(strategy))) for peer, strategy in items
+        ]
+        jobs = []
+        if self._n > 1:
+            overlay = self.overlay
+            jobs = [
+                (overlay.copy_without_out_edges(peer), links)
+                for peer, links in prepared
+                if links
+            ]
+        dist_blocks = iter(
+            blocked_multi_source_distances(jobs, backend=self._backend)
+        )
+        costs = []
+        for peer, links in prepared:
+            k = len(links)
+            if self._n == 1:
+                costs.append(self._alpha * k)
+            elif k == 0:
+                costs.append(math.inf)
+            else:
+                weights = normalize_service_rows(
+                    self._dmat, peer, links, next(dist_blocks)
+                )
+                costs.append(
+                    self._alpha * k + float(weights.min(axis=0).sum())
+                )
+        return costs
 
     def _entry_service(self, peer: int, entry: _ServiceEntry) -> ServiceCosts:
         """A :class:`ServiceCosts` view over the store's current backing."""
@@ -693,6 +768,32 @@ class GameEvaluator:
         if entry.raw is not None:
             self._repair_service_dynamic(peer, entry, sources)
             return
+        stripped = self.overlay.copy_without_out_edges(peer)
+        fresh = service_cost_rows(
+            self._dmat, stripped, peer, sources, self._backend
+        )
+        self._install_rows(peer, entry, sources, fresh)
+
+    def _repair_service_rows(
+        self, peer: int, entry: _ServiceEntry, rows: Sequence[int]
+    ) -> None:
+        """Repair only the dirty rows among ``rows`` (scratch entries).
+
+        The rest of ``entry.dirty`` is left intact for a later
+        unrestricted repair.  Splitting a repair into batches only makes
+        the effect bound more conservative (``dec_cum`` accumulates one
+        max-drop per install), so memo correctness is preserved.
+        """
+        row_of = {c: k for k, c in enumerate(entry.candidates)}
+        wanted = set(rows)
+        sources = sorted(
+            c for c in entry.dirty if c in wanted and c in row_of
+        )
+        if not sources:
+            self.stats.service_cache_hits += 1
+            return
+        entry.dirty.difference_update(sources)
+        self.stats.service_partial_repairs += 1
         stripped = self.overlay.copy_without_out_edges(peer)
         fresh = service_cost_rows(
             self._dmat, stripped, peer, sources, self._backend
@@ -1345,10 +1446,13 @@ class GameEvaluator:
         interpreter exit — but deterministic teardown keeps shared-
         memory segments out of ``/dev/shm`` between runs.  An evaluator
         may keep serving queries after ``close()``: the stores re-arm
-        their cleanup on the next write.
+        their cleanup on the next write.  Safe on an instance whose
+        ``__init__`` failed before the store was made.
         """
         self._service = {}
-        self._store.close()
+        store = getattr(self, "_store", None)
+        if store is not None:
+            store.close()
 
     def __enter__(self) -> "GameEvaluator":
         return self

@@ -148,6 +148,7 @@ def build_sharded_evaluator(
     max_resident_shards: Optional[int] = None,
     shard_hosts: Optional[Sequence[str]] = None,
     store="memory",
+    dynamic_repair: bool = True,
 ) -> "ShardedEvaluator":
     """A :class:`ShardedEvaluator` from the optional driver-level knobs.
 
@@ -167,6 +168,7 @@ def build_sharded_evaluator(
         ),
         placement="local" if placement is None else placement,
         shard_hosts=shard_hosts,
+        dynamic_repair=dynamic_repair,
     )
 
 
@@ -598,6 +600,11 @@ class ShardedEvaluator(GameEvaluator):
     ) -> None:
         from repro.core.shard_workers import PLACEMENT_SPECS
 
+        # Owned-resource slots first: close() must be a no-op on an
+        # instance whose __init__ died in the validation below.
+        self._shard_dist: Optional[ShardedDistances] = None
+        self._worker_pool = None
+
         if placement not in PLACEMENT_SPECS:
             raise ValueError(
                 f"unknown shard placement {placement!r}; expected one of "
@@ -615,8 +622,6 @@ class ShardedEvaluator(GameEvaluator):
         plan = ShardPlan.build(game.n, shards)
         self._plan = plan
         self._placement = placement
-        self._shard_dist: Optional[ShardedDistances] = None
-        self._worker_pool = None
         #: Per-shard ``(stretch row sums, stretch total)`` — the O(n/k)
         #: reductions cost queries need — so repeat queries on an
         #: unchanged profile touch no distance blocks at all.  ``None``

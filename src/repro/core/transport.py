@@ -358,28 +358,52 @@ def bound_address(sock: socket.socket) -> Address:
     return ("tcp", host, port)
 
 
+#: Backoff geometry of the connect/handshake retry loops: start small
+#: so an already-up server costs nothing, double towards a cap so a
+#: slow-starting one is not hammered with connection attempts.
+INITIAL_BACKOFF_S = 0.02
+MAX_BACKOFF_S = 0.5
+
+
+def _backoff_sleep(backoff: float, deadline: Optional[float]) -> float:
+    """Sleep one backoff step (never past ``deadline``); next step."""
+    pause = backoff
+    if deadline is not None:
+        pause = min(pause, max(0.0, deadline - time.monotonic()))
+    if pause > 0:
+        time.sleep(pause)
+    return min(backoff * 2.0, MAX_BACKOFF_S)
+
+
 def connect_address(
     address: Union[str, Address], timeout: Optional[float] = None
 ) -> socket.socket:
     """Connect to a shard server, retrying while ``timeout`` allows.
 
-    The retry loop absorbs the startup race against an auto-spawned
-    server (connection refused / socket file not there yet); any error
-    still present at the deadline propagates.
+    The bounded retry-with-backoff loop absorbs the startup race
+    against a server still coming up (connection refused / socket file
+    not there yet), backing off exponentially from
+    :data:`INITIAL_BACKOFF_S` to :data:`MAX_BACKOFF_S` between
+    attempts; any error still present at the deadline propagates.
     """
     address = parse_address(address)
     deadline = None if timeout is None else time.monotonic() + timeout
+    backoff = INITIAL_BACKOFF_S
     while True:
         try:
             if address[0] == "unix":
                 sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.connect(address[1])
+                try:
+                    sock.connect(address[1])
+                except BaseException:
+                    sock.close()
+                    raise
                 return sock
             return socket.create_connection((address[1], address[2]))
         except (ConnectionRefusedError, FileNotFoundError, OSError):
             if deadline is None or time.monotonic() >= deadline:
                 raise
-            time.sleep(0.02)
+            backoff = _backoff_sleep(backoff, deadline)
 
 
 # ----------------------------------------------------------------------
@@ -408,31 +432,72 @@ class SocketTransport(ShardTransport):
         solver_workers: int = 1,
         connect_timeout: float = 10.0,
     ) -> None:
-        self._address = parse_address(address)
-        self._name = f"repro-shard-{lo}-{hi}@{format_address(self._address)}"
+        # Defaults first: close() must be a no-op if the connect or
+        # handshake below never succeeds.
+        self._sock: Optional[socket.socket] = None
         self._closed = False
         self._dead = False
-        self._sock = connect_address(self._address, timeout=connect_timeout)
-        try:
-            self.send(
-                (
-                    "init",
-                    int(lo),
-                    int(hi),
-                    np.ascontiguousarray(dmat, dtype=np.float64),
-                    {
-                        "backend": backend,
-                        "dynamic": bool(dynamic),
-                        "solver": solver,
-                        "solver_workers": int(solver_workers),
-                    },
+        self._address = parse_address(address)
+        self._name = f"repro-shard-{lo}-{hi}@{format_address(self._address)}"
+        init_message = (
+            "init",
+            int(lo),
+            int(hi),
+            np.ascontiguousarray(dmat, dtype=np.float64),
+            {
+                "backend": backend,
+                "dynamic": bool(dynamic),
+                "solver": solver,
+                "solver_workers": int(solver_workers),
+            },
+        )
+        # Bounded retry-with-backoff across connect *and* handshake: a
+        # server still starting up may refuse the connection or accept
+        # and drop it before serving — both retry until the deadline.
+        # An explicit ("error", ...) reply is a real init failure and
+        # never retried (the server is up; the request is wrong).
+        deadline = (
+            None
+            if connect_timeout is None
+            else time.monotonic() + connect_timeout
+        )
+        backoff = INITIAL_BACKOFF_S
+        while True:
+            sock: Optional[socket.socket] = None
+            try:
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
                 )
-            )
-            self.recv()
-        except BaseException:
-            self._sock.close()
-            self._closed = True
-            raise
+                sock = connect_address(self._address, timeout=remaining)
+                send_frame(sock, init_message)
+                reply = recv_frame(sock)
+            except (EOFError, FramingError, OSError) as error:
+                if sock is not None:
+                    sock.close()
+                if deadline is None or time.monotonic() >= deadline:
+                    self._closed = True
+                    raise ShardWorkerError(
+                        f"shard worker {self._name} never came up "
+                        f"({type(error).__name__}: {error})"
+                    ) from error
+                backoff = _backoff_sleep(backoff, deadline)
+                continue
+            except BaseException:
+                if sock is not None:
+                    sock.close()
+                self._closed = True
+                raise
+            kind, payload = reply
+            if kind == "error":
+                sock.close()
+                self._closed = True
+                raise ShardWorkerError(
+                    f"shard worker {self._name} failed:\n{payload}"
+                )
+            self._sock = sock
+            break
 
     @property
     def name(self) -> str:
@@ -480,6 +545,8 @@ class SocketTransport(ShardTransport):
         if self._closed:
             return
         self._closed = True
+        if self._sock is None:  # failed init: nothing to release
+            return
         if not self._dead:
             try:
                 send_frame(self._sock, ("stop",))

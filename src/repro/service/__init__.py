@@ -1,0 +1,71 @@
+"""Churn-as-a-service: the open-loop front-end over the epoch engine.
+
+The package splits "what happened" from "who asked":
+
+* :mod:`~repro.service.state` — :class:`ServiceState`, the
+  deterministic epoch engine (membership → batched rebinds with
+  stale-commit re-checks → queries), the only layer that touches game
+  state.
+* :mod:`~repro.service.service` — :class:`ChurnService`, the
+  front-end: bounded-queue admission, the coalescer, backpressure
+  policies, drain-on-shutdown.
+* :mod:`~repro.service.journal` — the replayable account of every
+  committed epoch, plus :func:`replay_journal`.
+* :mod:`~repro.service.server` — socket server/client for
+  ``repro serve``.
+* :mod:`~repro.service.workload` — seeded request streams shared by
+  the load generator, the e19 benchmark, and the identity tests.
+* :mod:`~repro.service.metrics` — latency histograms + front-end
+  counters.
+"""
+
+from repro.service.journal import (
+    EpochRecord,
+    ReplayMismatch,
+    ReplayResult,
+    ServiceJournal,
+    replay_journal,
+    state_digest,
+)
+from repro.service.metrics import LatencyHistogram, ServiceStats
+from repro.service.requests import (
+    MUTATION_KINDS,
+    QUERY_KINDS,
+    REQUEST_KINDS,
+    Request,
+    RequestFailed,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.server import ServiceClient, ServiceServer
+from repro.service.service import ChurnService
+from repro.service.state import EpochOutcome, ServiceState
+from repro.service.workload import DEFAULT_MIX, WorkloadGenerator, WorkloadMix
+
+__all__ = [
+    "ChurnService",
+    "DEFAULT_MIX",
+    "EpochOutcome",
+    "EpochRecord",
+    "LatencyHistogram",
+    "MUTATION_KINDS",
+    "QUERY_KINDS",
+    "REQUEST_KINDS",
+    "ReplayMismatch",
+    "ReplayResult",
+    "Request",
+    "RequestFailed",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceJournal",
+    "ServiceOverloadedError",
+    "ServiceServer",
+    "ServiceState",
+    "ServiceStats",
+    "WorkloadGenerator",
+    "WorkloadMix",
+    "replay_journal",
+    "state_digest",
+]

@@ -1,0 +1,229 @@
+"""The service journal: accountable, replayable mutation history.
+
+Every epoch the coalescer commits is journaled as the *requested*
+mutations in their processed phase order (membership ops first, then
+the rebind activations), plus a digest of the post-epoch overlay state.
+That is sufficient for accountability because epoch execution is a
+deterministic function of (state, mutation batch): a replay re-executes
+each journaled batch through the same closed-loop epoch engine —
+including the stale-profile conflict re-checks of coalesced rebinds —
+and must land on bit-identical state, digest by digest.  The pod
+consensus layer (PAPERS.md) is the framing exemplar: the service orders
+an open-loop request stream, and the journal makes every outcome
+re-derivable by anyone holding the same seed universe.
+
+Journals serialize to a small JSON document (``save`` / ``load``), so a
+long-running ``repro serve`` process can persist its history and an
+offline auditor can replay it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "EpochRecord",
+    "ReplayMismatch",
+    "ReplayResult",
+    "ServiceJournal",
+    "replay_journal",
+    "state_digest",
+]
+
+_JOURNAL_VERSION = 1
+
+
+def state_digest(
+    active: Sequence[int], strategies: Sequence
+) -> str:
+    """Stable digest of the live overlay: active set + their strategies.
+
+    Only active peers enter the digest (inactive ones hold no links by
+    invariant), so the cost is O(active), not O(universe).
+    """
+    parts: List[str] = []
+    for peer in active:
+        links = ",".join(str(t) for t in sorted(strategies[peer]))
+        parts.append(f"{peer}:{links}")
+    blob = ";".join(parts).encode("ascii")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One committed epoch: what was asked, and what state resulted.
+
+    ``membership`` lists the requested join/leave ops in processed
+    order; ``rebinds`` lists the requested rebind peers in processed
+    order.  Both record *requests*, not outcomes — outcomes (rejected
+    leaves, no-op joins, dropped stale commits) are re-derived on
+    replay, which is exactly what makes the journal a sufficient
+    account of the run.
+    """
+
+    epoch: int
+    membership: Tuple[Tuple[str, int], ...]
+    rebinds: Tuple[int, ...]
+    digest: str
+    moves: int
+    social_cost: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "epoch": self.epoch,
+            "membership": [[kind, peer] for kind, peer in self.membership],
+            "rebinds": list(self.rebinds),
+            "digest": self.digest,
+            "moves": self.moves,
+            "social_cost": self.social_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EpochRecord":
+        return cls(
+            epoch=int(payload["epoch"]),
+            membership=tuple(
+                (str(kind), int(peer)) for kind, peer in payload["membership"]
+            ),
+            rebinds=tuple(int(p) for p in payload["rebinds"]),
+            digest=str(payload["digest"]),
+            moves=int(payload["moves"]),
+            social_cost=float(payload["social_cost"]),
+        )
+
+
+class ServiceJournal:
+    """Append-only record of every state-changing epoch.
+
+    Epochs that committed no mutation request (pure query batches) are
+    not journaled — they cannot change state, so a replay without them
+    is still exact.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[EpochRecord] = []
+
+    def append(self, record: EpochRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> Tuple[EpochRecord, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "version": _JOURNAL_VERSION,
+            "epochs": [record.to_dict() for record in self._records],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ServiceJournal":
+        version = payload.get("version")
+        if version != _JOURNAL_VERSION:
+            raise ValueError(
+                f"unsupported journal version {version!r} "
+                f"(expected {_JOURNAL_VERSION})"
+            )
+        journal = cls()
+        for record in payload["epochs"]:
+            journal.append(EpochRecord.from_dict(record))
+        return journal
+
+    @classmethod
+    def load(cls, path: str) -> "ServiceJournal":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class ReplayMismatch(AssertionError):
+    """A replayed epoch's state digest differs from the journaled one."""
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of a closed-loop journal replay.
+
+    ``digests`` are the replayed per-epoch digests (same order as the
+    journal); ``final_active`` / ``final_strategies`` snapshot the
+    replayed end state for trajectory comparisons beyond the digests.
+    """
+
+    digests: Tuple[str, ...]
+    moves: Tuple[int, ...]
+    social_costs: Tuple[float, ...]
+    final_active: Tuple[int, ...]
+    final_strategies: Tuple[Tuple[int, ...], ...]
+
+
+def replay_journal(
+    journal: ServiceJournal,
+    metric,
+    alpha: float,
+    *,
+    initial_active: Optional[Sequence[int]] = None,
+    method: str = "greedy",
+    verify: bool = True,
+    **state_options,
+) -> ReplayResult:
+    """Re-execute a journal closed-loop and return the replayed trajectory.
+
+    Builds a fresh :class:`~repro.service.state.ServiceState` over the
+    same universe (``metric``/``alpha``/``initial_active`` must match
+    the journaled run's) and applies each journaled epoch's mutation
+    batch through the identical epoch engine — one batched gain sweep
+    per epoch with stale-commit re-checks.  With ``verify`` (default)
+    a digest mismatch raises :class:`ReplayMismatch` naming the epoch.
+
+    ``state_options`` forwards execution knobs (``workers``,
+    ``backend``, ``shards``, ``shard_placement``, ...).  Trajectories
+    are bit-identical across all of them, so an auditor may replay on
+    whatever hardware is at hand.
+    """
+    from repro.service.requests import Request
+    from repro.service.state import ServiceState
+
+    digests: List[str] = []
+    moves: List[int] = []
+    costs: List[float] = []
+    with ServiceState(
+        metric,
+        alpha,
+        initial_active=initial_active,
+        method=method,
+        journal=None,
+        **state_options,
+    ) as state:
+        for record in journal.records:
+            requests = [
+                Request(kind, peer) for kind, peer in record.membership
+            ]
+            requests.extend(Request("rebind", peer) for peer in record.rebinds)
+            outcome = state.apply_epoch(requests)
+            digests.append(outcome.digest)
+            moves.append(outcome.moves)
+            costs.append(outcome.social_cost)
+            if verify and outcome.digest != record.digest:
+                raise ReplayMismatch(
+                    f"epoch {record.epoch}: replayed digest "
+                    f"{outcome.digest} != journaled {record.digest}"
+                )
+        active, strategies = state.snapshot()
+    return ReplayResult(
+        digests=tuple(digests),
+        moves=tuple(moves),
+        social_costs=tuple(costs),
+        final_active=active,
+        final_strategies=strategies,
+    )

@@ -1,0 +1,201 @@
+"""Service observability: latency histograms + front-end counters.
+
+The throughput story of the service is only honest with tail latency
+next to it, so every completed request is recorded in a per-request-type
+:class:`LatencyHistogram` (fixed log-spaced buckets — constant memory,
+lock-cheap, deterministic percentiles) and the front-end keeps the
+counters a capacity review asks for: queue depth (current/peak), epoch
+sizes, shed/rejected totals, and the evaluator-work totals accumulated
+from each epoch's :class:`~repro.core.evaluator.EvaluatorStats`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "ServiceStats"]
+
+#: Histogram bucket geometry: powers of two from 1 microsecond up.  The
+#: last bucket is open-ended, so a stuck 10-minute request still lands
+#: somewhere instead of raising.
+_BUCKET_FLOOR_S = 1e-6
+_NUM_BUCKETS = 36  # 1us * 2**35 ~= 9.5 hours: effectively open-ended
+
+
+class LatencyHistogram:
+    """Fixed log2-bucket latency histogram with deterministic quantiles.
+
+    ``record`` is O(1); ``quantile`` reports the *upper bound* of the
+    bucket the requested rank falls in (a conservative estimate — never
+    under-reports a tail).  Thread-safe: the service records completions
+    from its worker thread while clients read snapshots.
+    """
+
+    __slots__ = ("_lock", "_counts", "_count", "_total_s", "_max_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * _NUM_BUCKETS
+        self._count = 0
+        self._total_s = 0.0
+        self._max_s = 0.0
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        if seconds <= _BUCKET_FLOOR_S:
+            return 0
+        index = int(math.log2(seconds / _BUCKET_FLOOR_S)) + 1
+        return min(index, _NUM_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_upper_s(index: int) -> float:
+        return _BUCKET_FLOOR_S * (2.0 ** index)
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        index = self._bucket(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total_s += seconds
+            if seconds > self._max_s:
+                self._max_s = seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean_s(self) -> float:
+        with self._lock:
+            return self._total_s / self._count if self._count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return self._max_s
+
+    def quantile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in ``[0, 1]``; 0 if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, math.ceil(q * self._count))
+            seen = 0
+            for index, bucket in enumerate(self._counts):
+                seen += bucket
+                if seen >= rank:
+                    return min(self._bucket_upper_s(index), self._max_s)
+        return self._max_s  # pragma: no cover - rank <= count always hits
+
+    def percentiles(
+        self, points: Iterable[float] = (0.50, 0.90, 0.99)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` in seconds."""
+        return {
+            f"p{int(round(point * 100))}": self.quantile(point)
+            for point in points
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot: count, mean/max, and the standard tail points."""
+        with self._lock:
+            count, total, peak = self._count, self._total_s, self._max_s
+        summary: Dict[str, float] = {
+            "count": count,
+            "mean_ms": (total / count * 1e3) if count else 0.0,
+            "max_ms": peak * 1e3,
+        }
+        for name, value in self.percentiles().items():
+            summary[f"{name}_ms"] = value * 1e3
+        return summary
+
+
+class ServiceStats:
+    """Counters of the open-loop front-end (thread-safe).
+
+    The mutation/query work itself is already counted by the evaluator
+    layer (:class:`~repro.core.evaluator.EvaluatorStats`); these
+    counters describe what the *front-end* did with the stream —
+    admission, coalescing, shedding — plus per-request-type latency
+    histograms and the evaluator totals accumulated across epochs.
+    """
+
+    def __init__(self, kinds: Tuple[str, ...]) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0  # processed but rejected (RequestFailed)
+        self.shed = 0  # never admitted (queue full under "shed")
+        self.epochs = 0
+        self.coalesced_requests = 0  # requests that shared an epoch with others
+        self.max_epoch_size = 0
+        self.queue_depth_peak = 0
+        self.latency: Dict[str, LatencyHistogram] = {
+            kind: LatencyHistogram() for kind in kinds
+        }
+        self.evaluator_totals: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def count_submitted(self, depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            if depth > self.queue_depth_peak:
+                self.queue_depth_peak = depth
+
+    def count_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def count_epoch(self, size: int) -> None:
+        with self._lock:
+            self.epochs += 1
+            if size > 1:
+                self.coalesced_requests += size
+            if size > self.max_epoch_size:
+                self.max_epoch_size = size
+
+    def count_completed(self, kind: str, ok: bool, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            if not ok:
+                self.failed += 1
+        self.latency[kind].record(latency_s)
+
+    def merge_evaluator_stats(self, stats_dict: Dict[str, int]) -> None:
+        """Fold one epoch evaluator's counters into the running totals."""
+        with self._lock:
+            for key, value in stats_dict.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    continue
+                self.evaluator_totals[key] = (
+                    self.evaluator_totals.get(key, 0) + value
+                )
+
+    # ------------------------------------------------------------------
+    def as_dict(self, queue_depth: Optional[int] = None) -> Dict:
+        """JSON-friendly snapshot (histograms summarized, not dumped)."""
+        with self._lock:
+            snapshot: Dict = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "epochs": self.epochs,
+                "coalesced_requests": self.coalesced_requests,
+                "max_epoch_size": self.max_epoch_size,
+                "queue_depth_peak": self.queue_depth_peak,
+                "evaluator_totals": dict(self.evaluator_totals),
+            }
+        if queue_depth is not None:
+            snapshot["queue_depth"] = queue_depth
+        snapshot["latency_ms"] = {
+            kind: histogram.as_dict()
+            for kind, histogram in self.latency.items()
+            if histogram.count
+        }
+        return snapshot

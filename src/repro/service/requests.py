@@ -1,0 +1,94 @@
+"""The request vocabulary of the churn service.
+
+An open-loop client stream talks to the service in five verbs: three
+*mutations* (``join`` / ``leave`` / ``rebind``) that advance the live
+overlay exactly as one churn-epoch step would, and two *queries*
+(``query_cost`` / ``query_social_cost``) answered from the live
+evaluator.  Requests are immutable value objects so they can ride
+through queues, journals, and wire frames unchanged; a request never
+carries an answer — outcomes travel separately (futures in process,
+reply frames on the wire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "MUTATION_KINDS",
+    "QUERY_KINDS",
+    "REQUEST_KINDS",
+    "Request",
+    "ServiceError",
+    "RequestFailed",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+]
+
+#: Verbs that change the overlay (and therefore enter the journal).
+MUTATION_KINDS = ("join", "leave", "rebind")
+#: Verbs answered from the live evaluator without touching state.
+QUERY_KINDS = ("query_cost", "query_social_cost")
+REQUEST_KINDS = MUTATION_KINDS + QUERY_KINDS
+
+#: Verbs that name a peer (everything except the social-cost query).
+_PEER_KINDS = frozenset(REQUEST_KINDS) - {"query_social_cost"}
+
+
+class ServiceError(Exception):
+    """Base class of every churn-service error."""
+
+
+class RequestFailed(ServiceError):
+    """The service processed the request and rejected it (e.g. a rebind
+    for an inactive peer, or a leave that would breach the population
+    floor).  The service itself is healthy."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down (or closed) and accepts no work."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request: the bounded queue was full
+    under the ``"shed"`` policy (or a ``"block"`` submit timed out)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: a verb plus (for most verbs) a peer id.
+
+    ``peer`` indexes the service's fixed peer *universe*; whether that
+    peer is currently active is a property of the live state, checked at
+    processing time, not at construction.
+    """
+
+    kind: str
+    peer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; expected one of "
+                f"{REQUEST_KINDS}"
+            )
+        if self.kind in _PEER_KINDS:
+            if self.peer is None:
+                raise ValueError(f"{self.kind!r} request needs a peer id")
+            if not isinstance(self.peer, int) or isinstance(self.peer, bool):
+                raise TypeError(
+                    f"{self.kind!r} peer must be an int, got {self.peer!r}"
+                )
+            if self.peer < 0:
+                raise ValueError(
+                    f"{self.kind!r} peer must be >= 0, got {self.peer}"
+                )
+        elif self.peer is not None:
+            raise ValueError(
+                f"{self.kind!r} request takes no peer (got {self.peer})"
+            )
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.kind in MUTATION_KINDS

@@ -1,0 +1,268 @@
+"""Socket front door for the churn service: server + client.
+
+``repro serve`` wraps a :class:`~repro.service.service.ChurnService` in
+a :class:`ServiceServer` so open-loop traffic can arrive from other
+processes (the load generator, CI smoke, other hosts).  Frames are the
+same length-prefixed RSF1 format the shard fabric speaks
+(:mod:`repro.core.transport`) — one codec on the wire everywhere.
+
+Protocol (request → reply), one frame each way per call::
+
+    ("request", kind, peer)  -> ("ok", value) | ("failed", message)
+                              | ("overloaded", message) | ("closed", message)
+    ("stats",)               -> ("ok", stats_dict)
+    ("ping",)                -> ("ok", None)
+    ("shutdown",)            -> ("ok", None)      # stop the whole server
+    ("stop",)                -> ("ok", None)      # close this connection
+
+Unexpected server-side failures reply ``("error", traceback)`` — the
+client re-raises them as :class:`ServiceError`, and the service itself
+keeps running.  Backpressure crosses the wire naturally: a ``"block"``
+service blocks the connection's thread inside ``submit``, which stalls
+that client's strictly-ordered request stream.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import traceback
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.transport import (
+    FramingError,
+    bound_address,
+    connect_address,
+    create_listener,
+    format_address,
+    parse_address,
+    read_frame,
+    send_frame,
+)
+from repro.service.requests import (
+    Request,
+    RequestFailed,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.service import ChurnService
+
+__all__ = ["ServiceServer", "ServiceClient"]
+
+
+class ServiceServer:
+    """Accept loop exposing one :class:`ChurnService` on a socket.
+
+    One thread per connection; every connection talks to the same
+    service, so the coalescer sees the union of all client streams —
+    exactly the open-loop arrival process the service exists to batch.
+    The server owns neither socket address semantics nor the service's
+    lifetime beyond ``close()``: stopping the server drains the service
+    (admitted requests finish) before the listener goes away.
+    """
+
+    def __init__(
+        self,
+        service: ChurnService,
+        listen: str,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        # close() must be safe if create_listener below raises.
+        self._listener: Optional[socket.socket] = None
+        self._closed = False
+        self._service = service
+        self._quiet = quiet
+        self._stop = threading.Event()
+        self._address = parse_address(listen)
+        self._listener = create_listener(self._address)
+        self._bound = bound_address(self._listener)
+
+    @property
+    def address(self) -> str:
+        """The listening address (TCP port 0 resolved to the real one)."""
+        return format_address(self._bound)
+
+    @property
+    def service(self) -> ChurnService:
+        return self._service
+
+    def _log(self, message: str) -> None:
+        if not self._quiet:
+            import sys
+
+            print(f"repro serve: {message}", file=sys.stderr, flush=True)
+
+    def stop(self) -> None:
+        """Ask the accept loop to wind down."""
+        self._stop.set()
+
+    def serve_forever(self) -> None:
+        """Accept and serve until :meth:`stop` (or a ``shutdown`` frame)."""
+        self._log(f"listening on {self.address}")
+        self._listener.settimeout(0.1)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _peer = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    daemon=True,
+                    name="repro-serve-conn",
+                )
+                thread.start()
+        finally:
+            self.close()
+            self._log("stopped")
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    message = read_frame(conn.recv)
+                except EOFError:
+                    return  # orderly client disconnect
+                reply, done = self._handle(message)
+                send_frame(conn, reply)
+                if done:
+                    return
+        except (FramingError, OSError) as error:
+            self._log(f"connection dropped: {error}")
+        finally:
+            conn.close()
+
+    def _handle(self, message) -> Tuple[Tuple, bool]:
+        if not isinstance(message, tuple) or not message:
+            return ("error", f"malformed message {message!r}"), True
+        op = message[0]
+        try:
+            if op == "request" and len(message) == 3:
+                _op, kind, peer = message
+                future = self._service.submit(Request(kind, peer))
+                return ("ok", future.result()), False
+            if op == "stats" and len(message) == 1:
+                return ("ok", self._service.snapshot_stats()), False
+            if op == "ping" and len(message) == 1:
+                return ("ok", None), False
+            if op == "stop" and len(message) == 1:
+                return ("ok", None), True
+            if op == "shutdown" and len(message) == 1:
+                self.stop()
+                return ("ok", None), True
+            return ("error", f"unknown service op {message!r}"), False
+        except RequestFailed as error:
+            return ("failed", str(error)), False
+        except ServiceOverloadedError as error:
+            return ("overloaded", str(error)), False
+        except ServiceClosedError as error:
+            return ("closed", str(error)), False
+        except Exception:  # noqa: BLE001 - relayed, service stays up
+            return ("error", traceback.format_exc()), False
+
+    def close(self) -> None:
+        """Stop accepting, drain the service, release the listener.
+        Idempotent and safe after a failed ``__init__``."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._listener is not None:
+            self._listener.close()
+            if self._bound[0] == "unix":
+                try:
+                    os.unlink(self._bound[1])
+                except FileNotFoundError:
+                    pass
+        self._service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """Blocking client for a :class:`ServiceServer` connection.
+
+    One strictly-ordered request/reply stream per client; run several
+    clients (threads or processes) against one server to model
+    concurrent producers.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple],
+        *,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._sock: Optional[socket.socket] = None
+        self._closed = False
+        self._address = parse_address(address)
+        self._sock = connect_address(self._address, timeout=connect_timeout)
+
+    def _call(self, message: Tuple):
+        if self._closed or self._sock is None:
+            raise ServiceClosedError("client connection is closed")
+        try:
+            send_frame(self._sock, message)
+            reply = read_frame(self._sock.recv)
+        except (EOFError, FramingError, OSError) as error:
+            self.close()
+            raise ServiceError(
+                f"service connection to {format_address(self._address)} "
+                f"died ({type(error).__name__}: {error})"
+            ) from error
+        kind, payload = reply
+        if kind == "ok":
+            return payload
+        if kind == "failed":
+            raise RequestFailed(payload)
+        if kind == "overloaded":
+            raise ServiceOverloadedError(payload)
+        if kind == "closed":
+            raise ServiceClosedError(payload)
+        raise ServiceError(f"service error:\n{payload}")
+
+    # ------------------------------------------------------------------
+    def request(self, kind: str, peer: Optional[int] = None):
+        """Submit one request and wait for its outcome."""
+        return self._call(("request", kind, peer))
+
+    def stats(self) -> Dict:
+        return self._call(("stats",))
+
+    def ping(self) -> None:
+        self._call(("ping",))
+
+    def shutdown(self) -> None:
+        """Stop the whole server (drains in-flight work first)."""
+        self._call(("shutdown",))
+        self.close()
+
+    def close(self) -> None:
+        """Idempotent; safe after a failed ``__init__``."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sock is not None:
+            try:
+                send_frame(self._sock, ("stop",))
+                self._sock.settimeout(2.0)
+                read_frame(self._sock.recv)
+            except (EOFError, FramingError, OSError):
+                pass  # already gone; closing the fd below suffices
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

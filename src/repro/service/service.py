@@ -1,0 +1,272 @@
+"""The open-loop front-end: admission, coalescing, backpressure.
+
+:class:`ChurnService` turns an open-loop stream of independent requests
+into the batched epochs the evaluator fabric is fast at.  The moving
+parts:
+
+* **Admission control** — a bounded queue.  Under the ``"block"``
+  policy a full queue applies backpressure to producers (``submit``
+  blocks, optionally up to a timeout); under ``"shed"`` it fails fast
+  with :class:`~repro.service.requests.ServiceOverloadedError` and the
+  shed is counted.  Either way the queue bounds memory and keeps tail
+  latency honest instead of letting an unbounded backlog hide it.
+
+* **The coalescer** — a single worker thread drains the queue into
+  epochs: take one request, then linger up to ``max_wait_s`` for more,
+  up to ``max_batch``.  Everything coalesced into one epoch is treated
+  as logically concurrent and handed to
+  :meth:`~repro.service.state.ServiceState.apply_epoch`, which runs the
+  rebinds as one stale-profile gain sweep with commit re-checks.  With
+  ``coalesce=False`` every request becomes its own epoch — the
+  request-at-a-time baseline the e19 benchmark measures against.
+
+* **Drain-on-shutdown** — ``close()`` stops admission, lets the worker
+  finish every already-admitted request, then joins the thread and
+  closes the state.  No admitted request is ever silently dropped.
+
+Results travel back on a :class:`concurrent.futures.Future` per
+request; rejections surface as
+:class:`~repro.service.requests.RequestFailed` on that future, never as
+a service failure.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.service.metrics import ServiceStats
+from repro.service.requests import (
+    REQUEST_KINDS,
+    Request,
+    RequestFailed,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.state import ServiceState
+
+__all__ = ["ChurnService"]
+
+#: How often the coalescer re-checks for shutdown while idle.
+_IDLE_POLL_S = 0.05
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for (or riding through) an epoch."""
+
+    request: Request
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class ChurnService:
+    """Long-running churn/query service over a :class:`ServiceState`.
+
+    Parameters
+    ----------
+    state:
+        The overlay state to drive.  The service owns it by default and
+        closes it on shutdown (``own_state=False`` to opt out).
+    max_queue:
+        Admission bound — at most this many requests may be queued.
+    max_batch:
+        Epoch-size cap for the coalescer.
+    max_wait_s:
+        How long the coalescer lingers for follow-up requests after the
+        first one of an epoch arrives.  The knob trades a bounded
+        latency floor for batching opportunity.
+    policy:
+        ``"block"`` (backpressure) or ``"shed"`` (fail fast) when the
+        queue is full.
+    coalesce:
+        ``False`` degrades to one epoch per request (the measured
+        baseline); semantics are identical either way, only throughput
+        differs.
+    """
+
+    def __init__(
+        self,
+        state: ServiceState,
+        *,
+        max_queue: int = 256,
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        policy: str = "block",
+        coalesce: bool = True,
+        own_state: bool = True,
+    ) -> None:
+        # Owned-resource slots first: close() after a failed __init__
+        # must be a no-op (the worker thread starts last).
+        self._state: Optional[ServiceState] = None
+        self._own_state = False
+        self._worker: Optional[threading.Thread] = None
+        self._queue: Optional["queue.Queue[_Pending]"] = None
+        self._closed = False
+        self._closing = threading.Event()
+
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if policy not in ("block", "shed"):
+            raise ValueError(
+                f"policy must be 'block' or 'shed', got {policy!r}"
+            )
+        self._queue = queue.Queue(maxsize=max_queue)
+        self._max_batch = int(max_batch)
+        self._max_wait_s = float(max_wait_s)
+        self._policy = policy
+        self._coalesce = bool(coalesce)
+        self.stats = ServiceStats(REQUEST_KINDS)
+        self._state = state
+        self._own_state = bool(own_state)
+        self._worker = threading.Thread(
+            target=self._run, name="churn-service", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def coalesce(self) -> bool:
+        return self._coalesce
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def state(self) -> ServiceState:
+        return self._state
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: Request, *, timeout: Optional[float] = None
+    ) -> Future:
+        """Admit a request; returns the future carrying its outcome.
+
+        Under ``"block"`` a full queue blocks (up to ``timeout`` if
+        given) before raising :class:`ServiceOverloadedError`; under
+        ``"shed"`` it raises immediately.
+        """
+        if self._closing.is_set():
+            raise ServiceClosedError("service is shutting down")
+        pending = _Pending(request)
+        try:
+            if self._policy == "shed":
+                self._queue.put_nowait(pending)
+            else:
+                self._queue.put(pending, timeout=timeout)
+        except queue.Full:
+            self.stats.count_shed()
+            raise ServiceOverloadedError(
+                f"queue full ({self._queue.maxsize}) under "
+                f"{self._policy!r} policy"
+            ) from None
+        self.stats.count_submitted(self._queue.qsize())
+        return pending.future
+
+    def request(
+        self,
+        kind: str,
+        peer: Optional[int] = None,
+        *,
+        timeout: Optional[float] = None,
+    ):
+        """Convenience: submit and wait for the answer."""
+        return self.submit(Request(kind, peer)).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=_IDLE_POLL_S)
+            except queue.Empty:
+                if self._closing.is_set():
+                    return
+                continue
+            batch = [first]
+            if self._coalesce:
+                deadline = time.perf_counter() + self._max_wait_s
+                while len(batch) < self._max_batch:
+                    remaining = deadline - time.perf_counter()
+                    try:
+                        if remaining <= 0:
+                            batch.append(self._queue.get_nowait())
+                        else:
+                            batch.append(self._queue.get(timeout=remaining))
+                    except queue.Empty:
+                        break
+            self._process(batch)
+
+    def _process(self, batch: List[_Pending]) -> None:
+        self.stats.count_epoch(len(batch))
+        try:
+            outcome = self._state.apply_epoch(
+                [pending.request for pending in batch]
+            )
+        except BaseException as error:  # noqa: BLE001 - relayed to callers
+            now = time.perf_counter()
+            for pending in batch:
+                self.stats.count_completed(
+                    pending.request.kind, False, now - pending.submitted_at
+                )
+                pending.future.set_exception(error)
+            return
+        now = time.perf_counter()
+        for pending, (ok, value) in zip(batch, outcome.results):
+            self.stats.count_completed(
+                pending.request.kind, ok, now - pending.submitted_at
+            )
+            if ok:
+                pending.future.set_result(value)
+            else:
+                pending.future.set_exception(RequestFailed(str(value)))
+
+    # ------------------------------------------------------------------
+    def snapshot_stats(self) -> Dict:
+        """Front-end counters + live evaluator totals, JSON-friendly."""
+        snapshot = self.stats.as_dict(queue_depth=self._queue.qsize())
+        if self._state is not None:
+            snapshot["evaluator_totals"] = self._state.evaluator_totals()
+            snapshot["state_epochs"] = self._state.epoch
+            snapshot["active_peers"] = len(self._state.active)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admission, drain every admitted request, release the
+        state.  Idempotent and safe after a failed ``__init__``."""
+        if self._closed:
+            return
+        self._closed = True
+        self._closing.set()
+        if self._worker is not None:
+            self._worker.join()
+        # A submit racing close() may slip past the worker's final
+        # drain; fail those futures rather than strand their callers.
+        while self._queue is not None:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.future.set_exception(
+                ServiceClosedError("service closed before processing")
+            )
+        if self._own_state and self._state is not None:
+            self._state.close()
+
+    def __enter__(self) -> "ChurnService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

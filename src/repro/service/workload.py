@@ -1,0 +1,141 @@
+"""Deterministic request-stream generation for the churn service.
+
+One generator feeds all three consumers — ``scripts/load_gen.py``, the
+e19 benchmark, and the replay-identity tests — so "the same workload"
+means the same seed, bit for bit.  The generator keeps an *exact* model
+of the membership the service will hold: join/leave semantics
+(idempotent joins, floor-protected leaves) depend only on the active
+set, never on rebind outcomes, so the model tracks the service without
+ever talking to it.  That keeps the stream meaningful (leaves and
+rebinds name peers that are actually active) while staying open-loop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.service.requests import Request
+from repro.service.state import POPULATION_FLOOR
+
+__all__ = ["WorkloadMix", "WorkloadGenerator", "DEFAULT_MIX"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative weights of the five request kinds (need not sum to 1)."""
+
+    join: float = 0.10
+    leave: float = 0.10
+    rebind: float = 0.60
+    query_cost: float = 0.15
+    query_social_cost: float = 0.05
+
+    def weights(self) -> Tuple[Tuple[str, float], ...]:
+        pairs = (
+            ("join", self.join),
+            ("leave", self.leave),
+            ("rebind", self.rebind),
+            ("query_cost", self.query_cost),
+            ("query_social_cost", self.query_social_cost),
+        )
+        if any(weight < 0 for _kind, weight in pairs):
+            raise ValueError("mix weights must be >= 0")
+        if not any(weight > 0 for _kind, weight in pairs):
+            raise ValueError("mix needs at least one positive weight")
+        return pairs
+
+    @classmethod
+    def parse(cls, spec: str) -> "WorkloadMix":
+        """Parse ``"join=0.2,rebind=0.8"`` (unnamed kinds default to 0)."""
+        values = {kind: 0.0 for kind in cls.__dataclass_fields__}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _sep, weight = part.partition("=")
+            if kind not in values:
+                raise ValueError(f"unknown request kind {kind!r} in mix")
+            values[kind] = float(weight)
+        return cls(**values)
+
+
+DEFAULT_MIX = WorkloadMix()
+
+
+class WorkloadGenerator:
+    """Seeded stream of service requests over a fixed universe.
+
+    The generator mirrors the service's membership rules exactly, so the
+    peers it names for leave/rebind/query are active at the moment the
+    request would be processed *if the stream is applied in generation
+    order* — which both the service (arrival order) and the closed-loop
+    replay guarantee.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        initial_active: Sequence[int],
+        seed: int,
+        mix: WorkloadMix = DEFAULT_MIX,
+    ) -> None:
+        if universe < POPULATION_FLOOR:
+            raise ValueError(f"universe must be >= {POPULATION_FLOOR}")
+        self._universe = int(universe)
+        self._active: Set[int] = set(int(p) for p in initial_active)
+        self._rng = random.Random(seed)
+        self._kinds = tuple(k for k, _w in mix.weights())
+        self._weights = tuple(w for _k, w in mix.weights())
+
+    # ------------------------------------------------------------------
+    def _pick_active(self) -> int:
+        return self._rng.choice(sorted(self._active))
+
+    def _pick_inactive(self) -> Optional[int]:
+        # Sampling by rejection keeps this O(1) for sparse occupancy
+        # (the common case: active << universe); fall back to the exact
+        # complement when the universe is nearly full.
+        if len(self._active) >= self._universe:
+            return None
+        for _ in range(8):
+            peer = self._rng.randrange(self._universe)
+            if peer not in self._active:
+                return peer
+        inactive = sorted(set(range(self._universe)) - self._active)
+        return self._rng.choice(inactive)
+
+    def next(self) -> Request:
+        kind = self._rng.choices(self._kinds, weights=self._weights)[0]
+        if kind == "join":
+            peer = self._pick_inactive()
+            if peer is None:  # universe saturated: rebind instead
+                return Request("rebind", self._pick_active())
+            self._active.add(peer)
+            return Request("join", peer)
+        if kind == "leave":
+            if len(self._active) - 1 < POPULATION_FLOOR:
+                # The service would reject this anyway; keep the stream
+                # useful by rebinding instead.
+                return Request("rebind", self._pick_active())
+            peer = self._pick_active()
+            self._active.discard(peer)
+            return Request("leave", peer)
+        if kind == "query_social_cost":
+            return Request("query_social_cost")
+        return Request(kind, self._pick_active())
+
+    def take(self, count: int) -> List[Request]:
+        return [self.next() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[Request]:
+        while True:
+            yield self.next()
+
+    # ------------------------------------------------------------------
+    def interarrival_s(self, rate_per_s: float) -> float:
+        """Poisson inter-arrival gap for an open-loop arrival process."""
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be > 0, got {rate_per_s}")
+        return self._rng.expovariate(rate_per_s)

@@ -153,6 +153,11 @@ class ChurnSimulation:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
 
+        # Owned-resource slots first: close() must be a no-op on an
+        # instance whose __init__ died in the validation below.
+        self._solver_backend = None
+        self._owns_backend = False
+
         if not 0.0 <= join_prob <= 1.0 or not 0.0 <= leave_prob <= 1.0:
             raise ValueError("join_prob and leave_prob must lie in [0, 1]")
         if metric.n < 2:
@@ -196,10 +201,10 @@ class ChurnSimulation:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release owned resources (idempotent): the solver pools of a
-        backend resolved from a spec string.  Per-epoch evaluators are
-        already closed at the end of their epoch."""
-        if self._owns_backend:
+        """Release owned resources (idempotent, failed-init safe): the
+        solver pools of a backend resolved from a spec string.  Per-epoch
+        evaluators are already closed at the end of their epoch."""
+        if self._owns_backend and self._solver_backend is not None:
             self._solver_backend.close()
 
     def __enter__(self) -> "ChurnSimulation":

@@ -166,6 +166,12 @@ class SimulationEngine:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
 
+        # Owned-resource slots first: close() must be a no-op on an
+        # instance whose __init__ died in the validation below.
+        self._owned_evaluator: Optional["GameEvaluator"] = None
+        self._owns_backend = False
+        self._backend = None
+
         check_shard_options(
             shards, shard_placement, max_resident_shards, shard_hosts
         )
@@ -194,16 +200,15 @@ class SimulationEngine:
         self._shard_placement = shard_placement
         self._max_resident_shards = max_resident_shards
         self._shard_hosts = shard_hosts
-        self._owned_evaluator: Optional["GameEvaluator"] = None
 
     def close(self) -> None:
-        """Release owned resources (idempotent): the engine-owned
-        sharded evaluator (stores, shard workers) and any backend pools
-        resolved from a spec string."""
+        """Release owned resources (idempotent, failed-init safe): the
+        engine-owned sharded evaluator (stores, shard workers) and any
+        backend pools resolved from a spec string."""
         if self._owned_evaluator is not None:
             self._owned_evaluator.close()
             self._owned_evaluator = None
-        if self._owns_backend:
+        if self._owns_backend and self._backend is not None:
             self._backend.close()
 
     def __enter__(self) -> "SimulationEngine":

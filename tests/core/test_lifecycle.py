@@ -246,6 +246,13 @@ class TestContextManagers:
             pool = dynamics._owned_evaluator.worker_pool
         assert pool.closed
 
+    def test_dynamics_double_close_is_safe(self):
+        game = _game(n=8)
+        dynamics = BestResponseDynamics(game, shards=2)
+        dynamics.run(max_rounds=2)
+        dynamics.close()
+        dynamics.close()
+
     def test_externally_owned_resources_survive_engine_close(self):
         game = _game(n=8)
         backend = SerialBackend()
@@ -258,3 +265,173 @@ class TestContextManagers:
         evaluator.set_profile(game.empty_profile()).peer_costs()
         assert backend.run_solves([1], lambda p: p) == [1]
         evaluator.close()
+
+
+class TestCloseAfterFailedInit:
+    """close() on an instance whose __init__ raised must be a no-op.
+
+    The failure mode pinned here: validation raising *before* the
+    owned-resource slots are assigned, so a later close() (an ExitStack,
+    a __del__, a defensive finally) hits AttributeError instead of
+    returning quietly.  Constructed via ``cls.__new__`` + explicit
+    ``__init__`` so the half-built instance survives the raise.
+    """
+
+    @staticmethod
+    def _failed_init(cls, *args, **kwargs):
+        instance = cls.__new__(cls)
+        with pytest.raises((ValueError, TypeError, IndexError)):
+            instance.__init__(*args, **kwargs)
+        return instance
+
+    def test_dynamics(self):
+        game = _game()
+        evaluator = game.make_evaluator(game.empty_profile())
+        try:
+            instance = self._failed_init(
+                BestResponseDynamics, game, shards=2, evaluator=evaluator
+            )
+            instance.close()
+            instance.close()
+        finally:
+            evaluator.close()
+
+    def test_engine(self):
+        instance = self._failed_init(
+            SimulationEngine, _game(), shards=2, incremental=False
+        )
+        instance.close()
+        instance.close()
+
+    def test_churn(self):
+        from repro.simulation.churn import ChurnSimulation
+
+        metric = EuclideanMetric.random_uniform(6, dim=2, seed=0)
+        instance = self._failed_init(
+            ChurnSimulation, metric, alpha=1.0, join_prob=2.0
+        )
+        instance.close()
+        instance.close()
+
+    def test_evaluator_with_bad_store(self):
+        game = _game()
+        instance = self._failed_init(
+            GameEvaluator, game, store="bogus"
+        )
+        instance.close()
+        instance.close()
+
+    def test_sharded_evaluator_with_bad_placement(self):
+        game = _game()
+        instance = self._failed_init(
+            ShardedEvaluator, game, shards=2, placement="bogus"
+        )
+        instance.close()
+        instance.close()
+
+    def test_socket_transport_that_never_connects(self):
+        from repro.core.shard_workers import ShardWorkerError
+        from repro.core.transport import SocketTransport
+
+        dmat = _game(n=4).distance_matrix
+        transport = SocketTransport.__new__(SocketTransport)
+        with pytest.raises(ShardWorkerError, match="never came up"):
+            transport.__init__(
+                "unix:/nonexistent/repro-lifecycle.sock",
+                0,
+                2,
+                dmat,
+                connect_timeout=0.2,
+            )
+        transport.close()
+        transport.close()
+        assert not transport.alive
+
+    def test_service_state(self):
+        from repro.service import ServiceState
+
+        metric = EuclideanMetric.random_uniform(8, dim=2, seed=1)
+        instance = self._failed_init(
+            ServiceState, metric, 1.0, shard_placement="local"
+        )
+        instance.close()
+        instance.close()
+
+    def test_churn_service(self):
+        from repro.service import ChurnService, ServiceState
+
+        metric = EuclideanMetric.random_uniform(8, dim=2, seed=1)
+        with ServiceState(metric, 1.0, initial_active=range(4)) as state:
+            instance = self._failed_init(ChurnService, state, max_queue=0)
+            instance.close()
+            instance.close()
+
+    def test_service_server_with_bad_address(self):
+        from repro.service import ChurnService, ServiceServer, ServiceState
+
+        metric = EuclideanMetric.random_uniform(8, dim=2, seed=1)
+        with ChurnService(
+            ServiceState(metric, 1.0, initial_active=range(4))
+        ) as service:
+            instance = self._failed_init(
+                ServiceServer, service, "not-an-address"
+            )
+            instance.close()
+            instance.close()
+
+    def test_service_client_that_never_connects(self):
+        from repro.service import ServiceClient
+
+        client = ServiceClient.__new__(ServiceClient)
+        with pytest.raises(OSError):
+            client.__init__(
+                "unix:/nonexistent/repro-service.sock", connect_timeout=0.1
+            )
+        client.close()
+        client.close()
+
+
+class TestServiceClose:
+    """Double-close and post-close behavior of the service layer."""
+
+    def _service(self):
+        from repro.service import ChurnService, ServiceState
+
+        metric = EuclideanMetric.random_uniform(10, dim=2, seed=2)
+        return ChurnService(
+            ServiceState(metric, 1.0, initial_active=range(4))
+        )
+
+    def test_double_close_and_owned_state(self):
+        from repro.service import Request, ServiceClosedError
+
+        service = self._service()
+        service.request("rebind", 0)
+        service.close()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(Request("rebind", 1))
+        with pytest.raises(ServiceClosedError):
+            service.state.apply_epoch([Request("rebind", 1)])
+
+    def test_unowned_state_survives_service_close(self):
+        from repro.service import ChurnService, Request, ServiceState
+
+        metric = EuclideanMetric.random_uniform(10, dim=2, seed=2)
+        state = ServiceState(metric, 1.0, initial_active=range(4))
+        service = ChurnService(state, own_state=False)
+        service.request("rebind", 0)
+        service.close()
+        outcome = state.apply_epoch([Request("rebind", 1)])
+        assert outcome.results[0][0]
+        state.close()
+
+    def test_server_double_close(self, tmp_path):
+        from repro.service import ServiceServer
+
+        server = ServiceServer(
+            self._service(), f"unix:{tmp_path / 'close.sock'}"
+        )
+        server.close()
+        server.close()
+        assert not os.path.exists(str(tmp_path / "close.sock"))

@@ -13,6 +13,7 @@ bad magic, oversized lengths, truncated payloads, unknown tags — raises
 import io
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -234,3 +235,177 @@ class TestSocketFraming:
             _assert_value_equal(recv_frame(sock), message)
         thread.join(timeout=5)
         listener.close()
+
+
+class TestConnectRetryWithBackoff:
+    """Bounded retry on initial connect: a server still starting must
+    not fail the run; a server killed mid-request still raises
+    :class:`ShardWorkerError` (no retry once the stream is live)."""
+
+    @staticmethod
+    def _dmat(n=4):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(size=(n, 2))
+        diff = points[:, None, :] - points[None, :, :]
+        return np.sqrt((diff * diff).sum(axis=-1))
+
+    def test_connect_address_waits_for_a_late_listener(self, tmp_path):
+        from repro.core.transport import connect_address
+
+        path = str(tmp_path / "late.sock")
+        listener_box = []
+
+        def bind_late():
+            time.sleep(0.3)
+            listener_box.append(create_listener(f"unix:{path}"))
+
+        thread = threading.Thread(target=bind_late, daemon=True)
+        started = time.monotonic()
+        thread.start()
+        sock = connect_address(f"unix:{path}", timeout=10.0)
+        assert time.monotonic() - started >= 0.25
+        sock.close()
+        thread.join(timeout=5)
+        listener_box[0].close()
+
+    def test_connect_address_gives_up_at_the_deadline(self, tmp_path):
+        from repro.core.transport import connect_address
+
+        with pytest.raises(OSError):
+            connect_address(
+                f"unix:{tmp_path / 'never.sock'}", timeout=0.2
+            )
+
+    def test_transport_rides_out_a_slow_starting_server(self, tmp_path):
+        """The full init handshake succeeds against a shard server that
+        binds its socket well after the client started connecting."""
+        from repro.core.transport import SocketTransport
+        from repro.shard_server import ShardServer
+
+        path = str(tmp_path / "slow.sock")
+        server_box = []
+
+        def serve_late():
+            time.sleep(0.3)
+            server = ShardServer(f"unix:{path}", auto_exit=False)
+            server_box.append(server)
+            server.serve_forever()
+
+        thread = threading.Thread(target=serve_late, daemon=True)
+        thread.start()
+        transport = SocketTransport(
+            f"unix:{path}", 0, 2, self._dmat(), connect_timeout=10.0
+        )
+        try:
+            assert transport.alive
+            assert transport.request(("ping",)) == "pong"
+        finally:
+            transport.close()
+            server_box[0].stop()
+            thread.join(timeout=10)
+
+    def test_transport_retries_a_dropped_handshake(self, tmp_path):
+        """A listener that accepts and immediately drops the first
+        connections (a server mid-startup) is retried; the handshake
+        lands once the far side actually serves."""
+        path = str(tmp_path / "flaky.sock")
+        listener = create_listener(f"unix:{path}")
+        drops = 2
+
+        def flaky_server():
+            for _ in range(drops):
+                conn, _ = listener.accept()
+                conn.close()  # EOF before the init reply
+            conn, _ = listener.accept()
+            with conn:
+                message = read_frame(conn.recv)
+                assert message[0] == "init"
+                send_frame(conn, ("ok", None))
+                assert read_frame(conn.recv) == ("stop",)
+                send_frame(conn, ("ok", None))
+
+        from repro.core.transport import SocketTransport
+
+        thread = threading.Thread(target=flaky_server, daemon=True)
+        thread.start()
+        transport = SocketTransport(
+            f"unix:{path}", 0, 2, self._dmat(), connect_timeout=10.0
+        )
+        assert transport.alive
+        transport.close()
+        thread.join(timeout=5)
+        listener.close()
+
+    def test_error_reply_is_fatal_not_retried(self, tmp_path):
+        """An explicit ("error", ...) init reply means the server is up
+        and rejecting us — retrying would loop on a real failure."""
+        from repro.core.shard_workers import ShardWorkerError
+        from repro.core.transport import SocketTransport
+
+        path = str(tmp_path / "reject.sock")
+        listener = create_listener(f"unix:{path}")
+        attempts = []
+
+        def rejecting_server():
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                attempts.append(1)
+                with conn:
+                    read_frame(conn.recv)
+                    send_frame(conn, ("error", "init rejected"))
+
+        thread = threading.Thread(target=rejecting_server, daemon=True)
+        thread.start()
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="init rejected"):
+            SocketTransport(
+                f"unix:{path}", 0, 2, self._dmat(), connect_timeout=10.0
+            )
+        assert time.monotonic() - started < 5.0  # no retry-until-deadline
+        assert len(attempts) == 1
+        listener.close()
+        thread.join(timeout=5)
+
+    def test_deadline_exhaustion_raises_shard_worker_error(self, tmp_path):
+        from repro.core.shard_workers import ShardWorkerError
+        from repro.core.transport import SocketTransport
+
+        with pytest.raises(ShardWorkerError, match="never came up"):
+            SocketTransport(
+                f"unix:{tmp_path / 'never.sock'}",
+                0,
+                2,
+                self._dmat(),
+                connect_timeout=0.3,
+            )
+
+    def test_killed_mid_request_still_raises(self, tmp_path):
+        """Retry covers *initial connect* only: once the stream is
+        live, a dying server is an error, never a silent reconnect."""
+        from repro.core.shard_workers import ShardWorkerError
+        from repro.core.transport import SocketTransport
+
+        path = str(tmp_path / "dying.sock")
+        listener = create_listener(f"unix:{path}")
+
+        def dying_server():
+            conn, _ = listener.accept()
+            read_frame(conn.recv)
+            send_frame(conn, ("ok", None))  # init succeeds...
+            read_frame(conn.recv)
+            conn.close()  # ...then dies mid-request
+
+        thread = threading.Thread(target=dying_server, daemon=True)
+        thread.start()
+        transport = SocketTransport(
+            f"unix:{path}", 0, 2, self._dmat(), connect_timeout=10.0
+        )
+        with pytest.raises(ShardWorkerError, match="died mid-request"):
+            transport.request(("ping",))
+        assert not transport.alive
+        transport.close()
+        listener.close()
+        thread.join(timeout=5)

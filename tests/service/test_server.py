@@ -1,0 +1,116 @@
+"""Service socket front door: protocol, error mapping, shutdown."""
+
+import threading
+
+import pytest
+
+from repro.metrics.euclidean import EuclideanMetric
+from repro.service import (
+    ChurnService,
+    RequestFailed,
+    ServiceClient,
+    ServiceServer,
+    ServiceState,
+)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A running server on a private unix socket, torn down after."""
+    state = ServiceState(
+        EuclideanMetric.random_uniform(40, dim=2, seed=7),
+        2.0,
+        initial_active=range(10),
+    )
+    service = ChurnService(state, max_batch=8, max_wait_s=0.005)
+    server = ServiceServer(
+        service, f"unix:{tmp_path / 'service.sock'}"
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.stop()
+    thread.join(timeout=30)
+    server.close()
+    assert not thread.is_alive()
+
+
+class TestServiceProtocol:
+    def test_requests_round_trip(self, served):
+        with ServiceClient(served.address) as client:
+            assert client.request("join", 20) is True
+            assert client.request("rebind", 20) in (True, False)
+            assert isinstance(client.request("query_cost", 20), float)
+            assert isinstance(client.request("query_social_cost"), float)
+            assert client.request("leave", 20) is True
+
+    def test_rejections_map_to_request_failed(self, served):
+        with ServiceClient(served.address) as client:
+            with pytest.raises(RequestFailed, match="not active"):
+                client.request("rebind", 35)
+
+    def test_bad_kind_is_a_service_error_and_connection_survives(
+        self, served
+    ):
+        from repro.service import ServiceError
+
+        with ServiceClient(served.address) as client:
+            with pytest.raises(ServiceError, match="unknown request kind"):
+                client.request("frobnicate", 1)
+            client.ping()  # the connection (and service) is still up
+
+    def test_stats_snapshot_over_the_wire(self, served):
+        with ServiceClient(served.address) as client:
+            client.request("rebind", 3)
+            stats = client.stats()
+        assert stats["completed"] >= 1
+        assert stats["latency_ms"]["rebind"]["count"] >= 1
+        assert "evaluator_totals" in stats
+
+    def test_concurrent_clients_share_the_coalescer(self, served):
+        def hammer(seed):
+            with ServiceClient(served.address) as client:
+                for i in range(10):
+                    client.request("rebind", (seed * 3 + i) % 10)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        stats = served.service.snapshot_stats()
+        assert stats["completed"] == 40
+
+    def test_shutdown_stops_the_server(self, served):
+        with ServiceClient(served.address) as client:
+            client.request("join", 25)
+            client.shutdown()
+        # serve_forever exits; the fixture's join asserts the thread died.
+
+    def test_client_close_is_idempotent(self, served):
+        client = ServiceClient(served.address)
+        client.ping()
+        client.close()
+        client.close()
+
+    def test_tcp_ephemeral_port(self):
+        state = ServiceState(
+            EuclideanMetric.random_uniform(12, dim=2, seed=1),
+            2.0,
+            initial_active=range(4),
+        )
+        with ServiceServer(
+            ChurnService(state), "127.0.0.1:0"
+        ) as server:
+            assert not server.address.endswith(":0")
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            with ServiceClient(server.address) as client:
+                assert client.request("query_social_cost") >= 0.0
+            server.stop()
+            thread.join(timeout=30)
+        assert not thread.is_alive()

@@ -1,0 +1,375 @@
+"""Churn service: epoch semantics, coalescer, backpressure, stats."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import GameEvaluator
+from repro.core.game import TopologyGame
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import DistanceMatrixMetric
+from repro.service import (
+    ChurnService,
+    Request,
+    RequestFailed,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceState,
+)
+from repro.service.metrics import LatencyHistogram
+from repro.service.state import (
+    POPULATION_FLOOR,
+    nearest_active,
+    subgame_matrix,
+)
+
+
+def _metric(n=24, seed=5):
+    return EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+
+
+def _state(n=24, active=8, alpha=2.0, seed=5, **options):
+    return ServiceState(
+        _metric(n, seed), alpha, initial_active=range(active), **options
+    )
+
+
+class TestRequestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            Request("frobnicate", 1)
+
+    def test_peer_kinds_need_a_peer(self):
+        with pytest.raises(ValueError, match="needs a peer"):
+            Request("rebind")
+
+    def test_social_query_takes_no_peer(self):
+        with pytest.raises(ValueError, match="takes no peer"):
+            Request("query_social_cost", 3)
+
+    @pytest.mark.parametrize("bad", [True, 1.5, "7"])
+    def test_peer_must_be_a_plain_int(self, bad):
+        with pytest.raises(TypeError):
+            Request("join", bad)
+
+    def test_negative_peer_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Request("leave", -1)
+
+
+class TestSubgameHelpers:
+    def test_subgame_matrix_matches_full_slice(self):
+        metric = _metric(16)
+        active = [1, 4, 9, 13]
+        full = metric.distance_matrix()[np.ix_(active, active)]
+        np.testing.assert_array_equal(
+            subgame_matrix(metric, active), full
+        )
+
+    def test_nearest_active_matches_min_tiebreak(self):
+        metric = _metric(20, seed=9)
+        dmat = metric.distance_matrix()
+        active = sorted({3, 7, 11, 15, 19})
+        for peer in range(20):
+            others = [p for p in active if p != peer]
+            expected = min(others, key=lambda p: (dmat[peer, p], p))
+            assert nearest_active(metric, peer, others) == expected
+
+    def test_nearest_active_without_coordinates(self):
+        metric = _metric(10)
+        dense = DistanceMatrixMetric(metric.distance_matrix())
+        active = [0, 3, 6, 9]
+        assert nearest_active(dense, 5, active) == nearest_active(
+            metric, 5, active
+        )
+
+
+class TestServiceStateSemantics:
+    def test_join_activates_and_links_nearest(self):
+        with _state() as state:
+            outcome = state.apply_epoch([Request("join", 20)])
+            assert outcome.results[0] == (True, True)
+            assert 20 in state.active
+            _active, strategies = state.snapshot()
+            links = dict(zip(_active, strategies))[20]
+            assert len(links) == 1 and links[0] in state.active
+
+    def test_join_is_idempotent(self):
+        with _state() as state:
+            outcome = state.apply_epoch([Request("join", 3)])
+            assert outcome.results[0] == (True, False)  # already active
+
+    def test_join_outside_universe_rejected(self):
+        with _state(n=24) as state:
+            outcome = state.apply_epoch([Request("join", 24)])
+            ok, message = outcome.results[0]
+            assert not ok and "universe" in message
+
+    def test_leave_prunes_links_to_the_departed(self):
+        with _state() as state:
+            state.apply_epoch([Request("rebind", p) for p in range(8)])
+            outcome = state.apply_epoch([Request("leave", 0)])
+            assert outcome.results[0] == (True, True)
+            assert 0 not in state.active
+            _active, strategies = state.snapshot()
+            assert all(0 not in links for links in strategies)
+
+    def test_leave_below_floor_rejected(self):
+        with _state(active=POPULATION_FLOOR) as state:
+            outcome = state.apply_epoch([Request("leave", 0)])
+            ok, message = outcome.results[0]
+            assert not ok and "floor" in message
+            assert len(state.active) == POPULATION_FLOOR
+
+    def test_rebind_of_inactive_peer_rejected(self):
+        with _state(active=4) as state:
+            outcome = state.apply_epoch([Request("rebind", 17)])
+            ok, message = outcome.results[0]
+            assert not ok and "not active" in message
+
+    def test_membership_phase_precedes_rebinds(self):
+        """A leave coalesced into an epoch beats an earlier-submitted
+        rebind for the same peer: membership is phase 1."""
+        with _state(active=6) as state:
+            outcome = state.apply_epoch(
+                [Request("rebind", 2), Request("leave", 2)]
+            )
+            ok, message = outcome.results[0]
+            assert not ok and "not active" in message
+            assert outcome.results[1] == (True, True)
+
+    def test_query_cost_matches_direct_evaluator(self):
+        with _state(active=6, alpha=1.5) as state:
+            state.apply_epoch([Request("rebind", p) for p in range(6)])
+            outcome = state.apply_epoch(
+                [Request("query_cost", 2), Request("query_social_cost")]
+            )
+            (ok_peer, peer_cost), (ok_social, social) = outcome.results
+            assert ok_peer and ok_social
+            active = list(state.active)
+            dmat = subgame_matrix(state._metric, active)
+            game = TopologyGame(
+                DistanceMatrixMetric(dmat, validate=False), 1.5
+            )
+            with GameEvaluator(
+                game, state._sub_profile(
+                    active, {p: i for i, p in enumerate(active)}
+                )
+            ) as evaluator:
+                assert peer_cost == evaluator.peer_cost(active.index(2))
+                assert social == evaluator.social_cost().total
+
+    def test_duplicate_rebinds_share_one_solve(self):
+        with _state(active=6) as state:
+            outcome = state.apply_epoch(
+                [Request("rebind", 1), Request("rebind", 1)]
+            )
+            assert outcome.results[0] == outcome.results[1]
+
+    def test_rebind_epoch_equals_churn_batched_commit_loop(self):
+        """One service epoch of rebinds = one batched churn epoch: same
+        responses against the epoch-start profile, same in-order
+        commits with stale re-checks."""
+        from repro.core.dynamics import batch_responses, recheck_improvement
+
+        metric = _metric(12, seed=3)
+        active = list(range(8))
+        with ServiceState(metric, 2.0, initial_active=active) as state:
+            sub_before = state._sub_profile(
+                active, {p: i for i, p in enumerate(active)}
+            )
+            outcome = state.apply_epoch(
+                [Request("rebind", p) for p in active]
+            )
+            _active, strategies = state.snapshot()
+
+        dmat = metric.subset(active).distance_matrix()
+        game = TopologyGame(DistanceMatrixMetric(dmat, validate=False), 2.0)
+        with GameEvaluator(game, sub_before) as evaluator:
+            responses = batch_responses(
+                game, sub_before, list(range(8)), "greedy", evaluator
+            )
+            sub = base = sub_before
+            moves = 0
+            expected = [set(sub_before.strategy(i)) for i in range(8)]
+            for slot, response in zip(range(8), responses):
+                if not response.improved:
+                    continue
+                if sub is not base:
+                    commit, _o, _n = recheck_improvement(
+                        game, sub, response, evaluator
+                    )
+                    if not commit:
+                        continue
+                expected[slot] = set(response.strategy)
+                sub = sub.with_strategy(slot, response.strategy)
+                moves += 1
+        assert outcome.moves == moves
+        assert [set(s) for s in strategies] == [
+            set(s) for s in expected
+        ]
+
+    def test_epoch_counter_and_digest_advance(self):
+        with _state() as state:
+            d0 = state.digest()
+            state.apply_epoch([Request("rebind", 0)])
+            assert state.epoch == 1
+            state.apply_epoch([Request("join", 20)])
+            assert state.epoch == 2
+            assert state.digest() != d0
+
+    def test_closed_state_refuses_epochs(self):
+        state = _state()
+        state.close()
+        with pytest.raises(ServiceClosedError):
+            state.apply_epoch([Request("rebind", 0)])
+
+    def test_evaluator_totals_accumulate(self):
+        with _state(active=6) as state:
+            state.apply_epoch([Request("rebind", p) for p in range(6)])
+            totals = state.evaluator_totals()
+            assert totals.get("gain_sweeps", 0) >= 1
+            assert totals.get("response_solves", 0) >= 6
+
+
+class TestChurnServiceFrontEnd:
+    def test_coalescer_batches_and_answers_everything(self):
+        state = _state(active=8)
+        with ChurnService(state, max_batch=32, max_wait_s=0.05) as service:
+            futures = [
+                service.submit(Request("rebind", p % 8)) for p in range(64)
+            ]
+            results = [f.result(timeout=30) for f in futures]
+        assert all(isinstance(r, bool) for r in results)
+        stats = service.stats.as_dict()
+        assert stats["epochs"] < 64  # actually coalesced
+        assert stats["max_epoch_size"] > 1
+        assert stats["completed"] == 64
+
+    def test_no_coalesce_runs_one_epoch_per_request(self):
+        state = _state(active=6)
+        with ChurnService(state, coalesce=False) as service:
+            futures = [
+                service.submit(Request("rebind", p % 6)) for p in range(10)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+        assert service.stats.as_dict()["epochs"] == 10
+
+    def test_rejections_surface_as_request_failed(self):
+        state = _state(active=4)
+        with ChurnService(state) as service:
+            future = service.submit(Request("rebind", 23))  # inactive
+            with pytest.raises(RequestFailed, match="not active"):
+                future.result(timeout=30)
+        assert service.stats.as_dict()["failed"] == 1
+
+    def test_drain_on_shutdown_completes_admitted_work(self):
+        state = _state(active=8)
+        service = ChurnService(state, max_batch=4, max_wait_s=0.0)
+        futures = [
+            service.submit(Request("rebind", p % 8)) for p in range(20)
+        ]
+        service.close()  # stop admission, drain what was admitted
+        assert all(future.done() for future in futures)
+        assert service.stats.as_dict()["completed"] == 20
+
+    def test_submit_after_close_is_refused(self):
+        service = ChurnService(_state())
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(Request("rebind", 0))
+
+    def _blocked_service(self, **options):
+        """A service whose worker is parked inside its first epoch."""
+        state = _state(active=4)
+        release = threading.Event()
+        entered = threading.Event()
+        original = state.apply_epoch
+
+        def gated(requests):
+            entered.set()
+            release.wait(timeout=30)
+            return original(requests)
+
+        state.apply_epoch = gated
+        service = ChurnService(state, coalesce=False, **options)
+        service.submit(Request("rebind", 0))  # parks the worker
+        assert entered.wait(timeout=10)
+        return service, release
+
+    def test_shed_policy_fails_fast_when_full(self):
+        service, release = self._blocked_service(
+            max_queue=2, policy="shed"
+        )
+        try:
+            service.submit(Request("rebind", 1))
+            service.submit(Request("rebind", 2))
+            with pytest.raises(ServiceOverloadedError, match="queue full"):
+                service.submit(Request("rebind", 3))
+            assert service.stats.as_dict()["shed"] == 1
+        finally:
+            release.set()
+            service.close()
+
+    def test_block_policy_times_out_when_full(self):
+        service, release = self._blocked_service(
+            max_queue=1, policy="block"
+        )
+        try:
+            service.submit(Request("rebind", 1))
+            started = time.perf_counter()
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(Request("rebind", 2), timeout=0.1)
+            assert time.perf_counter() - started >= 0.1
+        finally:
+            release.set()
+            service.close()
+
+    def test_request_convenience_waits_for_the_answer(self):
+        with ChurnService(_state(active=6)) as service:
+            assert service.request("join", 20) is True
+            assert isinstance(
+                service.request("query_social_cost"), float
+            )
+
+    def test_snapshot_stats_carries_evaluator_totals(self):
+        with ChurnService(_state(active=6)) as service:
+            service.request("rebind", 1)
+            snapshot = service.snapshot_stats()
+        assert snapshot["evaluator_totals"].get("gain_sweeps", 0) >= 1
+        assert snapshot["state_epochs"] >= 1
+        assert snapshot["active_peers"] == 6
+        assert snapshot["latency_ms"]["rebind"]["count"] == 1
+
+
+class TestLatencyHistogram:
+    def test_quantiles_are_conservative_upper_bounds(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.1):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.quantile(0.0) > 0
+        assert histogram.quantile(0.5) >= 0.002
+        assert histogram.quantile(1.0) == pytest.approx(0.1)
+        assert histogram.max_s == pytest.approx(0.1)
+        assert histogram.mean_s == pytest.approx(0.02675)
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.as_dict()["count"] == 0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_as_dict_reports_standard_tail_points(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.01)
+        summary = histogram.as_dict()
+        assert {"count", "mean_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms"} <= set(
+            summary
+        )

@@ -89,3 +89,101 @@ class TestProfileSweepScript:
         assert result.returncode == 0
         assert "verdict" in result.stdout
         assert "cumulative" in result.stdout
+
+    def test_profiles_service_epoch_engine(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(self.SCRIPT),
+                "--service",
+                "--param", "universe=400",
+                "--param", "active=16",
+                "--param", "count=40",
+                "--top", "5",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "epochs" in result.stdout
+        assert "cumulative" in result.stdout
+
+    def test_service_rejects_unknown_param(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(self.SCRIPT),
+                "--service",
+                "--param", "bogus=1",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0
+
+
+class TestLoadGenScript:
+    SCRIPT = REPO_ROOT / "scripts" / "load_gen.py"
+
+    def test_help_exits_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "--rate" in result.stdout
+        assert "--shutdown" in result.stdout
+
+    def test_drives_a_live_server_end_to_end(self, tmp_path):
+        """serve + load_gen + clean shutdown, the CI smoke in miniature."""
+        import json
+        import time
+
+        sock = tmp_path / "load-gen.sock"
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--listen", f"unix:{sock}",
+                "--universe", "200",
+                "--active", "12",
+                "--quiet",
+            ],
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not sock.exists():
+                assert time.monotonic() < deadline, "server never bound"
+                assert server.poll() is None, "server died on startup"
+                time.sleep(0.05)
+            result = subprocess.run(
+                [
+                    sys.executable, str(self.SCRIPT),
+                    f"unix:{sock}",
+                    "--rate", "0",
+                    "--count", "40",
+                    "--universe", "200",
+                    "--active", "12",
+                    "--seed", "3",
+                    "--shutdown",
+                    "--json",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=120,
+                cwd=str(REPO_ROOT),
+            )
+            assert result.returncode == 0, result.stderr
+            summary = json.loads(result.stdout)
+            assert summary["completed"] > 0
+            assert summary["client_errors"] == 0
+            assert server.wait(timeout=30) == 0
+            assert not sock.exists(), "server left its socket behind"
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
