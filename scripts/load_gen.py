@@ -77,6 +77,43 @@ def run_client(
         counters["errors"] += errors
 
 
+def summarize(
+    counters: dict, total: int, elapsed: float, stats=None
+) -> dict:
+    """Fold raw counters into the printed/JSON summary.
+
+    Shed requests are admission-control working as designed, not client
+    errors: they count toward ``handled`` (the service answered) but not
+    ``completed`` (the request was never processed).  Only transport or
+    server failures land in ``client_errors``.
+    """
+    done = counters["ok"] + counters["failed"]
+    handled = done + counters["shed"]
+    return {
+        "sent": total,
+        "completed": done,
+        "handled": handled,
+        "ok": counters["ok"],
+        "rejected": counters["failed"],
+        "shed": counters["shed"],
+        "client_errors": counters["errors"],
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(done / elapsed, 1) if elapsed > 0 else 0.0,
+        "server_stats": stats,
+    }
+
+
+def exit_code(summary: dict) -> int:
+    """0 iff no client errors and the service handled something.
+
+    A fully-shed run under ``--policy shed`` is a healthy service
+    telling us it is saturated — that is a load-generator success.
+    """
+    if summary["client_errors"] > 0:
+        return 1
+    return 0 if summary["handled"] > 0 else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -197,26 +234,15 @@ def main(argv=None) -> int:
     except ServiceError as error:
         print(f"load_gen: stats/shutdown failed: {error}", file=sys.stderr)
 
-    done = counters["ok"] + counters["failed"]
-    summary = {
-        "sent": total,
-        "completed": done,
-        "ok": counters["ok"],
-        "rejected": counters["failed"],
-        "shed": counters["shed"],
-        "client_errors": counters["errors"],
-        "elapsed_s": round(elapsed, 3),
-        "throughput_rps": round(done / elapsed, 1) if elapsed > 0 else 0.0,
-        "server_stats": stats,
-    }
+    summary = summarize(counters, total, elapsed, stats)
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
         print(
-            f"load_gen: {done}/{total} completed in {elapsed:.2f}s "
-            f"({summary['throughput_rps']} req/s), "
-            f"{counters['failed']} rejected, {counters['shed']} shed, "
-            f"{counters['errors']} client errors"
+            f"load_gen: {summary['completed']}/{total} completed in "
+            f"{elapsed:.2f}s ({summary['throughput_rps']} req/s), "
+            f"{summary['rejected']} rejected, {summary['shed']} shed, "
+            f"{summary['client_errors']} client errors"
         )
         if stats is not None:
             latency = stats.get("latency_ms", {})
@@ -233,7 +259,7 @@ def main(argv=None) -> int:
                 f"coalesced_requests={stats.get('coalesced_requests')} "
                 f"queue_depth_peak={stats.get('queue_depth_peak')}"
             )
-    return 0 if counters["errors"] == 0 and done > 0 else 1
+    return exit_code(summary)
 
 
 if __name__ == "__main__":

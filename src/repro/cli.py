@@ -324,6 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the replayable epoch journal here on shutdown",
     )
     serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults (chaos testing): comma-"
+        "separated key=value pairs — seed=N, drop/corrupt/delay=RATE, "
+        "delay_ms=F, max_ops=N, kill=SITE@OP (repeatable); 'null' "
+        "disables. Transport faults require --shard-placement "
+        "process|socket; the service queue is always faultable",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress stderr log lines"
     )
     _add_execution_flags(serve)
@@ -528,6 +538,20 @@ def _cmd_serve(args) -> int:
     metric = EuclideanMetric.random_uniform(
         args.universe, dim=args.dim, seed=args.seed
     )
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            print(f"error: --fault-plan: {error}", file=sys.stderr)
+            return 2
+        if fault_plan.is_null:
+            fault_plan = None
+    # Transport-level faults need per-shard worker transports to wrap;
+    # without them only the service-queue site is live.
+    transports_faultable = args.shard_placement in ("process", "socket")
     journal = ServiceJournal() if args.journal else None
     state = ServiceState(
         metric,
@@ -535,6 +559,8 @@ def _cmd_serve(args) -> int:
         initial_active=range(args.active),
         method=args.method,
         journal=journal,
+        fault_plan=fault_plan if transports_faultable else None,
+        recovery=True if transports_faultable and fault_plan else None,
         **_harness_params(args),
     )
     service = ChurnService(
@@ -544,7 +570,14 @@ def _cmd_serve(args) -> int:
         max_wait_s=args.max_wait_ms / 1e3,
         policy=args.policy,
         coalesce=not args.no_coalesce,
+        fault_plan=fault_plan,
     )
+    if fault_plan is not None and not args.quiet:
+        scope = "queue+transports" if transports_faultable else "queue only"
+        print(
+            f"fault plan: {fault_plan.describe()} ({scope})",
+            file=sys.stderr,
+        )
     try:
         server = ServiceServer(service, args.listen, quiet=args.quiet)
     except (OSError, ValueError) as error:

@@ -108,6 +108,7 @@ __all__ = [
     "ShardWorkerError",
     "ShardTransport",
     "PipeTransport",
+    "RecoveryPolicy",
     "ShardWorkerPool",
     "ShardSolverBackend",
     "PLACEMENT_SPECS",
@@ -576,7 +577,26 @@ class PipeTransport(ShardTransport):
         self._process.start()
         child.close()  # the worker holds its own copy of the fd
 
+    @property
+    def name(self) -> str:
+        return self._process.name
+
     def send(self, message: Tuple) -> None:
+        # A worker found dead *before* anything goes on the wire never
+        # saw this request: that is the recoverable case (respawn and
+        # retry cannot double-apply anything), and the message contract
+        # keeps it distinguishable from a mid-request death.
+        try:
+            alive = self._process.is_alive()
+        except ValueError:
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} transport is closed"
+            ) from None
+        if not alive:
+            raise ShardWorkerError(
+                f"shard worker {self._process.name} died between requests "
+                f"(exit code {self._process.exitcode})"
+            )
         try:
             self._conn.send(message)
         except (EOFError, OSError, BrokenPipeError) as error:
@@ -601,7 +621,21 @@ class PipeTransport(ShardTransport):
 
     @property
     def alive(self) -> bool:
-        return self._process.is_alive()
+        try:
+            return self._process.is_alive()
+        except ValueError:  # handle released by close()
+            return False
+
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos drills); the pipe is left to close().
+
+        The connection stays open so an in-flight ``recv`` observes the
+        genuine EOF (a *mid-request* death), while the next ``send``
+        finds the process dead first (*between requests*).
+        """
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(timeout=5)
 
     def close(self) -> None:
         _stop_pipe_worker(self._conn, self._process)
@@ -609,7 +643,11 @@ class PipeTransport(ShardTransport):
 
 def _stop_pipe_worker(conn, process) -> None:
     """Stop one pipe worker; safe to call repeatedly or post-mortem."""
-    if process.is_alive():
+    try:
+        alive = process.is_alive()
+    except ValueError:  # process handle already released: repeat close
+        return
+    if alive:
         try:
             conn.send(("stop",))
             conn.recv()
@@ -620,6 +658,52 @@ def _stop_pipe_worker(conn, process) -> None:
             process.terminate()
             process.join(timeout=5)
     conn.close()
+    try:
+        # Release the dead process's OS handles (sentinel pipe) now
+        # instead of at GC time — the chaos drills count leaked fds.
+        process.close()
+    except ValueError:  # pragma: no cover - stuck worker still alive
+        pass
+
+
+class RecoveryPolicy:
+    """How a pool responds to a dead shard worker.
+
+    ``max_restarts_per_shard`` bounds how many times any one shard may
+    be respawned over the pool's lifetime — recovery is for transient
+    faults, not for masking a worker that is crash-looping on its own
+    input.  Respawn rebuilds the worker from the pool's mirrored profile
+    history (one ``reset`` plus the rebinds since), so the replacement
+    answers every query with the same bytes the dead worker would have.
+    """
+
+    __slots__ = ("max_restarts_per_shard",)
+
+    def __init__(self, max_restarts_per_shard: int = 3) -> None:
+        if max_restarts_per_shard < 1:
+            raise ValueError(
+                f"max_restarts_per_shard must be >= 1, "
+                f"got {max_restarts_per_shard}"
+            )
+        self.max_restarts_per_shard = int(max_restarts_per_shard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecoveryPolicy(max_restarts_per_shard={self.max_restarts_per_shard})"
+
+
+def _coerce_recovery(recovery) -> Optional[RecoveryPolicy]:
+    if recovery is None or recovery is False:
+        return None
+    if recovery is True:
+        return RecoveryPolicy()
+    if isinstance(recovery, RecoveryPolicy):
+        return recovery
+    if isinstance(recovery, int):
+        return RecoveryPolicy(max_restarts_per_shard=recovery)
+    raise TypeError(
+        f"recovery must be None, bool, int or RecoveryPolicy, "
+        f"got {type(recovery).__name__}"
+    )
 
 
 class ShardWorkerPool:
@@ -632,6 +716,17 @@ class ShardWorkerPool:
     profile syncs, and collects per-worker stats.  All methods are
     synchronous and ordered per worker, so a ``rows`` request can never
     overtake the ``rebind`` that dirtied it.
+
+    With a :class:`RecoveryPolicy` (``recovery=``), a worker that dies
+    is respawned through the same transport factory and rebuilt from
+    the pool's mirrored profile history; the failed request is then
+    retried once on the replacement.  Every protocol mutation is
+    idempotent (``reset`` replaces the overlay, ``rebind`` splices to an
+    absolute target set) and every query is pure, so the retry cannot
+    double-apply state regardless of where the original died.  Each
+    recovery appends to :attr:`recovery_events` (shard, reason, wall
+    seconds) — the raw samples behind the e20 recovery distributions.
+    Without a policy (the default) failures propagate exactly as before.
     """
 
     def __init__(
@@ -642,6 +737,7 @@ class ShardWorkerPool:
         transport_factory=PipeTransport,
         dynamic_repair: bool = True,
         pipelined: bool = True,
+        recovery=None,
     ) -> None:
         self._plan = plan
         self._n = plan.n
@@ -651,6 +747,25 @@ class ShardWorkerPool:
         #: result — and every trajectory — is identical in both modes;
         #: the sequential mode exists as the e18 latency baseline.
         self.pipelined = pipelined
+        self._factory = transport_factory
+        self._dmat = dmat
+        self._backend = backend
+        self._dynamic = dynamic_repair
+        self._recovery = _coerce_recovery(recovery)
+        self._respawns_left = [
+            0 if self._recovery is None
+            else self._recovery.max_restarts_per_shard
+            for _ in range(plan.k)
+        ]
+        #: Mirror of the profile history since the last reset, enough to
+        #: rebuild any worker from scratch: the reset strategies plus
+        #: every rebind since, in order.  Updated *before* the broadcast
+        #: so an in-flight mutation is already part of the replay.
+        self._last_reset: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._rebinds: List[Tuple[int, Tuple[int, ...]]] = []
+        #: One dict per successful recovery: ``{"shard", "reason",
+        #: "seconds", "replayed"}`` in occurrence order.
+        self.recovery_events: List[Dict[str, object]] = []
         transports: List[ShardTransport] = []
         try:
             for shard in range(plan.k):
@@ -700,6 +815,20 @@ class ShardWorkerPool:
         """How many workers still answer (for tests/diagnostics)."""
         return sum(1 for transport in self._transports if transport.alive)
 
+    def kill_worker(self, shard: int) -> None:
+        """Kill one shard's worker outright (chaos drills).
+
+        Uses the transport's ``kill`` when it has one (SIGKILL for pipe
+        workers, abrupt stream teardown for sockets) so recovery faces a
+        genuine crash, not an orderly stop.
+        """
+        transport = self._transports[shard]
+        kill = getattr(transport, "kill", None)
+        if callable(kill):
+            kill()
+        else:  # pragma: no cover - every shipped transport has kill()
+            transport.close()
+
     # -- profile sync ---------------------------------------------------
     def reset(self, profile: StrategyProfile) -> None:
         """Rebuild every worker's overlay from scratch (full rebind)."""
@@ -707,11 +836,16 @@ class ShardWorkerPool:
             tuple(sorted(profile.strategy(peer)))
             for peer in range(profile.n)
         )
+        self._last_reset = strategies
+        self._rebinds = []
         self._broadcast(("reset", strategies))
 
     def rebind(self, peer: int, targets) -> None:
         """Splice one peer's new out-edges into every worker's overlay."""
-        self._broadcast(("rebind", peer, tuple(sorted(targets))))
+        targets = tuple(sorted(targets))
+        if self._last_reset is not None:
+            self._rebinds.append((int(peer), targets))
+        self._broadcast(("rebind", peer, targets))
 
     def ping(self, delay: float = 0.0) -> None:
         """One no-op round trip to every worker (liveness / latency).
@@ -723,48 +857,121 @@ class ShardWorkerPool:
         """
         self._broadcast(("ping", float(delay)) if delay else ("ping",))
 
-    def _exchange(self, requests: Sequence[Tuple[ShardTransport, Tuple]]):
-        """Run one request per listed transport, replies in list order.
+    # -- recovery -------------------------------------------------------
+    def _respawn(self, shard: int) -> ShardTransport:
+        """Replace a dead shard worker and rebuild its mirrored state.
+
+        The old transport is torn down, a replacement comes from the
+        same factory (socket factories also resurrect an auto-spawned
+        server that died with its worker), and the pool's mirrored
+        profile history — one ``reset`` plus every rebind since, in
+        order — is replayed so the new worker's overlay is byte-for-byte
+        the state the dead one held.  Raises :class:`ShardWorkerError`
+        if the replacement itself fails during replay.
+        """
+        old = self._transports[shard]
+        try:
+            old.close()
+        except Exception:  # noqa: BLE001 - it was already dying
+            pass
+        lo, hi = self._plan.bounds[shard]
+        fresh = self._factory(
+            lo, hi, self._dmat, self._backend, self._dynamic
+        )
+        try:
+            if self._last_reset is not None:
+                fresh.request(("reset", self._last_reset))
+                for peer, targets in self._rebinds:
+                    fresh.request(("rebind", peer, targets))
+        except ShardWorkerError:
+            fresh.close()
+            raise
+        # In-place: the finalizer holds this *list*, so the replacement
+        # is reaped at shutdown exactly like the transport it replaces.
+        self._transports[shard] = fresh
+        return fresh
+
+    def _recover(self, shard: int, message: Tuple, error: ShardWorkerError):
+        """Respawn ``shard`` and retry ``message`` once per budget unit.
+
+        Safe for every protocol message: mutations are idempotent and
+        already mirrored (so respawn replay + retry converge on the same
+        state), queries are pure.  Returns the retried reply or raises
+        the original error when the budget is spent or replacements keep
+        dying.
+        """
+        while self._respawns_left[shard] > 0:
+            self._respawns_left[shard] -= 1
+            started = time.monotonic()
+            try:
+                fresh = self._respawn(shard)
+                reply = fresh.request(message)
+            except ShardWorkerError:
+                continue
+            self.recovery_events.append(
+                {
+                    "shard": shard,
+                    "reason": str(error).splitlines()[0],
+                    "seconds": time.monotonic() - started,
+                    "replayed": (
+                        0 if self._last_reset is None
+                        else 1 + len(self._rebinds)
+                    ),
+                }
+            )
+            return reply
+        raise error
+
+    def _exchange(self, requests: Sequence[Tuple[int, Tuple]]):
+        """Run one request per listed shard, replies in list order.
 
         Pipelined (default): every request goes on the wire before any
         reply is collected, so the wall-clock cost is one worker's
         round trip plus the slowest handler — not the sum of ``k`` round
         trips.  When a worker fails mid-exchange the remaining streams
         are still drained (each transport sees a complete send/recv pair
-        or is dead), then the first error is re-raised.
+        or is dead); the failed shards then go through recovery (respawn
+        + one retry each) when the pool has a :class:`RecoveryPolicy`,
+        and the first unrecovered error is re-raised.
         """
         if not self.pipelined:
-            return [
-                transport.request(message) for transport, message in requests
-            ]
-        failure: Optional[ShardWorkerError] = None
-        sent: List[Optional[ShardTransport]] = []
-        for transport, message in requests:
+            replies = []
+            for shard, message in requests:
+                try:
+                    replies.append(
+                        self._transports[shard].request(message)
+                    )
+                except ShardWorkerError as error:
+                    replies.append(self._recover(shard, message, error))
+            return replies
+        failed: List[Tuple[int, int, Tuple, ShardWorkerError]] = []
+        pending: List[Optional[int]] = []
+        for position, (shard, message) in enumerate(requests):
             try:
-                transport.send(message)
-                sent.append(transport)
+                self._transports[shard].send(message)
+                pending.append(shard)
             except ShardWorkerError as error:
-                if failure is None:
-                    failure = error
-                sent.append(None)
-        replies = []
-        for transport in sent:
-            if transport is None:
+                failed.append((position, shard, message, error))
+                pending.append(None)
+        replies: List = []
+        for position, shard in enumerate(pending):
+            if shard is None:
                 replies.append(None)
                 continue
             try:
-                replies.append(transport.recv())
+                replies.append(self._transports[shard].recv())
             except ShardWorkerError as error:
-                if failure is None:
-                    failure = error
+                failed.append(
+                    (position, shard, requests[position][1], error)
+                )
                 replies.append(None)
-        if failure is not None:
-            raise failure
+        for position, shard, message, error in failed:
+            replies[position] = self._recover(shard, message, error)
         return replies
 
     def _broadcast(self, message: Tuple):
         return self._exchange(
-            [(transport, message) for transport in self._transports]
+            [(shard, message) for shard in range(len(self._transports))]
         )
 
     # -- data plane -----------------------------------------------------
@@ -786,7 +993,7 @@ class ShardWorkerPool:
         replies = self._exchange(
             [
                 (
-                    self._transports[shard],
+                    shard,
                     (
                         "rows",
                         [peers[position] for position in by_shard[shard]],
@@ -806,7 +1013,7 @@ class ShardWorkerPool:
         O(n/k) + O(1) values over the wire — the block itself never
         leaves the worker.
         """
-        return self._transports[shard].request(("sums",))
+        return self._exchange([(shard, ("sums",))])[0]
 
     def stretch_sums_all(
         self, shards: Optional[Sequence[int]] = None
@@ -820,9 +1027,7 @@ class ShardWorkerPool:
         shards = (
             list(range(self._plan.k)) if shards is None else sorted(shards)
         )
-        replies = self._exchange(
-            [(self._transports[shard], ("sums",)) for shard in shards]
-        )
+        replies = self._exchange([(shard, ("sums",)) for shard in shards])
         return dict(zip(shards, replies))
 
     def solve(
@@ -848,7 +1053,7 @@ class ShardWorkerPool:
         replies = self._exchange(
             [
                 (
-                    self._transports[shard],
+                    shard,
                     (
                         "solve",
                         tuple(items[position] for position in by_shard[shard]),

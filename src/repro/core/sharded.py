@@ -149,6 +149,8 @@ def build_sharded_evaluator(
     shard_hosts: Optional[Sequence[str]] = None,
     store="memory",
     dynamic_repair: bool = True,
+    fault_plan=None,
+    recovery=None,
 ) -> "ShardedEvaluator":
     """A :class:`ShardedEvaluator` from the optional driver-level knobs.
 
@@ -169,6 +171,8 @@ def build_sharded_evaluator(
         placement="local" if placement is None else placement,
         shard_hosts=shard_hosts,
         dynamic_repair=dynamic_repair,
+        fault_plan=fault_plan,
+        recovery=recovery,
     )
 
 
@@ -597,6 +601,8 @@ class ShardedEvaluator(GameEvaluator):
         placement: str = "local",
         shard_hosts: Optional[Sequence[str]] = None,
         dynamic_repair: bool = True,
+        fault_plan=None,
+        recovery=None,
     ) -> None:
         from repro.core.shard_workers import PLACEMENT_SPECS
 
@@ -615,6 +621,12 @@ class ShardedEvaluator(GameEvaluator):
                 "shard_hosts requires shard_placement='socket' (hosts "
                 "name the shard servers socket placement connects to)"
             )
+        if fault_plan is not None and not fault_plan.is_null:
+            if placement not in ("process", "socket"):
+                raise ValueError(
+                    "fault_plan requires a worker placement ('process' or "
+                    "'socket'); local placement has no transports to fault"
+                )
         if max_resident_shards < 1:
             raise ValueError(
                 f"max_resident_shards must be >= 1, got {max_resident_shards}"
@@ -644,12 +656,17 @@ class ShardedEvaluator(GameEvaluator):
                 factory = SocketTransportFactory(shard_hosts)
             else:
                 factory = PipeTransport
+            if fault_plan is not None and not fault_plan.is_null:
+                from repro.faults.injection import FaultyTransportFactory
+
+                factory = FaultyTransportFactory(factory, fault_plan)
             self._worker_pool = ShardWorkerPool(
                 plan,
                 game.distance_matrix,
                 backend,
                 transport_factory=factory,
                 dynamic_repair=dynamic_repair,
+                recovery=recovery,
             )
         else:
             self._shard_dist = ShardedDistances(

@@ -503,10 +503,34 @@ class SocketTransport(ShardTransport):
     def name(self) -> str:
         return self._name
 
+    def _peer_hung_up(self) -> bool:
+        """Whether the server already closed its end (without blocking).
+
+        The protocol is strict request/reply, so outside an exchange the
+        inbound stream must be silent: a non-blocking peek that returns
+        EOF (or a reset) means the far side is gone *before* this
+        request — the recoverable, between-requests death.
+        """
+        try:
+            chunk = self._sock.recv(
+                1, socket.MSG_PEEK | socket.MSG_DONTWAIT
+            )
+        except (BlockingIOError, InterruptedError):
+            return False  # nothing pending: the connection is healthy
+        except OSError:
+            return True  # reset / torn down under us
+        return chunk == b""
+
     def send(self, message: Tuple) -> None:
-        if self._closed or self._dead:
+        if self._closed:
             raise ShardWorkerError(
                 f"shard worker {self._name} transport is closed"
+            )
+        if self._dead or self._peer_hung_up():
+            self._dead = True
+            raise ShardWorkerError(
+                f"shard worker {self._name} died between requests "
+                f"(connection closed by server)"
             )
         try:
             send_frame(self._sock, message)
@@ -540,6 +564,20 @@ class SocketTransport(ShardTransport):
     @property
     def alive(self) -> bool:
         return not (self._closed or self._dead)
+
+    def kill(self) -> None:
+        """Tear the stream down abruptly (chaos drills): no ``stop``.
+
+        The server sees an unexpected EOF on a live connection — the
+        same signature as a client host dying — and discards that
+        connection's worker state; the transport reports *between
+        requests* on its next send.
+        """
+        if self._closed or self._dead:
+            return
+        self._dead = True
+        if self._sock is not None:
+            self._sock.close()
 
     def close(self) -> None:
         if self._closed:
@@ -591,8 +629,45 @@ class SocketTransportFactory:
         self._server: Optional[subprocess.Popen] = None
         self._socket_path: Optional[str] = None
         self._next = 0
+        #: How many times a dead auto-spawned server was replaced; the
+        #: chaos harness asserts restart/reconnect actually happened.
+        self.server_restarts = 0
+
+    def _reap_dead_server(self) -> bool:
+        """Clear out an auto-spawned server that has exited; True if so.
+
+        Restart/reconnect handling for the spawned placement: when the
+        private server died (crash, kill, OOM), the next placement or
+        respawn must not connect to its stale socket and time out — the
+        factory reaps the corpse, unlinks the socket path, and lets
+        :meth:`_ensure_addresses` spawn a fresh server.
+        """
+        if self._server is None or self._server.poll() is None:
+            return False
+        self._server.wait()
+        self._server = None
+        path, self._socket_path = self._socket_path, None
+        if path is not None:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._addresses = []
+        self.server_restarts += 1
+        return True
+
+    def kill_server(self) -> None:
+        """SIGKILL the auto-spawned server (chaos drills); no-op otherwise.
+
+        The next transport request observes the dead connection, and the
+        next placement through the factory spawns a replacement server.
+        """
+        if self._server is not None and self._server.poll() is None:
+            self._server.kill()
+            self._server.wait()
 
     def _ensure_addresses(self) -> None:
+        self._reap_dead_server()
         if self._addresses:
             return
         path = os.path.join(

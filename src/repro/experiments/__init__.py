@@ -18,6 +18,7 @@ E8    Section 3 (extension)      selfish vs structured overlay designs
 E9    Section 5 (extension)      convergence statistics vs the witness
 E10   Conclusion (extension)     congestion externality sweep over beta
 E11   Related work (extension)   bilateral consent vs unilateral instability
+E12   Section 5 (extension)      adversarial degradation + recovery metrics
 ====  =========================  ==========================================
 """
 
@@ -27,6 +28,7 @@ from repro.experiments import (
     e1_figure1_nash,
     e10_congestion,
     e11_bilateral,
+    e12_adversarial,
     e2_lemma43_social_cost,
     e3_theorem44_poa,
     e4_theorem41_upper,
@@ -125,6 +127,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_artifact="Related work [7] contrast (extension)",
             bench="benchmarks/test_bench_bilateral.py",
             runner=e11_bilateral.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E12",
+            title="Adversarial degradation and recovery of selfish overlays",
+            paper_artifact="Section 5 robustness (extension)",
+            bench="benchmarks/test_bench_adversarial.py",
+            runner=e12_adversarial.run,
         ),
     )
 }

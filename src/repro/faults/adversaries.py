@@ -1,0 +1,195 @@
+"""Byzantine peer behavior: the ``PeerPolicy`` commit hook.
+
+The paper's peers are selfish but *honest*: every rebind they commit is
+the best response they actually computed.  The related self-stabilizing
+literature asks what happens when some are not — peers that misreport
+distances (committing links their own cost function would never pick)
+or refuse to follow the rebind protocol at all.
+
+:class:`PeerPolicy` is the seam: both epoch commit loops
+(:meth:`repro.service.state.ServiceState._rebind_batch` and
+:meth:`repro.simulation.churn.ChurnSimulation._run_epoch_batched`) pass
+each peer's freshly-solved best response through
+:meth:`PeerPolicy.decide` before committing.  The policy may wave it
+through (honest), replace it with a fabricated one (misreporting), or
+suppress it (refusal).  ``peer_policy=None`` — the default everywhere —
+skips the hook entirely, so honest runs execute today's exact code
+path, byte for byte.
+
+Policies must be **deterministic** in ``(epoch, peer)``: journal replay
+re-runs the same epochs through the same policy, and only a
+deterministic policy keeps the replay digest-identical (the property
+the chaos harness pins).  :class:`ByzantinePolicy` draws its lies from
+the same SHA-256 scheme as :class:`~repro.faults.plan.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.best_response import BestResponseResult
+from repro.faults.plan import _draw
+
+__all__ = [
+    "PolicyDecision",
+    "PeerPolicy",
+    "HonestPolicy",
+    "ByzantinePolicy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What a policy did with one peer's solved best response.
+
+    ``response=None`` means the peer refuses this rebind outright (the
+    commit loop treats it as not-improved).  ``commit_check=False``
+    bypasses the stale-profile ``recheck_improvement`` gate — a
+    Byzantine commit does not re-verify its own lie against the live
+    profile; honest responses keep the check.
+    """
+
+    response: Optional[BestResponseResult]
+    commit_check: bool = True
+
+
+class PeerPolicy:
+    """Decide, per epoch commit, what each peer reports."""
+
+    def decide(
+        self,
+        *,
+        peer: int,
+        slot: int,
+        epoch: int,
+        response: BestResponseResult,
+        active: Sequence[int],
+    ) -> PolicyDecision:
+        """``peer`` is the global id, ``slot`` its index in ``active``;
+        ``response.strategy`` holds slot indices.  Must be a pure
+        function of its arguments (determinism rule above)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class HonestPolicy(PeerPolicy):
+    """Every response passes through untouched (the explicit baseline).
+
+    Semantically identical to ``peer_policy=None``; exists so scenario
+    configs can name "honest" explicitly and so tests can pin that the
+    hook itself — not just its absence — leaves trajectories unchanged.
+    """
+
+    def decide(self, *, peer, slot, epoch, response, active):
+        return PolicyDecision(response)
+
+
+class ByzantinePolicy(PeerPolicy):
+    """Some peers lie about their best response; some refuse to rebind.
+
+    ``liars`` misreport: inside the fault window, a liar's solved
+    response is replaced by a fabricated "improvement" to a single
+    deterministically-drawn link — a target its true cost function did
+    not choose — and committed without the stale-profile re-check (the
+    lie does not audit itself).  ``refusers`` never rebind inside the
+    window: their responses are suppressed, so they keep whatever links
+    they already hold while the honest majority adapts around them.
+
+    The window ``[start, stop)`` bounds the attack in epochs
+    (``stop=None`` means forever); outside it every peer is honest,
+    which is what lets scenarios measure *recovery* once the attack
+    stops.  All draws come from ``seed`` via SHA-256, so the same
+    policy over the same epochs produces the same lies — in the live
+    run and in its journal replay.
+    """
+
+    def __init__(
+        self,
+        liars: Sequence[int] = (),
+        refusers: Sequence[int] = (),
+        *,
+        seed: int = 0,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> None:
+        self.liars = frozenset(int(p) for p in liars)
+        self.refusers = frozenset(int(p) for p in refusers)
+        overlap = self.liars & self.refusers
+        if overlap:
+            raise ValueError(
+                f"peers {sorted(overlap)} cannot both lie and refuse"
+            )
+        self.seed = int(seed)
+        self.start = int(start)
+        self.stop = None if stop is None else int(stop)
+        if self.stop is not None and self.stop < self.start:
+            raise ValueError(
+                f"fault window [{self.start}, {self.stop}) is empty-negative"
+            )
+
+    def in_window(self, epoch: int) -> bool:
+        return epoch >= self.start and (
+            self.stop is None or epoch < self.stop
+        )
+
+    def _lie_target(
+        self, peer: int, epoch: int, slot: int, n_active: int
+    ) -> int:
+        """A deterministically-drawn wrong link (a slot != ``slot``)."""
+        pick = int(
+            _draw(self.seed, f"lie/{peer}", epoch) * (n_active - 1)
+        )
+        return pick if pick < slot else pick + 1
+
+    def decide(self, *, peer, slot, epoch, response, active):
+        if not self.in_window(epoch):
+            return PolicyDecision(response)
+        if peer in self.refusers:
+            return PolicyDecision(None)
+        if peer in self.liars and len(active) > 1:
+            target = self._lie_target(peer, epoch, slot, len(active))
+            fake = BestResponseResult(
+                response.peer,
+                frozenset({target}),
+                response.cost,
+                response.current_cost,
+                True,
+                response.method,
+            )
+            return PolicyDecision(fake, commit_check=False)
+        return PolicyDecision(response)
+
+    def describe(self) -> str:
+        window = (
+            f"[{self.start}, {'∞' if self.stop is None else self.stop})"
+        )
+        return (
+            f"ByzantinePolicy(liars={sorted(self.liars)}, "
+            f"refusers={sorted(self.refusers)}, window={window}, "
+            f"seed={self.seed})"
+        )
+
+
+def apply_policy(
+    policy: Optional[PeerPolicy],
+    *,
+    peer: int,
+    slot: int,
+    epoch: int,
+    response: BestResponseResult,
+    active: Sequence[int],
+) -> Tuple[Optional[BestResponseResult], bool]:
+    """The commit loops' one-liner: ``(response or None, commit_check)``.
+
+    Kept here so both loops apply a policy with identical semantics, and
+    so the no-policy fast path stays an attribute test.
+    """
+    if policy is None:
+        return response, True
+    decision = policy.decide(
+        peer=peer, slot=slot, epoch=epoch, response=response, active=active
+    )
+    return decision.response, decision.commit_check

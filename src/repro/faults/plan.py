@@ -1,0 +1,228 @@
+"""The fault schedule: seeded, deterministic, replayable.
+
+A :class:`FaultPlan` decides — for every *site* (a named injection
+point: one shard transport, the service queue) and every operation that
+site performs — whether to inject a fault and which one.  Decisions are
+a pure function of ``(plan seed, site name, per-site op index)`` via a
+SHA-256 draw, so two runs with the same plan and the same operation
+sequence inject byte-identical fault schedules: recovery times are
+measurable quantities, not race outcomes.  (``random.Random`` is not
+used because string hashing is per-process randomized.)
+
+Actions a site may be told to take:
+
+``"delay"``
+    Hold the operation for :attr:`FaultPlan.delay_s` seconds first.
+``"drop"``
+    Lose the request before it reaches the wire (the far side never
+    sees it; to the caller the worker died *between* requests).
+``"corrupt"``
+    Deliver the reply but ruin it (to the caller the worker died
+    *mid-request* — the reply bytes cannot be trusted).
+``"kill"``
+    Kill the worker behind the transport for real, mid-run.
+
+The **null plan** (every rate zero, no scheduled kills) is the honest
+baseline: wrapping a fabric in it must be bitwise-neutral, which the
+fault tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = ["FaultPlan", "NULL_PLAN", "FAULT_ACTIONS"]
+
+#: Everything :meth:`FaultPlan.action` may return (besides ``None``).
+FAULT_ACTIONS = ("delay", "drop", "corrupt", "kill")
+
+
+def _draw(seed: int, site: str, op: int) -> float:
+    """Uniform [0, 1) from (seed, site, op) — stable across processes."""
+    blob = f"{seed}:{site}:{op}".encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Schedule seed; same seed + same op sequence = same faults.
+    drop_rate / corrupt_rate / delay_rate:
+        Per-operation probabilities (evaluated independently, in the
+        order kill > drop > corrupt > delay — at most one action fires
+        per operation).
+    delay_s:
+        How long a ``"delay"`` action holds the operation.
+    kill_ops:
+        ``{site: (op_index, ...)}`` — operations at which the worker
+        behind ``site`` is killed outright.  Sites are named
+        ``"shard-<lo>-<hi>"`` by the transport wrapper and
+        ``"service-queue"`` by the front-end.
+    sites:
+        When given, only these sites inject; every other site sees the
+        null plan.  (Lets one plan target the queue but not the
+        transports, or one shard but not its siblings.)
+    max_ops:
+        When given, operations at or beyond this per-site index draw no
+        faults — the faults have *cleared*.  This is what makes "bounded
+        recovery once faults clear" a provable property instead of a
+        race against an everlasting Bernoulli stream: recovery's own
+        replay traffic advances the op cursor past the window.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    kill_ops: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    sites: Optional[FrozenSet[str]] = None
+    max_ops: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.max_ops is not None and self.max_ops < 0:
+            raise ValueError(f"max_ops must be >= 0, got {self.max_ops}")
+        # Normalize to hashable, comparison-friendly containers so plans
+        # can be compared/logged and safely shared across threads.
+        object.__setattr__(
+            self,
+            "kill_ops",
+            {
+                str(site): tuple(sorted(int(op) for op in ops))
+                for site, ops in dict(self.kill_ops).items()
+            },
+        )
+        if self.sites is not None:
+            object.__setattr__(
+                self, "sites", frozenset(str(s) for s in self.sites)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan can never inject anything."""
+        return (
+            self.drop_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and self.delay_rate == 0.0
+            and not self.kill_ops
+        )
+
+    def action(self, site: str, op: int) -> Optional[str]:
+        """The fault to inject for operation ``op`` at ``site`` (or None).
+
+        Pure: calling it twice with the same arguments returns the same
+        answer.  Callers keep their own per-site op counters (see
+        :class:`~repro.faults.injection.FaultyTransport`).
+        """
+        if self.sites is not None and site not in self.sites:
+            return None
+        if self.max_ops is not None and op >= self.max_ops:
+            return None
+        if op in self.kill_ops.get(site, ()):
+            return "kill"
+        if self.is_null:
+            return None
+        # One independent draw per action keeps each rate exact and the
+        # schedule stable when one rate changes and the others do not.
+        if self.drop_rate and _draw(self.seed, f"drop/{site}", op) < self.drop_rate:
+            return "drop"
+        if (
+            self.corrupt_rate
+            and _draw(self.seed, f"corrupt/{site}", op) < self.corrupt_rate
+        ):
+            return "corrupt"
+        if (
+            self.delay_rate
+            and _draw(self.seed, f"delay/{site}", op) < self.delay_rate
+        ):
+            return "delay"
+        return None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """A plan from a CLI spec string.
+
+        Comma-separated ``key=value`` pairs: ``seed`` (int), ``drop`` /
+        ``corrupt`` / ``delay`` (rates in [0, 1]), ``delay_ms`` (float),
+        ``max_ops`` (int — faults clear at this per-site op index), and
+        ``kill=SITE@OP`` (repeatable) for scheduled kills::
+
+            --fault-plan "seed=7,drop=0.02,delay=0.1,delay_ms=5"
+            --fault-plan "kill=shard-0-8@3,kill=service-queue@10"
+
+        ``"null"`` (or an empty string) is the explicit null plan.
+        """
+        text = (spec or "").strip()
+        if not text or text == "null":
+            return cls()
+        kwargs: Dict[str, object] = {}
+        kills: Dict[str, list] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not value:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r}; expected key=value"
+                )
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key in ("drop", "corrupt", "delay"):
+                    kwargs[f"{key}_rate"] = float(value)
+                elif key == "delay_ms":
+                    kwargs["delay_s"] = float(value) / 1e3
+                elif key == "max_ops":
+                    kwargs["max_ops"] = int(value)
+                elif key == "kill":
+                    site, at, op = value.partition("@")
+                    if not at or not site or not op:
+                        raise ValueError("expected kill=SITE@OP")
+                    kills.setdefault(site.strip(), []).append(int(op))
+                else:
+                    raise ValueError(f"unknown fault-plan key {key!r}")
+            except ValueError as error:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r}: {error}"
+                ) from None
+        if kills:
+            kwargs["kill_ops"] = {s: tuple(ops) for s, ops in kills.items()}
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line human summary (for logs and server banners)."""
+        if self.is_null:
+            return "null fault plan"
+        parts = [f"seed={self.seed}"]
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate}")
+        if self.corrupt_rate:
+            parts.append(f"corrupt={self.corrupt_rate}")
+        if self.delay_rate:
+            parts.append(f"delay={self.delay_rate}@{self.delay_s * 1e3:g}ms")
+        for site, ops in sorted(self.kill_ops.items()):
+            parts.append(f"kill={site}@{','.join(map(str, ops))}")
+        if self.max_ops is not None:
+            parts.append(f"max_ops={self.max_ops}")
+        return " ".join(parts)
+
+
+#: The do-nothing plan — wrapping a fabric in it is bitwise-neutral.
+NULL_PLAN = FaultPlan()

@@ -1,0 +1,368 @@
+"""Adversarial scenario families with measured recovery.
+
+Each family perturbs a converged overlay in a different adversarial
+regime and reports the same recovery metrics, so the e20 benchmark and
+the E12 experiment can compare regimes side by side:
+
+* :func:`byzantine_scenario` — a window of epochs during which a seeded
+  subset of peers lies about its best response (committing links no
+  honest re-check would accept) or refuses to rebind at all, driven
+  through the :class:`~repro.service.state.ServiceState` commit hook.
+* :func:`corruption_scenario` — transient state corruption: seeded
+  mantissa bit-flips in the evaluator's overlay-distance and service
+  (``W``) caches, one best-response epoch run *on* the corrupted state
+  (peers commit moves justified by garbage), then cache repair and
+  measured re-convergence — the self-stabilization fault model.
+* :func:`targeted_churn_scenario` — a churn *attack*: the adversary
+  reads the overlay graph and simultaneously crashes the ``k`` peers
+  with the highest betweenness centrality (preferring cut vertices),
+  versus the seeded random-``k`` crash baseline of ordinary churn.
+
+Every scenario returns a flat JSON-friendly dict with at least
+``family``, ``seed``, ``baseline_cost`` (social cost at honest
+convergence), ``peak_cost`` (worst measured true cost after the
+perturbation), ``degradation`` (= peak/baseline), ``recovery_epochs``
+(all-peer best-response epochs from the end of the perturbation until a
+zero-move epoch) and ``converged``.  Dicts are **pure functions of the
+scenario parameters** — no wall-clock, no process state — which is what
+lets the e20 benchmark assert run-to-run determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.adversaries import ByzantinePolicy
+from repro.faults.corruption import (
+    corrupt_overlay_rows,
+    corrupt_service_matrices,
+    repair,
+)
+from repro.faults.plan import _draw
+
+__all__ = [
+    "SCENARIO_FAMILIES",
+    "byzantine_scenario",
+    "corruption_scenario",
+    "run_scenario",
+    "targeted_churn_scenario",
+]
+
+
+def _peak(costs: Sequence[float], baseline: float) -> Tuple[float, int]:
+    """Worst *finite* cost plus the count of disconnected epochs.
+
+    An attack that cuts the overlay prices at ``inf`` social cost;
+    ``inf`` is not JSON-serializable and drowns every finite signal, so
+    disconnection is reported as its own count and the peak stays the
+    worst connected reading (floored at baseline).
+    """
+    finite = [cost for cost in costs if math.isfinite(cost)]
+    peak = max(finite) if finite else baseline
+    return max(peak, baseline), sum(
+        1 for cost in costs if not math.isfinite(cost)
+    )
+
+
+def _pick(seed: int, site: str, pool: Sequence[int], count: int) -> List[int]:
+    """Seeded sample without replacement from ``pool`` (order-stable)."""
+    remaining = list(pool)
+    picks: List[int] = []
+    for k in range(min(count, len(remaining))):
+        index = int(_draw(seed, site, k) * len(remaining))
+        picks.append(remaining.pop(min(index, len(remaining) - 1)))
+    return picks
+
+
+def _drive(state, *, max_epochs: int) -> List[Tuple[int, float]]:
+    """All-active rebind epochs until the first zero-move epoch.
+
+    Returns the per-epoch ``(moves, social_cost)`` trajectory; the run
+    converged iff the last entry has zero moves.
+    """
+    from repro.service.requests import Request
+
+    trajectory: List[Tuple[int, float]] = []
+    for _ in range(max_epochs):
+        outcome = state.apply_epoch(
+            [Request("rebind", peer) for peer in state.active]
+        )
+        trajectory.append((outcome.moves, outcome.social_cost))
+        if outcome.moves == 0:
+            break
+    return trajectory
+
+
+def _make_state(n: int, alpha: float, seed: int, **harness):
+    from repro.metrics.euclidean import EuclideanMetric
+    from repro.service.state import ServiceState
+
+    metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+    return ServiceState(
+        metric, alpha, initial_active=range(n), **harness
+    )
+
+
+# ----------------------------------------------------------------------
+def byzantine_scenario(
+    *,
+    n: int = 24,
+    alpha: float = 2.0,
+    seed: int = 0,
+    liars: int = 3,
+    refusers: int = 2,
+    attack_epochs: int = 4,
+    max_epochs: int = 40,
+    **harness: Any,
+) -> Dict[str, Any]:
+    """Byzantine window: converge honest, lie/refuse, measure recovery.
+
+    The policy window is pinned to absolute epochs, so replaying the
+    run's journal with the same policy object reproduces it digest for
+    digest (the property the chaos tests pin).
+    """
+    with _make_state(n, alpha, seed, **harness) as state:
+        honest = _drive(state, max_epochs=max_epochs)
+        baseline = honest[-1][1]
+        picks = _pick(seed, "byzantine", state.active, liars + refusers)
+        policy = ByzantinePolicy(
+            liars=picks[:liars],
+            refusers=picks[liars:],
+            seed=seed,
+            start=state.epoch,
+            stop=state.epoch + attack_epochs,
+        )
+        state.peer_policy = policy
+        attack: List[Tuple[int, float]] = []
+        from repro.service.requests import Request
+
+        for _ in range(attack_epochs):
+            outcome = state.apply_epoch(
+                [Request("rebind", peer) for peer in state.active]
+            )
+            attack.append((outcome.moves, outcome.social_cost))
+        # The window has closed (epoch >= stop): the same policy object
+        # is now a pass-through, so recovery runs honest.
+        recovery = _drive(state, max_epochs=max_epochs)
+        peak, disconnected = _peak(
+            [cost for _, cost in attack + recovery], baseline
+        )
+        return {
+            "family": "byzantine",
+            "seed": seed,
+            "n": n,
+            "alpha": alpha,
+            "liars": sorted(picks[:liars]),
+            "refusers": sorted(picks[liars:]),
+            "attack_epochs": attack_epochs,
+            "attack_moves": sum(moves for moves, _ in attack),
+            "baseline_cost": baseline,
+            "peak_cost": peak,
+            "degradation": peak / baseline,
+            "disconnected_epochs": disconnected,
+            "final_cost": recovery[-1][1],
+            "recovery_epochs": len(recovery),
+            "converged": recovery[-1][0] == 0,
+        }
+
+
+# ----------------------------------------------------------------------
+def corruption_scenario(
+    *,
+    n: int = 24,
+    alpha: float = 2.0,
+    seed: int = 0,
+    overlay_flips: int = 24,
+    service_flips: int = 64,
+    max_epochs: int = 40,
+    method: str = "greedy",
+    **_harness: Any,
+) -> Dict[str, Any]:
+    """Transient cache corruption: flip bits, decide on garbage, repair.
+
+    Runs on a monolithic :class:`~repro.core.evaluator.GameEvaluator`
+    (the family targets its caches directly; harness placement knobs are
+    accepted for a uniform call signature but unused).  One full
+    best-response epoch executes *while corrupted* — peers may commit
+    moves justified only by the flipped bits — then :func:`repair`
+    drops every derived cache and recovery is measured honest.
+    """
+    from repro.core.dynamics import batch_responses, recheck_improvement
+    from repro.core.evaluator import GameEvaluator
+    from repro.core.game import TopologyGame
+    from repro.metrics.euclidean import EuclideanMetric
+
+    metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+    game = TopologyGame(metric, alpha)
+    profile = game.random_profile(0.2, seed=seed)
+
+    def sweep(evaluator, profile) -> Tuple[Any, int, float]:
+        responses = batch_responses(
+            game, profile, list(range(n)), method, evaluator
+        )
+        moves = 0
+        base = profile
+        for response in responses:
+            if not response.improved:
+                continue
+            commit = True
+            if profile is not base:
+                commit, _old, _new = recheck_improvement(
+                    game, profile, response, evaluator
+                )
+            if commit:
+                profile = profile.with_strategy(
+                    response.peer, response.strategy
+                )
+                moves += 1
+        cost = evaluator.set_profile(profile).social_cost().total
+        return profile, moves, cost
+
+    with GameEvaluator(game, profile) as evaluator:
+        baseline = float("nan")
+        converged_before = False
+        for _ in range(max_epochs):
+            profile, moves, baseline = sweep(evaluator, profile)
+            if moves == 0:
+                converged_before = True
+                break
+
+        overlay = corrupt_overlay_rows(
+            evaluator, seed=seed, flips=overlay_flips
+        )
+        matrices = corrupt_service_matrices(
+            evaluator, seed=seed, flips=service_flips
+        )
+        # One epoch of decisions made against the corrupted caches.
+        profile, corrupted_moves, _observed = sweep(evaluator, profile)
+
+        repair(evaluator)
+        # The honest price of the garbage-justified commits, read before
+        # recovery starts un-committing them.
+        degraded = evaluator.set_profile(profile).social_cost().total
+        recovery: List[Tuple[int, float]] = []
+        for _ in range(max_epochs):
+            profile, moves, cost = sweep(evaluator, profile)
+            recovery.append((moves, cost))
+            if moves == 0:
+                break
+        peak, disconnected = _peak(
+            [degraded] + [cost for _, cost in recovery], baseline
+        )
+        return {
+            "family": "corruption",
+            "seed": seed,
+            "n": n,
+            "alpha": alpha,
+            "overlay_flips": len(overlay),
+            "service_flips": len(matrices),
+            "corrupted_moves": corrupted_moves,
+            "baseline_cost": baseline,
+            "peak_cost": peak,
+            "degradation": peak / baseline,
+            "disconnected_epochs": disconnected,
+            "final_cost": recovery[-1][1],
+            "recovery_epochs": len(recovery),
+            "converged": converged_before and recovery[-1][0] == 0,
+        }
+
+
+# ----------------------------------------------------------------------
+def targeted_churn_scenario(
+    *,
+    n: int = 24,
+    alpha: float = 2.0,
+    seed: int = 0,
+    crash_count: int = 3,
+    max_epochs: int = 40,
+    targeted: bool = True,
+    **harness: Any,
+) -> Dict[str, Any]:
+    """Crash the ``k`` highest-betweenness peers; measure re-convergence.
+
+    With ``targeted=False`` the same machinery crashes a seeded random
+    ``k``-subset instead — the ordinary-churn baseline the attack is
+    compared against (same seed, same universe, same ``k``).
+    """
+    import networkx as nx
+
+    from repro.service.requests import Request
+
+    with _make_state(n, alpha, seed, **harness) as state:
+        honest = _drive(state, max_epochs=max_epochs)
+        baseline = honest[-1][1]
+
+        active, strategies = state.snapshot()
+        if targeted:
+            graph = nx.Graph()
+            graph.add_nodes_from(active)
+            for peer, links in zip(active, strategies):
+                graph.add_edges_from((peer, target) for target in links)
+            centrality = nx.betweenness_centrality(graph)
+            cut_vertices = set(nx.articulation_points(graph))
+            # Cut vertices first (their loss disconnects the overlay),
+            # then by centrality; ties break to the lowest peer id so
+            # the target list is deterministic.
+            ranked = sorted(
+                active,
+                key=lambda p: (
+                    p not in cut_vertices,
+                    -centrality.get(p, 0.0),
+                    p,
+                ),
+            )
+            targets = ranked[:crash_count]
+        else:
+            targets = _pick(seed, "random-crash", active, crash_count)
+
+        crash = state.apply_epoch(
+            [Request("leave", peer) for peer in targets]
+        )
+        post_crash = _drive(state, max_epochs=max_epochs)
+        rejoin = state.apply_epoch(
+            [Request("join", peer) for peer in targets]
+        )
+        recovery = _drive(state, max_epochs=max_epochs)
+
+        costs = (
+            [crash.social_cost]
+            + [cost for _, cost in post_crash]
+            + [rejoin.social_cost]
+            + [cost for _, cost in recovery]
+        )
+        peak, disconnected = _peak(costs, baseline)
+        return {
+            "family": "targeted-churn" if targeted else "random-churn",
+            "seed": seed,
+            "n": n,
+            "alpha": alpha,
+            "crashed": sorted(int(p) for p in targets),
+            "baseline_cost": baseline,
+            "peak_cost": peak,
+            "degradation": peak / baseline,
+            "disconnected_epochs": disconnected,
+            "final_cost": recovery[-1][1],
+            "recovery_epochs": len(post_crash) + len(recovery),
+            "converged": recovery[-1][0] == 0,
+        }
+
+
+#: Registry for the E12 experiment and the e20 benchmark: name → runner.
+SCENARIO_FAMILIES = {
+    "byzantine": byzantine_scenario,
+    "corruption": corruption_scenario,
+    "targeted-churn": targeted_churn_scenario,
+}
+
+
+def run_scenario(family: str, **params: Any) -> Dict[str, Any]:
+    """Run one registered family by name (raises on unknown names)."""
+    try:
+        runner = SCENARIO_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_FAMILIES))
+        raise ValueError(
+            f"unknown scenario family {family!r} (known: {known})"
+        ) from None
+    return runner(**params)

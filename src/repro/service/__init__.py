@@ -21,6 +21,8 @@ The package splits "what happened" from "who asked":
 
 from repro.service.journal import (
     EpochRecord,
+    JournalFormatError,
+    JournalVersionError,
     ReplayMismatch,
     ReplayResult,
     ServiceJournal,
@@ -48,6 +50,8 @@ __all__ = [
     "DEFAULT_MIX",
     "EpochOutcome",
     "EpochRecord",
+    "JournalFormatError",
+    "JournalVersionError",
     "LatencyHistogram",
     "MUTATION_KINDS",
     "QUERY_KINDS",

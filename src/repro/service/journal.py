@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "EpochRecord",
+    "JournalFormatError",
+    "JournalVersionError",
     "ReplayMismatch",
     "ReplayResult",
     "ServiceJournal",
@@ -34,6 +36,19 @@ __all__ = [
 ]
 
 _JOURNAL_VERSION = 1
+
+
+class JournalFormatError(ValueError):
+    """A journal document is not well-formed (truncated, wrong shape).
+
+    Every load/parse failure surfaces as this named error — never a
+    bare ``KeyError``/``JSONDecodeError`` that a caller could mistake
+    for a bug in its own code, and never a silently wrong replay.
+    """
+
+
+class JournalVersionError(JournalFormatError):
+    """A journal was written by an incompatible format version."""
 
 
 def state_digest(
@@ -83,16 +98,23 @@ class EpochRecord:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "EpochRecord":
-        return cls(
-            epoch=int(payload["epoch"]),
-            membership=tuple(
-                (str(kind), int(peer)) for kind, peer in payload["membership"]
-            ),
-            rebinds=tuple(int(p) for p in payload["rebinds"]),
-            digest=str(payload["digest"]),
-            moves=int(payload["moves"]),
-            social_cost=float(payload["social_cost"]),
-        )
+        try:
+            return cls(
+                epoch=int(payload["epoch"]),
+                membership=tuple(
+                    (str(kind), int(peer))
+                    for kind, peer in payload["membership"]
+                ),
+                rebinds=tuple(int(p) for p in payload["rebinds"]),
+                digest=str(payload["digest"]),
+                moves=int(payload["moves"]),
+                social_cost=float(payload["social_cost"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise JournalFormatError(
+                f"malformed epoch record {payload!r}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
 
 
 class ServiceJournal:
@@ -130,21 +152,38 @@ class ServiceJournal:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "ServiceJournal":
+        if not isinstance(payload, dict):
+            raise JournalFormatError(
+                f"journal document must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
         version = payload.get("version")
         if version != _JOURNAL_VERSION:
-            raise ValueError(
+            raise JournalVersionError(
                 f"unsupported journal version {version!r} "
                 f"(expected {_JOURNAL_VERSION})"
             )
         journal = cls()
-        for record in payload["epochs"]:
+        epochs = payload.get("epochs")
+        if not isinstance(epochs, list):
+            raise JournalFormatError(
+                "journal document has no 'epochs' list"
+            )
+        for record in epochs:
             journal.append(EpochRecord.from_dict(record))
         return journal
 
     @classmethod
     def load(cls, path: str) -> "ServiceJournal":
         with open(path) as handle:
-            return cls.from_dict(json.load(handle))
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise JournalFormatError(
+                    f"journal file {path!r} is not valid JSON "
+                    f"(truncated or corrupt): {error}"
+                ) from error
+        return cls.from_dict(payload)
 
 
 class ReplayMismatch(AssertionError):

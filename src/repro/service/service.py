@@ -87,6 +87,14 @@ class ChurnService:
         ``False`` degrades to one epoch per request (the measured
         baseline); semantics are identical either way, only throughput
         differs.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` consulted at the
+        ``"service-queue"`` site, once per admitted request as its
+        epoch starts: ``delay`` holds the whole batch, ``drop``/
+        ``corrupt``/``kill`` fail that request's future with a marked
+        :class:`~repro.service.requests.RequestFailed` and keep it out
+        of the epoch (surfaced, never silently lost).  ``None`` or a
+        null plan leaves the data path untouched.
     """
 
     def __init__(
@@ -99,6 +107,7 @@ class ChurnService:
         policy: str = "block",
         coalesce: bool = True,
         own_state: bool = True,
+        fault_plan=None,
     ) -> None:
         # Owned-resource slots first: close() after a failed __init__
         # must be a no-op (the worker thread starts last).
@@ -124,6 +133,11 @@ class ChurnService:
         self._max_wait_s = float(max_wait_s)
         self._policy = policy
         self._coalesce = bool(coalesce)
+        if fault_plan is not None and fault_plan.is_null:
+            fault_plan = None  # a null plan is exactly no plan
+        self._fault_plan = fault_plan
+        self._fault_op = 0
+        self.faults_injected = 0
         self.stats = ServiceStats(REQUEST_KINDS)
         self._state = state
         self._own_state = bool(own_state)
@@ -208,7 +222,47 @@ class ChurnService:
                         break
             self._process(batch)
 
+    def _inject_faults(self, batch: List[_Pending]) -> List[_Pending]:
+        """Apply the ``"service-queue"`` fault site to one epoch's batch.
+
+        One plan decision per admitted request, in admission order, so
+        the schedule is deterministic in the request sequence.  Faulted
+        requests fail loudly on their own futures and are excluded from
+        the epoch; ``delay`` holds the epoch instead (the queue is one
+        serial stream — delaying the head delays the batch).
+        """
+        survivors: List[_Pending] = []
+        now = time.perf_counter()
+        for pending in batch:
+            op = self._fault_op
+            self._fault_op += 1
+            action = self._fault_plan.action("service-queue", op)
+            if action is None:
+                survivors.append(pending)
+                continue
+            self.faults_injected += 1
+            if action == "delay":
+                if self._fault_plan.delay_s > 0:
+                    time.sleep(self._fault_plan.delay_s)
+                survivors.append(pending)
+                continue
+            self.stats.count_completed(
+                pending.request.kind, False, now - pending.submitted_at
+            )
+            pending.future.set_exception(
+                RequestFailed(
+                    f"[fault-injection] {action} of "
+                    f"{pending.request.kind} request at the service "
+                    f"queue (op {op})"
+                )
+            )
+        return survivors
+
     def _process(self, batch: List[_Pending]) -> None:
+        if self._fault_plan is not None:
+            batch = self._inject_faults(batch)
+            if not batch:
+                return
         self.stats.count_epoch(len(batch))
         try:
             outcome = self._state.apply_epoch(

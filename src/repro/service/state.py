@@ -143,6 +143,9 @@ class ServiceState:
         max_resident_shards: Optional[int] = None,
         shard_hosts=None,
         journal: Optional[ServiceJournal] = None,
+        peer_policy=None,
+        fault_plan=None,
+        recovery=None,
     ) -> None:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
@@ -169,6 +172,20 @@ class ServiceState:
         self._max_resident_shards = max_resident_shards
         self._shard_hosts = shard_hosts
         self._journal = journal
+        #: Byzantine commit hook (:mod:`repro.faults.adversaries`);
+        #: ``None`` keeps the honest code path byte-identical.
+        self._peer_policy = peer_policy
+        #: Transport fault schedule + worker recovery policy, threaded
+        #: into every epoch's sharded evaluator (worker placements only).
+        if fault_plan is not None and not fault_plan.is_null:
+            if shard_placement not in ("process", "socket"):
+                raise ValueError(
+                    "fault_plan requires shard_placement 'process' or "
+                    "'socket' (local evaluators have no transports to "
+                    "fault)"
+                )
+        self._fault_plan = fault_plan
+        self._recovery = recovery
         self._owns_backend = not isinstance(backend, SolverBackend)
         self._solver_backend = resolve_backend(backend, self._workers)
 
@@ -189,6 +206,11 @@ class ServiceState:
         ]
         self._epoch = 0
         self._evaluator_totals: Dict[str, int] = {}
+        #: Worker-recovery events harvested from each epoch's shard
+        #: pool before it is torn down (pools live one epoch); the
+        #: chaos harness and the e20 benchmark read recovery-time
+        #: distributions from here.
+        self.recovery_log: List[Dict[str, object]] = []
         self._bootstrap()
 
     # ------------------------------------------------------------------
@@ -223,6 +245,19 @@ class ServiceState:
     @property
     def journal(self) -> Optional[ServiceJournal]:
         return self._journal
+
+    @property
+    def peer_policy(self):
+        """The Byzantine commit hook (``None`` = honest fast path)."""
+        return self._peer_policy
+
+    @peer_policy.setter
+    def peer_policy(self, policy) -> None:
+        # Settable so a scenario can arm an attack window mid-run; the
+        # journal stays replayable as long as the policy is a
+        # deterministic function of (epoch, peer) — replay constructs
+        # the state with the same policy and hits the same windows.
+        self._peer_policy = policy
 
     def snapshot(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
         """(active peers, their sorted strategies) — the trajectory
@@ -460,6 +495,8 @@ class ServiceState:
                 max_resident_shards=self._max_resident_shards,
                 shard_hosts=self._shard_hosts,
                 dynamic_repair=False,
+                fault_plan=self._fault_plan,
+                recovery=self._recovery,
             )
         return GameEvaluator(subgame, sub, store=store, dynamic_repair=False)
 
@@ -487,10 +524,22 @@ class ServiceState:
         moves = 0
         base = sub
         for slot, response in zip(slots, responses):
+            check = True
+            if self._peer_policy is not None:
+                from repro.faults.adversaries import apply_policy
+
+                response, check = apply_policy(
+                    self._peer_policy,
+                    peer=active[slot],
+                    slot=slot,
+                    epoch=self._epoch,
+                    response=response,
+                    active=active,
+                )
             moved = False
-            if response.improved:
+            if response is not None and response.improved:
                 commit = True
-                if sub is not base:
+                if check and sub is not base:
                     commit, _old, _new = recheck_improvement(
                         subgame, sub, response, evaluator
                     )
@@ -507,6 +556,9 @@ class ServiceState:
         return sub, moves
 
     def _merge_stats(self, evaluator: GameEvaluator) -> None:
+        pool = getattr(evaluator, "worker_pool", None)
+        if pool is not None and pool.recovery_events:
+            self.recovery_log.extend(pool.recovery_events)
         for key, value in evaluator.stats.as_dict().items():
             if isinstance(value, bool) or not isinstance(value, int):
                 continue

@@ -126,6 +126,11 @@ class ChurnSimulation:
         Socket placement only: shard-server addresses
         (``"host:port"`` / ``"unix:/path"``) to round-robin each
         epoch's shards across; ``None`` auto-spawns a same-host server.
+    peer_policy:
+        Optional :class:`~repro.faults.adversaries.PeerPolicy` applied
+        to every solved best response before commit (Byzantine
+        scenarios).  ``None`` (default) runs the honest code path
+        untouched.
 
     The simulation owns any backend resolved from a spec string, so it
     is a context manager: ``close()`` — or leaving the ``with`` block —
@@ -149,6 +154,7 @@ class ChurnSimulation:
         shard_placement: Optional[str] = None,
         max_resident_shards: Optional[int] = None,
         shard_hosts=None,
+        peer_policy=None,
     ) -> None:
         from repro.core.backends import SolverBackend, resolve_backend
         from repro.core.sharded import check_shard_options
@@ -191,6 +197,10 @@ class ChurnSimulation:
         self._incremental = incremental
         self._activation = activation
         self._workers = max(1, int(workers))
+        #: Byzantine commit hook (:mod:`repro.faults.adversaries`);
+        #: ``None`` keeps the honest code path byte-identical.
+        self._peer_policy = peer_policy
+        self._current_epoch = 0
         self._solver_backend = resolve_backend(backend, self._workers)
         if initial_active is None:
             initial_active = list(range(max(2, metric.n // 2)))
@@ -222,6 +232,7 @@ class ChurnSimulation:
         self._bootstrap(active, strategies)
         records: List[ChurnEpochRecord] = []
         for epoch in range(epochs):
+            self._current_epoch = epoch
             moves, cost = self._run_epoch(active, strategies)
             joins, leaves = self._apply_churn(active, strategies)
             records.append(
@@ -358,6 +369,19 @@ class ChurnSimulation:
                 response = solve_best_response(
                     dmat, sub, slot, self._alpha, method=self._method
                 )
+            if self._peer_policy is not None:
+                from repro.faults.adversaries import apply_policy
+
+                response, _check = apply_policy(
+                    self._peer_policy,
+                    peer=peer,
+                    slot=slot,
+                    epoch=self._current_epoch,
+                    response=response,
+                    active=active,
+                )
+                if response is None:
+                    continue
             if response.improved:
                 strategies[peer] = {active[t] for t in response.strategy}
                 moves += 1
@@ -403,9 +427,21 @@ class ChurnSimulation:
         moves = 0
         base = sub
         for slot, response in zip(batch, responses):
-            if not response.improved:
+            check = True
+            if self._peer_policy is not None:
+                from repro.faults.adversaries import apply_policy
+
+                response, check = apply_policy(
+                    self._peer_policy,
+                    peer=active[slot],
+                    slot=slot,
+                    epoch=self._current_epoch,
+                    response=response,
+                    active=active,
+                )
+            if response is None or not response.improved:
                 continue
-            if sub is not base:
+            if check and sub is not base:
                 commit, _old, _new = recheck_improvement(
                     subgame, sub, response, evaluator
                 )

@@ -1,0 +1,182 @@
+"""Regression tests pinning the transport failure contract.
+
+Two guarantees the recovery machinery (``ShardWorkerPool._recover``,
+the chaos drills) depends on, frozen here so a refactor cannot silently
+relax them:
+
+* ``SocketTransport`` construction gives up **by its connect deadline**
+  — it neither hangs forever on a server that never binds nor bails on
+  the first refused connection.
+* A worker killed *between* requests raises a ``ShardWorkerError``
+  saying ``"died between requests"`` (recoverable: the lost process
+  never saw the request, so respawn-and-retry cannot double-apply),
+  while one killed *mid-request* says ``"died mid-request"``, and a
+  closed transport says ``"transport is closed"`` — for **both** the
+  pipe and the socket transport.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.shard_workers import PipeTransport, ShardWorkerError
+from repro.core.transport import (
+    SocketTransport,
+    create_listener,
+    read_frame,
+    send_frame,
+)
+
+
+def dmat(n: int = 4) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    points = rng.uniform(size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+class TestConnectRetryDeadline:
+    def test_gives_up_by_the_deadline(self, tmp_path):
+        """No server ever binds: the retry loop must stop at the
+        deadline (within slack), not hang and not fail instantly."""
+        timeout = 0.4
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="never came up"):
+            SocketTransport(
+                f"unix:{tmp_path / 'never.sock'}",
+                0,
+                2,
+                dmat(),
+                connect_timeout=timeout,
+            )
+        elapsed = time.monotonic() - started
+        assert elapsed >= timeout, "gave up before the deadline"
+        assert elapsed < timeout + 5.0, "kept retrying past the deadline"
+
+    def test_failed_connect_leaves_transport_closed(self, tmp_path):
+        transport = None
+        try:
+            transport = SocketTransport(
+                f"unix:{tmp_path / 'never.sock'}",
+                0,
+                2,
+                dmat(),
+                connect_timeout=0.2,
+            )
+        except ShardWorkerError:
+            pass
+        assert transport is None  # __init__ raised; nothing half-open
+
+
+class TestPipeMessageContract:
+    def test_killed_between_requests(self):
+        transport = PipeTransport(0, 2, dmat(), "auto")
+        try:
+            assert transport.request(("ping",)) == "pong"
+            transport.kill()
+            with pytest.raises(
+                ShardWorkerError, match="died between requests"
+            ):
+                transport.send(("ping",))
+        finally:
+            transport.close()
+
+    def test_killed_mid_request(self):
+        transport = PipeTransport(0, 2, dmat(), "auto")
+        try:
+            assert transport.request(("ping",)) == "pong"
+            # The request goes on the wire first; the kill lands while
+            # the reply is pending, so recv sees the EOF mid-exchange.
+            transport.send(("ping",))
+            transport.kill()
+            with pytest.raises(ShardWorkerError, match="died mid-request"):
+                transport.recv()
+        finally:
+            transport.close()
+
+    def test_closed_transport_says_so(self):
+        transport = PipeTransport(0, 2, dmat(), "auto")
+        transport.close()
+        with pytest.raises(ShardWorkerError, match="transport is closed"):
+            transport.send(("ping",))
+        assert not transport.alive
+
+
+class TestSocketMessageContract:
+    """Hand-rolled server: the real one drains connections on its own
+    schedule, while these tests need the far side to die *on cue*."""
+
+    @staticmethod
+    def _serve(path, pings, die_mid_request=False):
+        listener = create_listener(f"unix:{path}")
+
+        def server():
+            conn, _ = listener.accept()
+            read_frame(conn.recv)  # init handshake
+            send_frame(conn, ("ok", None))
+            for _ in range(pings):
+                read_frame(conn.recv)
+                send_frame(conn, ("ok", "pong"))
+            if die_mid_request:
+                # Take one more request on board, then die without
+                # replying: the client's recv sees the EOF mid-exchange.
+                try:
+                    read_frame(conn.recv)
+                except EOFError:
+                    pass
+            conn.close()  # the scripted death
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        return listener, thread
+
+    def test_killed_between_requests(self, tmp_path):
+        path = str(tmp_path / "shard.sock")
+        listener, thread = self._serve(path, pings=1)
+        transport = SocketTransport(
+            f"unix:{path}", 0, 2, dmat(), connect_timeout=10.0
+        )
+        try:
+            assert transport.request(("ping",)) == "pong"
+            thread.join(timeout=10)  # server is gone, FIN delivered
+            with pytest.raises(
+                ShardWorkerError, match="died between requests"
+            ):
+                transport.send(("ping",))
+            assert not transport.alive
+        finally:
+            transport.close()
+            listener.close()
+
+    def test_killed_mid_request(self, tmp_path):
+        path = str(tmp_path / "shard.sock")
+        listener, thread = self._serve(path, pings=1, die_mid_request=True)
+        transport = SocketTransport(
+            f"unix:{path}", 0, 2, dmat(), connect_timeout=10.0
+        )
+        try:
+            assert transport.request(("ping",)) == "pong"
+            # This send lands while the server is still reading; the
+            # server takes it and closes without replying.
+            transport.send(("ping",))
+            with pytest.raises(ShardWorkerError, match="died mid-request"):
+                transport.recv()
+            assert not transport.alive
+        finally:
+            transport.close()
+            listener.close()
+            thread.join(timeout=10)
+
+    def test_closed_transport_says_so(self, tmp_path):
+        path = str(tmp_path / "shard.sock")
+        listener, thread = self._serve(path, pings=0, die_mid_request=True)
+        transport = SocketTransport(
+            f"unix:{path}", 0, 2, dmat(), connect_timeout=10.0
+        )
+        transport.close()
+        with pytest.raises(ShardWorkerError, match="transport is closed"):
+            transport.send(("ping",))
+        thread.join(timeout=10)
+        listener.close()

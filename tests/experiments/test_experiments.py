@@ -24,9 +24,9 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_eleven_registered(self):
+    def test_all_twelve_registered(self):
         assert sorted(EXPERIMENTS) == sorted(
-            f"E{i}" for i in range(1, 12)
+            f"E{i}" for i in range(1, 13)
         )
 
     def test_lookup_case_insensitive(self):

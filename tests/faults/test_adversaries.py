@@ -1,0 +1,166 @@
+"""Byzantine peer policies: the ``PeerPolicy`` commit hook.
+
+Two bit-identity properties anchor everything else: an armed
+:class:`HonestPolicy` (and the no-policy fast path) leaves service
+trajectories byte-identical, and a :class:`ByzantinePolicy` journal
+replays digest-identical because its lies are deterministic in
+``(epoch, peer)``.
+"""
+
+import pytest
+
+from repro.core.best_response import BestResponseResult
+from repro.faults.adversaries import (
+    ByzantinePolicy,
+    HonestPolicy,
+    PolicyDecision,
+    apply_policy,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.service.journal import ServiceJournal, replay_journal
+from repro.service.requests import Request
+from repro.service.state import ServiceState
+
+ALPHA = 2.0
+N = 10
+
+
+def response(peer=0, strategy=(1,)):
+    return BestResponseResult(
+        peer, frozenset(strategy), 1.0, 2.0, True, "greedy"
+    )
+
+
+def run_epochs(policy, epochs=3, seed=5):
+    """Digest trajectory of all-active rebind epochs under a policy."""
+    metric = EuclideanMetric.random_uniform(N, dim=2, seed=seed)
+    journal = ServiceJournal()
+    with ServiceState(
+        metric,
+        ALPHA,
+        initial_active=range(N),
+        journal=journal,
+        peer_policy=policy,
+    ) as state:
+        for _ in range(epochs):
+            state.apply_epoch(
+                [Request("rebind", peer) for peer in state.active]
+            )
+    return journal
+
+
+class TestHonestBaseline:
+    def test_honest_policy_is_bit_identical_to_no_policy(self):
+        bare = [r.digest for r in run_epochs(None).records]
+        honest = [r.digest for r in run_epochs(HonestPolicy()).records]
+        assert bare == honest
+
+    def test_apply_policy_none_fast_path(self):
+        solved = response()
+        assert apply_policy(None, peer=0, slot=0, epoch=0,
+                            response=solved, active=[0, 1]) == (solved, True)
+
+    def test_honest_decide_passes_through(self):
+        solved = response()
+        decision = HonestPolicy().decide(
+            peer=0, slot=0, epoch=0, response=solved, active=[0, 1]
+        )
+        assert decision == PolicyDecision(solved)
+
+
+class TestByzantineDecisions:
+    def test_refuser_suppresses_the_response(self):
+        policy = ByzantinePolicy(refusers=[3])
+        result, check = apply_policy(
+            policy, peer=3, slot=3, epoch=0,
+            response=response(peer=3), active=list(range(N)),
+        )
+        assert result is None
+        assert check is True
+
+    def test_liar_fabricates_an_unchecked_single_link(self):
+        policy = ByzantinePolicy(liars=[2], seed=9)
+        solved = response(peer=2, strategy=(0, 1))
+        result, check = apply_policy(
+            policy, peer=2, slot=2, epoch=1,
+            response=solved, active=list(range(N)),
+        )
+        assert check is False  # the lie does not audit itself
+        assert len(result.strategy) == 1
+        (target,) = result.strategy
+        assert target != 2  # never a self-link (slot excluded)
+        assert result.improved
+
+    def test_lie_is_deterministic_in_epoch_and_peer(self):
+        policy = ByzantinePolicy(liars=[2], seed=9)
+        draws = [
+            apply_policy(
+                policy, peer=2, slot=2, epoch=4,
+                response=response(peer=2), active=list(range(N)),
+            )[0].strategy
+            for _ in range(3)
+        ]
+        assert draws[0] == draws[1] == draws[2]
+
+    def test_outside_window_everyone_is_honest(self):
+        policy = ByzantinePolicy(
+            liars=[1], refusers=[2], start=5, stop=8
+        )
+        for epoch in (0, 4, 8, 100):
+            assert not policy.in_window(epoch)
+            for peer in (1, 2):
+                solved = response(peer=peer)
+                result, check = apply_policy(
+                    policy, peer=peer, slot=peer, epoch=epoch,
+                    response=solved, active=list(range(N)),
+                )
+                assert result is solved
+                assert check is True
+        assert policy.in_window(5) and policy.in_window(7)
+
+    def test_overlapping_roles_rejected(self):
+        with pytest.raises(ValueError, match="both lie and refuse"):
+            ByzantinePolicy(liars=[1, 2], refusers=[2])
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            ByzantinePolicy(start=5, stop=3)
+
+
+class TestReplayIdentity:
+    def test_byzantine_journal_replays_digest_identical(self):
+        """The chaos-harness property: a deterministic policy makes the
+        attacked run as replayable as an honest one."""
+        policy = ByzantinePolicy(liars=[1], refusers=[4], seed=7, stop=2)
+        journal = run_epochs(policy, epochs=4)
+        assert len(journal) >= 1
+        metric = EuclideanMetric.random_uniform(N, dim=2, seed=5)
+        result = replay_journal(
+            journal,
+            metric,
+            ALPHA,
+            initial_active=range(N),
+            peer_policy=ByzantinePolicy(
+                liars=[1], refusers=[4], seed=7, stop=2
+            ),
+        )
+        assert list(result.digests) == [
+            record.digest for record in journal.records
+        ]
+
+    def test_byzantine_run_differs_from_honest(self):
+        honest = [r.digest for r in run_epochs(None, epochs=2).records]
+        attacked = [
+            r.digest
+            for r in run_epochs(
+                ByzantinePolicy(liars=[0, 1], seed=3), epochs=2
+            ).records
+        ]
+        assert honest != attacked
+
+    def test_describe_names_the_window(self):
+        policy = ByzantinePolicy(liars=[2], refusers=[5], start=1, stop=4)
+        text = policy.describe()
+        assert "liars=[2]" in text
+        assert "refusers=[5]" in text
+        assert "[1, 4)" in text

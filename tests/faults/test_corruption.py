@@ -1,0 +1,123 @@
+"""Seeded bit-flips in evaluator caches stay finite and deterministic.
+
+The corruption model's contract: flips are a pure function of the seed,
+never mint ``inf``/``nan`` (silent corruption, not detectable poison),
+never touch already-non-finite cells, and :func:`repair` restores the
+evaluator to ground truth exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import GameEvaluator
+from repro.core.game import TopologyGame
+from repro.faults.corruption import (
+    _FLIP_BITS,
+    _MANTISSA_BITS,
+    corrupt_overlay_rows,
+    corrupt_service_matrices,
+    flip_float_bit,
+    repair,
+)
+from repro.metrics.euclidean import EuclideanMetric
+
+ALPHA = 2.0
+N = 12
+
+
+def make_evaluator(seed=0):
+    metric = EuclideanMetric.random_uniform(N, dim=2, seed=seed)
+    game = TopologyGame(metric, ALPHA)
+    profile = game.random_profile(0.2, seed=seed)
+    return GameEvaluator(game, profile)
+
+
+class TestFlipFloatBit:
+    def test_mantissa_flip_changes_the_value(self):
+        values = np.array([1.5, 2.5])
+        assert flip_float_bit(values, 0, 51)  # top mantissa bit
+        assert values[0] != 1.5
+        assert np.isfinite(values[0])
+
+    def test_flip_is_an_involution(self):
+        values = np.array([3.25])
+        flip_float_bit(values, 0, 13)
+        flip_float_bit(values, 0, 13)
+        assert values[0] == 3.25
+
+    def test_exponent_flip_scales_the_value(self):
+        values = np.array([1.0])
+        assert flip_float_bit(values, 0, _MANTISSA_BITS)
+        # Flipping the lowest exponent bit of 1.0 (biased exp 1023,
+        # odd) clears it: the value halves.
+        assert values[0] == 0.5
+
+    def test_non_finite_cells_are_left_alone(self):
+        for poison in (np.inf, -np.inf, np.nan):
+            values = np.array([poison])
+            assert not flip_float_bit(values, 0, 3)
+            if np.isnan(poison):
+                assert np.isnan(values[0])
+            else:
+                assert values[0] == poison
+
+    def test_overflow_falls_back_to_mantissa_shadow(self):
+        # Near the top of the exponent range a +2**55 exponent flip
+        # would mint inf; the flip must land on the mantissa instead.
+        values = np.array([np.finfo(np.float64).max])
+        assert flip_float_bit(values, 0, _MANTISSA_BITS + 3)
+        assert np.isfinite(values[0])
+        assert values[0] != np.finfo(np.float64).max
+
+    @pytest.mark.parametrize("bit", [-1, _FLIP_BITS, 99])
+    def test_out_of_range_bit_raises(self, bit):
+        with pytest.raises(ValueError, match="bit"):
+            flip_float_bit(np.array([1.0]), 0, bit)
+
+
+class TestCorruptOverlay:
+    def test_flips_are_deterministic_in_the_seed(self):
+        with make_evaluator() as a, make_evaluator() as b:
+            first = corrupt_overlay_rows(a, seed=7, flips=16)
+            second = corrupt_overlay_rows(b, seed=7, flips=16)
+        assert first == second
+        assert len(first) >= 1
+
+    def test_corruption_stays_finite(self):
+        with make_evaluator() as evaluator:
+            corrupt_overlay_rows(evaluator, seed=3, flips=32)
+            dist = evaluator.overlay_distances()
+            finite_before = np.isfinite(dist)
+            # Cells that were finite must still be finite (disconnected
+            # pairs are inf by construction and are never touched).
+            assert np.isfinite(dist[finite_before]).all()
+
+    def test_repair_restores_ground_truth(self):
+        with make_evaluator() as evaluator:
+            clean_cost = evaluator.social_cost().total
+            clean_dist = evaluator.overlay_distances().copy()
+            corrupt_overlay_rows(evaluator, seed=1, flips=16)
+            repair(evaluator)
+            assert evaluator.social_cost().total == clean_cost
+            np.testing.assert_array_equal(
+                evaluator.overlay_distances(), clean_dist
+            )
+
+
+class TestCorruptServiceMatrices:
+    def test_empty_store_is_a_noop(self):
+        with make_evaluator() as evaluator:
+            # Nothing solved yet: no W matrices are resident.
+            assert corrupt_service_matrices(evaluator, seed=0) == []
+
+    def test_flips_target_resident_matrices(self):
+        with make_evaluator() as a, make_evaluator() as b:
+            for evaluator in (a, b):
+                # One gain sweep makes per-peer W matrices resident.
+                evaluator.gain_sweep(method="greedy", peers=list(range(N)))
+            first = corrupt_service_matrices(a, seed=5, flips=24)
+            second = corrupt_service_matrices(b, seed=5, flips=24)
+        assert first == second
+        assert len(first) >= 1
+        peers = {peer for peer, _row, _bit in first}
+        assert peers  # flips landed on real store keys

@@ -1,0 +1,160 @@
+"""Injection semantics at the transport seam.
+
+A fake inner transport pins the exact wrapper behavior — what reaches
+the wire, what error the caller sees, what the log counts — and the
+factory tests pin the property recovery depends on: a respawned shard's
+replacement transport *resumes* its site's op schedule instead of
+replaying the faults the dead transport already consumed.
+"""
+
+import pytest
+
+from repro.core.shard_workers import ShardWorkerError
+from repro.faults.injection import (
+    INJECTED,
+    FaultyTransport,
+    FaultyTransportFactory,
+    InjectionLog,
+)
+from repro.faults.plan import NULL_PLAN, FaultPlan
+
+
+class FakeTransport:
+    """Scripted inner transport: records calls, echoes pongs."""
+
+    def __init__(self, lo=0, hi=8, *args, **kwargs):
+        self.name = f"fake-shard-{lo}-{hi}"
+        self.sent = []
+        self.closed = False
+        self.killed = False
+        self._pending = 0
+
+    def send(self, message):
+        self.sent.append(message)
+        self._pending += 1
+
+    def recv(self):
+        assert self._pending > 0
+        self._pending -= 1
+        return "pong"
+
+    def request(self, message):
+        self.send(message)
+        return self.recv()
+
+    def kill(self):
+        self.killed = True
+
+    def close(self):
+        self.closed = True
+
+    @property
+    def alive(self):
+        return not (self.closed or self.killed)
+
+
+class TestNullPlanIsNeutral:
+    def test_passthrough(self):
+        inner = FakeTransport()
+        transport = FaultyTransport(inner, NULL_PLAN, "shard-0-8")
+        for k in range(20):
+            assert transport.request(("ping", k)) == "pong"
+        assert inner.sent == [("ping", k) for k in range(20)]
+        assert transport.log.total() == 0
+        assert transport.alive
+
+
+class TestActions:
+    def test_drop_never_reaches_the_wire(self):
+        inner = FakeTransport()
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        transport = FaultyTransport(inner, plan, "shard-0-8")
+        with pytest.raises(ShardWorkerError) as excinfo:
+            transport.send(("ping",))
+        message = str(excinfo.value)
+        assert message.startswith(INJECTED)
+        assert "died between requests" in message
+        assert inner.sent == []  # the far side never saw it
+        assert inner.closed  # channel torn down for the recovery path
+        assert transport.log.total("drop") == 1
+
+    def test_corrupt_runs_the_request_then_ruins_the_reply(self):
+        inner = FakeTransport()
+        plan = FaultPlan(seed=0, corrupt_rate=1.0)
+        transport = FaultyTransport(inner, plan, "shard-0-8")
+        transport.send(("ping",))
+        assert inner.sent == [("ping",)]  # request did run
+        with pytest.raises(ShardWorkerError, match="died mid-request"):
+            transport.recv()
+        assert inner._pending == 0  # real reply drained, not delivered
+        assert inner.closed
+        assert transport.log.total("corrupt") == 1
+
+    def test_kill_reaches_the_real_worker(self):
+        inner = FakeTransport()
+        plan = FaultPlan(seed=0, kill_ops={"shard-0-8": (0,)})
+        transport = FaultyTransport(inner, plan, "shard-0-8")
+        with pytest.raises(ShardWorkerError, match="died between requests"):
+            transport.send(("ping",))
+        assert inner.killed
+        assert transport.log.total("kill") == 1
+
+    def test_delay_passes_through_unchanged(self):
+        inner = FakeTransport()
+        plan = FaultPlan(seed=0, delay_rate=1.0, delay_s=0.0)
+        transport = FaultyTransport(inner, plan, "shard-0-8")
+        assert transport.request(("ping",)) == "pong"
+        assert inner.sent == [("ping",)]
+        assert transport.log.total("delay") == 1
+
+    def test_injected_marker_distinguishes_from_organic(self):
+        inner = FakeTransport()
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        transport = FaultyTransport(inner, plan, "shard-0-8")
+        with pytest.raises(ShardWorkerError, match=r"\[fault-injection\]"):
+            transport.send(("ping",))
+
+
+class TestFactoryOpCursor:
+    def test_replacement_transport_resumes_the_schedule(self):
+        """Op 3 is a scheduled kill.  The replacement transport made
+        after the kill must continue at op 4 — not replay ops 0-3 and
+        die in the same loop forever."""
+        plan = FaultPlan(seed=0, kill_ops={"shard-0-8": (3,)})
+        factory = FaultyTransportFactory(FakeTransport, plan)
+        first = factory(0, 8, None)
+        for k in range(3):
+            assert first.request(("ping", k)) == "pong"
+        with pytest.raises(ShardWorkerError, match="killed"):
+            first.send(("ping", 3))
+
+        second = factory(0, 8, None)
+        for k in range(20):  # ops 4.. — past the one scheduled kill
+            assert second.request(("ping", k)) == "pong"
+        assert factory.log.total("kill") == 1
+
+    def test_sites_are_independent_cursors(self):
+        plan = FaultPlan(seed=0, kill_ops={"shard-0-8": (0,)})
+        factory = FaultyTransportFactory(FakeTransport, plan)
+        other = factory(8, 16, None)
+        assert other.request(("ping",)) == "pong"  # different site
+        doomed = factory(0, 8, None)
+        with pytest.raises(ShardWorkerError, match="killed"):
+            doomed.send(("ping",))
+
+    def test_factory_names_sites_by_shard_range(self):
+        factory = FaultyTransportFactory(FakeTransport, NULL_PLAN)
+        transport = factory(16, 32, None)
+        assert transport.site == "shard-16-32"
+
+
+class TestInjectionLog:
+    def test_counts_by_action_and_site(self):
+        log = InjectionLog()
+        log.count("drop", "a")
+        log.count("drop", "b")
+        log.count("kill", "a")
+        assert log.total() == 3
+        assert log.total("drop") == 2
+        assert log.as_dict()["drop@a"] == 1
+        assert log.as_dict()["kill@a"] == 1

@@ -1,0 +1,168 @@
+"""The fault schedule: pure, seeded, parseable.
+
+Recovery times are only measurable if the fault schedule is a pure
+function of ``(seed, site, op)`` — these tests pin that purity, the
+action precedence, the ``sites`` / ``max_ops`` scoping, and the CLI
+parse grammar behind ``--fault-plan``.
+"""
+
+import pytest
+
+from repro.faults.plan import FAULT_ACTIONS, NULL_PLAN, FaultPlan
+
+
+class TestDeterminism:
+    def test_action_is_pure(self):
+        plan = FaultPlan(seed=7, drop_rate=0.3, corrupt_rate=0.2)
+        first = [plan.action("shard-0-8", op) for op in range(200)]
+        second = [plan.action("shard-0-8", op) for op in range(200)]
+        assert first == second
+
+    def test_equal_plans_agree_across_instances(self):
+        a = FaultPlan(seed=3, drop_rate=0.5)
+        b = FaultPlan(seed=3, drop_rate=0.5)
+        ops = range(100)
+        assert [a.action("s", op) for op in ops] == [
+            b.action("s", op) for op in ops
+        ]
+
+    def test_seed_changes_the_schedule(self):
+        a = FaultPlan(seed=0, drop_rate=0.5)
+        b = FaultPlan(seed=1, drop_rate=0.5)
+        ops = range(200)
+        assert [a.action("s", op) for op in ops] != [
+            b.action("s", op) for op in ops
+        ]
+
+    def test_sites_draw_independently(self):
+        plan = FaultPlan(seed=0, drop_rate=0.5)
+        ops = range(200)
+        assert [plan.action("a", op) for op in ops] != [
+            plan.action("b", op) for op in ops
+        ]
+
+    def test_rates_are_roughly_honored(self):
+        plan = FaultPlan(seed=11, drop_rate=0.25)
+        drops = sum(
+            plan.action("s", op) == "drop" for op in range(2000)
+        )
+        assert 0.18 < drops / 2000 < 0.32
+
+    def test_actions_stay_in_the_registry(self):
+        plan = FaultPlan(
+            seed=5,
+            drop_rate=0.2,
+            corrupt_rate=0.2,
+            delay_rate=0.2,
+            kill_ops={"s": (3,)},
+        )
+        seen = {plan.action("s", op) for op in range(500)}
+        assert seen - {None} <= set(FAULT_ACTIONS)
+
+
+class TestScoping:
+    def test_null_plan_never_fires(self):
+        assert NULL_PLAN.is_null
+        assert all(
+            NULL_PLAN.action("s", op) is None for op in range(100)
+        )
+
+    def test_kill_ops_beat_rates(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0, kill_ops={"s": (4,)})
+        assert plan.action("s", 4) == "kill"
+        assert plan.action("s", 5) == "drop"
+        assert plan.action("other", 4) == "drop"  # kill is per-site
+
+    def test_sites_filter_silences_other_sites(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0, sites={"only-this"})
+        assert plan.action("only-this", 0) == "drop"
+        assert plan.action("something-else", 0) is None
+
+    def test_max_ops_clears_the_faults(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0, max_ops=10)
+        assert plan.action("s", 9) == "drop"
+        assert plan.action("s", 10) is None
+        assert plan.action("s", 10_000) is None
+
+    def test_max_ops_also_clears_scheduled_kills(self):
+        plan = FaultPlan(seed=0, kill_ops={"s": (20,)}, max_ops=10)
+        assert plan.action("s", 20) is None
+
+    def test_drop_beats_corrupt_beats_delay(self):
+        everything = FaultPlan(
+            seed=0, drop_rate=1.0, corrupt_rate=1.0, delay_rate=1.0
+        )
+        assert all(
+            everything.action("s", op) == "drop" for op in range(50)
+        )
+        no_drop = FaultPlan(seed=0, corrupt_rate=1.0, delay_rate=1.0)
+        assert all(
+            no_drop.action("s", op) == "corrupt" for op in range(50)
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_rate": -0.1},
+            {"drop_rate": 1.5},
+            {"corrupt_rate": 2.0},
+            {"delay_rate": -1.0},
+            {"delay_s": -0.5},
+            {"max_ops": -1},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_kill_ops_normalized_sorted_tuples(self):
+        plan = FaultPlan(kill_ops={"s": [5, 1, 3]})
+        assert plan.kill_ops == {"s": (1, 3, 5)}
+
+
+class TestParse:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=7, drop=0.02, corrupt=0.01, delay=0.1, delay_ms=5, "
+            "max_ops=200, kill=shard-0-8@3, kill=service-queue@10, "
+            "kill=shard-0-8@9"
+        )
+        assert plan.seed == 7
+        assert plan.drop_rate == 0.02
+        assert plan.corrupt_rate == 0.01
+        assert plan.delay_rate == 0.1
+        assert plan.delay_s == pytest.approx(0.005)
+        assert plan.max_ops == 200
+        assert plan.kill_ops == {
+            "shard-0-8": (3, 9),
+            "service-queue": (10,),
+        }
+
+    @pytest.mark.parametrize("spec", ["", "null", None])
+    def test_null_specs_parse_to_the_null_plan(self, spec):
+        assert FaultPlan.parse(spec) == NULL_PLAN
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus=1",
+            "drop",
+            "drop=",
+            "drop=lots",
+            "kill=shard-0-8",
+            "kill=@3",
+            "drop=0.5,seed=x",
+        ],
+    )
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError, match="fault-plan"):
+            FaultPlan.parse(spec)
+
+    def test_parse_round_trips_through_describe(self):
+        plan = FaultPlan.parse("seed=3,drop=0.1,max_ops=50")
+        assert FaultPlan.parse(plan.describe().replace(" ", ",")) == plan
+
+    def test_null_describe(self):
+        assert NULL_PLAN.describe() == "null fault plan"

@@ -1,0 +1,102 @@
+"""Scenario families: every row a pure function of its parameters.
+
+Small-n smoke runs of each registered family pin the metric contract
+(which keys every family reports, degradation >= 1, JSON-safe floats)
+and the determinism rule the e20 benchmark scales up: same parameters,
+bit-identical outcome dicts.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.scenarios import (
+    SCENARIO_FAMILIES,
+    byzantine_scenario,
+    run_scenario,
+    targeted_churn_scenario,
+)
+
+#: Keys every family must report (the E12 row contract).
+REQUIRED_KEYS = {
+    "family",
+    "seed",
+    "n",
+    "alpha",
+    "baseline_cost",
+    "peak_cost",
+    "degradation",
+    "disconnected_epochs",
+    "final_cost",
+    "recovery_epochs",
+    "converged",
+}
+
+SMALL = {"n": 12, "alpha": 2.0, "seed": 0, "max_epochs": 30}
+
+
+class TestRegistry:
+    def test_three_families_registered(self):
+        assert set(SCENARIO_FAMILIES) == {
+            "byzantine",
+            "corruption",
+            "targeted-churn",
+        }
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            run_scenario("gremlins")
+
+
+@pytest.mark.parametrize("family", sorted(SCENARIO_FAMILIES))
+class TestFamilyContract:
+    def test_reports_the_required_metrics(self, family):
+        outcome = run_scenario(family, **SMALL)
+        assert REQUIRED_KEYS <= set(outcome)
+        assert outcome["family"] == family
+        assert outcome["degradation"] >= 1.0
+        assert outcome["recovery_epochs"] >= 1
+        assert outcome["converged"] in (True, False)
+
+    def test_outcome_is_json_safe(self, family):
+        # Disconnection episodes are priced as worst-finite + a count,
+        # never as inf — inf would poison the results JSON.
+        outcome = run_scenario(family, **SMALL)
+        text = json.dumps(outcome)
+        assert "Infinity" not in text and "NaN" not in text
+
+    def test_same_parameters_same_outcome(self, family):
+        assert run_scenario(family, **SMALL) == run_scenario(
+            family, **SMALL
+        )
+
+    def test_seed_changes_the_outcome(self, family):
+        base = run_scenario(family, **SMALL)
+        other = run_scenario(family, **{**SMALL, "seed": 1})
+        assert base != other
+
+
+class TestByzantine:
+    def test_attack_actually_moves_the_system(self):
+        outcome = byzantine_scenario(**SMALL, liars=2, refusers=1)
+        assert len(outcome["liars"]) == 2
+        assert len(outcome["refusers"]) == 1
+        assert not set(outcome["liars"]) & set(outcome["refusers"])
+        assert outcome["attack_moves"] >= 1
+
+    def test_recovery_reconverges(self):
+        outcome = byzantine_scenario(**SMALL)
+        assert outcome["converged"]
+
+
+class TestTargetedChurn:
+    def test_targeted_and_random_share_the_universe(self):
+        targeted = targeted_churn_scenario(**SMALL, targeted=True)
+        random = targeted_churn_scenario(**SMALL, targeted=False)
+        assert targeted["family"] == "targeted-churn"
+        assert random["family"] == "random-churn"
+        assert targeted["baseline_cost"] == random["baseline_cost"]
+
+    def test_crash_count_respected(self):
+        outcome = targeted_churn_scenario(**SMALL, crash_count=2)
+        assert len(outcome["crashed"]) == 2

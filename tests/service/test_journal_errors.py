@@ -1,0 +1,150 @@
+"""Negative paths of the service journal: every failure has a name.
+
+A journal is an audit artifact — when loading or replaying one goes
+wrong, the caller must get a *named* error (``JournalFormatError``,
+``JournalVersionError``, ``ReplayMismatch``), never a bare
+``KeyError``/``JSONDecodeError`` it could mistake for its own bug, and
+never a silently wrong replay.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics.euclidean import EuclideanMetric
+from repro.service.journal import (
+    EpochRecord,
+    JournalFormatError,
+    JournalVersionError,
+    ReplayMismatch,
+    ServiceJournal,
+    replay_journal,
+)
+from repro.service.requests import Request
+from repro.service.state import ServiceState
+
+ALPHA = 2.0
+N = 8
+
+
+def make_journal(epochs: int = 2) -> ServiceJournal:
+    """A small genuine journal: all-active rebind epochs."""
+    metric = EuclideanMetric.random_uniform(N, dim=2, seed=3)
+    journal = ServiceJournal()
+    with ServiceState(
+        metric, ALPHA, initial_active=range(N), journal=journal
+    ) as state:
+        for _ in range(epochs):
+            state.apply_epoch(
+                [Request("rebind", peer) for peer in state.active]
+            )
+    assert len(journal) >= 1
+    return journal
+
+
+class TestLoadErrors:
+    def test_truncated_json_is_format_error(self, tmp_path):
+        journal = make_journal()
+        path = tmp_path / "journal.json"
+        journal.save(str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(JournalFormatError, match="truncated or corrupt"):
+            ServiceJournal.load(str(path))
+
+    def test_wrong_version_is_version_error(self, tmp_path):
+        journal = make_journal()
+        payload = journal.to_dict()
+        payload["version"] = 99
+        path = tmp_path / "journal.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(JournalVersionError, match="99"):
+            ServiceJournal.load(str(path))
+
+    def test_missing_version_is_version_error(self):
+        with pytest.raises(JournalVersionError):
+            ServiceJournal.from_dict({"epochs": []})
+
+    def test_non_object_document_is_format_error(self):
+        with pytest.raises(JournalFormatError, match="JSON object"):
+            ServiceJournal.from_dict(["not", "a", "journal"])
+
+    def test_missing_epochs_list_is_format_error(self):
+        with pytest.raises(JournalFormatError, match="epochs"):
+            ServiceJournal.from_dict({"version": 1, "epochs": "nope"})
+
+    def test_malformed_record_is_format_error(self):
+        record = make_journal().records[0].to_dict()
+        del record["digest"]
+        with pytest.raises(JournalFormatError, match="malformed epoch record"):
+            ServiceJournal.from_dict({"version": 1, "epochs": [record]})
+
+    def test_non_numeric_field_is_format_error(self):
+        record = make_journal().records[0].to_dict()
+        record["moves"] = "many"
+        with pytest.raises(JournalFormatError, match="malformed epoch record"):
+            EpochRecord.from_dict(record)
+
+    def test_version_error_is_a_format_error(self):
+        # Callers may catch the broad class only.
+        assert issubclass(JournalVersionError, JournalFormatError)
+
+
+class TestRoundTrip:
+    def test_save_load_round_trips(self, tmp_path):
+        journal = make_journal()
+        path = tmp_path / "journal.json"
+        journal.save(str(path))
+        loaded = ServiceJournal.load(str(path))
+        assert loaded.records == journal.records
+
+
+class TestReplayMismatch:
+    def test_corrupt_digest_raises_replay_mismatch(self):
+        journal = make_journal()
+        bad = ServiceJournal()
+        for index, record in enumerate(journal.records):
+            digest = "0" * 16 if index == 0 else record.digest
+            bad.append(
+                EpochRecord(
+                    epoch=record.epoch,
+                    membership=record.membership,
+                    rebinds=record.rebinds,
+                    digest=digest,
+                    moves=record.moves,
+                    social_cost=record.social_cost,
+                )
+            )
+        metric = EuclideanMetric.random_uniform(N, dim=2, seed=3)
+        with pytest.raises(ReplayMismatch, match="epoch"):
+            replay_journal(bad, metric, ALPHA, initial_active=range(N))
+
+    def test_verify_false_reports_instead_of_raising(self):
+        journal = make_journal()
+        bad = ServiceJournal()
+        record = journal.records[0]
+        bad.append(
+            EpochRecord(
+                epoch=record.epoch,
+                membership=record.membership,
+                rebinds=record.rebinds,
+                digest="f" * 16,
+                moves=record.moves,
+                social_cost=record.social_cost,
+            )
+        )
+        metric = EuclideanMetric.random_uniform(N, dim=2, seed=3)
+        result = replay_journal(
+            bad, metric, ALPHA, initial_active=range(N), verify=False
+        )
+        assert result.digests[0] != "f" * 16
+
+    def test_faithful_journal_replays_clean(self):
+        journal = make_journal()
+        metric = EuclideanMetric.random_uniform(N, dim=2, seed=3)
+        result = replay_journal(
+            journal, metric, ALPHA, initial_active=range(N)
+        )
+        assert list(result.digests) == [
+            record.digest for record in journal.records
+        ]

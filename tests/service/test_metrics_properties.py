@@ -1,0 +1,123 @@
+"""Property tests for the service latency histogram.
+
+:class:`~repro.service.metrics.LatencyHistogram` trades exactness for
+O(1) recording by folding samples into log2 buckets.  The contract the
+service dashboard (and the e19/e20 benchmarks) rely on:
+
+* quantiles are **conservative**: never below the exact percentile of
+  the recorded samples;
+* the over-report is **bounded**: at most 2x the exact value (one log2
+  bucket), floored at the 1us bucket resolution;
+* quantiles never exceed the recorded maximum.
+
+Hypothesis drives the whole sample space; the ``repro`` profile in
+``tests/conftest.py`` keeps example counts CI-friendly.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.metrics import LatencyHistogram
+
+#: The histogram's bucket floor: values at or below this land in bucket
+#: zero, whose upper bound is the floor itself.
+FLOOR_S = 1e-6
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+quantiles = st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.99, 1.0])
+
+
+def exact_quantile(values, q):
+    """The rank-convention percentile the histogram approximates."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def fill(values):
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+class TestQuantileBound:
+    @given(values=samples, q=quantiles)
+    def test_log2_bucket_error_bound(self, values, q):
+        histogram = fill(values)
+        exact = exact_quantile(values, q)
+        estimate = histogram.quantile(q)
+        assert estimate >= exact, "quantile under-reported the tail"
+        assert estimate <= max(2.0 * exact, FLOOR_S), (
+            f"quantile {estimate} exceeds one log2 bucket over "
+            f"exact {exact}"
+        )
+
+    @given(values=samples, q=quantiles)
+    def test_never_exceeds_recorded_max(self, values, q):
+        histogram = fill(values)
+        assert histogram.quantile(q) <= max(max(values), FLOOR_S)
+
+    @given(values=samples)
+    def test_quantile_monotone_in_q(self, values):
+        histogram = fill(values)
+        points = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert points == sorted(points)
+
+    @given(values=samples)
+    def test_percentiles_match_quantile(self, values):
+        histogram = fill(values)
+        tail = histogram.percentiles()
+        assert tail == {
+            "p50": histogram.quantile(0.50),
+            "p90": histogram.quantile(0.90),
+            "p99": histogram.quantile(0.99),
+        }
+
+
+class TestEdgeCases:
+    def test_empty_histogram_reports_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean_s == 0.0
+        assert histogram.max_s == 0.0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    @given(value=st.floats(min_value=0.0, max_value=60.0, allow_nan=False))
+    def test_single_sample_brackets_itself(self, value):
+        histogram = fill([value])
+        for q in (0.0, 0.5, 1.0):
+            estimate = histogram.quantile(q)
+            assert value <= estimate <= max(2.0 * value, FLOOR_S)
+
+    def test_subfloor_samples_report_floor(self):
+        histogram = fill([0.0, FLOOR_S / 2, FLOOR_S])
+        assert histogram.quantile(1.0) == pytest.approx(FLOOR_S)
+
+    def test_negative_samples_clamp_to_zero(self):
+        histogram = fill([-1.0])
+        assert histogram.count == 1
+        assert histogram.max_s == 0.0
+        assert histogram.quantile(1.0) <= FLOOR_S
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1, math.inf])
+    def test_out_of_range_quantile_raises(self, q):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(q)
+
+    @given(values=samples)
+    def test_count_mean_max_consistent(self, values):
+        histogram = fill(values)
+        assert histogram.count == len(values)
+        assert histogram.mean_s == pytest.approx(
+            sum(values) / len(values)
+        )
+        assert histogram.max_s == max(values)

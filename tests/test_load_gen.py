@@ -1,0 +1,101 @@
+"""Unit tests for the load-generator summary (``scripts/load_gen.py``).
+
+The summary must keep shed requests (admission control working as
+designed under ``--policy shed``) separate from client errors (broken
+transport / dead server): a fully-shed run against a healthy saturated
+service is a load-generator *success*, while a single client error is a
+failure regardless of how much traffic got through.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "load_gen", REPO_ROOT / "scripts" / "load_gen.py"
+)
+load_gen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(load_gen)
+
+
+def _counters(ok=0, failed=0, shed=0, errors=0):
+    return {"ok": ok, "failed": failed, "shed": shed, "errors": errors}
+
+
+class TestSummarize:
+    def test_shed_not_counted_as_completed_or_error(self):
+        summary = load_gen.summarize(
+            _counters(ok=7, failed=2, shed=5), total=14, elapsed=2.0
+        )
+        assert summary["completed"] == 9
+        assert summary["shed"] == 5
+        assert summary["client_errors"] == 0
+        assert summary["handled"] == 14
+
+    def test_throughput_counts_only_completed(self):
+        summary = load_gen.summarize(
+            _counters(ok=10, shed=90), total=100, elapsed=2.0
+        )
+        assert summary["throughput_rps"] == 5.0
+
+    def test_zero_elapsed_gives_zero_throughput(self):
+        summary = load_gen.summarize(_counters(ok=1), total=1, elapsed=0.0)
+        assert summary["throughput_rps"] == 0.0
+
+    def test_server_stats_passthrough(self):
+        stats = {"epochs": 3}
+        summary = load_gen.summarize(
+            _counters(ok=1), total=1, elapsed=1.0, stats=stats
+        )
+        assert summary["server_stats"] is stats
+
+
+class TestExitCode:
+    def test_clean_run_is_success(self):
+        summary = load_gen.summarize(_counters(ok=5), total=5, elapsed=1.0)
+        assert load_gen.exit_code(summary) == 0
+
+    def test_fully_shed_run_is_success(self):
+        # Saturation under --policy shed is the service protecting
+        # itself, not the load generator failing.
+        summary = load_gen.summarize(
+            _counters(shed=50), total=50, elapsed=1.0
+        )
+        assert load_gen.exit_code(summary) == 0
+
+    def test_rejections_alone_are_success(self):
+        summary = load_gen.summarize(
+            _counters(failed=3), total=3, elapsed=1.0
+        )
+        assert load_gen.exit_code(summary) == 0
+
+    def test_any_client_error_fails(self):
+        summary = load_gen.summarize(
+            _counters(ok=99, errors=1), total=100, elapsed=1.0
+        )
+        assert load_gen.exit_code(summary) == 1
+
+    def test_nothing_handled_fails(self):
+        summary = load_gen.summarize(_counters(), total=0, elapsed=1.0)
+        assert load_gen.exit_code(summary) == 1
+
+
+class TestCli:
+    def test_help_exits_cleanly(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "load_gen.py"),
+                "--help",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0
+        assert "--rate" in result.stdout
