@@ -151,10 +151,41 @@ def _add_execution_flags(command) -> None:
             "it; default 1)"
         ),
     )
+    command.add_argument(
+        "--game",
+        choices=("unilateral", "congestion"),
+        default="unilateral",
+        help=(
+            "cost-model family (forwarded to experiments that support "
+            "it): 'unilateral' is the paper's game; 'congestion' adds "
+            "beta * in-degree per peer — an externality, so best "
+            "responses and trajectories are identical while social "
+            "cost and PoA shift (see --beta)"
+        ),
+    )
+    command.add_argument(
+        "--beta",
+        type=float,
+        default=None,
+        help=(
+            "per-in-edge congestion charge (needs --game congestion; "
+            "default 1.0)"
+        ),
+    )
 
 
 def _check_execution_flags(args, parser: argparse.ArgumentParser) -> None:
     """Cross-flag validation argparse cannot express on its own."""
+    if (
+        getattr(args, "beta", None) is not None
+        and getattr(args, "game", None) != "congestion"
+    ):
+        parser.error(
+            "--beta needs --game congestion: the unilateral game has no "
+            "congestion charge to weight"
+        )
+    if getattr(args, "beta", None) is not None and args.beta < 0:
+        parser.error(f"--beta must be >= 0, got {args.beta}")
     if getattr(args, "backend", None) == "process" and args.workers < 2:
         parser.error(
             "--backend process needs --workers >= 2: a single-worker "
@@ -385,7 +416,18 @@ def _harness_params(args) -> dict:
         "shard_placement": args.shard_placement,
         "max_resident_shards": args.max_resident_shards,
         "shard_hosts": args.shard_hosts,
+        "game_family": args.game,
+        "beta": args.beta,
     }
+
+
+def _make_cost_model(game_family, beta, alpha):
+    """The CLI's cost-model factory: ``None`` for the paper's default."""
+    if game_family in (None, "unilateral"):
+        return None
+    from repro.core.cost_model import CongestionModel
+
+    return CongestionModel(alpha, 1.0 if beta is None else float(beta))
 
 
 def _cmd_run(
@@ -469,9 +511,17 @@ def _cmd_demo(params: dict) -> int:
     workers = params["workers"]
     backend = params["backend"]
     shards = params["shards"]
-    print("1. Selfish rewiring on a random instance (n=12, alpha=2):")
+    game_family = params.get("game_family")
+    beta = params.get("beta")
+    family = "congestion" if game_family == "congestion" else "unilateral"
+    print(
+        f"1. Selfish rewiring on a random instance (n=12, alpha=2, "
+        f"game={family}):"
+    )
     game = TopologyGame(
-        EuclideanMetric.random_uniform(12, dim=2, seed=1), alpha=2.0
+        EuclideanMetric.random_uniform(12, dim=2, seed=1),
+        alpha=2.0,
+        cost_model=_make_cost_model(game_family, beta, 2.0),
     )
     result = BestResponseDynamics(game).run(max_rounds=100)
     print(f"   {result}")
@@ -489,7 +539,9 @@ def _cmd_demo(params: dict) -> int:
         f"{f', placement={placement}' if placement else ''}):"
     )
     sweep_game = TopologyGame(
-        EuclideanMetric.random_uniform(32, dim=2, seed=2), alpha=1.0
+        EuclideanMetric.random_uniform(32, dim=2, seed=2),
+        alpha=1.0,
+        cost_model=_make_cost_model(game_family, beta, 1.0),
     )
     with SimulationEngine(
         sweep_game,
@@ -553,15 +605,22 @@ def _cmd_serve(args) -> int:
     # without them only the service-queue site is live.
     transports_faultable = args.shard_placement in ("process", "socket")
     journal = ServiceJournal() if args.journal else None
+    # ServiceState takes a model object, not the flag pair: convert and
+    # drop the harness keys meant for experiment runners.
+    harness = _harness_params(args)
+    cost_model = _make_cost_model(
+        harness.pop("game_family"), harness.pop("beta"), args.alpha
+    )
     state = ServiceState(
         metric,
         args.alpha,
+        cost_model=cost_model,
         initial_active=range(args.active),
         method=args.method,
         journal=journal,
         fault_plan=fault_plan if transports_faultable else None,
         recovery=True if transports_faultable and fault_plan else None,
-        **_harness_params(args),
+        **harness,
     )
     service = ChurnService(
         state,

@@ -40,7 +40,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CostBreakdown:
-    """Social cost split into its two components.
+    """Social cost split into its components.
 
     Attributes
     ----------
@@ -48,21 +48,37 @@ class CostBreakdown:
         ``C_E = alpha * |E|`` — total link-maintenance cost.
     stretch_cost:
         ``C_S = sum_{i != j} stretch(i, j)`` — total latency cost.
+    extra_cost:
+        Aggregate :meth:`~repro.core.cost_model.CostModel.social_extra`
+        term of the game's cost model (e.g. ``beta * |E|`` under
+        :class:`~repro.core.cost_model.CongestionModel`); ``0.0`` for the
+        paper's unilateral game.
     """
 
     link_cost: float
     stretch_cost: float
+    extra_cost: float = 0.0
 
     @property
     def total(self) -> float:
-        """``C = C_E + C_S``."""
-        return self.link_cost + self.stretch_cost
+        """``C = C_E + C_S`` plus any cost-model extra term.
+
+        The extra is added only when nonzero so the unilateral float sum
+        stays byte-for-byte ``link_cost + stretch_cost``.
+        """
+        base = self.link_cost + self.stretch_cost
+        if self.extra_cost:
+            return base + self.extra_cost
+        return base
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"C = {self.total:.6g} "
-            f"(links {self.link_cost:.6g} + stretch {self.stretch_cost:.6g})"
+            f"(links {self.link_cost:.6g} + stretch {self.stretch_cost:.6g}"
         )
+        if self.extra_cost:
+            text += f" + extra {self.extra_cost:.6g}"
+        return text + ")"
 
 
 def stretch_from_distances(

@@ -359,6 +359,13 @@ class GameEvaluator:
         self._game = game
         self._dmat = game.distance_matrix
         self._alpha = game.alpha
+        # The cost model only touches the accounting surfaces
+        # (social_cost / peer_costs / peer_cost) and the memo digest:
+        # per the externality contract in repro.core.cost_model, its
+        # per-peer term is constant w.r.t. each peer's own strategy, so
+        # every solve path below prices with the scalar alpha and stays
+        # exact for any conforming model.
+        self._cost_model = game.cost_model
         self._n = game.n
         self._backend = backend
         self._max_cached = max(1, int(max_cached_services))
@@ -572,22 +579,39 @@ class GameEvaluator:
 
     def social_cost(self) -> CostBreakdown:
         """Social cost ``C(G[s])`` of the bound profile."""
-        return social_cost_from_stretch(
+        breakdown = social_cost_from_stretch(
             self.stretches(), self.profile, self._alpha
         )
+        if self._cost_model is not None:
+            extra = self._cost_model.social_extra(self.profile)
+            if extra:
+                breakdown = CostBreakdown(
+                    breakdown.link_cost, breakdown.stretch_cost, extra
+                )
+        return breakdown
 
     def peer_costs(self) -> np.ndarray:
         """Vector of individual costs ``c_i(s)`` for all peers."""
-        return individual_costs_from_stretch(
+        costs = individual_costs_from_stretch(
             self.stretches(), self.profile, self._alpha
         )
+        if self._cost_model is not None:
+            term = self._cost_model.per_peer_term(self.profile)
+            if term is not None:
+                costs = costs + term
+        return costs
 
     def peer_cost(self, peer: int) -> float:
         """Individual cost of one peer, served from its service matrix."""
         service = self.service_costs(peer)
-        return strategy_cost(
+        cost = strategy_cost(
             service, sorted(self.profile.strategy(peer)), self._alpha
         )
+        if self._cost_model is not None:
+            term = self._cost_model.per_peer_term(self.profile)
+            if term is not None:
+                cost = cost + float(term[peer])
+        return cost
 
     # ------------------------------------------------------------------
     # Service-cost matrices
@@ -1147,8 +1171,17 @@ class GameEvaluator:
         return resolved
 
     def _profile_digest(self) -> int:
-        """Stable fingerprint of the bound profile (task metadata)."""
-        return hash(self.profile.key()) & 0xFFFFFFFF
+        """Stable fingerprint of the bound profile (task metadata).
+
+        Folds in the cost-model digest so tasks (and any memo keyed on
+        the digest downstream) from differently-priced games can never
+        alias — metadata-only today, since solves are model-independent
+        by the externality contract.
+        """
+        digest = hash(self.profile.key()) & 0xFFFFFFFF
+        if self._cost_model is not None:
+            digest ^= self._cost_model.digest()
+        return digest
 
     def _ensure_shareable_store(self) -> None:
         """Migrate the service store to shared memory if it cannot hand

@@ -39,6 +39,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cost_model import CostModel, resolve_cost_model
 from repro.core.profile import StrategyProfile
 
 __all__ = [
@@ -116,6 +117,7 @@ def profile_costs_batch(
     profile_ids: np.ndarray,
     distance_matrix: np.ndarray,
     alpha: float,
+    cost_model: Optional[CostModel] = None,
 ) -> np.ndarray:
     """Individual costs ``c_i(s)`` for a batch of encoded profiles.
 
@@ -127,6 +129,10 @@ def profile_costs_batch(
         Dense metric distance matrix of shape ``(n, n)``.
     alpha:
         Link-cost parameter.
+    cost_model:
+        Optional :class:`~repro.core.cost_model.CostModel` whose
+        vectorized per-peer term is added to every cost (``None`` — the
+        default — prices the paper's unilateral game).
 
     Returns
     -------
@@ -134,6 +140,7 @@ def profile_costs_batch(
     individual cost of peer ``i`` in profile ``b`` (``inf`` when the peer
     cannot reach everyone).
     """
+    cost_model = resolve_cost_model(cost_model, alpha)
     dmat = np.asarray(distance_matrix, dtype=float)
     n = dmat.shape[0]
     if dmat.shape != (n, n):
@@ -177,7 +184,26 @@ def profile_costs_batch(
     for i in range(n):
         owned = owners == i
         degrees[:, i] = bits[:, owned].sum(axis=1)
-    return alpha * degrees + stretch.sum(axis=2)
+    costs = alpha * degrees + stretch.sum(axis=2)
+    if cost_model is not None:
+        term = cost_model.batch_per_peer_term(bits, owners, targets, n)
+        if term is not None:
+            costs = costs + term
+    return costs
+
+
+def _batch_social_extra(
+    ids: np.ndarray, n: int, cost_model: CostModel
+) -> Optional[np.ndarray]:
+    """Per-profile sum of the model's per-peer term (``None`` if zero)."""
+    num_bits = n * (n - 1)
+    positions = np.arange(num_bits, dtype=np.int64)
+    bits = ((ids[:, None] >> positions[None, :]) & 1).astype(bool)
+    layout = _bit_layout(n)
+    owners = np.array([i for i, _ in layout])
+    targets = np.array([j for _, j in layout])
+    term = cost_model.batch_per_peer_term(bits, owners, targets, n)
+    return None if term is None else term.sum(axis=1)
 
 
 @dataclass(frozen=True)
@@ -204,6 +230,10 @@ class ExhaustiveResult:
     equilibrium_ids: Tuple[int, ...]
     best_profile_id: int
     best_social_cost: float
+    #: Spec of the cost model the social costs were priced with (``None``
+    #: = the paper's unilateral game).  The equilibrium set itself is
+    #: model-independent by the externality contract.
+    cost_model_spec: Optional[Tuple] = None
 
     @property
     def has_equilibrium(self) -> bool:
@@ -229,6 +259,7 @@ def exhaustive_equilibria(
     chunk_size: int = 1 << 14,
     rtol: float = _RELATIVE_TOLERANCE,
     max_equilibria: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
 ) -> ExhaustiveResult:
     """Find **all** pure Nash equilibria of a tiny game exhaustively.
 
@@ -236,6 +267,14 @@ def exhaustive_equilibria(
     chunks.  Supports ``n <= MAX_EXHAUSTIVE_PEERS``.  An empty
     ``equilibrium_ids`` certifies that the instance admits **no** pure Nash
     equilibrium — the phenomenon of the paper's Theorem 5.1.
+
+    ``cost_model`` prices the *social* costs (so ``best_social_cost`` is
+    the model's exact OPT); the Nash check itself runs on the base game's
+    costs, which is exact for every conforming model — the per-peer term
+    is constant w.r.t. each peer's own strategy (the externality contract
+    of :mod:`repro.core.cost_model`), so it drops out of every
+    best-response comparison and the equilibrium set is identical by
+    construction, not merely up to tolerance.
 
     Notes
     -----
@@ -245,6 +284,8 @@ def exhaustive_equilibria(
     :data:`repro.core.best_response.RELATIVE_TOLERANCE` (ties favor the
     status quo).
     """
+    cost_model = resolve_cost_model(cost_model, alpha)
+    model_spec = None if cost_model is None else cost_model.spec()
     dmat = np.asarray(distance_matrix, dtype=float)
     n = dmat.shape[0]
     if n > MAX_EXHAUSTIVE_PEERS:
@@ -259,16 +300,24 @@ def exhaustive_equilibria(
             equilibrium_ids=(0,),
             best_profile_id=0,
             best_social_cost=0.0,
+            cost_model_spec=model_spec,
         )
     bits_per_peer = n - 1
     num_bits = n * bits_per_peer
     num_profiles = 1 << num_bits
 
     costs = np.empty((num_profiles, n))
+    extra: Optional[np.ndarray] = None
     for start in range(0, num_profiles, chunk_size):
         stop = min(start + chunk_size, num_profiles)
         ids = np.arange(start, stop, dtype=np.int64)
         costs[start:stop] = profile_costs_batch(ids, dmat, alpha)
+        if cost_model is not None:
+            chunk_extra = _batch_social_extra(ids, n, cost_model)
+            if chunk_extra is not None:
+                if extra is None:
+                    extra = np.zeros(num_profiles)
+                extra[start:stop] = chunk_extra
 
     strategies_per_peer = 1 << bits_per_peer
     is_nash = np.ones(num_profiles, dtype=bool)
@@ -285,6 +334,8 @@ def exhaustive_equilibria(
         is_nash &= ok.reshape(num_profiles)
 
     social = costs.sum(axis=1)
+    if extra is not None:
+        social = social + extra
     best_profile_id = int(np.argmin(social))
     equilibrium_ids = np.nonzero(is_nash)[0]
     if max_equilibria is not None:
@@ -296,6 +347,7 @@ def exhaustive_equilibria(
         equilibrium_ids=tuple(int(x) for x in equilibrium_ids),
         best_profile_id=best_profile_id,
         best_social_cost=float(social[best_profile_id]),
+        cost_model_spec=model_spec,
     )
 
 

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.core import best_response as br
+from repro.core.cost_model import CostModel, resolve_cost_model
 from repro.core.costs import CostBreakdown
 from repro.core.profile import StrategyProfile
 from repro.core.topology import build_overlay
@@ -35,6 +36,16 @@ class TopologyGame:
         Relative weight of link-maintenance cost versus stretch cost.
         Larger ``alpha`` means links are more expensive; the paper proves
         the Price of Anarchy grows as ``Theta(min(alpha, n))``.
+    cost_model:
+        Optional :class:`~repro.core.cost_model.CostModel` adding a
+        per-peer term to the paper's cost (must carry the same
+        ``alpha``).  ``None`` is the paper's game; an explicit
+        :class:`~repro.core.cost_model.UnilateralModel` is bitwise
+        identical to ``None``.  Models honor the externality contract
+        (the term is independent of each peer's own strategy), so best
+        responses and equilibria are model-independent — only the
+        accounting surfaces (``social_cost`` / ``individual_costs`` /
+        ``cost``) consult the model.
 
     Examples
     --------
@@ -46,11 +57,17 @@ class TopologyGame:
     True
     """
 
-    def __init__(self, metric: MetricSpace, alpha: float) -> None:
+    def __init__(
+        self,
+        metric: MetricSpace,
+        alpha: float,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
         if alpha < 0:
             raise ValueError(f"alpha must be >= 0, got {alpha}")
         self._metric = metric
         self._alpha = float(alpha)
+        self._cost_model = resolve_cost_model(cost_model, self._alpha)
         self._dmat = metric.distance_matrix()
         self._evaluator: Optional["GameEvaluator"] = None
 
@@ -66,6 +83,11 @@ class TopologyGame:
         return self._alpha
 
     @property
+    def cost_model(self) -> Optional[CostModel]:
+        """The game's cost model, or ``None`` for the paper's default."""
+        return self._cost_model
+
+    @property
     def n(self) -> int:
         """Number of peers."""
         return self._metric.n
@@ -76,8 +98,13 @@ class TopologyGame:
         return self._dmat
 
     def with_alpha(self, alpha: float) -> "TopologyGame":
-        """Same metric, different trade-off parameter."""
-        return TopologyGame(self._metric, alpha)
+        """Same metric (and cost-model family), different trade-off."""
+        model = self._cost_model
+        return TopologyGame(
+            self._metric,
+            alpha,
+            cost_model=None if model is None else model.with_alpha(alpha),
+        )
 
     # ------------------------------------------------------------------
     # Evaluation layer
@@ -238,7 +265,8 @@ class TopologyGame:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        model = "" if self._cost_model is None else f", {self._cost_model!r}"
         return (
             f"TopologyGame(n={self.n}, alpha={self._alpha}, "
-            f"metric={type(self._metric).__name__})"
+            f"metric={type(self._metric).__name__}{model})"
         )

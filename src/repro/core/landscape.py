@@ -1,0 +1,464 @@
+"""Small-``n`` equilibrium-landscape explorer: the cost models' oracle.
+
+Where :mod:`repro.core.exhaustive` answers *which profiles are Nash* and
+:mod:`repro.core.response_graph` answers *where dynamics can end up*, this
+module combines them into a per-instance **landscape**: every equilibrium
+together with the size of its basin of attraction under deterministic
+first-improving-peer dynamics, the exact social optimum, and the resulting
+Price of Anarchy / Stability — all priced under a pluggable
+:class:`~repro.core.cost_model.CostModel`.
+
+Two modes:
+
+* ``"exact"`` (``n <= MAX_EXHAUSTIVE_PEERS``): the full best-response
+  successor table is collapsed to a functional graph (each profile steps
+  to its lowest-indexed improving peer's best response) and iterated by
+  pointer doubling, so every one of the ``2^(n(n-1))`` profiles is
+  attributed to the sink it reaches — or to cycling mass when it falls
+  into an attractor cycle.  The sink set is cross-validated against
+  :func:`~repro.core.exhaustive.exhaustive_equilibria` and certified by
+  :func:`~repro.core.equilibrium.verify_nash`; a mismatch raises
+  :class:`LandscapeValidationError` rather than returning silently wrong
+  results.
+* ``"sampled"`` (larger ``n``, where ``2^(n(n-1))`` is out of reach):
+  exact best-response dynamics from varied starts (empty, complete,
+  seeded random), every reached fixpoint certified by ``verify_nash``.
+  Basin fractions are start fractions and the Price of Anarchy is a
+  *witnessed lower bound* (over :func:`optimum_upper_bound`'s achieved
+  OPT), honestly recorded via ``mode``.
+
+Tolerance note: the exact mode's sink set provably equals the exhaustive
+Nash set.  The successor table keeps the status quo unless the best
+response beats it by ``rtol * max(1, |best|)`` while the exhaustive check
+accepts ``cost <= best * (1 + rtol)`` — but for ``n >= 2`` every peer's
+best achievable cost is at least ``n - 1 >= 1`` (each of the ``n - 1``
+stretches is at least 1), so ``max(1, |best|) == best`` and the two
+tie-break rules coincide exactly.  The cross-validation asserts this
+rather than assuming it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost_model import CostModel, resolve_cost_model
+from repro.core.exhaustive import (
+    MAX_EXHAUSTIVE_PEERS,
+    decode_profile,
+    encode_profile,
+    exhaustive_equilibria,
+    profile_costs_batch,
+)
+from repro.core.game import TopologyGame
+from repro.core.profile import StrategyProfile
+from repro.core.response_graph import best_response_moves
+
+__all__ = [
+    "EquilibriumBasin",
+    "LandscapeResult",
+    "LandscapeValidationError",
+    "explore_landscape",
+]
+
+
+class LandscapeValidationError(RuntimeError):
+    """The sink set disagreed with the exact solver's equilibrium set."""
+
+
+@dataclass(frozen=True)
+class EquilibriumBasin:
+    """One equilibrium of the landscape and the mass that flows into it.
+
+    Attributes
+    ----------
+    profile_id:
+        Encoded profile id (see :func:`repro.core.exhaustive.encode_profile`).
+    social_cost:
+        Social cost under the landscape's cost model.
+    basin_fraction:
+        Exact mode: fraction of all ``2^(n(n-1))`` profiles whose
+        deterministic first-improving-peer trajectory ends here.  Sampled
+        mode: fraction of dynamics starts that converged here.
+    nash_certified:
+        True when :func:`~repro.core.equilibrium.verify_nash` certified
+        this profile on the real game (always attempted up to the
+        explorer's ``certify_limit``).
+    """
+
+    profile_id: int
+    social_cost: float
+    basin_fraction: float
+    nash_certified: bool
+
+    def profile(self, n: int) -> StrategyProfile:
+        """Decode the equilibrium profile."""
+        return decode_profile(self.profile_id, n)
+
+
+@dataclass(frozen=True)
+class LandscapeResult:
+    """The equilibrium landscape of one game instance under one cost model.
+
+    Attributes
+    ----------
+    n / alpha / cost_model_spec:
+        Instance parameters (``cost_model_spec`` is ``None`` for the
+        paper's unilateral game).
+    mode:
+        ``"exact"`` (full enumeration, cross-validated) or ``"sampled"``
+        (dynamics from varied starts, per-equilibrium certified).
+    num_sources:
+        How many trajectory sources the basin fractions are over: all
+        ``2^(n(n-1))`` profiles in exact mode, the number of dynamics
+        starts in sampled mode.
+    equilibria:
+        One :class:`EquilibriumBasin` per equilibrium, sorted by id.
+    cycling_fraction:
+        Source mass **not** absorbed by any equilibrium (caught in an
+        attractor cycle / non-converged run).  ``1.0`` with empty
+        ``equilibria`` is the Theorem 5.1 landscape.
+    optimum_social_cost / optimum_profile_id:
+        Exact mode: the model-priced exact OPT over all profiles.
+        Sampled mode: the best *achieved* upper bound (a witness, not the
+        true OPT).
+    price_of_anarchy / price_of_stability:
+        Worst / best equilibrium social cost over ``optimum_social_cost``
+        (``None`` when no equilibrium was found).  Exact in exact mode; a
+        witnessed lower bound in sampled mode (true PoA can only be
+        larger: the numerator maximizes over a subset of equilibria and
+        the denominator overestimates OPT).
+    cross_validated:
+        True when the sink set was checked against
+        :func:`~repro.core.exhaustive.exhaustive_equilibria` (exact mode
+        only; sampled mode certifies per-equilibrium instead).
+    """
+
+    n: int
+    alpha: float
+    cost_model_spec: Optional[Tuple]
+    mode: str
+    num_sources: int
+    equilibria: Tuple[EquilibriumBasin, ...]
+    cycling_fraction: float
+    optimum_social_cost: float
+    optimum_profile_id: int
+    price_of_anarchy: Optional[float]
+    price_of_stability: Optional[float]
+    cross_validated: bool
+
+    @property
+    def has_equilibrium(self) -> bool:
+        return len(self.equilibria) > 0
+
+    @property
+    def num_equilibria(self) -> int:
+        return len(self.equilibria)
+
+    @property
+    def all_certified(self) -> bool:
+        """True when every reported equilibrium is verify_nash-certified."""
+        return all(basin.nash_certified for basin in self.equilibria)
+
+    def worst_equilibrium(self) -> Optional[EquilibriumBasin]:
+        """The PoA numerator's witness (``None`` without equilibria)."""
+        if not self.equilibria:
+            return None
+        return max(self.equilibria, key=lambda basin: basin.social_cost)
+
+
+def _instance_game(
+    distance_matrix: np.ndarray, alpha: float, cost_model: Optional[CostModel]
+) -> TopologyGame:
+    """A real game over the matrix, for certification and dynamics."""
+    from repro.metrics.matrix import DistanceMatrixMetric
+
+    return TopologyGame(
+        DistanceMatrixMetric(distance_matrix, validate=False),
+        alpha,
+        cost_model=cost_model,
+    )
+
+
+def _certified(
+    game: TopologyGame, profile_ids: List[int], certify_limit: int
+) -> List[bool]:
+    """verify_nash each decoded profile (False beyond ``certify_limit``)."""
+    from repro.core.equilibrium import verify_nash
+
+    flags: List[bool] = []
+    for index, pid in enumerate(profile_ids):
+        if index >= certify_limit:
+            flags.append(False)
+            continue
+        profile = decode_profile(pid, game.n)
+        flags.append(verify_nash(game, profile).is_nash)
+    return flags
+
+
+def _exact_landscape(
+    dmat: np.ndarray,
+    alpha: float,
+    cost_model: Optional[CostModel],
+    chunk_size: int,
+    certify_limit: int,
+) -> LandscapeResult:
+    model_spec = None if cost_model is None else cost_model.spec()
+    n = dmat.shape[0]
+    moves = best_response_moves(dmat, alpha, chunk_size=chunk_size)
+    num_profiles = moves.shape[0]
+    all_ids = np.arange(num_profiles, dtype=np.int64)
+
+    # Deterministic functional dynamics: each profile steps to the best
+    # response of its lowest-indexed improving peer (sinks stay put).
+    improving = moves != all_ids[:, None]
+    any_improving = improving.any(axis=1)
+    first_peer = improving.argmax(axis=1)
+    successor = np.where(
+        any_improving, moves[all_ids, first_peer], all_ids
+    ).astype(np.int64)
+    is_sink = ~any_improving
+
+    # Pointer doubling: after k squarings dest == successor^(2^k), and the
+    # longest sink-bound transient is < num_profiles, so ceil(log2) + 1
+    # squarings land every absorbed profile exactly on its sink.  Profiles
+    # feeding an attractor cycle end up *somewhere on* the cycle — never a
+    # sink — which is precisely the cycling-mass test below.
+    dest = successor
+    for _ in range(max(1, math.ceil(math.log2(max(2, num_profiles)))) + 1):
+        dest = dest[dest]
+
+    absorbed = is_sink[dest]
+    cycling_fraction = 1.0 - float(absorbed.mean())
+    sink_ids = [int(x) for x in np.nonzero(is_sink)[0]]
+    basin_counts = np.bincount(dest[absorbed], minlength=num_profiles)
+
+    # Model-priced social cost of every profile (per-peer costs from
+    # profile_costs_batch already include the model's per-peer term, so
+    # their sum is social_cost().total including social_extra).
+    social = np.empty(num_profiles)
+    for start in range(0, num_profiles, chunk_size):
+        stop = min(start + chunk_size, num_profiles)
+        ids = np.arange(start, stop, dtype=np.int64)
+        social[start:stop] = profile_costs_batch(
+            ids, dmat, alpha, cost_model=cost_model
+        ).sum(axis=1)
+    optimum_profile_id = int(np.argmin(social))
+    optimum = float(social[optimum_profile_id])
+
+    # Cross-validation against the independent exact solver.
+    exact = exhaustive_equilibria(
+        dmat, alpha, chunk_size=chunk_size, cost_model=cost_model
+    )
+    if set(sink_ids) != set(exact.equilibrium_ids):
+        raise LandscapeValidationError(
+            f"sink set {sorted(sink_ids)} disagrees with exhaustive "
+            f"equilibria {sorted(exact.equilibrium_ids)} (n={n}, "
+            f"alpha={alpha}, model={model_spec})"
+        )
+    if not math.isclose(
+        optimum, exact.best_social_cost, rel_tol=1e-12, abs_tol=1e-12
+    ):
+        raise LandscapeValidationError(
+            f"landscape OPT {optimum!r} disagrees with exhaustive OPT "
+            f"{exact.best_social_cost!r} (n={n}, alpha={alpha}, "
+            f"model={model_spec})"
+        )
+
+    game = _instance_game(dmat, alpha, cost_model)
+    certified = _certified(game, sink_ids, certify_limit)
+    basins = tuple(
+        EquilibriumBasin(
+            profile_id=pid,
+            social_cost=float(social[pid]),
+            basin_fraction=float(basin_counts[pid]) / num_profiles,
+            nash_certified=flag,
+        )
+        for pid, flag in zip(sink_ids, certified)
+    )
+    poa = pos = None
+    if basins and optimum > 0:
+        poa = max(basin.social_cost for basin in basins) / optimum
+        pos = min(basin.social_cost for basin in basins) / optimum
+    return LandscapeResult(
+        n=n,
+        alpha=alpha,
+        cost_model_spec=model_spec,
+        mode="exact",
+        num_sources=num_profiles,
+        equilibria=basins,
+        cycling_fraction=cycling_fraction,
+        optimum_social_cost=optimum,
+        optimum_profile_id=optimum_profile_id,
+        price_of_anarchy=poa,
+        price_of_stability=pos,
+        cross_validated=True,
+    )
+
+
+def _sampled_landscape(
+    dmat: np.ndarray,
+    alpha: float,
+    cost_model: Optional[CostModel],
+    num_samples: int,
+    seed: int,
+    max_rounds: int,
+    certify_limit: int,
+) -> LandscapeResult:
+    from repro.core.dynamics import BestResponseDynamics, RandomScheduler
+    from repro.core.social_optimum import optimum_upper_bound
+
+    model_spec = None if cost_model is None else cost_model.spec()
+    n = dmat.shape[0]
+    game = _instance_game(dmat, alpha, cost_model)
+
+    starts: List[StrategyProfile] = [game.empty_profile()]
+    if n <= 64:
+        starts.append(game.complete_profile())
+    while len(starts) < num_samples:
+        starts.append(
+            game.random_profile(
+                min(0.5, 4.0 / max(1, n)), seed=seed + len(starts)
+            )
+        )
+
+    hits: dict = {}
+    cycling = 0
+    for index, start in enumerate(starts[:num_samples]):
+        dynamics = BestResponseDynamics(
+            game,
+            method="exact",
+            scheduler=RandomScheduler(seed * 7919 + index),
+            record_moves=False,
+        )
+        result = dynamics.run(initial=start, max_rounds=max_rounds)
+        if result.converged:
+            hits[encode_profile(result.profile)] = (
+                hits.get(encode_profile(result.profile), 0) + 1
+            )
+        else:
+            cycling += 1
+
+    sink_ids = sorted(hits)
+    certified = _certified(game, sink_ids, certify_limit)
+    num_sources = len(starts[:num_samples])
+    basins = tuple(
+        EquilibriumBasin(
+            profile_id=pid,
+            social_cost=game.social_cost(decode_profile(pid, n)).total,
+            basin_fraction=hits[pid] / num_sources,
+            nash_certified=flag,
+        )
+        for pid, flag in zip(sink_ids, certified)
+    )
+    optimum_estimate = optimum_upper_bound(game)
+    optimum = float(optimum_estimate.upper)
+    optimum_profile_id = encode_profile(optimum_estimate.profile)
+    poa = pos = None
+    if basins and optimum > 0:
+        poa = max(basin.social_cost for basin in basins) / optimum
+        pos = min(basin.social_cost for basin in basins) / optimum
+    return LandscapeResult(
+        n=n,
+        alpha=alpha,
+        cost_model_spec=model_spec,
+        mode="sampled",
+        num_sources=num_sources,
+        equilibria=basins,
+        cycling_fraction=cycling / num_sources,
+        optimum_social_cost=optimum,
+        optimum_profile_id=optimum_profile_id,
+        price_of_anarchy=poa,
+        price_of_stability=pos,
+        cross_validated=False,
+    )
+
+
+def explore_landscape(
+    distance_matrix: np.ndarray,
+    alpha: float,
+    cost_model: Optional[CostModel] = None,
+    mode: str = "auto",
+    chunk_size: int = 1 << 13,
+    num_samples: int = 32,
+    seed: int = 0,
+    max_rounds: int = 200,
+    certify_limit: int = 64,
+) -> LandscapeResult:
+    """Map the equilibrium landscape of one instance under one cost model.
+
+    Parameters
+    ----------
+    distance_matrix:
+        Dense metric distance matrix, shape ``(n, n)``.
+    alpha:
+        Link-cost parameter.
+    cost_model:
+        Optional :class:`~repro.core.cost_model.CostModel`; must carry the
+        same ``alpha``.  ``None`` prices the paper's unilateral game.
+    mode:
+        ``"exact"``, ``"sampled"``, or ``"auto"`` (exact when ``n <=
+        MAX_EXHAUSTIVE_PEERS``, sampled otherwise).
+    chunk_size:
+        Profiles per vectorized batch in exact mode.
+    num_samples / seed / max_rounds:
+        Sampled mode: number of dynamics starts, base seed, and per-run
+        round limit.
+    certify_limit:
+        Upper bound on equilibria run through ``verify_nash`` (the rest
+        report ``nash_certified=False``; exact mode's cross-validation
+        still covers them).
+    """
+    cost_model = resolve_cost_model(cost_model, alpha)
+    dmat = np.asarray(distance_matrix, dtype=float)
+    n = dmat.shape[0]
+    if dmat.shape != (n, n):
+        raise ValueError(f"distance matrix must be square, got {dmat.shape}")
+    if mode == "auto":
+        mode = "exact" if n <= MAX_EXHAUSTIVE_PEERS else "sampled"
+    if mode == "exact":
+        if n > MAX_EXHAUSTIVE_PEERS:
+            raise ValueError(
+                f"exact mode supports n <= {MAX_EXHAUSTIVE_PEERS}, got {n}"
+            )
+        if n <= 1:
+            return LandscapeResult(
+                n=n,
+                alpha=alpha,
+                cost_model_spec=(
+                    None if cost_model is None else cost_model.spec()
+                ),
+                mode="exact",
+                num_sources=1,
+                equilibria=(
+                    EquilibriumBasin(
+                        profile_id=0,
+                        social_cost=0.0,
+                        basin_fraction=1.0,
+                        nash_certified=True,
+                    ),
+                ),
+                cycling_fraction=0.0,
+                optimum_social_cost=0.0,
+                optimum_profile_id=0,
+                price_of_anarchy=None,
+                price_of_stability=None,
+                cross_validated=True,
+            )
+        return _exact_landscape(
+            dmat, alpha, cost_model, chunk_size, certify_limit
+        )
+    if mode == "sampled":
+        return _sampled_landscape(
+            dmat,
+            alpha,
+            cost_model,
+            num_samples,
+            seed,
+            max_rounds,
+            certify_limit,
+        )
+    raise ValueError(f"unknown landscape mode {mode!r}")

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cost_model import CostModel, resolve_cost_model
 from repro.core.exhaustive import (
     MAX_EXHAUSTIVE_PEERS,
     decode_profile,
@@ -50,6 +51,7 @@ def best_response_moves(
     alpha: float,
     chunk_size: int = 1 << 13,
     rtol: float = _RELATIVE_TOLERANCE,
+    cost_model: Optional[CostModel] = None,
 ) -> np.ndarray:
     """Best-response successor table over all profiles.
 
@@ -58,7 +60,16 @@ def best_response_moves(
     best response against ``s`` — or ``s`` itself when peer ``i`` is
     already best-responding (ties favor the status quo, matching
     :data:`repro.core.best_response.RELATIVE_TOLERANCE` semantics).
+
+    ``cost_model`` is accepted for interface symmetry with the rest of
+    the landscape machinery and validated against ``alpha``, but the
+    table is computed from the base game's costs: a conforming model's
+    per-peer term is constant w.r.t. each peer's own strategy (the
+    externality contract of :mod:`repro.core.cost_model`), so the
+    successor table is provably identical for every model — computing it
+    base-priced is exactness, not an approximation.
     """
+    resolve_cost_model(cost_model, alpha)
     dmat = np.asarray(distance_matrix, dtype=float)
     n = dmat.shape[0]
     if n > MAX_EXHAUSTIVE_PEERS:
@@ -226,6 +237,7 @@ def analyze_response_graph(
     distance_matrix: np.ndarray,
     alpha: float,
     chunk_size: int = 1 << 13,
+    cost_model: Optional[CostModel] = None,
 ) -> ResponseGraphAnalysis:
     """Analyze the full best-response graph of a tiny game.
 
@@ -233,11 +245,15 @@ def analyze_response_graph(
     to a certified attractor cycle.  ``diverges_from_everywhere`` is the
     machine-checked statement "selfish dynamics cannot converge from any
     start under any activation order" — the strongest reading of the
-    paper's Theorem 5.1.
+    paper's Theorem 5.1.  ``cost_model`` is validated and forwarded to
+    :func:`best_response_moves`, where the graph is provably
+    model-independent (see its docstring).
     """
     dmat = np.asarray(distance_matrix, dtype=float)
     n = dmat.shape[0]
-    moves = best_response_moves(dmat, alpha, chunk_size=chunk_size)
+    moves = best_response_moves(
+        dmat, alpha, chunk_size=chunk_size, cost_model=cost_model
+    )
     num_profiles = moves.shape[0]
     all_ids = np.arange(num_profiles, dtype=np.int64)
     is_sink = (moves == all_ids[:, None]).all(axis=1)

@@ -89,6 +89,7 @@ from repro.core.best_response import (
     service_costs_from_overlay,
     strategy_cost,
 )
+from repro.core.cost_model import CostModel, model_from_spec
 from repro.core.costs import stretch_from_distance_rows
 from repro.core.evaluator import GameEvaluator
 from repro.core.profile import StrategyProfile
@@ -172,6 +173,11 @@ class _WorkerState:
         # — workers that never see a "solve" pay nothing).
         self.solver_spec = solver
         self.solver_workers = solver_workers
+        #: Cost model rebuilt from the spec riding the last ``reset``
+        #: (None for the paper's default).  Shard-side solves price with
+        #: its alpha; the per-peer term never enters a solve (it is
+        #: constant w.r.t. each peer's own strategy by contract).
+        self.model: Optional[CostModel] = None
         self._solver: Optional[SolverBackend] = None
         self._service_store = None
         self._services: Dict[int, "_WorkerService"] = {}
@@ -181,7 +187,10 @@ class _WorkerState:
         self.response_memo_hits = 0
 
     # -- profile sync ---------------------------------------------------
-    def reset(self, strategies: Sequence[Tuple[int, ...]]) -> None:
+    def reset(
+        self, strategies: Sequence[Tuple[int, ...]], model_spec=None
+    ) -> None:
+        self.model = None if model_spec is None else model_from_spec(model_spec)
         profile = StrategyProfile([frozenset(s) for s in strategies])
         self.overlay = overlay_from_matrix(self.dmat, profile)
         self.block = None
@@ -361,7 +370,11 @@ class _WorkerState:
         strategy with the shared tolerance/tie-breaking — so a memo hit
         returns the same result a fresh solve would.
         """
-        alpha = float(alpha)
+        # Price with the reset-time cost model when one rode the wire;
+        # resolve_cost_model pins model.alpha == game.alpha, so this is
+        # the same scalar the task carries — made explicit here so the
+        # worker's pricing source is the model, not the task metadata.
+        alpha = float(alpha) if self.model is None else self.model.alpha
         peers = [int(peer) for peer, _ in items]
         strategies = {int(peer): tuple(s) for peer, s in items}
         services = {peer: self._service(peer) for peer in peers}
@@ -457,7 +470,9 @@ def serve_request(state: _WorkerState, message: Tuple) -> Tuple[Tuple, bool]:
         if kind == "stop":
             return ("ok", None), True
         if kind == "reset":
-            reply = state.reset(message[1])
+            # 2-tuple (legacy) or 3-tuple with a cost-model spec.
+            spec = message[2] if len(message) > 2 else None
+            reply = state.reset(message[1], spec)
         elif kind == "rebind":
             reply = state.rebind(message[1], message[2])
         elif kind == "rows":
@@ -761,7 +776,9 @@ class ShardWorkerPool:
         #: rebuild any worker from scratch: the reset strategies plus
         #: every rebind since, in order.  Updated *before* the broadcast
         #: so an in-flight mutation is already part of the replay.
-        self._last_reset: Optional[Tuple[Tuple[int, ...], ...]] = None
+        #: ``(strategies, model_spec)`` of the last reset, mirrored for
+        #: respawn replay.
+        self._last_reset: Optional[Tuple[Tuple, Optional[Tuple]]] = None
         self._rebinds: List[Tuple[int, Tuple[int, ...]]] = []
         #: One dict per successful recovery: ``{"shard", "reason",
         #: "seconds", "replayed"}`` in occurrence order.
@@ -830,15 +847,20 @@ class ShardWorkerPool:
             transport.close()
 
     # -- profile sync ---------------------------------------------------
-    def reset(self, profile: StrategyProfile) -> None:
-        """Rebuild every worker's overlay from scratch (full rebind)."""
+    def reset(self, profile: StrategyProfile, model_spec=None) -> None:
+        """Rebuild every worker's overlay from scratch (full rebind).
+
+        ``model_spec`` is the coordinator's cost-model spec tuple (or
+        ``None`` for the paper's default); it is mirrored with the
+        strategies so a respawned worker replays into the same pricing.
+        """
         strategies = tuple(
             tuple(sorted(profile.strategy(peer)))
             for peer in range(profile.n)
         )
-        self._last_reset = strategies
+        self._last_reset = (strategies, model_spec)
         self._rebinds = []
-        self._broadcast(("reset", strategies))
+        self._broadcast(("reset", strategies, model_spec))
 
     def rebind(self, peer: int, targets) -> None:
         """Splice one peer's new out-edges into every worker's overlay."""
@@ -880,7 +902,8 @@ class ShardWorkerPool:
         )
         try:
             if self._last_reset is not None:
-                fresh.request(("reset", self._last_reset))
+                strategies, model_spec = self._last_reset
+                fresh.request(("reset", strategies, model_spec))
                 for peer, targets in self._rebinds:
                     fresh.request(("rebind", peer, targets))
         except ShardWorkerError:

@@ -744,7 +744,14 @@ class ShardedEvaluator(GameEvaluator):
         if self._shard_dist is not None:
             self._shard_dist.reset()
         if self._worker_pool is not None:
-            self._worker_pool.reset(profile)
+            # The model spec rides the reset broadcast so shard-side
+            # solver pools price with the coordinator's cost model (the
+            # respawn replay re-sends it; the socket init handshake is
+            # untouched).
+            model = self._cost_model
+            self._worker_pool.reset(
+                profile, None if model is None else model.spec()
+            )
         self._shard_sums = [None] * self._plan.k
 
     def _rebind_single(self, peer: int, profile: StrategyProfile) -> None:
@@ -861,9 +868,13 @@ class ShardedEvaluator(GameEvaluator):
         stretch_total = 0.0
         for shard in range(self._plan.k):
             stretch_total += self._shard_stretch_sums(shard)[1]
+        extra = 0.0
+        if self._cost_model is not None:
+            extra = self._cost_model.social_extra(profile)
         return CostBreakdown(
             link_cost=self._alpha * profile.num_links,
             stretch_cost=stretch_total,
+            extra_cost=extra,
         )
 
     def peer_costs(self) -> np.ndarray:
@@ -886,7 +897,12 @@ class ShardedEvaluator(GameEvaluator):
                 for shard in range(self._plan.k)
             ]
         )
-        return self._alpha * degrees + sums
+        costs = self._alpha * degrees + sums
+        if self._cost_model is not None:
+            term = self._cost_model.per_peer_term(profile)
+            if term is not None:
+                costs = costs + term
+        return costs
 
     # ------------------------------------------------------------------
     # Store layer: per-shard migration for distributed backends

@@ -19,6 +19,7 @@ E9    Section 5 (extension)      convergence statistics vs the witness
 E10   Conclusion (extension)     congestion externality sweep over beta
 E11   Related work (extension)   bilateral consent vs unilateral instability
 E12   Section 5 (extension)      adversarial degradation + recovery metrics
+E13   Conclusion (extension)     equilibrium landscapes per cost model
 ====  =========================  ==========================================
 """
 
@@ -29,6 +30,7 @@ from repro.experiments import (
     e10_congestion,
     e11_bilateral,
     e12_adversarial,
+    e13_landscape,
     e2_lemma43_social_cost,
     e3_theorem44_poa,
     e4_theorem41_upper,
@@ -134,6 +136,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             paper_artifact="Section 5 robustness (extension)",
             bench="benchmarks/test_bench_adversarial.py",
             runner=e12_adversarial.run,
+        ),
+        ExperimentSpec(
+            experiment_id="E13",
+            title="Equilibrium landscapes are model-invariant; prices are not",
+            paper_artifact="Conclusion / cost-model extension",
+            bench="benchmarks/test_bench_landscape.py",
+            runner=e13_landscape.run,
         ),
     )
 }

@@ -80,6 +80,8 @@ HARNESS_PARAMS = frozenset(
         "shard_placement",
         "max_resident_shards",
         "shard_hosts",
+        "game_family",
+        "beta",
     }
 )
 

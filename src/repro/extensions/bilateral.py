@@ -19,6 +19,17 @@ edges, not whole strategy rewires), which is exactly what makes the
 comparison interesting: bilateral consent plus single-edge deviations
 tames the instability of Section 5 — pairwise-stable topologies exist on
 the no-Nash witness (the test suite pins one).
+
+Cost queries run on a persistent
+:class:`~repro.core.evaluator.GameEvaluator` owned by the game:
+``check_pairwise_stability`` probes ``O(n^2)`` one-edge variants of the
+same topology, exactly the workload the incremental evaluator exists for,
+where the pre-port code rebuilt the overlay and full stretch matrix from
+scratch on every probe.  That scratch computation survives as
+:func:`reference_individual_costs`, the regression oracle the test suite
+pins the evaluator path against.  ``BilateralGame`` owns the evaluator's
+store: call :meth:`BilateralGame.close` (or use the game as a context
+manager) when done.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.costs import stretch_matrix
+from repro.core.game import TopologyGame
 from repro.core.topology import overlay_from_matrix
 from repro.core.profile import StrategyProfile
 from repro.metrics.base import MetricSpace
@@ -38,6 +50,7 @@ __all__ = [
     "BilateralTopology",
     "BilateralGame",
     "PairwiseStabilityCertificate",
+    "reference_individual_costs",
 ]
 
 Edge = Tuple[int, int]
@@ -125,6 +138,11 @@ class BilateralGame:
         self._metric = metric
         self._alpha = float(alpha)
         self._dmat = metric.distance_matrix()
+        # The directed game whose evaluator computes stretches; alpha
+        # plays no role there (only stretch rows are read), the bilateral
+        # alpha/2 accounting happens here.
+        self._game = TopologyGame(metric, alpha)
+        self._evaluator = None
 
     @property
     def n(self) -> int:
@@ -135,11 +153,33 @@ class BilateralGame:
         return self._alpha
 
     # ------------------------------------------------------------------
+    def _stretches(self, topology: BilateralTopology) -> np.ndarray:
+        """Stretch matrix via the persistent incremental evaluator.
+
+        Consecutive stability probes differ by one undirected edge (two
+        directed links), so the evaluator's rebind path reuses warm
+        overlay distances instead of recomputing all-pairs shortest
+        paths from scratch per probe.
+        """
+        if self._evaluator is None:
+            self._evaluator = self._game.make_evaluator()
+        return self._evaluator.set_profile(topology.to_profile()).stretches()
+
+    def close(self) -> None:
+        """Release the evaluator's store (idempotent)."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+
+    def __enter__(self) -> "BilateralGame":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def individual_costs(self, topology: BilateralTopology) -> np.ndarray:
         """``c_i = (alpha/2) deg_i + sum_j stretch(i, j)``."""
-        profile = topology.to_profile()
-        overlay = overlay_from_matrix(self._dmat, profile)
-        stretch = stretch_matrix(self._dmat, overlay)
+        stretch = self._stretches(topology)
         degrees = np.array(
             [topology.degree(i) for i in range(self.n)], dtype=float
         )
@@ -155,9 +195,7 @@ class BilateralGame:
         peer always beats any finite saving (``inf - inf`` is meaningless
         as a float but ``(2, c) > (1, c')`` is not).
         """
-        profile = topology.to_profile()
-        overlay = overlay_from_matrix(self._dmat, profile)
-        stretch = stretch_matrix(self._dmat, overlay)
+        stretch = self._stretches(topology)
         degrees = np.array(
             [topology.degree(i) for i in range(self.n)], dtype=float
         )
@@ -251,3 +289,27 @@ class BilateralGame:
                 edge, _, _ = certificate.add_witness
                 topology = topology.with_edge(*edge)
         return topology, False, max_steps
+
+
+# ----------------------------------------------------------------------
+# Reference oracle: the pre-evaluator scratch computation
+# ----------------------------------------------------------------------
+def reference_individual_costs(
+    game: BilateralGame, topology: BilateralTopology
+) -> np.ndarray:
+    """Per-peer bilateral costs computed from scratch.
+
+    Rebuilds the overlay and full stretch matrix for this one query —
+    the computation :meth:`BilateralGame.individual_costs` performed
+    before it was routed through the persistent evaluator.  Kept as the
+    regression oracle the test suite compares the warm-cache path
+    against (agreement to 1e-12).
+    """
+    dmat = game._dmat
+    profile = topology.to_profile()
+    overlay = overlay_from_matrix(dmat, profile)
+    stretch = stretch_matrix(dmat, overlay)
+    degrees = np.array(
+        [topology.degree(i) for i in range(game.n)], dtype=float
+    )
+    return (game.alpha / 2.0) * degrees + stretch.sum(axis=1)

@@ -20,6 +20,14 @@ by the test suite:
   Anarchy moves with it.  Selfish peers ignore the congestion they cause
   others: a textbook negative externality, quantified by
   :func:`congestion_price_of_ignorance`.
+
+Since the cost-model layer landed, this module is a thin veneer over a
+:class:`~repro.core.game.TopologyGame` carrying a
+:class:`~repro.core.cost_model.CongestionModel`: every cost query runs on
+the game's warm incremental evaluator instead of rebuilding overlays and
+stretch matrices from scratch.  The pre-port computation survives as
+:func:`reference_individual_costs` / :func:`reference_social_cost` — the
+regression oracle the test suite pins the evaluator path against.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.cost_model import CongestionModel
 from repro.core.costs import CostBreakdown, stretch_matrix
 from repro.core.game import TopologyGame
 from repro.core.profile import StrategyProfile
@@ -39,6 +48,8 @@ __all__ = [
     "CongestionCostBreakdown",
     "CongestionGame",
     "congestion_price_of_ignorance",
+    "reference_individual_costs",
+    "reference_social_cost",
 ]
 
 
@@ -77,10 +88,12 @@ class CongestionGame:
     def __init__(
         self, metric: MetricSpace, alpha: float, beta: float
     ) -> None:
-        if beta < 0:
-            raise ValueError(f"beta must be >= 0, got {beta}")
+        self._model = CongestionModel(alpha, beta)
+        # One model-carrying game does all the pricing on its shared warm
+        # evaluator; the base game is kept for strategic delegation and
+        # congestion-free comparisons (same metric, lazy evaluator).
+        self._game = TopologyGame(metric, alpha, cost_model=self._model)
         self._base = TopologyGame(metric, alpha)
-        self._beta = float(beta)
 
     @property
     def base_game(self) -> TopologyGame:
@@ -88,12 +101,17 @@ class CongestionGame:
         return self._base
 
     @property
+    def game(self) -> TopologyGame:
+        """The model-carrying game the cost queries run on."""
+        return self._game
+
+    @property
     def alpha(self) -> float:
         return self._base.alpha
 
     @property
     def beta(self) -> float:
-        return self._beta
+        return self._model.beta
 
     @property
     def n(self) -> int:
@@ -102,25 +120,21 @@ class CongestionGame:
     # ------------------------------------------------------------------
     def in_degrees(self, profile: StrategyProfile) -> np.ndarray:
         """Incoming-link counts per peer."""
-        degrees = np.zeros(profile.n, dtype=int)
-        for _, j in profile.edges():
-            degrees[j] += 1
-        return degrees
+        return self._model.in_degrees(profile)
 
     def individual_costs(self, profile: StrategyProfile) -> np.ndarray:
-        """Per-peer cost including the congestion term."""
-        base = self._base.individual_costs(profile)
-        return base + self._beta * self.in_degrees(profile)
+        """Per-peer cost including the congestion term (evaluator path)."""
+        return self._game.individual_costs(profile)
 
     def social_cost(
         self, profile: StrategyProfile
     ) -> CongestionCostBreakdown:
         """Social cost; the congestion component is ``beta |E|``."""
-        base: CostBreakdown = self._base.social_cost(profile)
+        base: CostBreakdown = self._game.social_cost(profile)
         return CongestionCostBreakdown(
             link_cost=base.link_cost,
             stretch_cost=base.stretch_cost,
-            congestion_cost=self._beta * profile.num_links,
+            congestion_cost=base.extra_cost,
         )
 
     # ------------------------------------------------------------------
@@ -168,3 +182,38 @@ def congestion_price_of_ignorance(
     if reference_cost <= 0:
         raise ValueError("reference topology has non-positive cost")
     return equilibrium_cost / reference_cost
+
+
+# ----------------------------------------------------------------------
+# Reference oracle: the pre-evaluator scratch computation
+# ----------------------------------------------------------------------
+def reference_individual_costs(
+    game: CongestionGame, profile: StrategyProfile
+) -> np.ndarray:
+    """Per-peer congestion-aware costs computed from scratch.
+
+    Rebuilds the overlay and full stretch matrix for this one query and
+    counts in-degrees by edge iteration — the computation
+    :meth:`CongestionGame.individual_costs` performed before it was
+    ported onto the evaluator path.  Kept as the regression oracle the
+    test suite compares the warm-cache path against (agreement to 1e-12).
+    """
+    dmat = game.base_game.distance_matrix
+    overlay = overlay_from_matrix(dmat, profile)
+    stretch = stretch_matrix(dmat, overlay)
+    degrees = np.array(
+        [profile.out_degree(i) for i in range(profile.n)], dtype=float
+    )
+    in_degrees = np.zeros(profile.n, dtype=float)
+    for _, target in profile.edges():
+        in_degrees[target] += 1
+    return (
+        game.alpha * degrees + stretch.sum(axis=1) + game.beta * in_degrees
+    )
+
+
+def reference_social_cost(
+    game: CongestionGame, profile: StrategyProfile
+) -> float:
+    """Scratch-path social cost (sum of :func:`reference_individual_costs`)."""
+    return float(reference_individual_costs(game, profile).sum())

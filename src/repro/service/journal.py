@@ -123,10 +123,19 @@ class ServiceJournal:
     Epochs that committed no mutation request (pure query batches) are
     not journaled — they cannot change state, so a replay without them
     is still exact.
+
+    ``cost_model_spec`` records the serving state's cost-model spec
+    tuple (see :mod:`repro.core.cost_model`) so an offline
+    :func:`replay_journal` re-prices with the same model.  ``None`` —
+    the paper's default — is omitted from the document entirely,
+    keeping unilateral journals byte-identical to the pre-model format.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cost_model_spec: Optional[Tuple] = None) -> None:
         self._records: List[EpochRecord] = []
+        self.cost_model_spec = (
+            None if cost_model_spec is None else tuple(cost_model_spec)
+        )
 
     def append(self, record: EpochRecord) -> None:
         self._records.append(record)
@@ -140,10 +149,13 @@ class ServiceJournal:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        payload: Dict = {
             "version": _JOURNAL_VERSION,
             "epochs": [record.to_dict() for record in self._records],
         }
+        if self.cost_model_spec is not None:
+            payload["cost_model"] = list(self.cost_model_spec)
+        return payload
 
     def save(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -163,7 +175,14 @@ class ServiceJournal:
                 f"unsupported journal version {version!r} "
                 f"(expected {_JOURNAL_VERSION})"
             )
-        journal = cls()
+        spec = payload.get("cost_model")
+        if spec is not None and not isinstance(spec, (list, tuple)):
+            raise JournalFormatError(
+                f"journal 'cost_model' must be a spec list, got {spec!r}"
+            )
+        journal = cls(
+            cost_model_spec=None if spec is None else tuple(spec)
+        )
         epochs = payload.get("epochs")
         if not isinstance(epochs, list):
             raise JournalFormatError(
@@ -229,9 +248,19 @@ def replay_journal(
     ``backend``, ``shards``, ``shard_placement``, ...).  Trajectories
     are bit-identical across all of them, so an auditor may replay on
     whatever hardware is at hand.
+
+    When the journal records a cost-model spec (a ``--game congestion``
+    run) the replay state is built with that model rebuilt from the
+    spec, unless the caller passes an explicit ``cost_model`` override
+    in ``state_options``.
     """
     from repro.service.requests import Request
     from repro.service.state import ServiceState
+
+    if "cost_model" not in state_options and journal.cost_model_spec is not None:
+        from repro.core.cost_model import model_from_spec
+
+        state_options["cost_model"] = model_from_spec(journal.cost_model_spec)
 
     digests: List[str] = []
     moves: List[int] = []

@@ -134,6 +134,7 @@ class ServiceState:
         metric: MetricSpace,
         alpha: float,
         *,
+        cost_model=None,
         initial_active: Optional[Sequence[int]] = None,
         method: str = "greedy",
         workers: int = 1,
@@ -148,6 +149,7 @@ class ServiceState:
         recovery=None,
     ) -> None:
         from repro.core.backends import SolverBackend, resolve_backend
+        from repro.core.cost_model import resolve_cost_model
         from repro.core.sharded import check_shard_options
 
         # Owned-resource slots first: close() must be a no-op on an
@@ -165,6 +167,13 @@ class ServiceState:
         )
         self._metric = metric
         self._alpha = float(alpha)
+        #: Cost model every per-epoch subgame is built with.  Journaled
+        #: social costs are model-priced; digests are strategy-only and
+        #: model-independent (the externality contract keeps
+        #: trajectories identical across conforming models).
+        self._cost_model = resolve_cost_model(cost_model, self._alpha)
+        if journal is not None and self._cost_model is not None:
+            journal.cost_model_spec = self._cost_model.spec()
         self._method = method
         self._workers = max(1, int(workers))
         self._shards = shards
@@ -232,6 +241,11 @@ class ServiceState:
     @property
     def alpha(self) -> float:
         return self._alpha
+
+    @property
+    def cost_model(self):
+        """The service's cost model (``None`` = the paper's default)."""
+        return self._cost_model
 
     @property
     def epoch(self) -> int:
@@ -350,8 +364,13 @@ class ServiceState:
         if needs_evaluator:
             dmat = subgame_matrix(self._metric, active)
             sub = self._sub_profile(active, index_of)
+            # Scalar model parameters (alpha, beta) are independent of
+            # the subset size, so the universe-level model prices every
+            # per-epoch subgame directly.
             subgame = TopologyGame(
-                DistanceMatrixMetric(dmat, validate=False), self._alpha
+                DistanceMatrixMetric(dmat, validate=False),
+                self._alpha,
+                cost_model=self._cost_model,
             )
             evaluator = self._make_evaluator(subgame, sub)
             try:

@@ -1,0 +1,200 @@
+"""The landscape explorer against its independent oracles.
+
+Three layers of cross-checking, mirroring the module's design:
+
+* every exact-mode sink set equals both ``exhaustive_equilibria`` (the
+  vectorized sweep) and ``find_equilibria_exhaustive`` (the brute-force
+  profile-at-a-time verifier) — 20 seeds at n=3, a handful at n=4;
+* every reported equilibrium is ``verify_nash``-certified on the real
+  game;
+* the landscape is deterministic, model-invariant in structure, and
+  honest about its mode (the Theorem 5.1 witness yields the all-cycling
+  landscape).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CongestionModel, UnilateralModel
+from repro.core.equilibrium import find_equilibria_exhaustive, verify_nash
+from repro.core.exhaustive import (
+    decode_profile,
+    encode_profile,
+    exhaustive_equilibria,
+)
+from repro.core.game import TopologyGame
+from repro.core.landscape import (
+    LandscapeValidationError,
+    explore_landscape,
+)
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import DistanceMatrixMetric
+
+
+def _dmat(n, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 10.0, size=(n, 2))
+    return np.linalg.norm(points[:, None, :] - points[None, :, :], axis=-1)
+
+
+class TestExactModeCrossChecks:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_counts_agree_with_brute_force_n3(self, seed):
+        dmat = _dmat(3, seed)
+        result = explore_landscape(dmat, 1.2)
+        game = TopologyGame(DistanceMatrixMetric(dmat, validate=False), 1.2)
+        brute = find_equilibria_exhaustive(game)
+        assert sorted(b.profile_id for b in result.equilibria) == sorted(
+            encode_profile(p) for p in brute
+        )
+        assert result.all_certified
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counts_agree_with_brute_force_n4(self, seed):
+        dmat = _dmat(4, seed)
+        result = explore_landscape(dmat, 1.5)
+        game = TopologyGame(DistanceMatrixMetric(dmat, validate=False), 1.5)
+        brute = find_equilibria_exhaustive(game)
+        assert sorted(b.profile_id for b in result.equilibria) == sorted(
+            encode_profile(p) for p in brute
+        )
+
+    def test_every_sink_is_nash_per_equilibrium_module(self):
+        dmat = _dmat(4, 7)
+        result = explore_landscape(dmat, 2.0)
+        game = TopologyGame(DistanceMatrixMetric(dmat, validate=False), 2.0)
+        assert result.equilibria  # the check below must not be vacuous
+        for basin in result.equilibria:
+            profile = decode_profile(basin.profile_id, 4)
+            assert verify_nash(game, profile).is_nash
+            assert basin.nash_certified
+
+    def test_basin_mass_plus_cycling_is_one(self):
+        result = explore_landscape(_dmat(4, 3), 1.0)
+        total = sum(b.basin_fraction for b in result.equilibria)
+        assert total + result.cycling_fraction == pytest.approx(1.0, abs=0)
+        assert result.num_sources == 1 << 12
+
+    def test_optimum_matches_exhaustive_sweep(self):
+        dmat = _dmat(4, 9)
+        model = CongestionModel(1.5, 0.5)
+        result = explore_landscape(dmat, 1.5, cost_model=model)
+        sweep = exhaustive_equilibria(dmat, 1.5, cost_model=model)
+        assert result.optimum_social_cost == pytest.approx(
+            sweep.best_social_cost, rel=1e-12
+        )
+        assert result.cost_model_spec == ("congestion", 1.5, 0.5)
+        assert result.cross_validated
+
+    def test_poa_bounds_and_ordering(self):
+        result = explore_landscape(_dmat(4, 11), 1.5)
+        assert result.price_of_anarchy >= result.price_of_stability
+        # Every Nash social cost is at least OPT by definition.
+        assert result.price_of_stability >= 1.0 - 1e-12
+        worst = result.worst_equilibrium()
+        assert worst.social_cost == pytest.approx(
+            result.price_of_anarchy * result.optimum_social_cost, rel=1e-12
+        )
+
+    def test_deterministic_across_runs(self):
+        first = explore_landscape(_dmat(5, 2), 1.5)
+        second = explore_landscape(_dmat(5, 2), 1.5)
+        assert first == second
+
+
+class TestModelInvariance:
+    def test_structure_identical_prices_shift(self):
+        dmat = _dmat(4, 13)
+        base = explore_landscape(dmat, 1.5)
+        uni = explore_landscape(dmat, 1.5, cost_model=UnilateralModel(1.5))
+        cong = explore_landscape(
+            dmat, 1.5, cost_model=CongestionModel(1.5, 1.0)
+        )
+        # Explicit unilateral is the None landscape plus a spec label.
+        assert [
+            (b.profile_id, b.social_cost, b.basin_fraction)
+            for b in uni.equilibria
+        ] == [
+            (b.profile_id, b.social_cost, b.basin_fraction)
+            for b in base.equilibria
+        ]
+        assert uni.optimum_social_cost == base.optimum_social_cost
+        # Congestion: same ids and basins, costs shifted by beta * |E|.
+        assert [b.profile_id for b in cong.equilibria] == [
+            b.profile_id for b in base.equilibria
+        ]
+        assert [b.basin_fraction for b in cong.equilibria] == [
+            b.basin_fraction for b in base.equilibria
+        ]
+        for a, b in zip(base.equilibria, cong.equilibria):
+            links = decode_profile(a.profile_id, 4).num_links
+            assert b.social_cost == pytest.approx(
+                a.social_cost + 1.0 * links, rel=1e-12
+            )
+
+
+class TestWitnessLandscape:
+    def test_no_nash_witness_is_all_cycling(self):
+        from repro.constructions import build_no_nash_instance
+
+        game = build_no_nash_instance()
+        result = explore_landscape(game.distance_matrix, game.alpha)
+        assert result.num_equilibria == 0
+        assert result.cycling_fraction == 1.0
+        assert result.price_of_anarchy is None
+        assert result.price_of_stability is None
+        assert result.cross_validated
+
+
+class TestSampledMode:
+    def test_n6_equilibria_are_certified(self):
+        dmat = _dmat(6, 1)
+        result = explore_landscape(
+            dmat, 2.0, mode="sampled", num_samples=6, seed=5
+        )
+        assert result.mode == "sampled"
+        assert result.num_sources == 6
+        assert not result.cross_validated
+        assert result.equilibria
+        game = TopologyGame(DistanceMatrixMetric(dmat, validate=False), 2.0)
+        for basin in result.equilibria:
+            assert basin.nash_certified
+            assert verify_nash(
+                game, decode_profile(basin.profile_id, 6)
+            ).is_nash
+
+    def test_sampled_mode_deterministic_for_fixed_seed(self):
+        dmat = _dmat(6, 4)
+        runs = [
+            explore_landscape(
+                dmat, 1.5, mode="sampled", num_samples=5, seed=9
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_auto_mode_picks_by_size(self):
+        assert explore_landscape(_dmat(3, 0), 1.0).mode == "exact"
+        assert (
+            explore_landscape(_dmat(6, 0), 1.0, num_samples=3).mode
+            == "sampled"
+        )
+
+
+class TestValidationSurface:
+    def test_exact_mode_rejects_large_n(self):
+        with pytest.raises(ValueError, match="exact mode supports"):
+            explore_landscape(_dmat(6, 0), 1.0, mode="exact")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown landscape mode"):
+            explore_landscape(_dmat(3, 0), 1.0, mode="enumerate")
+
+    def test_model_alpha_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            explore_landscape(
+                _dmat(3, 0), 2.0, cost_model=UnilateralModel(1.0)
+            )
+
+    def test_validation_error_type_is_exposed(self):
+        assert issubclass(LandscapeValidationError, RuntimeError)

@@ -24,9 +24,9 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_twelve_registered(self):
+    def test_all_thirteen_registered(self):
         assert sorted(EXPERIMENTS) == sorted(
-            f"E{i}" for i in range(1, 13)
+            f"E{i}" for i in range(1, 14)
         )
 
     def test_lookup_case_insensitive(self):
@@ -193,3 +193,23 @@ class TestE11:
         for row in result.rows[1:]:
             assert row["bilateral_stable"]
             assert row["bilateral_cost"] > 0
+
+
+class TestE13:
+    def test_reduced_landscape_verdict(self):
+        from repro.experiments import e13_landscape
+
+        result = e13_landscape.run(sizes=(4,), seeds=(0, 1))
+        assert result.verdict
+        assert all(row["mode"] == "exact" for row in result.rows)
+        assert all(row["certified"] for row in result.rows)
+        # Per (n, seed): one unilateral and one congestion row with the
+        # same equilibrium count (structure is model-invariant).
+        by_seed = {}
+        for row in result.rows:
+            by_seed.setdefault(row["seed"], {})[row["model"]] = row
+        for rows in by_seed.values():
+            assert (
+                rows["unilateral"]["num_equilibria"]
+                == rows["congestion"]["num_equilibria"]
+            )

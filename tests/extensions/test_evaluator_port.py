@@ -1,0 +1,164 @@
+"""Regression: the extensions' evaluator port changes nothing but speed.
+
+``extensions/congestion.py`` and ``extensions/bilateral.py`` used to
+rebuild the overlay and full stretch matrix on every cost query; they now
+run on (model-carrying, persistent) evaluators.  The pre-port scratch
+computation survives as ``reference_individual_costs`` in each module,
+and these tests pin the two paths together to 1e-12 across random
+topologies — including the repeated one-edge probes of a pairwise
+stability check, the workload the port exists to accelerate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.bilateral import (
+    BilateralGame,
+    BilateralTopology,
+)
+from repro.extensions.bilateral import (
+    reference_individual_costs as bilateral_reference,
+)
+from repro.extensions.congestion import (
+    CongestionGame,
+    reference_individual_costs as congestion_reference,
+    reference_social_cost,
+)
+from repro.metrics.euclidean import EuclideanMetric
+
+from tests.conftest import profiles_for
+
+
+def _close_costs(new, old):
+    finite = np.isfinite(old)
+    np.testing.assert_allclose(new[finite], old[finite], rtol=0, atol=1e-12)
+    np.testing.assert_array_equal(np.isinf(new), np.isinf(old))
+
+
+@st.composite
+def congestion_cases(draw):
+    n = draw(st.integers(2, 7))
+    seed = draw(st.integers(0, 2**31 - 1))
+    metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+    alpha = draw(st.floats(0.1, 6.0))
+    beta = draw(st.floats(0.0, 4.0))
+    profile = draw(profiles_for(n))
+    return CongestionGame(metric, alpha, beta), profile
+
+
+@st.composite
+def bilateral_cases(draw):
+    n = draw(st.integers(2, 7))
+    seed = draw(st.integers(0, 2**31 - 1))
+    metric = EuclideanMetric.random_uniform(n, dim=2, seed=seed)
+    alpha = draw(st.floats(0.1, 6.0))
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=n * 2,
+        )
+    )
+    return BilateralGame(metric, alpha), BilateralTopology.from_pairs(n, pairs)
+
+
+class TestCongestionPort:
+    @given(congestion_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_individual_costs_match_scratch_oracle(self, case):
+        game, profile = case
+        _close_costs(
+            game.individual_costs(profile),
+            congestion_reference(game, profile),
+        )
+
+    @given(congestion_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_social_cost_matches_scratch_oracle(self, case):
+        game, profile = case
+        new = game.social_cost(profile).total
+        old = reference_social_cost(game, profile)
+        if np.isfinite(old):
+            assert new == pytest.approx(old, abs=1e-12 * max(1.0, abs(old)))
+        else:
+            assert not np.isfinite(new)
+
+    def test_warm_evaluator_survives_a_profile_sequence(self):
+        """Consecutive single-peer rewires (the dynamics workload)."""
+        metric = EuclideanMetric.random_uniform(6, dim=2, seed=42)
+        game = CongestionGame(metric, 1.5, beta=0.8)
+        profile = game.base_game.random_profile(0.4, seed=7)
+        rng = np.random.default_rng(11)
+        for _ in range(12):
+            peer = int(rng.integers(0, 6))
+            targets = [t for t in range(6) if t != peer]
+            rng.shuffle(targets)
+            profile = profile.with_strategy(
+                peer, frozenset(targets[: int(rng.integers(0, 5))])
+            )
+            _close_costs(
+                game.individual_costs(profile),
+                congestion_reference(game, profile),
+            )
+
+
+class TestBilateralPort:
+    @given(bilateral_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_individual_costs_match_scratch_oracle(self, case):
+        game, topology = case
+        with game:
+            _close_costs(
+                game.individual_costs(topology),
+                bilateral_reference(game, topology),
+            )
+
+    @given(bilateral_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_stability_probe_sequence_matches_scratch(self, case):
+        """Every one-edge variant a stability check would price."""
+        game, topology = case
+        with game:
+            for u, v in sorted(topology.edges):
+                variant = topology.without_edge(u, v)
+                _close_costs(
+                    game.individual_costs(variant),
+                    bilateral_reference(game, variant),
+                )
+            for u in range(game.n):
+                for v in range(u + 1, game.n):
+                    if topology.has_edge(u, v):
+                        continue
+                    variant = topology.with_edge(u, v)
+                    _close_costs(
+                        game.individual_costs(variant),
+                        bilateral_reference(game, variant),
+                    )
+
+    def test_close_is_idempotent_and_reopenable(self):
+        metric = EuclideanMetric.random_uniform(4, dim=2, seed=1)
+        game = BilateralGame(metric, 1.0)
+        topology = BilateralTopology.from_pairs(4, [(0, 1), (2, 3)])
+        first = game.individual_costs(topology)
+        game.close()
+        game.close()
+        # A fresh evaluator is created lazily after close.
+        _close_costs(game.individual_costs(topology), first)
+        game.close()
+
+    def test_improve_dynamics_unchanged_by_port(self):
+        """End-to-end: the dynamics reach the same stable topology."""
+        metric = EuclideanMetric.random_uniform(5, dim=2, seed=3)
+        with BilateralGame(metric, 1.0) as game:
+            topology, stabilized, _steps = game.improve_dynamics()
+            assert stabilized
+            certificate = game.check_pairwise_stability(topology)
+            assert certificate.is_stable
+            # The stable point prices identically under the oracle.
+            _close_costs(
+                game.individual_costs(topology),
+                bilateral_reference(game, topology),
+            )

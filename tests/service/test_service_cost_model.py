@@ -1,0 +1,154 @@
+"""The cost model through the service layer: journal, replay, pricing.
+
+A ``--game congestion`` service run must be a first-class audited
+artifact: the journal records the model spec, ``replay_journal`` rebuilds
+the model from it and verifies every per-epoch digest, and — because the
+congestion term is an externality — the *trajectory* (digests, moves,
+final overlay) is identical to the unilateral run on the same workload
+while the recorded social costs shift by exactly ``beta * |E|``.
+"""
+
+import pytest
+
+from repro.core.cost_model import CongestionModel, UnilateralModel
+from repro.metrics.euclidean import EuclideanMetric
+from repro.service import (
+    JournalFormatError,
+    ServiceJournal,
+    ServiceState,
+    WorkloadGenerator,
+    replay_journal,
+)
+
+UNIVERSE = 12
+ALPHA = 1.5
+BETA = 0.75
+
+
+def _metric():
+    return EuclideanMetric.random_uniform(UNIVERSE, dim=2, seed=21)
+
+
+def _run(metric, cost_model, seed=5, count=18):
+    active = list(range(6))
+    requests = WorkloadGenerator(UNIVERSE, active, seed).take(count)
+    journal = ServiceJournal()
+    with ServiceState(
+        metric,
+        ALPHA,
+        cost_model=cost_model,
+        initial_active=active,
+        journal=journal,
+    ) as state:
+        for start in range(0, count, 3):
+            state.apply_epoch(requests[start : start + 3])
+        snapshot = state.snapshot()
+    return journal, snapshot, active
+
+
+class TestJournalSpec:
+    def test_model_spec_recorded_and_round_tripped(self):
+        journal, _, _ = _run(_metric(), CongestionModel(ALPHA, BETA))
+        assert journal.cost_model_spec == ("congestion", ALPHA, BETA)
+        document = journal.to_dict()
+        assert document["cost_model"] == ["congestion", ALPHA, BETA]
+        rebuilt = ServiceJournal.from_dict(document)
+        assert rebuilt.cost_model_spec == ("congestion", ALPHA, BETA)
+        assert [r.digest for r in rebuilt.records] == [
+            r.digest for r in journal.records
+        ]
+
+    def test_unilateral_journal_document_omits_the_key(self):
+        """No model -> the document is byte-identical to the old format."""
+        journal, _, _ = _run(_metric(), None)
+        assert journal.cost_model_spec is None
+        assert "cost_model" not in journal.to_dict()
+
+    def test_malformed_spec_in_document_rejected(self):
+        journal, _, _ = _run(_metric(), CongestionModel(ALPHA, BETA))
+        document = journal.to_dict()
+        document["cost_model"] = "congestion"
+        with pytest.raises(JournalFormatError):
+            ServiceJournal.from_dict(document)
+
+
+class TestCongestionReplay:
+    def test_congestion_run_replays_digest_identically(self):
+        metric = _metric()
+        journal, snapshot, active = _run(
+            metric, CongestionModel(ALPHA, BETA)
+        )
+        # replay_journal rebuilds the model from the recorded spec; the
+        # digests verify epoch by epoch (verify=True is the default).
+        result = replay_journal(
+            journal, metric, ALPHA, initial_active=active
+        )
+        assert list(result.digests) == [r.digest for r in journal.records]
+        assert list(result.moves) == [r.moves for r in journal.records]
+        assert list(result.social_costs) == [
+            r.social_cost for r in journal.records
+        ]
+        assert (result.final_active, result.final_strategies) == snapshot
+
+    def test_trajectory_matches_unilateral_costs_shift(self):
+        metric = _metric()
+        base_journal, base_snapshot, _ = _run(metric, None)
+        cong_journal, cong_snapshot, _ = _run(
+            metric, CongestionModel(ALPHA, BETA)
+        )
+        # Externality contract end to end: identical trajectory...
+        assert [r.digest for r in cong_journal.records] == [
+            r.digest for r in base_journal.records
+        ]
+        assert cong_snapshot == base_snapshot
+        # ...with social costs shifted by beta * |E| per epoch (exact on
+        # the final epoch, where the snapshot exposes the edge count).
+        for base, cong in zip(base_journal.records, cong_journal.records):
+            assert cong.social_cost >= base.social_cost
+        final_links = sum(len(s) for s in cong_snapshot[1])
+        assert cong_journal.records[-1].social_cost == pytest.approx(
+            base_journal.records[-1].social_cost + BETA * final_links,
+            rel=1e-12,
+        )
+
+    def test_explicit_model_override_beats_recorded_spec(self):
+        metric = _metric()
+        journal, _, active = _run(metric, CongestionModel(ALPHA, BETA))
+        # Overriding with the unilateral model replays the same digests
+        # (trajectories are model-independent) but re-prices socially.
+        result = replay_journal(
+            journal,
+            metric,
+            ALPHA,
+            initial_active=active,
+            cost_model=UnilateralModel(ALPHA),
+        )
+        assert list(result.digests) == [r.digest for r in journal.records]
+        assert any(
+            replayed != recorded.social_cost
+            for replayed, recorded in zip(
+                result.social_costs, journal.records
+            )
+            if recorded.social_cost > 0
+        )
+
+
+class TestStatePricing:
+    def test_state_exposes_model_and_prices_with_it(self):
+        state = ServiceState(
+            _metric(),
+            ALPHA,
+            cost_model=CongestionModel(ALPHA, BETA),
+            initial_active=range(6),
+        )
+        with state:
+            assert state.cost_model.spec() == ("congestion", ALPHA, BETA)
+
+    def test_model_alpha_mismatch_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ServiceState(
+                _metric(),
+                ALPHA,
+                cost_model=CongestionModel(2.0, BETA),
+                initial_active=range(6),
+            )

@@ -148,6 +148,67 @@ class TestParser:
         err = capsys.readouterr().err
         assert "exceeds" in err and "population" in err
 
+    def test_game_flag_on_run_run_all_demo_and_serve(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "E9"]).game == "unilateral"
+        for command in (
+            ["run", "E9"],
+            ["run-all"],
+            ["demo"],
+            ["serve", "--listen", "127.0.0.1:0"],
+        ):
+            args = parser.parse_args(command + ["--game", "congestion"])
+            assert args.game == "congestion"
+            assert args.beta is None
+
+    def test_unknown_game_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E9", "--game", "frictional"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_beta_without_congestion_is_a_clean_exit_2(self, capsys):
+        for command in (
+            ["run", "E9"],
+            ["run-all"],
+            ["demo"],
+            ["serve", "--listen", "127.0.0.1:0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(command + ["--beta", "0.5"])
+            assert excinfo.value.code == 2
+            assert "--beta needs --game congestion" in (
+                capsys.readouterr().err
+            )
+        # An explicit unilateral game does not make --beta meaningful.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E9", "--game", "unilateral", "--beta", "0.5"])
+        assert excinfo.value.code == 2
+
+    def test_negative_beta_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E9", "--game", "congestion", "--beta", "-1"])
+        assert excinfo.value.code == 2
+        assert "--beta must be >= 0" in capsys.readouterr().err
+
+    def test_congestion_game_with_beta_parses(self):
+        args = build_parser().parse_args(
+            ["run", "E13", "--game", "congestion", "--beta", "2.5"]
+        )
+        assert args.game == "congestion"
+        assert args.beta == 2.5
+
+    def test_cost_model_factory_contract(self):
+        from repro.cli import _make_cost_model
+        from repro.core.cost_model import CongestionModel
+
+        assert _make_cost_model("unilateral", None, 1.5) is None
+        assert _make_cost_model(None, None, 1.5) is None
+        model = _make_cost_model("congestion", None, 1.5)
+        assert model == CongestionModel(1.5, 1.0)  # default beta
+        assert _make_cost_model("congestion", 0.25, 2.0) == CongestionModel(
+            2.0, 0.25
+        )
+
     def test_run_help_range_derived_from_registry(self, capsys):
         from repro.experiments import EXPERIMENTS
 
@@ -203,3 +264,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cycled" in out
         assert "converged" in out
+        assert "game=unilateral" in out
+
+    def test_demo_threads_congestion_game(self, capsys):
+        assert main(["demo", "--game", "congestion", "--beta", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "game=congestion" in out
+        assert "converged" in out
+
+    def test_run_with_game_flag_threads_through(self, capsys):
+        # E6 does not accept game_family/beta; the harness drops them
+        # silently instead of failing the run.
+        assert main(["run", "E6", "--game", "congestion"]) == 0
+        assert "SUPPORTED" in capsys.readouterr().out
